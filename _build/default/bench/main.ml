@@ -1,0 +1,159 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation (§6), plus micro-benchmarks of the substrates.
+
+     dune exec bench/main.exe            # everything (moderate sweep)
+     dune exec bench/main.exe -- fig3a   # one artifact
+     dune exec bench/main.exe -- --full  # the paper's full client sweep *)
+
+module H = Splitbft_harness
+module Experiments = H.Experiments
+module Scenarios = H.Scenarios
+
+let clients_sweep ~full =
+  if full then [ 1; 5; 10; 20; 40; 80; 120; 150 ] else [ 1; 10; 40; 100; 150 ]
+
+(* ----- paper artifacts ----- *)
+
+let run_table1 () =
+  let outcomes = List.map (Scenarios.run ~seed:42L) Scenarios.all in
+  Scenarios.print_table1 outcomes;
+  let mismatches = List.filter (fun o -> not (Scenarios.matches_expectation o)) outcomes in
+  if mismatches <> [] then
+    Printf.printf "!! %d scenario(s) deviate from the paper's fault model\n"
+      (List.length mismatches)
+
+let run_table2 () = Experiments.print_table2 (Experiments.table2 ())
+
+let run_fig3 ~batched ~full () =
+  let clients_list =
+    (* Batched points simulate far more operations per second; keep the
+       default sweep affordable. *)
+    if batched && not full then [ 1; 10; 40; 150 ] else clients_sweep ~full
+  in
+  List.iter
+    (fun (app, app_name) ->
+      let series = Experiments.fig3 ~clients_list ~batched ~app () in
+      Experiments.print_fig3
+        ~title:
+          (Printf.sprintf "Figure 3%s — %s, %s" (if batched then "b" else "a") app_name
+             (if batched then "batched (200, 10ms)" else "unbatched"))
+        series)
+    [ (H.Cluster.App_kvs, "key-value store"); (H.Cluster.App_ledger, "blockchain") ]
+
+let run_fig4 () =
+  Experiments.print_fig4 ~batched:false (Experiments.fig4 ~batched:false ());
+  Experiments.print_fig4 ~batched:true (Experiments.fig4 ~batched:true ())
+
+let run_simmode () = Experiments.print_simmode (Experiments.simmode ())
+let run_ablation () = Experiments.print_batch_ablation (Experiments.batch_ablation ())
+let run_ceilings () = Experiments.print_ceilings (Experiments.ceilings ())
+
+(* ----- bechamel micro-benchmarks of the substrates ----- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let payload = String.init 256 (fun i -> Char.chr (i land 0xff)) in
+  let key = String.make 32 'k' in
+  let nonce = String.make 12 'n' in
+  let request =
+    { Splitbft_types.Message.client = 7; timestamp = 42L; payload = String.make 10 'x';
+      auth = String.make 32 'a' }
+  in
+  let encoded_request = Splitbft_types.Message.encode_request request in
+  let sim_events () =
+    let engine = Splitbft_sim.Engine.create ~seed:7L () in
+    for i = 1 to 100 do
+      ignore
+        (Splitbft_sim.Engine.schedule engine ~delay:(float_of_int i) ~label:"e" (fun () -> ()))
+    done;
+    Splitbft_sim.Engine.run engine
+  in
+  Test.make_grouped ~name:"substrates" ~fmt:"%s %s"
+    [ Test.make ~name:"sha256-256B"
+        (Staged.stage (fun () -> ignore (Splitbft_crypto.Sha256.digest payload)));
+      Test.make ~name:"hmac-256B"
+        (Staged.stage (fun () -> ignore (Splitbft_crypto.Hmac.mac ~key payload)));
+      Test.make ~name:"chacha20-256B"
+        (Staged.stage (fun () ->
+             ignore (Splitbft_crypto.Chacha20.encrypt ~key ~nonce payload)));
+      Test.make ~name:"aead-seal-open-256B"
+        (Staged.stage (fun () ->
+             let ct = Splitbft_crypto.Aead.encrypt ~key ~nonce ~aad:"a" payload in
+             match Splitbft_crypto.Aead.decrypt ~key ~nonce ~aad:"a" ct with
+             | Ok _ -> ()
+             | Error e -> failwith e));
+      Test.make ~name:"codec-request-roundtrip"
+        (Staged.stage (fun () ->
+             match Splitbft_types.Message.decode_request encoded_request with
+             | Ok _ -> ()
+             | Error e -> failwith e));
+      Test.make ~name:"sim-100-events" (Staged.stage sim_events) ]
+
+let run_micro () =
+  let open Bechamel in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ instance ] (micro_tests ()) in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (x :: _) -> x
+        | Some [] | None -> nan
+      in
+      rows := [ name; Printf.sprintf "%.0f ns" ns ] :: !rows)
+    results;
+  H.Table.print ~title:"Micro-benchmarks (bechamel, monotonic clock)"
+    ~header:[ "operation"; "time/op" ]
+    ~rows:(List.sort compare !rows)
+
+(* ----- command line ----- *)
+
+let artifacts =
+  [ ("table1", fun ~full:_ () -> run_table1 ());
+    ("table2", fun ~full:_ () -> run_table2 ());
+    ("fig3a", fun ~full () -> run_fig3 ~batched:false ~full ());
+    ("fig3b", fun ~full () -> run_fig3 ~batched:true ~full ());
+    ("fig4", fun ~full:_ () -> run_fig4 ());
+    ("simmode", fun ~full:_ () -> run_simmode ());
+    ("ablation", fun ~full:_ () -> run_ablation ());
+    ("ceilings", fun ~full:_ () -> run_ceilings ());
+    ("micro", fun ~full:_ () -> run_micro ()) ]
+
+let run_all ~full () =
+  List.iter
+    (fun (name, f) ->
+      Printf.printf "\n######## %s ########\n%!" name;
+      f ~full ())
+    artifacts
+
+let () =
+  let open Cmdliner in
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Use the paper's full client sweep for Figure 3.")
+  in
+  let what =
+    Arg.(
+      value
+      & pos_all (enum (("all", "all") :: List.map (fun (n, _) -> (n, n)) artifacts)) []
+      & info [] ~docv:"ARTIFACT" ~doc:"Artifacts to regenerate (default: all).")
+  in
+  let main full what =
+    match what with
+    | [] | [ "all" ] -> run_all ~full ()
+    | names ->
+      List.iter
+        (fun n ->
+          Printf.printf "\n######## %s ########\n%!" n;
+          (List.assoc n artifacts) ~full ())
+        names
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "splitbft-bench" ~doc:"Regenerate the SplitBFT paper's tables and figures")
+      Term.(const main $ full $ what)
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,111 @@
+(* Command-line driver for the SplitBFT reproduction.
+
+     splitbft run --protocol splitbft --app kvs --clients 40 --batch 200
+     splitbft scenario splitbft/enclave-f-each-type
+     splitbft scenarios
+     splitbft tcb *)
+
+module H = Splitbft_harness
+open Cmdliner
+
+let protocol_conv =
+  Arg.enum [ ("pbft", H.Cluster.Pbft); ("minbft", H.Cluster.Minbft); ("splitbft", H.Cluster.Splitbft) ]
+
+let app_conv =
+  Arg.enum
+    [ ("kvs", H.Cluster.App_kvs);
+      ("ledger", H.Cluster.App_ledger);
+      ("counter", H.Cluster.App_counter) ]
+
+(* ----- run ----- *)
+
+let run_cmd =
+  let protocol =
+    Arg.(value & opt protocol_conv H.Cluster.Splitbft & info [ "protocol"; "p" ] ~doc:"Protocol.")
+  in
+  let app_arg = Arg.(value & opt app_conv H.Cluster.App_kvs & info [ "app"; "a" ] ~doc:"Application.") in
+  let clients = Arg.(value & opt int 10 & info [ "clients"; "c" ] ~doc:"Closed-loop clients.") in
+  let batch = Arg.(value & opt int 1 & info [ "batch"; "b" ] ~doc:"Batch size (1 = unbatched).") in
+  let window = Arg.(value & opt int 1 & info [ "window"; "w" ] ~doc:"Outstanding requests per client.") in
+  let duration = Arg.(value & opt float 1.0 & info [ "duration"; "d" ] ~doc:"Measured seconds (simulated).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let run protocol app clients batch window duration seed =
+    let params =
+      { (H.Cluster.default_params protocol) with
+        H.Cluster.app;
+        batch_size = batch;
+        seed = Int64.of_int seed }
+    in
+    let cluster = H.Cluster.create params in
+    let scanner = H.Safety.install_scanner cluster in
+    let spec =
+      { H.Workload.default_spec with
+        H.Workload.clients;
+        window;
+        warmup_us = duration *. 1e6 /. 4.0;
+        duration_us = duration *. 1e6 }
+    in
+    let r = H.Workload.run cluster spec in
+    let honest = List.init params.H.Cluster.n (fun i -> i) in
+    let v = H.Safety.verdict cluster ~honest ~scanner ~workload:r ~min_completed:1 in
+    H.Table.print ~title:"workload result"
+      ~header:[ "metric"; "value" ]
+      ~rows:
+        [ [ "throughput"; H.Table.ops r.H.Workload.throughput_ops ^ " ops/s" ];
+          [ "mean latency"; H.Table.us r.H.Workload.mean_latency_us ];
+          [ "p99 latency"; H.Table.us r.H.Workload.p99_latency_us ];
+          [ "completed (window)"; string_of_int r.H.Workload.completed ];
+          [ "wrong results"; string_of_int r.H.Workload.wrong_results ];
+          [ "safe"; H.Table.yes_no v.H.Safety.safe ];
+          [ "confidential"; H.Table.yes_no v.H.Safety.confidential ] ]
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a workload against a simulated cluster and report the paper's metrics.")
+    Term.(const run $ protocol $ app_arg $ clients $ batch $ window $ duration $ seed)
+
+(* ----- scenarios ----- *)
+
+let scenario_cmd =
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  let run id =
+    match H.Scenarios.find id with
+    | None ->
+      Printf.eprintf "unknown scenario %S (see `splitbft_cli scenarios`)\n" id;
+      exit 1
+    | Some s ->
+      Printf.printf "%s\n  %s\n%!" s.H.Scenarios.id s.H.Scenarios.description;
+      let o = H.Scenarios.run s in
+      let v = o.H.Scenarios.verdict in
+      Printf.printf "  live=%b safe=%b confidential=%b ops=%d  %s\n"
+        v.H.Safety.live v.H.Safety.safe v.H.Safety.confidential
+        o.H.Scenarios.workload.H.Workload.completed_total
+        (if H.Scenarios.matches_expectation o then "(matches the paper's fault model)"
+         else "(UNEXPECTED)");
+      if v.H.Safety.detail <> "" then Printf.printf "  detail: %s\n" v.H.Safety.detail
+  in
+  Cmd.v (Cmd.info "scenario" ~doc:"Run one fault-model scenario.") Term.(const run $ id)
+
+let scenarios_cmd =
+  let run () =
+    List.iter
+      (fun s ->
+        let e = s.H.Scenarios.expected in
+        Printf.printf "%-32s live=%-5b safe=%-5b conf=%-5b  %s\n" s.H.Scenarios.id
+          e.H.Scenarios.exp_live e.H.Scenarios.exp_safe e.H.Scenarios.exp_confidential
+          s.H.Scenarios.description)
+      H.Scenarios.all
+  in
+  Cmd.v
+    (Cmd.info "scenarios" ~doc:"List the Table 1 fault-model scenarios and their expected outcomes.")
+    Term.(const run $ const ())
+
+let tcb_cmd =
+  let run () = H.Experiments.print_table2 (H.Experiments.table2 ()) in
+  Cmd.v (Cmd.info "tcb" ~doc:"Print the TCB-size table (Table 2).") Term.(const run $ const ())
+
+let () =
+  let doc = "SplitBFT: compartmentalized BFT with trusted execution (MIDDLEWARE'22 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "splitbft_cli" ~doc)
+          [ run_cmd; scenario_cmd; scenarios_cmd; tcb_cmd ]))

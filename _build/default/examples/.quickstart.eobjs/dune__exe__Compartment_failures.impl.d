@@ -1,0 +1,1 @@
+examples/compartment_failures.ml: List Printf Splitbft_harness

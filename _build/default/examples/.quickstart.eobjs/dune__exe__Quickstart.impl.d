@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Splitbft_app Splitbft_client Splitbft_core Splitbft_sim Splitbft_util

@@ -1,0 +1,38 @@
+(* Confidentiality demonstration: the same workload against PBFT and
+   SplitBFT, with a wiretap scanning every network payload and every
+   untrusted-storage blob for the operations' secret content.
+
+     dune exec examples/confidential_kvs.exe *)
+
+module H = Splitbft_harness
+
+let run protocol name =
+  let cluster =
+    H.Cluster.create { (H.Cluster.default_params protocol) with H.Cluster.seed = 99L }
+  in
+  let scanner = H.Safety.install_scanner cluster in
+  let result =
+    H.Workload.run cluster
+      { H.Workload.default_spec with
+        H.Workload.clients = 3;
+        warmup_us = 0.0;
+        duration_us = 500_000.0 }
+  in
+  Printf.printf
+    "%-10s  %5d ops  wire payloads leaking the secret: %6d   storage blobs leaking: %d\n%!"
+    name result.H.Workload.completed_total
+    (H.Safety.network_leaks scanner)
+    (H.Safety.storage_leaks cluster ~honest_hosts:[ 0; 1; 2; 3 ])
+
+let () =
+  Printf.printf
+    "Every operation value embeds the marker %S; the tap sees every byte\n\
+     an attacker in the cloud provider's position would see.\n\n"
+    H.Workload.canary;
+  run H.Cluster.Pbft "PBFT";
+  run H.Cluster.Splitbft "SplitBFT";
+  print_newline ();
+  print_endline
+    "PBFT exposes every operation to the infrastructure; SplitBFT's clients\n\
+     encrypt to the attested Execution enclaves, so the same workload leaks\n\
+     nothing (Table 1's confidentiality column)."

@@ -1,0 +1,68 @@
+(* SplitBFT as the ordering service of a permissioned blockchain — the
+   paper's second use case.  Clients submit transactions; the Execution
+   enclaves order them into hash-chained blocks of five and write each
+   block SEALED to untrusted storage via an ocall, so the blockchain
+   content stays confidential from the hosting cloud.
+
+     dune exec examples/ordering_service.exe *)
+
+module Engine = Splitbft_sim.Engine
+module Network = Splitbft_sim.Network
+module Replica = Splitbft_core.Replica
+module Config = Splitbft_core.Config
+module Client = Splitbft_client.Client
+module Ledger = Splitbft_app.Ledger
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec loop i = i + n <= m && (String.equal (String.sub hay i n) needle || loop (i + 1)) in
+  loop 0
+
+let () =
+  let engine = Engine.create ~seed:7L () in
+  let net = Network.create engine Network.default_config in
+  let n = 4 in
+  let replicas =
+    List.init n (fun id ->
+        Replica.create engine net (Config.default ~n ~id) ~app:(fun () -> Ledger.create ()))
+  in
+  (* Two banks submit transfer transactions concurrently. *)
+  let submit_all bank_id count =
+    let client =
+      Client.create engine net
+        (Client.default_config (Client.Splitbft { ready_quorum = n }) ~n ~id:bank_id)
+    in
+    Client.start client ~on_ready:(fun () ->
+        for i = 1 to count do
+          Client.submit client
+            ~op:(Printf.sprintf "TRANSFER bank%d #%d amount=%d" bank_id i (i * 10))
+            ~on_result:(fun ~latency_us:_ ~result:_ -> ())
+        done)
+  in
+  submit_all 0 9;
+  submit_all 1 8;
+  Engine.run ~until:3_000_000.0 engine;
+
+  List.iter
+    (fun r ->
+      let stored = Replica.persisted r in
+      Printf.printf "replica %d wrote %d sealed blocks to untrusted storage\n" (Replica.id r)
+        (List.length stored);
+      if Replica.id r = 0 then begin
+        List.iteri
+          (fun i (tag, data) ->
+            if i < 3 then
+              Printf.printf "  %-8s %4d bytes, plaintext visible: %b\n" tag
+                (String.length data)
+                (contains data "TRANSFER"))
+          stored
+      end)
+    replicas;
+  print_newline ();
+  (* All Execution enclaves hold the same chain tip. *)
+  List.iter
+    (fun r ->
+      Printf.printf "replica %d: ordered=%d ledger-digest=%s\n" (Replica.id r)
+        (Replica.executed_count r)
+        (Splitbft_util.Hex.short ~len:16 (Replica.app_digest r)))
+    replicas

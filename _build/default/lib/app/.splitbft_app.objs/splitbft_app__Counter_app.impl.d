@@ -1,0 +1,1 @@
+lib/app/counter_app.ml: State_machine

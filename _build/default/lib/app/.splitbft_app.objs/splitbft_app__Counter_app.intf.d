@@ -1,0 +1,1 @@
+lib/app/counter_app.mli: State_machine

@@ -1,0 +1,1 @@
+lib/app/kvs.ml: Hashtbl List Printf Splitbft_codec State_machine

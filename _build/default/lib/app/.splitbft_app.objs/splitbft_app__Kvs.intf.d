@@ -1,0 +1,1 @@
+lib/app/kvs.mli: State_machine

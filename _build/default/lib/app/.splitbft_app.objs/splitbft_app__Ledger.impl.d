@@ -1,0 +1,1 @@
+lib/app/ledger.ml: List Printf Splitbft_codec Splitbft_crypto State_machine String

@@ -1,0 +1,1 @@
+lib/app/ledger.mli: State_machine

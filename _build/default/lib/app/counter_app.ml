@@ -1,0 +1,24 @@
+let increment_op = "+"
+let read_op = "?"
+
+let create () =
+  let value = ref 0 in
+  let apply op =
+    match op with
+    | "+" ->
+      incr value;
+      string_of_int !value
+    | "?" -> string_of_int !value
+    | _ -> State_machine.noop_result
+  in
+  { State_machine.app_name = "counter";
+    apply;
+    snapshot = (fun () -> string_of_int !value);
+    restore =
+      (fun blob ->
+        match int_of_string_opt blob with
+        | Some v ->
+          value := v;
+          Ok ()
+        | None -> Error "invalid counter snapshot");
+    drain_effects = (fun () -> []) }

@@ -1,0 +1,7 @@
+(** Minimal replicated counter used by the quickstart example and smoke
+    tests: operation ["+"] increments and returns the new value (decimal
+    text); ["?"] reads. *)
+
+val create : unit -> State_machine.t
+val increment_op : string
+val read_op : string

@@ -1,0 +1,86 @@
+module W = Splitbft_codec.Writer
+module R = Splitbft_codec.Reader
+
+type op =
+  | Put of string * string
+  | Get of string
+  | Delete of string
+
+let encode_op op =
+  W.to_string
+    (fun w op ->
+      match op with
+      | Put (k, v) ->
+        W.u8 w 1;
+        W.bytes w k;
+        W.bytes w v
+      | Get k ->
+        W.u8 w 2;
+        W.bytes w k
+      | Delete k ->
+        W.u8 w 3;
+        W.bytes w k)
+    op
+
+let decode_op s =
+  R.parse
+    (fun r ->
+      match R.u8 r with
+      | 1 ->
+        let k = R.bytes r in
+        let v = R.bytes r in
+        Put (k, v)
+      | 2 -> Get (R.bytes r)
+      | 3 -> Delete (R.bytes r)
+      | t -> raise (R.Error (Printf.sprintf "unknown kvs op tag %d" t)))
+    s
+
+let ok = "OK"
+let not_found = "\x00absent"
+
+let create () =
+  let table : (string, string) Hashtbl.t = Hashtbl.create 256 in
+  let apply op_bytes =
+    match decode_op op_bytes with
+    | Error _ -> State_machine.noop_result
+    | Ok (Put (k, v)) ->
+      Hashtbl.replace table k v;
+      ok
+    | Ok (Get k) -> (
+      match Hashtbl.find_opt table k with
+      | Some v -> v
+      | None -> not_found)
+    | Ok (Delete k) ->
+      Hashtbl.remove table k;
+      ok
+  in
+  let snapshot () =
+    (* Sorted entries make the snapshot (and thus checkpoints) canonical. *)
+    let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] in
+    let entries = List.sort compare entries in
+    W.to_string
+      (fun w () ->
+        W.list w
+          (fun w (k, v) ->
+            W.bytes w k;
+            W.bytes w v)
+          entries)
+      ()
+  in
+  let restore blob =
+    match
+      R.parse
+        (fun r ->
+          R.list r (fun r ->
+              let k = R.bytes r in
+              let v = R.bytes r in
+              (k, v)))
+        blob
+    with
+    | Error e -> Error e
+    | Ok entries ->
+      Hashtbl.reset table;
+      List.iter (fun (k, v) -> Hashtbl.replace table k v) entries;
+      Ok ()
+  in
+  { State_machine.app_name = "kvs"; apply; snapshot; restore; drain_effects = (fun () -> []) }

@@ -1,0 +1,20 @@
+(** Replicated key-value store — the paper's first evaluation application.
+
+    Operations are encoded with {!encode_op}; the throughput experiments
+    issue PUT operations with 10-byte values as in §6. *)
+
+type op =
+  | Put of string * string
+  | Get of string
+  | Delete of string
+
+val encode_op : op -> string
+val decode_op : string -> (op, string) result
+
+val create : unit -> State_machine.t
+
+val ok : string
+(** Result bytes of a successful PUT/DELETE. *)
+
+val not_found : string
+(** Result bytes of a GET on an absent key. *)

@@ -1,0 +1,111 @@
+module W = Splitbft_codec.Writer
+module R = Splitbft_codec.Reader
+module Sha256 = Splitbft_crypto.Sha256
+
+type block = {
+  height : int;
+  prev_hash : string;
+  transactions : string list;
+}
+
+let write_block w b =
+  W.varint w b.height;
+  W.bytes w b.prev_hash;
+  W.list w W.bytes b.transactions
+
+let read_block r =
+  let height = R.varint r in
+  let prev_hash = R.bytes r in
+  let transactions = R.list r R.bytes in
+  { height; prev_hash; transactions }
+
+let encode_block b = W.to_string write_block b
+let decode_block s = R.parse read_block s
+let block_hash b = Sha256.digest_parts [ "block"; encode_block b ]
+let genesis_hash = Sha256.digest "splitbft-genesis"
+
+type state = {
+  mutable tip_hash : string;
+  mutable next_height : int;
+  mutable pending : string list; (* newest first *)
+  mutable pending_count : int;
+  mutable closed : block list; (* newest first, drained by the host *)
+}
+
+let close_block st =
+  let b =
+    { height = st.next_height;
+      prev_hash = st.tip_hash;
+      transactions = List.rev st.pending }
+  in
+  st.tip_hash <- block_hash b;
+  st.next_height <- st.next_height + 1;
+  st.pending <- [];
+  st.pending_count <- 0;
+  st.closed <- b :: st.closed
+
+let create ?(block_size = 5) () =
+  if block_size <= 0 then invalid_arg "Ledger.create: block_size must be positive";
+  let st =
+    { tip_hash = genesis_hash; next_height = 0; pending = []; pending_count = 0; closed = [] }
+  in
+  let apply op_bytes =
+    st.pending <- op_bytes :: st.pending;
+    st.pending_count <- st.pending_count + 1;
+    if st.pending_count >= block_size then close_block st;
+    (* The result acknowledges inclusion position. *)
+    W.to_string
+      (fun w () ->
+        W.varint w st.next_height;
+        W.varint w st.pending_count)
+      ()
+  in
+  let snapshot () =
+    W.to_string
+      (fun w () ->
+        W.bytes w st.tip_hash;
+        W.varint w st.next_height;
+        W.list w W.bytes (List.rev st.pending))
+      ()
+  in
+  let restore blob =
+    match
+      R.parse
+        (fun r ->
+          let tip = R.bytes r in
+          let height = R.varint r in
+          let pending = R.list r R.bytes in
+          (tip, height, pending))
+        blob
+    with
+    | Error e -> Error e
+    | Ok (tip, height, pending) ->
+      st.tip_hash <- tip;
+      st.next_height <- height;
+      st.pending <- List.rev pending;
+      st.pending_count <- List.length pending;
+      st.closed <- [];
+      Ok ()
+  in
+  let drain_effects () =
+    let blocks = List.rev st.closed in
+    st.closed <- [];
+    List.map
+      (fun b ->
+        State_machine.Persist
+          { tag = Printf.sprintf "block-%d" b.height; data = encode_block b })
+      blocks
+  in
+  { State_machine.app_name = "ledger"; apply; snapshot; restore; drain_effects }
+
+let verify_chain blocks =
+  let rec loop prev_hash height = function
+    | [] -> Ok ()
+    | b :: rest ->
+      if b.height <> height then
+        Error (Printf.sprintf "expected height %d, found %d" height b.height)
+      else if not (String.equal b.prev_hash prev_hash) then
+        Error (Printf.sprintf "hash chain broken at height %d" b.height)
+      else loop (block_hash b) (height + 1) rest
+  in
+  loop genesis_hash 0 blocks

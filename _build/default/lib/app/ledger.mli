@@ -1,0 +1,26 @@
+(** Replicated blockchain ledger — the paper's second evaluation
+    application.
+
+    Every applied transaction is appended to the current block; a block
+    closes after [block_size] transactions (5 in the paper) and is hash-
+    chained to its predecessor.  Closed blocks are surfaced as [Persist]
+    side effects: the Execution enclave writes each one with a sealed ocall
+    into untrusted storage, which is where the blockchain application pays
+    its extra cost in Figure 3. *)
+
+type block = {
+  height : int;
+  prev_hash : string;
+  transactions : string list;
+}
+
+val block_hash : block -> string
+val encode_block : block -> string
+val decode_block : string -> (block, string) result
+
+val create : ?block_size:int -> unit -> State_machine.t
+(** [block_size] defaults to 5, as in the paper. *)
+
+val verify_chain : block list -> (unit, string) result
+(** Checks heights are consecutive from 0 and hash links match; used by the
+    safety checker on persisted blocks. *)

@@ -1,0 +1,12 @@
+type side_effect = Persist of { tag : string; data : string }
+
+type t = {
+  app_name : string;
+  apply : string -> string;
+  snapshot : unit -> string;
+  restore : string -> (unit, string) result;
+  drain_effects : unit -> side_effect list;
+}
+
+let digest t = Splitbft_crypto.Sha256.digest (t.snapshot ())
+let noop_result = "\x00noop"

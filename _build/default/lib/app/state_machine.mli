@@ -1,0 +1,27 @@
+(** Deterministic replicated application interface.
+
+    Instances run inside the Execution compartment (SplitBFT) or the
+    replica process (baselines).  [apply] must be a pure function of the
+    current state and the operation bytes; all replicas executing the same
+    operation sequence reach the same state and produce the same results —
+    the property the safety checker asserts.
+
+    [drain_effects] returns side effects the host must perform outside the
+    state machine (the ledger's persistent block writes, which the
+    Execution enclave turns into sealed ocalls as in §6). *)
+
+type side_effect = Persist of { tag : string; data : string }
+
+type t = {
+  app_name : string;
+  apply : string -> string;  (** operation bytes -> result bytes *)
+  snapshot : unit -> string;
+  restore : string -> (unit, string) result;
+  drain_effects : unit -> side_effect list;
+}
+
+val digest : t -> string
+(** SHA-256 of the current snapshot; used in Checkpoint messages. *)
+
+val noop_result : string
+(** Result bytes returned for corrupted operations executed as no-ops. *)

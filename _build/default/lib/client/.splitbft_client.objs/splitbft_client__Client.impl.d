@@ -1,0 +1,1 @@
+lib/client/client.ml: Hashtbl Int64 List Printf Splitbft_crypto Splitbft_sim Splitbft_tee Splitbft_types Splitbft_util String

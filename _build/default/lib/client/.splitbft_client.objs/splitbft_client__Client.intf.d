@@ -1,0 +1,1 @@
+lib/client/client.mli: Splitbft_sim Splitbft_types Splitbft_util

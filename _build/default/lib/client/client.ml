@@ -1,0 +1,302 @@
+module Engine = Splitbft_sim.Engine
+module Network = Splitbft_sim.Network
+module Timer = Splitbft_sim.Timer
+module Ids = Splitbft_types.Ids
+module Addr = Splitbft_types.Addr
+module Keys = Splitbft_types.Keys
+module Message = Splitbft_types.Message
+module Session = Splitbft_types.Session
+module Enclave_identity = Splitbft_types.Enclave_identity
+module Attestation = Splitbft_tee.Attestation
+module Measurement = Splitbft_tee.Measurement
+module Signature = Splitbft_crypto.Signature
+module Box = Splitbft_crypto.Box
+module Hmac = Splitbft_crypto.Hmac
+module Stats = Splitbft_util.Stats
+
+type protocol =
+  | Pbft
+  | Minbft
+  | Splitbft of { ready_quorum : int }
+
+type config = {
+  id : Ids.client_id;
+  n : int;
+  reply_quorum : int;
+  window : int;
+  retry_timeout_us : float;
+  protocol : protocol;
+}
+
+let default_config protocol ~n ~id =
+  let f =
+    match protocol with
+    | Minbft -> Ids.f_of_n_hybrid n
+    | Pbft | Splitbft _ -> Ids.f_of_n n
+  in
+  { id; n; reply_quorum = f + 1; window = 1; retry_timeout_us = 400_000.0; protocol }
+
+type pending = {
+  op : string;
+  mutable request : Message.request;
+  mutable sent_at : float;
+  mutable votes : (Ids.replica_id * string) list;  (* validated results *)
+  mutable retry : Timer.t;
+  on_result : latency_us:float -> result:string -> unit;
+}
+
+type phase = Handshaking | Ready
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  net : Network.t;
+  rng : Splitbft_util.Rng.t;
+  mutable phase : phase;
+  mutable on_ready : unit -> unit;
+  mutable next_ts : int64;
+  inflight : (int64, pending) Hashtbl.t;
+  mutable queue : (string * (latency_us:float -> result:string -> unit)) list;
+      (* waiting for a window slot, newest first *)
+  mutable completed : int;
+  lat : Stats.t;
+  mutable stopped : bool;
+  (* SplitBFT session state *)
+  session : Session.keys;
+  mutable exec_acks : Ids.replica_id list;
+  mutable provisioned : (Ids.replica_id * string) list;  (* (replica, box public) already sent *)
+}
+
+let create engine net cfg =
+  let rng = Splitbft_util.Rng.split (Engine.rng engine) in
+  let t =
+    { cfg;
+      engine;
+      net;
+      rng;
+      phase = (match cfg.protocol with Splitbft _ -> Handshaking | Pbft | Minbft -> Ready);
+      on_ready = (fun () -> ());
+      next_ts = 0L;
+      inflight = Hashtbl.create 64;
+      queue = [];
+      completed = 0;
+      lat = Stats.create ();
+      stopped = false;
+      session = Session.generate rng;
+      exec_acks = [];
+      provisioned = [] }
+  in
+  t
+
+let protocol_string = function
+  | Pbft -> "pbft"
+  | Minbft -> "minbft"
+  | Splitbft _ -> "splitbft"
+
+(* ----- request construction / reply validation ----- *)
+
+let make_request t ~ts ~op : Message.request =
+  match t.cfg.protocol with
+  | Splitbft _ ->
+    let payload = Session.encrypt_op t.session ~client:t.cfg.id ~timestamp:ts op in
+    Session.authenticate_request t.session
+      { Message.client = t.cfg.id; timestamp = ts; payload; auth = "" }
+  | (Pbft | Minbft) as p ->
+    let r = { Message.client = t.cfg.id; timestamp = ts; payload = op; auth = "" } in
+    { r with
+      auth =
+        Keys.make_authenticator ~protocol:(protocol_string p) ~client:t.cfg.id ~n:t.cfg.n
+          (Message.request_auth_bytes r) }
+
+let validate_reply t (rp : Message.reply) : string option =
+  if rp.client <> t.cfg.id then None
+  else
+    match t.cfg.protocol with
+    | Splitbft _ ->
+      if Session.reply_auth_ok t.session rp then
+        match
+          Session.decrypt_result t.session ~client:t.cfg.id ~timestamp:rp.timestamp
+            ~replica:rp.sender rp.result
+        with
+        | Ok result -> Some result
+        | Error _ -> None
+      else None
+    | (Pbft | Minbft) as p ->
+      let key =
+        Keys.client_replica_key ~protocol:(protocol_string p) ~client:t.cfg.id
+          ~replica:rp.sender
+      in
+      if Hmac.verify ~key ~msg:(Message.reply_auth_bytes rp) ~tag:rp.r_auth then
+        Some rp.result
+      else None
+
+(* ----- sending ----- *)
+
+let broadcast t msg =
+  let payload = Message.encode msg in
+  for j = 0 to t.cfg.n - 1 do
+    Network.send t.net ~src:(Addr.client t.cfg.id) ~dst:(Addr.replica j) payload
+  done
+
+let dispatch t ~op ~on_result =
+  t.next_ts <- Int64.add t.next_ts 1L;
+  let ts = t.next_ts in
+  let request = make_request t ~ts ~op in
+  let dummy =
+    Timer.create t.engine
+      ~label:(Printf.sprintf "client%d-retry" t.cfg.id)
+      ~delay:t.cfg.retry_timeout_us
+      ~callback:(fun () -> ())
+  in
+  let p =
+    { op; request; sent_at = Engine.now t.engine; votes = []; retry = dummy; on_result }
+  in
+  Hashtbl.replace t.inflight ts p;
+  let resend () =
+    if (not t.stopped) && Hashtbl.mem t.inflight ts then begin
+      broadcast t (Message.Request p.request);
+      Timer.restart p.retry
+    end
+  in
+  p.retry <-
+    Timer.create t.engine
+      ~label:(Printf.sprintf "client%d-retry" t.cfg.id)
+      ~delay:t.cfg.retry_timeout_us ~callback:resend;
+  broadcast t (Message.Request p.request);
+  Timer.restart p.retry
+
+let rec pump t =
+  if
+    t.phase = Ready && (not t.stopped)
+    && Hashtbl.length t.inflight < t.cfg.window
+  then begin
+    match List.rev t.queue with
+    | [] -> ()
+    | (op, on_result) :: rest ->
+      t.queue <- List.rev rest;
+      dispatch t ~op ~on_result;
+      pump t
+  end
+
+let submit t ~op ~on_result =
+  t.queue <- (op, on_result) :: t.queue;
+  pump t
+
+(* ----- reply handling ----- *)
+
+let on_reply t (rp : Message.reply) =
+  match Hashtbl.find_opt t.inflight rp.timestamp with
+  | None -> ()
+  | Some p -> (
+    match validate_reply t rp with
+    | None -> ()
+    | Some result ->
+      if not (List.mem_assoc rp.sender p.votes) then begin
+        p.votes <- (rp.sender, result) :: p.votes;
+        let matching =
+          List.length (List.filter (fun (_, r) -> String.equal r result) p.votes)
+        in
+        if matching >= t.cfg.reply_quorum then begin
+          Hashtbl.remove t.inflight rp.timestamp;
+          Timer.stop p.retry;
+          t.completed <- t.completed + 1;
+          let latency = Engine.now t.engine -. p.sent_at in
+          Stats.add t.lat latency;
+          p.on_result ~latency_us:latency ~result;
+          pump t
+        end
+      end)
+
+(* ----- SplitBFT handshake ----- *)
+
+let expected_measurements = [ Enclave_identity.preparation; Enclave_identity.execution ]
+
+let on_session_quote t (sq : Message.session_quote) =
+  match Attestation.decode sq.sq_quote with
+  | Error _ -> ()
+  | Ok quote ->
+    let meas_ok =
+      List.exists (fun m -> Measurement.equal m quote.Attestation.measurement)
+        expected_measurements
+    in
+    let quote_ok = Attestation.verify quote in
+    (* The quote binds the enclave's signing key; the signing key endorses
+       the box key. *)
+    let sig_ok =
+      Signature.verify ~public:quote.Attestation.report_data
+        ~msg:(Message.session_quote_signing_bytes sq)
+        ~signature:sq.sq_sig
+    in
+    if meas_ok && quote_ok && sig_ok then begin
+      let already = List.mem (sq.sq_replica, sq.sq_box_public) t.provisioned in
+      if not already then begin
+        t.provisioned <- (sq.sq_replica, sq.sq_box_public) :: t.provisioned;
+        let provision =
+          if Measurement.equal quote.Attestation.measurement Enclave_identity.execution
+          then Session.encode_for_execution t.session
+          else Session.encode_for_preparation t.session
+        in
+        match Box.encrypt ~public:sq.sq_box_public ~rng:t.rng provision with
+        | Error _ -> ()
+        | Ok sk_box ->
+          let msg =
+            Message.Session_key
+              { Message.sk_client = t.cfg.id; sk_replica = sq.sq_replica; sk_box }
+          in
+          Network.send t.net ~src:(Addr.client t.cfg.id)
+            ~dst:(Addr.replica sq.sq_replica)
+            (Message.encode msg)
+      end
+    end
+
+let on_session_ack t (sa : Message.session_ack) =
+  match t.cfg.protocol with
+  | Pbft | Minbft -> ()
+  | Splitbft { ready_quorum } ->
+    let auth_ok =
+      Hmac.verify ~key:t.session.Session.auth
+        ~msg:(Message.session_ack_auth_bytes sa)
+        ~tag:sa.sa_auth
+    in
+    if auth_ok && not (List.mem sa.sa_replica t.exec_acks) then begin
+      t.exec_acks <- sa.sa_replica :: t.exec_acks;
+      if t.phase = Handshaking && List.length t.exec_acks >= ready_quorum then begin
+        t.phase <- Ready;
+        t.on_ready ();
+        pump t
+      end
+    end
+
+(* ----- wiring ----- *)
+
+let on_payload t ~src:_ payload =
+  if not t.stopped then begin
+    match Message.decode payload with
+    | Error _ -> ()
+    | Ok (Message.Reply rp) -> on_reply t rp
+    | Ok (Message.Session_quote sq) -> on_session_quote t sq
+    | Ok (Message.Session_ack sa) -> on_session_ack t sa
+    | Ok _ -> ()
+  end
+
+let start t ~on_ready =
+  t.on_ready <- on_ready;
+  Network.register t.net (Addr.client t.cfg.id) (fun ~src payload ->
+      on_payload t ~src payload);
+  match t.cfg.protocol with
+  | Pbft | Minbft ->
+    t.phase <- Ready;
+    on_ready ();
+    pump t
+  | Splitbft _ ->
+    broadcast t (Message.Session_init { Message.si_client = t.cfg.id })
+
+let stop t =
+  t.stopped <- true;
+  Hashtbl.iter (fun _ p -> Timer.stop p.retry) t.inflight
+
+let id t = t.cfg.id
+let is_ready t = t.phase = Ready
+let completed t = t.completed
+let outstanding t = Hashtbl.length t.inflight
+let latencies t = t.lat

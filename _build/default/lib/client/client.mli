@@ -1,0 +1,56 @@
+(** BFT service client.
+
+    Issues operations against a replica group, collects a quorum of
+    [f + 1] matching, individually authenticated replies, handles
+    retransmission, and records end-to-end latencies — the measurement
+    methodology of §6 (clients issue synchronous requests and measure the
+    time to collect the replies; pipelined clients use [window] > 1, e.g.
+    40 outstanding requests in the batched experiments).
+
+    Three wire dialects are supported: [Pbft] and [Minbft] authenticate
+    with pre-provisioned HMAC authenticators and send plaintext operations;
+    [Splitbft] first runs the attestation handshake (verify Preparation and
+    Execution enclave quotes → provision session keys), then sends
+    AEAD-encrypted operations and decrypts results, so payloads never
+    appear in plaintext outside enclaves. *)
+
+module Ids = Splitbft_types.Ids
+
+type protocol =
+  | Pbft
+  | Minbft
+  | Splitbft of { ready_quorum : int }
+      (** number of Execution-enclave session acks required before the
+          client considers itself connected ([n] in fault-free runs,
+          [2f + 1] when hosts may be down) *)
+
+type config = {
+  id : Ids.client_id;
+  n : int;
+  reply_quorum : int;  (** matching replies required; [f + 1] *)
+  window : int;  (** outstanding requests; 1 = synchronous *)
+  retry_timeout_us : float;
+  protocol : protocol;
+}
+
+val default_config : protocol -> n:int -> id:Ids.client_id -> config
+
+type t
+
+val create : Splitbft_sim.Engine.t -> Splitbft_sim.Network.t -> config -> t
+val start : t -> on_ready:(unit -> unit) -> unit
+
+val submit :
+  t -> op:string -> on_result:(latency_us:float -> result:string -> unit) -> unit
+(** Queues an operation; it is sent when the client is ready and a window
+    slot is free.  [on_result] fires once, when the reply quorum is
+    reached. *)
+
+val stop : t -> unit
+(** Stops retransmission timers; in-flight requests never complete. *)
+
+val id : t -> Ids.client_id
+val is_ready : t -> bool
+val completed : t -> int
+val outstanding : t -> int
+val latencies : t -> Splitbft_util.Stats.t

@@ -1,0 +1,1 @@
+lib/codec/reader.ml: Char Int64 List Printf Result String

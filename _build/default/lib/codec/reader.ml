@@ -1,0 +1,88 @@
+exception Error of string
+
+type t = { src : string; mutable pos : int }
+
+let of_string src = { src; pos = 0 }
+let remaining t = String.length t.src - t.pos
+let at_end t = remaining t = 0
+let fail msg = raise (Error msg)
+
+let need t n =
+  if remaining t < n then
+    fail (Printf.sprintf "truncated input: need %d bytes at offset %d" n t.pos)
+
+let u8 t =
+  need t 1;
+  let v = Char.code t.src.[t.pos] in
+  t.pos <- t.pos + 1;
+  v
+
+let u16 t =
+  let lo = u8 t in
+  let hi = u8 t in
+  lo lor (hi lsl 8)
+
+let u32 t =
+  let lo = u16 t in
+  let hi = u16 t in
+  lo lor (hi lsl 16)
+
+let u64 t =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    let b = Int64.of_int (u8 t) in
+    v := Int64.logor !v (Int64.shift_left b (8 * i))
+  done;
+  !v
+
+let varint t =
+  let rec loop shift acc =
+    if shift > 56 then fail "varint too long"
+    else
+      let b = u8 t in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else loop (shift + 7) acc
+  in
+  loop 0 0
+
+let bool t =
+  match u8 t with
+  | 0 -> false
+  | 1 -> true
+  | v -> fail (Printf.sprintf "invalid boolean byte 0x%02x" v)
+
+let float t = Int64.float_of_bits (u64 t)
+
+let raw t n =
+  if n < 0 then fail "negative length";
+  need t n;
+  let s = String.sub t.src t.pos n in
+  t.pos <- t.pos + n;
+  s
+
+let bytes t =
+  let n = varint t in
+  raw t n
+
+let option t dec =
+  match u8 t with
+  | 0 -> None
+  | 1 -> Some (dec t)
+  | v -> fail (Printf.sprintf "invalid option tag 0x%02x" v)
+
+let list ?(max_len = 1_000_000) t dec =
+  let n = varint t in
+  if n > max_len then fail (Printf.sprintf "list length %d exceeds limit" n);
+  let rec loop i acc = if i = 0 then List.rev acc else loop (i - 1) (dec t :: acc) in
+  loop n []
+
+let expect_end t =
+  if not (at_end t) then fail (Printf.sprintf "%d trailing bytes" (remaining t))
+
+let parse ?(exact = true) dec s =
+  let t = of_string s in
+  match dec t with
+  | v ->
+    if exact && not (at_end t) then Result.Error "trailing bytes after message"
+    else Ok v
+  | exception Error msg -> Result.Error msg

@@ -1,0 +1,51 @@
+type t = Buffer.t
+
+let create ?(initial_size = 64) () = Buffer.create initial_size
+let contents t = Buffer.contents t
+let length t = Buffer.length t
+let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+
+let u16 t v =
+  u8 t v;
+  u8 t (v lsr 8)
+
+let u32 t v =
+  u16 t v;
+  u16 t (v lsr 16)
+
+let u64 t v =
+  for i = 0 to 7 do
+    u8 t (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+  done
+
+let rec varint t v =
+  if v < 0 then invalid_arg "Writer.varint: negative"
+  else if v < 0x80 then u8 t v
+  else begin
+    u8 t (0x80 lor (v land 0x7f));
+    varint t (v lsr 7)
+  end
+
+let bool t b = u8 t (if b then 1 else 0)
+let float t f = u64 t (Int64.bits_of_float f)
+
+let raw t s = Buffer.add_string t s
+
+let bytes t s =
+  varint t (String.length s);
+  raw t s
+
+let option t enc = function
+  | None -> u8 t 0
+  | Some v ->
+    u8 t 1;
+    enc t v
+
+let list t enc xs =
+  varint t (List.length xs);
+  List.iter (enc t) xs
+
+let to_string enc v =
+  let t = create () in
+  enc t v;
+  contents t

@@ -1,0 +1,35 @@
+(** Append-only binary encoder.
+
+    All multi-byte integers are little-endian.  Variable-length payloads are
+    length-prefixed with a LEB128 varint.  This is the wire format used
+    between replicas, between enclaves and their broker, and for sealed
+    state — the role serde played in the paper's Rust implementation. *)
+
+type t
+
+val create : ?initial_size:int -> unit -> t
+val contents : t -> string
+val length : t -> int
+val u8 : t -> int -> unit
+val u16 : t -> int -> unit
+val u32 : t -> int -> unit
+
+val u64 : t -> int64 -> unit
+
+val varint : t -> int -> unit
+(** Unsigned LEB128; [v] must be non-negative. *)
+
+val bool : t -> bool -> unit
+val float : t -> float -> unit
+
+val bytes : t -> string -> unit
+(** Length-prefixed byte string. *)
+
+val raw : t -> string -> unit
+(** Appends bytes with no length prefix. *)
+
+val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+
+val to_string : (t -> 'a -> unit) -> 'a -> string
+(** [to_string enc v] encodes [v] with [enc] into a fresh buffer. *)

@@ -1,0 +1,1 @@
+lib/core/broker.ml: Config Hashtbl Lazy List Printf Splitbft_sim Splitbft_tee Splitbft_types String Wire

@@ -1,0 +1,1 @@
+lib/core/broker.mli: Config Splitbft_sim Splitbft_tee Splitbft_types

@@ -1,0 +1,1 @@
+lib/core/common.ml: Hashtbl List Option Splitbft_crypto Splitbft_tee Splitbft_types

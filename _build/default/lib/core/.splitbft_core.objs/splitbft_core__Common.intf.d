@@ -1,0 +1,1 @@
+lib/core/common.mli: Splitbft_tee Splitbft_types

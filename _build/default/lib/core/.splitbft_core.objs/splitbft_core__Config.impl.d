@@ -1,0 +1,1 @@
+lib/core/config.ml: Array Splitbft_crypto Splitbft_tee Splitbft_types

@@ -1,0 +1,1 @@
+lib/core/confirmation.ml: Common Config Hashtbl List Option Splitbft_tee Splitbft_types Wire

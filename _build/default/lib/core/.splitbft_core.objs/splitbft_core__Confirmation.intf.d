@@ -1,0 +1,1 @@
+lib/core/confirmation.mli: Config Splitbft_tee

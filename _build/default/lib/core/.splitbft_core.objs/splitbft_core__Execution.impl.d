@@ -1,0 +1,1 @@
+lib/core/execution.ml: Common Config Hashtbl List Option Splitbft_app Splitbft_crypto Splitbft_tee Splitbft_types String Wire

@@ -1,0 +1,1 @@
+lib/core/execution.mli: Config Splitbft_app Splitbft_tee Splitbft_types

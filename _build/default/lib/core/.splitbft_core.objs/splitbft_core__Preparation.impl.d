@@ -1,0 +1,1 @@
+lib/core/preparation.ml: Common Config Hashtbl Int64 List Option Splitbft_crypto Splitbft_tee Splitbft_types Wire

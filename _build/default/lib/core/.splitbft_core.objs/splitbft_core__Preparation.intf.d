@@ -1,0 +1,1 @@
+lib/core/preparation.mli: Config Splitbft_tee

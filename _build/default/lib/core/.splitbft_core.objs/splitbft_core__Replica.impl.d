@@ -1,0 +1,1 @@
+lib/core/replica.ml: Broker Config Confirmation Execution Preparation Printf Splitbft_tee Splitbft_types

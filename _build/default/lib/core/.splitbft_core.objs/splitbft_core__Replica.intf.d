@@ -1,0 +1,1 @@
+lib/core/replica.mli: Broker Config Confirmation Execution Preparation Splitbft_app Splitbft_sim Splitbft_tee Splitbft_types Splitbft_util

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Printf Splitbft_codec Splitbft_types

@@ -1,0 +1,257 @@
+module Engine = Splitbft_sim.Engine
+module Network = Splitbft_sim.Network
+module Resource = Splitbft_sim.Resource
+module Timer = Splitbft_sim.Timer
+module Enclave = Splitbft_tee.Enclave
+module Ids = Splitbft_types.Ids
+module Addr = Splitbft_types.Addr
+module Message = Splitbft_types.Message
+
+type fault =
+  | Env_honest
+  | Env_mute
+  | Env_starve of Ids.compartment
+  | Env_delay of float
+
+type t = {
+  cfg : Config.t;
+  engine : Engine.t;
+  net : Network.t;
+  enclave_of : Ids.compartment -> Enclave.t;
+  loop : Resource.t;  (* the event-loop thread *)
+  thread_of : Ids.compartment -> Resource.t;
+  mutable view : Ids.view;  (* belief, liveness-only *)
+  mutable pending : Message.request list;  (* batch queue, newest first *)
+  mutable pending_count : int;
+  batch_timer : Timer.t;
+  awaiting : (Ids.client_id * int64, unit) Hashtbl.t;
+  suspect_timer : Timer.t;
+  mutable storage : (string * string) list;  (* newest first *)
+  mutable fault : fault;
+  mutable crashed : bool;
+  mutable ecalls : int;
+}
+
+let primary t = Ids.primary_of_view ~n:t.cfg.n t.view
+let is_primary t = primary t = t.cfg.id
+
+(* Static routing: which compartments log each incoming message type.  The
+   Confirmation compartment receives PrePrepares in digest form. *)
+let route (msg : Message.t) : (Ids.compartment * Message.t) list =
+  match msg with
+  | Message.Preprepare pp ->
+    [ (Ids.Preparation, msg);
+      (Ids.Confirmation, Message.Preprepare_digest (Message.summarize pp));
+      (Ids.Execution, msg) ]
+  | Message.Preprepare_digest _ -> [ (Ids.Confirmation, msg) ]
+  | Message.Prepare _ -> [ (Ids.Preparation, msg); (Ids.Confirmation, msg) ]
+  | Message.Commit _ -> [ (Ids.Execution, msg) ]
+  | Message.Checkpoint _ ->
+    [ (Ids.Preparation, msg); (Ids.Confirmation, msg); (Ids.Execution, msg) ]
+  | Message.Viewchange _ -> [ (Ids.Preparation, msg) ]
+  | Message.Newview nv ->
+    (* After the NewView itself, hand Confirmation the re-issued proposals
+       in digest form — the same duplication a correct environment performs
+       for fresh PrePrepares.  Confirmation verifies their signatures, so
+       this is liveness-only assistance. *)
+    [ (Ids.Preparation, msg); (Ids.Confirmation, msg); (Ids.Execution, msg) ]
+    @ List.map
+        (fun pd -> (Ids.Confirmation, Message.Preprepare_digest pd))
+        nv.Message.nv_preprepares
+  | Message.Session_init _ -> [ (Ids.Preparation, msg); (Ids.Execution, msg) ]
+  | Message.Session_key _ -> [ (Ids.Preparation, msg); (Ids.Execution, msg) ]
+  | Message.Batch_fetch _ | Message.Batch_data _ -> [ (Ids.Execution, msg) ]
+  | Message.Request _ | Message.Reply _ | Message.Session_quote _
+  | Message.Session_ack _ ->
+    []
+
+let loop_cost t payload_len =
+  t.cfg.cost.broker_dispatch_us
+  +. (t.cfg.cost.serialize_per_byte_us *. float_of_int payload_len)
+
+(* ----- ecalls ----- *)
+
+let rec ecall t compartment (input : Wire.input) =
+  let starved = match t.fault with Env_starve c -> c = compartment | _ -> false in
+  if (not t.crashed) && not starved then begin
+    let issue () =
+      t.ecalls <- t.ecalls + 1;
+      let enclave = t.enclave_of compartment in
+      Enclave.ecall enclave
+        ~thread:(t.thread_of compartment)
+        ~payload:(Wire.encode_input input)
+        ~on_done:(fun outputs -> on_outputs t compartment outputs)
+    in
+    match t.fault with
+    | Env_delay d ->
+      ignore (Engine.schedule t.engine ~delay:d ~label:"broker:delayed-ecall" issue)
+    | Env_honest | Env_mute | Env_starve _ -> issue ()
+  end
+
+(* ----- enclave outputs ----- *)
+
+and on_outputs t origin outputs =
+  if (not t.crashed) && t.fault <> Env_mute then
+    List.iter
+      (fun payload ->
+        Resource.submit t.loop ~cost:(loop_cost t (String.length payload)) (fun () ->
+            if not t.crashed then
+              match Wire.decode_output payload with
+              | Error _ -> ()
+              | Ok output -> apply_output t origin output))
+      outputs
+
+and apply_output t origin (output : Wire.output) =
+  match output with
+  | Wire.Out_send (dst, msg) ->
+    (match msg with
+    | Message.Reply rp -> request_replied t rp
+    | _ -> ());
+    Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst (Message.encode msg)
+  | Wire.Out_broadcast msg ->
+    let payload = Message.encode msg in
+    for j = 0 to t.cfg.n - 1 do
+      if j <> t.cfg.id then
+        Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst:(Addr.replica j) payload
+    done;
+    (* Local duplication to the sibling compartments (a correct environment
+       forwards to all compartments at the same time, §4). *)
+    List.iter
+      (fun (compartment, m) ->
+        if compartment <> origin then ecall t compartment (Wire.In_net m))
+      (route msg)
+  | Wire.Out_persist { tag; data } -> t.storage <- (tag, data) :: t.storage
+  | Wire.Out_entered_view v ->
+    if v > t.view then begin
+      t.view <- v;
+      (* Give the new primary a full timeout before suspecting it too. *)
+      if Hashtbl.length t.awaiting > 0 then Timer.restart t.suspect_timer;
+      flush_batch t
+    end
+
+(* ----- client requests, batching, suspicion ----- *)
+
+and request_replied t (rp : Message.reply) =
+  Hashtbl.remove t.awaiting (rp.client, rp.timestamp);
+  (* Progress: re-arm the timer for the remaining requests so a loaded but
+     progressing system never suspects its primary. *)
+  if Hashtbl.length t.awaiting = 0 then Timer.stop t.suspect_timer
+  else Timer.restart t.suspect_timer
+
+and flush_batch t =
+  if is_primary t && t.pending_count > 0 then begin
+    let take = min t.cfg.batch_size t.pending_count in
+    let all = List.rev t.pending in
+    let rec split i acc rest =
+      if i = 0 then (List.rev acc, rest)
+      else match rest with [] -> (List.rev acc, []) | x :: tl -> split (i - 1) (x :: acc) tl
+    in
+    let batch, remaining = split take [] all in
+    t.pending <- List.rev remaining;
+    t.pending_count <- t.pending_count - take;
+    ecall t Ids.Preparation (Wire.In_batch batch);
+    if t.pending_count >= t.cfg.batch_size then flush_batch t
+    else if t.pending_count > 0 then Timer.start t.batch_timer
+    else Timer.stop t.batch_timer
+  end
+
+let on_request t (r : Message.request) =
+  Hashtbl.replace t.awaiting (r.client, r.timestamp) ();
+  Timer.start t.suspect_timer;
+  if is_primary t then begin
+    let queued =
+      List.exists
+        (fun (q : Message.request) -> q.client = r.client && q.timestamp = r.timestamp)
+        t.pending
+    in
+    if not queued then begin
+      t.pending <- r :: t.pending;
+      t.pending_count <- t.pending_count + 1;
+      if t.pending_count >= t.cfg.batch_size then flush_batch t
+      else Timer.start t.batch_timer
+    end
+  end
+
+let on_payload t ~src:_ payload =
+  if not t.crashed then
+    Resource.submit t.loop ~cost:(loop_cost t (String.length payload)) (fun () ->
+        if not t.crashed then
+          match Message.decode payload with
+          | Error _ -> ()
+          | Ok (Message.Request r) -> on_request t r
+          | Ok msg ->
+            List.iter
+              (fun (compartment, m) -> ecall t compartment (Wire.In_net m))
+              (route msg))
+
+let create engine net (cfg : Config.t) ~enclave_of =
+  let loop = Resource.create engine ~name:(Printf.sprintf "broker%d-loop" cfg.id) in
+  let thread_of =
+    match cfg.threading with
+    | Config.Single_thread ->
+      let shared =
+        Resource.create engine ~name:(Printf.sprintf "broker%d-ecall" cfg.id)
+      in
+      fun (_ : Ids.compartment) -> shared
+    | Config.Per_enclave ->
+      let table =
+        List.map
+          (fun c ->
+            ( c,
+              Resource.create engine
+                ~name:
+                  (Printf.sprintf "broker%d-ecall-%s" cfg.id (Ids.compartment_name c)) ))
+          Ids.all_compartments
+      in
+      fun c -> List.assoc c table
+  in
+  let rec t =
+    lazy
+      { cfg;
+        engine;
+        net;
+        enclave_of;
+        loop;
+        thread_of;
+        view = 0;
+        pending = [];
+        pending_count = 0;
+        batch_timer =
+          Timer.create engine
+            ~label:(Printf.sprintf "broker%d-batch" cfg.id)
+            ~delay:cfg.batch_timeout_us
+            ~callback:(fun () -> flush_batch (Lazy.force t));
+        awaiting = Hashtbl.create 64;
+        suspect_timer =
+          Timer.create engine
+            ~label:(Printf.sprintf "broker%d-suspect" cfg.id)
+            ~delay:cfg.suspect_timeout_us
+            ~callback:
+              (fun () ->
+              let t = Lazy.force t in
+              if Hashtbl.length t.awaiting > 0 then begin
+                ecall t Ids.Confirmation (Wire.In_suspect t.view);
+                (* keep escalating while requests stay unanswered *)
+                Timer.restart t.suspect_timer
+              end);
+        storage = [];
+        fault = Env_honest;
+        crashed = false;
+        ecalls = 0 }
+  in
+  let t = Lazy.force t in
+  Network.register net (Addr.replica cfg.id) (fun ~src payload -> on_payload t ~src payload);
+  t
+
+let set_fault t fault = t.fault <- fault
+
+let crash t =
+  t.crashed <- true;
+  Timer.stop t.batch_timer;
+  Timer.stop t.suspect_timer;
+  Network.unregister t.net (Addr.replica t.cfg.id)
+
+let is_crashed t = t.crashed
+let view_belief t = t.view
+let persisted t = List.rev t.storage
+let ecalls_issued t = t.ecalls

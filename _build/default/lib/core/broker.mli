@@ -1,0 +1,46 @@
+(** Untrusted environment of a SplitBFT replica (the "shim layer" of §5).
+
+    The broker owns everything liveness-only (P1): networking, request
+    batching, the batch and suspicion timers, message routing between the
+    network and the three enclaves (including duplicating PrePrepares,
+    Prepares, Checkpoints and NewViews to the compartments that log them),
+    the output log, and persistent storage for sealed ledger blocks.  Each
+    enclave has a dedicated ecall thread ([Per_enclave]) or all ecalls
+    share one thread ([Single_thread] — the §6 ablation).
+
+    The broker is untrusted: a compromised broker can drop, delay or
+    misroute, harming liveness only.  {!set_fault} injects exactly those
+    behaviours for the fault-model experiments. *)
+
+module Ids = Splitbft_types.Ids
+
+type fault =
+  | Env_honest
+  | Env_mute  (** drops every enclave output: replica looks crashed *)
+  | Env_starve of Ids.compartment  (** never delivers inputs to one compartment *)
+  | Env_delay of float  (** delays every ecall by the given µs *)
+
+type t
+
+val create :
+  Splitbft_sim.Engine.t ->
+  Splitbft_sim.Network.t ->
+  Config.t ->
+  enclave_of:(Ids.compartment -> Splitbft_tee.Enclave.t) ->
+  t
+(** Registers the replica's network handler.  Enclaves are created by the
+    replica assembly and handed in. *)
+
+val set_fault : t -> fault -> unit
+val crash : t -> unit
+(** Host crash: unregister from the network, stop timers.  The enclaves
+    become unreachable (their state survives, as on real hardware). *)
+
+val is_crashed : t -> bool
+val view_belief : t -> Ids.view
+(** The environment's (liveness-only) belief of the current view. *)
+
+val persisted : t -> (string * string) list
+(** Sealed blobs written by the Execution enclave, oldest first. *)
+
+val ecalls_issued : t -> int

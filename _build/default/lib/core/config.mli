@@ -1,0 +1,42 @@
+(** SplitBFT replica configuration and the static key tables of the
+    deployment. *)
+
+module Ids = Splitbft_types.Ids
+module Validation = Splitbft_types.Validation
+
+type threading =
+  | Per_enclave
+      (** one broker thread per enclave — the paper's multithreaded setup *)
+  | Single_thread
+      (** all ecalls through one thread — the ablation of §6 showing the
+          ≈1190 rps ceiling *)
+
+type t = {
+  n : int;
+  id : Ids.replica_id;
+  cost : Splitbft_tee.Cost_model.t;
+  threading : threading;
+  batch_size : int;  (** 1 = unbatched *)
+  batch_timeout_us : float;
+  checkpoint_interval : int;
+  watermark_window : int;
+  suspect_timeout_us : float;
+  viewchange_timeout_us : float;
+}
+
+val default : n:int -> id:Ids.replica_id -> t
+
+val f : t -> int
+val quorum : t -> int
+val primary_of_view : t -> Ids.view -> Ids.replica_id
+
+(** {2 Enclave key tables}
+
+    Signing publics of the enclaves of each compartment type, indexed by
+    replica id.  Derived deterministically from the deployment identities
+    (the paper assumes public keys are known to all participants). *)
+
+val prep_public : n:int -> Validation.key_lookup
+val conf_public : n:int -> Validation.key_lookup
+val exec_public : n:int -> Validation.key_lookup
+val lookup_for : n:int -> Ids.compartment -> Validation.key_lookup

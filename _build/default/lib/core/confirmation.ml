@@ -1,0 +1,192 @@
+module Ids = Splitbft_types.Ids
+module Message = Splitbft_types.Message
+module Validation = Splitbft_types.Validation
+module Enclave = Splitbft_tee.Enclave
+
+type byz = Conf_honest | Conf_promiscuous
+
+type probe = {
+  view : unit -> int;
+  last_stable : unit -> int;
+  commits_sent : unit -> int;
+}
+
+type state = {
+  cfg : Config.t;
+  prep_lookup : Validation.key_lookup;
+  conf_lookup : Validation.key_lookup;
+  exec_lookup : Validation.key_lookup;
+  mutable view : Ids.view;
+  proposals : (Ids.seqno, Message.preprepare_digest) Hashtbl.t;  (* in_conf *)
+  prepares : (Ids.seqno, Message.prepare list) Hashtbl.t;
+  mutable prepared : (Ids.seqno * Message.prepared_proof) list;  (* for ViewChange *)
+  committed : (Ids.seqno, unit) Hashtbl.t;
+  ckpt : Common.ckpt;
+  mutable commit_count : int;
+}
+
+let create_state (cfg : Config.t) =
+  { cfg;
+    prep_lookup = Config.prep_public ~n:cfg.n;
+    conf_lookup = Config.conf_public ~n:cfg.n;
+    exec_lookup = Config.exec_public ~n:cfg.n;
+    view = 0;
+    proposals = Hashtbl.create 128;
+    prepares = Hashtbl.create 128;
+    prepared = [];
+    committed = Hashtbl.create 128;
+    ckpt = Common.create_ckpt ~quorum:(Config.quorum cfg);
+    commit_count = 0 }
+
+let in_window st seq =
+  let stable = Common.last_stable st.ckpt in
+  seq > stable && seq <= stable + st.cfg.watermark_window
+
+(* Handler (3): a complete prepare certificate yields a Commit. *)
+let try_commit env st seq =
+  match Hashtbl.find_opt st.proposals seq with
+  | None -> ()
+  | Some pd ->
+    let prepares = Option.value ~default:[] (Hashtbl.find_opt st.prepares seq) in
+    if
+      (not (Hashtbl.mem st.committed seq))
+      && Validation.prepare_cert_complete ~f:(Config.f st.cfg) pd prepares
+    then begin
+      Hashtbl.replace st.committed seq ();
+      st.commit_count <- st.commit_count + 1;
+      st.prepared <-
+        (seq, { Message.proof_preprepare = pd; proof_prepares = prepares }) :: st.prepared;
+      let c =
+        { Message.view = st.view; seq; digest = pd.pd_digest; sender = st.cfg.id; c_sig = "" }
+      in
+      let c = { c with c_sig = Common.sign_with env (Message.commit_signing_bytes c) } in
+      Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Commit c)))
+    end
+
+let promiscuous_commit env st (pd : Message.preprepare_digest) =
+  let c =
+    { Message.view = pd.pd_view;
+      seq = pd.pd_seq;
+      digest = pd.pd_digest;
+      sender = st.cfg.id;
+      c_sig = "" }
+  in
+  let c = { c with c_sig = Common.sign_with env (Message.commit_signing_bytes c) } in
+  Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Commit c)))
+
+let on_proposal env st ~byz (pd : Message.preprepare_digest) =
+  (match byz with
+  | Conf_promiscuous -> promiscuous_commit env st pd
+  | Conf_honest -> ());
+  Common.charge_verify env 1;
+  if
+    pd.pd_view = st.view
+    && pd.pd_sender = Config.primary_of_view st.cfg st.view
+    && in_window st pd.pd_seq
+    && (not (Hashtbl.mem st.proposals pd.pd_seq))
+    && Validation.verify_preprepare_digest st.prep_lookup pd
+  then begin
+    Hashtbl.replace st.proposals pd.pd_seq pd;
+    try_commit env st pd.pd_seq
+  end
+
+let on_prepare env st (p : Message.prepare) =
+  Common.charge_verify env 1;
+  if p.view = st.view && in_window st p.seq && Validation.verify_prepare st.prep_lookup p
+  then begin
+    let existing = Option.value ~default:[] (Hashtbl.find_opt st.prepares p.seq) in
+    if not (List.exists (fun (q : Message.prepare) -> q.sender = p.sender) existing)
+    then begin
+      Hashtbl.replace st.prepares p.seq (p :: existing);
+      try_commit env st p.seq
+    end
+  end
+
+let gc st stable =
+  let drop table =
+    Hashtbl.iter (fun seq _ -> if seq <= stable then Hashtbl.remove table seq)
+      (Hashtbl.copy table)
+  in
+  drop st.proposals;
+  drop st.prepares;
+  drop st.committed;
+  st.prepared <- List.filter (fun (seq, _) -> seq > stable) st.prepared
+
+(* Handler (5): primary suspicion from the environment's request timer. *)
+let on_suspect env st suspected_view =
+  if suspected_view >= st.view then begin
+    let new_view = st.view + 1 in
+    let vc =
+      { Message.vc_new_view = new_view;
+        vc_last_stable = Common.last_stable st.ckpt;
+        vc_checkpoint_proof = Common.stable_proof st.ckpt;
+        vc_prepared = List.map snd st.prepared;
+        vc_sender = st.cfg.id;
+        vc_sig = "" }
+    in
+    let vc = { vc with vc_sig = Common.sign_with env (Message.viewchange_signing_bytes vc) } in
+    (* Advancing the view stops Prepare processing and Commits in the old
+       view from this point on. *)
+    st.view <- new_view;
+    Hashtbl.reset st.proposals;
+    Hashtbl.reset st.prepares;
+    Hashtbl.reset st.committed;
+    Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Viewchange vc)));
+    Enclave.emit env (Wire.encode_output (Wire.Out_entered_view new_view))
+  end
+
+(* Handler (7'): checkpoint-and-view part of a NewView — the embedded
+   Prepares are not validated here (§4). *)
+let on_newview env st (nv : Message.newview) =
+  if
+    nv.nv_view >= st.view
+    && Common.newview_shallow_ok env ~f:(Config.f st.cfg) ~n:st.cfg.n
+         ~prep_lookup:st.prep_lookup ~conf_lookup:st.conf_lookup nv
+  then begin
+    ignore (Common.apply_newview_checkpoint st.ckpt nv);
+    st.view <- nv.nv_view;
+    Hashtbl.reset st.proposals;
+    Hashtbl.reset st.prepares;
+    Hashtbl.reset st.committed;
+    st.prepared <- [];
+    gc st (Common.last_stable st.ckpt);
+    Enclave.emit env (Wire.encode_output (Wire.Out_entered_view st.view))
+  end
+
+let handle env st ~byz (input : Wire.input) =
+  match input with
+  | Wire.In_suspect v -> on_suspect env st v
+  | Wire.In_batch _ -> ()
+  | Wire.In_net msg -> (
+    match msg with
+    | Message.Preprepare pp ->
+      (* A correct broker sends the digest form; accept the full form too
+         (it carries strictly more). *)
+      on_proposal env st ~byz (Message.summarize pp)
+    | Message.Preprepare_digest pd -> on_proposal env st ~byz pd
+    | Message.Prepare p -> on_prepare env st p
+    | Message.Newview nv -> on_newview env st nv
+    | Message.Checkpoint ck ->
+      Common.on_checkpoint env ~exec_lookup:st.exec_lookup st.ckpt ck
+        ~on_stable:(fun stable -> gc st stable)
+    | Message.Request _ | Message.Commit _ | Message.Reply _ | Message.Viewchange _
+    | Message.Session_init _ | Message.Session_quote _ | Message.Session_key _
+    | Message.Session_ack _ | Message.Batch_fetch _ | Message.Batch_data _ ->
+      ())
+
+let make ?(byz = Conf_honest) (cfg : Config.t) =
+  let current = ref (create_state cfg) in
+  let program env =
+    let st = create_state cfg in
+    current := st;
+    fun payload ->
+      match Wire.decode_input payload with
+      | Error _ -> ()
+      | Ok input -> handle env st ~byz input
+  in
+  let probe =
+    { view = (fun () -> !current.view);
+      last_stable = (fun () -> Common.last_stable !current.ckpt);
+      commits_sent = (fun () -> !current.commit_count) }
+  in
+  (program, probe)

@@ -1,0 +1,26 @@
+(** Confirmation compartment: event handlers 3 and 5 (and the duplicated
+    9, 7') of Figure 2.
+
+    Collects prepare certificates — one digest-form PrePrepare plus 2f
+    matching Prepares from distinct Preparation enclaves — and answers each
+    with a signed Commit (P5: it acts only on the quorum, never on a single
+    message).  On primary suspicion signalled by the environment it emits
+    the ViewChange, built from its stored prepare certificates and
+    checkpoint proof, and advances its view so it stops committing in the
+    old view.  It only ever handles batch digests, never request bodies. *)
+
+module Enclave = Splitbft_tee.Enclave
+
+type byz =
+  | Conf_honest
+  | Conf_promiscuous
+      (** signs a Commit for {e every} proposal it sees, without waiting
+          for a prepare certificate — the double-voting accomplice *)
+
+type probe = {
+  view : unit -> int;
+  last_stable : unit -> int;
+  commits_sent : unit -> int;
+}
+
+val make : ?byz:byz -> Config.t -> Enclave.program * probe

@@ -1,0 +1,343 @@
+module Ids = Splitbft_types.Ids
+module Message = Splitbft_types.Message
+module Validation = Splitbft_types.Validation
+module Session = Splitbft_types.Session
+module Keys = Splitbft_types.Keys
+module Addr = Splitbft_types.Addr
+module Enclave = Splitbft_tee.Enclave
+module Box = Splitbft_crypto.Box
+module Hmac = Splitbft_crypto.Hmac
+module State_machine = Splitbft_app.State_machine
+
+type byz = Exec_honest | Exec_leak | Exec_corrupt
+
+type probe = {
+  view : unit -> int;
+  last_executed : unit -> Ids.seqno;
+  executed_total : unit -> int;
+  executed_log : unit -> (Ids.seqno * string) list;
+  app_digest : unit -> string;
+  last_stable : unit -> Ids.seqno;
+  sessions : unit -> int;
+}
+
+module Client_dedup = Splitbft_types.Client_dedup
+
+type state = {
+  cfg : Config.t;
+  prep_lookup : Validation.key_lookup;
+  conf_lookup : Validation.key_lookup;
+  exec_lookup : Validation.key_lookup;
+  box : Box.keypair;
+  app : State_machine.t;
+  mutable view : Ids.view;
+  batches : (string, Message.request list) Hashtbl.t;  (* by digest *)
+  commits : (Ids.seqno, Message.commit list) Hashtbl.t;  (* current view *)
+  decided : (Ids.seqno, string) Hashtbl.t;  (* seq -> committed digest *)
+  mutable last_executed : Ids.seqno;
+  executed_log : (Ids.seqno, string) Hashtbl.t;
+  clients : (Ids.client_id, Client_dedup.t) Hashtbl.t;
+  sessions : (Ids.client_id, Session.keys) Hashtbl.t;
+  ckpt : Common.ckpt;
+  fetching : (string, unit) Hashtbl.t;  (* batch digests requested from peers *)
+  mutable executed_total : int;
+}
+
+let create_state (cfg : Config.t) ~app =
+  { cfg;
+    prep_lookup = Config.prep_public ~n:cfg.n;
+    conf_lookup = Config.conf_public ~n:cfg.n;
+    exec_lookup = Config.exec_public ~n:cfg.n;
+    box = Box.derive ~seed:(Keys.enclave_box_seed cfg.id Ids.Execution);
+    app = app ();
+    view = 0;
+    batches = Hashtbl.create 256;
+    commits = Hashtbl.create 128;
+    decided = Hashtbl.create 128;
+    last_executed = 0;
+    executed_log = Hashtbl.create 1024;
+    clients = Hashtbl.create 64;
+    sessions = Hashtbl.create 64;
+    ckpt = Common.create_ckpt ~quorum:(Config.quorum cfg);
+    fetching = Hashtbl.create 8;
+    executed_total = 0 }
+
+let in_window st seq =
+  let stable = Common.last_stable st.ckpt in
+  seq > stable && seq <= stable + st.cfg.watermark_window
+
+let client_entry st client =
+  match Hashtbl.find_opt st.clients client with
+  | Some e -> e
+  | None ->
+    let e = Client_dedup.create () in
+    Hashtbl.replace st.clients client e;
+    e
+
+(* Handler (8): originate a Checkpoint every interval. *)
+let send_checkpoint_if_due env st seq =
+  if seq mod st.cfg.checkpoint_interval = 0 then begin
+    let ck =
+      { Message.seq;
+        state_digest = State_machine.digest st.app;
+        sender = st.cfg.id;
+        ck_sig = "" }
+    in
+    let ck = { ck with ck_sig = Common.sign_with env (Message.checkpoint_signing_bytes ck) } in
+    Common.record_own_checkpoint st.ckpt ck;
+    Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Checkpoint ck)))
+  end
+
+let gc st stable =
+  Hashtbl.iter
+    (fun seq _ -> if seq <= stable then Hashtbl.remove st.commits seq)
+    (Hashtbl.copy st.commits);
+  Hashtbl.iter
+    (fun seq _ -> if seq <= stable then Hashtbl.remove st.decided seq)
+    (Hashtbl.copy st.decided)
+
+let execute_request env st ~byz (req : Message.request) =
+  let c = Enclave.cost_model env in
+  Enclave.charge env (c.decrypt_request_us +. c.exec_op_us +. c.reply_auth_us);
+  let entry = client_entry st req.client in
+  if Client_dedup.executed entry req.timestamp then
+    (* Duplicate (re-ordered after a view change, or a retransmission that
+       raced execution): do not re-execute; retransmit the cached reply. *)
+    (match Client_dedup.cached_reply entry req.timestamp with
+    | Some reply ->
+      Enclave.emit env
+        (Wire.encode_output (Wire.Out_send (Addr.client req.client, Message.Reply reply)))
+    | None -> ())
+  else begin
+    let session = Hashtbl.find_opt st.sessions req.client in
+    let plaintext_op =
+      match session with
+      | None -> None
+      | Some keys ->
+        if Session.request_auth_ok keys req then
+          match
+            Session.decrypt_op keys ~client:req.client ~timestamp:req.timestamp req.payload
+          with
+          | Ok op -> Some op
+          | Error _ -> None
+        else None
+    in
+    (match byz, plaintext_op with
+    | Exec_leak, Some op ->
+      (* Exfiltrate the decrypted operation into untrusted storage. *)
+      Enclave.emit env
+        (Wire.encode_output (Wire.Out_persist { tag = "exfil"; data = op }))
+    | (Exec_honest | Exec_corrupt | Exec_leak), _ -> ());
+    (* Corrupted operations are ordered but executed as a no-op (§4). *)
+    let result =
+      match byz, plaintext_op with
+      | Exec_corrupt, Some _ -> "CORRUPT"
+      | _, Some op -> st.app.State_machine.apply op
+      | _, None -> State_machine.noop_result
+    in
+    st.executed_total <- st.executed_total + 1;
+    match session with
+    | None -> Client_dedup.record entry req.timestamp None
+    | Some keys ->
+      let encrypted =
+        Session.encrypt_result keys ~client:req.client ~timestamp:req.timestamp
+          ~replica:st.cfg.id result
+      in
+      let reply =
+        { Message.view = st.view;
+          timestamp = req.timestamp;
+          client = req.client;
+          sender = st.cfg.id;
+          result = encrypted;
+          r_auth = "" }
+      in
+      let reply = Session.authenticate_reply keys reply in
+      Client_dedup.record entry req.timestamp (Some reply);
+      Enclave.emit env
+        (Wire.encode_output (Wire.Out_send (Addr.client req.client, Message.Reply reply)))
+  end
+
+let persist_effects env st =
+  let c = Enclave.cost_model env in
+  List.iter
+    (fun (State_machine.Persist { tag; data }) ->
+      (* One ocall per block, written sealed (sgx_tprotected_fs in the
+         paper): block formation/write cost plus sealing (charged inside
+         [Enclave.seal]) plus the ocall transition. *)
+      Enclave.charge env c.ledger_block_us;
+      let sealed = Enclave.seal env data in
+      Enclave.ocall env (Wire.encode_output (Wire.Out_persist { tag; data = sealed })))
+    (st.app.State_machine.drain_effects ())
+
+let rec try_execute env st ~byz =
+  let seq = st.last_executed + 1 in
+  match Hashtbl.find_opt st.decided seq with
+  | None -> ()
+  | Some digest ->
+    let batch =
+      if String.equal digest Message.empty_batch_digest then Some []
+      else Hashtbl.find_opt st.batches digest
+    in
+    (match batch with
+    | None ->
+      (* Committed a digest without the bodies (re-proposed across a view
+         change): fetch them, content-addressed, from peer Executions. *)
+      if not (Hashtbl.mem st.fetching digest) then begin
+        Hashtbl.replace st.fetching digest ();
+        Enclave.emit env
+          (Wire.encode_output
+             (Wire.Out_broadcast
+                (Message.Batch_fetch { bf_digest = digest; bf_requester = st.cfg.id })))
+      end
+    | Some batch ->
+      st.last_executed <- seq;
+      Hashtbl.replace st.executed_log seq digest;
+      List.iter (execute_request env st ~byz) batch;
+      persist_effects env st;
+      send_checkpoint_if_due env st seq;
+      try_execute env st ~byz)
+
+(* Full-request PrePrepares are duplicated into this compartment's log so
+   Commits (which carry only digests) can be executed. *)
+let on_preprepare env st ~byz (pp : Message.preprepare) =
+  Common.charge_verify env 1;
+  if Validation.verify_preprepare st.prep_lookup pp then begin
+    let digest = Message.digest_of_batch pp.batch in
+    if not (Hashtbl.mem st.batches digest) then Hashtbl.replace st.batches digest pp.batch;
+    try_execute env st ~byz
+  end
+
+(* Handler (4): a commit certificate decides a sequence number. *)
+let on_commit env st ~byz (c : Message.commit) =
+  Common.charge_verify env 1;
+  if
+    c.view = st.view && in_window st c.seq
+    && (not (Hashtbl.mem st.decided c.seq))
+    && Validation.verify_commit st.conf_lookup c
+  then begin
+    let existing = Option.value ~default:[] (Hashtbl.find_opt st.commits c.seq) in
+    if not (List.exists (fun (q : Message.commit) -> q.sender = c.sender) existing)
+    then begin
+      let commits = c :: existing in
+      Hashtbl.replace st.commits c.seq commits;
+      if
+        Validation.commit_quorum_complete ~quorum:(Config.quorum st.cfg) ~view:st.view
+          ~seq:c.seq ~digest:c.digest commits
+      then begin
+        Hashtbl.replace st.decided c.seq c.digest;
+        try_execute env st ~byz
+      end
+    end
+  end
+
+(* Handler (7'): checkpoint-and-view part of a NewView. *)
+let on_newview env st (nv : Message.newview) =
+  if
+    nv.nv_view >= st.view
+    && Common.newview_shallow_ok env ~f:(Config.f st.cfg) ~n:st.cfg.n
+         ~prep_lookup:st.prep_lookup ~conf_lookup:st.conf_lookup nv
+  then begin
+    ignore (Common.apply_newview_checkpoint st.ckpt nv);
+    st.view <- nv.nv_view;
+    Hashtbl.reset st.commits;
+    gc st (Common.last_stable st.ckpt);
+    Enclave.emit env (Wire.encode_output (Wire.Out_entered_view st.view))
+  end
+
+(* Session establishment (§4 step 1): quote, then receive the session keys
+   through the attestation box, then acknowledge under the auth key. *)
+let on_session_init env st (si : Message.session_init) =
+  let sq =
+    { Message.sq_replica = st.cfg.id;
+      sq_quote = Enclave.quote env;
+      sq_box_public = st.box.Box.public;
+      sq_sig = "" }
+  in
+  let sq = { sq with sq_sig = Common.sign_with env (Message.session_quote_signing_bytes sq) } in
+  Enclave.emit env
+    (Wire.encode_output (Wire.Out_send (Addr.client si.si_client, Message.Session_quote sq)))
+
+let on_session_key env st (sk : Message.session_key) =
+  Enclave.charge env (Enclave.cost_model env).decrypt_request_us;
+  if sk.sk_replica = st.cfg.id then begin
+    match Box.decrypt st.box.Box.secret sk.sk_box with
+    | Error _ -> ()
+    | Ok provision -> (
+      match Session.decode_provision provision with
+      | Error _ -> ()
+      | Ok keys when String.length keys.Session.enc > 0 ->
+        Hashtbl.replace st.sessions sk.sk_client keys;
+        let sa = { Message.sa_replica = st.cfg.id; sa_client = sk.sk_client; sa_auth = "" } in
+        let sa =
+          { sa with
+            sa_auth =
+              Hmac.mac ~key:keys.Session.auth (Message.session_ack_auth_bytes sa) }
+        in
+        Enclave.emit env
+          (Wire.encode_output
+             (Wire.Out_send (Addr.client sk.sk_client, Message.Session_ack sa)))
+      | Ok _ -> () (* a preparation-only provision is not for us *))
+  end
+
+let on_batch_fetch env st (bf : Message.batch_fetch) =
+  Enclave.charge env 1.0;
+  match Hashtbl.find_opt st.batches bf.bf_digest with
+  | Some batch when bf.bf_requester <> st.cfg.id ->
+    Enclave.emit env
+      (Wire.encode_output
+         (Wire.Out_send
+            (Addr.replica bf.bf_requester, Message.Batch_data { bd_batch = batch })))
+  | Some _ | None -> ()
+
+let on_batch_data env st ~byz (bd : Message.batch_data) =
+  Enclave.charge env 1.0;
+  let digest = Message.digest_of_batch bd.bd_batch in
+  if Hashtbl.mem st.fetching digest then begin
+    Hashtbl.remove st.fetching digest;
+    Hashtbl.replace st.batches digest bd.bd_batch;
+    try_execute env st ~byz
+  end
+
+let handle env st ~byz (input : Wire.input) =
+  match input with
+  | Wire.In_batch _ | Wire.In_suspect _ -> ()
+  | Wire.In_net msg -> (
+    match msg with
+    | Message.Preprepare pp -> on_preprepare env st ~byz pp
+    | Message.Commit c -> on_commit env st ~byz c
+    | Message.Batch_fetch bf -> on_batch_fetch env st bf
+    | Message.Batch_data bd -> on_batch_data env st ~byz bd
+    | Message.Newview nv -> on_newview env st nv
+    | Message.Checkpoint ck ->
+      Common.on_checkpoint env ~exec_lookup:st.exec_lookup st.ckpt ck
+        ~on_stable:(fun stable -> gc st stable)
+    | Message.Session_init si -> on_session_init env st si
+    | Message.Session_key sk -> on_session_key env st sk
+    | Message.Request _ | Message.Preprepare_digest _ | Message.Prepare _
+    | Message.Reply _ | Message.Viewchange _ | Message.Session_quote _
+    | Message.Session_ack _ ->
+      ())
+
+let make ?(byz = Exec_honest) (cfg : Config.t) ~app =
+  let current = ref (create_state cfg ~app) in
+  let program env =
+    let st = create_state cfg ~app in
+    current := st;
+    fun payload ->
+      match Wire.decode_input payload with
+      | Error _ -> ()
+      | Ok input -> handle env st ~byz input
+  in
+  let probe =
+    { view = (fun () -> !current.view);
+      last_executed = (fun () -> !current.last_executed);
+      executed_total = (fun () -> !current.executed_total);
+      executed_log =
+        (fun () ->
+          Hashtbl.fold (fun seq d acc -> (seq, d) :: acc) !current.executed_log []
+          |> List.sort compare);
+      app_digest = (fun () -> State_machine.digest !current.app);
+      last_stable = (fun () -> Common.last_stable !current.ckpt);
+      sessions = (fun () -> Hashtbl.length !current.sessions) }
+  in
+  (program, probe)

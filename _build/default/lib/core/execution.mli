@@ -1,0 +1,42 @@
+(** Execution compartment: event handlers 4 and 8 (and the duplicated
+    9, 7') of Figure 2.
+
+    Holds the application state and the client session keys.  It collects
+    commit certificates (2f+1 matching Commits from distinct Confirmation
+    enclaves), matches them with the full-request PrePrepares duplicated
+    into its input log, then decrypts, deduplicates and executes client
+    operations in sequence order, sending back encrypted, authenticated
+    replies.  Corrupted operations (bad authenticator or undecryptable
+    payload) execute as no-ops.  It originates Checkpoints every
+    [checkpoint_interval] batches, and — for the ledger application —
+    writes each closed block to untrusted storage through a sealed ocall,
+    the per-block cost visible in Figure 3. *)
+
+module Enclave = Splitbft_tee.Enclave
+module Ids = Splitbft_types.Ids
+
+type byz =
+  | Exec_honest
+  | Exec_leak
+      (** behaves correctly but exfiltrates decrypted operation plaintexts
+          to untrusted storage — the confidentiality failure of a faulty
+          Execution enclave (the [0_exec] entry of Table 1) *)
+  | Exec_corrupt  (** executes correctly-authenticated wrong results *)
+
+type probe = {
+  view : unit -> int;
+  last_executed : unit -> Ids.seqno;
+  executed_total : unit -> int;
+  executed_log : unit -> (Ids.seqno * string) list;  (** (seq, batch digest) *)
+  app_digest : unit -> string;
+  last_stable : unit -> Ids.seqno;
+  sessions : unit -> int;
+}
+
+val make :
+  ?byz:byz ->
+  Config.t ->
+  app:(unit -> Splitbft_app.State_machine.t) ->
+  Enclave.program * probe
+(** [app] is a factory so an enclave restart gets a fresh instance (state
+    recovery goes through checkpoints/sealing, not process memory). *)

@@ -1,0 +1,335 @@
+module Ids = Splitbft_types.Ids
+module Message = Splitbft_types.Message
+module Validation = Splitbft_types.Validation
+module Newview_logic = Splitbft_types.Newview_logic
+module Session = Splitbft_types.Session
+module Keys = Splitbft_types.Keys
+module Addr = Splitbft_types.Addr
+module Enclave = Splitbft_tee.Enclave
+module Signature = Splitbft_crypto.Signature
+module Box = Splitbft_crypto.Box
+module Hmac = Splitbft_crypto.Hmac
+
+type byz = Prep_honest | Prep_equivocate
+
+type probe = {
+  view : unit -> int;
+  next_seq : unit -> int;
+  last_stable : unit -> int;
+  sessions : unit -> int;
+}
+
+type state = {
+  cfg : Config.t;
+  prep_lookup : Validation.key_lookup;
+  conf_lookup : Validation.key_lookup;
+  exec_lookup : Validation.key_lookup;
+  box : Box.keypair;
+  mutable view : Ids.view;
+  mutable next_seq : Ids.seqno;
+  (* in_prep: own and accepted proposals plus the duplicated prepare log *)
+  preprepares : (Ids.seqno, Message.preprepare) Hashtbl.t;
+  prepares : (Ids.seqno, Message.prepare list) Hashtbl.t;
+  last_assigned : (Ids.client_id, int64) Hashtbl.t;
+  sessions : (Ids.client_id, string) Hashtbl.t;  (* client auth keys *)
+  viewchanges : (Ids.view, Message.viewchange list) Hashtbl.t;
+  ckpt : Common.ckpt;
+}
+
+let create_state (cfg : Config.t) =
+  { cfg;
+    prep_lookup = Config.prep_public ~n:cfg.n;
+    conf_lookup = Config.conf_public ~n:cfg.n;
+    exec_lookup = Config.exec_public ~n:cfg.n;
+    box = Box.derive ~seed:(Keys.enclave_box_seed cfg.id Ids.Preparation);
+    view = 0;
+    next_seq = 1;
+    preprepares = Hashtbl.create 128;
+    prepares = Hashtbl.create 128;
+    last_assigned = Hashtbl.create 64;
+    sessions = Hashtbl.create 64;
+    viewchanges = Hashtbl.create 4;
+    ckpt = Common.create_ckpt ~quorum:(Config.quorum cfg) }
+
+let is_primary st = Config.primary_of_view st.cfg st.view = st.cfg.id
+
+let in_window st seq =
+  let stable = Common.last_stable st.ckpt in
+  seq > stable && seq <= stable + st.cfg.watermark_window
+
+let charge_client_auth env st count =
+  Enclave.charge env
+    ((Enclave.cost_model env).client_auth_us *. float_of_int count);
+  ignore st
+
+let request_ok st (r : Message.request) =
+  match Hashtbl.find_opt st.sessions r.client with
+  | None -> false
+  | Some auth_key ->
+    Hmac.verify ~key:auth_key ~msg:(Message.request_auth_bytes r) ~tag:r.auth
+
+let sign_pp env pp =
+  { pp with Message.pp_sig = Common.sign_with env (Message.preprepare_signing_bytes pp) }
+
+(* A byzantine primary enclave equivocates: two conflicting proposals for
+   one sequence number, each unicast to half the replicas (including this
+   replica itself, so its own sibling compartments see one version too). *)
+let equivocate env st seq batch =
+  let pp_a = sign_pp env { Message.view = st.view; seq; batch; sender = st.cfg.id; pp_sig = "" } in
+  (* The conflicting proposal is the (valid) empty batch, so honest
+     receivers cannot reject it on client-authentication grounds. *)
+  let pp_b = sign_pp env { Message.view = st.view; seq; batch = []; sender = st.cfg.id; pp_sig = "" } in
+  Hashtbl.replace st.preprepares seq pp_a;
+  for j = 0 to st.cfg.n - 1 do
+    let pp = if j mod 2 = 1 then pp_a else pp_b in
+    Enclave.emit env
+      (Wire.encode_output (Wire.Out_send (Addr.replica j, Message.Preprepare pp)))
+  done
+
+(* Handler (1): batch from the environment — primary only. *)
+let on_batch env st ~byz reqs =
+  if is_primary st && in_window st st.next_seq then begin
+    charge_client_auth env st (List.length reqs);
+    let fresh (r : Message.request) =
+      request_ok st r
+      &&
+      let last = Option.value ~default:0L (Hashtbl.find_opt st.last_assigned r.client) in
+      Int64.compare r.timestamp last > 0
+    in
+    let batch = List.filter fresh reqs in
+    if batch <> [] then begin
+      List.iter
+        (fun (r : Message.request) ->
+          Hashtbl.replace st.last_assigned r.client r.timestamp)
+        batch;
+      let seq = st.next_seq in
+      st.next_seq <- seq + 1;
+      match byz with
+      | Prep_equivocate -> equivocate env st seq batch
+      | Prep_honest ->
+        let pp =
+          sign_pp env { Message.view = st.view; seq; batch; sender = st.cfg.id; pp_sig = "" }
+        in
+        Hashtbl.replace st.preprepares seq pp;
+        Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Preprepare pp)))
+    end
+  end
+
+(* Handler (2): PrePrepare from the primary — backups answer with a
+   Prepare. *)
+let on_preprepare env st (pp : Message.preprepare) =
+  Common.charge_verify env 1;
+  charge_client_auth env st (List.length pp.batch);
+  if
+    pp.view = st.view
+    && pp.sender = Config.primary_of_view st.cfg st.view
+    && pp.sender <> st.cfg.id
+    && in_window st pp.seq
+    && (not (Hashtbl.mem st.preprepares pp.seq))
+    && Validation.verify_preprepare st.prep_lookup pp
+  then begin
+    (* Authentication of the batched client requests is charged above; an
+       individual corrupted operation is still ordered and later no-oped by
+       Execution (§4), so it does not invalidate the proposal. *)
+    Hashtbl.replace st.preprepares pp.seq pp;
+    let digest = Message.digest_of_batch pp.batch in
+    let p = { Message.view = st.view; seq = pp.seq; digest; sender = st.cfg.id; p_sig = "" } in
+    let p = { p with p_sig = Common.sign_with env (Message.prepare_signing_bytes p) } in
+    let existing = Option.value ~default:[] (Hashtbl.find_opt st.prepares pp.seq) in
+    Hashtbl.replace st.prepares pp.seq (p :: existing);
+    Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Prepare p)))
+  end
+
+(* Prepares are duplicated into this compartment's input log (P3). *)
+let on_prepare env st (p : Message.prepare) =
+  Common.charge_verify env 1;
+  if p.view = st.view && in_window st p.seq && Validation.verify_prepare st.prep_lookup p
+  then begin
+    let existing = Option.value ~default:[] (Hashtbl.find_opt st.prepares p.seq) in
+    if not (List.exists (fun (q : Message.prepare) -> q.sender = p.sender) existing) then
+      Hashtbl.replace st.prepares p.seq (p :: existing)
+  end
+
+let gc st stable =
+  Hashtbl.iter
+    (fun seq _ -> if seq <= stable then Hashtbl.remove st.preprepares seq)
+    (Hashtbl.copy st.preprepares);
+  Hashtbl.iter
+    (fun seq _ -> if seq <= stable then Hashtbl.remove st.prepares seq)
+    (Hashtbl.copy st.prepares);
+  if st.next_seq <= stable then st.next_seq <- stable + 1
+
+let enter_view env st ~view ~max_s =
+  st.view <- view;
+  st.next_seq <- max max_s (Common.last_stable st.ckpt) + 1;
+  Hashtbl.reset st.preprepares;
+  Hashtbl.reset st.prepares;
+  (* Requests assigned in the dead view may have been lost with it; allow
+     client retransmissions to be ordered again (Execution deduplicates by
+     timestamp, so re-ordering cannot double-execute). *)
+  Hashtbl.reset st.last_assigned;
+  Enclave.emit env (Wire.encode_output (Wire.Out_entered_view view))
+
+(* Handler (6): quorum of ViewChanges — the new primary emits a NewView. *)
+let maybe_send_newview env st target =
+  if Config.primary_of_view st.cfg target = st.cfg.id && target >= st.view then begin
+    match Hashtbl.find_opt st.viewchanges target with
+    | Some vcs when List.length vcs >= Config.quorum st.cfg ->
+      let min_s, max_s, pds =
+        Newview_logic.compute ~view:target ~sender:st.cfg.id vcs
+      in
+      Common.charge_sign env (List.length pds);
+      let signed_pds =
+        List.map
+          (fun (pd : Message.preprepare_digest) ->
+            { pd with
+              Message.pd_sig =
+                Signature.sign (Enclave.env_keypair env).Signature.secret
+                  (Message.preprepare_digest_signing_bytes pd) })
+          pds
+      in
+      let nv =
+        { Message.nv_view = target;
+          nv_viewchanges = vcs;
+          nv_preprepares = signed_pds;
+          nv_sender = st.cfg.id;
+          nv_sig = "" }
+      in
+      let nv = { nv with nv_sig = Common.sign_with env (Message.newview_signing_bytes nv) } in
+      ignore min_s;
+      Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Newview nv)));
+      enter_view env st ~view:target ~max_s
+    | Some _ | None -> ()
+  end
+
+let on_viewchange env st (vc : Message.viewchange) =
+  Common.charge_verify env (Common.viewchange_sig_count vc);
+  if
+    vc.vc_new_view >= st.view
+    && Validation.verify_viewchange_deep ~f:(Config.f st.cfg) ~vc_lookup:st.conf_lookup
+         ~ckpt_lookup:st.exec_lookup ~proof_lookup:st.prep_lookup vc
+  then begin
+    let existing =
+      Option.value ~default:[] (Hashtbl.find_opt st.viewchanges vc.vc_new_view)
+    in
+    if
+      not
+        (List.exists
+           (fun (v : Message.viewchange) -> v.vc_sender = vc.vc_sender)
+           existing)
+    then begin
+      Hashtbl.replace st.viewchanges vc.vc_new_view (vc :: existing);
+      maybe_send_newview env st vc.vc_new_view
+    end
+  end
+
+(* Handler (7): full NewView validation — including recomputing the
+   re-issued PrePrepares, the logic the paper notes is repeated here. *)
+let on_newview env st (nv : Message.newview) =
+  Common.charge_verify env (Common.newview_sig_count nv);
+  let f = Config.f st.cfg in
+  if
+    nv.nv_view >= st.view
+    && nv.nv_sender = Config.primary_of_view st.cfg nv.nv_view
+    && nv.nv_sender <> st.cfg.id
+    && Validation.verify_newview st.prep_lookup nv
+    && List.length nv.nv_viewchanges >= Config.quorum st.cfg
+    && List.for_all
+         (Validation.verify_viewchange_deep ~f ~vc_lookup:st.conf_lookup
+            ~ckpt_lookup:st.exec_lookup ~proof_lookup:st.prep_lookup)
+         nv.nv_viewchanges
+  then begin
+    let _min_s, max_s, expected =
+      Newview_logic.compute ~view:nv.nv_view ~sender:nv.nv_sender nv.nv_viewchanges
+    in
+    if Newview_logic.matches ~expected ~actual:nv.nv_preprepares then begin
+      ignore (Common.apply_newview_checkpoint st.ckpt nv);
+      enter_view env st ~view:nv.nv_view ~max_s;
+      gc st (Common.last_stable st.ckpt);
+      (* Re-issue Prepares for the NewView's proposals (backup role). *)
+      Common.charge_sign env (List.length nv.nv_preprepares);
+      List.iter
+        (fun (pd : Message.preprepare_digest) ->
+          let p =
+            { Message.view = st.view;
+              seq = pd.pd_seq;
+              digest = pd.pd_digest;
+              sender = st.cfg.id;
+              p_sig = "" }
+          in
+          let p =
+            { p with
+              p_sig =
+                Signature.sign (Enclave.env_keypair env).Signature.secret
+                  (Message.prepare_signing_bytes p) }
+          in
+          let existing = Option.value ~default:[] (Hashtbl.find_opt st.prepares p.seq) in
+          Hashtbl.replace st.prepares p.seq (p :: existing);
+          Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Prepare p))))
+        nv.nv_preprepares
+    end
+  end
+
+(* Session establishment: the client attests this enclave and provisions
+   its request-authentication key. *)
+let on_session_init env st (si : Message.session_init) =
+  let keypair = Enclave.env_keypair env in
+  let sq =
+    { Message.sq_replica = st.cfg.id;
+      sq_quote = Enclave.quote env;
+      sq_box_public = st.box.Box.public;
+      sq_sig = "" }
+  in
+  let sq = { sq with sq_sig = Common.sign_with env (Message.session_quote_signing_bytes sq) } in
+  ignore keypair;
+  Enclave.emit env
+    (Wire.encode_output (Wire.Out_send (Addr.client si.si_client, Message.Session_quote sq)))
+
+let on_session_key env st (sk : Message.session_key) =
+  Enclave.charge env (Enclave.cost_model env).decrypt_request_us;
+  if sk.sk_replica = st.cfg.id then begin
+    match Box.decrypt st.box.Box.secret sk.sk_box with
+    | Error _ -> ()
+    | Ok provision -> (
+      match Session.decode_provision provision with
+      | Error _ -> ()
+      | Ok keys -> Hashtbl.replace st.sessions sk.sk_client keys.Session.auth)
+  end
+
+let handle env st ~byz (input : Wire.input) =
+  match input with
+  | Wire.In_batch reqs -> on_batch env st ~byz reqs
+  | Wire.In_suspect _ -> ()  (* suspicion is the Confirmation compartment's trigger *)
+  | Wire.In_net msg -> (
+    match msg with
+    | Message.Preprepare pp -> on_preprepare env st pp
+    | Message.Prepare p -> on_prepare env st p
+    | Message.Viewchange vc -> on_viewchange env st vc
+    | Message.Newview nv -> on_newview env st nv
+    | Message.Checkpoint ck ->
+      Common.on_checkpoint env ~exec_lookup:st.exec_lookup st.ckpt ck
+        ~on_stable:(fun stable -> gc st stable)
+    | Message.Session_init si -> on_session_init env st si
+    | Message.Session_key sk -> on_session_key env st sk
+    | Message.Request _ | Message.Preprepare_digest _ | Message.Commit _
+    | Message.Reply _ | Message.Session_quote _ | Message.Session_ack _
+    | Message.Batch_fetch _ | Message.Batch_data _ ->
+      ())
+
+let make ?(byz = Prep_honest) (cfg : Config.t) =
+  let current = ref (create_state cfg) in
+  let program env =
+    let st = create_state cfg in
+    current := st;
+    fun payload ->
+      match Wire.decode_input payload with
+      | Error _ -> ()  (* garbage from a malicious environment *)
+      | Ok input -> handle env st ~byz input
+  in
+  let probe =
+    { view = (fun () -> !current.view);
+      next_seq = (fun () -> !current.next_seq);
+      last_stable = (fun () -> Common.last_stable !current.ckpt);
+      sessions = (fun () -> Hashtbl.length !current.sessions) }
+  in
+  (program, probe)

@@ -1,0 +1,100 @@
+module Ids = Splitbft_types.Ids
+module Keys = Splitbft_types.Keys
+module Enclave_identity = Splitbft_types.Enclave_identity
+module Enclave = Splitbft_tee.Enclave
+module Platform = Splitbft_tee.Platform
+
+type t = {
+  cfg : Config.t;
+  platform : Platform.t;
+  prep : Enclave.t;
+  conf : Enclave.t;
+  exec : Enclave.t;
+  prep_probe : Preparation.probe;
+  conf_probe : Confirmation.probe;
+  exec_probe : Execution.probe;
+  prep_program : Enclave.program;
+  conf_program : Enclave.program;
+  exec_program : Enclave.program;
+  broker : Broker.t;
+}
+
+let create ?(prep_byz = Preparation.Prep_honest) ?(conf_byz = Confirmation.Conf_honest)
+    ?(exec_byz = Execution.Exec_honest) engine net (cfg : Config.t) ~app =
+  if cfg.n < 4 then invalid_arg "Splitbft.Replica.create: need n >= 4";
+  let platform = Platform.create engine ~id:cfg.id in
+  let prep_program, prep_probe = Preparation.make ~byz:prep_byz cfg in
+  let conf_program, conf_probe = Confirmation.make ~byz:conf_byz cfg in
+  let exec_program, exec_probe = Execution.make ~byz:exec_byz cfg ~app in
+  let make_enclave compartment program =
+    Enclave.create platform
+      ~name:
+        (Printf.sprintf "replica%d-%s" cfg.id (Ids.compartment_name compartment))
+      ~measurement:(Enclave_identity.of_compartment compartment)
+      ~cost_model:cfg.cost
+      ~key_seed:(Keys.enclave_signing_seed cfg.id compartment)
+      ~program
+  in
+  let prep = make_enclave Ids.Preparation prep_program in
+  let conf = make_enclave Ids.Confirmation conf_program in
+  let exec = make_enclave Ids.Execution exec_program in
+  let enclave_of = function
+    | Ids.Preparation -> prep
+    | Ids.Confirmation -> conf
+    | Ids.Execution -> exec
+  in
+  let broker = Broker.create engine net cfg ~enclave_of in
+  { cfg;
+    platform;
+    prep;
+    conf;
+    exec;
+    prep_probe;
+    conf_probe;
+    exec_probe;
+    prep_program;
+    conf_program;
+    exec_program;
+    broker }
+
+let id t = t.cfg.id
+let config t = t.cfg
+
+let enclave t = function
+  | Ids.Preparation -> t.prep
+  | Ids.Confirmation -> t.conf
+  | Ids.Execution -> t.exec
+
+let broker t = t.broker
+let view t = t.exec_probe.Execution.view ()
+let last_executed t = t.exec_probe.Execution.last_executed ()
+let executed_count t = t.exec_probe.Execution.executed_total ()
+let executed_log t = t.exec_probe.Execution.executed_log ()
+let app_digest t = t.exec_probe.Execution.app_digest ()
+let persisted t = Broker.persisted t.broker
+let prep_probe t = t.prep_probe
+let conf_probe t = t.conf_probe
+let exec_probe t = t.exec_probe
+let crash_host t = Broker.crash t.broker
+let host_crashed t = Broker.is_crashed t.broker
+let set_env_fault t fault = Broker.set_fault t.broker fault
+let crash_enclave t compartment = Enclave.crash (enclave t compartment)
+
+let program_of t = function
+  | Ids.Preparation -> t.prep_program
+  | Ids.Confirmation -> t.conf_program
+  | Ids.Execution -> t.exec_program
+
+let restart_enclave t compartment =
+  Enclave.restart (enclave t compartment) ~program:(program_of t compartment)
+
+let subvert_enclave t compartment program = Enclave.subvert (enclave t compartment) program
+
+let ecall_stats t compartment =
+  let e = enclave t compartment in
+  (Enclave.ecall_count e, Enclave.ecall_total_us e, Enclave.ecall_durations e)
+
+let reset_ecall_stats t =
+  Enclave.reset_stats t.prep;
+  Enclave.reset_stats t.conf;
+  Enclave.reset_stats t.exec

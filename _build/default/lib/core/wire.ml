@@ -1,0 +1,86 @@
+module W = Splitbft_codec.Writer
+module R = Splitbft_codec.Reader
+module Ids = Splitbft_types.Ids
+module Message = Splitbft_types.Message
+
+type input =
+  | In_net of Message.t
+  | In_batch of Message.request list
+  | In_suspect of Ids.view
+
+type output =
+  | Out_send of int * Message.t
+  | Out_broadcast of Message.t
+  | Out_persist of { tag : string; data : string }
+  | Out_entered_view of Ids.view
+
+let encode_input input =
+  W.to_string
+    (fun w input ->
+      match input with
+      | In_net msg ->
+        W.u8 w 1;
+        W.bytes w (Message.encode msg)
+      | In_batch reqs ->
+        W.u8 w 2;
+        W.list w (fun w r -> W.bytes w (Message.encode_request r)) reqs
+      | In_suspect view ->
+        W.u8 w 3;
+        W.varint w view)
+    input
+
+let decode_nested_message r =
+  match Message.decode (R.bytes r) with
+  | Ok msg -> msg
+  | Error e -> raise (R.Error ("nested message: " ^ e))
+
+let decode_nested_request r =
+  match Message.decode_request (R.bytes r) with
+  | Ok req -> req
+  | Error e -> raise (R.Error ("nested request: " ^ e))
+
+let decode_input s =
+  R.parse
+    (fun r ->
+      match R.u8 r with
+      | 1 -> In_net (decode_nested_message r)
+      | 2 -> In_batch (R.list r decode_nested_request)
+      | 3 -> In_suspect (R.varint r)
+      | t -> raise (R.Error (Printf.sprintf "unknown input tag %d" t)))
+    s
+
+let encode_output output =
+  W.to_string
+    (fun w output ->
+      match output with
+      | Out_send (dst, msg) ->
+        W.u8 w 1;
+        W.varint w dst;
+        W.bytes w (Message.encode msg)
+      | Out_broadcast msg ->
+        W.u8 w 2;
+        W.bytes w (Message.encode msg)
+      | Out_persist { tag; data } ->
+        W.u8 w 3;
+        W.bytes w tag;
+        W.bytes w data
+      | Out_entered_view view ->
+        W.u8 w 4;
+        W.varint w view)
+    output
+
+let decode_output s =
+  R.parse
+    (fun r ->
+      match R.u8 r with
+      | 1 ->
+        let dst = R.varint r in
+        Out_send (dst, decode_nested_message r)
+      | 2 -> Out_broadcast (decode_nested_message r)
+      | 3 ->
+        let tag = R.bytes r in
+        let data = R.bytes r in
+        Out_persist { tag; data }
+      | 4 -> Out_entered_view (R.varint r)
+      | t -> raise (R.Error (Printf.sprintf "unknown output tag %d" t)))
+    s

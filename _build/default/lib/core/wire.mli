@@ -1,0 +1,31 @@
+(** Byte-level envelopes crossing the enclave boundary.
+
+    Ecall payloads and ocall outputs are opaque byte strings to the TEE
+    substrate; this module defines their structure.  Inputs are what the
+    untrusted broker may feed a compartment (network messages, request
+    batches, primary suspicion); outputs are the effects a compartment asks
+    the environment to perform.  Everything a compartment emits is either
+    already signed/encrypted or liveness-only, so a malicious environment
+    gains nothing from seeing or altering it. *)
+
+module Ids = Splitbft_types.Ids
+module Message = Splitbft_types.Message
+
+type input =
+  | In_net of Message.t  (** protocol message from the network or a local compartment *)
+  | In_batch of Message.request list  (** environment hands a batch to the primary's Preparation *)
+  | In_suspect of Ids.view  (** environment suspects the primary of the given view *)
+
+type output =
+  | Out_send of int * Message.t  (** unicast to a network address *)
+  | Out_broadcast of Message.t
+      (** send to all other replicas and route to the local sibling
+          compartments *)
+  | Out_persist of { tag : string; data : string }
+      (** sealed blob written to untrusted storage (ledger blocks) *)
+  | Out_entered_view of Ids.view  (** liveness hint: timers/primary tracking *)
+
+val encode_input : input -> string
+val decode_input : string -> (input, string) result
+val encode_output : output -> string
+val decode_output : string -> (output, string) result

@@ -1,0 +1,1 @@
+lib/crypto/box.ml: Aead Hashtbl Kdf Sha256 Splitbft_util String

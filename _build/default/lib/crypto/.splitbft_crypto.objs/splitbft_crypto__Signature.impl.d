@@ -1,0 +1,1 @@
+lib/crypto/signature.ml: Format Hashtbl Hmac Sha256 Splitbft_util String

@@ -1,0 +1,22 @@
+(** Authenticated encryption with associated data: ChaCha20 encryption with
+    an encrypt-then-MAC HMAC-SHA256 tag.
+
+    The paper encrypts client requests/replies so only the Execution enclave
+    sees plaintexts, and seals enclave state for recovery; both go through
+    this module.  (The Rust artifact used ring's AEAD; the substitution is a
+    standard EtM composition over our from-scratch primitives.) *)
+
+val tag_size : int
+(** 16 bytes (truncated HMAC-SHA256). *)
+
+val nonce_size : int
+(** 12. *)
+
+val encrypt : key:string -> nonce:string -> aad:string -> string -> string
+(** [encrypt ~key ~nonce ~aad plaintext] is [ciphertext ^ tag].  The tag
+    covers [aad], the nonce, and the ciphertext. *)
+
+val decrypt :
+  key:string -> nonce:string -> aad:string -> string -> (string, string) result
+(** Authenticates then decrypts; [Error _] on a bad tag or truncated
+    input. *)

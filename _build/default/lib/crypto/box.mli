@@ -1,0 +1,22 @@
+(** Public-key encryption for session-key provisioning.
+
+    Clients provision their request-encryption session key to the Execution
+    enclave after attestation (§4 step 1).  The Rust artifact would use an
+    ECDH exchange; as with {!Signature} we provide the idealized
+    functionality instead: anyone can encrypt to a public key, and only the
+    holder of the (abstract, unreadable) secret can decrypt.  Ciphertexts
+    are real AEAD blobs under a key derived from the recipient identity, so
+    on-the-wire confidentiality checks (canary scanning) are meaningful. *)
+
+type public = string
+type secret
+type keypair = { public : public; secret : secret }
+
+val generate : Splitbft_util.Rng.t -> keypair
+val derive : seed:string -> keypair
+
+val encrypt : public:public -> rng:Splitbft_util.Rng.t -> string -> (string, string) result
+(** [Error _] if the public key is unknown (not a real recipient). *)
+
+val decrypt : secret -> string -> (string, string) result
+val public_size : int

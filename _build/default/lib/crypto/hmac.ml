@@ -1,0 +1,32 @@
+let block_size = Sha256.block_size
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let padded = Bytes.make block_size '\x00' in
+  Bytes.blit_string key 0 padded 0 (String.length key);
+  Bytes.unsafe_to_string padded
+
+let xor_with s c =
+  String.map (fun ch -> Char.chr (Char.code ch lxor c)) s
+
+let mac_parts ~key parts =
+  let k0 = normalize_key key in
+  let inner = Sha256.init () in
+  Sha256.update inner (xor_with k0 0x36);
+  List.iter (Sha256.update inner) parts;
+  let inner_digest = Sha256.finalize inner in
+  Sha256.digest_parts [ xor_with k0 0x5c; inner_digest ]
+
+let mac ~key msg = mac_parts ~key [ msg ]
+
+let equal_constant_time a b =
+  if String.length a <> String.length b then false
+  else begin
+    let acc = ref 0 in
+    for i = 0 to String.length a - 1 do
+      acc := !acc lor (Char.code a.[i] lxor Char.code b.[i])
+    done;
+    !acc = 0
+  end
+
+let verify ~key ~msg ~tag = equal_constant_time (mac ~key msg) tag

@@ -1,0 +1,18 @@
+(** HMAC-SHA256 (RFC 2104), validated against the RFC 4231 test vectors.
+
+    The paper authenticates client requests and replies with HMAC-SHA2; we
+    use the same construction for that role, for AEAD tags, and as the PRF
+    of the idealized signature scheme. *)
+
+val mac : key:string -> string -> string
+(** 32-byte tag. *)
+
+val mac_parts : key:string -> string list -> string
+(** Tag over the concatenation of the parts. *)
+
+val verify : key:string -> msg:string -> tag:string -> bool
+(** Constant-time comparison of the expected tag against [tag]. *)
+
+val equal_constant_time : string -> string -> bool
+(** Timing-safe string equality (also exported for tag comparisons made by
+    other modules). *)

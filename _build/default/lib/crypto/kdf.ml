@@ -1,0 +1,19 @@
+let extract ~salt ~ikm = Hmac.mac ~key:salt ikm
+
+let expand ~prk ~info ~length =
+  if length > 255 * Sha256.digest_size then invalid_arg "Kdf.expand: length too large";
+  let buf = Buffer.create length in
+  let rec loop prev i =
+    if Buffer.length buf >= length then ()
+    else begin
+      let block = Hmac.mac_parts ~key:prk [ prev; info; String.make 1 (Char.chr i) ] in
+      Buffer.add_string buf block;
+      loop block (i + 1)
+    end
+  in
+  loop "" 1;
+  String.sub (Buffer.contents buf) 0 length
+
+let derive ?salt ~ikm ~info ~length () =
+  let salt = match salt with Some s -> s | None -> String.make Sha256.digest_size '\x00' in
+  expand ~prk:(extract ~salt ~ikm) ~info ~length

@@ -1,0 +1,1 @@
+lib/harness/cluster.ml: Int64 List Option Splitbft_app Splitbft_client Splitbft_core Splitbft_minbft Splitbft_pbft Splitbft_sim Splitbft_tee Splitbft_types

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Cluster Filename Float List Printf Splitbft_core Splitbft_tee Splitbft_types Splitbft_util Sys Table Workload

@@ -1,0 +1,1 @@
+lib/harness/safety.ml: Cluster Hashtbl List Printf Splitbft_sim String Workload

@@ -1,0 +1,1 @@
+lib/harness/safety.mli: Cluster Workload

@@ -1,0 +1,1 @@
+lib/harness/scenarios.ml: Cluster List Printf Safety Splitbft_core Splitbft_minbft Splitbft_pbft Splitbft_sim Splitbft_types String Table Workload

@@ -1,0 +1,1 @@
+lib/harness/scenarios.mli: Cluster Safety Workload

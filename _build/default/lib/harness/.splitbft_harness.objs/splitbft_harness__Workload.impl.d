@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Cluster List Printf Splitbft_app Splitbft_client Splitbft_sim Splitbft_util String

@@ -1,0 +1,71 @@
+(** Unified deployment of a BFT cluster (PBFT / MinBFT / SplitBFT) inside
+    one simulation, with matched clients — the substrate every experiment
+    builds on. *)
+
+module Ids = Splitbft_types.Ids
+module Client = Splitbft_client.Client
+
+type protocol = Pbft | Minbft | Splitbft
+type app_kind = App_kvs | App_ledger | App_counter
+
+type params = {
+  protocol : protocol;
+  n : int;
+  app : app_kind;
+  batch_size : int;
+  batch_timeout_us : float;
+  checkpoint_interval : int;
+  suspect_timeout_us : float;
+  cost : Splitbft_tee.Cost_model.t;
+  threading : Splitbft_core.Config.threading;  (** SplitBFT only *)
+  net : Splitbft_sim.Network.config;
+  seed : int64;
+}
+
+val default_params : ?n:int -> protocol -> params
+(** [n] defaults to 4 (3f+1) for PBFT/SplitBFT and 3 (2f+1) for MinBFT. *)
+
+type node =
+  | Node_pbft of Splitbft_pbft.Replica.t
+  | Node_minbft of Splitbft_minbft.Replica.t
+  | Node_splitbft of Splitbft_core.Replica.t
+
+type splitbft_byz = {
+  prep : Splitbft_core.Preparation.byz;
+  conf : Splitbft_core.Confirmation.byz;
+  exec : Splitbft_core.Execution.byz;
+}
+
+val honest_enclaves : splitbft_byz
+
+type t
+
+val create : ?splitbft_byz:(Ids.replica_id -> splitbft_byz) -> params -> t
+(** Deploys [n] replicas.  SplitBFT byzantine enclaves must be installed at
+    creation (compromised-at-deployment); PBFT/MinBFT byzantine modes are
+    set afterwards via {!node}. *)
+
+val params : t -> params
+val engine : t -> Splitbft_sim.Engine.t
+val network : t -> Splitbft_sim.Network.t
+val nodes : t -> node list
+val node : t -> Ids.replica_id -> node
+val f : t -> int
+
+val make_clients : t -> count:int -> window:int -> ?ready_quorum:int -> unit -> Client.t list
+(** Creates (but does not start) protocol-matched clients with ids
+    [0 .. count-1]. *)
+
+val run : t -> until_us:float -> unit
+
+(** {2 Uniform introspection} *)
+
+val executed_log_of : node -> (int64 * string) list
+(** (sequence, batch digest), oldest first, normalized across protocols. *)
+
+val last_executed_of : node -> int64
+val executed_count_of : node -> int
+val app_digest_of : node -> string
+val view_of : node -> int
+val crash_host : t -> Ids.replica_id -> unit
+val persisted_of : node -> (string * string) list

@@ -1,0 +1,386 @@
+module Ids = Splitbft_types.Ids
+module Cost_model = Splitbft_tee.Cost_model
+module S = Splitbft_core.Replica
+module Stats = Splitbft_util.Stats
+module Lines = Splitbft_util.Lines
+
+(* ----- shared runners ----- *)
+
+let splitbft_params ~batched ~app ~seed =
+  { (Cluster.default_params Cluster.Splitbft) with
+    Cluster.app;
+    batch_size = (if batched then 200 else 1);
+    batch_timeout_us = 10_000.0;
+    seed }
+
+let pbft_params ~batched ~app ~seed =
+  { (Cluster.default_params Cluster.Pbft) with
+    Cluster.app;
+    batch_size = (if batched then 200 else 1);
+    batch_timeout_us = 10_000.0;
+    seed }
+
+let measure ?(at_warmup = fun (_ : Cluster.t) -> ()) params ~clients ~window ~warmup_us
+    ~duration_us =
+  let cluster = Cluster.create params in
+  let spec =
+    { Workload.default_spec with
+      Workload.clients;
+      window;
+      warmup_us;
+      duration_us }
+  in
+  let result = Workload.run ~at_warmup:(fun () -> at_warmup cluster) cluster spec in
+  (cluster, result)
+
+(* ----- Figure 3 ----- *)
+
+type fig3_point = { clients : int; throughput : float; latency_us : float }
+type fig3_series = { series_label : string; points : fig3_point list }
+
+let fig3 ?clients_list ?duration_us ~batched ~app () =
+  let clients_list =
+    match clients_list with Some l -> l | None -> [ 1; 10; 40; 100; 150 ]
+  in
+  let duration_us =
+    match duration_us with
+    | Some d -> d
+    | None -> if batched then 500_000.0 else 1_000_000.0
+  in
+  let window = if batched then 40 else 1 in
+  let series label params_of =
+    { series_label = label;
+      points =
+        List.map
+          (fun clients ->
+            let _, r =
+              measure (params_of ()) ~clients ~window ~warmup_us:(duration_us /. 3.0)
+                ~duration_us
+            in
+            { clients;
+              throughput = r.Workload.throughput_ops;
+              latency_us = r.Workload.mean_latency_us })
+          clients_list }
+  in
+  [ series "splitbft" (fun () -> splitbft_params ~batched ~app ~seed:21L);
+    series "pbft" (fun () -> pbft_params ~batched ~app ~seed:22L) ]
+
+let print_fig3 ~title series =
+  let clients =
+    match series with
+    | [] -> []
+    | s :: _ -> List.map (fun p -> p.clients) s.points
+  in
+  let rows =
+    List.map
+      (fun c ->
+        ( float_of_int c,
+          List.concat_map
+            (fun s ->
+              match List.find_opt (fun p -> p.clients = c) s.points with
+              | Some p -> [ p.throughput; p.latency_us ]
+              | None -> [ nan; nan ])
+            series ))
+      clients
+  in
+  let columns =
+    List.concat_map
+      (fun s -> [ s.series_label ^ " ops/s"; s.series_label ^ " lat(us)" ])
+      series
+  in
+  Table.print_series ~title ~x_label:"clients" ~columns ~rows
+
+(* ----- Figure 4 ----- *)
+
+type fig4_row = {
+  compartment : string;
+  mean_ecall_us : float;
+  ecalls : int;
+  us_per_request : float;
+}
+
+let fig4 ?(clients = 40) ~batched () =
+  let executed_at_warmup = ref 0 in
+  let at_warmup cluster =
+    match Cluster.node cluster 0 with
+    | Cluster.Node_splitbft r ->
+      S.reset_ecall_stats r;
+      executed_at_warmup := S.executed_count r
+    | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> ()
+  in
+  let window = if batched then 40 else 1 in
+  let duration_us = if batched then 500_000.0 else 800_000.0 in
+  let cluster, _ =
+    measure ~at_warmup
+      (splitbft_params ~batched ~app:Cluster.App_kvs ~seed:31L)
+      ~clients ~window ~warmup_us:300_000.0 ~duration_us
+  in
+  match Cluster.node cluster 0 with
+  | Cluster.Node_splitbft r ->
+    let executed = max 1 (S.executed_count r - !executed_at_warmup) in
+    List.map
+      (fun c ->
+        let count, total, durations = S.ecall_stats r c in
+        { compartment = Ids.compartment_name c;
+          mean_ecall_us = Stats.mean durations;
+          ecalls = count;
+          us_per_request = total /. float_of_int executed })
+      Ids.all_compartments
+  | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> []
+
+let print_fig4 ~batched rows =
+  let total = List.fold_left (fun acc r -> acc +. r.us_per_request) 0.0 rows in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "Figure 4 — leader ecall time per compartment (%s, 40 clients, KVS)"
+         (if batched then "batched" else "unbatched"))
+    ~header:[ "compartment"; "ecalls"; "mean ecall"; "us/request" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ r.compartment;
+             string_of_int r.ecalls;
+             Table.us r.mean_ecall_us;
+             Printf.sprintf "%.1f" r.us_per_request ])
+         rows
+      @ [ [ "TOTAL"; ""; ""; Printf.sprintf "%.1f" total ] ])
+
+(* ----- Table 2 ----- *)
+
+type tcb_row = {
+  component : string;
+  shared_loc : int;
+  logic_loc : int;
+  total_loc : int;
+}
+
+let find_root () =
+  let probe dir = Sys.file_exists (Filename.concat dir "lib/core/preparation.ml") in
+  let rec up dir depth =
+    if depth > 6 then None
+    else if probe dir then Some dir
+    else up (Filename.concat dir Filename.parent_dir_name) (depth + 1)
+  in
+  up (Sys.getcwd ()) 0
+
+let ml_files_under root dirs =
+  List.concat_map
+    (fun dir ->
+      let full = Filename.concat root dir in
+      match Sys.readdir full with
+      | entries ->
+        Array.to_list entries
+        |> List.filter (fun f -> Filename.check_suffix f ".ml")
+        |> List.map (fun f -> Filename.concat full f)
+      | exception Sys_error _ -> [])
+    dirs
+
+let code_loc files = (Lines.count_files files).Lines.code
+
+let table2 ?root () =
+  let root =
+    match root with
+    | Some r -> r
+    | None -> ( match find_root () with Some r -> r | None -> ".")
+  in
+  let file sub = Filename.concat root sub in
+  (* Shared types/crypto/codec compiled into every enclave, plus the
+     in-enclave common logic. *)
+  let shared_files =
+    ml_files_under root [ "lib/types"; "lib/crypto"; "lib/codec" ]
+    @ [ file "lib/core/common.ml"; file "lib/core/wire.ml"; file "lib/core/config.ml" ]
+  in
+  let shared = code_loc shared_files in
+  let prep = code_loc [ file "lib/core/preparation.ml" ] in
+  let conf = code_loc [ file "lib/core/confirmation.ml" ] in
+  let app_loc = code_loc (ml_files_under root [ "lib/app" ]) in
+  let exec = code_loc [ file "lib/core/execution.ml" ] + app_loc in
+  let untrusted =
+    code_loc
+      ([ file "lib/core/broker.ml"; file "lib/core/replica.ml" ]
+      @ ml_files_under root [ "lib/sim" ])
+  in
+  let counter = code_loc [ file "lib/minbft/usig.ml" ] in
+  [ { component = "Preparation Enc.";
+      shared_loc = shared;
+      logic_loc = prep;
+      total_loc = shared + prep };
+    { component = "Confirmation Enc.";
+      shared_loc = shared;
+      logic_loc = conf;
+      total_loc = shared + conf };
+    { component = "Execution Enc.";
+      shared_loc = shared;
+      logic_loc = exec;
+      total_loc = shared + exec };
+    { component = "Untrusted Env."; shared_loc = 0; logic_loc = untrusted; total_loc = untrusted };
+    { component = "Trusted Counter"; shared_loc = 0; logic_loc = counter; total_loc = counter } ]
+
+let print_table2 rows =
+  Table.print ~title:"Table 2 — TCB sizes (code lines of this implementation)"
+    ~header:[ "component"; "shared"; "logic"; "total" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [ r.component;
+             (if r.shared_loc = 0 then "-" else string_of_int r.shared_loc);
+             string_of_int r.logic_loc;
+             string_of_int r.total_loc ])
+         rows)
+
+(* ----- §6 overhead decomposition (simulation mode) ----- *)
+
+type simmode_result = {
+  hardware_tput : float;
+  simulation_tput : float;
+  baseline_tput : float;
+  transition_share_of_overhead : float;
+}
+
+let simmode ?(duration_us = 800_000.0) () =
+  let clients = 40 in
+  let run params =
+    let _, r = measure params ~clients ~window:1 ~warmup_us:300_000.0 ~duration_us in
+    r.Workload.throughput_ops
+  in
+  let hw = run (splitbft_params ~batched:false ~app:Cluster.App_kvs ~seed:41L) in
+  let sim =
+    run
+      { (splitbft_params ~batched:false ~app:Cluster.App_kvs ~seed:41L) with
+        Cluster.cost = Cost_model.simulation_mode Cost_model.default }
+  in
+  let pbft = run (pbft_params ~batched:false ~app:Cluster.App_kvs ~seed:42L) in
+  (* Overhead accounting in per-request service time, as in §6. *)
+  let t_hw = 1e6 /. hw and t_sim = 1e6 /. sim and t_pbft = 1e6 /. pbft in
+  let share = (t_hw -. t_sim) /. Float.max 1e-9 (t_hw -. t_pbft) in
+  { hardware_tput = hw;
+    simulation_tput = sim;
+    baseline_tput = pbft;
+    transition_share_of_overhead = share }
+
+let print_simmode r =
+  Table.print ~title:"§6 — overhead decomposition via SGX simulation mode (unbatched KVS)"
+    ~header:[ "configuration"; "throughput" ]
+    ~rows:
+      [ [ "SplitBFT (hardware mode)"; Table.ops r.hardware_tput ];
+        [ "SplitBFT (simulation mode)"; Table.ops r.simulation_tput ];
+        [ "PBFT baseline"; Table.ops r.baseline_tput ];
+        [ "transition share of overhead"; Table.pct r.transition_share_of_overhead ] ]
+
+(* ----- ablation: batch size ----- *)
+
+type ablation_point = {
+  ab_batch : int;
+  ab_tput : float;
+  ab_ecall_us_per_req : float;
+}
+
+let batch_ablation ?(batches = [ 1; 10; 50; 100; 200; 400 ]) ?(duration_us = 400_000.0) () =
+  List.map
+    (fun batch ->
+      let executed_at_warmup = ref 0 in
+      let at_warmup cluster =
+        match Cluster.node cluster 0 with
+        | Cluster.Node_splitbft r ->
+          S.reset_ecall_stats r;
+          executed_at_warmup := S.executed_count r
+        | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> ()
+      in
+      let params =
+        { (Cluster.default_params Cluster.Splitbft) with
+          Cluster.batch_size = batch;
+          batch_timeout_us = 10_000.0;
+          seed = 61L }
+      in
+      let cluster, r =
+        measure ~at_warmup params ~clients:40 ~window:40 ~warmup_us:200_000.0 ~duration_us
+      in
+      let per_req =
+        match Cluster.node cluster 0 with
+        | Cluster.Node_splitbft replica ->
+          let executed = max 1 (S.executed_count replica - !executed_at_warmup) in
+          List.fold_left
+            (fun acc c ->
+              let _, total, _ = S.ecall_stats replica c in
+              acc +. (total /. float_of_int executed))
+            0.0 Ids.all_compartments
+        | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> nan
+      in
+      { ab_batch = batch; ab_tput = r.Workload.throughput_ops; ab_ecall_us_per_req = per_req })
+    batches
+
+let print_batch_ablation points =
+  Table.print
+    ~title:"Ablation — batch size vs enclave-transition amortization (SplitBFT KVS, 40x40 clients)"
+    ~header:[ "batch"; "throughput"; "leader ecall us/request" ]
+    ~rows:
+      (List.map
+         (fun p ->
+           [ string_of_int p.ab_batch;
+             Table.ops p.ab_tput;
+             Printf.sprintf "%.1f" p.ab_ecall_us_per_req ])
+         points)
+
+(* ----- §6 threading ceilings ----- *)
+
+type ceilings_result = {
+  single_thread_tput : float;
+  multi_thread_tput : float;
+  predicted_single : float;
+  predicted_multi : float;
+  sum_ecall_us : float;
+  exec_ecall_us : float;
+}
+
+let ceilings ?(duration_us = 800_000.0) () =
+  let clients = 40 in
+  let executed_at_warmup = ref 0 in
+  let at_warmup cluster =
+    match Cluster.node cluster 0 with
+    | Cluster.Node_splitbft r ->
+      S.reset_ecall_stats r;
+      executed_at_warmup := S.executed_count r
+    | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> ()
+  in
+  let multi_cluster, multi =
+    measure ~at_warmup
+      (splitbft_params ~batched:false ~app:Cluster.App_kvs ~seed:51L)
+      ~clients ~window:1 ~warmup_us:300_000.0 ~duration_us
+  in
+  let sum_ecall, exec_ecall =
+    match Cluster.node multi_cluster 0 with
+    | Cluster.Node_splitbft r ->
+      let executed = max 1 (S.executed_count r - !executed_at_warmup) in
+      let per_req c =
+        let _, total, _ = S.ecall_stats r c in
+        total /. float_of_int executed
+      in
+      ( List.fold_left (fun acc c -> acc +. per_req c) 0.0 Ids.all_compartments,
+        per_req Ids.Execution )
+    | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> (nan, nan)
+  in
+  let _, single =
+    measure
+      { (splitbft_params ~batched:false ~app:Cluster.App_kvs ~seed:51L) with
+        Cluster.threading = Splitbft_core.Config.Single_thread }
+      ~clients ~window:1 ~warmup_us:300_000.0 ~duration_us
+  in
+  { single_thread_tput = single.Workload.throughput_ops;
+    multi_thread_tput = multi.Workload.throughput_ops;
+    predicted_single = 1e6 /. sum_ecall;
+    predicted_multi = 1e6 /. exec_ecall;
+    sum_ecall_us = sum_ecall;
+    exec_ecall_us = exec_ecall }
+
+let print_ceilings r =
+  Table.print
+    ~title:"§6 — ecall threading ceilings (unbatched KVS, 40 clients)"
+    ~header:[ "configuration"; "measured"; "predicted ceiling" ]
+    ~rows:
+      [ [ "single ecall thread";
+          Table.ops r.single_thread_tput;
+          Printf.sprintf "%s (1e6 / %.0fus)" (Table.ops r.predicted_single) r.sum_ecall_us ];
+        [ "thread per enclave";
+          Table.ops r.multi_thread_tput;
+          Printf.sprintf "%s (1e6 / %.0fus)" (Table.ops r.predicted_multi) r.exec_ecall_us ] ]

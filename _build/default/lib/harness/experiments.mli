@@ -1,0 +1,103 @@
+(** The paper's evaluation, experiment by experiment.
+
+    Each function deploys fresh clusters, drives the §6 workloads, and
+    returns structured results; the [print_*] companions render them in
+    the shape of the corresponding paper artifact.  See DESIGN.md §4 for
+    the experiment index and EXPERIMENTS.md for measured-vs-paper
+    numbers. *)
+
+(** {2 Figure 3 — throughput and latency} *)
+
+type fig3_point = {
+  clients : int;
+  throughput : float;  (** ops/s *)
+  latency_us : float;  (** mean *)
+}
+
+type fig3_series = { series_label : string; points : fig3_point list }
+
+val fig3 :
+  ?clients_list:int list ->
+  ?duration_us:float ->
+  batched:bool ->
+  app:Cluster.app_kind ->
+  unit ->
+  fig3_series list
+(** SplitBFT and PBFT series over the client sweep.  Unbatched runs use
+    synchronous clients; batched runs use batch size 200, 10 ms batch
+    timeout and 40 outstanding requests per client, as in §6. *)
+
+val print_fig3 : title:string -> fig3_series list -> unit
+
+(** {2 Figure 4 — ecall latency per compartment} *)
+
+type fig4_row = {
+  compartment : string;
+  mean_ecall_us : float;
+  ecalls : int;
+  us_per_request : float;  (** total compartment ecall time per executed request *)
+}
+
+val fig4 : ?clients:int -> batched:bool -> unit -> fig4_row list
+(** Leader-side measurement with 40 clients on the KVS, per the paper. *)
+
+val print_fig4 : batched:bool -> fig4_row list -> unit
+
+(** {2 Table 2 — TCB sizes} *)
+
+type tcb_row = {
+  component : string;
+  shared_loc : int;  (** shared types/logic compiled into every enclave *)
+  logic_loc : int;  (** compartment-specific logic *)
+  total_loc : int;
+}
+
+val table2 : ?root:string -> unit -> tcb_row list
+(** Counts code lines of this repository's own sources (tokei-style),
+    attributing shared protocol types/crypto to every enclave, per the
+    paper's methodology.  [root] defaults to the source tree detected from
+    the current directory. *)
+
+val print_table2 : tcb_row list -> unit
+
+(** {2 §6 overhead decomposition — SGX simulation mode} *)
+
+type simmode_result = {
+  hardware_tput : float;
+  simulation_tput : float;
+  baseline_tput : float;  (** PBFT *)
+  transition_share_of_overhead : float;
+      (** fraction of the SplitBFT-vs-PBFT gap explained by transitions *)
+}
+
+val simmode : ?duration_us:float -> unit -> simmode_result
+val print_simmode : simmode_result -> unit
+
+(** {2 Ablation — batch size vs transition amortization} *)
+
+type ablation_point = {
+  ab_batch : int;
+  ab_tput : float;
+  ab_ecall_us_per_req : float;  (** total leader ecall time per request *)
+}
+
+val batch_ablation : ?batches:int list -> ?duration_us:float -> unit -> ablation_point list
+(** SplitBFT KVS, 40 clients with 40 outstanding requests each, sweeping
+    the batch size: shows the enclave-transition amortization that
+    motivates batching in §6. *)
+
+val print_batch_ablation : ablation_point list -> unit
+
+(** {2 §6 threading ceilings} *)
+
+type ceilings_result = {
+  single_thread_tput : float;
+  multi_thread_tput : float;
+  predicted_single : float;  (** 1e6 / (sum of per-request ecall time) *)
+  predicted_multi : float;  (** 1e6 / (Execution per-request ecall time) *)
+  sum_ecall_us : float;
+  exec_ecall_us : float;
+}
+
+val ceilings : ?duration_us:float -> unit -> ceilings_result
+val print_ceilings : ceilings_result -> unit

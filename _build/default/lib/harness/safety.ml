@@ -1,0 +1,102 @@
+type scanner = { mutable leaks : int }
+
+let contains_canary payload =
+  let needle = Workload.canary in
+  let n = String.length needle and m = String.length payload in
+  let rec loop i =
+    if i + n > m then false
+    else if String.equal (String.sub payload i n) needle then true
+    else loop (i + 1)
+  in
+  loop 0
+
+let install_scanner cluster =
+  let s = { leaks = 0 } in
+  Splitbft_sim.Network.set_tap (Cluster.network cluster)
+    (Some (fun ~src:_ ~dst:_ payload -> if contains_canary payload then s.leaks <- s.leaks + 1));
+  s
+
+let network_leaks s = s.leaks
+
+let storage_leaks cluster ~honest_hosts =
+  ignore honest_hosts;
+  List.fold_left
+    (fun acc node ->
+      List.fold_left
+        (fun acc (_, data) -> if contains_canary data then acc + 1 else acc)
+        acc
+        (Cluster.persisted_of node))
+    0 (Cluster.nodes cluster)
+
+type agreement =
+  | Agreement
+  | Conflict of { seq : int64; a : int; b : int }
+
+let check_agreement cluster ~honest =
+  let logs =
+    List.map
+      (fun i ->
+        let table = Hashtbl.create 256 in
+        List.iter
+          (fun (seq, d) -> Hashtbl.replace table seq d)
+          (Cluster.executed_log_of (Cluster.node cluster i));
+        (i, table))
+      honest
+  in
+  let rec pairs = function
+    | [] -> Agreement
+    | (a, ta) :: rest ->
+      let conflict_with (b, tb) =
+        Hashtbl.fold
+          (fun seq da acc ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+              match Hashtbl.find_opt tb seq with
+              | Some db when not (String.equal da db) -> Some (seq, b)
+              | Some _ | None -> None))
+          ta None
+      in
+      let rec check_rest = function
+        | [] -> pairs rest
+        | other :: more -> (
+          match conflict_with other with
+          | Some (seq, b) -> Conflict { seq; a; b }
+          | None -> check_rest more)
+      in
+      check_rest rest
+  in
+  pairs logs
+
+type verdict = {
+  live : bool;
+  safe : bool;
+  confidential : bool;
+  detail : string;
+}
+
+let verdict cluster ~honest ~scanner ~workload ~min_completed =
+  let agreement = check_agreement cluster ~honest in
+  let storage = storage_leaks cluster ~honest_hosts:honest in
+  let live = workload.Workload.completed_total >= min_completed in
+  let safe = agreement = Agreement && workload.Workload.wrong_results = 0 in
+  let confidential = network_leaks scanner = 0 && storage = 0 in
+  let detail =
+    let parts = ref [] in
+    (match agreement with
+    | Agreement -> ()
+    | Conflict { seq; a; b } ->
+      parts := Printf.sprintf "divergence at seq %Ld (replicas %d vs %d)" seq a b :: !parts);
+    if workload.Workload.wrong_results > 0 then
+      parts := Printf.sprintf "%d wrong client results" workload.Workload.wrong_results :: !parts;
+    if network_leaks scanner > 0 then
+      parts := Printf.sprintf "%d leaking wire payloads" (network_leaks scanner) :: !parts;
+    if storage > 0 then parts := Printf.sprintf "%d leaking storage blobs" storage :: !parts;
+    if not live then
+      parts :=
+        Printf.sprintf "only %d ops completed (needed %d)" workload.Workload.completed_total
+          min_completed
+        :: !parts;
+    String.concat "; " (List.rev !parts)
+  in
+  { live; safe; confidential; detail }

@@ -1,0 +1,45 @@
+(** Safety, liveness and confidentiality verdicts over a finished run.
+
+    Safety here is the paper's notion: honest replicas never execute
+    conflicting batches at the same sequence number (agreement), clients
+    never accept a wrong result (integrity of replies, checked by the
+    workload), and persisted ledgers are prefix-consistent.
+    Confidentiality: operation plaintexts (identified by the workload
+    canary) never appear in untrusted-world bytes — network payloads or
+    untrusted storage. *)
+
+type scanner
+
+val install_scanner : Cluster.t -> scanner
+(** Taps the network; call before the run starts. *)
+
+val network_leaks : scanner -> int
+(** Payloads observed on the wire containing the canary. *)
+
+val storage_leaks : Cluster.t -> honest_hosts:int list -> int
+(** Untrusted-storage blobs containing the canary.  Only hosts whose
+    environment is honest are scanned for *surprising* leaks; a byzantine
+    host exfiltrating what its own enclaves legitimately gave it is counted
+    too, since enclave outputs should be sealed/encrypted regardless. *)
+
+type agreement =
+  | Agreement
+  | Conflict of { seq : int64; a : int; b : int }
+      (** replicas [a] and [b] executed different batches at [seq] *)
+
+val check_agreement : Cluster.t -> honest:int list -> agreement
+
+type verdict = {
+  live : bool;
+  safe : bool;
+  confidential : bool;
+  detail : string;
+}
+
+val verdict :
+  Cluster.t ->
+  honest:int list ->
+  scanner:scanner ->
+  workload:Workload.result ->
+  min_completed:int ->
+  verdict

@@ -1,0 +1,303 @@
+module Engine = Splitbft_sim.Engine
+module P = Splitbft_pbft.Replica
+module M = Splitbft_minbft.Replica
+module S = Splitbft_core.Replica
+module Broker = Splitbft_core.Broker
+module Preparation = Splitbft_core.Preparation
+module Confirmation = Splitbft_core.Confirmation
+module Execution = Splitbft_core.Execution
+module Ids = Splitbft_types.Ids
+
+type expectation = { exp_live : bool; exp_safe : bool; exp_confidential : bool }
+
+type scenario = {
+  id : string;
+  description : string;
+  protocol : Cluster.protocol;
+  expected : expectation;
+  honest : int list;
+  make : int64 -> Cluster.t;
+  inject : Cluster.t -> unit;
+  duration_us : float;
+  min_completed : int;
+}
+
+let tolerate = { exp_live = true; exp_safe = true; exp_confidential = true }
+let plaintext e = { e with exp_confidential = false }
+let unsafe e = { e with exp_safe = false }
+let stalled e = { e with exp_live = false }
+
+let pbft_node cluster i =
+  match Cluster.node cluster i with
+  | Cluster.Node_pbft r -> r
+  | Cluster.Node_minbft _ | Cluster.Node_splitbft _ -> assert false
+
+let minbft_node cluster i =
+  match Cluster.node cluster i with
+  | Cluster.Node_minbft r -> r
+  | Cluster.Node_pbft _ | Cluster.Node_splitbft _ -> assert false
+
+let splitbft_node cluster i =
+  match Cluster.node cluster i with
+  | Cluster.Node_splitbft r -> r
+  | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> assert false
+
+let crash_at cluster ~delay i =
+  ignore
+    (Engine.schedule (Cluster.engine cluster) ~delay ~label:"scenario:crash" (fun () ->
+         Cluster.crash_host cluster i))
+
+let make_simple protocol seed =
+  Cluster.create
+    { (Cluster.default_params protocol) with
+      Cluster.seed;
+      suspect_timeout_us = 250_000.0 }
+
+let no_inject (_ : Cluster.t) = ()
+
+let splitbft_with seed byz_of =
+  Cluster.create ~splitbft_byz:byz_of
+    { (Cluster.default_params Cluster.Splitbft) with
+      Cluster.seed;
+      suspect_timeout_us = 250_000.0 }
+
+let all =
+  [
+    (* ---------- PBFT ---------- *)
+    { id = "pbft/fault-free";
+      description = "PBFT, no faults";
+      protocol = Cluster.Pbft;
+      expected = plaintext tolerate;
+      honest = [ 0; 1; 2; 3 ];
+      make = make_simple Cluster.Pbft;
+      inject = no_inject;
+      duration_us = 1_500_000.0;
+      min_completed = 50 };
+    { id = "pbft/crash-f";
+      description = "PBFT, f = 1 host crash (backup)";
+      protocol = Cluster.Pbft;
+      expected = plaintext tolerate;
+      honest = [ 0; 1; 2 ];
+      make = make_simple Cluster.Pbft;
+      inject = (fun c -> crash_at c ~delay:400_000.0 3);
+      duration_us = 2_000_000.0;
+      min_completed = 50 };
+    { id = "pbft/crash-primary";
+      description = "PBFT, primary host crash (view change)";
+      protocol = Cluster.Pbft;
+      expected = plaintext tolerate;
+      honest = [ 1; 2; 3 ];
+      make = make_simple Cluster.Pbft;
+      inject = (fun c -> crash_at c ~delay:400_000.0 0);
+      duration_us = 2_500_000.0;
+      min_completed = 50 };
+    { id = "pbft/byz-f";
+      description = "PBFT, f = 1 byzantine replica (corrupt execution)";
+      protocol = Cluster.Pbft;
+      expected = plaintext tolerate;
+      honest = [ 0; 2; 3 ];
+      make = make_simple Cluster.Pbft;
+      inject = (fun c -> P.set_byzantine (pbft_node c 1) P.Corrupt_execution);
+      duration_us = 1_500_000.0;
+      min_completed = 50 };
+    { id = "pbft/byz-f+1";
+      description = "PBFT, f + 1 byzantine replicas (equivocation + collusion)";
+      protocol = Cluster.Pbft;
+      expected = unsafe (plaintext tolerate);
+      honest = [ 2; 3 ];
+      make = make_simple Cluster.Pbft;
+      inject =
+        (fun c ->
+          P.set_byzantine (pbft_node c 0) (P.Equivocate { accomplices = [ 1 ] });
+          P.set_byzantine (pbft_node c 1) P.Collude);
+      duration_us = 1_500_000.0;
+      min_completed = 10 };
+    (* ---------- MinBFT (hybrid) ---------- *)
+    { id = "minbft/fault-free";
+      description = "MinBFT, no faults";
+      protocol = Cluster.Minbft;
+      expected = plaintext tolerate;
+      honest = [ 0; 1; 2 ];
+      make = make_simple Cluster.Minbft;
+      inject = no_inject;
+      duration_us = 1_500_000.0;
+      min_completed = 50 };
+    { id = "minbft/crash-f";
+      description = "MinBFT, f = 1 host crash (backup)";
+      protocol = Cluster.Minbft;
+      expected = plaintext tolerate;
+      honest = [ 0; 1 ];
+      make = make_simple Cluster.Minbft;
+      inject = (fun c -> crash_at c ~delay:400_000.0 2);
+      duration_us = 2_000_000.0;
+      min_completed = 50 };
+    { id = "minbft/byz-f";
+      description = "MinBFT, f = 1 byzantine host (corrupt execution, intact USIG)";
+      protocol = Cluster.Minbft;
+      expected = plaintext tolerate;
+      honest = [ 0; 2 ];
+      make = make_simple Cluster.Minbft;
+      inject = (fun c -> M.set_byzantine (minbft_node c 1) M.Corrupt_execution);
+      duration_us = 1_500_000.0;
+      min_completed = 50 };
+    { id = "minbft/faulty-tee";
+      description = "MinBFT, single compromised USIG (primary equivocates)";
+      protocol = Cluster.Minbft;
+      (* Divergent replicas each answer differently, so no client ever
+         collects f+1 matching replies: integrity AND liveness are lost. *)
+      expected = stalled (unsafe (plaintext tolerate));
+      honest = [ 1; 2 ];
+      make = make_simple Cluster.Minbft;
+      inject = (fun c -> M.set_byzantine (minbft_node c 0) M.Faulty_tee_equivocate);
+      duration_us = 1_500_000.0;
+      min_completed = 10 };
+    (* ---------- SplitBFT ---------- *)
+    { id = "splitbft/fault-free";
+      description = "SplitBFT, no faults";
+      protocol = Cluster.Splitbft;
+      expected = tolerate;
+      honest = [ 0; 1; 2; 3 ];
+      make = make_simple Cluster.Splitbft;
+      inject = no_inject;
+      duration_us = 1_500_000.0;
+      min_completed = 50 };
+    { id = "splitbft/crash-f";
+      description = "SplitBFT, f = 1 host crash";
+      protocol = Cluster.Splitbft;
+      expected = tolerate;
+      honest = [ 0; 1; 2 ];
+      make = make_simple Cluster.Splitbft;
+      inject = (fun c -> crash_at c ~delay:400_000.0 3);
+      duration_us = 2_000_000.0;
+      min_completed = 50 };
+    { id = "splitbft/enclave-f-each-type";
+      description =
+        "SplitBFT, f byzantine enclaves of EVERY type (equivocating \
+         Preparation, promiscuous Confirmation, corrupt Execution, on \
+         three different hosts)";
+      protocol = Cluster.Splitbft;
+      expected = tolerate;
+      honest = [ 0; 1; 3 ];
+      make =
+        (fun seed ->
+          splitbft_with seed (fun i ->
+              match i with
+              | 0 -> { Cluster.honest_enclaves with Cluster.prep = Preparation.Prep_equivocate }
+              | 1 -> { Cluster.honest_enclaves with Cluster.conf = Confirmation.Conf_promiscuous }
+              | 2 -> { Cluster.honest_enclaves with Cluster.exec = Execution.Exec_corrupt }
+              | _ -> Cluster.honest_enclaves));
+      inject = no_inject;
+      duration_us = 3_000_000.0;
+      min_completed = 20 };
+    { id = "splitbft/exec-f+1-corrupt";
+      description = "SplitBFT, f + 1 corrupt Execution enclaves (beyond the bound)";
+      protocol = Cluster.Splitbft;
+      expected = unsafe tolerate;
+      honest = [ 2; 3 ];
+      make =
+        (fun seed ->
+          splitbft_with seed (fun i ->
+              if i <= 1 then
+                { Cluster.honest_enclaves with Cluster.exec = Execution.Exec_corrupt }
+              else Cluster.honest_enclaves));
+      inject = no_inject;
+      duration_us = 1_500_000.0;
+      min_completed = 20 };
+    { id = "splitbft/exec-leak";
+      description = "SplitBFT, f = 1 leaking Execution enclave (confidentiality lost)";
+      protocol = Cluster.Splitbft;
+      expected = { exp_live = true; exp_safe = true; exp_confidential = false };
+      honest = [ 1; 2; 3 ];
+      make =
+        (fun seed ->
+          splitbft_with seed (fun i ->
+              if i = 0 then
+                { Cluster.honest_enclaves with Cluster.exec = Execution.Exec_leak }
+              else Cluster.honest_enclaves));
+      inject = no_inject;
+      duration_us = 1_500_000.0;
+      min_completed = 50 };
+    { id = "splitbft/host-attacker-all";
+      description = "SplitBFT, attacker on ALL hosts (delaying environments)";
+      protocol = Cluster.Splitbft;
+      expected = tolerate;
+      honest = [ 0; 1; 2; 3 ];
+      make = make_simple Cluster.Splitbft;
+      inject =
+        (fun c ->
+          List.iteri
+            (fun i _ -> S.set_env_fault (splitbft_node c i) (Broker.Env_delay 2_000.0))
+            (Cluster.nodes c));
+      duration_us = 2_000_000.0;
+      min_completed = 20 };
+    { id = "splitbft/env-starve-all";
+      description =
+        "SplitBFT, attacker on ALL hosts starving the Confirmation \
+         compartments (liveness lost, safety kept)";
+      protocol = Cluster.Splitbft;
+      expected = stalled tolerate;
+      honest = [ 0; 1; 2; 3 ];
+      make = make_simple Cluster.Splitbft;
+      inject =
+        (fun c ->
+          List.iteri
+            (fun i _ ->
+              S.set_env_fault (splitbft_node c i) (Broker.Env_starve Ids.Confirmation))
+            (Cluster.nodes c));
+      duration_us = 1_500_000.0;
+      min_completed = 10 };
+  ]
+
+let find id = List.find_opt (fun s -> String.equal s.id id) all
+
+type outcome = {
+  scenario : scenario;
+  verdict : Safety.verdict;
+  workload : Workload.result;
+}
+
+let run ?(seed = 42L) scenario =
+  let cluster = scenario.make seed in
+  let scanner = Safety.install_scanner cluster in
+  scenario.inject cluster;
+  let spec =
+    { Workload.default_spec with
+      Workload.clients = 3;
+      warmup_us = 0.0;
+      duration_us = scenario.duration_us;
+      ready_quorum =
+        (match scenario.protocol with
+        | Cluster.Splitbft -> Some (Cluster.params cluster).Cluster.n
+        | Cluster.Pbft | Cluster.Minbft -> None) }
+  in
+  let workload = Workload.run cluster spec in
+  let verdict =
+    Safety.verdict cluster ~honest:scenario.honest ~scanner ~workload
+      ~min_completed:scenario.min_completed
+  in
+  { scenario; verdict; workload }
+
+let matches_expectation o =
+  let e = o.scenario.expected and v = o.verdict in
+  e.exp_live = v.Safety.live && e.exp_safe = v.Safety.safe
+  && e.exp_confidential = v.Safety.confidential
+
+let print_table1 outcomes =
+  let rows =
+    List.map
+      (fun o ->
+        let e = o.scenario.expected and v = o.verdict in
+        let cell expected observed =
+          Printf.sprintf "%s/%s" (Table.yes_no expected) (Table.yes_no observed)
+        in
+        [ o.scenario.id;
+          cell e.exp_live v.Safety.live;
+          cell e.exp_safe v.Safety.safe;
+          cell e.exp_confidential v.Safety.confidential;
+          string_of_int o.workload.Workload.completed_total;
+          (if matches_expectation o then "ok" else "MISMATCH") ])
+      outcomes
+  in
+  Table.print ~title:"Table 1 — fault-model comparison (expected/observed)"
+    ~header:[ "scenario"; "live"; "safe"; "confidential"; "ops"; "check" ]
+    ~rows

@@ -1,0 +1,101 @@
+module Engine = Splitbft_sim.Engine
+module Client = Splitbft_client.Client
+module Kvs = Splitbft_app.Kvs
+module Stats = Splitbft_util.Stats
+
+type spec = {
+  clients : int;
+  window : int;
+  warmup_us : float;
+  duration_us : float;
+  payload_size : int;
+  ready_quorum : int option;
+}
+
+let default_spec =
+  { clients = 10;
+    window = 1;
+    warmup_us = 500_000.0;
+    duration_us = 2_000_000.0;
+    payload_size = 10;
+    ready_quorum = None }
+
+type result = {
+  throughput_ops : float;
+  mean_latency_us : float;
+  p50_latency_us : float;
+  p99_latency_us : float;
+  completed : int;
+  completed_total : int;
+  wrong_results : int;
+  clients_ready : int;
+}
+
+let canary = "S3CRET"
+
+(* A [payload_size]-byte value carrying the canary prefix. *)
+let value ~payload_size ~client ~i =
+  let base = Printf.sprintf "%s%d:%d" canary client i in
+  if String.length base >= payload_size then String.sub base 0 payload_size
+  else base ^ String.make (payload_size - String.length base) 'x'
+
+let op_for (cluster : Cluster.t) ~client ~i ~payload_size =
+  match (Cluster.params cluster).Cluster.app with
+  | Cluster.App_kvs ->
+    (* PUT updating a bounded key set, as in the paper's evaluation. *)
+    ( Kvs.encode_op (Kvs.Put (Printf.sprintf "key-%d-%d" client (i mod 64),
+                              value ~payload_size ~client ~i)),
+      `Expect Kvs.ok )
+  | Cluster.App_ledger -> (value ~payload_size ~client ~i, `Any)
+  | Cluster.App_counter -> (Splitbft_app.Counter_app.increment_op, `Any)
+
+let run ?(at_warmup = fun () -> ()) cluster spec =
+  let engine = Cluster.engine cluster in
+  let clients =
+    Cluster.make_clients cluster ~count:spec.clients ~window:spec.window
+      ?ready_quorum:spec.ready_quorum ()
+  in
+  let t_warm = Engine.now engine +. spec.warmup_us in
+  let t_end = t_warm +. spec.duration_us in
+  let lat = Stats.create () in
+  let completed_in_window = ref 0 in
+  let completed_total = ref 0 in
+  let wrong = ref 0 in
+  let ready = ref 0 in
+  List.iteri
+    (fun ci client ->
+      let i = ref 0 in
+      let rec next () =
+        incr i;
+        let op, expect = op_for cluster ~client:ci ~i:!i ~payload_size:spec.payload_size in
+        Client.submit client ~op ~on_result:(fun ~latency_us ~result ->
+            incr completed_total;
+            let now = Engine.now engine in
+            (match expect with
+            | `Expect e ->
+              if not (String.equal result e) then incr wrong
+            | `Any -> if String.equal result "CORRUPT" then incr wrong);
+            if now >= t_warm && now < t_end then begin
+              incr completed_in_window;
+              Stats.add lat latency_us
+            end;
+            next ())
+      in
+      Client.start client ~on_ready:(fun () ->
+          incr ready;
+          for _ = 1 to spec.window do
+            next ()
+          done))
+    clients;
+  ignore (Engine.schedule engine ~delay:(t_warm -. Engine.now engine) ~label:"warmup-end"
+            at_warmup);
+  Engine.run ~until:t_end engine;
+  List.iter Client.stop clients;
+  { throughput_ops = float_of_int !completed_in_window /. (spec.duration_us /. 1_000_000.0);
+    mean_latency_us = Stats.mean lat;
+    p50_latency_us = Stats.median lat;
+    p99_latency_us = Stats.percentile lat 99.0;
+    completed = !completed_in_window;
+    completed_total = !completed_total;
+    wrong_results = !wrong;
+    clients_ready = !ready }

@@ -1,0 +1,40 @@
+(** Closed-loop workload driver implementing the paper's measurement
+    methodology (§6): clients constantly issue synchronous requests
+    ([window] = 1; or 40 outstanding in the batched experiments), latency
+    is the time to collect the reply quorum, and throughput/latency are
+    computed over a measurement window after warm-up.
+
+    Operations embed a canary marker ({!canary}); the confidentiality
+    checker scans untrusted-world bytes for it. *)
+
+type spec = {
+  clients : int;
+  window : int;
+  warmup_us : float;
+  duration_us : float;
+  payload_size : int;  (** operation value size; the paper uses 10 bytes *)
+  ready_quorum : int option;  (** SplitBFT session acks required *)
+}
+
+val default_spec : spec
+(** 10 clients, window 1, 0.5 s warm-up, 2 s measurement, 10-byte values. *)
+
+type result = {
+  throughput_ops : float;  (** operations per second of simulated time *)
+  mean_latency_us : float;
+  p50_latency_us : float;
+  p99_latency_us : float;
+  completed : int;  (** inside the measurement window *)
+  completed_total : int;
+  wrong_results : int;  (** replies that did not match the expected result *)
+  clients_ready : int;
+}
+
+val canary : string
+(** Marker embedded in every generated operation payload. *)
+
+val run : ?at_warmup:(unit -> unit) -> Cluster.t -> spec -> result
+(** Deploys clients on the cluster, runs the simulation for
+    [warmup + duration], and reports measurement-window statistics.
+    [at_warmup] fires at the start of the measurement window (used to
+    reset enclave ecall statistics for Figure 4). *)

@@ -1,0 +1,1 @@
+lib/minbft/mmsg.ml: Char Printf Splitbft_codec Splitbft_types String Usig

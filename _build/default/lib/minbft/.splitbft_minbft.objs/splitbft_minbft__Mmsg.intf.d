@@ -1,0 +1,1 @@
+lib/minbft/mmsg.mli: Splitbft_types Usig

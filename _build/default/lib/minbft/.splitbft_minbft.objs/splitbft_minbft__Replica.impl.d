@@ -1,0 +1,1 @@
+lib/minbft/replica.ml: Array Hashtbl Int64 Lazy List Mmsg Option Printf Splitbft_app Splitbft_crypto Splitbft_sim Splitbft_tee Splitbft_types String Usig

@@ -1,0 +1,1 @@
+lib/minbft/replica.mli: Splitbft_app Splitbft_sim Splitbft_tee Splitbft_types

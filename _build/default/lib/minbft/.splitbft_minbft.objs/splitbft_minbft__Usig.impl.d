@@ -1,0 +1,1 @@
+lib/minbft/usig.ml: Int64 Printf Splitbft_codec Splitbft_crypto

@@ -1,0 +1,1 @@
+lib/minbft/usig.mli:

@@ -1,0 +1,163 @@
+module W = Splitbft_codec.Writer
+module R = Splitbft_codec.Reader
+module Message = Splitbft_types.Message
+
+type prepare = {
+  p_view : int;
+  p_batch : Message.request list;
+  p_ui : Usig.ui;
+}
+
+type commit = {
+  c_view : int;
+  c_primary_counter : int64;
+  c_digest : string;
+  c_sender : int;
+  c_ui : Usig.ui;
+}
+
+type checkpoint = {
+  k_counter : int64;
+  k_state_digest : string;
+  k_sender : int;
+  k_ui : Usig.ui;
+}
+
+type viewchange = { v_new_view : int; v_sender : int; v_ui : Usig.ui }
+type newview = { n_view : int; n_sender : int; n_ui : Usig.ui }
+
+type t =
+  | Prepare of prepare
+  | Commit of commit
+  | Checkpoint of checkpoint
+  | Viewchange of viewchange
+  | Newview of newview
+
+let base_tag = 100
+
+let sender = function
+  | Prepare _ -> -1 (* resolved by view at the call site; primaries rotate *)
+  | Commit c -> c.c_sender
+  | Checkpoint k -> k.k_sender
+  | Viewchange v -> v.v_sender
+  | Newview n -> n.n_sender
+
+let ui = function
+  | Prepare p -> p.p_ui
+  | Commit c -> c.c_ui
+  | Checkpoint k -> k.k_ui
+  | Viewchange v -> v.v_ui
+  | Newview n -> n.n_ui
+
+let signed_part msg =
+  W.to_string
+    (fun w msg ->
+      match msg with
+      | Prepare p ->
+        W.raw w "mb-p";
+        W.varint w p.p_view;
+        W.list w (fun w r -> W.bytes w (Message.encode_request r)) p.p_batch
+      | Commit c ->
+        W.raw w "mb-c";
+        W.varint w c.c_view;
+        W.u64 w c.c_primary_counter;
+        W.bytes w c.c_digest;
+        W.varint w c.c_sender
+      | Checkpoint k ->
+        W.raw w "mb-k";
+        W.u64 w k.k_counter;
+        W.bytes w k.k_state_digest;
+        W.varint w k.k_sender
+      | Viewchange v ->
+        W.raw w "mb-v";
+        W.varint w v.v_new_view;
+        W.varint w v.v_sender
+      | Newview n ->
+        W.raw w "mb-n";
+        W.varint w n.n_view;
+        W.varint w n.n_sender)
+    msg
+
+let write_ui w (u : Usig.ui) = W.bytes w (Usig.encode_ui u)
+
+let read_ui r =
+  match Usig.decode_ui (R.bytes r) with
+  | Ok u -> u
+  | Error e -> raise (R.Error ("ui: " ^ e))
+
+let read_request r =
+  match Message.decode_request (R.bytes r) with
+  | Ok req -> req
+  | Error e -> raise (R.Error ("request: " ^ e))
+
+let encode msg =
+  W.to_string
+    (fun w msg ->
+      match msg with
+      | Prepare p ->
+        W.u8 w (base_tag + 0);
+        W.varint w p.p_view;
+        W.list w (fun w r -> W.bytes w (Message.encode_request r)) p.p_batch;
+        write_ui w p.p_ui
+      | Commit c ->
+        W.u8 w (base_tag + 1);
+        W.varint w c.c_view;
+        W.u64 w c.c_primary_counter;
+        W.bytes w c.c_digest;
+        W.varint w c.c_sender;
+        write_ui w c.c_ui
+      | Checkpoint k ->
+        W.u8 w (base_tag + 2);
+        W.u64 w k.k_counter;
+        W.bytes w k.k_state_digest;
+        W.varint w k.k_sender;
+        write_ui w k.k_ui
+      | Viewchange v ->
+        W.u8 w (base_tag + 3);
+        W.varint w v.v_new_view;
+        W.varint w v.v_sender;
+        write_ui w v.v_ui
+      | Newview n ->
+        W.u8 w (base_tag + 4);
+        W.varint w n.n_view;
+        W.varint w n.n_sender;
+        write_ui w n.n_ui)
+    msg
+
+let decode s =
+  R.parse
+    (fun r ->
+      match R.u8 r - base_tag with
+      | 0 ->
+        let p_view = R.varint r in
+        let p_batch = R.list r read_request in
+        let p_ui = read_ui r in
+        Prepare { p_view; p_batch; p_ui }
+      | 1 ->
+        let c_view = R.varint r in
+        let c_primary_counter = R.u64 r in
+        let c_digest = R.bytes r in
+        let c_sender = R.varint r in
+        let c_ui = read_ui r in
+        Commit { c_view; c_primary_counter; c_digest; c_sender; c_ui }
+      | 2 ->
+        let k_counter = R.u64 r in
+        let k_state_digest = R.bytes r in
+        let k_sender = R.varint r in
+        let k_ui = read_ui r in
+        Checkpoint { k_counter; k_state_digest; k_sender; k_ui }
+      | 3 ->
+        let v_new_view = R.varint r in
+        let v_sender = R.varint r in
+        let v_ui = read_ui r in
+        Viewchange { v_new_view; v_sender; v_ui }
+      | 4 ->
+        let n_view = R.varint r in
+        let n_sender = R.varint r in
+        let n_ui = read_ui r in
+        Newview { n_view; n_sender; n_ui }
+      | t -> raise (R.Error (Printf.sprintf "unknown minbft tag %d" (t + base_tag))))
+    s
+
+let is_minbft_payload s =
+  String.length s > 0 && Char.code s.[0] >= base_tag && Char.code s.[0] < base_tag + 5

@@ -1,0 +1,53 @@
+(** MinBFT wire messages.
+
+    Every replica-to-replica message carries a USIG identifier; receivers
+    process each sender's stream strictly in counter order, which is what
+    rules out equivocation with only [2f + 1] replicas.  Client requests
+    and replies reuse the shared {!Splitbft_types.Message} forms.  Tags are
+    disjoint from the shared message tags so both can be told apart on the
+    wire. *)
+
+module Message = Splitbft_types.Message
+
+type prepare = {
+  p_view : int;
+  p_batch : Message.request list;
+  p_ui : Usig.ui;  (** the primary's counter defines the order *)
+}
+
+type commit = {
+  c_view : int;
+  c_primary_counter : int64;
+  c_digest : string;
+  c_sender : int;
+  c_ui : Usig.ui;
+}
+
+type checkpoint = {
+  k_counter : int64;  (** primary counter of the last executed prepare *)
+  k_state_digest : string;
+  k_sender : int;
+  k_ui : Usig.ui;
+}
+
+type viewchange = { v_new_view : int; v_sender : int; v_ui : Usig.ui }
+type newview = { n_view : int; n_sender : int; n_ui : Usig.ui }
+
+type t =
+  | Prepare of prepare
+  | Commit of commit
+  | Checkpoint of checkpoint
+  | Viewchange of viewchange
+  | Newview of newview
+
+val sender : t -> int
+val ui : t -> Usig.ui
+
+val signed_part : t -> string
+(** Bytes covered by the message's USIG certificate. *)
+
+val encode : t -> string
+val decode : string -> (t, string) result
+
+val is_minbft_payload : string -> bool
+(** Distinguishes MinBFT payloads from shared-format ones by tag. *)

@@ -1,0 +1,545 @@
+module Engine = Splitbft_sim.Engine
+module Network = Splitbft_sim.Network
+module Resource = Splitbft_sim.Resource
+module Timer = Splitbft_sim.Timer
+module Cost_model = Splitbft_tee.Cost_model
+module Ids = Splitbft_types.Ids
+module Addr = Splitbft_types.Addr
+module Keys = Splitbft_types.Keys
+module Message = Splitbft_types.Message
+module Hmac = Splitbft_crypto.Hmac
+module State_machine = Splitbft_app.State_machine
+
+let protocol_name = "minbft"
+
+type config = {
+  n : int;
+  id : Ids.replica_id;
+  cost : Cost_model.t;
+  workers : int;
+  batch_size : int;
+  batch_timeout_us : float;
+  checkpoint_interval : int;
+  suspect_timeout_us : float;
+}
+
+let default_config ~n ~id =
+  { n;
+    id;
+    cost = Cost_model.default;
+    workers = 4;
+    batch_size = 1;
+    batch_timeout_us = 10_000.0;
+    checkpoint_interval = 64;
+    suspect_timeout_us = 500_000.0 }
+
+type byzantine_mode =
+  | Honest
+  | Faulty_tee_equivocate
+  | Mute_commits
+  | Corrupt_execution
+
+(* An ordered-log entry: one Prepare accepted from the primary, in counter
+   order. *)
+type entry = {
+  e_counter : int64;
+  e_digest : string;
+  e_batch : Message.request list;
+  mutable e_attesters : int list;  (* primary + commit senders *)
+  mutable e_executed : bool;
+}
+
+module Client_dedup = Splitbft_types.Client_dedup
+
+type t = {
+  cfg : config;
+  f : int;
+  engine : Engine.t;
+  net : Network.t;
+  pool : Resource.Pool.pool;
+  core : Resource.t;
+  usig : Usig.t;
+  app : State_machine.t;
+  mutable view : Ids.view;
+  windows : Usig.Window.w array;  (* per-sender counter windows *)
+  holdback : (int * int64, Mmsg.t) Hashtbl.t;
+  mutable order : entry list;  (* newest first; counter order when reversed *)
+  by_counter : (int64, entry) Hashtbl.t;
+  pending_commits : (int64, Mmsg.commit list) Hashtbl.t;
+  mutable executed_upto : int;  (* executed prefix length of (rev order) *)
+  mutable last_exec_counter : int64;
+  mutable exec_index : int;  (* global execution position, across views *)
+  executed_digests : (int64 * string) list ref;  (* (exec index, digest) *)
+  checkpoints : (int64, Mmsg.checkpoint list) Hashtbl.t;
+  clients : (Ids.client_id, Client_dedup.t) Hashtbl.t;
+  mutable pending : Message.request list;
+  mutable pending_count : int;
+  batch_timer : Timer.t;
+  awaiting : (Ids.client_id * int64, unit) Hashtbl.t;
+  suspect_timer : Timer.t;
+  viewchanges : (Ids.view, int list) Hashtbl.t;
+  mutable crashed : bool;
+  mutable byz : byzantine_mode;
+  mutable executed_total : int;
+}
+
+let primary t = t.view mod t.cfg.n
+let is_primary t = primary t = t.cfg.id
+
+let payload_cost t payload =
+  t.cfg.cost.serialize_per_byte_us *. float_of_int (String.length payload)
+
+(* Creating a UI crosses into the trusted subsystem. *)
+let ui_create_cost t = t.cfg.cost.ecall_transition_us +. t.cfg.cost.sign_us
+let ui_verify_cost t = t.cfg.cost.verify_us
+
+let broadcast t ~cost msg =
+  let payload = Mmsg.encode msg in
+  Resource.Pool.submit t.pool
+    ~cost:(cost +. payload_cost t payload)
+    (fun () ->
+      for j = 0 to t.cfg.n - 1 do
+        if j <> t.cfg.id then
+          Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst:(Addr.replica j) payload
+      done)
+
+let send_reply t (reply : Message.reply) =
+  let payload = Message.encode (Message.Reply reply) in
+  Resource.Pool.submit t.pool
+    ~cost:(t.cfg.cost.reply_auth_us +. payload_cost t payload)
+    (fun () -> Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst:(Addr.client reply.client) payload)
+
+let client_entry t client =
+  match Hashtbl.find_opt t.clients client with
+  | Some e -> e
+  | None ->
+    let e = Client_dedup.create () in
+    Hashtbl.replace t.clients client e;
+    e
+
+(* Re-armed on progress so a loaded-but-progressing replica never
+   suspects its primary. *)
+let refresh_suspect_timer t =
+  if Hashtbl.length t.awaiting = 0 then Timer.stop t.suspect_timer
+  else Timer.restart t.suspect_timer
+
+let make_reply t ~(req : Message.request) ~result : Message.reply =
+  let rp =
+    { Message.view = t.view;
+      timestamp = req.timestamp;
+      client = req.client;
+      sender = t.cfg.id;
+      result;
+      r_auth = "" }
+  in
+  let key =
+    Keys.client_replica_key ~protocol:protocol_name ~client:req.client ~replica:t.cfg.id
+  in
+  { rp with r_auth = Hmac.mac ~key (Message.reply_auth_bytes rp) }
+
+(* ----- execution ----- *)
+
+let rec try_execute t =
+  let entries = List.rev t.order in
+  let rec loop i = function
+    | [] -> ()
+    | (e : entry) :: rest ->
+      if i < t.executed_upto then loop (i + 1) rest
+      else if (not e.e_executed) && List.length (List.sort_uniq compare e.e_attesters) >= t.f + 1
+      then begin
+        e.e_executed <- true;
+        t.executed_upto <- i + 1;
+        t.last_exec_counter <- e.e_counter;
+        t.exec_index <- t.exec_index + 1;
+        t.executed_digests := (Int64.of_int t.exec_index, e.e_digest) :: !(t.executed_digests);
+        let exec_cost = t.cfg.cost.exec_op_us *. float_of_int (List.length e.e_batch) in
+        let replies = ref [] in
+        List.iter
+          (fun (req : Message.request) ->
+            let entry = client_entry t req.client in
+            Hashtbl.remove t.awaiting (req.client, req.timestamp);
+            if not (Client_dedup.executed entry req.timestamp) then begin
+              let result =
+                match t.byz with
+                | Corrupt_execution -> "CORRUPT"
+                | Honest | Faulty_tee_equivocate | Mute_commits ->
+                  t.app.State_machine.apply req.payload
+              in
+              let reply = make_reply t ~req ~result in
+              Client_dedup.record entry req.timestamp (Some reply);
+              replies := reply :: !replies;
+              t.executed_total <- t.executed_total + 1
+            end)
+          e.e_batch;
+        refresh_suspect_timer t;
+        let outgoing = List.rev !replies in
+        Resource.submit t.core ~cost:exec_cost (fun () ->
+            List.iter (send_reply t) outgoing);
+        maybe_checkpoint t e.e_counter;
+        loop (i + 1) rest
+      end
+  in
+  loop 0 entries
+
+and maybe_checkpoint t counter =
+  if t.executed_upto mod t.cfg.checkpoint_interval = 0 then begin
+    let unsigned =
+      { Mmsg.k_counter = counter;
+        k_state_digest = State_machine.digest t.app;
+        k_sender = t.cfg.id;
+        k_ui = { Usig.counter = 0L; cert = "" } }
+    in
+    let k_ui = Usig.create_ui t.usig (Mmsg.signed_part (Mmsg.Checkpoint unsigned)) in
+    broadcast t ~cost:(ui_create_cost t) (Mmsg.Checkpoint { unsigned with k_ui })
+  end
+
+(* ----- prepare / commit ----- *)
+
+let accept_prepare t (p : Mmsg.prepare) =
+  let counter = p.p_ui.Usig.counter in
+  if not (Hashtbl.mem t.by_counter counter) then begin
+    let digest = Message.digest_of_batch p.p_batch in
+    let e =
+      { e_counter = counter;
+        e_digest = digest;
+        e_batch = p.p_batch;
+        e_attesters = [ primary t ];
+        e_executed = false }
+    in
+    Hashtbl.replace t.by_counter counter e;
+    t.order <- e :: t.order;
+    List.iter
+      (fun (req : Message.request) ->
+        Hashtbl.replace t.awaiting (req.client, req.timestamp) ())
+      p.p_batch;
+    refresh_suspect_timer t;
+    (* Fold in commits that raced ahead of the prepare. *)
+    (match Hashtbl.find_opt t.pending_commits counter with
+    | Some cs ->
+      Hashtbl.remove t.pending_commits counter;
+      List.iter
+        (fun (c : Mmsg.commit) ->
+          if String.equal c.c_digest digest then e.e_attesters <- c.c_sender :: e.e_attesters)
+        cs
+    | None -> ());
+    if not (is_primary t) then begin
+      match t.byz with
+      | Mute_commits -> ()
+      | Honest | Faulty_tee_equivocate | Corrupt_execution ->
+        let commit =
+          { Mmsg.c_view = t.view;
+            c_primary_counter = counter;
+            c_digest = digest;
+            c_sender = t.cfg.id;
+            c_ui = { Usig.counter = 0L; cert = "" } }
+        in
+        let signed =
+          { commit with c_ui = Usig.create_ui t.usig (Mmsg.signed_part (Mmsg.Commit commit)) }
+        in
+        e.e_attesters <- t.cfg.id :: e.e_attesters;
+        broadcast t ~cost:(ui_create_cost t) (Mmsg.Commit signed)
+    end;
+    try_execute t
+  end
+
+let on_commit t (c : Mmsg.commit) =
+  if c.c_view = t.view then begin
+    match Hashtbl.find_opt t.by_counter c.c_primary_counter with
+    | Some e ->
+      if String.equal c.c_digest e.e_digest then begin
+        e.e_attesters <- c.c_sender :: e.e_attesters;
+        try_execute t
+      end
+    | None ->
+      let existing =
+        Option.value ~default:[] (Hashtbl.find_opt t.pending_commits c.c_primary_counter)
+      in
+      Hashtbl.replace t.pending_commits c.c_primary_counter (c :: existing)
+  end
+
+let on_checkpoint t (k : Mmsg.checkpoint) =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.checkpoints k.k_counter) in
+  if not (List.exists (fun (e : Mmsg.checkpoint) -> e.k_sender = k.k_sender) existing)
+  then begin
+    let all = k :: existing in
+    Hashtbl.replace t.checkpoints k.k_counter all;
+    let matching =
+      List.filter (fun (e : Mmsg.checkpoint) -> String.equal e.k_state_digest k.k_state_digest) all
+    in
+    if List.length matching >= t.f + 1 then begin
+      (* Stable: trim executed entries below the checkpoint. *)
+      t.order <-
+        List.filter
+          (fun (e : entry) ->
+            (not e.e_executed) || Int64.compare e.e_counter k.k_counter > 0)
+          t.order;
+      let removed = Hashtbl.length t.by_counter in
+      Hashtbl.iter
+        (fun counter (e : entry) ->
+          if e.e_executed && Int64.compare counter k.k_counter <= 0 then
+            Hashtbl.remove t.by_counter counter)
+        (Hashtbl.copy t.by_counter);
+      ignore removed;
+      t.executed_upto <- List.length (List.filter (fun e -> e.e_executed) t.order)
+    end
+  end
+
+(* ----- batching (primary) ----- *)
+
+let rec flush_batch t =
+  if is_primary t && t.pending_count > 0 then begin
+    let take = min t.cfg.batch_size t.pending_count in
+    let all = List.rev t.pending in
+    let rec split i acc rest =
+      if i = 0 then (List.rev acc, rest)
+      else match rest with [] -> (List.rev acc, []) | x :: tl -> split (i - 1) (x :: acc) tl
+    in
+    let batch, remaining = split take [] all in
+    t.pending <- List.rev remaining;
+    t.pending_count <- t.pending_count - take;
+    let make reqs =
+      let unsigned = { Mmsg.p_view = t.view; p_batch = reqs; p_ui = { Usig.counter = 0L; cert = "" } } in
+      { unsigned with
+        Mmsg.p_ui = Usig.create_ui t.usig (Mmsg.signed_part (Mmsg.Prepare unsigned)) }
+    in
+    (match t.byz with
+    | Faulty_tee_equivocate when List.length batch > 0 ->
+      (* Compromised USIG: assign the same counter to two conflicting
+         Prepares and show each to half the backups. *)
+      let p_a = make batch in
+      let tampered =
+        match batch with
+        | [] -> []
+        | first :: rest -> { first with Message.payload = first.payload ^ "\x00evil" } :: rest
+      in
+      Usig.tamper_set t.usig (Int64.sub p_a.Mmsg.p_ui.Usig.counter 1L);
+      let p_b = make tampered in
+      let pay_a = Mmsg.encode (Mmsg.Prepare p_a) in
+      let pay_b = Mmsg.encode (Mmsg.Prepare p_b) in
+      Resource.Pool.submit t.pool ~cost:(2.0 *. ui_create_cost t) (fun () ->
+          for j = 0 to t.cfg.n - 1 do
+            if j <> t.cfg.id then
+              Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst:(Addr.replica j)
+                (if j mod 2 = 1 then pay_a else pay_b)
+          done)
+    | Honest | Faulty_tee_equivocate | Mute_commits | Corrupt_execution ->
+      let p = make batch in
+      accept_prepare t p;
+      broadcast t ~cost:(ui_create_cost t) (Mmsg.Prepare p));
+    if t.pending_count >= t.cfg.batch_size then flush_batch t
+    else if t.pending_count > 0 then Timer.start t.batch_timer
+    else Timer.stop t.batch_timer
+  end
+
+(* ----- view change (simplified; see DESIGN.md) ----- *)
+
+let enter_view t v =
+  if v > t.view then begin
+    t.view <- v;
+    t.order <- List.filter (fun (e : entry) -> e.e_executed) t.order;
+    Hashtbl.reset t.pending_commits;
+    t.executed_upto <- List.length t.order;
+    refresh_suspect_timer t;
+    if is_primary t then begin
+      let nv = { Mmsg.n_view = v; n_sender = t.cfg.id; n_ui = { Usig.counter = 0L; cert = "" } } in
+      let nv = { nv with Mmsg.n_ui = Usig.create_ui t.usig (Mmsg.signed_part (Mmsg.Newview nv)) } in
+      broadcast t ~cost:(ui_create_cost t) (Mmsg.Newview nv);
+      flush_batch t
+    end
+  end
+
+let on_viewchange t (v : Mmsg.viewchange) =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.viewchanges v.v_new_view) in
+  if not (List.mem v.v_sender existing) then begin
+    let all = v.v_sender :: existing in
+    Hashtbl.replace t.viewchanges v.v_new_view all;
+    if v.v_new_view > t.view && List.length all >= t.f + 1 then enter_view t v.v_new_view
+  end
+
+let start_view_change t =
+  let target = t.view + 1 in
+  let vc = { Mmsg.v_new_view = target; v_sender = t.cfg.id; v_ui = { Usig.counter = 0L; cert = "" } } in
+  let vc = { vc with Mmsg.v_ui = Usig.create_ui t.usig (Mmsg.signed_part (Mmsg.Viewchange vc)) } in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.viewchanges target) in
+  if not (List.mem t.cfg.id existing) then
+    Hashtbl.replace t.viewchanges target (t.cfg.id :: existing);
+  broadcast t ~cost:(ui_create_cost t) (Mmsg.Viewchange vc)
+
+(* ----- requests ----- *)
+
+let resend_cached_reply t (r : Message.request) =
+  let entry = client_entry t r.client in
+  match Client_dedup.cached_reply entry r.timestamp with
+  | Some reply -> send_reply t reply
+  | None -> ()
+
+let request_auth_ok (r : Message.request) ~replica =
+  Keys.check_authenticator ~protocol:protocol_name ~client:r.client ~replica
+    ~msg:(Message.request_auth_bytes r) ~auth:r.auth
+
+let on_request t (r : Message.request) =
+  let entry = client_entry t r.client in
+  if Client_dedup.executed entry r.timestamp then resend_cached_reply t r
+  else begin
+    Hashtbl.replace t.awaiting (r.client, r.timestamp) ();
+    refresh_suspect_timer t;
+    if is_primary t then begin
+      let queued =
+        List.exists
+          (fun (q : Message.request) -> q.client = r.client && q.timestamp = r.timestamp)
+          t.pending
+      in
+      let ordered =
+        Hashtbl.fold
+          (fun _ (e : entry) acc ->
+            acc
+            || List.exists
+                 (fun (q : Message.request) ->
+                   q.client = r.client && q.timestamp = r.timestamp)
+                 e.e_batch)
+          t.by_counter false
+      in
+      if not (queued || ordered) then begin
+        t.pending <- r :: t.pending;
+        t.pending_count <- t.pending_count + 1;
+        if t.pending_count >= t.cfg.batch_size then flush_batch t
+        else Timer.start t.batch_timer
+      end
+    end
+  end
+
+(* ----- dispatch with per-sender counter windows ----- *)
+
+let sender_of t (msg : Mmsg.t) =
+  match msg with
+  | Mmsg.Prepare p -> p.Mmsg.p_view mod t.cfg.n
+  | _ -> Mmsg.sender msg
+
+let handle t (msg : Mmsg.t) =
+  match msg with
+  | Mmsg.Prepare p ->
+    if p.p_view = t.view && not (is_primary t) then accept_prepare t p
+  | Mmsg.Commit c -> on_commit t c
+  | Mmsg.Checkpoint k -> on_checkpoint t k
+  | Mmsg.Viewchange v -> on_viewchange t v
+  | Mmsg.Newview n -> if n.n_view > t.view then enter_view t n.n_view
+
+(* Process each sender's stream strictly in counter order; this is what
+   makes the USIG's non-equivocation guarantee effective. *)
+let rec admit t sender (msg : Mmsg.t) =
+  let counter = (Mmsg.ui msg).Usig.counter in
+  match Usig.Window.admit t.windows.(sender) counter with
+  | `Next ->
+    handle t msg;
+    drain_holdback t sender
+  | `Future -> Hashtbl.replace t.holdback (sender, counter) msg
+  | `Seen -> ()  (* replayed or rolled-back identifier *)
+
+and drain_holdback t sender =
+  let next = Int64.add (Usig.Window.last t.windows.(sender)) 1L in
+  match Hashtbl.find_opt t.holdback (sender, next) with
+  | Some msg ->
+    Hashtbl.remove t.holdback (sender, next);
+    admit t sender msg
+  | None -> ()
+
+let on_payload t ~src:_ payload =
+  if not t.crashed then begin
+    if Mmsg.is_minbft_payload payload then begin
+      match Mmsg.decode payload with
+      | Error _ -> ()
+      | Ok msg ->
+        let sender = sender_of t msg in
+        if sender >= 0 && sender < t.cfg.n && sender <> t.cfg.id then
+          Resource.Pool.submit t.pool
+            ~cost:(ui_verify_cost t +. payload_cost t payload)
+            (fun () ->
+              if Usig.verify_ui ~id:sender ~msg:(Mmsg.signed_part msg) (Mmsg.ui msg)
+              then
+                Resource.submit t.core ~cost:t.cfg.cost.pbft_core_us (fun () ->
+                    if not t.crashed then admit t sender msg))
+    end
+    else
+      match Message.decode payload with
+      | Ok (Message.Request r) ->
+        Resource.Pool.submit t.pool
+          ~cost:(t.cfg.cost.client_auth_us +. payload_cost t payload)
+          (fun () ->
+            if request_auth_ok r ~replica:t.cfg.id then
+              Resource.submit t.core ~cost:t.cfg.cost.pbft_core_us (fun () ->
+                  if not t.crashed then on_request t r))
+      | Ok _ | Error _ -> ()
+  end
+
+(* ----- construction ----- *)
+
+let create engine net cfg ~app =
+  if cfg.n < 3 then invalid_arg "Minbft.Replica.create: need n >= 3";
+  let rec t =
+    lazy
+      { cfg;
+        f = Ids.f_of_n_hybrid cfg.n;
+        engine;
+        net;
+        pool =
+          Resource.Pool.create engine
+            ~name:(Printf.sprintf "minbft%d-pool" cfg.id)
+            ~workers:cfg.workers;
+        core = Resource.create engine ~name:(Printf.sprintf "minbft%d-core" cfg.id);
+        usig = Usig.create ~id:cfg.id;
+        app;
+        view = 0;
+        windows = Array.init cfg.n (fun _ -> Usig.Window.create ());
+        holdback = Hashtbl.create 64;
+        order = [];
+        by_counter = Hashtbl.create 256;
+        pending_commits = Hashtbl.create 64;
+        executed_upto = 0;
+        last_exec_counter = 0L;
+        exec_index = 0;
+        executed_digests = ref [];
+        checkpoints = Hashtbl.create 16;
+        clients = Hashtbl.create 64;
+        pending = [];
+        pending_count = 0;
+        batch_timer =
+          Timer.create engine
+            ~label:(Printf.sprintf "minbft%d-batch" cfg.id)
+            ~delay:cfg.batch_timeout_us
+            ~callback:(fun () -> flush_batch (Lazy.force t));
+        awaiting = Hashtbl.create 64;
+        suspect_timer =
+          Timer.create engine
+            ~label:(Printf.sprintf "minbft%d-suspect" cfg.id)
+            ~delay:cfg.suspect_timeout_us
+            ~callback:
+              (fun () ->
+              let t = Lazy.force t in
+              if Hashtbl.length t.awaiting > 0 then begin
+                start_view_change t;
+                Timer.restart t.suspect_timer
+              end);
+        viewchanges = Hashtbl.create 4;
+        crashed = false;
+        byz = Honest;
+        executed_total = 0 }
+  in
+  let t = Lazy.force t in
+  Network.register net (Addr.replica cfg.id) (fun ~src payload -> on_payload t ~src payload);
+  t
+
+let id t = t.cfg.id
+let view t = t.view
+let executed_count t = t.executed_total
+let last_executed_counter t = t.last_exec_counter
+let executed_log t = List.rev !(t.executed_digests)
+let app_digest t = State_machine.digest t.app
+
+let crash t =
+  t.crashed <- true;
+  Timer.stop t.batch_timer;
+  Timer.stop t.suspect_timer;
+  Network.unregister t.net (Addr.replica t.cfg.id)
+
+let is_crashed t = t.crashed
+let set_byzantine t mode = t.byz <- mode

@@ -1,0 +1,58 @@
+(** MinBFT replica (Veronese et al.) — the hybrid-protocol comparison
+    point of Table 1.
+
+    [n = 2f + 1] replicas; the trusted {!Usig} rules out equivocation, so
+    two phases (Prepare from the primary, Commit from backups) and [f + 1]
+    matching attestations decide a batch.  Normal operation, request
+    batching, reply caching, periodic checkpoints, and a simplified
+    suspicion-triggered view change are implemented (the full MinBFT view
+    change with state certificates is out of scope; see DESIGN.md).
+
+    The fault-model experiments use {!set_byzantine}: in particular
+    [Faulty_tee_equivocate] compromises the USIG (counter rollback) and
+    shows that a {e single} faulty TEE breaks a hybrid protocol's safety —
+    the row of Table 1 SplitBFT improves on. *)
+
+module Ids = Splitbft_types.Ids
+
+type config = {
+  n : int;  (** [2f + 1] *)
+  id : Ids.replica_id;
+  cost : Splitbft_tee.Cost_model.t;
+  workers : int;
+  batch_size : int;
+  batch_timeout_us : float;
+  checkpoint_interval : int;
+  suspect_timeout_us : float;
+}
+
+val default_config : n:int -> id:Ids.replica_id -> config
+
+type byzantine_mode =
+  | Honest
+  | Faulty_tee_equivocate
+      (** primary with a compromised USIG: same counter on two conflicting
+          Prepares sent to disjoint backup sets *)
+  | Mute_commits
+  | Corrupt_execution
+
+type t
+
+val create :
+  Splitbft_sim.Engine.t ->
+  Splitbft_sim.Network.t ->
+  config ->
+  app:Splitbft_app.State_machine.t ->
+  t
+
+val id : t -> Ids.replica_id
+val view : t -> Ids.view
+val executed_count : t -> int
+val last_executed_counter : t -> int64
+val executed_log : t -> (int64 * string) list
+(** (primary counter, batch digest), oldest first. *)
+
+val app_digest : t -> string
+val crash : t -> unit
+val is_crashed : t -> bool
+val set_byzantine : t -> byzantine_mode -> unit

@@ -1,0 +1,71 @@
+module W = Splitbft_codec.Writer
+module R = Splitbft_codec.Reader
+module Signature = Splitbft_crypto.Signature
+module Sha256 = Splitbft_crypto.Sha256
+
+type t = {
+  id : int;
+  keypair : Signature.keypair;
+  mutable next : int64;
+}
+
+type ui = { counter : int64; cert : string }
+
+let key_seed id = Printf.sprintf "minbft-usig-%d" id
+let create ~id = { id; keypair = Signature.derive ~seed:(key_seed id); next = 0L }
+
+let cert_bytes ~id ~counter msg =
+  W.to_string
+    (fun w () ->
+      W.raw w "usig";
+      W.varint w id;
+      W.u64 w counter;
+      W.bytes w (Sha256.digest msg))
+    ()
+
+let create_ui t msg =
+  t.next <- Int64.add t.next 1L;
+  { counter = t.next;
+    cert = Signature.sign t.keypair.Signature.secret (cert_bytes ~id:t.id ~counter:t.next msg) }
+
+let verify_ui ~id ~msg ui =
+  let kp = Signature.derive ~seed:(key_seed id) in
+  Signature.verify ~public:kp.Signature.public
+    ~msg:(cert_bytes ~id ~counter:ui.counter msg)
+    ~signature:ui.cert
+
+let tamper_reset t = t.next <- 0L
+
+let encode_ui ui =
+  W.to_string
+    (fun w ui ->
+      W.u64 w ui.counter;
+      W.bytes w ui.cert)
+    ui
+
+let decode_ui s =
+  R.parse
+    (fun r ->
+      let counter = R.u64 r in
+      let cert = R.bytes r in
+      { counter; cert })
+    s
+
+module Window = struct
+  type w = { mutable last : int64 }
+
+  let create () = { last = 0L }
+
+  let admit w counter =
+    let next = Int64.add w.last 1L in
+    match Int64.compare counter next with
+    | 0 ->
+      w.last <- next;
+      `Next
+    | c when c > 0 -> `Future
+    | _ -> `Seen
+
+  let last w = w.last
+end
+
+let tamper_set t v = t.next <- v

@@ -1,0 +1,51 @@
+(** USIG — Unique Sequential Identifier Generator (MinBFT's trusted
+    subsystem, Veronese et al., IEEE TC 2012).
+
+    The minimal TEE component of hybrid BFT protocols: a monotonic counter
+    plus a certificate binding (sender, counter, message hash), preventing
+    equivocation and reducing the replication requirement to [2f + 1].
+    Hybrid protocols assume this component {e cannot} be byzantine; the
+    whole point of SplitBFT's comparison (Table 1) is what happens when
+    that assumption fails, so {!tamper_reset} injects exactly that fault:
+    a rolled-back counter lets its owner assign the same identifier to two
+    different messages. *)
+
+type t
+(** The generator (lives inside a TEE on its replica). *)
+
+type ui = { counter : int64; cert : string }
+
+val create : id:int -> t
+(** Deterministic identity; certificate key registered for verification. *)
+
+val create_ui : t -> string -> ui
+(** Assigns the next counter value to the message (hash). *)
+
+val verify_ui : id:int -> msg:string -> ui -> bool
+(** Certificate check only; sequentiality is enforced by the receiver's
+    {!Window}. *)
+
+val tamper_reset : t -> unit
+(** Fault injection: roll the counter back to zero (impossible on correct
+    hardware). *)
+
+val encode_ui : ui -> string
+val decode_ui : string -> (ui, string) result
+
+(** Receiver-side sequentiality tracking: accept each sender counter
+    exactly once and in order. *)
+module Window : sig
+  type w
+
+  val create : unit -> w
+
+  val admit : w -> int64 -> [ `Next | `Future | `Seen ]
+  (** [`Next] consumes the counter (it must be exactly last+1); [`Future]
+      means hold the message back; [`Seen] means replay/rollback. *)
+
+  val last : w -> int64
+end
+
+val tamper_set : t -> int64 -> unit
+(** Fault injection: force the counter to an arbitrary value, enabling
+    duplicate identifiers (equivocation). *)

@@ -1,0 +1,1 @@
+lib/pbft/replica.ml: Array Hashtbl Lazy List Option Printf Splitbft_app Splitbft_crypto Splitbft_sim Splitbft_tee Splitbft_types String

@@ -1,0 +1,1 @@
+lib/pbft/replica.mli: Splitbft_app Splitbft_sim Splitbft_tee Splitbft_types

@@ -1,0 +1,898 @@
+module Engine = Splitbft_sim.Engine
+module Network = Splitbft_sim.Network
+module Resource = Splitbft_sim.Resource
+module Timer = Splitbft_sim.Timer
+module Cost_model = Splitbft_tee.Cost_model
+module Message = Splitbft_types.Message
+module Validation = Splitbft_types.Validation
+module Ids = Splitbft_types.Ids
+module Addr = Splitbft_types.Addr
+module Keys = Splitbft_types.Keys
+module Signature = Splitbft_crypto.Signature
+module Hmac = Splitbft_crypto.Hmac
+module State_machine = Splitbft_app.State_machine
+
+let protocol_name = "pbft"
+
+type config = {
+  n : int;
+  id : Ids.replica_id;
+  cost : Cost_model.t;
+  workers : int;
+  batch_size : int;
+  batch_timeout_us : float;
+  checkpoint_interval : int;
+  watermark_window : int;
+  suspect_timeout_us : float;
+  viewchange_timeout_us : float;
+}
+
+let default_config ~n ~id =
+  { n;
+    id;
+    cost = Cost_model.default;
+    workers = 4;
+    batch_size = 1;
+    batch_timeout_us = 10_000.0;
+    checkpoint_interval = 64;
+    watermark_window = 256;
+    suspect_timeout_us = 500_000.0;
+    viewchange_timeout_us = 1_000_000.0 }
+
+type byzantine_mode =
+  | Honest
+  | Equivocate of { accomplices : Ids.replica_id list }
+  | Collude
+  | Mute_commits
+  | Corrupt_execution
+
+type slot = {
+  mutable proposal : Message.preprepare_digest option;
+      (* accepted proposal in signed digest form *)
+  mutable batch : Message.request list option;  (* full requests, for execution *)
+  mutable prepares : Message.prepare list;
+  mutable commits : Message.commit list;
+  mutable own_prepare_sent : bool;
+  mutable own_commit_sent : bool;
+  mutable committed : bool;
+  mutable executed : bool;
+}
+
+let fresh_slot () =
+  { proposal = None;
+    batch = None;
+    prepares = [];
+    commits = [];
+    own_prepare_sent = false;
+    own_commit_sent = false;
+    committed = false;
+    executed = false }
+
+type t = {
+  cfg : config;
+  f : int;
+  quorum : int;
+  engine : Engine.t;
+  net : Network.t;
+  pool : Resource.Pool.pool;
+  core : Resource.t;
+  keypair : Signature.keypair;
+  lookup : Validation.key_lookup;
+  app : State_machine.t;
+  mutable view : Ids.view;
+  mutable next_seq : Ids.seqno;
+  mutable last_executed : Ids.seqno;
+  mutable low_mark : Ids.seqno;
+  slots : (Ids.seqno, slot) Hashtbl.t;
+  batches_by_digest : (string, Message.request list) Hashtbl.t;
+  fetching : (string, unit) Hashtbl.t;  (* batch digests requested from peers *)
+  executed_digests : (Ids.seqno, string) Hashtbl.t;
+  checkpoints : (Ids.seqno, Message.checkpoint list) Hashtbl.t;
+  mutable stable_proof : Message.checkpoint list;
+  clients : (Ids.client_id, Splitbft_types.Client_dedup.t) Hashtbl.t;
+  mutable pending : Message.request list;  (* batch queue, newest first *)
+  mutable pending_count : int;
+  batch_timer : Timer.t;
+  awaiting : (Ids.client_id * int64, unit) Hashtbl.t;
+  suspect_timer : Timer.t;
+  mutable in_view_change : bool;
+  mutable vc_target : Ids.view;
+  viewchanges : (Ids.view, Message.viewchange list) Hashtbl.t;
+  vc_timer : Timer.t;
+  mutable persist_log : (string * string) list;  (* newest first *)
+  mutable crashed : bool;
+  mutable byz : byzantine_mode;
+  mutable executed_total : int;
+}
+
+(* ----- key management ----- *)
+
+let replica_public i =
+  let kp =
+    Signature.derive ~seed:(Keys.replica_signing_seed ~protocol:protocol_name i)
+  in
+  kp.Signature.public
+
+let make_lookup n =
+  let publics = Array.init n replica_public in
+  fun i -> if i >= 0 && i < n then Some publics.(i) else None
+
+(* ----- cost helpers ----- *)
+
+let payload_cost t payload =
+  t.cfg.cost.serialize_per_byte_us *. float_of_int (String.length payload)
+
+let count_proof_sigs proofs =
+  List.fold_left
+    (fun acc (p : Message.prepared_proof) -> acc + 1 + List.length p.proof_prepares)
+    0 proofs
+
+let verify_cost t (msg : Message.t) =
+  let c = t.cfg.cost in
+  match msg with
+  | Message.Request _ -> c.client_auth_us
+  | Message.Preprepare pp ->
+    c.verify_us +. (c.client_auth_us *. float_of_int (List.length pp.batch))
+  | Message.Preprepare_digest _ | Message.Prepare _ | Message.Commit _
+  | Message.Checkpoint _ ->
+    c.verify_us
+  | Message.Viewchange vc ->
+    let sigs =
+      1 + List.length vc.vc_checkpoint_proof + count_proof_sigs vc.vc_prepared
+    in
+    c.verify_us *. float_of_int sigs
+  | Message.Newview nv ->
+    let sigs =
+      1
+      + List.fold_left
+          (fun acc (vc : Message.viewchange) ->
+            acc + 1 + List.length vc.vc_checkpoint_proof + count_proof_sigs vc.vc_prepared)
+          0 nv.nv_viewchanges
+      + List.length nv.nv_preprepares
+    in
+    c.verify_us *. float_of_int sigs
+  | Message.Batch_fetch _ | Message.Batch_data _ -> 1.0
+  | Message.Reply _ | Message.Session_init _ | Message.Session_quote _
+  | Message.Session_key _ | Message.Session_ack _ ->
+    0.0
+
+let core_cost t (msg : Message.t) =
+  let c = t.cfg.cost in
+  match msg with
+  | Message.Preprepare pp ->
+    c.pbft_core_us +. (c.pbft_core_per_req_us *. float_of_int (List.length pp.batch))
+  | Message.Request _ -> c.pbft_request_us
+  | _ -> c.pbft_core_us
+
+(* ----- verification (crypto checks, run on the pool) ----- *)
+
+let request_auth_ok (r : Message.request) ~replica =
+  Keys.check_authenticator ~protocol:protocol_name ~client:r.client ~replica
+    ~msg:(Message.request_auth_bytes r) ~auth:r.auth
+
+let verify_ok t (msg : Message.t) =
+  match msg with
+  | Message.Request r -> request_auth_ok r ~replica:t.cfg.id
+  | Message.Preprepare pp ->
+    Validation.verify_preprepare t.lookup pp
+    && List.for_all (fun r -> request_auth_ok r ~replica:t.cfg.id) pp.batch
+  | Message.Prepare p -> Validation.verify_prepare t.lookup p
+  | Message.Commit c -> Validation.verify_commit t.lookup c
+  | Message.Checkpoint ck -> Validation.verify_checkpoint t.lookup ck
+  | Message.Preprepare_digest pd -> Validation.verify_preprepare_digest t.lookup pd
+  | Message.Viewchange vc ->
+    Validation.verify_viewchange_deep ~f:t.f ~vc_lookup:t.lookup ~ckpt_lookup:t.lookup
+      ~proof_lookup:t.lookup vc
+  | Message.Newview nv ->
+    Validation.verify_newview t.lookup nv
+    && List.for_all
+         (Validation.verify_viewchange_deep ~f:t.f ~vc_lookup:t.lookup
+            ~ckpt_lookup:t.lookup ~proof_lookup:t.lookup)
+         nv.nv_viewchanges
+  | Message.Batch_fetch _ | Message.Batch_data _ ->
+    (* content-addressed: the handler checks the digest *)
+    true
+  | Message.Reply _ | Message.Session_init _ | Message.Session_quote _
+  | Message.Session_key _ | Message.Session_ack _ ->
+    false
+
+(* ----- sending ----- *)
+
+let send_to t ~sign_cost dst payload =
+  Resource.Pool.submit t.pool
+    ~cost:(sign_cost +. payload_cost t payload)
+    (fun () -> Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst payload)
+
+let broadcast t ~sign_cost msg =
+  let payload = Message.encode msg in
+  Resource.Pool.submit t.pool
+    ~cost:(sign_cost +. payload_cost t payload)
+    (fun () ->
+      for j = 0 to t.cfg.n - 1 do
+        if j <> t.cfg.id then
+          Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst:(Addr.replica j) payload
+      done)
+
+(* ----- slots and watermarks ----- *)
+
+let slot t seq =
+  match Hashtbl.find_opt t.slots seq with
+  | Some s -> s
+  | None ->
+    let s = fresh_slot () in
+    Hashtbl.replace t.slots seq s;
+    s
+
+let in_window t seq = seq > t.low_mark && seq <= t.low_mark + t.cfg.watermark_window
+let primary t = Ids.primary_of_view ~n:t.cfg.n t.view
+let is_primary t = primary t = t.cfg.id
+
+(* ----- signed message constructors ----- *)
+
+let make_preprepare t ~seq batch : Message.preprepare =
+  let pp =
+    { Message.view = t.view; seq; batch; sender = t.cfg.id; pp_sig = "" }
+  in
+  { pp with pp_sig = Signature.sign t.keypair.Signature.secret (Message.preprepare_signing_bytes pp) }
+
+let make_prepare t ~view ~seq ~digest : Message.prepare =
+  let p = { Message.view; seq; digest; sender = t.cfg.id; p_sig = "" } in
+  { p with p_sig = Signature.sign t.keypair.Signature.secret (Message.prepare_signing_bytes p) }
+
+let make_commit t ~view ~seq ~digest : Message.commit =
+  let c = { Message.view; seq; digest; sender = t.cfg.id; c_sig = "" } in
+  { c with c_sig = Signature.sign t.keypair.Signature.secret (Message.commit_signing_bytes c) }
+
+let make_checkpoint t ~seq ~state_digest : Message.checkpoint =
+  let ck = { Message.seq; state_digest; sender = t.cfg.id; ck_sig = "" } in
+  { ck with
+    ck_sig = Signature.sign t.keypair.Signature.secret (Message.checkpoint_signing_bytes ck) }
+
+let make_reply t ~(req : Message.request) ~result : Message.reply =
+  let rp =
+    { Message.view = t.view;
+      timestamp = req.timestamp;
+      client = req.client;
+      sender = t.cfg.id;
+      result;
+      r_auth = "" }
+  in
+  let key =
+    Keys.client_replica_key ~protocol:protocol_name ~client:req.client ~replica:t.cfg.id
+  in
+  { rp with r_auth = Hmac.mac ~key (Message.reply_auth_bytes rp) }
+
+(* A coordinated byzantine pair splits the honest replicas over two
+   proposals per sequence number: the real batch goes to odd-numbered
+   replicas, the empty batch to even-numbered ones, and the attackers send
+   their (conflicting) Prepares and Commits only to the matching side so
+   per-sender deduplication at honest receivers cannot merge the votes. *)
+let attack_side (pp : Message.preprepare) = pp.batch <> []
+
+let send_targeted_votes t (pp : Message.preprepare) =
+  let digest = Message.digest_of_batch pp.batch in
+  let p = make_prepare t ~view:pp.view ~seq:pp.seq ~digest in
+  let c = make_commit t ~view:pp.view ~seq:pp.seq ~digest in
+  let odd_side = attack_side pp in
+  let payload_p = Message.encode (Message.Prepare p) in
+  let payload_c = Message.encode (Message.Commit c) in
+  Resource.Pool.submit t.pool ~cost:(2.0 *. t.cfg.cost.sign_us) (fun () ->
+      for j = 0 to t.cfg.n - 1 do
+        if j <> t.cfg.id && (j mod 2 = 1) = odd_side then begin
+          Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst:(Addr.replica j) payload_p;
+          Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst:(Addr.replica j) payload_c
+        end
+      done)
+
+(* ----- execution ----- *)
+
+let client_entry t client =
+  match Hashtbl.find_opt t.clients client with
+  | Some e -> e
+  | None ->
+    let e = Splitbft_types.Client_dedup.create () in
+    Hashtbl.replace t.clients client e;
+    e
+
+(* The request timer tracks the oldest pending request: it is (re)armed on
+   progress, so a loaded-but-progressing replica never suspects its
+   primary. *)
+let refresh_suspect_timer t =
+  if Hashtbl.length t.awaiting = 0 then Timer.stop t.suspect_timer
+  else Timer.restart t.suspect_timer
+
+let send_checkpoint_if_due t seq =
+  if seq mod t.cfg.checkpoint_interval = 0 then begin
+    let state_digest = State_machine.digest t.app in
+    let ck = make_checkpoint t ~seq ~state_digest in
+    broadcast t ~sign_cost:t.cfg.cost.sign_us (Message.Checkpoint ck);
+    let existing = Option.value ~default:[] (Hashtbl.find_opt t.checkpoints seq) in
+    Hashtbl.replace t.checkpoints seq (ck :: existing)
+  end
+
+let resolve_batch t (s : slot) =
+  match s.batch with
+  | Some _ -> ()
+  | None -> (
+    match s.proposal with
+    | Some pd when String.equal pd.pd_digest Message.empty_batch_digest ->
+      s.batch <- Some []
+    | Some pd -> (
+      match Hashtbl.find_opt t.batches_by_digest pd.pd_digest with
+      | Some batch -> s.batch <- Some batch
+      | None ->
+        (* Committed a digest without the request bodies (possible after a
+           view change): fetch them, content-addressed, from peers. *)
+        if not (Hashtbl.mem t.fetching pd.pd_digest) then begin
+          Hashtbl.replace t.fetching pd.pd_digest ();
+          broadcast t ~sign_cost:0.0
+            (Message.Batch_fetch { bf_digest = pd.pd_digest; bf_requester = t.cfg.id })
+        end)
+    | None -> ())
+
+let rec try_execute t =
+  let seq = t.last_executed + 1 in
+  match Hashtbl.find_opt t.slots seq with
+  | Some s when s.committed && not s.executed -> (
+    resolve_batch t s;
+    match s.proposal, s.batch with
+    | None, _ | _, None -> ()
+    | Some pd, Some batch ->
+      s.executed <- true;
+      t.last_executed <- seq;
+      Hashtbl.replace t.executed_digests seq pd.pd_digest;
+      let c = t.cfg.cost in
+      let replies = ref [] in
+      List.iter
+        (fun (req : Message.request) ->
+          let entry = client_entry t req.client in
+          Hashtbl.remove t.awaiting (req.client, req.timestamp);
+          if not (Splitbft_types.Client_dedup.executed entry req.timestamp) then begin
+            let result =
+              match t.byz with
+              | Corrupt_execution -> "CORRUPT"
+              | Honest | Equivocate _ | Collude | Mute_commits -> t.app.apply req.payload
+            in
+            let reply = make_reply t ~req ~result in
+            Splitbft_types.Client_dedup.record entry req.timestamp (Some reply);
+            replies := reply :: !replies;
+            t.executed_total <- t.executed_total + 1
+          end)
+        batch;
+      List.iter
+        (fun (State_machine.Persist { tag; data }) ->
+          t.persist_log <- (tag, data) :: t.persist_log)
+        (t.app.drain_effects ());
+      refresh_suspect_timer t;
+      (* Execution occupies the serial core; replies go out through the
+         pool afterwards (authentication is parallelized). *)
+      let exec_cost =
+        c.exec_op_us *. float_of_int (List.length batch)
+        +.
+        match t.app.app_name with
+        | "ledger" -> c.ledger_block_us *. float_of_int (List.length batch) /. 5.0
+        | _ -> 0.0
+      in
+      let outgoing = List.rev !replies in
+      Resource.submit t.core ~cost:exec_cost (fun () ->
+          List.iter
+            (fun (reply : Message.reply) ->
+              send_to t ~sign_cost:c.reply_auth_us
+                (Addr.client reply.client)
+                (Message.encode (Message.Reply reply)))
+            outgoing);
+      send_checkpoint_if_due t seq;
+      check_checkpoint_stability t seq;
+      try_execute t)
+  | Some _ | None -> ()
+
+(* ----- checkpoints / garbage collection ----- *)
+
+and check_checkpoint_stability t seq =
+  match Hashtbl.find_opt t.checkpoints seq with
+  | None -> ()
+  | Some cks ->
+    if seq > t.low_mark && Validation.checkpoint_quorum_complete ~quorum:t.quorum cks then begin
+      (* Keep the proving quorum, advance the low watermark, drop old state. *)
+      let groups = List.filter (fun (c : Message.checkpoint) -> c.seq = seq) cks in
+      t.stable_proof <- groups;
+      t.low_mark <- seq;
+      Hashtbl.iter
+        (fun s _ -> if s <= seq then Hashtbl.remove t.slots s)
+        (Hashtbl.copy t.slots);
+      Hashtbl.iter
+        (fun s _ -> if s < seq then Hashtbl.remove t.checkpoints s)
+        (Hashtbl.copy t.checkpoints);
+      flush_batch_if_ready t
+    end
+
+(* ----- batching (primary) ----- *)
+
+and flush_batch_if_ready t =
+  if is_primary t && (not t.in_view_change) && t.pending_count > 0 then begin
+    let seq = t.next_seq in
+    if in_window t seq then begin
+      let take = min t.cfg.batch_size t.pending_count in
+      let all = List.rev t.pending in
+      let rec split i acc rest =
+        if i = 0 then (List.rev acc, rest)
+        else
+          match rest with
+          | [] -> (List.rev acc, [])
+          | x :: tl -> split (i - 1) (x :: acc) tl
+      in
+      let batch, remaining = split take [] all in
+      t.pending <- List.rev remaining;
+      t.pending_count <- t.pending_count - take;
+      t.next_seq <- seq + 1;
+      let pp = make_preprepare t ~seq batch in
+      let s = slot t seq in
+      s.proposal <- Some (Message.summarize pp);
+      s.batch <- Some batch;
+      Hashtbl.replace t.batches_by_digest (Message.digest_of_batch batch) batch;
+      (match t.byz with
+      | Equivocate { accomplices } ->
+        (* Conflicting proposals: half the backups see a different (valid!)
+           batch — the empty no-op batch, whose vacuous client authenticators
+           honest replicas accept — accomplices see both, and the
+           equivocator votes for both. *)
+        let pp_b = make_preprepare t ~seq [] in
+        let payload_a = Message.encode (Message.Preprepare pp) in
+        let payload_b = Message.encode (Message.Preprepare pp_b) in
+        Resource.Pool.submit t.pool
+          ~cost:(2.0 *. t.cfg.cost.sign_us)
+          (fun () ->
+            for j = 0 to t.cfg.n - 1 do
+              if j <> t.cfg.id then begin
+                if List.mem j accomplices then begin
+                  Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst:(Addr.replica j)
+                    payload_a;
+                  Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst:(Addr.replica j)
+                    payload_b
+                end
+                else
+                  Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst:(Addr.replica j)
+                    (if j mod 2 = 1 then payload_a else payload_b)
+              end
+            done);
+        List.iter (send_targeted_votes t) [ pp; pp_b ]
+      | Honest | Collude | Mute_commits | Corrupt_execution ->
+        broadcast t ~sign_cost:t.cfg.cost.sign_us (Message.Preprepare pp));
+      if t.pending_count >= t.cfg.batch_size then flush_batch_if_ready t
+      else if t.pending_count > 0 then Timer.start t.batch_timer
+      else Timer.stop t.batch_timer
+    end
+  end
+
+(* ----- prepare / commit progress ----- *)
+
+let rec try_send_commit t seq =
+  let s = slot t seq in
+  match s.proposal with
+  | None -> ()
+  | Some pd ->
+    if
+      (not s.own_commit_sent)
+      && Validation.prepare_cert_complete ~f:t.f pd s.prepares
+    then begin
+      s.own_commit_sent <- true;
+      match t.byz with
+      | Mute_commits -> ()
+      | Honest | Equivocate _ | Collude | Corrupt_execution ->
+        let digest = pd.pd_digest in
+        let c = make_commit t ~view:t.view ~seq ~digest in
+        s.commits <- c :: s.commits;
+        broadcast t ~sign_cost:t.cfg.cost.sign_us (Message.Commit c);
+        try_mark_committed t seq
+    end
+
+and try_mark_committed t seq =
+  let s = slot t seq in
+  match s.proposal with
+  | None -> ()
+  | Some pd ->
+    let digest = pd.pd_digest in
+    if
+      (not s.committed)
+      && Validation.commit_quorum_complete ~quorum:t.quorum ~view:t.view ~seq ~digest
+           s.commits
+    then begin
+      s.committed <- true;
+      try_execute t
+    end
+
+(* ----- normal-operation handlers ----- *)
+
+let resend_cached_reply t (r : Message.request) =
+  let entry = client_entry t r.client in
+  match Splitbft_types.Client_dedup.cached_reply entry r.timestamp with
+  | Some reply ->
+    send_to t ~sign_cost:t.cfg.cost.reply_auth_us (Addr.client r.client)
+      (Message.encode (Message.Reply reply))
+  | None -> ()
+
+let on_request t (r : Message.request) =
+  let entry = client_entry t r.client in
+  if Splitbft_types.Client_dedup.executed entry r.timestamp then resend_cached_reply t r
+  else begin
+    Hashtbl.replace t.awaiting (r.client, r.timestamp) ();
+    refresh_suspect_timer t;
+    if is_primary t && not t.in_view_change then begin
+      (* Drop duplicates already queued or assigned. *)
+      let queued =
+        List.exists
+          (fun (q : Message.request) -> q.client = r.client && q.timestamp = r.timestamp)
+          t.pending
+      in
+      let assigned =
+        Hashtbl.fold
+          (fun _ s acc ->
+            acc
+            ||
+            match s.batch with
+            | Some batch ->
+              List.exists
+                (fun (q : Message.request) ->
+                  q.client = r.client && q.timestamp = r.timestamp)
+                batch
+            | None -> false)
+          t.slots false
+      in
+      if not (queued || assigned) then begin
+        t.pending <- r :: t.pending;
+        t.pending_count <- t.pending_count + 1;
+        if t.pending_count >= t.cfg.batch_size then flush_batch_if_ready t
+        else Timer.start t.batch_timer
+      end
+    end
+  end
+
+let on_preprepare t (pp : Message.preprepare) =
+  if t.byz = Collude then
+    (* The accomplice votes for everything it sees, each version only to
+       the side of the split that received it. *)
+    send_targeted_votes t pp
+  else if
+    pp.view = t.view
+    && (not t.in_view_change)
+    && pp.sender = primary t
+    && pp.sender <> t.cfg.id
+    && in_window t pp.seq
+  then begin
+    let s = slot t pp.seq in
+    let digest = Message.digest_of_batch pp.batch in
+    match s.proposal with
+    | Some existing when not (String.equal existing.pd_digest digest) ->
+      (* Conflicting PrePrepare from the primary: evidence of a fault. *)
+      ()
+    | Some _ -> ()
+    | None ->
+      s.proposal <- Some (Message.summarize pp);
+      s.batch <- Some pp.batch;
+      Hashtbl.replace t.batches_by_digest digest pp.batch;
+      List.iter
+        (fun (r : Message.request) ->
+          let entry = client_entry t r.client in
+          if not (Splitbft_types.Client_dedup.executed entry r.timestamp) then
+            Hashtbl.replace t.awaiting (r.client, r.timestamp) ())
+        pp.batch;
+      refresh_suspect_timer t;
+      if not s.own_prepare_sent then begin
+        s.own_prepare_sent <- true;
+        let p = make_prepare t ~view:t.view ~seq:pp.seq ~digest in
+        s.prepares <- p :: s.prepares;
+        broadcast t ~sign_cost:t.cfg.cost.sign_us (Message.Prepare p)
+      end;
+      try_send_commit t pp.seq
+  end
+
+let on_prepare t (p : Message.prepare) =
+  if p.view = t.view && (not t.in_view_change) && in_window t p.seq && p.sender <> t.cfg.id
+  then begin
+    let s = slot t p.seq in
+    if
+      not
+        (List.exists (fun (q : Message.prepare) -> q.sender = p.sender) s.prepares)
+    then begin
+      s.prepares <- p :: s.prepares;
+      try_send_commit t p.seq
+    end
+  end
+
+let on_commit t (c : Message.commit) =
+  if c.view = t.view && (not t.in_view_change) && in_window t c.seq && c.sender <> t.cfg.id
+  then begin
+    let s = slot t c.seq in
+    if not (List.exists (fun (q : Message.commit) -> q.sender = c.sender) s.commits) then begin
+      s.commits <- c :: s.commits;
+      try_mark_committed t c.seq
+    end
+  end
+
+let on_checkpoint t (ck : Message.checkpoint) =
+  if ck.seq > t.low_mark && ck.sender <> t.cfg.id then begin
+    let existing = Option.value ~default:[] (Hashtbl.find_opt t.checkpoints ck.seq) in
+    if
+      not
+        (List.exists (fun (c : Message.checkpoint) -> c.sender = ck.sender) existing)
+    then begin
+      Hashtbl.replace t.checkpoints ck.seq (ck :: existing);
+      check_checkpoint_stability t ck.seq
+    end
+  end
+
+(* ----- view change ----- *)
+
+let prepared_proofs t =
+  Hashtbl.fold
+    (fun seq s acc ->
+      if seq > t.low_mark then
+        match s.proposal with
+        | Some pd when Validation.prepare_cert_complete ~f:t.f pd s.prepares ->
+          { Message.proof_preprepare = pd; proof_prepares = s.prepares } :: acc
+        | Some _ | None -> acc
+      else acc)
+    t.slots []
+
+let make_viewchange t ~new_view : Message.viewchange =
+  let vc =
+    { Message.vc_new_view = new_view;
+      vc_last_stable = t.low_mark;
+      vc_checkpoint_proof = t.stable_proof;
+      vc_prepared = prepared_proofs t;
+      vc_sender = t.cfg.id;
+      vc_sig = "" }
+  in
+  { vc with
+    vc_sig = Signature.sign t.keypair.Signature.secret (Message.viewchange_signing_bytes vc) }
+
+let enter_view t ~view ~min_s ~max_s (pps : Message.preprepare_digest list) ~as_primary =
+  t.view <- view;
+  t.in_view_change <- false;
+  Timer.stop t.vc_timer;
+  t.low_mark <- max t.low_mark min_s;
+  Hashtbl.reset t.slots;
+  t.next_seq <- max_s + 1;
+  List.iter
+    (fun (pd : Message.preprepare_digest) ->
+      let s = slot t pd.pd_seq in
+      s.proposal <- Some pd;
+      resolve_batch t s;
+      if pd.pd_seq <= t.last_executed then begin
+        s.executed <- true;
+        s.committed <- true
+      end
+      else if not as_primary then begin
+        s.own_prepare_sent <- true;
+        let p = make_prepare t ~view:t.view ~seq:pd.pd_seq ~digest:pd.pd_digest in
+        s.prepares <- p :: s.prepares;
+        broadcast t ~sign_cost:t.cfg.cost.sign_us (Message.Prepare p)
+      end)
+    pps;
+  refresh_suspect_timer t;
+  flush_batch_if_ready t
+
+let rec start_view_change t ~target =
+  if target > t.view || (t.in_view_change && target > t.vc_target) then begin
+    t.in_view_change <- true;
+    t.vc_target <- target;
+    t.view <- target;
+    Timer.stop t.batch_timer;
+    Timer.stop t.suspect_timer;
+    Timer.restart t.vc_timer;
+    let vc = make_viewchange t ~new_view:target in
+    let existing = Option.value ~default:[] (Hashtbl.find_opt t.viewchanges target) in
+    Hashtbl.replace t.viewchanges target (vc :: existing);
+    broadcast t ~sign_cost:t.cfg.cost.sign_us (Message.Viewchange vc);
+    maybe_send_newview t ~target
+  end
+
+and maybe_send_newview t ~target =
+  if Ids.primary_of_view ~n:t.cfg.n target = t.cfg.id then begin
+    match Hashtbl.find_opt t.viewchanges target with
+    | Some vcs when List.length vcs >= t.quorum && t.view = target && t.in_view_change ->
+      let min_s, max_s, pps =
+        Splitbft_types.Newview_logic.compute ~view:target ~sender:t.cfg.id vcs
+      in
+      let signed_pps =
+        List.map
+          (fun (pd : Message.preprepare_digest) ->
+            { pd with
+              Message.pd_sig =
+                Signature.sign t.keypair.Signature.secret
+                  (Message.preprepare_digest_signing_bytes pd) })
+          pps
+      in
+      let nv =
+        { Message.nv_view = target;
+          nv_viewchanges = vcs;
+          nv_preprepares = signed_pps;
+          nv_sender = t.cfg.id;
+          nv_sig = "" }
+      in
+      let nv =
+        { nv with
+          nv_sig =
+            Signature.sign t.keypair.Signature.secret (Message.newview_signing_bytes nv) }
+      in
+      broadcast t
+        ~sign_cost:(t.cfg.cost.sign_us *. float_of_int (1 + List.length signed_pps))
+        (Message.Newview nv);
+      enter_view t ~view:target ~min_s ~max_s signed_pps ~as_primary:true
+    | Some _ | None -> ()
+  end
+
+let on_viewchange t (vc : Message.viewchange) =
+  if vc.vc_new_view > t.view || (t.in_view_change && vc.vc_new_view = t.vc_target) then begin
+    let existing = Option.value ~default:[] (Hashtbl.find_opt t.viewchanges vc.vc_new_view) in
+    if
+      not
+        (List.exists
+           (fun (v : Message.viewchange) -> v.vc_sender = vc.vc_sender)
+           existing)
+    then begin
+      Hashtbl.replace t.viewchanges vc.vc_new_view (vc :: existing);
+      let count = List.length (Hashtbl.find_opt t.viewchanges vc.vc_new_view |> Option.value ~default:[]) in
+      (* Join a view change supported by f+1 peers (liveness rule). *)
+      if vc.vc_new_view > t.view && count >= t.f + 1 && not (t.in_view_change && t.vc_target >= vc.vc_new_view)
+      then start_view_change t ~target:vc.vc_new_view;
+      maybe_send_newview t ~target:vc.vc_new_view
+    end
+  end
+
+let on_newview t (nv : Message.newview) =
+  if
+    nv.nv_view >= t.view
+    && nv.nv_sender = Ids.primary_of_view ~n:t.cfg.n nv.nv_view
+    && nv.nv_sender <> t.cfg.id
+    && List.length nv.nv_viewchanges >= t.quorum
+  then begin
+    let min_s, max_s, expected =
+      Splitbft_types.Newview_logic.compute ~view:nv.nv_view ~sender:nv.nv_sender
+        nv.nv_viewchanges
+    in
+    if Splitbft_types.Newview_logic.matches ~expected ~actual:nv.nv_preprepares then
+      enter_view t ~view:nv.nv_view ~min_s ~max_s nv.nv_preprepares ~as_primary:false
+  end
+
+(* ----- dispatch ----- *)
+
+let on_batch_fetch t (bf : Message.batch_fetch) =
+  match Hashtbl.find_opt t.batches_by_digest bf.bf_digest with
+  | Some batch when bf.bf_requester <> t.cfg.id ->
+    send_to t ~sign_cost:0.0 (Addr.replica bf.bf_requester)
+      (Message.encode (Message.Batch_data { bd_batch = batch }))
+  | Some _ | None -> ()
+
+let on_batch_data t (bd : Message.batch_data) =
+  let digest = Message.digest_of_batch bd.bd_batch in
+  if Hashtbl.mem t.fetching digest then begin
+    Hashtbl.remove t.fetching digest;
+    Hashtbl.replace t.batches_by_digest digest bd.bd_batch;
+    try_execute t
+  end
+
+let handle t ~src:_ (msg : Message.t) =
+  match msg with
+  | Message.Request r -> on_request t r
+  | Message.Preprepare pp -> on_preprepare t pp
+  | Message.Preprepare_digest _ -> ()
+  | Message.Prepare p -> on_prepare t p
+  | Message.Commit c -> on_commit t c
+  | Message.Checkpoint ck -> on_checkpoint t ck
+  | Message.Viewchange vc -> on_viewchange t vc
+  | Message.Newview nv -> on_newview t nv
+  | Message.Batch_fetch bf -> on_batch_fetch t bf
+  | Message.Batch_data bd -> on_batch_data t bd
+  | Message.Reply _ | Message.Session_init _ | Message.Session_quote _
+  | Message.Session_key _ | Message.Session_ack _ ->
+    ()
+
+let on_payload t ~src payload =
+  if not t.crashed then begin
+    match Message.decode payload with
+    | Error _ -> ()
+    | Ok msg ->
+      let vcost = verify_cost t msg +. payload_cost t payload in
+      Resource.Pool.submit t.pool ~cost:vcost (fun () ->
+          if verify_ok t msg then
+            Resource.submit t.core ~cost:(core_cost t msg) (fun () ->
+                if not t.crashed then handle t ~src msg))
+  end
+
+(* ----- construction ----- *)
+
+let create engine net cfg ~app =
+  if cfg.n < 4 then invalid_arg "Pbft.Replica.create: need n >= 4";
+  let keypair =
+    Signature.derive ~seed:(Keys.replica_signing_seed ~protocol:protocol_name cfg.id)
+  in
+  let rec t =
+    lazy
+      { cfg;
+        f = Ids.f_of_n cfg.n;
+        quorum = Ids.quorum ~n:cfg.n;
+        engine;
+        net;
+        pool =
+          Resource.Pool.create engine
+            ~name:(Printf.sprintf "pbft%d-pool" cfg.id)
+            ~workers:cfg.workers;
+        core = Resource.create engine ~name:(Printf.sprintf "pbft%d-core" cfg.id);
+        keypair;
+        lookup = make_lookup cfg.n;
+        app;
+        view = 0;
+        next_seq = 1;
+        last_executed = 0;
+        low_mark = 0;
+        slots = Hashtbl.create 128;
+        batches_by_digest = Hashtbl.create 256;
+        fetching = Hashtbl.create 8;
+        executed_digests = Hashtbl.create 1024;
+        checkpoints = Hashtbl.create 16;
+        stable_proof = [];
+        clients = Hashtbl.create 64;
+        pending = [];
+        pending_count = 0;
+        batch_timer =
+          Timer.create engine
+            ~label:(Printf.sprintf "pbft%d-batch" cfg.id)
+            ~delay:cfg.batch_timeout_us
+            ~callback:(fun () -> flush_batch_if_ready (Lazy.force t));
+        awaiting = Hashtbl.create 64;
+        suspect_timer =
+          Timer.create engine
+            ~label:(Printf.sprintf "pbft%d-suspect" cfg.id)
+            ~delay:cfg.suspect_timeout_us
+            ~callback:
+              (fun () ->
+              let t = Lazy.force t in
+              start_view_change t ~target:(t.view + 1));
+        in_view_change = false;
+        vc_target = 0;
+        viewchanges = Hashtbl.create 8;
+        vc_timer =
+          Timer.create engine
+            ~label:(Printf.sprintf "pbft%d-vc" cfg.id)
+            ~delay:cfg.viewchange_timeout_us
+            ~callback:
+              (fun () ->
+              let t = Lazy.force t in
+              start_view_change t ~target:(t.vc_target + 1));
+        persist_log = [];
+        crashed = false;
+        byz = Honest;
+        executed_total = 0 }
+  in
+  let t = Lazy.force t in
+  Network.register net (Addr.replica cfg.id) (fun ~src payload -> on_payload t ~src payload);
+  t
+
+(* ----- introspection ----- *)
+
+let id t = t.cfg.id
+let view t = t.view
+let last_executed t = t.last_executed
+let low_watermark t = t.low_mark
+let executed_count t = t.executed_total
+
+let committed_digest t seq = Hashtbl.find_opt t.executed_digests seq
+
+let executed_log t =
+  Hashtbl.fold (fun seq digest acc -> (seq, digest) :: acc) t.executed_digests []
+  |> List.sort compare
+
+let app_digest t = State_machine.digest t.app
+let persisted t = List.rev t.persist_log
+
+let crash t =
+  t.crashed <- true;
+  Timer.stop t.batch_timer;
+  Timer.stop t.suspect_timer;
+  Timer.stop t.vc_timer;
+  Network.unregister t.net (Addr.replica t.cfg.id)
+
+let is_crashed t = t.crashed
+let set_byzantine t mode = t.byz <- mode
+let byzantine_mode t = t.byz

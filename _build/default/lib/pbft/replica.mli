@@ -1,0 +1,89 @@
+(** Baseline PBFT replica (Castro & Liskov, OSDI'99) — the paper's
+    comparison system.
+
+    Implements the full protocol: three-phase normal operation
+    (PrePrepare / Prepare / Commit) with request batching, reply caching
+    and client retransmission handling, periodic checkpointing with
+    log garbage collection, and the view-change / new-view sub-protocol.
+    Replicas sign protocol messages and authenticate clients with HMAC
+    authenticators, as configured in the paper's evaluation (§6).
+
+    Performance model: message authentication and networking are handled
+    by a work-stealing pool of [workers] threads (the tokio pool of the
+    Rust baseline), while the protocol core is a single serial resource —
+    "networking and message authentication are parallelized, but the core
+    protocol is not". *)
+
+module Ids = Splitbft_types.Ids
+
+type config = {
+  n : int;  (** number of replicas, [3f + 1] *)
+  id : Ids.replica_id;
+  cost : Splitbft_tee.Cost_model.t;
+  workers : int;  (** worker-pool size; the paper uses 4 *)
+  batch_size : int;  (** 1 = unbatched *)
+  batch_timeout_us : float;
+  checkpoint_interval : int;  (** in sequence numbers (batches) *)
+  watermark_window : int;
+  suspect_timeout_us : float;  (** request timer driving view changes *)
+  viewchange_timeout_us : float;  (** retry timer for a stalled view change *)
+}
+
+val default_config : n:int -> id:Ids.replica_id -> config
+
+type t
+
+val create :
+  Splitbft_sim.Engine.t ->
+  Splitbft_sim.Network.t ->
+  config ->
+  app:Splitbft_app.State_machine.t ->
+  t
+(** Builds the replica, derives its signing identity, and registers its
+    network handler at [Addr.replica config.id]. *)
+
+(** {2 Introspection (used by the harness and tests)} *)
+
+val id : t -> Ids.replica_id
+val view : t -> Ids.view
+val last_executed : t -> Ids.seqno
+val low_watermark : t -> Ids.seqno
+val executed_count : t -> int
+
+val committed_digest : t -> Ids.seqno -> string option
+(** Digest of the batch this replica committed at the given sequence
+    number, if any — the safety checker compares these across replicas. *)
+
+val executed_log : t -> (Ids.seqno * string) list
+(** (seq, batch digest) for every executed slot, oldest first (bounded by
+    GC). *)
+
+val app_digest : t -> string
+val persisted : t -> (string * string) list
+(** Persist side effects emitted by the application (ledger blocks),
+    oldest first. *)
+
+val crash : t -> unit
+(** Host crash: unregisters from the network and stops all timers. *)
+
+val is_crashed : t -> bool
+
+(** {2 Byzantine behaviour injection (harness)} *)
+
+type byzantine_mode =
+  | Honest
+  | Equivocate of { accomplices : Ids.replica_id list }
+      (** primary sends conflicting PrePrepares to disjoint backup halves,
+          shows both versions to its accomplices, and double-votes
+          (prepares + commits) for both — with [f] accomplices in [Collude]
+          mode this deterministically violates safety, which is impossible
+          with at most [f] faulty replicas *)
+  | Collude
+      (** echoes Prepare/Commit for any PrePrepare it sees, without conflict
+          checks — the accomplice that makes equivocation succeed once more
+          than [f] replicas are faulty *)
+  | Mute_commits  (** participates until the commit phase, then withholds *)
+  | Corrupt_execution  (** executes operations incorrectly and lies in replies *)
+
+val set_byzantine : t -> byzantine_mode -> unit
+val byzantine_mode : t -> byzantine_mode

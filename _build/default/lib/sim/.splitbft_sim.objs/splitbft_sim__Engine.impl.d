@@ -1,0 +1,1 @@
+lib/sim/engine.ml: List Printf Splitbft_util

@@ -1,0 +1,1 @@
+lib/sim/network.ml: Engine Hashtbl List Printf Splitbft_util String

@@ -1,0 +1,99 @@
+exception Stop
+
+type event = {
+  time : float;
+  seq : int;
+  label : string;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = event
+
+type t = {
+  queue : event Splitbft_util.Heap.t;
+  root_rng : Splitbft_util.Rng.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable fired : int;
+  mutable live : int;
+}
+
+let compare_events a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create ?(seed = 1L) () =
+  { queue = Splitbft_util.Heap.create ~cmp:compare_events;
+    root_rng = Splitbft_util.Rng.create seed;
+    clock = 0.0;
+    next_seq = 0;
+    fired = 0;
+    live = 0 }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule t ~delay ~label action =
+  if delay < 0.0 then invalid_arg (Printf.sprintf "Engine.schedule %s: negative delay" label);
+  let ev = { time = t.clock +. delay; seq = t.next_seq; label; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  Splitbft_util.Heap.push t.queue ev;
+  ev
+
+let cancel ev =
+  if not ev.cancelled then begin
+    ev.cancelled <- true
+    (* The event stays in the heap and is skipped when popped; live count is
+       adjusted lazily at pop time. *)
+  end
+
+let pending t =
+  List.fold_left
+    (fun acc ev -> if ev.cancelled then acc else acc + 1)
+    0
+    (Splitbft_util.Heap.to_list t.queue)
+
+let fire t ev =
+  t.clock <- ev.time;
+  t.fired <- t.fired + 1;
+  ev.action ()
+
+let step t =
+  let rec next () =
+    match Splitbft_util.Heap.pop t.queue with
+    | None -> false
+    | Some ev when ev.cancelled -> next ()
+    | Some ev ->
+      fire t ev;
+      true
+  in
+  next ()
+
+let run ?until ?max_events t =
+  let budget = ref (match max_events with Some n -> n | None -> max_int) in
+  let continue = ref true in
+  while !continue do
+    if !budget <= 0 then continue := false
+    else
+      match Splitbft_util.Heap.peek t.queue with
+      | None -> continue := false
+      | Some ev when ev.cancelled ->
+        ignore (Splitbft_util.Heap.pop t.queue)
+      | Some ev ->
+        (match until with
+        | Some horizon when ev.time > horizon ->
+          t.clock <- horizon;
+          continue := false
+        | _ ->
+          ignore (Splitbft_util.Heap.pop t.queue);
+          decr budget;
+          (try fire t ev with Stop -> continue := false))
+  done;
+  match until with
+  | Some horizon when t.clock < horizon && Splitbft_util.Heap.is_empty t.queue ->
+    t.clock <- horizon
+  | _ -> ()
+
+let events_processed t = t.fired

@@ -1,0 +1,46 @@
+(** Deterministic discrete-event simulation engine.
+
+    Time is a [float] count of simulated microseconds.  Events scheduled at
+    equal times fire in scheduling order (a monotonically increasing
+    sequence number breaks ties), so a run is a pure function of the seed
+    and the scheduled actions — the property every experiment and
+    regression test in this repository relies on. *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation. *)
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh engine with virtual time 0.  [seed] (default 1) drives {!rng}. *)
+
+val now : t -> float
+(** Current virtual time in microseconds. *)
+
+val rng : t -> Splitbft_util.Rng.t
+(** The engine's root generator.  Components that need independent streams
+    should [Rng.split] it at setup time. *)
+
+val schedule : t -> delay:float -> label:string -> (unit -> unit) -> handle
+(** Schedules [action] to run [delay] µs from now ([delay >= 0]).  [label]
+    appears in traces and error reports. *)
+
+val cancel : handle -> unit
+(** Cancelling a fired or already-cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of scheduled, non-cancelled events. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Processes events in time order until the queue is empty, virtual time
+    would pass [until], or [max_events] have fired.  When stopped by
+    [until], virtual time is advanced to [until] exactly. *)
+
+val step : t -> bool
+(** Processes a single event; [false] when the queue is empty. *)
+
+val events_processed : t -> int
+
+exception Stop
+(** An event's action may raise [Stop] to end {!run} early (remaining
+    events stay queued). *)

@@ -1,0 +1,102 @@
+type addr = int
+
+type config = {
+  base_delay_us : float;
+  jitter_mean_us : float;
+  drop_probability : float;
+  bandwidth_bytes_per_us : float;
+}
+
+let default_config =
+  { base_delay_us = 50.0;
+    jitter_mean_us = 10.0;
+    drop_probability = 0.0;
+    bandwidth_bytes_per_us = 5000.0 }
+
+type action = Deliver | Drop | Delay of float
+
+type t = {
+  engine : Engine.t;
+  config : config;
+  rng : Splitbft_util.Rng.t;
+  handlers : (addr, src:addr -> string -> unit) Hashtbl.t;
+  mutable groups : (addr, int) Hashtbl.t option; (* partition group per addr *)
+  mutable filter : (src:addr -> dst:addr -> string -> action) option;
+  mutable tap : (src:addr -> dst:addr -> string -> unit) option;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable bytes : int;
+}
+
+let create engine config =
+  { engine;
+    config;
+    rng = Splitbft_util.Rng.split (Engine.rng engine);
+    handlers = Hashtbl.create 32;
+    groups = None;
+    filter = None;
+    tap = None;
+    sent = 0;
+    delivered = 0;
+    bytes = 0 }
+
+let register t addr handler = Hashtbl.replace t.handlers addr handler
+let unregister t addr = Hashtbl.remove t.handlers addr
+
+let partition t groups =
+  let table = Hashtbl.create 16 in
+  List.iteri (fun i group -> List.iter (fun a -> Hashtbl.replace table a i) group) groups;
+  t.groups <- Some table
+
+let heal t = t.groups <- None
+let set_filter t filter = t.filter <- filter
+let set_tap t tap = t.tap <- tap
+
+let same_side t src dst =
+  match t.groups with
+  | None -> true
+  | Some table ->
+    (* Unlisted addresses share the implicit group -1. *)
+    let side a = match Hashtbl.find_opt table a with Some g -> g | None -> -1 in
+    side src = side dst
+
+let model_delay t size =
+  let c = t.config in
+  let serialization =
+    if c.bandwidth_bytes_per_us > 0.0 then float_of_int size /. c.bandwidth_bytes_per_us
+    else 0.0
+  in
+  c.base_delay_us +. Splitbft_util.Rng.exponential t.rng ~mean:c.jitter_mean_us +. serialization
+
+let send t ~src ~dst payload =
+  (match t.tap with None -> () | Some tap -> tap ~src ~dst payload);
+  t.sent <- t.sent + 1;
+  t.bytes <- t.bytes + String.length payload;
+  let dropped_randomly =
+    t.config.drop_probability > 0.0
+    && Splitbft_util.Rng.float t.rng 1.0 < t.config.drop_probability
+  in
+  if same_side t src dst && not dropped_randomly then begin
+    let verdict =
+      match t.filter with
+      | None -> Deliver
+      | Some f -> f ~src ~dst payload
+    in
+    match verdict with
+    | Drop -> ()
+    | Deliver | Delay _ ->
+      let extra = match verdict with Delay d -> d | Deliver | Drop -> 0.0 in
+      let delay = model_delay t (String.length payload) +. extra in
+      let label = Printf.sprintf "net:%d->%d" src dst in
+      ignore
+        (Engine.schedule t.engine ~delay ~label (fun () ->
+             match Hashtbl.find_opt t.handlers dst with
+             | None -> ()
+             | Some handler ->
+               t.delivered <- t.delivered + 1;
+               handler ~src payload))
+  end
+
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let bytes_sent t = t.bytes

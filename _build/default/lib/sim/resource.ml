@@ -1,0 +1,45 @@
+type t = {
+  engine : Engine.t;
+  name : string;
+  mutable free_at : float;
+  mutable busy : float;
+  mutable jobs : int;
+}
+
+let create engine ~name = { engine; name; free_at = 0.0; busy = 0.0; jobs = 0 }
+let name t = t.name
+
+let submit t ~cost callback =
+  if cost < 0.0 then invalid_arg (t.name ^ ": negative job cost");
+  let now = Engine.now t.engine in
+  let start = Float.max now t.free_at in
+  let finish = start +. cost in
+  t.free_at <- finish;
+  t.busy <- t.busy +. cost;
+  t.jobs <- t.jobs + 1;
+  ignore (Engine.schedule t.engine ~delay:(finish -. now) ~label:("cpu:" ^ t.name) callback)
+
+let free_at t = t.free_at
+let busy_time t = t.busy
+let jobs t = t.jobs
+
+module Pool = struct
+  type pool = { servers : t array }
+
+  let create engine ~name ~workers =
+    if workers <= 0 then invalid_arg "Resource.Pool.create: workers must be positive";
+    let servers =
+      Array.init workers (fun i -> create engine ~name:(Printf.sprintf "%s[%d]" name i))
+    in
+    { servers }
+
+  (* Earliest-available dispatch approximates a work-stealing pool: a new
+     job starts as soon as any worker is free. *)
+  let submit p ~cost callback =
+    let best = ref p.servers.(0) in
+    Array.iter (fun s -> if s.free_at < !best.free_at then best := s) p.servers;
+    submit !best ~cost callback
+
+  let busy_time p = Array.fold_left (fun acc s -> acc +. s.busy) 0.0 p.servers
+  let workers p = Array.to_list p.servers
+end

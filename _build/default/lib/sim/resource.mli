@@ -1,0 +1,34 @@
+(** FIFO service resources modelling serial CPU contexts.
+
+    A {!t} serves submitted jobs one at a time in submission order; a job's
+    completion callback fires when its service time has elapsed.  One
+    resource models a single-threaded execution context: an enclave's ecall
+    thread in SplitBFT, or the serial protocol core of the PBFT baseline.
+    {!Pool} models a work-stealing worker pool (the baseline's 4 tokio
+    workers) as [k] identical servers with earliest-available dispatch. *)
+
+type t
+
+val create : Engine.t -> name:string -> t
+val name : t -> string
+
+val submit : t -> cost:float -> (unit -> unit) -> unit
+(** Enqueues a job with service time [cost] µs; the callback runs at its
+    completion time. *)
+
+val free_at : t -> float
+(** Virtual time at which all currently queued work completes. *)
+
+val busy_time : t -> float
+(** Cumulative service time performed. *)
+
+val jobs : t -> int
+
+module Pool : sig
+  type pool
+
+  val create : Engine.t -> name:string -> workers:int -> pool
+  val submit : pool -> cost:float -> (unit -> unit) -> unit
+  val busy_time : pool -> float
+  val workers : pool -> t list
+end

@@ -1,0 +1,31 @@
+type t = {
+  engine : Engine.t;
+  label : string;
+  mutable delay : float;
+  callback : unit -> unit;
+  mutable armed : Engine.handle option;
+}
+
+let create engine ~label ~delay ~callback =
+  { engine; label; delay; callback; armed = None }
+
+let is_running t = Option.is_some t.armed
+
+let stop t =
+  match t.armed with
+  | None -> ()
+  | Some h ->
+    Engine.cancel h;
+    t.armed <- None
+
+let restart t =
+  stop t;
+  let handle =
+    Engine.schedule t.engine ~delay:t.delay ~label:t.label (fun () ->
+        t.armed <- None;
+        t.callback ())
+  in
+  t.armed <- Some handle
+
+let start t = if not (is_running t) then restart t
+let set_delay t delay = t.delay <- delay

@@ -1,0 +1,23 @@
+(** Restartable one-shot timers on top of {!Engine}.
+
+    PBFT and SplitBFT use request timers (primary suspicion) and batch
+    timers; both live in the untrusted environment, matching principle P1 of
+    the paper. *)
+
+type t
+
+val create :
+  Engine.t -> label:string -> delay:float -> callback:(unit -> unit) -> t
+(** The timer is created stopped. *)
+
+val start : t -> unit
+(** Arms the timer if it is not running; a running timer is unaffected. *)
+
+val restart : t -> unit
+(** (Re)arms the timer for a full [delay] from now. *)
+
+val stop : t -> unit
+val is_running : t -> bool
+
+val set_delay : t -> float -> unit
+(** Takes effect at the next (re)start. *)

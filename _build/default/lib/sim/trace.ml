@@ -1,0 +1,39 @@
+type entry = { time : float; label : string; detail : string }
+
+type t = {
+  capacity : int;
+  mutable entries : entry list; (* newest first *)
+  mutable length : int;
+  mutable hash : int64;
+}
+
+let create ?(capacity = 100_000) () =
+  { capacity; entries = []; length = 0; hash = 0xcbf29ce484222325L }
+
+let fnv_prime = 0x100000001b3L
+
+let fold_string h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let record t ~time ~label detail =
+  let e = { time; label; detail } in
+  t.hash <- fold_string (fold_string (fold_string t.hash (string_of_float time)) label) detail;
+  t.entries <- e :: t.entries;
+  t.length <- t.length + 1;
+  if t.length > t.capacity then begin
+    (* Drop the oldest half; amortizes the list reversal. *)
+    let keep = t.capacity / 2 in
+    t.entries <- List.filteri (fun i _ -> i < keep) t.entries;
+    t.length <- keep
+  end
+
+let entries t = List.rev t.entries
+let length t = t.length
+let fingerprint t = Printf.sprintf "%016Lx" t.hash
+
+let pp_entry ppf e = Format.fprintf ppf "[%12.1f] %-24s %s" e.time e.label e.detail

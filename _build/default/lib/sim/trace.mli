@@ -1,0 +1,21 @@
+(** Bounded in-memory trace of simulation events.
+
+    Used by the determinism tests (same seed ⇒ identical trace) and for
+    debugging protocol runs. *)
+
+type entry = { time : float; label : string; detail : string }
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 100_000) bounds memory; older entries are dropped. *)
+
+val record : t -> time:float -> label:string -> string -> unit
+val entries : t -> entry list
+(** Oldest first. *)
+
+val length : t -> int
+val fingerprint : t -> string
+(** Order-sensitive SHA-free fingerprint (a 64-bit FNV-style fold rendered
+    in hex) of the whole trace, cheap to compare across runs. *)
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,1 @@
+lib/tee/attestation.ml: Measurement Platform Splitbft_codec Splitbft_crypto

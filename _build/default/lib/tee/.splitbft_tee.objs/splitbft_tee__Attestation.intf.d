@@ -1,0 +1,1 @@
+lib/tee/attestation.mli: Measurement Platform Splitbft_crypto

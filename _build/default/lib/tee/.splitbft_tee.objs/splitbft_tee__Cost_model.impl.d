@@ -1,0 +1,1 @@
+lib/tee/cost_model.ml:

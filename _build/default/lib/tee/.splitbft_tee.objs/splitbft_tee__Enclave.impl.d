@@ -1,0 +1,1 @@
+lib/tee/enclave.ml: Attestation Cost_model List Measurement Platform Printf Sealing Splitbft_crypto Splitbft_sim Splitbft_util String

@@ -1,0 +1,1 @@
+lib/tee/enclave.mli: Cost_model Measurement Platform Splitbft_crypto Splitbft_sim Splitbft_util

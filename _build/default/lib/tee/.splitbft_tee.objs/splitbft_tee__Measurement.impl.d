@@ -1,0 +1,1 @@
+lib/tee/measurement.ml: Format Splitbft_crypto Splitbft_util String

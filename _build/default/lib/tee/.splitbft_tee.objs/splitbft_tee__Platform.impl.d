@@ -1,0 +1,1 @@
+lib/tee/platform.ml: Hashtbl Int64 Measurement Option Printf Splitbft_crypto Splitbft_sim Splitbft_util

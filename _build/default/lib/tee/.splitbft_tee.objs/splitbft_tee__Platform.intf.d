@@ -1,0 +1,1 @@
+lib/tee/platform.mli: Measurement Splitbft_crypto Splitbft_sim Splitbft_util

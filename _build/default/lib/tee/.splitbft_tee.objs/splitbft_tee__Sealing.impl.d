@@ -1,0 +1,1 @@
+lib/tee/sealing.ml: Splitbft_crypto Splitbft_util String

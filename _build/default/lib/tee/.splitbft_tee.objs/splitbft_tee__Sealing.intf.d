@@ -1,0 +1,1 @@
+lib/tee/sealing.mli: Splitbft_util

@@ -1,0 +1,66 @@
+module Signature = Splitbft_crypto.Signature
+module Writer = Splitbft_codec.Writer
+module Reader = Splitbft_codec.Reader
+
+type quote = {
+  platform_public : Signature.public;
+  measurement : Measurement.t;
+  report_data : string;
+  signature : string;
+}
+
+let signed_payload ~platform_public ~measurement ~report_data =
+  Writer.to_string
+    (fun w () ->
+      Writer.raw w "splitbft-quote-v1";
+      Writer.bytes w platform_public;
+      Writer.bytes w (Measurement.to_raw measurement);
+      Writer.bytes w report_data)
+    ()
+
+let create platform ~measurement ~report_data =
+  let key = Platform.attestation_key platform in
+  let payload =
+    signed_payload ~platform_public:key.Signature.public ~measurement ~report_data
+  in
+  { platform_public = key.Signature.public;
+    measurement;
+    report_data;
+    signature = Signature.sign key.Signature.secret payload }
+
+let verify ?expected_measurement quote =
+  Platform.is_genuine_public quote.platform_public
+  && Signature.verify ~public:quote.platform_public
+       ~msg:
+         (signed_payload ~platform_public:quote.platform_public
+            ~measurement:quote.measurement ~report_data:quote.report_data)
+       ~signature:quote.signature
+  &&
+  match expected_measurement with
+  | None -> true
+  | Some m -> Measurement.equal m quote.measurement
+
+let encode quote =
+  Writer.to_string
+    (fun w q ->
+      Writer.bytes w q.platform_public;
+      Writer.bytes w (Measurement.to_raw q.measurement);
+      Writer.bytes w q.report_data;
+      Writer.bytes w q.signature)
+    quote
+
+let decode s =
+  Reader.parse
+    (fun r ->
+      let platform_public = Reader.bytes r in
+      let measurement_raw = Reader.bytes r in
+      let report_data = Reader.bytes r in
+      let signature = Reader.bytes r in
+      (platform_public, measurement_raw, report_data, signature))
+    s
+  |> function
+  | Error e -> Error e
+  | Ok (platform_public, measurement_raw, report_data, signature) -> (
+    match Measurement.of_raw measurement_raw with
+    | Error e -> Error e
+    | Ok measurement -> Ok { platform_public; measurement; report_data; signature })

@@ -1,0 +1,23 @@
+(** Remote attestation (SGX quote equivalent).
+
+    A quote binds a measurement and caller-chosen report data (here: the
+    enclave's protocol public key) to a genuine platform, signed by the
+    platform's hardware attestation key.  Clients verify quotes of the
+    Execution and Preparation enclaves before provisioning session keys,
+    as in §4 step 1 of the paper. *)
+
+type quote = {
+  platform_public : Splitbft_crypto.Signature.public;
+  measurement : Measurement.t;
+  report_data : string;
+  signature : string;
+}
+
+val create : Platform.t -> measurement:Measurement.t -> report_data:string -> quote
+
+val verify : ?expected_measurement:Measurement.t -> quote -> bool
+(** Checks that the platform is genuine hardware, the signature is valid,
+    and (when given) the measurement matches. *)
+
+val encode : quote -> string
+val decode : string -> (quote, string) result

@@ -1,0 +1,164 @@
+module Signature = Splitbft_crypto.Signature
+module Resource = Splitbft_sim.Resource
+module Stats = Splitbft_util.Stats
+
+type env = {
+  enclave : t;
+  keypair : Signature.keypair;
+  rng : Splitbft_util.Rng.t;
+  mutable pending_charge : float;
+  mutable pending_outputs : string list; (* newest first *)
+}
+
+and t = {
+  name : string;
+  platform : Platform.t;
+  meas : Measurement.t;
+  cost_model : Cost_model.t;
+  sealing_key : string;
+  mutable env : env option; (* None until first ecall builds it *)
+  mutable handler : handler option;
+  mutable program : program;
+  mutable crashed : bool;
+  mutable subverted : bool;
+  mutable calls : int;
+  mutable total_us : float;
+  mutable durations : Stats.t;
+  quote_encoded : string;
+}
+
+and handler = string -> unit
+and program = env -> handler
+
+let create platform ~name ~measurement ~cost_model ~key_seed ~program =
+  let keypair = Signature.derive ~seed:key_seed in
+  let quote =
+    Attestation.create platform ~measurement ~report_data:keypair.Signature.public
+  in
+  let t =
+    { name;
+      platform;
+      meas = measurement;
+      cost_model;
+      sealing_key = Platform.sealing_key platform measurement;
+      env = None;
+      handler = None;
+      program;
+      crashed = false;
+      subverted = false;
+      calls = 0;
+      total_us = 0.0;
+      durations = Stats.create ();
+      quote_encoded = Attestation.encode quote }
+  in
+  t.env <-
+    Some
+      { enclave = t;
+        keypair;
+        rng = Splitbft_util.Rng.split (Platform.rng platform);
+        pending_charge = 0.0;
+        pending_outputs = [] };
+  t
+
+let name t = t.name
+let measurement t = t.meas
+let platform t = t.platform
+
+let the_env t =
+  match t.env with
+  | Some e -> e
+  | None -> assert false
+
+let public_key t = (the_env t).keypair.Signature.public
+
+let instantiate t =
+  match t.handler with
+  | Some h -> h
+  | None ->
+    let h = t.program (the_env t) in
+    t.handler <- Some h;
+    h
+
+let ecall t ~thread ~payload ~on_done =
+  let cm = t.cost_model in
+  if t.crashed then
+    (* An aborted ecall into a dead enclave: the transition is attempted,
+       nothing comes back. *)
+    Resource.submit thread ~cost:cm.ecall_transition_us (fun () -> on_done [])
+  else begin
+    let env = the_env t in
+    env.pending_charge <- 0.0;
+    env.pending_outputs <- [];
+    let handler = instantiate t in
+    handler payload;
+    let outputs = List.rev env.pending_outputs in
+    env.pending_outputs <- [];
+    let out_bytes = List.fold_left (fun acc o -> acc + String.length o) 0 outputs in
+    let cost =
+      cm.ecall_transition_us
+      +. (cm.copy_per_byte_us *. float_of_int (String.length payload + out_bytes))
+      +. env.pending_charge
+    in
+    env.pending_charge <- 0.0;
+    t.calls <- t.calls + 1;
+    t.total_us <- t.total_us +. cost;
+    Stats.add t.durations cost;
+    Resource.submit thread ~cost (fun () -> on_done outputs)
+  end
+
+let crash t = t.crashed <- true
+let is_crashed t = t.crashed
+
+let restart t ~program =
+  t.crashed <- false;
+  t.subverted <- false;
+  t.program <- program;
+  t.handler <- None
+
+let subvert t program =
+  t.subverted <- true;
+  t.handler <- Some (program (the_env t))
+
+let is_subverted t = t.subverted
+let ecall_count t = t.calls
+let ecall_total_us t = t.total_us
+let ecall_durations t = t.durations
+
+let reset_stats t =
+  t.calls <- 0;
+  t.total_us <- 0.0;
+  t.durations <- Stats.create ()
+
+let charge env us = env.pending_charge <- env.pending_charge +. us
+let cost_model env = env.enclave.cost_model
+let emit env payload = env.pending_outputs <- payload :: env.pending_outputs
+
+let ocall env ?(cost = 0.0) payload =
+  let cm = env.enclave.cost_model in
+  charge env (cm.ocall_transition_us +. cost);
+  emit env payload
+
+let env_keypair env = env.keypair
+let env_platform_id env = Platform.id env.enclave.platform
+let env_measurement env = env.enclave.meas
+let env_now env = Splitbft_sim.Engine.now (Platform.engine env.enclave.platform)
+let env_rng env = env.rng
+
+let seal env data =
+  let cm = env.enclave.cost_model in
+  charge env (cm.seal_base_us +. (cm.seal_per_byte_us *. float_of_int (String.length data)));
+  Sealing.seal ~key:env.enclave.sealing_key ~rng:env.rng data
+
+let unseal env blob =
+  let cm = env.enclave.cost_model in
+  charge env (cm.seal_base_us +. (cm.seal_per_byte_us *. float_of_int (String.length blob)));
+  Sealing.unseal ~key:env.enclave.sealing_key blob
+
+let counter_name env name =
+  Printf.sprintf "%s:%s" (Splitbft_util.Hex.encode (Measurement.to_raw env.enclave.meas)) name
+
+let counter_increment env name =
+  Platform.counter_increment env.enclave.platform (counter_name env name)
+
+let counter_read env name = Platform.counter_read env.enclave.platform (counter_name env name)
+let quote env = env.enclave.quote_encoded

@@ -1,0 +1,114 @@
+(** Simulated SGX enclave: an isolated, single-threaded program reachable
+    only through metered ecalls.
+
+    The program is a factory that receives the enclave environment once and
+    returns the ecall handler; compartment state lives in the closure, so
+    it is unreachable from outside by construction — the isolation property
+    SGX provides in hardware.  Every ecall is charged on the calling thread
+    resource: transition cost + copy-in + the handler's explicit charges +
+    copy-out (see {!Cost_model}); outputs are delivered to the caller at
+    the ecall's completion time.
+
+    Fault injection mirrors the paper's model: an enclave can {b crash}
+    (ecalls return nothing) or be {b subverted} (its handler replaced by an
+    adversarial program that retains access to the enclave's own keys —
+    i.e. a byzantine enclave can equivocate but still cannot forge other
+    enclaves' signatures). *)
+
+type t
+
+type env
+(** Capabilities available to the program inside the enclave. *)
+
+type handler = string -> unit
+(** Processes one ecall payload; effects leave via {!emit}/{!ocall}. *)
+
+type program = env -> handler
+(** Called once per (re)start; state lives in the returned closure. *)
+
+val create :
+  Platform.t ->
+  name:string ->
+  measurement:Measurement.t ->
+  cost_model:Cost_model.t ->
+  key_seed:string ->
+  program:program ->
+  t
+(** The enclave's protocol keypair derives deterministically from
+    [key_seed]. *)
+
+val name : t -> string
+val measurement : t -> Measurement.t
+val platform : t -> Platform.t
+
+val public_key : t -> Splitbft_crypto.Signature.public
+(** The enclave's protocol signing public key (also embedded in its
+    attestation quotes as report data). *)
+
+val ecall :
+  t ->
+  thread:Splitbft_sim.Resource.t ->
+  payload:string ->
+  on_done:(string list -> unit) ->
+  unit
+(** Asynchronous ecall: occupies [thread] for the metered duration, then
+    invokes [on_done outputs].  On a crashed enclave only the transition
+    cost is paid and [on_done []] fires. *)
+
+(** {2 Fault injection} *)
+
+val crash : t -> unit
+val is_crashed : t -> bool
+
+val restart : t -> program:program -> unit
+(** Reboot with a fresh program instance (recovery re-populates state via
+    {!unseal}); clears the crashed flag and any subversion. *)
+
+val subvert : t -> program -> unit
+(** Replaces the running handler with an adversarial program sharing the
+    same [env] (same keys, sealing, counters). *)
+
+val is_subverted : t -> bool
+
+(** {2 Accounting (Figure 4)} *)
+
+val ecall_count : t -> int
+val ecall_total_us : t -> float
+val ecall_durations : t -> Splitbft_util.Stats.t
+val reset_stats : t -> unit
+
+(** {2 Environment API (used by programs)} *)
+
+val charge : env -> float -> unit
+(** Adds compute time to the current ecall. *)
+
+val cost_model : env -> Cost_model.t
+
+val emit : env -> string -> unit
+(** Queues an output returned to the caller when the ecall completes
+    (copy-out is charged; no extra transition — it rides the ecall
+    return). *)
+
+val ocall : env -> ?cost:float -> string -> unit
+(** Like {!emit} but modelling a mid-ecall ocall: charges the ocall
+    transition plus [cost] (work performed outside). *)
+
+val env_keypair : env -> Splitbft_crypto.Signature.keypair
+val env_platform_id : env -> int
+val env_measurement : env -> Measurement.t
+val env_now : env -> float
+val env_rng : env -> Splitbft_util.Rng.t
+
+val seal : env -> string -> string
+(** Seals under this enclave's sealing key (charges sealing cost). *)
+
+val unseal : env -> string -> (string, string) result
+
+val counter_increment : env -> string -> int64
+(** Monotonic counter scoped to this enclave's measurement. *)
+
+val counter_read : env -> string -> int64
+
+val quote : env -> string
+(** Encoded attestation quote whose report data is this enclave's protocol
+    public key. *)

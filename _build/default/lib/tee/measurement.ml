@@ -1,0 +1,13 @@
+type t = string
+
+let of_source ~name ~version ~code =
+  Splitbft_crypto.Sha256.digest_parts [ "splitbft-measurement"; name; version; code ]
+
+let to_raw t = t
+
+let of_raw s =
+  if String.length s = Splitbft_crypto.Sha256.digest_size then Ok s
+  else Error "measurement must be 32 bytes"
+
+let equal = String.equal
+let pp ppf t = Format.pp_print_string ppf (Splitbft_util.Hex.short ~len:12 t)

@@ -1,0 +1,15 @@
+(** Enclave code identity (SGX MRENCLAVE equivalent).
+
+    A measurement is the digest of the compartment's name, version, and a
+    description of its code; attestation binds quotes to it, and sealing
+    keys derive from it so a different (possibly malicious) enclave on the
+    same platform cannot unseal another compartment's state. *)
+
+type t = private string
+(** 32-byte digest. *)
+
+val of_source : name:string -> version:string -> code:string -> t
+val to_raw : t -> string
+val of_raw : string -> (t, string) result
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

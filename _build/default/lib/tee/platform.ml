@@ -1,0 +1,44 @@
+type t = {
+  id : int;
+  engine : Splitbft_sim.Engine.t;
+  secret : string;
+  attestation_key : Splitbft_crypto.Signature.keypair;
+  counters : (string, int64) Hashtbl.t;
+  rng : Splitbft_util.Rng.t;
+}
+
+(* Genuine-hardware registry shared with Attestation (the role of Intel's
+   provisioning service): attestation publics of real platforms. *)
+let genuine : (string, unit) Hashtbl.t = Hashtbl.create 16
+
+let is_genuine_public public = Hashtbl.mem genuine public
+
+let create engine ~id =
+  let seed = Printf.sprintf "platform-%d" id in
+  let secret = Splitbft_crypto.Sha256.digest_parts [ "splitbft-platform-secret"; seed ] in
+  let attestation_key = Splitbft_crypto.Signature.derive ~seed:("attest-" ^ seed) in
+  Hashtbl.replace genuine attestation_key.public ();
+  { id;
+    engine;
+    secret;
+    attestation_key;
+    counters = Hashtbl.create 8;
+    rng = Splitbft_util.Rng.split (Splitbft_sim.Engine.rng engine) }
+
+let id t = t.id
+let engine t = t.engine
+let attestation_key t = t.attestation_key
+
+let sealing_key t measurement =
+  Splitbft_crypto.Kdf.derive ~ikm:t.secret
+    ~info:("splitbft-seal:" ^ Measurement.to_raw measurement)
+    ~length:32 ()
+
+let counter_increment t name =
+  let v = Int64.add (Option.value ~default:0L (Hashtbl.find_opt t.counters name)) 1L in
+  Hashtbl.replace t.counters name v;
+  v
+
+let counter_read t name = Option.value ~default:0L (Hashtbl.find_opt t.counters name)
+let counter_tamper_reset t name = Hashtbl.remove t.counters name
+let rng t = t.rng

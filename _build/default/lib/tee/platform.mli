@@ -1,0 +1,35 @@
+(** A physical host with TEE support (an SGX-capable machine).
+
+    Each platform owns a hardware secret (root of sealing keys), an
+    attestation keypair (stands in for the Intel provisioning chain), and a
+    monotonic-counter service.  Platforms register themselves in
+    {!Attestation}'s genuine-hardware registry at creation. *)
+
+type t
+
+val create : Splitbft_sim.Engine.t -> id:int -> t
+val id : t -> int
+val engine : t -> Splitbft_sim.Engine.t
+
+val attestation_key : t -> Splitbft_crypto.Signature.keypair
+(** Hardware attestation keypair. *)
+
+val sealing_key : t -> Measurement.t -> string
+(** 32-byte sealing key bound to (platform secret, measurement): only an
+    enclave with the same measurement on the same platform derives it. *)
+
+val counter_increment : t -> string -> int64
+(** Increments and returns the named monotonic counter (starts at 0, first
+    increment returns 1). *)
+
+val counter_read : t -> string -> int64
+
+val counter_tamper_reset : t -> string -> unit
+(** Simulates a rollback attack on the counter service (for the
+    rollback-detection tests); real hardware forbids this. *)
+
+val rng : t -> Splitbft_util.Rng.t
+
+val is_genuine_public : Splitbft_crypto.Signature.public -> bool
+(** Whether the given attestation public key belongs to a real platform
+    (the role of Intel's provisioning/attestation service). *)

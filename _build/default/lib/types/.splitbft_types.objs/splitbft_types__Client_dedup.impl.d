@@ -1,0 +1,1 @@
+lib/types/client_dedup.ml: Hashtbl Int64 Message

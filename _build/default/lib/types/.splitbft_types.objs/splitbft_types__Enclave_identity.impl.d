@@ -1,0 +1,1 @@
+lib/types/enclave_identity.ml: Ids Printf Splitbft_tee

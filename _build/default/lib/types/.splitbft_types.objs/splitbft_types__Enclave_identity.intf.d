@@ -1,0 +1,1 @@
+lib/types/enclave_identity.mli: Ids Splitbft_tee

@@ -1,0 +1,1 @@
+lib/types/ids.mli: Format

@@ -1,0 +1,1 @@
+lib/types/keys.ml: Ids List Printf Splitbft_codec Splitbft_crypto

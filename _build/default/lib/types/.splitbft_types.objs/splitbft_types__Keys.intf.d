@@ -1,0 +1,1 @@
+lib/types/keys.mli: Ids

@@ -1,0 +1,1 @@
+lib/types/message.ml: Char Format Ids List Printf Splitbft_codec Splitbft_crypto Splitbft_util String

@@ -1,0 +1,1 @@
+lib/types/message.mli: Format Ids

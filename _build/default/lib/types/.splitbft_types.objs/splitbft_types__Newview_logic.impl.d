@@ -1,0 +1,1 @@
+lib/types/newview_logic.ml: Hashtbl List Message String

@@ -1,0 +1,1 @@
+lib/types/newview_logic.mli: Ids Message

@@ -1,0 +1,1 @@
+lib/types/session.ml: Message Printf Splitbft_codec Splitbft_crypto Splitbft_util

@@ -1,0 +1,1 @@
+lib/types/session.mli: Ids Message Splitbft_util

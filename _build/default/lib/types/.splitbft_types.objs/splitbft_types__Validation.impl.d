@@ -1,0 +1,1 @@
+lib/types/validation.ml: Hashtbl Ids List Message Option Splitbft_crypto String

@@ -1,0 +1,1 @@
+lib/types/validation.mli: Ids Message Splitbft_crypto

@@ -1,0 +1,6 @@
+let client_base = 1_000
+let replica i = i
+let client c = client_base + c
+let is_client addr = addr >= client_base
+let client_of_addr addr = addr - client_base
+let replica_of_addr addr = addr

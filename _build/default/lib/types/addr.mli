@@ -1,0 +1,9 @@
+(** Network address scheme shared by all protocols: replicas occupy the low
+    address range, clients start at {!client_base}. *)
+
+val replica : Ids.replica_id -> int
+val client : Ids.client_id -> int
+val client_base : int
+val is_client : int -> bool
+val client_of_addr : int -> Ids.client_id
+val replica_of_addr : int -> Ids.replica_id

@@ -1,0 +1,31 @@
+(** Per-client execute-once bookkeeping with reply caching.
+
+    Classic PBFT deduplicates with the client's last executed timestamp,
+    which assumes one outstanding request per client.  The paper's batched
+    experiments give every client 40 outstanding requests, whose network
+    arrival order is arbitrary — a bare timestamp watermark would wrongly
+    drop any request overtaken by a later one.  This tracks a contiguous
+    floor plus the sparse set of executed timestamps above it (bounded by
+    the client's window), exactly once per timestamp, with cached replies
+    for retransmissions. *)
+
+type t
+
+val create : unit -> t
+
+val executed : t -> int64 -> bool
+(** Has this timestamp already been executed? *)
+
+val record : t -> int64 -> Message.reply option -> unit
+(** Marks the timestamp executed and caches the reply; advances the
+    contiguous floor and prunes cache entries below it.
+    @raise Invalid_argument if the timestamp was already recorded. *)
+
+val cached_reply : t -> int64 -> Message.reply option
+(** The cached reply for an executed timestamp, if still retained (replies
+    at or below the floor keep only the latest). *)
+
+val floor_ts : t -> int64
+(** All timestamps <= this value are executed. *)
+
+val pending_above_floor : t -> int

@@ -1,0 +1,14 @@
+let version = "1.0.0"
+
+let make name =
+  Splitbft_tee.Measurement.of_source ~name ~version
+    ~code:(Printf.sprintf "splitbft %s compartment" name)
+
+let preparation = make "preparation"
+let confirmation = make "confirmation"
+let execution = make "execution"
+
+let of_compartment = function
+  | Ids.Preparation -> preparation
+  | Ids.Confirmation -> confirmation
+  | Ids.Execution -> execution

@@ -1,0 +1,11 @@
+(** Canonical measurements of the three SplitBFT compartments.
+
+    Clients verify attestation quotes against these before provisioning
+    session keys; the TEE substrate derives sealing keys from them.  They
+    are deployment constants: every replica runs the same compartment code,
+    so all enclaves of one type share a measurement. *)
+
+val preparation : Splitbft_tee.Measurement.t
+val confirmation : Splitbft_tee.Measurement.t
+val execution : Splitbft_tee.Measurement.t
+val of_compartment : Ids.compartment -> Splitbft_tee.Measurement.t

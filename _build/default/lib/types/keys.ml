@@ -1,0 +1,38 @@
+module W = Splitbft_codec.Writer
+module R = Splitbft_codec.Reader
+module Hmac = Splitbft_crypto.Hmac
+module Kdf = Splitbft_crypto.Kdf
+
+let replica_signing_seed ~protocol id = Printf.sprintf "%s-replica-%d" protocol id
+
+let enclave_signing_seed replica compartment =
+  Printf.sprintf "splitbft-enclave-%d-%s" replica (Ids.compartment_name compartment)
+
+let enclave_box_seed replica compartment =
+  Printf.sprintf "splitbft-enclave-box-%d-%s" replica (Ids.compartment_name compartment)
+
+let client_replica_key ~protocol ~client ~replica =
+  Kdf.derive
+    ~ikm:(Printf.sprintf "%s-client-%d" protocol client)
+    ~info:(Printf.sprintf "replica-%d" replica)
+    ~length:32 ()
+
+let make_authenticator ~protocol ~client ~n msg =
+  W.to_string
+    (fun w () ->
+      W.list w
+        (fun w replica ->
+          let key = client_replica_key ~protocol ~client ~replica in
+          W.bytes w (Hmac.mac ~key msg))
+        (List.init n (fun i -> i)))
+    ()
+
+let check_authenticator ~protocol ~client ~replica ~msg ~auth =
+  match R.parse (fun r -> R.list r R.bytes) auth with
+  | Error _ -> false
+  | Ok macs -> (
+    match List.nth_opt macs replica with
+    | None -> false
+    | Some mac ->
+      let key = client_replica_key ~protocol ~client ~replica in
+      Hmac.equal_constant_time (Hmac.mac ~key msg) mac)

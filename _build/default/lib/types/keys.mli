@@ -1,0 +1,31 @@
+(** Deployment key provisioning.
+
+    Deterministic derivation of long-term keys from identities, standing in
+    for the paper's assumption that "public keys are known to all
+    participants" and that clients share HMAC keys with the service.
+    Session keys (SplitBFT request encryption) are {e not} derived here;
+    they are provisioned at run time through the attestation handshake. *)
+
+(** {2 Replica / enclave signing identities} *)
+
+val replica_signing_seed : protocol:string -> Ids.replica_id -> string
+val enclave_signing_seed : Ids.replica_id -> Ids.compartment -> string
+val enclave_box_seed : Ids.replica_id -> Ids.compartment -> string
+
+(** {2 Client-replica MAC keys (PBFT / MinBFT baselines)} *)
+
+val client_replica_key : protocol:string -> client:Ids.client_id -> replica:Ids.replica_id -> string
+
+val make_authenticator :
+  protocol:string -> client:Ids.client_id -> n:int -> string -> string
+(** MAC vector over the given bytes, one entry per replica — the classic
+    PBFT authenticator. *)
+
+val check_authenticator :
+  protocol:string ->
+  client:Ids.client_id ->
+  replica:Ids.replica_id ->
+  msg:string ->
+  auth:string ->
+  bool
+(** Verifies this replica's entry of the authenticator vector. *)

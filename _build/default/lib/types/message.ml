@@ -1,0 +1,547 @@
+module W = Splitbft_codec.Writer
+module R = Splitbft_codec.Reader
+module Sha256 = Splitbft_crypto.Sha256
+
+type request = {
+  client : Ids.client_id;
+  timestamp : int64;
+  payload : string;
+  auth : string;
+}
+
+type preprepare = {
+  view : Ids.view;
+  seq : Ids.seqno;
+  batch : request list;
+  sender : Ids.replica_id;
+  pp_sig : string;
+}
+
+type prepare = {
+  view : Ids.view;
+  seq : Ids.seqno;
+  digest : string;
+  sender : Ids.replica_id;
+  p_sig : string;
+}
+
+type commit = {
+  view : Ids.view;
+  seq : Ids.seqno;
+  digest : string;
+  sender : Ids.replica_id;
+  c_sig : string;
+}
+
+type checkpoint = {
+  seq : Ids.seqno;
+  state_digest : string;
+  sender : Ids.replica_id;
+  ck_sig : string;
+}
+
+type reply = {
+  view : Ids.view;
+  timestamp : int64;
+  client : Ids.client_id;
+  sender : Ids.replica_id;
+  result : string;
+  r_auth : string;
+}
+
+type preprepare_digest = {
+  pd_view : Ids.view;
+  pd_seq : Ids.seqno;
+  pd_digest : string;
+  pd_sender : Ids.replica_id;
+  pd_sig : string;
+}
+
+type prepared_proof = {
+  proof_preprepare : preprepare_digest;
+  proof_prepares : prepare list;
+}
+
+type viewchange = {
+  vc_new_view : Ids.view;
+  vc_last_stable : Ids.seqno;
+  vc_checkpoint_proof : checkpoint list;
+  vc_prepared : prepared_proof list;
+  vc_sender : Ids.replica_id;
+  vc_sig : string;
+}
+
+type newview = {
+  nv_view : Ids.view;
+  nv_viewchanges : viewchange list;
+  nv_preprepares : preprepare_digest list;
+  nv_sender : Ids.replica_id;
+  nv_sig : string;
+}
+
+type session_init = { si_client : Ids.client_id }
+
+type session_quote = {
+  sq_replica : Ids.replica_id;
+  sq_quote : string;
+  sq_box_public : string;
+  sq_sig : string;
+}
+
+type session_key = {
+  sk_client : Ids.client_id;
+  sk_replica : Ids.replica_id;
+  sk_box : string;
+}
+
+type session_ack = {
+  sa_replica : Ids.replica_id;
+  sa_client : Ids.client_id;
+  sa_auth : string;
+}
+
+type batch_fetch = { bf_digest : string; bf_requester : Ids.replica_id }
+type batch_data = { bd_batch : request list }
+
+type t =
+  | Request of request
+  | Preprepare of preprepare
+  | Preprepare_digest of preprepare_digest
+  | Prepare of prepare
+  | Commit of commit
+  | Checkpoint of checkpoint
+  | Reply of reply
+  | Viewchange of viewchange
+  | Newview of newview
+  | Session_init of session_init
+  | Session_quote of session_quote
+  | Session_key of session_key
+  | Session_ack of session_ack
+  | Batch_fetch of batch_fetch
+  | Batch_data of batch_data
+
+let tag = function
+  | Request _ -> 1
+  | Preprepare _ -> 2
+  | Preprepare_digest _ -> 13
+  | Prepare _ -> 3
+  | Commit _ -> 4
+  | Checkpoint _ -> 5
+  | Reply _ -> 6
+  | Viewchange _ -> 7
+  | Newview _ -> 8
+  | Session_init _ -> 9
+  | Session_quote _ -> 10
+  | Session_key _ -> 11
+  | Session_ack _ -> 12
+  | Batch_fetch _ -> 14
+  | Batch_data _ -> 15
+
+let type_name = function
+  | Request _ -> "request"
+  | Preprepare _ -> "preprepare"
+  | Preprepare_digest _ -> "preprepare-digest"
+  | Prepare _ -> "prepare"
+  | Commit _ -> "commit"
+  | Checkpoint _ -> "checkpoint"
+  | Reply _ -> "reply"
+  | Viewchange _ -> "viewchange"
+  | Newview _ -> "newview"
+  | Session_init _ -> "session-init"
+  | Session_quote _ -> "session-quote"
+  | Session_key _ -> "session-key"
+  | Session_ack _ -> "session-ack"
+  | Batch_fetch _ -> "batch-fetch"
+  | Batch_data _ -> "batch-data"
+
+(* ----- request ----- *)
+
+let write_request w (r : request) =
+  W.varint w r.client;
+  W.u64 w r.timestamp;
+  W.bytes w r.payload;
+  W.bytes w r.auth
+
+let read_request r : request =
+  let client = R.varint r in
+  let timestamp = R.u64 r in
+  let payload = R.bytes r in
+  let auth = R.bytes r in
+  { client; timestamp; payload; auth }
+
+let encode_request req = W.to_string write_request req
+let decode_request s = R.parse read_request s
+
+let request_auth_bytes (r : request) =
+  W.to_string
+    (fun w () ->
+      W.raw w "req-auth";
+      W.varint w r.client;
+      W.u64 w r.timestamp;
+      W.bytes w r.payload)
+    ()
+
+let digest_of_request r = Sha256.digest (encode_request r)
+
+let digest_of_batch batch =
+  let w = W.create () in
+  W.raw w "batch";
+  List.iter (write_request w) batch;
+  Sha256.digest (W.contents w)
+
+(* ----- preprepare ----- *)
+
+let empty_batch_digest = digest_of_batch []
+
+let write_preprepare w (pp : preprepare) =
+  W.varint w pp.view;
+  W.varint w pp.seq;
+  W.list w write_request pp.batch;
+  W.varint w pp.sender;
+  W.bytes w pp.pp_sig
+
+let read_preprepare r : preprepare =
+  let view = R.varint r in
+  let seq = R.varint r in
+  let batch = R.list r read_request in
+  let sender = R.varint r in
+  let pp_sig = R.bytes r in
+  { view; seq; batch; sender; pp_sig }
+
+(* The signature covers the digest form, so it is valid on both the full
+   and the summarized message. *)
+let signing_bytes_of_proposal ~view ~seq ~digest ~sender =
+  W.to_string
+    (fun w () ->
+      W.raw w "pp";
+      W.varint w view;
+      W.varint w seq;
+      W.bytes w digest;
+      W.varint w sender)
+    ()
+
+let preprepare_signing_bytes (pp : preprepare) =
+  signing_bytes_of_proposal ~view:pp.view ~seq:pp.seq
+    ~digest:(digest_of_batch pp.batch) ~sender:pp.sender
+
+let preprepare_digest_signing_bytes (pd : preprepare_digest) =
+  signing_bytes_of_proposal ~view:pd.pd_view ~seq:pd.pd_seq ~digest:pd.pd_digest
+    ~sender:pd.pd_sender
+
+let summarize (pp : preprepare) : preprepare_digest =
+  { pd_view = pp.view;
+    pd_seq = pp.seq;
+    pd_digest = digest_of_batch pp.batch;
+    pd_sender = pp.sender;
+    pd_sig = pp.pp_sig }
+
+let write_preprepare_digest w (pd : preprepare_digest) =
+  W.varint w pd.pd_view;
+  W.varint w pd.pd_seq;
+  W.bytes w pd.pd_digest;
+  W.varint w pd.pd_sender;
+  W.bytes w pd.pd_sig
+
+let read_preprepare_digest r : preprepare_digest =
+  let pd_view = R.varint r in
+  let pd_seq = R.varint r in
+  let pd_digest = R.bytes r in
+  let pd_sender = R.varint r in
+  let pd_sig = R.bytes r in
+  { pd_view; pd_seq; pd_digest; pd_sender; pd_sig }
+
+(* ----- prepare ----- *)
+
+let write_prepare_core w (p : prepare) =
+  W.varint w p.view;
+  W.varint w p.seq;
+  W.bytes w p.digest;
+  W.varint w p.sender
+
+let write_prepare w p =
+  write_prepare_core w p;
+  W.bytes w p.p_sig
+
+let read_prepare r : prepare =
+  let view = R.varint r in
+  let seq = R.varint r in
+  let digest = R.bytes r in
+  let sender = R.varint r in
+  let p_sig = R.bytes r in
+  { view; seq; digest; sender; p_sig }
+
+let prepare_signing_bytes p =
+  W.to_string (fun w p -> W.raw w "p"; write_prepare_core w p) p
+
+(* ----- commit ----- *)
+
+let write_commit_core w (c : commit) =
+  W.varint w c.view;
+  W.varint w c.seq;
+  W.bytes w c.digest;
+  W.varint w c.sender
+
+let write_commit w c =
+  write_commit_core w c;
+  W.bytes w c.c_sig
+
+let read_commit r : commit =
+  let view = R.varint r in
+  let seq = R.varint r in
+  let digest = R.bytes r in
+  let sender = R.varint r in
+  let c_sig = R.bytes r in
+  { view; seq; digest; sender; c_sig }
+
+let commit_signing_bytes c =
+  W.to_string (fun w c -> W.raw w "c"; write_commit_core w c) c
+
+(* ----- checkpoint ----- *)
+
+let write_checkpoint_core w (ck : checkpoint) =
+  W.varint w ck.seq;
+  W.bytes w ck.state_digest;
+  W.varint w ck.sender
+
+let write_checkpoint w ck =
+  write_checkpoint_core w ck;
+  W.bytes w ck.ck_sig
+
+let read_checkpoint r : checkpoint =
+  let seq = R.varint r in
+  let state_digest = R.bytes r in
+  let sender = R.varint r in
+  let ck_sig = R.bytes r in
+  { seq; state_digest; sender; ck_sig }
+
+let checkpoint_signing_bytes ck =
+  W.to_string (fun w ck -> W.raw w "ck"; write_checkpoint_core w ck) ck
+
+(* ----- reply ----- *)
+
+let write_reply w (rp : reply) =
+  W.varint w rp.view;
+  W.u64 w rp.timestamp;
+  W.varint w rp.client;
+  W.varint w rp.sender;
+  W.bytes w rp.result;
+  W.bytes w rp.r_auth
+
+let read_reply r : reply =
+  let view = R.varint r in
+  let timestamp = R.u64 r in
+  let client = R.varint r in
+  let sender = R.varint r in
+  let result = R.bytes r in
+  let r_auth = R.bytes r in
+  { view; timestamp; client; sender; result; r_auth }
+
+let reply_auth_bytes (rp : reply) =
+  W.to_string
+    (fun w () ->
+      W.raw w "reply-auth";
+      W.varint w rp.view;
+      W.u64 w rp.timestamp;
+      W.varint w rp.client;
+      W.varint w rp.sender;
+      W.bytes w rp.result)
+    ()
+
+(* ----- viewchange ----- *)
+
+let write_prepared_proof w (p : prepared_proof) =
+  write_preprepare_digest w p.proof_preprepare;
+  W.list w write_prepare p.proof_prepares
+
+let read_prepared_proof r : prepared_proof =
+  let proof_preprepare = read_preprepare_digest r in
+  let proof_prepares = R.list r read_prepare in
+  { proof_preprepare; proof_prepares }
+
+let write_viewchange_core w (vc : viewchange) =
+  W.varint w vc.vc_new_view;
+  W.varint w vc.vc_last_stable;
+  W.list w write_checkpoint vc.vc_checkpoint_proof;
+  W.list w write_prepared_proof vc.vc_prepared;
+  W.varint w vc.vc_sender
+
+let write_viewchange w vc =
+  write_viewchange_core w vc;
+  W.bytes w vc.vc_sig
+
+let read_viewchange r : viewchange =
+  let vc_new_view = R.varint r in
+  let vc_last_stable = R.varint r in
+  let vc_checkpoint_proof = R.list r read_checkpoint in
+  let vc_prepared = R.list r read_prepared_proof in
+  let vc_sender = R.varint r in
+  let vc_sig = R.bytes r in
+  { vc_new_view; vc_last_stable; vc_checkpoint_proof; vc_prepared; vc_sender; vc_sig }
+
+let viewchange_signing_bytes vc =
+  W.to_string (fun w vc -> W.raw w "vc"; write_viewchange_core w vc) vc
+
+(* ----- newview ----- *)
+
+let write_newview_core w (nv : newview) =
+  W.varint w nv.nv_view;
+  W.list w write_viewchange nv.nv_viewchanges;
+  W.list w write_preprepare_digest nv.nv_preprepares;
+  W.varint w nv.nv_sender
+
+let write_newview w nv =
+  write_newview_core w nv;
+  W.bytes w nv.nv_sig
+
+let read_newview r : newview =
+  let nv_view = R.varint r in
+  let nv_viewchanges = R.list r read_viewchange in
+  let nv_preprepares = R.list r read_preprepare_digest in
+  let nv_sender = R.varint r in
+  let nv_sig = R.bytes r in
+  { nv_view; nv_viewchanges; nv_preprepares; nv_sender; nv_sig }
+
+let newview_signing_bytes nv =
+  W.to_string (fun w nv -> W.raw w "nv"; write_newview_core w nv) nv
+
+(* ----- session handshake ----- *)
+
+let write_session_init w (s : session_init) = W.varint w s.si_client
+let read_session_init r : session_init = { si_client = R.varint r }
+
+let write_session_quote_core w (s : session_quote) =
+  W.varint w s.sq_replica;
+  W.bytes w s.sq_quote;
+  W.bytes w s.sq_box_public
+
+let write_session_quote w s =
+  write_session_quote_core w s;
+  W.bytes w s.sq_sig
+
+let read_session_quote r : session_quote =
+  let sq_replica = R.varint r in
+  let sq_quote = R.bytes r in
+  let sq_box_public = R.bytes r in
+  let sq_sig = R.bytes r in
+  { sq_replica; sq_quote; sq_box_public; sq_sig }
+
+let session_quote_signing_bytes s =
+  W.to_string (fun w s -> W.raw w "sq"; write_session_quote_core w s) s
+
+let write_session_key w (s : session_key) =
+  W.varint w s.sk_client;
+  W.varint w s.sk_replica;
+  W.bytes w s.sk_box
+
+let read_session_key r : session_key =
+  let sk_client = R.varint r in
+  let sk_replica = R.varint r in
+  let sk_box = R.bytes r in
+  { sk_client; sk_replica; sk_box }
+
+let write_session_ack w (s : session_ack) =
+  W.varint w s.sa_replica;
+  W.varint w s.sa_client;
+  W.bytes w s.sa_auth
+
+let read_session_ack r : session_ack =
+  let sa_replica = R.varint r in
+  let sa_client = R.varint r in
+  let sa_auth = R.bytes r in
+  { sa_replica; sa_client; sa_auth }
+
+let session_ack_auth_bytes (s : session_ack) =
+  W.to_string
+    (fun w () ->
+      W.raw w "sa-auth";
+      W.varint w s.sa_replica;
+      W.varint w s.sa_client)
+    ()
+
+let write_batch_fetch w (b : batch_fetch) =
+  W.bytes w b.bf_digest;
+  W.varint w b.bf_requester
+
+let read_batch_fetch r : batch_fetch =
+  let bf_digest = R.bytes r in
+  let bf_requester = R.varint r in
+  { bf_digest; bf_requester }
+
+let write_batch_data w (b : batch_data) = W.list w write_request b.bd_batch
+let read_batch_data r : batch_data = { bd_batch = R.list r read_request }
+
+(* ----- top-level ----- *)
+
+let encode msg =
+  W.to_string
+    (fun w msg ->
+      W.u8 w (tag msg);
+      match msg with
+      | Request x -> write_request w x
+      | Preprepare x -> write_preprepare w x
+      | Preprepare_digest x -> write_preprepare_digest w x
+      | Prepare x -> write_prepare w x
+      | Commit x -> write_commit w x
+      | Checkpoint x -> write_checkpoint w x
+      | Reply x -> write_reply w x
+      | Viewchange x -> write_viewchange w x
+      | Newview x -> write_newview w x
+      | Session_init x -> write_session_init w x
+      | Session_quote x -> write_session_quote w x
+      | Session_key x -> write_session_key w x
+      | Session_ack x -> write_session_ack w x
+      | Batch_fetch x -> write_batch_fetch w x
+      | Batch_data x -> write_batch_data w x)
+    msg
+
+let decode s =
+  R.parse
+    (fun r ->
+      match R.u8 r with
+      | 1 -> Request (read_request r)
+      | 2 -> Preprepare (read_preprepare r)
+      | 3 -> Prepare (read_prepare r)
+      | 4 -> Commit (read_commit r)
+      | 5 -> Checkpoint (read_checkpoint r)
+      | 6 -> Reply (read_reply r)
+      | 7 -> Viewchange (read_viewchange r)
+      | 8 -> Newview (read_newview r)
+      | 9 -> Session_init (read_session_init r)
+      | 10 -> Session_quote (read_session_quote r)
+      | 11 -> Session_key (read_session_key r)
+      | 12 -> Session_ack (read_session_ack r)
+      | 13 -> Preprepare_digest (read_preprepare_digest r)
+      | 14 -> Batch_fetch (read_batch_fetch r)
+      | 15 -> Batch_data (read_batch_data r)
+      | t -> raise (R.Error (Printf.sprintf "unknown message tag %d" t)))
+    s
+
+let peek_tag s = if String.length s = 0 then None else Some (Char.code s.[0])
+
+let pp ppf msg =
+  match msg with
+  | Request r -> Format.fprintf ppf "request(c=%d ts=%Ld)" r.client r.timestamp
+  | Preprepare pp' ->
+    Format.fprintf ppf "preprepare(v=%d n=%d |b|=%d from %d)" pp'.view pp'.seq
+      (List.length pp'.batch) pp'.sender
+  | Preprepare_digest pd ->
+    Format.fprintf ppf "preprepare-digest(v=%d n=%d from %d)" pd.pd_view pd.pd_seq
+      pd.pd_sender
+  | Prepare p -> Format.fprintf ppf "prepare(v=%d n=%d from %d)" p.view p.seq p.sender
+  | Commit c -> Format.fprintf ppf "commit(v=%d n=%d from %d)" c.view c.seq c.sender
+  | Checkpoint ck -> Format.fprintf ppf "checkpoint(n=%d from %d)" ck.seq ck.sender
+  | Reply r -> Format.fprintf ppf "reply(c=%d ts=%Ld from %d)" r.client r.timestamp r.sender
+  | Viewchange vc ->
+    Format.fprintf ppf "viewchange(v'=%d stable=%d from %d)" vc.vc_new_view vc.vc_last_stable
+      vc.vc_sender
+  | Newview nv ->
+    Format.fprintf ppf "newview(v=%d |pp|=%d from %d)" nv.nv_view
+      (List.length nv.nv_preprepares) nv.nv_sender
+  | Session_init s -> Format.fprintf ppf "session-init(c=%d)" s.si_client
+  | Session_quote s -> Format.fprintf ppf "session-quote(from %d)" s.sq_replica
+  | Session_key s -> Format.fprintf ppf "session-key(c=%d r=%d)" s.sk_client s.sk_replica
+  | Session_ack s -> Format.fprintf ppf "session-ack(c=%d r=%d)" s.sa_client s.sa_replica
+  | Batch_fetch b ->
+    Format.fprintf ppf "batch-fetch(%s from %d)" (Splitbft_util.Hex.short b.bf_digest)
+      b.bf_requester
+  | Batch_data b -> Format.fprintf ppf "batch-data(|b|=%d)" (List.length b.bd_batch)

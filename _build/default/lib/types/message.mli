@@ -1,0 +1,195 @@
+(** Protocol messages shared by the PBFT baseline and SplitBFT, with binary
+    codecs and signing helpers.
+
+    Every inter-replica message carries the sender id and a signature over
+    its {e signing bytes} (the encoding with the signature field blanked),
+    matching the paper's setup: signatures between replicas/enclaves, HMACs
+    between clients and the service.  Certificates (prepared proofs, view
+    changes, new views) nest already-signed messages so their signatures
+    remain individually verifiable — the transferable authentication that
+    Clement et al. showed is required. *)
+
+type request = {
+  client : Ids.client_id;
+  timestamp : int64;  (** client-chosen, strictly increasing per client *)
+  payload : string;  (** operation; AEAD ciphertext in SplitBFT *)
+  auth : string;  (** client authenticator (protocol-specific semantics) *)
+}
+
+type preprepare = {
+  view : Ids.view;
+  seq : Ids.seqno;
+  batch : request list;
+  sender : Ids.replica_id;
+  pp_sig : string;
+}
+
+type preprepare_digest = {
+  pd_view : Ids.view;
+  pd_seq : Ids.seqno;
+  pd_digest : string;  (** batch digest *)
+  pd_sender : Ids.replica_id;
+  pd_sig : string;
+}
+(** Digest form of a PrePrepare.  The PrePrepare signature covers (view,
+    seq, batch digest, sender), so the same signature verifies on both
+    forms; the digest form is what the Confirmation compartment receives
+    ("this compartment only handles a hash of the request batch", §6) and
+    what view-change certificates carry, as in PBFT. *)
+
+type prepare = {
+  view : Ids.view;
+  seq : Ids.seqno;
+  digest : string;  (** batch digest *)
+  sender : Ids.replica_id;
+  p_sig : string;
+}
+
+type commit = {
+  view : Ids.view;
+  seq : Ids.seqno;
+  digest : string;
+  sender : Ids.replica_id;
+  c_sig : string;
+}
+
+type checkpoint = {
+  seq : Ids.seqno;
+  state_digest : string;
+  sender : Ids.replica_id;
+  ck_sig : string;
+}
+
+type reply = {
+  view : Ids.view;
+  timestamp : int64;
+  client : Ids.client_id;
+  sender : Ids.replica_id;
+  result : string;  (** AEAD ciphertext in SplitBFT *)
+  r_auth : string;  (** HMAC under the client's session key *)
+}
+
+type prepared_proof = {
+  proof_preprepare : preprepare_digest;
+  proof_prepares : prepare list;
+}
+(** A prepare certificate: one PrePrepare (digest form) plus 2f matching
+    Prepares. *)
+
+type viewchange = {
+  vc_new_view : Ids.view;
+  vc_last_stable : Ids.seqno;
+  vc_checkpoint_proof : checkpoint list;
+  vc_prepared : prepared_proof list;
+  vc_sender : Ids.replica_id;
+  vc_sig : string;
+}
+
+type newview = {
+  nv_view : Ids.view;
+  nv_viewchanges : viewchange list;
+  nv_preprepares : preprepare_digest list;
+  nv_sender : Ids.replica_id;
+  nv_sig : string;
+}
+
+(** Client/Execution session establishment (attestation handshake). *)
+
+type session_init = { si_client : Ids.client_id }
+
+type session_quote = {
+  sq_replica : Ids.replica_id;
+  sq_quote : string;  (** encoded attestation quote *)
+  sq_box_public : string;
+  sq_sig : string;  (** signature by the enclave's protocol key *)
+}
+
+type session_key = {
+  sk_client : Ids.client_id;
+  sk_replica : Ids.replica_id;
+  sk_box : string;  (** session key encrypted to the enclave's box key *)
+}
+
+type session_ack = {
+  sa_replica : Ids.replica_id;
+  sa_client : Ids.client_id;
+  sa_auth : string;  (** HMAC under the session key, proving receipt *)
+}
+
+type batch_fetch = { bf_digest : string; bf_requester : Ids.replica_id }
+(** Content-addressed recovery of a committed batch's body (the request
+    retransmission/fetch of PBFT): a replica that committed a digest
+    without holding the full requests asks its peers.  The response needs
+    no signature — the receiver checks the digest. *)
+
+type batch_data = { bd_batch : request list }
+
+type t =
+  | Request of request
+  | Preprepare of preprepare
+  | Preprepare_digest of preprepare_digest
+  | Prepare of prepare
+  | Commit of commit
+  | Checkpoint of checkpoint
+  | Reply of reply
+  | Viewchange of viewchange
+  | Newview of newview
+  | Session_init of session_init
+  | Session_quote of session_quote
+  | Session_key of session_key
+  | Session_ack of session_ack
+  | Batch_fetch of batch_fetch
+  | Batch_data of batch_data
+
+val tag : t -> int
+val type_name : t -> string
+
+(** {2 Digests} *)
+
+val digest_of_request : request -> string
+val digest_of_batch : request list -> string
+
+val empty_batch_digest : string
+(** [digest_of_batch []], the digest of the no-op filler batch used to plug
+    sequence-number gaps in a NewView. *)
+
+val summarize : preprepare -> preprepare_digest
+(** Digest form of a full PrePrepare (shares its signature). *)
+
+(** {2 Codec} *)
+
+val encode : t -> string
+val decode : string -> (t, string) result
+
+val peek_tag : string -> int option
+(** Message tag without a full decode (broker routing). *)
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+
+(** {2 Signing bytes}
+
+    The encoding of a message with its signature field blanked; what the
+    sender signs and the receiver verifies. *)
+
+val preprepare_signing_bytes : preprepare -> string
+val preprepare_digest_signing_bytes : preprepare_digest -> string
+val prepare_signing_bytes : prepare -> string
+val commit_signing_bytes : commit -> string
+val checkpoint_signing_bytes : checkpoint -> string
+val viewchange_signing_bytes : viewchange -> string
+val newview_signing_bytes : newview -> string
+val session_quote_signing_bytes : session_quote -> string
+
+val request_auth_bytes : request -> string
+(** Bytes covered by the client authenticator. *)
+
+val reply_auth_bytes : reply -> string
+(** Bytes covered by the reply HMAC. *)
+
+val session_ack_auth_bytes : session_ack -> string
+
+(** {2 Convenience} *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary for traces. *)

@@ -1,0 +1,80 @@
+module W = Splitbft_codec.Writer
+module R = Splitbft_codec.Reader
+module Aead = Splitbft_crypto.Aead
+module Hmac = Splitbft_crypto.Hmac
+module Kdf = Splitbft_crypto.Kdf
+
+type keys = { auth : string; enc : string }
+
+let generate rng =
+  { auth = Splitbft_util.Rng.bytes rng 32; enc = Splitbft_util.Rng.bytes rng 32 }
+
+let encode_for_execution k =
+  W.to_string
+    (fun w () ->
+      W.bytes w k.auth;
+      W.bytes w k.enc)
+    ()
+
+let encode_for_preparation k =
+  W.to_string
+    (fun w () ->
+      W.bytes w k.auth;
+      W.bytes w "")
+    ()
+
+let decode_provision s =
+  R.parse
+    (fun r ->
+      let auth = R.bytes r in
+      let enc = R.bytes r in
+      { auth; enc })
+    s
+
+(* Deterministic nonces: unique per (direction, client, timestamp[, replica])
+   because client timestamps are strictly increasing. *)
+let nonce ~info =
+  Kdf.derive ~ikm:info ~info:"splitbft-session-nonce" ~length:Aead.nonce_size ()
+
+let op_nonce ~client ~timestamp =
+  nonce ~info:(Printf.sprintf "op:%d:%Ld" client timestamp)
+
+let result_nonce ~client ~timestamp ~replica =
+  nonce ~info:(Printf.sprintf "res:%d:%Ld:%d" client timestamp replica)
+
+let op_aad ~client ~timestamp = Printf.sprintf "op-aad:%d:%Ld" client timestamp
+
+let encrypt_op k ~client ~timestamp op =
+  Aead.encrypt ~key:k.enc ~nonce:(op_nonce ~client ~timestamp)
+    ~aad:(op_aad ~client ~timestamp) op
+
+let decrypt_op k ~client ~timestamp payload =
+  Aead.decrypt ~key:k.enc ~nonce:(op_nonce ~client ~timestamp)
+    ~aad:(op_aad ~client ~timestamp) payload
+
+let authenticate_request k (r : Message.request) =
+  { r with Message.auth = Hmac.mac ~key:k.auth (Message.request_auth_bytes r) }
+
+let request_auth_ok k (r : Message.request) =
+  Hmac.verify ~key:k.auth ~msg:(Message.request_auth_bytes r) ~tag:r.auth
+
+let result_aad ~client ~timestamp ~replica =
+  Printf.sprintf "res-aad:%d:%Ld:%d" client timestamp replica
+
+let encrypt_result k ~client ~timestamp ~replica result =
+  Aead.encrypt ~key:k.enc
+    ~nonce:(result_nonce ~client ~timestamp ~replica)
+    ~aad:(result_aad ~client ~timestamp ~replica)
+    result
+
+let decrypt_result k ~client ~timestamp ~replica payload =
+  Aead.decrypt ~key:k.enc
+    ~nonce:(result_nonce ~client ~timestamp ~replica)
+    ~aad:(result_aad ~client ~timestamp ~replica)
+    payload
+
+let authenticate_reply k (rp : Message.reply) =
+  { rp with Message.r_auth = Hmac.mac ~key:k.auth (Message.reply_auth_bytes rp) }
+
+let reply_auth_ok k (rp : Message.reply) =
+  Hmac.verify ~key:k.auth ~msg:(Message.reply_auth_bytes rp) ~tag:rp.r_auth

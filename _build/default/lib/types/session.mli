@@ -1,0 +1,47 @@
+(** Client session keys and request/reply confidentiality (SplitBFT).
+
+    A client owns two session secrets: [auth] (HMAC key, shared with the
+    Preparation and Execution enclaves, authenticating requests and
+    replies) and [enc] (AEAD key, shared only with Execution enclaves,
+    keeping operation payloads and results confidential from the untrusted
+    environment and from the other compartments — opportunity O3 of the
+    paper).  This module is the single implementation used by both the
+    client library and the Execution compartment, so nonce derivations
+    cannot drift. *)
+
+type keys = { auth : string; enc : string }
+
+val generate : Splitbft_util.Rng.t -> keys
+
+(** {2 Provisioning payloads (inside the attestation box)} *)
+
+val encode_for_execution : keys -> string
+(** Both keys — what the client provisions to Execution enclaves. *)
+
+val encode_for_preparation : keys -> string
+(** Only the auth key. *)
+
+val decode_provision : string -> (keys, string) result
+(** [enc] is empty in a preparation-only provision. *)
+
+(** {2 Request path} *)
+
+val encrypt_op : keys -> client:Ids.client_id -> timestamp:int64 -> string -> string
+val decrypt_op : keys -> client:Ids.client_id -> timestamp:int64 -> string -> (string, string) result
+
+val authenticate_request : keys -> Message.request -> Message.request
+(** Fills the [auth] field. *)
+
+val request_auth_ok : keys -> Message.request -> bool
+
+(** {2 Reply path} *)
+
+val encrypt_result :
+  keys -> client:Ids.client_id -> timestamp:int64 -> replica:Ids.replica_id -> string -> string
+
+val decrypt_result :
+  keys -> client:Ids.client_id -> timestamp:int64 -> replica:Ids.replica_id -> string ->
+  (string, string) result
+
+val authenticate_reply : keys -> Message.reply -> Message.reply
+val reply_auth_ok : keys -> Message.reply -> bool

@@ -1,0 +1,58 @@
+(** Certificate and quorum validation.
+
+    These checks embody principle P5 of the paper: a compartment acts only
+    on quorum certificates, never on individual messages, so a single
+    faulty sender cannot corrupt the receiving compartment.  Verification
+    is pure; callers charge the metered signature-verification costs. *)
+
+type key_lookup = Ids.replica_id -> Splitbft_crypto.Signature.public option
+(** Resolves the signing key of a peer (per-compartment tables in SplitBFT,
+    per-replica in the PBFT baseline). *)
+
+val distinct_senders : int list -> bool
+
+(** {2 Signature checks} *)
+
+val verify_preprepare : key_lookup -> Message.preprepare -> bool
+val verify_preprepare_digest : key_lookup -> Message.preprepare_digest -> bool
+val verify_prepare : key_lookup -> Message.prepare -> bool
+val verify_commit : key_lookup -> Message.commit -> bool
+val verify_checkpoint : key_lookup -> Message.checkpoint -> bool
+val verify_viewchange : key_lookup -> Message.viewchange -> bool
+val verify_newview : key_lookup -> Message.newview -> bool
+
+(** {2 Certificates} *)
+
+val prepare_cert_complete :
+  f:int -> Message.preprepare_digest -> Message.prepare list -> bool
+(** One PrePrepare (digest form) plus at least [2f] Prepares from distinct
+    senders, all matching (view, seq, batch digest) and none sent by the
+    PrePrepare's sender. *)
+
+val verify_prepared_proof : f:int -> key_lookup -> Message.prepared_proof -> bool
+(** {!prepare_cert_complete} plus signature checks on every element. *)
+
+val commit_quorum_complete :
+  quorum:int -> view:Ids.view -> seq:Ids.seqno -> digest:string ->
+  Message.commit list -> bool
+
+val checkpoint_quorum_complete : quorum:int -> Message.checkpoint list -> bool
+(** At least [quorum] checkpoints from distinct senders agreeing on
+    (seq, state digest). *)
+
+val checkpoint_quorum_seq : quorum:int -> Message.checkpoint list -> Ids.seqno option
+(** The sequence number proven stable by the given set, if any. *)
+
+val verify_viewchange_deep :
+  f:int ->
+  vc_lookup:key_lookup ->
+  ckpt_lookup:key_lookup ->
+  proof_lookup:key_lookup ->
+  Message.viewchange ->
+  bool
+(** Signature of the ViewChange itself ([vc_lookup] — Confirmation enclaves
+    in SplitBFT), of every checkpoint in its proof ([ckpt_lookup] —
+    Execution enclaves), and of every nested prepared proof
+    ([proof_lookup] — Preparation enclaves); checks the checkpoint quorum
+    covers [vc_last_stable].  The PBFT baseline passes the same replica
+    table for all three. *)

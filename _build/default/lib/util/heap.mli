@@ -1,0 +1,25 @@
+(** Imperative binary min-heap.
+
+    Used as the event queue of the discrete-event simulator; the comparison
+    is supplied at creation time. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the contents in unspecified order. *)

@@ -1,0 +1,45 @@
+let hex_digits = "0123456789abcdef"
+
+let encode s =
+  let n = String.length s in
+  let b = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code s.[i] in
+    Bytes.set b (2 * i) hex_digits.[c lsr 4];
+    Bytes.set b ((2 * i) + 1) hex_digits.[c land 0xf]
+  done;
+  Bytes.unsafe_to_string b
+
+let nibble c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let decode h =
+  let n = String.length h in
+  if n mod 2 <> 0 then Error "hex string has odd length"
+  else
+    let b = Bytes.create (n / 2) in
+    let rec loop i =
+      if i >= n / 2 then Ok (Bytes.unsafe_to_string b)
+      else
+        match nibble h.[2 * i], nibble h.[(2 * i) + 1] with
+        | Some hi, Some lo ->
+          Bytes.set b i (Char.chr ((hi lsl 4) lor lo));
+          loop (i + 1)
+        | _ -> Error (Printf.sprintf "invalid hex character at offset %d" (2 * i))
+    in
+    loop 0
+
+let decode_exn h =
+  match decode h with
+  | Ok s -> s
+  | Error msg -> invalid_arg ("Hex.decode_exn: " ^ msg)
+
+let pp ppf s = Format.pp_print_string ppf (encode s)
+
+let short ?(len = 8) s =
+  let h = encode s in
+  if String.length h <= len then h else String.sub h 0 len

@@ -1,0 +1,18 @@
+(** Hexadecimal encoding and decoding of byte strings. *)
+
+val encode : string -> string
+(** [encode s] is the lowercase hexadecimal rendering of [s]. *)
+
+val decode : string -> (string, string) result
+(** [decode h] parses a hexadecimal string (case-insensitive) back into
+    bytes.  Returns [Error _] on odd length or non-hex characters. *)
+
+val decode_exn : string -> string
+(** Like {!decode} but raises [Invalid_argument] on malformed input. *)
+
+val pp : Format.formatter -> string -> unit
+(** Prints the argument as lowercase hex. *)
+
+val short : ?len:int -> string -> string
+(** [short s] is a truncated hex prefix of [s] (default 8 hex chars),
+    suitable for log lines. *)

@@ -1,0 +1,76 @@
+type counts = { code : int; comments : int; blank : int }
+
+let zero = { code = 0; comments = 0; blank = 0 }
+
+let add a b =
+  { code = a.code + b.code;
+    comments = a.comments + b.comments;
+    blank = a.blank + b.blank }
+
+(* Classify one line given the block-comment nesting depth at its start;
+   returns the classification and the depth at its end.  Strings are not
+   modelled ("(*" inside a string literal is miscounted), which matches the
+   precision of line-counting tools like tokei closely enough for a TCB
+   size table. *)
+let classify line depth0 =
+  let n = String.length line in
+  let depth = ref depth0 in
+  let has_code = ref false in
+  let has_comment = ref false in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && line.[!i] = '(' && line.[!i + 1] = '*' then begin
+      incr depth;
+      has_comment := true;
+      i := !i + 2
+    end
+    else if !i + 1 < n && line.[!i] = '*' && line.[!i + 1] = ')' && !depth > 0 then begin
+      decr depth;
+      i := !i + 2
+    end
+    else begin
+      if !depth > 0 then has_comment := true
+      else if line.[!i] <> ' ' && line.[!i] <> '\t' && line.[!i] <> '\r' then
+        has_code := true;
+      incr i
+    end
+  done;
+  let kind =
+    if !has_code then `Code
+    else if !has_comment then `Comment
+    else `Blank
+  in
+  (kind, !depth)
+
+let count_string src =
+  let lines = String.split_on_char '\n' src in
+  (* A trailing newline yields a final empty fragment that is not a line. *)
+  let lines =
+    match List.rev lines with
+    | "" :: rest -> List.rev rest
+    | _ -> lines
+  in
+  let depth = ref 0 in
+  List.fold_left
+    (fun acc line ->
+      let kind, d = classify line !depth in
+      depth := d;
+      match kind with
+      | `Code -> add acc { zero with code = 1 }
+      | `Comment -> add acc { zero with comments = 1 }
+      | `Blank -> add acc { zero with blank = 1 })
+    zero lines
+
+let count_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  count_string src
+
+let count_files paths =
+  List.fold_left
+    (fun acc p -> match count_file p with c -> add acc c | exception Sys_error _ -> acc)
+    zero paths
+
+let total c = c.code + c.comments + c.blank

@@ -1,0 +1,19 @@
+(** Physical lines-of-code counting in the style of [tokei], used to
+    regenerate the TCB-size table (Table 2 of the paper) from this
+    repository's own sources. *)
+
+type counts = { code : int; comments : int; blank : int }
+
+val count_string : string -> counts
+(** Counts OCaml source held in a string.  Block comments [(* ... *)] are
+    tracked across lines (including nesting); a line that contains both code
+    and a comment counts as code. *)
+
+val count_file : string -> counts
+(** Counts an OCaml source file on disk. *)
+
+val count_files : string list -> counts
+(** Sum over several files; files that cannot be read count as zero. *)
+
+val total : counts -> int
+(** [code + comments + blank]. *)

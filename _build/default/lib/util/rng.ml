@@ -1,0 +1,56 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+(* SplitMix64 (Steele, Lea, Flood 2014): a tiny, well-tested generator whose
+   whole state is one 64-bit word, which keeps copies and splits cheap. *)
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = create (next64 t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (next64 t) 1) land max_int in
+  r mod bound
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  (* 53 significant bits, as in the stdlib. *)
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  let u = if u <= 0.0 then epsilon_float else u in
+  -.mean *. log u
+
+let bytes t n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set b i (Char.chr (int t 256))
+  done;
+  Bytes.unsafe_to_string b
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))

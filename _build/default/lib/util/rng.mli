@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every source of randomness in the simulator flows through an explicit
+    generator value so that experiments are reproducible from a seed. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a fresh generator. *)
+
+val copy : t -> t
+(** Independent copy with the same internal state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator seeded from it,
+    statistically independent of subsequent draws from [t]. *)
+
+val next64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean. *)
+
+val bytes : t -> int -> string
+(** [bytes t n] is a string of [n] pseudo-random bytes. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniformly random element of a non-empty list. *)

@@ -1,0 +1,85 @@
+type t = {
+  mutable samples : float array;
+  mutable size : int;
+  mutable sorted : bool;
+}
+
+let create () = { samples = [||]; size = 0; sorted = true }
+
+let add t x =
+  let cap = Array.length t.samples in
+  if t.size >= cap then begin
+    let data = Array.make (Stdlib.max 64 (2 * cap)) 0.0 in
+    Array.blit t.samples 0 data 0 t.size;
+    t.samples <- data
+  end;
+  t.samples.(t.size) <- x;
+  t.size <- t.size + 1;
+  t.sorted <- false
+
+let count t = t.size
+
+let total t =
+  let acc = ref 0.0 in
+  for i = 0 to t.size - 1 do
+    acc := !acc +. t.samples.(i)
+  done;
+  !acc
+
+let mean t = if t.size = 0 then nan else total t /. float_of_int t.size
+
+let fold_extreme op init t =
+  let acc = ref init in
+  for i = 0 to t.size - 1 do
+    acc := op !acc t.samples.(i)
+  done;
+  !acc
+
+let min t = if t.size = 0 then nan else fold_extreme Stdlib.min infinity t
+let max t = if t.size = 0 then nan else fold_extreme Stdlib.max neg_infinity t
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.samples 0 t.size in
+    Array.sort compare live;
+    Array.blit live 0 t.samples 0 t.size;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  if t.size = 0 then nan
+  else begin
+    ensure_sorted t;
+    let rank = p /. 100.0 *. float_of_int (t.size - 1) in
+    let lo = int_of_float (Float.round rank) in
+    let lo = Stdlib.max 0 (Stdlib.min (t.size - 1) lo) in
+    t.samples.(lo)
+  end
+
+let median t = percentile t 50.0
+
+let stddev t =
+  if t.size < 2 then 0.0
+  else begin
+    let m = mean t in
+    let acc = ref 0.0 in
+    for i = 0 to t.size - 1 do
+      let d = t.samples.(i) -. m in
+      acc := !acc +. (d *. d)
+    done;
+    sqrt (!acc /. float_of_int (t.size - 1))
+  end
+
+let merge a b =
+  let t = create () in
+  for i = 0 to a.size - 1 do
+    add t a.samples.(i)
+  done;
+  for i = 0 to b.size - 1 do
+    add t b.samples.(i)
+  done;
+  t
+
+let pp_summary ppf t =
+  Format.fprintf ppf "n=%d mean=%.2f p50=%.2f p99=%.2f min=%.2f max=%.2f"
+    (count t) (mean t) (median t) (percentile t 99.0) (min t) (max t)

@@ -1,0 +1,24 @@
+(** Online collection of scalar samples (latencies, sizes) with summary
+    statistics used by the experiment harness. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+val min : t -> float
+val max : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in [\[0,100\]]; nearest-rank on the sorted
+    samples.  Returns [nan] when empty. *)
+
+val median : t -> float
+val stddev : t -> float
+
+val merge : t -> t -> t
+(** New collector holding the samples of both arguments. *)
+
+val pp_summary : Format.formatter -> t -> unit

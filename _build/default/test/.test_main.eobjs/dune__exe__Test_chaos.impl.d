@@ -1,0 +1,1 @@
+test/test_chaos.ml: Hashtbl Int64 List Printf QCheck QCheck_alcotest Splitbft_app Splitbft_client Splitbft_core Splitbft_pbft Splitbft_sim Splitbft_types String

@@ -1,0 +1,1 @@
+test/test_client.ml: Alcotest Float Hashtbl Option Queue Splitbft_app Splitbft_client Splitbft_crypto Splitbft_sim Splitbft_types String

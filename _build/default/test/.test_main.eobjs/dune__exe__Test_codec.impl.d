@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Float Int64 List QCheck QCheck_alcotest Result Splitbft_codec String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Hashtbl List Printf Result Splitbft_app Splitbft_client Splitbft_core Splitbft_sim Splitbft_tee Splitbft_types String

@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Bytes Char List QCheck QCheck_alcotest Result Splitbft_crypto Splitbft_util String

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest List Option Splitbft_harness String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_app Test_chaos Test_client Test_codec Test_core Test_crypto Test_harness Test_minbft Test_pbft Test_sim Test_tee Test_types Test_util

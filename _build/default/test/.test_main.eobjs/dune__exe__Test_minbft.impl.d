@@ -1,0 +1,1 @@
+test/test_minbft.ml: Alcotest Int64 List Printf Splitbft_app Splitbft_client Splitbft_minbft Splitbft_sim String

@@ -1,0 +1,1 @@
+test/test_pbft.ml: Alcotest Hashtbl Int64 List Printf Splitbft_app Splitbft_client Splitbft_pbft Splitbft_sim Splitbft_types String

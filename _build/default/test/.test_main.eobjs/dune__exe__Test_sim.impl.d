@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Printf QCheck QCheck_alcotest Splitbft_sim Splitbft_util String

@@ -1,0 +1,1 @@
+test/test_tee.ml: Alcotest Int64 List Result Splitbft_crypto Splitbft_sim Splitbft_tee Splitbft_util String

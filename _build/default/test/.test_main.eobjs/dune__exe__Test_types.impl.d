@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Array Gen Hashtbl Int64 List Option Printf QCheck QCheck_alcotest Result Splitbft_crypto Splitbft_types Splitbft_util String

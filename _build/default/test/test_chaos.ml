@@ -1,0 +1,226 @@
+(* Randomized fault-schedule property tests: for arbitrary seeds and
+   within-bound fault placements, the protocols must preserve agreement
+   among honest replicas and never hand a client a wrong result.  This is
+   the property-based counterpart of the hand-written Table 1 scenarios. *)
+
+module Engine = Splitbft_sim.Engine
+module Network = Splitbft_sim.Network
+module S = Splitbft_core.Replica
+module Sconfig = Splitbft_core.Config
+module P = Splitbft_pbft.Replica
+module Client = Splitbft_client.Client
+module Kvs = Splitbft_app.Kvs
+
+type fault_plan = {
+  seed : int64;
+  crash_host : int option;  (* at most f = 1 *)
+  crash_delay_us : float;
+  byz_enclave : (int * Splitbft_types.Ids.compartment) option;
+  drop_prob : float;
+}
+
+let plan_gen =
+  QCheck.Gen.(
+    map
+      (fun (seed, crash, delay, byz, drop) ->
+        { seed = Int64.of_int seed;
+          crash_host = (if crash < 4 then Some crash else None);
+          crash_delay_us = float_of_int (10_000 + delay);
+          byz_enclave =
+            (match byz with
+            | 0 -> Some (0, Splitbft_types.Ids.Preparation)
+            | 1 -> Some (1, Splitbft_types.Ids.Confirmation)
+            | 2 -> Some (2, Splitbft_types.Ids.Execution)
+            | _ -> None);
+          drop_prob = float_of_int drop /. 1000.0 })
+      (tup5 (1 -- 10_000) (0 -- 7) (0 -- 200_000) (0 -- 5) (0 -- 20)))
+
+let plan_print p =
+  Printf.sprintf "seed=%Ld crash=%s byz=%s drop=%.3f"
+    p.seed
+    (match p.crash_host with Some i -> string_of_int i | None -> "-")
+    (match p.byz_enclave with
+    | Some (i, c) -> Printf.sprintf "%d:%s" i (Splitbft_types.Ids.compartment_name c)
+    | None -> "-")
+    p.drop_prob
+
+let plan_arbitrary = QCheck.make ~print:plan_print plan_gen
+
+(* Returns true iff the run was safe: agreement among honest replicas and
+   zero wrong client results.  Liveness is NOT asserted (drops and crashes
+   may legitimately slow things down). *)
+let splitbft_run (p : fault_plan) =
+  let engine = Engine.create ~seed:p.seed () in
+  let net =
+    Network.create engine
+      { Network.default_config with Network.drop_probability = p.drop_prob }
+  in
+  let n = 4 in
+  let byz_of i =
+    match p.byz_enclave with
+    | Some (j, Splitbft_types.Ids.Preparation) when i = j ->
+      (Splitbft_core.Preparation.Prep_equivocate, Splitbft_core.Confirmation.Conf_honest,
+       Splitbft_core.Execution.Exec_honest)
+    | Some (j, Splitbft_types.Ids.Confirmation) when i = j ->
+      (Splitbft_core.Preparation.Prep_honest, Splitbft_core.Confirmation.Conf_promiscuous,
+       Splitbft_core.Execution.Exec_honest)
+    | Some (j, Splitbft_types.Ids.Execution) when i = j ->
+      (Splitbft_core.Preparation.Prep_honest, Splitbft_core.Confirmation.Conf_honest,
+       Splitbft_core.Execution.Exec_corrupt)
+    | _ ->
+      (Splitbft_core.Preparation.Prep_honest, Splitbft_core.Confirmation.Conf_honest,
+       Splitbft_core.Execution.Exec_honest)
+  in
+  let replicas =
+    List.init n (fun id ->
+        let prep_byz, conf_byz, exec_byz = byz_of id in
+        S.create ~prep_byz ~conf_byz ~exec_byz engine net
+          { (Sconfig.default ~n ~id) with
+            Sconfig.suspect_timeout_us = 150_000.0;
+            viewchange_timeout_us = 300_000.0 }
+          ~app:(fun () -> Kvs.create ()))
+  in
+  (match p.crash_host with
+  | Some i when Some (i, Splitbft_types.Ids.Preparation) <> p.byz_enclave ->
+    (* Keep the total fault load at one host + one enclave elsewhere. *)
+    ignore
+      (Engine.schedule engine ~delay:p.crash_delay_us ~label:"chaos-crash" (fun () ->
+           S.crash_host (List.nth replicas i)))
+  | _ -> ());
+  let wrong = ref 0 in
+  let cl =
+    Client.create engine net
+      { (Client.default_config (Client.Splitbft { ready_quorum = 3 }) ~n ~id:0) with
+        Client.retry_timeout_us = 200_000.0 }
+  in
+  Client.start cl ~on_ready:(fun () ->
+      for i = 1 to 12 do
+        Client.submit cl
+          ~op:(Kvs.encode_op (Kvs.Put (Printf.sprintf "k%d" i, "v")))
+          ~on_result:(fun ~latency_us:_ ~result ->
+            if not (String.equal result Kvs.ok) then incr wrong)
+      done);
+  Engine.run ~until:1_600_000.0 engine;
+  (* Honest = all replicas whose Execution enclave is honest. *)
+  let honest =
+    List.filteri
+      (fun i _ ->
+        match p.byz_enclave with
+        | Some (j, Splitbft_types.Ids.Execution) -> i <> j
+        | _ -> true)
+      replicas
+  in
+  let tables =
+    List.map
+      (fun r ->
+        let t = Hashtbl.create 64 in
+        List.iter (fun (seq, d) -> Hashtbl.replace t seq d) (S.executed_log r);
+        t)
+      honest
+  in
+  let agreement =
+    List.for_all
+      (fun ta ->
+        List.for_all
+          (fun tb ->
+            Hashtbl.fold
+              (fun seq da acc ->
+                acc
+                &&
+                match Hashtbl.find_opt tb seq with
+                | Some db -> String.equal da db
+                | None -> true)
+              ta true)
+          tables)
+      tables
+  in
+  agreement && !wrong = 0
+
+let prop_splitbft_safe_under_bounded_faults =
+  QCheck.Test.make ~name:"splitbft safe under any bounded fault schedule" ~count:6
+    plan_arbitrary splitbft_run
+
+let pbft_run (p : fault_plan) =
+  let engine = Engine.create ~seed:p.seed () in
+  let net =
+    Network.create engine
+      { Network.default_config with Network.drop_probability = p.drop_prob }
+  in
+  let n = 4 in
+  let replicas =
+    List.init n (fun id ->
+        P.create engine net
+          { (P.default_config ~n ~id) with
+            P.suspect_timeout_us = 150_000.0;
+            viewchange_timeout_us = 300_000.0 }
+          ~app:(Kvs.create ()))
+  in
+  (match p.crash_host with
+  | Some i ->
+    ignore
+      (Engine.schedule engine ~delay:p.crash_delay_us ~label:"chaos-crash" (fun () ->
+           P.crash (List.nth replicas i)))
+  | None -> ());
+  (* One byzantine replica (<= f), never the crashed one. *)
+  let byz_id =
+    match (p.byz_enclave, p.crash_host) with
+    | Some (j, _), Some c when j = c -> None
+    | Some (j, _), _ -> Some j
+    | None, _ -> None
+  in
+  (match byz_id with
+  | Some j -> P.set_byzantine (List.nth replicas j) P.Corrupt_execution
+  | None -> ());
+  let wrong = ref 0 in
+  let cl =
+    Client.create engine net
+      { (Client.default_config Client.Pbft ~n ~id:0) with
+        Client.retry_timeout_us = 200_000.0 }
+  in
+  Client.start cl ~on_ready:(fun () ->
+      for i = 1 to 12 do
+        Client.submit cl
+          ~op:(Kvs.encode_op (Kvs.Put (Printf.sprintf "k%d" i, "v")))
+          ~on_result:(fun ~latency_us:_ ~result ->
+            if not (String.equal result Kvs.ok) then incr wrong)
+      done);
+  Engine.run ~until:1_600_000.0 engine;
+  let honest =
+    List.filteri
+      (fun i _ -> Some i <> byz_id && Some i <> p.crash_host)
+      replicas
+  in
+  let tables =
+    List.map
+      (fun r ->
+        let t = Hashtbl.create 64 in
+        List.iter (fun (seq, d) -> Hashtbl.replace t seq d) (P.executed_log r);
+        t)
+      honest
+  in
+  let agreement =
+    List.for_all
+      (fun ta ->
+        List.for_all
+          (fun tb ->
+            Hashtbl.fold
+              (fun seq da acc ->
+                acc
+                &&
+                match Hashtbl.find_opt tb seq with
+                | Some db -> String.equal da db
+                | None -> true)
+              ta true)
+          tables)
+      tables
+  in
+  agreement && !wrong = 0
+
+let prop_pbft_safe_under_bounded_faults =
+  QCheck.Test.make ~name:"pbft safe under any bounded fault schedule" ~count:6
+    plan_arbitrary pbft_run
+
+let suites =
+  [ ( "chaos",
+      [ QCheck_alcotest.to_alcotest ~long:true prop_splitbft_safe_under_bounded_faults;
+        QCheck_alcotest.to_alcotest ~long:true prop_pbft_safe_under_bounded_faults ] ) ]

@@ -1,0 +1,130 @@
+module W = Splitbft_codec.Writer
+module R = Splitbft_codec.Reader
+
+let checkb = Alcotest.(check bool)
+
+let roundtrip enc dec v =
+  let bytes = W.to_string enc v in
+  match R.parse dec bytes with
+  | Ok v' -> v' = v
+  | Error _ -> false
+
+let test_integers () =
+  List.iter
+    (fun v -> checkb "u8" true (roundtrip W.u8 R.u8 v))
+    [ 0; 1; 127; 255 ];
+  List.iter
+    (fun v -> checkb "u16" true (roundtrip W.u16 R.u16 v))
+    [ 0; 256; 65535 ];
+  List.iter
+    (fun v -> checkb "u32" true (roundtrip W.u32 R.u32 v))
+    [ 0; 1 lsl 16; 0xffffffff ];
+  List.iter
+    (fun v -> checkb "u64" true (roundtrip W.u64 R.u64 v))
+    [ 0L; 1L; Int64.max_int; Int64.min_int; -1L ]
+
+let test_varint () =
+  List.iter
+    (fun v -> checkb "varint" true (roundtrip W.varint R.varint v))
+    [ 0; 1; 127; 128; 300; 1 lsl 20; 1 lsl 40 ]
+
+let test_varint_negative_rejected () =
+  Alcotest.check_raises "negative varint" (Invalid_argument "Writer.varint: negative")
+    (fun () -> ignore (W.to_string W.varint (-1)))
+
+let test_bool_and_float () =
+  checkb "true" true (roundtrip W.bool R.bool true);
+  checkb "false" true (roundtrip W.bool R.bool false);
+  List.iter
+    (fun v -> checkb "float" true (roundtrip W.float R.float v))
+    [ 0.0; -1.5; 3.14159; infinity; Float.max_float ]
+
+let test_bytes_prefix () =
+  checkb "bytes" true (roundtrip W.bytes R.bytes "hello");
+  checkb "empty bytes" true (roundtrip W.bytes R.bytes "");
+  checkb "binary" true (roundtrip W.bytes R.bytes "\x00\x01\xff")
+
+let test_option_list () =
+  let enc w v = W.option w W.bytes v in
+  let dec r = R.option r R.bytes in
+  checkb "some" true (roundtrip enc dec (Some "x"));
+  checkb "none" true (roundtrip enc dec None);
+  let enc w v = W.list w W.varint v in
+  let dec r = R.list r R.varint in
+  checkb "list" true (roundtrip enc dec [ 1; 2; 3; 400 ]);
+  checkb "empty list" true (roundtrip enc dec [])
+
+let test_truncation_detected () =
+  let bytes = W.to_string W.bytes "payload" in
+  let truncated = String.sub bytes 0 (String.length bytes - 2) in
+  checkb "truncated errors" true (Result.is_error (R.parse R.bytes truncated))
+
+let test_trailing_bytes_detected () =
+  let bytes = W.to_string W.u8 7 ^ "junk" in
+  checkb "trailing rejected" true (Result.is_error (R.parse R.u8 bytes));
+  checkb "trailing allowed when not exact" true
+    (Result.is_ok (R.parse ~exact:false R.u8 bytes))
+
+let test_malformed_option_tag () =
+  checkb "bad option tag" true
+    (Result.is_error (R.parse (fun r -> R.option r R.bytes) "\x07"))
+
+let test_list_length_bound () =
+  (* A huge announced length must not allocate. *)
+  let w = W.create () in
+  W.varint w 5_000_000;
+  checkb "oversized list rejected" true
+    (Result.is_error (R.parse (fun r -> R.list r R.u8) (W.contents w)))
+
+let test_raw_reads () =
+  let r = R.of_string "abcdef" in
+  Alcotest.(check string) "raw" "abc" (R.raw r 3);
+  Alcotest.(check int) "remaining" 3 (R.remaining r);
+  Alcotest.(check string) "raw rest" "def" (R.raw r 3);
+  checkb "at end" true (R.at_end r)
+
+let qcheck_roundtrip name gen enc dec =
+  QCheck.Test.make ~name ~count:300 gen (fun v -> roundtrip enc dec v)
+
+let prop_varint = qcheck_roundtrip "varint roundtrip" QCheck.(0 -- max_int) W.varint R.varint
+let prop_u64 = qcheck_roundtrip "u64 roundtrip" QCheck.int64 W.u64 R.u64
+let prop_bytes = qcheck_roundtrip "bytes roundtrip" QCheck.string W.bytes R.bytes
+
+let prop_pairs =
+  qcheck_roundtrip "pair list roundtrip"
+    QCheck.(list (pair small_nat string))
+    (fun w v ->
+      W.list w
+        (fun w (a, b) ->
+          W.varint w a;
+          W.bytes w b)
+        v)
+    (fun r ->
+      R.list r (fun r ->
+          let a = R.varint r in
+          let b = R.bytes r in
+          (a, b)))
+
+let prop_decode_never_crashes =
+  QCheck.Test.make ~name:"decoder total on junk" ~count:500 QCheck.string (fun junk ->
+      match R.parse (fun r -> R.list r R.bytes) junk with
+      | Ok _ | Error _ -> true)
+
+let suites =
+  [ ( "codec",
+      [ Alcotest.test_case "integers" `Quick test_integers;
+        Alcotest.test_case "varint" `Quick test_varint;
+        Alcotest.test_case "varint negative" `Quick test_varint_negative_rejected;
+        Alcotest.test_case "bool/float" `Quick test_bool_and_float;
+        Alcotest.test_case "bytes" `Quick test_bytes_prefix;
+        Alcotest.test_case "option/list" `Quick test_option_list;
+        Alcotest.test_case "truncation" `Quick test_truncation_detected;
+        Alcotest.test_case "trailing bytes" `Quick test_trailing_bytes_detected;
+        Alcotest.test_case "bad option tag" `Quick test_malformed_option_tag;
+        Alcotest.test_case "list bound" `Quick test_list_length_bound;
+        Alcotest.test_case "raw reads" `Quick test_raw_reads;
+        QCheck_alcotest.to_alcotest prop_varint;
+        QCheck_alcotest.to_alcotest prop_u64;
+        QCheck_alcotest.to_alcotest prop_bytes;
+        QCheck_alcotest.to_alcotest prop_pairs;
+        QCheck_alcotest.to_alcotest prop_decode_never_crashes ] ) ]

@@ -1,0 +1,352 @@
+module Engine = Splitbft_sim.Engine
+module Network = Splitbft_sim.Network
+module Replica = Splitbft_core.Replica
+module Config = Splitbft_core.Config
+module Broker = Splitbft_core.Broker
+module Preparation = Splitbft_core.Preparation
+module Confirmation = Splitbft_core.Confirmation
+module Execution = Splitbft_core.Execution
+module Wire = Splitbft_core.Wire
+module Ids = Splitbft_types.Ids
+module Message = Splitbft_types.Message
+module Enclave = Splitbft_tee.Enclave
+module Client = Splitbft_client.Client
+module Kvs = Splitbft_app.Kvs
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ----- wire codec ----- *)
+
+let test_wire_roundtrips () =
+  let req = { Message.client = 1; timestamp = 2L; payload = "p"; auth = "a" } in
+  let inputs =
+    [ Wire.In_net (Message.Request req); Wire.In_batch [ req; req ]; Wire.In_suspect 3 ]
+  in
+  List.iter
+    (fun i ->
+      match Wire.decode_input (Wire.encode_input i) with
+      | Ok i' -> checkb "input roundtrip" true (i = i')
+      | Error e -> Alcotest.fail e)
+    inputs;
+  let outputs =
+    [ Wire.Out_send (42, Message.Request req);
+      Wire.Out_broadcast (Message.Request req);
+      Wire.Out_persist { tag = "t"; data = "d" };
+      Wire.Out_entered_view 7 ]
+  in
+  List.iter
+    (fun o ->
+      match Wire.decode_output (Wire.encode_output o) with
+      | Ok o' -> checkb "output roundtrip" true (o = o')
+      | Error e -> Alcotest.fail e)
+    outputs;
+  checkb "junk input rejected" true (Result.is_error (Wire.decode_input "\x09junk"));
+  checkb "junk output rejected" true (Result.is_error (Wire.decode_output "\x09junk"))
+
+(* ----- cluster helpers ----- *)
+
+type cluster = {
+  engine : Engine.t;
+  net : Network.t;
+  replicas : Replica.t list;
+}
+
+let make ?(n = 4) ?(threading = Config.Per_enclave) ?(checkpoint_interval = 64)
+    ?(byz = fun _ -> (Preparation.Prep_honest, Confirmation.Conf_honest, Execution.Exec_honest))
+    () =
+  let engine = Engine.create ~seed:8L () in
+  let net = Network.create engine Network.default_config in
+  let replicas =
+    List.init n (fun i ->
+        let prep_byz, conf_byz, exec_byz = byz i in
+        Replica.create ~prep_byz ~conf_byz ~exec_byz engine net
+          { (Config.default ~n ~id:i) with
+            Config.threading;
+            checkpoint_interval;
+            suspect_timeout_us = 200_000.0;
+            viewchange_timeout_us = 400_000.0 }
+          ~app:(fun () -> Kvs.create ()))
+  in
+  { engine; net; replicas }
+
+let drive ?(until = 6_000_000.0) ?(ready_quorum = 4) ?(window = 1) c ~ops =
+  let cl =
+    Client.create c.engine c.net
+      { (Client.default_config
+           (Client.Splitbft { ready_quorum })
+           ~n:(List.length c.replicas) ~id:0)
+        with
+        Client.window;
+        retry_timeout_us = 300_000.0 }
+  in
+  let completed = ref 0 and wrong = ref 0 in
+  Client.start cl ~on_ready:(fun () ->
+      for i = 1 to ops do
+        Client.submit cl
+          ~op:(Kvs.encode_op (Kvs.Put (Printf.sprintf "k%d" i, "v")))
+          ~on_result:(fun ~latency_us:_ ~result ->
+            incr completed;
+            if not (String.equal result Kvs.ok) then incr wrong)
+      done);
+  Engine.run ~until c.engine;
+  (cl, !completed, !wrong)
+
+let agreement replicas =
+  let tables =
+    List.map
+      (fun r ->
+        let t = Hashtbl.create 64 in
+        List.iter (fun (seq, d) -> Hashtbl.replace t seq d) (Replica.executed_log r);
+        t)
+      replicas
+  in
+  List.for_all
+    (fun ta ->
+      List.for_all
+        (fun tb ->
+          Hashtbl.fold
+            (fun seq da acc ->
+              acc
+              &&
+              match Hashtbl.find_opt tb seq with
+              | Some db -> String.equal da db
+              | None -> true)
+            ta true)
+        tables)
+    tables
+
+let subset c ids = List.filteri (fun i _ -> List.mem i ids) c.replicas
+
+(* ----- tests ----- *)
+
+let test_handshake_establishes_sessions () =
+  let c = make () in
+  let cl, completed, _ = drive c ~ops:1 in
+  checkb "client ready" true (Client.is_ready cl);
+  checki "op served" 1 completed;
+  List.iter
+    (fun r ->
+      checki "execution holds the session" 1 ((Replica.exec_probe r).Execution.sessions ());
+      checki "preparation holds the auth key" 1 ((Replica.prep_probe r).Preparation.sessions ()))
+    c.replicas
+
+let test_normal_operation () =
+  let c = make () in
+  let _, completed, wrong = drive c ~ops:30 in
+  checki "all complete" 30 completed;
+  checki "no wrong" 0 wrong;
+  checkb "agreement" true (agreement c.replicas);
+  List.iter (fun r -> checki "executed" 30 (Replica.executed_count r)) c.replicas
+
+let test_confidentiality_on_the_wire () =
+  let c = make () in
+  let secret = "S3CRET-operation-payload" in
+  let leaks = ref 0 in
+  let contains hay needle =
+    let n = String.length needle and m = String.length hay in
+    let rec loop i =
+      i + n <= m && (String.equal (String.sub hay i n) needle || loop (i + 1))
+    in
+    loop 0
+  in
+  Network.set_tap c.net
+    (Some (fun ~src:_ ~dst:_ payload -> if contains payload secret then incr leaks));
+  let cl =
+    Client.create c.engine c.net
+      (Client.default_config (Client.Splitbft { ready_quorum = 4 }) ~n:4 ~id:0)
+  in
+  let got = ref "" in
+  Client.start cl ~on_ready:(fun () ->
+      Client.submit cl
+        ~op:(Kvs.encode_op (Kvs.Put ("k", secret)))
+        ~on_result:(fun ~latency_us:_ ~result -> got := result));
+  Engine.run ~until:3_000_000.0 c.engine;
+  Alcotest.(check string) "op executed" Kvs.ok !got;
+  checki "plaintext never on the wire" 0 !leaks
+
+let test_checkpoint_gc () =
+  let c = make ~checkpoint_interval:8 () in
+  let _, completed, _ = drive c ~ops:40 in
+  checki "complete" 40 completed;
+  List.iter
+    (fun r ->
+      checkb "exec stable advanced" true ((Replica.exec_probe r).Execution.last_stable () >= 8);
+      checkb "prep stable advanced" true
+        ((Replica.prep_probe r).Preparation.last_stable () >= 8);
+      checkb "conf stable advanced" true
+        ((Replica.conf_probe r).Confirmation.last_stable () >= 8))
+    c.replicas
+
+let test_host_crash_view_change () =
+  let c = make () in
+  ignore
+    (Engine.schedule c.engine ~delay:10_000.0 ~label:"crash" (fun () ->
+         Replica.crash_host (List.nth c.replicas 0)));
+  let _, completed, wrong = drive ~until:10_000_000.0 ~ready_quorum:4 c ~ops:40 in
+  checki "all complete despite primary host crash" 40 completed;
+  checki "no wrong" 0 wrong;
+  List.iter
+    (fun r -> checkb "new view" true (Replica.view r >= 1))
+    (subset c [ 1; 2; 3 ]);
+  checkb "agreement" true (agreement (subset c [ 1; 2; 3 ]))
+
+let test_env_starve_conf_loses_liveness_not_safety () =
+  let c = make () in
+  List.iter
+    (fun r -> Replica.set_env_fault r (Broker.Env_starve Ids.Confirmation))
+    c.replicas;
+  let _, completed, _ = drive ~until:2_000_000.0 c ~ops:10 in
+  checki "no progress" 0 completed;
+  checkb "but no divergence" true (agreement c.replicas)
+
+let test_env_delay_degrades_only () =
+  let c = make () in
+  List.iter (fun r -> Replica.set_env_fault r (Broker.Env_delay 2_000.0)) c.replicas;
+  let _, completed, wrong = drive ~until:8_000_000.0 c ~ops:15 in
+  checki "still completes" 15 completed;
+  checki "no wrong" 0 wrong
+
+let test_env_mute_is_a_crash () =
+  let c = make () in
+  Replica.set_env_fault (List.nth c.replicas 3) Broker.Env_mute;
+  let _, completed, _ = drive ~ready_quorum:3 c ~ops:20 in
+  checki "tolerated like a crash" 20 completed;
+  (* The muted replica's enclaves still execute (inputs flow), but none of
+     their outputs escape the compromised environment. *)
+  checki "no sealed blocks escaped" 0
+    (List.length (Replica.persisted (List.nth c.replicas 3)))
+
+let test_exec_enclave_crash_tolerated () =
+  let c = make () in
+  ignore
+    (Engine.schedule c.engine ~delay:100_000.0 ~label:"crash-enclave" (fun () ->
+         Replica.crash_enclave (List.nth c.replicas 2) Ids.Execution));
+  let _, completed, wrong = drive ~ready_quorum:4 c ~ops:30 in
+  checki "f=1 enclave crash tolerated" 30 completed;
+  checki "no wrong" 0 wrong;
+  checkb "crashed enclave flagged" true
+    (Enclave.is_crashed (Replica.enclave (List.nth c.replicas 2) Ids.Execution))
+
+let test_single_thread_mode_functional () =
+  let c = make ~threading:Config.Single_thread () in
+  let _, completed, wrong = drive c ~ops:20 in
+  checki "single ecall thread still correct" 20 completed;
+  checki "no wrong" 0 wrong;
+  checkb "agreement" true (agreement c.replicas)
+
+let test_corrupt_exec_within_f_masked () =
+  let byz i =
+    if i = 2 then (Preparation.Prep_honest, Confirmation.Conf_honest, Execution.Exec_corrupt)
+    else (Preparation.Prep_honest, Confirmation.Conf_honest, Execution.Exec_honest)
+  in
+  let c = make ~byz () in
+  let _, completed, wrong = drive c ~ops:20 in
+  checki "completes" 20 completed;
+  checki "corrupt exec masked by reply quorum" 0 wrong
+
+let test_corrupt_exec_beyond_f_breaks_integrity () =
+  let byz i =
+    if i <= 1 then (Preparation.Prep_honest, Confirmation.Conf_honest, Execution.Exec_corrupt)
+    else (Preparation.Prep_honest, Confirmation.Conf_honest, Execution.Exec_honest)
+  in
+  let c = make ~byz () in
+  (* Several clients so reply races sample both quorums. *)
+  let completed = ref 0 and wrong = ref 0 in
+  List.iter
+    (fun id ->
+      let cl =
+        Client.create c.engine c.net
+          (Client.default_config (Client.Splitbft { ready_quorum = 4 }) ~n:4 ~id)
+      in
+      Client.start cl ~on_ready:(fun () ->
+          for i = 1 to 30 do
+            Client.submit cl
+              ~op:(Kvs.encode_op (Kvs.Put (Printf.sprintf "c%d-k%d" id i, "v")))
+              ~on_result:(fun ~latency_us:_ ~result ->
+                incr completed;
+                if not (String.equal result Kvs.ok) then incr wrong)
+          done))
+    [ 0; 1; 2 ];
+  Engine.run ~until:8_000_000.0 c.engine;
+  checkb "requests complete" true (!completed > 0);
+  checkb "f+1 corrupt executions reach clients" true (!wrong > 0)
+
+let test_leaky_exec_exposes_plaintext () =
+  let byz i =
+    if i = 0 then (Preparation.Prep_honest, Confirmation.Conf_honest, Execution.Exec_leak)
+    else (Preparation.Prep_honest, Confirmation.Conf_honest, Execution.Exec_honest)
+  in
+  let c = make ~byz () in
+  let _, completed, _ = drive c ~ops:10 in
+  checki "completes" 10 completed;
+  let leaked = Replica.persisted (List.nth c.replicas 0) in
+  checkb "plaintext exfiltrated to untrusted storage" true
+    (List.exists (fun (tag, _) -> String.equal tag "exfil") leaked)
+
+let test_equivocating_prep_recovers_via_view_change () =
+  let byz i =
+    if i = 0 then (Preparation.Prep_equivocate, Confirmation.Conf_honest, Execution.Exec_honest)
+    else (Preparation.Prep_honest, Confirmation.Conf_honest, Execution.Exec_honest)
+  in
+  let c = make ~byz () in
+  let _, completed, wrong = drive ~until:12_000_000.0 c ~ops:20 in
+  checki "liveness recovered" 20 completed;
+  checki "no wrong" 0 wrong;
+  checkb "agreement among honest executions" true (agreement c.replicas);
+  List.iter
+    (fun r -> checkb "left the equivocator's view" true (Replica.view r >= 1))
+    (subset c [ 1; 2; 3 ])
+
+let test_ledger_blocks_sealed_in_storage () =
+  let engine = Engine.create ~seed:9L () in
+  let net = Network.create engine Network.default_config in
+  let replicas =
+    List.init 4 (fun i ->
+        Replica.create engine net (Config.default ~n:4 ~id:i)
+          ~app:(fun () -> Splitbft_app.Ledger.create ()))
+  in
+  let cl =
+    Client.create engine net
+      (Client.default_config (Client.Splitbft { ready_quorum = 4 }) ~n:4 ~id:0)
+  in
+  let completed = ref 0 in
+  Client.start cl ~on_ready:(fun () ->
+      for i = 1 to 12 do
+        Client.submit cl
+          ~op:(Printf.sprintf "transaction-%d-SENSITIVE" i)
+          ~on_result:(fun ~latency_us:_ ~result:_ -> incr completed)
+      done);
+  Engine.run ~until:6_000_000.0 engine;
+  checki "transactions applied" 12 !completed;
+  let stored = Replica.persisted (List.hd replicas) in
+  checkb "blocks persisted" true (List.length stored >= 2);
+  (* The persisted blobs are sealed: no transaction plaintext. *)
+  let contains hay needle =
+    let n = String.length needle and m = String.length hay in
+    let rec loop i =
+      i + n <= m && (String.equal (String.sub hay i n) needle || loop (i + 1))
+    in
+    loop 0
+  in
+  checkb "sealed blobs hide transactions" false
+    (List.exists (fun (_, data) -> contains data "SENSITIVE") stored)
+
+let suites =
+  [ ( "splitbft",
+      [ Alcotest.test_case "wire codec" `Quick test_wire_roundtrips;
+        Alcotest.test_case "attestation handshake" `Quick test_handshake_establishes_sessions;
+        Alcotest.test_case "normal operation" `Quick test_normal_operation;
+        Alcotest.test_case "wire confidentiality" `Quick test_confidentiality_on_the_wire;
+        Alcotest.test_case "checkpoint GC" `Quick test_checkpoint_gc;
+        Alcotest.test_case "host crash / view change" `Quick test_host_crash_view_change;
+        Alcotest.test_case "starved confirmation" `Quick test_env_starve_conf_loses_liveness_not_safety;
+        Alcotest.test_case "delaying environments" `Quick test_env_delay_degrades_only;
+        Alcotest.test_case "mute environment" `Quick test_env_mute_is_a_crash;
+        Alcotest.test_case "exec enclave crash" `Quick test_exec_enclave_crash_tolerated;
+        Alcotest.test_case "single ecall thread" `Quick test_single_thread_mode_functional;
+        Alcotest.test_case "corrupt exec within f" `Quick test_corrupt_exec_within_f_masked;
+        Alcotest.test_case "corrupt exec beyond f" `Quick test_corrupt_exec_beyond_f_breaks_integrity;
+        Alcotest.test_case "leaky exec" `Quick test_leaky_exec_exposes_plaintext;
+        Alcotest.test_case "equivocating preparation" `Quick test_equivocating_prep_recovers_via_view_change;
+        Alcotest.test_case "sealed ledger blocks" `Quick test_ledger_blocks_sealed_in_storage ] ) ]

@@ -1,0 +1,260 @@
+module Hex = Splitbft_util.Hex
+module Sha256 = Splitbft_crypto.Sha256
+module Hmac = Splitbft_crypto.Hmac
+module Chacha20 = Splitbft_crypto.Chacha20
+module Aead = Splitbft_crypto.Aead
+module Kdf = Splitbft_crypto.Kdf
+module Signature = Splitbft_crypto.Signature
+module Box = Splitbft_crypto.Box
+module Rng = Splitbft_util.Rng
+
+let check = Alcotest.(check string)
+let checkb = Alcotest.(check bool)
+
+(* ----- SHA-256 (FIPS 180-4 / NIST CAVS vectors) ----- *)
+
+let test_sha256_vectors () =
+  check "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.hex "");
+  check "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.hex "abc");
+  check "448 bits" "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  check "896 bits" "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+    (Sha256.hex
+       "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+        ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")
+
+let test_sha256_million_a () =
+  check "1M 'a'" "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex (String.make 1_000_000 'a'))
+
+let test_sha256_incremental_equals_oneshot () =
+  let data = String.init 1000 (fun i -> Char.chr (i land 0xff)) in
+  (* Feed in awkward chunk sizes crossing block boundaries. *)
+  let ctx = Sha256.init () in
+  let pos = ref 0 in
+  List.iter
+    (fun chunk ->
+      let take = min chunk (String.length data - !pos) in
+      Sha256.update ctx (String.sub data !pos take);
+      pos := !pos + take)
+    [ 1; 62; 64; 65; 127; 128; 300; 1000 ];
+  Sha256.update ctx (String.sub data !pos (String.length data - !pos));
+  check "incremental" (Hex.encode (Sha256.digest data)) (Hex.encode (Sha256.finalize ctx))
+
+let test_sha256_digest_parts () =
+  check "parts" (Hex.encode (Sha256.digest "foobarbaz"))
+    (Hex.encode (Sha256.digest_parts [ "foo"; "bar"; "baz" ]))
+
+(* ----- HMAC-SHA256 (RFC 4231) ----- *)
+
+let test_hmac_rfc4231_case1 () =
+  let key = String.make 20 '\x0b' in
+  check "case 1" "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hex.encode (Hmac.mac ~key "Hi There"))
+
+let test_hmac_rfc4231_case2 () =
+  check "case 2" "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hex.encode (Hmac.mac ~key:"Jefe" "what do ya want for nothing?"))
+
+let test_hmac_rfc4231_case3 () =
+  let key = String.make 20 '\xaa' in
+  let msg = String.make 50 '\xdd' in
+  check "case 3" "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Hex.encode (Hmac.mac ~key msg))
+
+let test_hmac_rfc4231_long_key () =
+  let key = String.make 131 '\xaa' in
+  check "case 6 (key > block)"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hex.encode
+       (Hmac.mac ~key "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let test_hmac_verify () =
+  let key = "secret" in
+  let tag = Hmac.mac ~key "msg" in
+  checkb "verifies" true (Hmac.verify ~key ~msg:"msg" ~tag);
+  checkb "wrong msg" false (Hmac.verify ~key ~msg:"other" ~tag);
+  checkb "wrong key" false (Hmac.verify ~key:"other" ~msg:"msg" ~tag)
+
+let test_constant_time_eq () =
+  checkb "equal" true (Hmac.equal_constant_time "abc" "abc");
+  checkb "differs" false (Hmac.equal_constant_time "abc" "abd");
+  checkb "length differs" false (Hmac.equal_constant_time "abc" "abcd")
+
+(* ----- ChaCha20 (RFC 8439 §2.3.2 / §2.4.2) ----- *)
+
+let rfc_key = Hex.decode_exn "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+let rfc_nonce = Hex.decode_exn "000000000000004a00000000"
+
+let test_chacha20_block_vector () =
+  let nonce = Hex.decode_exn "000000090000004a00000000" in
+  let block = Chacha20.block ~key:rfc_key ~counter:1 ~nonce in
+  check "rfc8439 2.3.2 block"
+    "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+     d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+    (Hex.encode block)
+
+let test_chacha20_encrypt_vector () =
+  let plaintext =
+    "Ladies and Gentlemen of the class of '99: If I could offer you o\
+     nly one tip for the future, sunscreen would be it."
+  in
+  let ct = Chacha20.encrypt ~key:rfc_key ~nonce:rfc_nonce ~counter:1 plaintext in
+  check "rfc8439 2.4.2 ciphertext"
+    "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+     f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+     07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+     5af90bbf74a35be6b40b8eedf2785e42874d"
+    (Hex.encode ct)
+
+let test_chacha20_involutive () =
+  let pt = "the quick brown fox" in
+  let key = String.make 32 'k' and nonce = String.make 12 'n' in
+  check "decrypt inverts" pt
+    (Chacha20.encrypt ~key ~nonce (Chacha20.encrypt ~key ~nonce pt))
+
+let test_chacha20_bad_sizes () =
+  Alcotest.check_raises "short key" (Invalid_argument "Chacha20: key must be 32 bytes")
+    (fun () -> ignore (Chacha20.encrypt ~key:"short" ~nonce:(String.make 12 'n') "x"));
+  Alcotest.check_raises "short nonce" (Invalid_argument "Chacha20: nonce must be 12 bytes")
+    (fun () -> ignore (Chacha20.encrypt ~key:(String.make 32 'k') ~nonce:"n" "x"))
+
+(* ----- HKDF (RFC 5869 test case 1) ----- *)
+
+let test_hkdf_rfc5869_case1 () =
+  let ikm = String.make 22 '\x0b' in
+  let salt = Hex.decode_exn "000102030405060708090a0b0c" in
+  let info = Hex.decode_exn "f0f1f2f3f4f5f6f7f8f9" in
+  let prk = Kdf.extract ~salt ~ikm in
+  check "prk" "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+    (Hex.encode prk);
+  check "okm" "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+    (Hex.encode (Kdf.expand ~prk ~info ~length:42))
+
+let test_hkdf_lengths () =
+  let okm = Kdf.derive ~ikm:"input" ~info:"ctx" ~length:100 () in
+  Alcotest.(check int) "length" 100 (String.length okm);
+  checkb "deterministic" true
+    (String.equal okm (Kdf.derive ~ikm:"input" ~info:"ctx" ~length:100 ()));
+  checkb "info separates" false
+    (String.equal okm (Kdf.derive ~ikm:"input" ~info:"other" ~length:100 ()))
+
+(* ----- AEAD ----- *)
+
+let aead_key = String.make 32 'K'
+let aead_nonce = String.make 12 'N'
+
+let test_aead_roundtrip () =
+  let ct = Aead.encrypt ~key:aead_key ~nonce:aead_nonce ~aad:"hdr" "secret" in
+  (match Aead.decrypt ~key:aead_key ~nonce:aead_nonce ~aad:"hdr" ct with
+  | Ok pt -> check "roundtrip" "secret" pt
+  | Error e -> Alcotest.fail e);
+  checkb "ciphertext hides plaintext" false
+    (String.length ct >= 6
+    && String.equal (String.sub ct 0 6) "secret")
+
+let test_aead_tamper_detected () =
+  let ct = Aead.encrypt ~key:aead_key ~nonce:aead_nonce ~aad:"hdr" "secret" in
+  let flip = Bytes.of_string ct in
+  Bytes.set flip 0 (Char.chr (Char.code (Bytes.get flip 0) lxor 1));
+  checkb "tampered ct" true
+    (Result.is_error
+       (Aead.decrypt ~key:aead_key ~nonce:aead_nonce ~aad:"hdr"
+          (Bytes.to_string flip)));
+  checkb "wrong aad" true
+    (Result.is_error (Aead.decrypt ~key:aead_key ~nonce:aead_nonce ~aad:"other" ct));
+  checkb "wrong key" true
+    (Result.is_error
+       (Aead.decrypt ~key:(String.make 32 'X') ~nonce:aead_nonce ~aad:"hdr" ct));
+  checkb "too short" true
+    (Result.is_error (Aead.decrypt ~key:aead_key ~nonce:aead_nonce ~aad:"hdr" "tiny"))
+
+let prop_aead_roundtrip =
+  QCheck.Test.make ~name:"aead roundtrip" ~count:100
+    QCheck.(pair string string)
+    (fun (pt, aad) ->
+      match
+        Aead.decrypt ~key:aead_key ~nonce:aead_nonce ~aad
+          (Aead.encrypt ~key:aead_key ~nonce:aead_nonce ~aad pt)
+      with
+      | Ok pt' -> String.equal pt pt'
+      | Error _ -> false)
+
+(* ----- signatures ----- *)
+
+let test_signature_basic () =
+  let kp = Signature.derive ~seed:"tester" in
+  let s = Signature.sign kp.Signature.secret "message" in
+  checkb "verifies" true (Signature.verify ~public:kp.Signature.public ~msg:"message" ~signature:s);
+  checkb "wrong msg" false (Signature.verify ~public:kp.Signature.public ~msg:"other" ~signature:s);
+  let other = Signature.derive ~seed:"other" in
+  checkb "wrong key" false (Signature.verify ~public:other.Signature.public ~msg:"message" ~signature:s)
+
+let test_signature_unknown_public () =
+  checkb "unknown public" false
+    (Signature.verify ~public:(String.make 32 'z') ~msg:"m" ~signature:(String.make 32 's'))
+
+let test_signature_deterministic_derive () =
+  let a = Signature.derive ~seed:"same" and b = Signature.derive ~seed:"same" in
+  check "same public" (Hex.encode a.Signature.public) (Hex.encode b.Signature.public)
+
+let test_signature_wrong_length () =
+  let kp = Signature.derive ~seed:"len" in
+  checkb "short sig" false
+    (Signature.verify ~public:kp.Signature.public ~msg:"m" ~signature:"short")
+
+(* ----- box ----- *)
+
+let test_box_roundtrip () =
+  let rng = Rng.create 4L in
+  let kp = Box.derive ~seed:"recipient" in
+  match Box.encrypt ~public:kp.Box.public ~rng "payload" with
+  | Error e -> Alcotest.fail e
+  | Ok ct -> (
+    checkb "ct differs" false (String.equal ct "payload");
+    match Box.decrypt kp.Box.secret ct with
+    | Ok pt -> check "roundtrip" "payload" pt
+    | Error e -> Alcotest.fail e)
+
+let test_box_wrong_recipient () =
+  let rng = Rng.create 4L in
+  let a = Box.derive ~seed:"alice" and b = Box.derive ~seed:"bob" in
+  match Box.encrypt ~public:a.Box.public ~rng "for alice" with
+  | Error e -> Alcotest.fail e
+  | Ok ct -> checkb "bob cannot open" true (Result.is_error (Box.decrypt b.Box.secret ct))
+
+let test_box_unknown_public () =
+  let rng = Rng.create 4L in
+  checkb "unknown recipient" true
+    (Result.is_error (Box.encrypt ~public:(String.make 32 'q') ~rng "x"))
+
+let suites =
+  [ ( "crypto",
+      [ Alcotest.test_case "sha256 vectors" `Quick test_sha256_vectors;
+        Alcotest.test_case "sha256 1M-a" `Slow test_sha256_million_a;
+        Alcotest.test_case "sha256 incremental" `Quick test_sha256_incremental_equals_oneshot;
+        Alcotest.test_case "sha256 parts" `Quick test_sha256_digest_parts;
+        Alcotest.test_case "hmac rfc4231 #1" `Quick test_hmac_rfc4231_case1;
+        Alcotest.test_case "hmac rfc4231 #2" `Quick test_hmac_rfc4231_case2;
+        Alcotest.test_case "hmac rfc4231 #3" `Quick test_hmac_rfc4231_case3;
+        Alcotest.test_case "hmac rfc4231 #6" `Quick test_hmac_rfc4231_long_key;
+        Alcotest.test_case "hmac verify" `Quick test_hmac_verify;
+        Alcotest.test_case "constant-time eq" `Quick test_constant_time_eq;
+        Alcotest.test_case "chacha20 block vector" `Quick test_chacha20_block_vector;
+        Alcotest.test_case "chacha20 encrypt vector" `Quick test_chacha20_encrypt_vector;
+        Alcotest.test_case "chacha20 involutive" `Quick test_chacha20_involutive;
+        Alcotest.test_case "chacha20 sizes" `Quick test_chacha20_bad_sizes;
+        Alcotest.test_case "hkdf rfc5869 #1" `Quick test_hkdf_rfc5869_case1;
+        Alcotest.test_case "hkdf lengths" `Quick test_hkdf_lengths;
+        Alcotest.test_case "aead roundtrip" `Quick test_aead_roundtrip;
+        Alcotest.test_case "aead tamper" `Quick test_aead_tamper_detected;
+        QCheck_alcotest.to_alcotest prop_aead_roundtrip;
+        Alcotest.test_case "signature basic" `Quick test_signature_basic;
+        Alcotest.test_case "signature unknown" `Quick test_signature_unknown_public;
+        Alcotest.test_case "signature derive" `Quick test_signature_deterministic_derive;
+        Alcotest.test_case "signature length" `Quick test_signature_wrong_length;
+        Alcotest.test_case "box roundtrip" `Quick test_box_roundtrip;
+        Alcotest.test_case "box wrong recipient" `Quick test_box_wrong_recipient;
+        Alcotest.test_case "box unknown" `Quick test_box_unknown_public ] ) ]

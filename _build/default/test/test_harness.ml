@@ -1,0 +1,125 @@
+module H = Splitbft_harness
+module Cluster = H.Cluster
+module Workload = H.Workload
+module Safety = H.Safety
+module Scenarios = H.Scenarios
+module Experiments = H.Experiments
+module Table = H.Table
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_cluster_protocol_dispatch () =
+  List.iter
+    (fun protocol ->
+      let c = Cluster.create { (Cluster.default_params protocol) with Cluster.seed = 3L } in
+      checki "replica count"
+        (match protocol with Cluster.Minbft -> 3 | _ -> 4)
+        (List.length (Cluster.nodes c));
+      checki "f" 1 (Cluster.f c))
+    [ Cluster.Pbft; Cluster.Minbft; Cluster.Splitbft ]
+
+let test_workload_fault_free () =
+  let c = Cluster.create { (Cluster.default_params Cluster.Pbft) with Cluster.seed = 3L } in
+  let scanner = Safety.install_scanner c in
+  let r =
+    Workload.run c
+      { Workload.default_spec with
+        Workload.clients = 2;
+        warmup_us = 0.0;
+        duration_us = 400_000.0 }
+  in
+  checkb "throughput positive" true (r.Workload.throughput_ops > 0.0);
+  checki "no wrong results" 0 r.Workload.wrong_results;
+  checki "clients ready" 2 r.Workload.clients_ready;
+  let v =
+    Safety.verdict c ~honest:[ 0; 1; 2; 3 ] ~scanner ~workload:r ~min_completed:10
+  in
+  checkb "live" true v.Safety.live;
+  checkb "safe" true v.Safety.safe;
+  (* PBFT sends plaintext: the canary scanner must fire. *)
+  checkb "plaintext visible" false v.Safety.confidential
+
+let test_splitbft_workload_confidential () =
+  let c =
+    Cluster.create { (Cluster.default_params Cluster.Splitbft) with Cluster.seed = 3L }
+  in
+  let scanner = Safety.install_scanner c in
+  let r =
+    Workload.run c
+      { Workload.default_spec with
+        Workload.clients = 2;
+        warmup_us = 0.0;
+        duration_us = 400_000.0 }
+  in
+  let v = Safety.verdict c ~honest:[ 0; 1; 2; 3 ] ~scanner ~workload:r ~min_completed:10 in
+  checkb "live" true v.Safety.live;
+  checkb "safe" true v.Safety.safe;
+  checkb "confidential" true v.Safety.confidential
+
+let test_agreement_detects_divergence () =
+  (* The pbft/byz-f+1 scenario must produce a Conflict via the checker. *)
+  let s = Option.get (Scenarios.find "pbft/byz-f+1") in
+  let o = Scenarios.run ~seed:42L s in
+  checkb "scenario flags violation" false o.Scenarios.verdict.Safety.safe;
+  checkb "expectation matched" true (Scenarios.matches_expectation o)
+
+let test_scenario_fault_free_splitbft () =
+  let s = Option.get (Scenarios.find "splitbft/fault-free") in
+  let o = Scenarios.run ~seed:42L s in
+  checkb "matches" true (Scenarios.matches_expectation o);
+  checkb "live" true o.Scenarios.verdict.Safety.live;
+  checkb "confidential" true o.Scenarios.verdict.Safety.confidential
+
+let test_scenario_faulty_tee () =
+  let s = Option.get (Scenarios.find "minbft/faulty-tee") in
+  let o = Scenarios.run ~seed:42L s in
+  checkb "matches" true (Scenarios.matches_expectation o);
+  checkb "unsafe" false o.Scenarios.verdict.Safety.safe
+
+let test_scenario_ids_unique () =
+  let ids = List.map (fun s -> s.Scenarios.id) Scenarios.all in
+  checki "unique ids" (List.length ids) (List.length (List.sort_uniq compare ids))
+
+let test_table2_counts () =
+  let rows = Experiments.table2 () in
+  checki "five components" 5 (List.length rows);
+  List.iter
+    (fun r ->
+      checkb (r.Experiments.component ^ " nonempty") true (r.Experiments.total_loc > 0);
+      checki
+        (r.Experiments.component ^ " total = shared + logic")
+        r.Experiments.total_loc
+        (r.Experiments.shared_loc + r.Experiments.logic_loc))
+    rows;
+  (* The trusted counter must be tiny relative to the compartments, as in
+     the paper. *)
+  let find name = List.find (fun r -> r.Experiments.component = name) rows in
+  checkb "counter << compartments" true
+    ((find "Trusted Counter").Experiments.total_loc
+    < (find "Preparation Enc.").Experiments.total_loc / 5)
+
+let test_table_render () =
+  let s = Table.render ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  checkb "has rule" true (String.length s > 0 && String.contains s '-');
+  Alcotest.(check string) "formats" "a    bb\n---  --\n1    2 \n333  4 " s
+
+let test_formatting_helpers () =
+  Alcotest.(check string) "us small" "500us" (Table.us 500.0);
+  Alcotest.(check string) "us large" "12.0ms" (Table.us 12_000.0);
+  Alcotest.(check string) "ops small" "500" (Table.ops 500.0);
+  Alcotest.(check string) "ops large" "25.0k" (Table.ops 25_000.0);
+  Alcotest.(check string) "pct" "64%" (Table.pct 0.64)
+
+let suites =
+  [ ( "harness",
+      [ Alcotest.test_case "cluster dispatch" `Quick test_cluster_protocol_dispatch;
+        Alcotest.test_case "pbft workload + verdict" `Quick test_workload_fault_free;
+        Alcotest.test_case "splitbft confidential" `Quick test_splitbft_workload_confidential;
+        Alcotest.test_case "divergence detected" `Slow test_agreement_detects_divergence;
+        Alcotest.test_case "scenario splitbft ok" `Slow test_scenario_fault_free_splitbft;
+        Alcotest.test_case "scenario faulty tee" `Slow test_scenario_faulty_tee;
+        Alcotest.test_case "scenario ids unique" `Quick test_scenario_ids_unique;
+        Alcotest.test_case "table2 counts" `Quick test_table2_counts;
+        Alcotest.test_case "table render" `Quick test_table_render;
+        Alcotest.test_case "format helpers" `Quick test_formatting_helpers ] ) ]

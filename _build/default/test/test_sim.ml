@@ -1,0 +1,330 @@
+module Engine = Splitbft_sim.Engine
+module Timer = Splitbft_sim.Timer
+module Network = Splitbft_sim.Network
+module Resource = Splitbft_sim.Resource
+module Trace = Splitbft_sim.Trace
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-6))
+
+(* ----- engine ----- *)
+
+let test_engine_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let at delay tag = ignore (Engine.schedule e ~delay ~label:tag (fun () -> log := tag :: !log)) in
+  at 30.0 "c";
+  at 10.0 "a";
+  at 20.0 "b";
+  Engine.run e;
+  Alcotest.(check (list string)) "fired in time order" [ "a"; "b"; "c" ] (List.rev !log);
+  checkf "clock at last event" 30.0 (Engine.now e)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore
+      (Engine.schedule e ~delay:7.0 ~label:"tie" (fun () -> log := i :: !log))
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "ties fire in scheduling order" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:5.0 ~label:"x" (fun () -> fired := true) in
+  Engine.cancel h;
+  Engine.run e;
+  checkb "cancelled never fires" false !fired
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~delay:10.0 ~label:"in" (fun () -> incr fired));
+  ignore (Engine.schedule e ~delay:100.0 ~label:"out" (fun () -> incr fired));
+  Engine.run ~until:50.0 e;
+  checki "only events before horizon" 1 !fired;
+  checkf "clock advanced to horizon" 50.0 (Engine.now e);
+  Engine.run e;
+  checki "resumes" 2 !fired
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let times = ref [] in
+  ignore
+    (Engine.schedule e ~delay:1.0 ~label:"outer" (fun () ->
+         ignore
+           (Engine.schedule e ~delay:2.0 ~label:"inner" (fun () ->
+                times := Engine.now e :: !times))));
+  Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "nested at t=3" [ 3.0 ] !times
+
+let test_engine_negative_delay_rejected () =
+  let e = Engine.create () in
+  checkb "raises" true
+    (try
+       ignore (Engine.schedule e ~delay:(-1.0) ~label:"bad" (fun () -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let test_engine_stop () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~delay:1.0 ~label:"a" (fun () -> incr fired; raise Engine.Stop));
+  ignore (Engine.schedule e ~delay:2.0 ~label:"b" (fun () -> incr fired));
+  Engine.run e;
+  checki "stopped early" 1 !fired
+
+let test_engine_max_events () =
+  let e = Engine.create () in
+  for i = 1 to 10 do
+    ignore (Engine.schedule e ~delay:(float_of_int i) ~label:"n" (fun () -> ()))
+  done;
+  Engine.run ~max_events:4 e;
+  checki "only 4 processed" 4 (Engine.events_processed e)
+
+(* ----- timer ----- *)
+
+let test_timer_restart () =
+  let e = Engine.create () in
+  let fired_at = ref nan in
+  let t = Timer.create e ~label:"t" ~delay:10.0 ~callback:(fun () -> fired_at := Engine.now e) in
+  Timer.start t;
+  ignore (Engine.schedule e ~delay:5.0 ~label:"re" (fun () -> Timer.restart t));
+  Engine.run e;
+  checkf "restart pushed deadline" 15.0 !fired_at
+
+let test_timer_start_idempotent () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let t = Timer.create e ~label:"t" ~delay:10.0 ~callback:(fun () -> incr count) in
+  Timer.start t;
+  ignore (Engine.schedule e ~delay:2.0 ~label:"again" (fun () -> Timer.start t));
+  Engine.run e;
+  checki "fires once" 1 !count
+
+let test_timer_stop () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let t = Timer.create e ~label:"t" ~delay:10.0 ~callback:(fun () -> incr count) in
+  Timer.start t;
+  ignore (Engine.schedule e ~delay:3.0 ~label:"stop" (fun () -> Timer.stop t));
+  Engine.run e;
+  checki "never fires" 0 !count;
+  checkb "not running" false (Timer.is_running t)
+
+(* ----- network ----- *)
+
+let quiet_net = { Network.default_config with Network.jitter_mean_us = 0.0 }
+
+let test_network_delivery () =
+  let e = Engine.create () in
+  let net = Network.create e quiet_net in
+  let got = ref [] in
+  Network.register net 1 (fun ~src payload -> got := (src, payload) :: !got);
+  Network.send net ~src:0 ~dst:1 "hello";
+  Engine.run e;
+  Alcotest.(check (list (pair int string))) "delivered" [ (0, "hello") ] !got;
+  checki "stats sent" 1 (Network.messages_sent net);
+  checki "stats delivered" 1 (Network.messages_delivered net)
+
+let test_network_unregistered_dropped () =
+  let e = Engine.create () in
+  let net = Network.create e quiet_net in
+  Network.send net ~src:0 ~dst:9 "void";
+  Engine.run e;
+  checki "nothing delivered" 0 (Network.messages_delivered net)
+
+let test_network_partition_and_heal () =
+  let e = Engine.create () in
+  let net = Network.create e quiet_net in
+  let got = ref 0 in
+  Network.register net 1 (fun ~src:_ _ -> incr got);
+  Network.partition net [ [ 0 ]; [ 1 ] ];
+  Network.send net ~src:0 ~dst:1 "blocked";
+  Engine.run e;
+  checki "partitioned" 0 !got;
+  Network.heal net;
+  Network.send net ~src:0 ~dst:1 "flows";
+  Engine.run e;
+  checki "healed" 1 !got
+
+let test_network_partition_same_side () =
+  let e = Engine.create () in
+  let net = Network.create e quiet_net in
+  let got = ref 0 in
+  Network.register net 1 (fun ~src:_ _ -> incr got);
+  Network.partition net [ [ 0; 1 ]; [ 2 ] ];
+  Network.send net ~src:0 ~dst:1 "same side";
+  Engine.run e;
+  checki "same side flows" 1 !got
+
+let test_network_filter () =
+  let e = Engine.create () in
+  let net = Network.create e quiet_net in
+  let got = ref [] in
+  Network.register net 1 (fun ~src:_ payload -> got := payload :: !got);
+  Network.set_filter net
+    (Some (fun ~src:_ ~dst:_ payload -> if payload = "drop-me" then Network.Drop else Network.Deliver));
+  Network.send net ~src:0 ~dst:1 "drop-me";
+  Network.send net ~src:0 ~dst:1 "keep";
+  Engine.run e;
+  Alcotest.(check (list string)) "filtered" [ "keep" ] !got
+
+let test_network_filter_delay () =
+  let e = Engine.create () in
+  let net = Network.create e quiet_net in
+  let at = ref nan in
+  Network.register net 1 (fun ~src:_ _ -> at := Engine.now e);
+  Network.set_filter net (Some (fun ~src:_ ~dst:_ _ -> Network.Delay 1000.0));
+  Network.send net ~src:0 ~dst:1 "slow";
+  Engine.run e;
+  checkb "delayed" true (!at > 1000.0)
+
+let test_network_tap_sees_everything () =
+  let e = Engine.create () in
+  let net = Network.create e quiet_net in
+  let tapped = ref 0 in
+  Network.set_tap net (Some (fun ~src:_ ~dst:_ _ -> incr tapped));
+  Network.set_filter net (Some (fun ~src:_ ~dst:_ _ -> Network.Drop));
+  Network.send net ~src:0 ~dst:1 "x";
+  Engine.run e;
+  checki "tap sees dropped messages" 1 !tapped
+
+let test_network_drop_probability () =
+  let e = Engine.create () in
+  let net = Network.create e { quiet_net with Network.drop_probability = 1.0 } in
+  let got = ref 0 in
+  Network.register net 1 (fun ~src:_ _ -> incr got);
+  for _ = 1 to 20 do
+    Network.send net ~src:0 ~dst:1 "x"
+  done;
+  Engine.run e;
+  checki "all dropped" 0 !got
+
+let test_network_bandwidth_delay () =
+  let e = Engine.create () in
+  let cfg =
+    { Network.base_delay_us = 10.0;
+      jitter_mean_us = 0.0;
+      drop_probability = 0.0;
+      bandwidth_bytes_per_us = 1.0 }
+  in
+  let net = Network.create e cfg in
+  let at = ref nan in
+  Network.register net 1 (fun ~src:_ _ -> at := Engine.now e);
+  Network.send net ~src:0 ~dst:1 (String.make 90 'x');
+  Engine.run e;
+  checkf "base + size/bandwidth" 100.0 !at
+
+(* ----- resource ----- *)
+
+let test_resource_fifo () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"cpu" in
+  let done_at = ref [] in
+  Resource.submit r ~cost:10.0 (fun () -> done_at := ("a", Engine.now e) :: !done_at);
+  Resource.submit r ~cost:5.0 (fun () -> done_at := ("b", Engine.now e) :: !done_at);
+  Engine.run e;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "serialized FIFO"
+    [ ("a", 10.0); ("b", 15.0) ]
+    (List.rev !done_at);
+  checkf "busy time" 15.0 (Resource.busy_time r)
+
+let test_resource_idle_gap () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"cpu" in
+  let at = ref nan in
+  ignore
+    (Engine.schedule e ~delay:100.0 ~label:"later" (fun () ->
+         Resource.submit r ~cost:5.0 (fun () -> at := Engine.now e)));
+  Engine.run e;
+  checkf "starts when submitted" 105.0 !at
+
+let test_pool_parallelism () =
+  let e = Engine.create () in
+  let p = Resource.Pool.create e ~name:"w" ~workers:2 in
+  let done_at = ref [] in
+  for _ = 1 to 4 do
+    Resource.Pool.submit p ~cost:10.0 (fun () -> done_at := Engine.now e :: !done_at)
+  done;
+  Engine.run e;
+  (* Two workers: jobs finish at 10,10,20,20. *)
+  Alcotest.(check (list (float 1e-9))) "two at a time" [ 10.0; 10.0; 20.0; 20.0 ]
+    (List.sort compare !done_at)
+
+let test_resource_negative_cost () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"cpu" in
+  checkb "rejected" true
+    (try
+       Resource.submit r ~cost:(-1.0) (fun () -> ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ----- determinism ----- *)
+
+let trace_of_run seed =
+  let e = Engine.create ~seed () in
+  let net = Network.create e Network.default_config in
+  let trace = Trace.create () in
+  for node = 0 to 3 do
+    Network.register net node (fun ~src payload ->
+        Trace.record trace ~time:(Engine.now e) ~label:(string_of_int src) payload)
+  done;
+  let rng = Engine.rng e in
+  for i = 0 to 200 do
+    let src = i mod 4 and dst = (i + 1 + Splitbft_util.Rng.int rng 3) mod 4 in
+    ignore
+      (Engine.schedule e
+         ~delay:(Splitbft_util.Rng.float rng 1000.0)
+         ~label:"send"
+         (fun () -> Network.send net ~src ~dst (Printf.sprintf "m%d" i)))
+  done;
+  Engine.run e;
+  Trace.fingerprint trace
+
+let test_determinism_same_seed () =
+  Alcotest.(check string) "same seed, same trace" (trace_of_run 42L) (trace_of_run 42L)
+
+let test_determinism_different_seed () =
+  checkb "different seed, different trace" false
+    (String.equal (trace_of_run 42L) (trace_of_run 43L))
+
+let prop_determinism =
+  QCheck.Test.make ~name:"simulation deterministic for any seed" ~count:20 QCheck.int64
+    (fun seed -> String.equal (trace_of_run seed) (trace_of_run seed))
+
+let suites =
+  [ ( "sim",
+      [ Alcotest.test_case "time order" `Quick test_engine_time_order;
+        Alcotest.test_case "fifo ties" `Quick test_engine_fifo_ties;
+        Alcotest.test_case "cancel" `Quick test_engine_cancel;
+        Alcotest.test_case "until horizon" `Quick test_engine_until;
+        Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+        Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_rejected;
+        Alcotest.test_case "stop exception" `Quick test_engine_stop;
+        Alcotest.test_case "max events" `Quick test_engine_max_events;
+        Alcotest.test_case "timer restart" `Quick test_timer_restart;
+        Alcotest.test_case "timer start idempotent" `Quick test_timer_start_idempotent;
+        Alcotest.test_case "timer stop" `Quick test_timer_stop;
+        Alcotest.test_case "net delivery" `Quick test_network_delivery;
+        Alcotest.test_case "net unregistered" `Quick test_network_unregistered_dropped;
+        Alcotest.test_case "net partition/heal" `Quick test_network_partition_and_heal;
+        Alcotest.test_case "net partition same side" `Quick test_network_partition_same_side;
+        Alcotest.test_case "net filter drop" `Quick test_network_filter;
+        Alcotest.test_case "net filter delay" `Quick test_network_filter_delay;
+        Alcotest.test_case "net tap" `Quick test_network_tap_sees_everything;
+        Alcotest.test_case "net drop prob" `Quick test_network_drop_probability;
+        Alcotest.test_case "net bandwidth" `Quick test_network_bandwidth_delay;
+        Alcotest.test_case "resource fifo" `Quick test_resource_fifo;
+        Alcotest.test_case "resource idle gap" `Quick test_resource_idle_gap;
+        Alcotest.test_case "pool parallelism" `Quick test_pool_parallelism;
+        Alcotest.test_case "resource negative cost" `Quick test_resource_negative_cost;
+        Alcotest.test_case "determinism same seed" `Quick test_determinism_same_seed;
+        Alcotest.test_case "determinism diff seed" `Quick test_determinism_different_seed;
+        QCheck_alcotest.to_alcotest prop_determinism ] ) ]

@@ -1,0 +1,176 @@
+module Hex = Splitbft_util.Hex
+module Rng = Splitbft_util.Rng
+module Heap = Splitbft_util.Heap
+module Stats = Splitbft_util.Stats
+module Lines = Splitbft_util.Lines
+
+let check = Alcotest.(check string)
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ----- hex ----- *)
+
+let test_hex_encode () =
+  check "empty" "" (Hex.encode "");
+  check "abc" "616263" (Hex.encode "abc");
+  check "binary" "00ff10" (Hex.encode "\x00\xff\x10")
+
+let test_hex_decode () =
+  check "roundtrip" "\x00\xff\x10" (Hex.decode_exn "00ff10");
+  check "uppercase" "\xab\xcd" (Hex.decode_exn "ABCD");
+  checkb "odd length rejected" true (Result.is_error (Hex.decode "abc"));
+  checkb "bad char rejected" true (Result.is_error (Hex.decode "zz"))
+
+let test_hex_short () =
+  check "short truncates" "01020304" (Hex.short "\x01\x02\x03\x04\x05\x06");
+  check "short of short input" "0102" (Hex.short "\x01\x02")
+
+let hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:200
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s -> Hex.decode_exn (Hex.encode s) = s)
+
+(* ----- rng ----- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 99L and b = Rng.create 99L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next64 a) (Rng.next64 b)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    checkb "in range" true (v >= 0 && v < 17);
+    let f = Rng.float rng 3.5 in
+    checkb "float in range" true (f >= 0.0 && f < 3.5)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1L in
+  let b = Rng.split a in
+  checkb "split differs from parent stream" true (Rng.next64 a <> Rng.next64 b)
+
+let test_rng_exponential_positive () =
+  let rng = Rng.create 5L in
+  for _ = 1 to 200 do
+    checkb "positive" true (Rng.exponential rng ~mean:10.0 >= 0.0)
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 3L in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* ----- heap ----- *)
+
+let test_heap_orders () =
+  let h = Heap.create ~cmp:compare in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  let rec drain acc =
+    match Heap.pop h with Some x -> drain (x :: acc) | None -> List.rev acc
+  in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (drain [])
+
+let test_heap_peek () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.(check (option int)) "empty peek" None (Heap.peek h);
+  Heap.push h 4;
+  Heap.push h 2;
+  Alcotest.(check (option int)) "peek min" (Some 2) (Heap.peek h);
+  checki "peek does not remove" 2 (Heap.length h)
+
+let test_heap_pop_exn_empty () =
+  let h = Heap.create ~cmp:compare in
+  Alcotest.check_raises "empty pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let heap_sorts =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:100
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:compare in
+      List.iter (Heap.push h) xs;
+      let rec drain acc =
+        match Heap.pop h with Some x -> drain (x :: acc) | None -> List.rev acc
+      in
+      drain [] = List.sort compare xs)
+
+(* ----- stats ----- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  checki "count" 4 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.max s)
+
+let test_stats_percentile () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  Alcotest.(check (float 2.0)) "p50" 50.0 (Stats.median s);
+  Alcotest.(check (float 2.0)) "p99" 99.0 (Stats.percentile s 99.0)
+
+let test_stats_empty_is_nan () =
+  let s = Stats.create () in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.mean s));
+  Alcotest.(check bool) "p50 nan" true (Float.is_nan (Stats.median s))
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.add a 1.0;
+  Stats.add b 3.0;
+  let m = Stats.merge a b in
+  checki "merged count" 2 (Stats.count m);
+  Alcotest.(check (float 1e-9)) "merged mean" 2.0 (Stats.mean m)
+
+(* ----- lines ----- *)
+
+let test_lines_classification () =
+  let src = "let x = 1\n\n(* a comment *)\nlet y = 2 (* trailing *)\n" in
+  let c = Lines.count_string src in
+  checki "code" 2 c.Lines.code;
+  checki "comments" 1 c.Lines.comments;
+  checki "blank" 1 c.Lines.blank
+
+let test_lines_multiline_comment () =
+  let src = "(* spans\nseveral\nlines *)\nlet z = 3\n" in
+  let c = Lines.count_string src in
+  checki "comments" 3 c.Lines.comments;
+  checki "code" 1 c.Lines.code
+
+let test_lines_nested_comment () =
+  let src = "(* outer (* inner *) still comment *)\nlet a = 1\n" in
+  let c = Lines.count_string src in
+  checki "nested counts as comment" 1 c.Lines.comments;
+  checki "code after" 1 c.Lines.code
+
+let suites =
+  [ ( "util",
+      [ Alcotest.test_case "hex encode" `Quick test_hex_encode;
+        Alcotest.test_case "hex decode" `Quick test_hex_decode;
+        Alcotest.test_case "hex short" `Quick test_hex_short;
+        QCheck_alcotest.to_alcotest hex_roundtrip;
+        Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+        Alcotest.test_case "rng exponential" `Quick test_rng_exponential_positive;
+        Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutation;
+        Alcotest.test_case "heap ordering" `Quick test_heap_orders;
+        Alcotest.test_case "heap peek" `Quick test_heap_peek;
+        Alcotest.test_case "heap pop empty" `Quick test_heap_pop_exn_empty;
+        QCheck_alcotest.to_alcotest heap_sorts;
+        Alcotest.test_case "stats basic" `Quick test_stats_basic;
+        Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+        Alcotest.test_case "stats empty" `Quick test_stats_empty_is_nan;
+        Alcotest.test_case "stats merge" `Quick test_stats_merge;
+        Alcotest.test_case "lines classify" `Quick test_lines_classification;
+        Alcotest.test_case "lines multiline" `Quick test_lines_multiline_comment;
+        Alcotest.test_case "lines nested" `Quick test_lines_nested_comment ] ) ]
