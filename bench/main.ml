@@ -1,18 +1,26 @@
 (* Benchmark harness regenerating every table and figure of the paper's
    evaluation (§6), plus micro-benchmarks of the substrates.
 
-     dune exec bench/main.exe            # everything (moderate sweep)
-     dune exec bench/main.exe -- fig3a   # one artifact
-     dune exec bench/main.exe -- --full  # the paper's full client sweep *)
+     dune exec bench/main.exe                      # everything (moderate sweep)
+     dune exec bench/main.exe -- fig3a             # one artifact
+     dune exec bench/main.exe -- --full            # the paper's full client sweep
+     dune exec bench/main.exe -- table2 --json out.json
+                                  # also write machine-readable results plus a
+                                  # metrics snapshot of an instrumented run *)
 
 module H = Splitbft_harness
 module Experiments = H.Experiments
 module Scenarios = H.Scenarios
+module Json = Splitbft_obs.Json
+module Registry = Splitbft_obs.Registry
 
 let clients_sweep ~full =
   if full then [ 1; 5; 10; 20; 40; 80; 120; 150 ] else [ 1; 10; 40; 100; 150 ]
 
-(* ----- paper artifacts ----- *)
+(* ----- paper artifacts -----
+
+   Each runner prints its human-readable table and returns the same data
+   as JSON for the machine-readable [--json] trajectory. *)
 
 let run_table1 () =
   let outcomes = List.map (Scenarios.run ~seed:42L) Scenarios.all in
@@ -20,9 +28,13 @@ let run_table1 () =
   let mismatches = List.filter (fun o -> not (Scenarios.matches_expectation o)) outcomes in
   if mismatches <> [] then
     Printf.printf "!! %d scenario(s) deviate from the paper's fault model\n"
-      (List.length mismatches)
+      (List.length mismatches);
+  Scenarios.json_of_outcomes outcomes
 
-let run_table2 () = Experiments.print_table2 (Experiments.table2 ())
+let run_table2 () =
+  let rows = Experiments.table2 () in
+  Experiments.print_table2 rows;
+  Experiments.json_of_table2 rows
 
 let run_fig3 ~batched ~full () =
   let clients_list =
@@ -30,23 +42,42 @@ let run_fig3 ~batched ~full () =
        default sweep affordable. *)
     if batched && not full then [ 1; 10; 40; 150 ] else clients_sweep ~full
   in
-  List.iter
-    (fun (app, app_name) ->
-      let series = Experiments.fig3 ~clients_list ~batched ~app () in
-      Experiments.print_fig3
-        ~title:
-          (Printf.sprintf "Figure 3%s — %s, %s" (if batched then "b" else "a") app_name
-             (if batched then "batched (200, 10ms)" else "unbatched"))
-        series)
-    [ (H.Cluster.App_kvs, "key-value store"); (H.Cluster.App_ledger, "blockchain") ]
+  Json.Obj
+    (List.map
+       (fun (app, app_key, app_name) ->
+         let series = Experiments.fig3 ~clients_list ~batched ~app () in
+         Experiments.print_fig3
+           ~title:
+             (Printf.sprintf "Figure 3%s — %s, %s" (if batched then "b" else "a") app_name
+                (if batched then "batched (200, 10ms)" else "unbatched"))
+           series;
+         (app_key, Experiments.json_of_fig3 series))
+       [ (H.Cluster.App_kvs, "kvs", "key-value store");
+         (H.Cluster.App_ledger, "ledger", "blockchain") ])
 
 let run_fig4 () =
-  Experiments.print_fig4 ~batched:false (Experiments.fig4 ~batched:false ());
-  Experiments.print_fig4 ~batched:true (Experiments.fig4 ~batched:true ())
+  let unbatched = Experiments.fig4 ~batched:false () in
+  let batched = Experiments.fig4 ~batched:true () in
+  Experiments.print_fig4 ~batched:false unbatched;
+  Experiments.print_fig4 ~batched:true batched;
+  Json.Obj
+    [ ("unbatched", Experiments.json_of_fig4 unbatched);
+      ("batched", Experiments.json_of_fig4 batched) ]
 
-let run_simmode () = Experiments.print_simmode (Experiments.simmode ())
-let run_ablation () = Experiments.print_batch_ablation (Experiments.batch_ablation ())
-let run_ceilings () = Experiments.print_ceilings (Experiments.ceilings ())
+let run_simmode () =
+  let r = Experiments.simmode () in
+  Experiments.print_simmode r;
+  Experiments.json_of_simmode r
+
+let run_ablation () =
+  let points = Experiments.batch_ablation () in
+  Experiments.print_batch_ablation points;
+  Experiments.json_of_batch_ablation points
+
+let run_ceilings () =
+  let r = Experiments.ceilings () in
+  Experiments.print_ceilings r;
+  Experiments.json_of_ceilings r
 
 (* ----- bechamel micro-benchmarks of the substrates ----- *)
 
@@ -104,11 +135,42 @@ let run_micro () =
         | Some (x :: _) -> x
         | Some [] | None -> nan
       in
-      rows := [ name; Printf.sprintf "%.0f ns" ns ] :: !rows)
+      rows := (name, ns) :: !rows)
     results;
+  let rows = List.sort compare !rows in
   H.Table.print ~title:"Micro-benchmarks (bechamel, monotonic clock)"
     ~header:[ "operation"; "time/op" ]
-    ~rows:(List.sort compare !rows)
+    ~rows:(List.map (fun (name, ns) -> [ name; Printf.sprintf "%.0f ns" ns ]) rows);
+  Json.Obj
+    (List.map
+       (fun (name, ns) ->
+         (name, if Float.is_finite ns then Json.Float ns else Json.Null))
+       rows)
+
+(* ----- instrumented probe run (metrics snapshot) -----
+
+   A fixed, small SplitBFT deployment driven long enough to exercise every
+   hot path, whose registry snapshot gives each BENCH json the paper's
+   cost accounting regardless of which artifact was requested: per-replica
+   enclave transition counts and copied bytes, per-link network traffic,
+   broker batching, and interpolated latency percentiles. *)
+
+let probe_metrics () =
+  let params =
+    { (H.Cluster.default_params H.Cluster.Splitbft) with
+      H.Cluster.app = H.Cluster.App_kvs;
+      seed = 97L }
+  in
+  let cluster = H.Cluster.create params in
+  let spec =
+    { H.Workload.default_spec with
+      H.Workload.clients = 10;
+      window = 1;
+      warmup_us = 100_000.0;
+      duration_us = 400_000.0 }
+  in
+  ignore (H.Workload.run cluster spec);
+  Registry.to_json (H.Cluster.obs cluster)
 
 (* ----- command line ----- *)
 
@@ -123,17 +185,45 @@ let artifacts =
     ("ceilings", fun ~full:_ () -> run_ceilings ());
     ("micro", fun ~full:_ () -> run_micro ()) ]
 
-let run_all ~full () =
-  List.iter
+let run_artifacts ~full names =
+  List.map
     (fun (name, f) ->
       Printf.printf "\n######## %s ########\n%!" name;
-      f ~full ())
-    artifacts
+      (name, f ~full ()))
+    (List.filter (fun (name, _) -> List.mem name names) artifacts)
+
+let write_json ~path results =
+  let doc =
+    Json.Obj
+      [ ("schema", Json.Str "splitbft.bench/v1");
+        ("artifacts", Json.Obj results);
+        ("metrics", probe_metrics ()) ]
+  in
+  match open_out path with
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot write %s: %s\n%!" path msg;
+    exit 1
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        Json.to_channel oc doc;
+        output_char oc '\n');
+    Printf.printf "\nwrote %s\n%!" path
 
 let () =
   let open Cmdliner in
   let full =
     Arg.(value & flag & info [ "full" ] ~doc:"Use the paper's full client sweep for Figure 3.")
+  in
+  let json_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Also write the selected artifacts as JSON to $(docv), together with the \
+             metrics snapshot of an instrumented probe run (see README, Metrics).")
   in
   let what =
     Arg.(
@@ -141,19 +231,20 @@ let () =
       & pos_all (enum (("all", "all") :: List.map (fun (n, _) -> (n, n)) artifacts)) []
       & info [] ~docv:"ARTIFACT" ~doc:"Artifacts to regenerate (default: all).")
   in
-  let main full what =
-    match what with
-    | [] | [ "all" ] -> run_all ~full ()
-    | names ->
-      List.iter
-        (fun n ->
-          Printf.printf "\n######## %s ########\n%!" n;
-          (List.assoc n artifacts) ~full ())
-        names
+  let main full json_path what =
+    let names =
+      match what with
+      | [] | [ "all" ] -> List.map fst artifacts
+      | names -> names
+    in
+    let results = run_artifacts ~full names in
+    match json_path with
+    | None -> ()
+    | Some path -> write_json ~path results
   in
   let cmd =
     Cmd.v
       (Cmd.info "splitbft-bench" ~doc:"Regenerate the SplitBFT paper's tables and figures")
-      Term.(const main $ full $ what)
+      Term.(const main $ full $ json_path $ what)
   in
   exit (Cmd.eval cmd)

@@ -103,9 +103,53 @@ let tcb_cmd =
   let run () = H.Experiments.print_table2 (H.Experiments.table2 ()) in
   Cmd.v (Cmd.info "tcb" ~doc:"Print the TCB-size table (Table 2).") Term.(const run $ const ())
 
+(* ----- metrics ----- *)
+
+let metrics_cmd =
+  let protocol =
+    Arg.(value & opt protocol_conv H.Cluster.Splitbft & info [ "protocol"; "p" ] ~doc:"Protocol.")
+  in
+  let app_arg = Arg.(value & opt app_conv H.Cluster.App_kvs & info [ "app"; "a" ] ~doc:"Application.") in
+  let clients = Arg.(value & opt int 10 & info [ "clients"; "c" ] ~doc:"Closed-loop clients.") in
+  let batch = Arg.(value & opt int 1 & info [ "batch"; "b" ] ~doc:"Batch size (1 = unbatched).") in
+  let duration = Arg.(value & opt float 0.5 & info [ "duration"; "d" ] ~doc:"Measured seconds (simulated).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"PATH" ~doc:"Write the snapshot to $(docv) instead of stdout.")
+  in
+  let run protocol app clients batch duration seed out =
+    let params =
+      { (H.Cluster.default_params protocol) with
+        H.Cluster.app;
+        batch_size = batch;
+        seed = Int64.of_int seed }
+    in
+    let cluster = H.Cluster.create params in
+    let spec =
+      { H.Workload.default_spec with
+        H.Workload.clients;
+        warmup_us = duration *. 1e6 /. 4.0;
+        duration_us = duration *. 1e6 }
+    in
+    ignore (H.Workload.run cluster spec);
+    let reg = H.Cluster.obs cluster in
+    match out with
+    | None -> print_endline (Splitbft_obs.Registry.to_json_string reg)
+    | Some path ->
+      Splitbft_obs.Registry.write_file reg ~path;
+      Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a workload and dump the full metrics registry snapshot as JSON (enclave \
+          transitions, copied bytes, network traffic, broker batching, latency percentiles).")
+    Term.(const run $ protocol $ app_arg $ clients $ batch $ duration $ seed $ out)
+
 let () =
   let doc = "SplitBFT: compartmentalized BFT with trusted execution (MIDDLEWARE'22 reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "splitbft_cli" ~doc)
-          [ run_cmd; scenario_cmd; scenarios_cmd; tcb_cmd ]))
+          [ run_cmd; scenario_cmd; scenarios_cmd; tcb_cmd; metrics_cmd ]))

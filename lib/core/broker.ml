@@ -6,6 +6,7 @@ module Enclave = Splitbft_tee.Enclave
 module Ids = Splitbft_types.Ids
 module Addr = Splitbft_types.Addr
 module Message = Splitbft_types.Message
+module Registry = Splitbft_obs.Registry
 
 type fault =
   | Env_honest
@@ -21,15 +22,18 @@ type t = {
   loop : Resource.t;  (* the event-loop thread *)
   thread_of : Ids.compartment -> Resource.t;
   mutable view : Ids.view;  (* belief, liveness-only *)
-  mutable pending : Message.request list;  (* batch queue, newest first *)
-  mutable pending_count : int;
+  pending : Message.request Queue.t;  (* batch queue, FIFO *)
+  queued : (Ids.client_id * int64, unit) Hashtbl.t;  (* membership of [pending] *)
   batch_timer : Timer.t;
   awaiting : (Ids.client_id * int64, unit) Hashtbl.t;
   suspect_timer : Timer.t;
   mutable storage : (string * string) list;  (* newest first *)
   mutable fault : fault;
   mutable crashed : bool;
-  mutable ecalls : int;
+  ecall_counter_of : Ids.compartment -> Registry.counter;
+  c_batches : Registry.counter;
+  h_batch_occupancy : Registry.histogram;
+  c_suspect_firings : Registry.counter;
 }
 
 let primary t = Ids.primary_of_view ~n:t.cfg.n t.view
@@ -75,7 +79,7 @@ let rec ecall t compartment (input : Wire.input) =
   let starved = match t.fault with Env_starve c -> c = compartment | _ -> false in
   if (not t.crashed) && not starved then begin
     let issue () =
-      t.ecalls <- t.ecalls + 1;
+      Registry.incr (t.ecall_counter_of compartment);
       let enclave = t.enclave_of compartment in
       Enclave.ecall enclave
         ~thread:(t.thread_of compartment)
@@ -139,19 +143,24 @@ and request_replied t (rp : Message.reply) =
   else Timer.restart t.suspect_timer
 
 and flush_batch t =
-  if is_primary t && t.pending_count > 0 then begin
-    let take = min t.cfg.batch_size t.pending_count in
-    let all = List.rev t.pending in
-    let rec split i acc rest =
-      if i = 0 then (List.rev acc, rest)
-      else match rest with [] -> (List.rev acc, []) | x :: tl -> split (i - 1) (x :: acc) tl
+  if is_primary t && not (Queue.is_empty t.pending) then begin
+    (* O(batch): dequeue the head of the FIFO and retire its membership
+       keys; nothing ever re-walks the whole queue. *)
+    let take = min t.cfg.batch_size (Queue.length t.pending) in
+    let rec grab i acc =
+      if i = 0 then List.rev acc
+      else begin
+        let r = Queue.pop t.pending in
+        Hashtbl.remove t.queued (r.Message.client, r.Message.timestamp);
+        grab (i - 1) (r :: acc)
+      end
     in
-    let batch, remaining = split take [] all in
-    t.pending <- List.rev remaining;
-    t.pending_count <- t.pending_count - take;
+    let batch = grab take [] in
+    Registry.incr t.c_batches;
+    Registry.observe t.h_batch_occupancy (float_of_int take);
     ecall t Ids.Preparation (Wire.In_batch batch);
-    if t.pending_count >= t.cfg.batch_size then flush_batch t
-    else if t.pending_count > 0 then Timer.start t.batch_timer
+    if Queue.length t.pending >= t.cfg.batch_size then flush_batch t
+    else if not (Queue.is_empty t.pending) then Timer.start t.batch_timer
     else Timer.stop t.batch_timer
   end
 
@@ -159,15 +168,11 @@ let on_request t (r : Message.request) =
   Hashtbl.replace t.awaiting (r.client, r.timestamp) ();
   Timer.start t.suspect_timer;
   if is_primary t then begin
-    let queued =
-      List.exists
-        (fun (q : Message.request) -> q.client = r.client && q.timestamp = r.timestamp)
-        t.pending
-    in
-    if not queued then begin
-      t.pending <- r :: t.pending;
-      t.pending_count <- t.pending_count + 1;
-      if t.pending_count >= t.cfg.batch_size then flush_batch t
+    let key = (r.client, r.timestamp) in
+    if not (Hashtbl.mem t.queued key) then begin
+      Hashtbl.replace t.queued key ();
+      Queue.push r t.pending;
+      if Queue.length t.pending >= t.cfg.batch_size then flush_batch t
       else Timer.start t.batch_timer
     end
   end
@@ -185,6 +190,17 @@ let on_payload t ~src:_ payload =
               (route msg))
 
 let create engine net (cfg : Config.t) ~enclave_of =
+  let obs = Engine.obs engine in
+  let replica_label = ("replica", string_of_int cfg.id) in
+  let ecall_counters =
+    List.map
+      (fun c ->
+        ( c,
+          Registry.counter obs
+            ~labels:[ replica_label; ("compartment", Ids.compartment_name c) ]
+            "broker.ecalls" ))
+      Ids.all_compartments
+  in
   let loop = Resource.create engine ~name:(Printf.sprintf "broker%d-loop" cfg.id) in
   let thread_of =
     match cfg.threading with
@@ -214,8 +230,8 @@ let create engine net (cfg : Config.t) ~enclave_of =
         loop;
         thread_of;
         view = 0;
-        pending = [];
-        pending_count = 0;
+        pending = Queue.create ();
+        queued = Hashtbl.create 64;
         batch_timer =
           Timer.create engine
             ~label:(Printf.sprintf "broker%d-batch" cfg.id)
@@ -230,6 +246,7 @@ let create engine net (cfg : Config.t) ~enclave_of =
               (fun () ->
               let t = Lazy.force t in
               if Hashtbl.length t.awaiting > 0 then begin
+                Registry.incr t.c_suspect_firings;
                 ecall t Ids.Confirmation (Wire.In_suspect t.view);
                 (* keep escalating while requests stay unanswered *)
                 Timer.restart t.suspect_timer
@@ -237,7 +254,14 @@ let create engine net (cfg : Config.t) ~enclave_of =
         storage = [];
         fault = Env_honest;
         crashed = false;
-        ecalls = 0 }
+        ecall_counter_of = (fun c -> List.assoc c ecall_counters);
+        c_batches = Registry.counter obs ~labels:[ replica_label ] "broker.batches";
+        h_batch_occupancy =
+          Registry.histogram obs ~labels:[ replica_label ]
+            ~buckets:[ 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 400.0 ]
+            "broker.batch_occupancy";
+        c_suspect_firings =
+          Registry.counter obs ~labels:[ replica_label ] "broker.suspect_firings" }
   in
   let t = Lazy.force t in
   Network.register net (Addr.replica cfg.id) (fun ~src payload -> on_payload t ~src payload);
@@ -254,4 +278,9 @@ let crash t =
 let is_crashed t = t.crashed
 let view_belief t = t.view
 let persisted t = List.rev t.storage
-let ecalls_issued t = t.ecalls
+
+let ecalls_to t compartment =
+  int_of_float (Registry.counter_value (t.ecall_counter_of compartment))
+
+let ecalls_issued t =
+  List.fold_left (fun acc c -> acc + ecalls_to t c) 0 Ids.all_compartments

@@ -44,3 +44,8 @@ val persisted : t -> (string * string) list
 (** Sealed blobs written by the Execution enclave, oldest first. *)
 
 val ecalls_issued : t -> int
+(** Total ecalls this broker issued, all compartments — read from the
+    per-compartment [broker.ecalls] registry counters. *)
+
+val ecalls_to : t -> Splitbft_types.Ids.compartment -> int
+(** Ecalls issued to one compartment. *)

@@ -119,6 +119,7 @@ let create ?(splitbft_byz = fun (_ : int) -> honest_enclaves) params =
 let params t = t.params
 let engine t = t.engine
 let network t = t.net
+let obs t = Engine.obs t.engine
 let nodes t = t.nodes
 let node t i = List.nth t.nodes i
 

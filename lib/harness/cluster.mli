@@ -48,6 +48,12 @@ val create : ?splitbft_byz:(Ids.replica_id -> splitbft_byz) -> params -> t
 val params : t -> params
 val engine : t -> Splitbft_sim.Engine.t
 val network : t -> Splitbft_sim.Network.t
+
+(** The deployment's metrics registry (owned by the engine): enclave
+    transition/copy counters, per-link network traffic, broker batching,
+    resource utilization, and — after a workload run — the latency
+    summary.  Snapshot with [Registry.to_json]. *)
+val obs : t -> Splitbft_obs.Registry.t
 val nodes : t -> node list
 val node : t -> Ids.replica_id -> node
 val f : t -> int

@@ -3,6 +3,7 @@ module Cost_model = Splitbft_tee.Cost_model
 module S = Splitbft_core.Replica
 module Stats = Splitbft_util.Stats
 module Lines = Splitbft_util.Lines
+module Json = Splitbft_obs.Json
 
 (* ----- shared runners ----- *)
 
@@ -384,3 +385,72 @@ let print_ceilings r =
         [ "thread per enclave";
           Table.ops r.multi_thread_tput;
           Printf.sprintf "%s (1e6 / %.0fus)" (Table.ops r.predicted_multi) r.exec_ecall_us ] ]
+
+(* ----- machine-readable artifacts (BENCH_*.json) ----- *)
+
+let num x = if Float.is_finite x then Json.Float x else Json.Null
+
+let json_of_fig3 series =
+  Json.List
+    (List.map
+       (fun s ->
+         Json.Obj
+           [ ("series", Json.Str s.series_label);
+             ("points",
+              Json.List
+                (List.map
+                   (fun p ->
+                     Json.Obj
+                       [ ("clients", Json.Int p.clients);
+                         ("throughput_ops", num p.throughput);
+                         ("latency_us", num p.latency_us) ])
+                   s.points)) ])
+       series)
+
+let json_of_fig4 rows =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [ ("compartment", Json.Str r.compartment);
+             ("ecalls", Json.Int r.ecalls);
+             ("mean_ecall_us", num r.mean_ecall_us);
+             ("us_per_request", num r.us_per_request) ])
+       rows)
+
+let json_of_table2 rows =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [ ("component", Json.Str r.component);
+             ("shared_loc", Json.Int r.shared_loc);
+             ("logic_loc", Json.Int r.logic_loc);
+             ("total_loc", Json.Int r.total_loc) ])
+       rows)
+
+let json_of_simmode r =
+  Json.Obj
+    [ ("hardware_tput", num r.hardware_tput);
+      ("simulation_tput", num r.simulation_tput);
+      ("baseline_tput", num r.baseline_tput);
+      ("transition_share_of_overhead", num r.transition_share_of_overhead) ]
+
+let json_of_batch_ablation points =
+  Json.List
+    (List.map
+       (fun p ->
+         Json.Obj
+           [ ("batch", Json.Int p.ab_batch);
+             ("throughput_ops", num p.ab_tput);
+             ("ecall_us_per_request", num p.ab_ecall_us_per_req) ])
+       points)
+
+let json_of_ceilings r =
+  Json.Obj
+    [ ("single_thread_tput", num r.single_thread_tput);
+      ("multi_thread_tput", num r.multi_thread_tput);
+      ("predicted_single", num r.predicted_single);
+      ("predicted_multi", num r.predicted_multi);
+      ("sum_ecall_us", num r.sum_ecall_us);
+      ("exec_ecall_us", num r.exec_ecall_us) ]

@@ -101,3 +101,16 @@ type ceilings_result = {
 
 val ceilings : ?duration_us:float -> unit -> ceilings_result
 val print_ceilings : ceilings_result -> unit
+
+(** {2 Machine-readable artifacts}
+
+    JSON encoders for the [BENCH_*.json] trajectory: every artifact above
+    can be emitted via [bench/main.exe --json] alongside the registry
+    snapshot of an instrumented run. *)
+
+val json_of_fig3 : fig3_series list -> Splitbft_obs.Json.t
+val json_of_fig4 : fig4_row list -> Splitbft_obs.Json.t
+val json_of_table2 : tcb_row list -> Splitbft_obs.Json.t
+val json_of_simmode : simmode_result -> Splitbft_obs.Json.t
+val json_of_batch_ablation : ablation_point list -> Splitbft_obs.Json.t
+val json_of_ceilings : ceilings_result -> Splitbft_obs.Json.t

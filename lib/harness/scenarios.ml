@@ -301,3 +301,25 @@ let print_table1 outcomes =
   Table.print ~title:"Table 1 — fault-model comparison (expected/observed)"
     ~header:[ "scenario"; "live"; "safe"; "confidential"; "ops"; "check" ]
     ~rows
+
+let json_of_outcomes outcomes =
+  let module Json = Splitbft_obs.Json in
+  Json.List
+    (List.map
+       (fun o ->
+         let e = o.scenario.expected and v = o.verdict in
+         Json.Obj
+           [ ("scenario", Json.Str o.scenario.id);
+             ("expected",
+              Json.Obj
+                [ ("live", Json.Bool e.exp_live);
+                  ("safe", Json.Bool e.exp_safe);
+                  ("confidential", Json.Bool e.exp_confidential) ]);
+             ("observed",
+              Json.Obj
+                [ ("live", Json.Bool v.Safety.live);
+                  ("safe", Json.Bool v.Safety.safe);
+                  ("confidential", Json.Bool v.Safety.confidential) ]);
+             ("ops", Json.Int o.workload.Workload.completed_total);
+             ("matches", Json.Bool (matches_expectation o)) ])
+       outcomes)

@@ -91,7 +91,17 @@ let run ?(at_warmup = fun () -> ()) cluster spec =
             at_warmup);
   Engine.run ~until:t_end engine;
   List.iter Client.stop clients;
-  { throughput_ops = float_of_int !completed_in_window /. (spec.duration_us /. 1_000_000.0);
+  let reg = Engine.obs engine in
+  let module Registry = Splitbft_obs.Registry in
+  Registry.set_summary reg "workload.latency_us" lat;
+  let set name v = Registry.set (Registry.gauge reg name) v in
+  let throughput = float_of_int !completed_in_window /. (spec.duration_us /. 1_000_000.0) in
+  set "workload.throughput_ops" throughput;
+  set "workload.completed" (float_of_int !completed_in_window);
+  set "workload.completed_total" (float_of_int !completed_total);
+  set "workload.wrong_results" (float_of_int !wrong);
+  set "workload.clients_ready" (float_of_int !ready);
+  { throughput_ops = throughput;
     mean_latency_us = Stats.mean lat;
     p50_latency_us = Stats.median lat;
     p99_latency_us = Stats.percentile lat 99.0;

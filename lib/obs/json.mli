@@ -1,0 +1,34 @@
+(** Minimal hand-rolled JSON tree, encoder and parser (no external
+    dependencies, matching the codec-library policy of this repository).
+
+    Only what the metrics snapshots need: the encoder emits compact
+    deterministic output (object fields in construction order), and the
+    parser accepts any RFC 8259 document — it exists so snapshots can be
+    round-tripped in tests and re-read by tooling. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact encoding.  Non-finite floats (nan/inf), which JSON cannot
+    represent, encode as [null]. *)
+
+val to_channel : out_channel -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parses one JSON document (surrounding whitespace allowed).  Numbers
+    with a fraction or exponent decode as [Float], others as [Int]. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object field order is significant (snapshots are
+    deterministic), [Int n] and [Float f] are equal when [f = float n]. *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] looks up a field; [None] on missing key or
+    non-object. *)

@@ -1,0 +1,96 @@
+(** Metrics registry: named counters, gauges, fixed-bucket histograms and
+    summaries, scoped by labels (replica, compartment, link, ...).
+
+    One registry belongs to one simulation (the engine owns it), so every
+    component of a deployment reports into the same place and a single
+    {!to_json} call captures the whole run — enclave transitions, copied
+    bytes, network traffic, queueing — for the paper's cost accounting
+    (§6, Figures 3–4).
+
+    Handles are cheap mutable cells: components look their metrics up once
+    at construction time and update them on the hot path with a single
+    field write, so instrumentation does not perturb what it measures. *)
+
+type t
+
+type labels = (string * string) list
+(** Key/value qualifiers; order-insensitive (normalized by sorting). *)
+
+val create : unit -> t
+
+(** {2 Counters} — monotonically increasing totals *)
+
+type counter
+
+val counter : t -> ?labels:labels -> string -> counter
+(** Registers (or looks up) the counter [name] with [labels].  Raises
+    [Invalid_argument] if the name/labels pair exists with another kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val add_f : counter -> float -> unit
+val counter_value : counter -> float
+
+(** {2 Gauges} — last-written instantaneous values *)
+
+type gauge
+
+val gauge : t -> ?labels:labels -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {2 Histograms} — fixed cumulative-style buckets plus sum/count *)
+
+type histogram
+
+val default_buckets : float list
+(** Geometric µs buckets, 1 µs … 5 s (an implicit +inf bucket is always
+    appended). *)
+
+val histogram : t -> ?buckets:float list -> ?labels:labels -> string -> histogram
+(** [buckets] are ascending upper bounds; on lookup of an existing
+    histogram the argument is ignored. *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+(** {2 Summaries} — exact sample sets with interpolated percentiles *)
+
+val summary : t -> ?labels:labels -> string -> Splitbft_util.Stats.t
+(** Registers (or looks up) a summary and returns its backing collector;
+    percentiles (p50/p90/p99) are computed at snapshot time. *)
+
+val set_summary : t -> ?labels:labels -> string -> Splitbft_util.Stats.t -> unit
+(** Points the summary [name] at an existing collector (replacing any
+    previous backing), so already-collected samples appear in snapshots. *)
+
+(** {2 Introspection} *)
+
+val fold :
+  t ->
+  init:'a ->
+  f:('a -> name:string -> labels:labels -> kind:string -> value:float -> 'a) ->
+  'a
+(** Iterates metrics in registration order.  [kind] is ["counter"],
+    ["gauge"], ["histogram"] or ["summary"]; [value] is the counter/gauge
+    value, or the observation count for histograms and summaries. *)
+
+val read : t -> ?labels:labels -> string -> float option
+(** The [fold]-style value of one fully-qualified metric. *)
+
+val sum : t -> prefix:string -> float
+(** Sum of [fold]-style values over all metrics whose name starts with
+    [prefix] (e.g. every replica's [tee.ecalls]). *)
+
+(** {2 Snapshot} *)
+
+val to_json : t -> Json.t
+(** [{"schema": "splitbft.metrics/v1", "metrics": [...]}] with one object
+    per metric in registration order; see README "Metrics" for the
+    per-kind fields. *)
+
+val to_json_string : t -> string
+
+val write_file : t -> path:string -> unit
+(** Writes {!to_json_string} (plus a trailing newline) to [path]. *)

@@ -1,0 +1,9 @@
+type t = { hist : Registry.histogram; started_at : float }
+
+let start hist ~at = { hist; started_at = at }
+let elapsed t ~at = at -. t.started_at
+
+let finish t ~at =
+  let d = at -. t.started_at in
+  Registry.observe t.hist d;
+  d

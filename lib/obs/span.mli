@@ -1,0 +1,18 @@
+(** Timed sections recorded into a histogram.
+
+    The span does not read a clock itself: callers pass the current
+    simulated time (normally [Engine.now]) at both ends, so the module
+    stays clock-agnostic and usable from any layer without depending on
+    the simulator. *)
+
+type t
+
+val start : Registry.histogram -> at:float -> t
+(** Opens a span at virtual time [at]. *)
+
+val elapsed : t -> at:float -> float
+(** Duration so far, without recording anything. *)
+
+val finish : t -> at:float -> float
+(** Records [at - start] into the histogram and returns it.  Finishing a
+    span twice records twice (spans are plain values; don't do that). *)

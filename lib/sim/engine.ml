@@ -1,31 +1,43 @@
+module Registry = Splitbft_obs.Registry
+
 exception Stop
 
+(* [dead] covers both cancellation and firing, so a late [cancel] on an
+   event that already ran cannot corrupt the live count. *)
 type event = {
   time : float;
   seq : int;
   label : string;
   action : unit -> unit;
-  mutable cancelled : bool;
+  mutable dead : bool;
+  owner : t;
 }
 
-type handle = event
-
-type t = {
+and t = {
   queue : event Splitbft_util.Heap.t;
   root_rng : Splitbft_util.Rng.t;
+  obs : Registry.t;
+  g_live : Registry.gauge;
+  c_fired : Registry.counter;
   mutable clock : float;
   mutable next_seq : int;
   mutable fired : int;
-  mutable live : int;
+  mutable live : int;  (* scheduled, not fired, not cancelled *)
 }
+
+type handle = event
 
 let compare_events a b =
   let c = compare a.time b.time in
   if c <> 0 then c else compare a.seq b.seq
 
-let create ?(seed = 1L) () =
+let create ?(seed = 1L) ?obs () =
+  let obs = match obs with Some r -> r | None -> Registry.create () in
   { queue = Splitbft_util.Heap.create ~cmp:compare_events;
     root_rng = Splitbft_util.Rng.create seed;
+    obs;
+    g_live = Registry.gauge obs "sim.events_live";
+    c_fired = Registry.counter obs "sim.events_fired";
     clock = 0.0;
     next_seq = 0;
     fired = 0;
@@ -33,38 +45,44 @@ let create ?(seed = 1L) () =
 
 let now t = t.clock
 let rng t = t.root_rng
+let obs t = t.obs
 
 let schedule t ~delay ~label action =
   if delay < 0.0 then invalid_arg (Printf.sprintf "Engine.schedule %s: negative delay" label);
-  let ev = { time = t.clock +. delay; seq = t.next_seq; label; action; cancelled = false } in
+  let ev = { time = t.clock +. delay; seq = t.next_seq; label; action; dead = false; owner = t } in
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
+  Registry.set t.g_live (float_of_int t.live);
   Splitbft_util.Heap.push t.queue ev;
   ev
 
 let cancel ev =
-  if not ev.cancelled then begin
-    ev.cancelled <- true
-    (* The event stays in the heap and is skipped when popped; live count is
-       adjusted lazily at pop time. *)
+  if not ev.dead then begin
+    ev.dead <- true;
+    (* The event stays in the heap and is skipped when popped; the live
+       count is settled here, eagerly. *)
+    let t = ev.owner in
+    t.live <- t.live - 1;
+    Registry.set t.g_live (float_of_int t.live)
   end
 
-let pending t =
-  List.fold_left
-    (fun acc ev -> if ev.cancelled then acc else acc + 1)
-    0
-    (Splitbft_util.Heap.to_list t.queue)
+let live t = t.live
+let pending t = t.live
 
 let fire t ev =
+  ev.dead <- true;
   t.clock <- ev.time;
   t.fired <- t.fired + 1;
+  t.live <- t.live - 1;
+  Registry.set t.g_live (float_of_int t.live);
+  Registry.incr t.c_fired;
   ev.action ()
 
 let step t =
   let rec next () =
     match Splitbft_util.Heap.pop t.queue with
     | None -> false
-    | Some ev when ev.cancelled -> next ()
+    | Some ev when ev.dead -> next ()
     | Some ev ->
       fire t ev;
       true
@@ -79,7 +97,7 @@ let run ?until ?max_events t =
     else
       match Splitbft_util.Heap.peek t.queue with
       | None -> continue := false
-      | Some ev when ev.cancelled ->
+      | Some ev when ev.dead ->
         ignore (Splitbft_util.Heap.pop t.queue)
       | Some ev ->
         (match until with

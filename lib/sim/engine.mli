@@ -11,11 +11,17 @@ type t
 type handle
 (** A scheduled event, usable for cancellation. *)
 
-val create : ?seed:int64 -> unit -> t
-(** Fresh engine with virtual time 0.  [seed] (default 1) drives {!rng}. *)
+val create : ?seed:int64 -> ?obs:Splitbft_obs.Registry.t -> unit -> t
+(** Fresh engine with virtual time 0.  [seed] (default 1) drives {!rng}.
+    [obs] (default: a fresh registry) is the metrics registry this
+    simulation reports into; every component reachable from the engine
+    (network, resources, enclaves, brokers) records there. *)
 
 val now : t -> float
 (** Current virtual time in microseconds. *)
+
+val obs : t -> Splitbft_obs.Registry.t
+(** The simulation's metrics registry. *)
 
 val rng : t -> Splitbft_util.Rng.t
 (** The engine's root generator.  Components that need independent streams
@@ -29,7 +35,13 @@ val cancel : handle -> unit
 (** Cancelling a fired or already-cancelled event is a no-op. *)
 
 val pending : t -> int
-(** Number of scheduled, non-cancelled events. *)
+(** Number of scheduled, non-cancelled events — an O(1) read of the
+    engine's live-event counter (decremented on fire and on cancel, never
+    by walking the heap). *)
+
+val live : t -> int
+(** Synonym of {!pending}: the exact live-event counter, exposed for the
+    metrics layer ([sim.events_live]). *)
 
 val run : ?until:float -> ?max_events:int -> t -> unit
 (** Processes events in time order until the queue is empty, virtual time

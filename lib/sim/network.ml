@@ -15,6 +15,8 @@ let default_config =
 
 type action = Deliver | Drop | Delay of float
 
+module Registry = Splitbft_obs.Registry
+
 type t = {
   engine : Engine.t;
   config : config;
@@ -26,9 +28,16 @@ type t = {
   mutable sent : int;
   mutable delivered : int;
   mutable bytes : int;
+  c_sent : Registry.counter;
+  c_delivered : Registry.counter;
+  c_bytes : Registry.counter;
+  c_dropped : Registry.counter;
+  (* Per-link counters, cached so the hot path never rebuilds labels. *)
+  links : (addr * addr, Registry.counter * Registry.counter) Hashtbl.t;
 }
 
 let create engine config =
+  let obs = Engine.obs engine in
   { engine;
     config;
     rng = Splitbft_util.Rng.split (Engine.rng engine);
@@ -38,7 +47,27 @@ let create engine config =
     tap = None;
     sent = 0;
     delivered = 0;
-    bytes = 0 }
+    bytes = 0;
+    c_sent = Registry.counter obs "net.messages_sent";
+    c_delivered = Registry.counter obs "net.messages_delivered";
+    c_bytes = Registry.counter obs "net.bytes_sent";
+    c_dropped = Registry.counter obs "net.messages_dropped";
+    links = Hashtbl.create 64 }
+
+let link_counters t src dst =
+  match Hashtbl.find_opt t.links (src, dst) with
+  | Some pair -> pair
+  | None ->
+    let labels =
+      [ ("src", string_of_int src); ("dst", string_of_int dst) ]
+    in
+    let obs = Engine.obs t.engine in
+    let pair =
+      ( Registry.counter obs ~labels "net.link.messages",
+        Registry.counter obs ~labels "net.link.bytes" )
+    in
+    Hashtbl.replace t.links (src, dst) pair;
+    pair
 
 let register t addr handler = Hashtbl.replace t.handlers addr handler
 let unregister t addr = Hashtbl.remove t.handlers addr
@@ -70,23 +99,30 @@ let model_delay t size =
 
 let send t ~src ~dst payload =
   (match t.tap with None -> () | Some tap -> tap ~src ~dst payload);
+  let size = String.length payload in
   t.sent <- t.sent + 1;
-  t.bytes <- t.bytes + String.length payload;
+  t.bytes <- t.bytes + size;
+  Registry.incr t.c_sent;
+  Registry.add t.c_bytes size;
+  let link_msgs, link_bytes = link_counters t src dst in
+  Registry.incr link_msgs;
+  Registry.add link_bytes size;
   let dropped_randomly =
     t.config.drop_probability > 0.0
     && Splitbft_util.Rng.float t.rng 1.0 < t.config.drop_probability
   in
-  if same_side t src dst && not dropped_randomly then begin
+  if (not (same_side t src dst)) || dropped_randomly then Registry.incr t.c_dropped
+  else begin
     let verdict =
       match t.filter with
       | None -> Deliver
       | Some f -> f ~src ~dst payload
     in
     match verdict with
-    | Drop -> ()
+    | Drop -> Registry.incr t.c_dropped
     | Deliver | Delay _ ->
       let extra = match verdict with Delay d -> d | Deliver | Drop -> 0.0 in
-      let delay = model_delay t (String.length payload) +. extra in
+      let delay = model_delay t size +. extra in
       let label = Printf.sprintf "net:%d->%d" src dst in
       ignore
         (Engine.schedule t.engine ~delay ~label (fun () ->
@@ -94,6 +130,7 @@ let send t ~src ~dst payload =
              | None -> ()
              | Some handler ->
                t.delivered <- t.delivered + 1;
+               Registry.incr t.c_delivered;
                handler ~src payload))
   end
 

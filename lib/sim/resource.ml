@@ -1,12 +1,28 @@
+module Registry = Splitbft_obs.Registry
+
 type t = {
   engine : Engine.t;
   name : string;
   mutable free_at : float;
   mutable busy : float;
   mutable jobs : int;
+  c_busy_us : Registry.counter;
+  c_jobs : Registry.counter;
+  g_queue_us : Registry.gauge;
 }
 
-let create engine ~name = { engine; name; free_at = 0.0; busy = 0.0; jobs = 0 }
+let create engine ~name =
+  let obs = Engine.obs engine in
+  let labels = [ ("resource", name) ] in
+  { engine;
+    name;
+    free_at = 0.0;
+    busy = 0.0;
+    jobs = 0;
+    c_busy_us = Registry.counter obs ~labels "resource.busy_us";
+    c_jobs = Registry.counter obs ~labels "resource.jobs";
+    g_queue_us = Registry.gauge obs ~labels "resource.queue_us" }
+
 let name t = t.name
 
 let submit t ~cost callback =
@@ -17,6 +33,9 @@ let submit t ~cost callback =
   t.free_at <- finish;
   t.busy <- t.busy +. cost;
   t.jobs <- t.jobs + 1;
+  Registry.add_f t.c_busy_us cost;
+  Registry.incr t.c_jobs;
+  Registry.set t.g_queue_us (finish -. now);
   ignore (Engine.schedule t.engine ~delay:(finish -. now) ~label:("cpu:" ^ t.name) callback)
 
 let free_at t = t.free_at

@@ -1,6 +1,7 @@
 module Signature = Splitbft_crypto.Signature
 module Resource = Splitbft_sim.Resource
 module Stats = Splitbft_util.Stats
+module Registry = Splitbft_obs.Registry
 
 type env = {
   enclave : t;
@@ -25,6 +26,11 @@ and t = {
   mutable total_us : float;
   mutable durations : Stats.t;
   quote_encoded : string;
+  c_ecalls : Registry.counter;
+  c_ecalls_aborted : Registry.counter;
+  c_ecall_us : Registry.counter;
+  c_copy_bytes : Registry.counter;
+  h_ecall_us : Registry.histogram;
 }
 
 and handler = string -> unit
@@ -35,6 +41,8 @@ let create platform ~name ~measurement ~cost_model ~key_seed ~program =
   let quote =
     Attestation.create platform ~measurement ~report_data:keypair.Signature.public
   in
+  let obs = Splitbft_sim.Engine.obs (Platform.engine platform) in
+  let labels = [ ("enclave", name) ] in
   let t =
     { name;
       platform;
@@ -49,7 +57,12 @@ let create platform ~name ~measurement ~cost_model ~key_seed ~program =
       calls = 0;
       total_us = 0.0;
       durations = Stats.create ();
-      quote_encoded = Attestation.encode quote }
+      quote_encoded = Attestation.encode quote;
+      c_ecalls = Registry.counter obs ~labels "tee.ecalls";
+      c_ecalls_aborted = Registry.counter obs ~labels "tee.ecalls_aborted";
+      c_ecall_us = Registry.counter obs ~labels "tee.ecall_us";
+      c_copy_bytes = Registry.counter obs ~labels "tee.copy_bytes";
+      h_ecall_us = Registry.histogram obs ~labels "tee.ecall_duration_us" }
   in
   t.env <-
     Some
@@ -81,10 +94,12 @@ let instantiate t =
 
 let ecall t ~thread ~payload ~on_done =
   let cm = t.cost_model in
-  if t.crashed then
+  if t.crashed then begin
     (* An aborted ecall into a dead enclave: the transition is attempted,
        nothing comes back. *)
+    Registry.incr t.c_ecalls_aborted;
     Resource.submit thread ~cost:cm.ecall_transition_us (fun () -> on_done [])
+  end
   else begin
     let env = the_env t in
     env.pending_charge <- 0.0;
@@ -94,15 +109,20 @@ let ecall t ~thread ~payload ~on_done =
     let outputs = List.rev env.pending_outputs in
     env.pending_outputs <- [];
     let out_bytes = List.fold_left (fun acc o -> acc + String.length o) 0 outputs in
+    let copied = String.length payload + out_bytes in
     let cost =
       cm.ecall_transition_us
-      +. (cm.copy_per_byte_us *. float_of_int (String.length payload + out_bytes))
+      +. (cm.copy_per_byte_us *. float_of_int copied)
       +. env.pending_charge
     in
     env.pending_charge <- 0.0;
     t.calls <- t.calls + 1;
     t.total_us <- t.total_us +. cost;
     Stats.add t.durations cost;
+    Registry.incr t.c_ecalls;
+    Registry.add_f t.c_ecall_us cost;
+    Registry.add t.c_copy_bytes copied;
+    Registry.observe t.h_ecall_us cost;
     Resource.submit thread ~cost (fun () -> on_done outputs)
   end
 

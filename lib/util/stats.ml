@@ -50,10 +50,13 @@ let percentile t p =
   if t.size = 0 then nan
   else begin
     ensure_sorted t;
+    let p = Float.max 0.0 (Float.min 100.0 p) in
     let rank = p /. 100.0 *. float_of_int (t.size - 1) in
-    let lo = int_of_float (Float.round rank) in
+    let lo = int_of_float (Float.floor rank) in
     let lo = Stdlib.max 0 (Stdlib.min (t.size - 1) lo) in
-    t.samples.(lo)
+    let hi = Stdlib.min (t.size - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    t.samples.(lo) +. (frac *. (t.samples.(hi) -. t.samples.(lo)))
   end
 
 let median t = percentile t 50.0

@@ -12,8 +12,10 @@ val min : t -> float
 val max : t -> float
 
 val percentile : t -> float -> float
-(** [percentile t p] for [p] in [\[0,100\]]; nearest-rank on the sorted
-    samples.  Returns [nan] when empty. *)
+(** [percentile t p] for [p] in [\[0,100\]] (clamped): linear interpolation
+    between the adjacent order statistics at rank [p/100 * (n-1)], so
+    small samples don't collapse p99 onto the maximum or bias p50.
+    Returns [nan] when empty. *)
 
 val median : t -> float
 val stddev : t -> float

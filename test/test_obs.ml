@@ -1,0 +1,224 @@
+module Registry = Splitbft_obs.Registry
+module Json = Splitbft_obs.Json
+module Span = Splitbft_obs.Span
+module Engine = Splitbft_sim.Engine
+module H = Splitbft_harness
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+let checks = Alcotest.(check string)
+
+(* ----- counters / gauges / histograms ----- *)
+
+let test_counter_basics () =
+  let r = Registry.create () in
+  let c = Registry.counter r "c" in
+  checkf "starts at zero" 0.0 (Registry.counter_value c);
+  Registry.incr c;
+  Registry.add c 4;
+  Registry.add_f c 0.5;
+  checkf "accumulates" 5.5 (Registry.counter_value c);
+  let c' = Registry.counter r "c" in
+  Registry.incr c';
+  checkf "same name is the same cell" 6.5 (Registry.counter_value c)
+
+let test_labels_identity () =
+  let r = Registry.create () in
+  let a = Registry.counter r ~labels:[ ("x", "1"); ("y", "2") ] "c" in
+  let b = Registry.counter r ~labels:[ ("y", "2"); ("x", "1") ] "c" in
+  let other = Registry.counter r ~labels:[ ("x", "9") ] "c" in
+  Registry.incr a;
+  checkf "label order does not matter" 1.0 (Registry.counter_value b);
+  checkf "different labels, different cell" 0.0 (Registry.counter_value other)
+
+let test_kind_clash_rejected () =
+  let r = Registry.create () in
+  ignore (Registry.counter r "m");
+  Alcotest.check_raises "counter vs gauge clash"
+    (Invalid_argument "Registry: m already registered as a counter")
+    (fun () -> ignore (Registry.gauge r "m"))
+
+let test_gauge_last_write_wins () =
+  let r = Registry.create () in
+  let g = Registry.gauge r "g" in
+  Registry.set g 3.0;
+  Registry.set g 7.5;
+  checkf "last write" 7.5 (Registry.gauge_value g)
+
+let test_histogram_buckets () =
+  let r = Registry.create () in
+  let h = Registry.histogram r ~buckets:[ 1.0; 10.0; 100.0 ] "h" in
+  List.iter (Registry.observe h) [ 0.5; 5.0; 50.0; 500.0 ];
+  checki "count" 4 (Registry.histogram_count h);
+  checkf "sum" 555.5 (Registry.histogram_sum h);
+  (* Bucket counts only appear in the snapshot; one observation landed in
+     each of le=1, le=10, le=100 and the implicit +inf bucket. *)
+  match Json.member "metrics" (Registry.to_json r) with
+  | Some (Json.List [ m ]) ->
+    (match Json.member "buckets" m with
+    | Some (Json.List buckets) ->
+      checki "bucket slots" 4 (List.length buckets);
+      List.iter
+        (fun b ->
+          match Json.member "count" b with
+          | Some (Json.Int n) -> checki "one observation per bucket" 1 n
+          | _ -> Alcotest.fail "bucket without count")
+        buckets
+    | _ -> Alcotest.fail "histogram snapshot has no buckets")
+  | _ -> Alcotest.fail "expected exactly one metric"
+
+let test_sum_and_read () =
+  let r = Registry.create () in
+  Registry.add (Registry.counter r ~labels:[ ("i", "0") ] "tee.ecalls") 3;
+  Registry.add (Registry.counter r ~labels:[ ("i", "1") ] "tee.ecalls") 4;
+  Registry.incr (Registry.counter r "tee.ecalls_aborted");
+  checkf "prefix sums every match" 8.0 (Registry.sum r ~prefix:"tee.ecalls");
+  checkf "narrower prefix" 8.0 (Registry.sum r ~prefix:"tee.");
+  checkf "no match" 0.0 (Registry.sum r ~prefix:"net.");
+  (match Registry.read r ~labels:[ ("i", "1") ] "tee.ecalls" with
+  | Some v -> checkf "read one" 4.0 v
+  | None -> Alcotest.fail "read missed");
+  checkb "read miss" true (Registry.read r "nope" = None)
+
+(* ----- spans against the simulated clock ----- *)
+
+let test_span_simulated_clock () =
+  let e = Engine.create () in
+  let h = Registry.histogram (Engine.obs e) "stage_us" in
+  ignore
+    (Engine.schedule e ~delay:10.0 ~label:"open" (fun () ->
+         let span = Span.start h ~at:(Engine.now e) in
+         ignore
+           (Engine.schedule e ~delay:32.5 ~label:"close" (fun () ->
+                checkf "elapsed mid-flight" 32.5 (Span.elapsed span ~at:(Engine.now e));
+                checkf "recorded duration" 32.5 (Span.finish span ~at:(Engine.now e))))));
+  Engine.run e;
+  checki "one observation" 1 (Registry.histogram_count h);
+  checkf "histogram sum is the span" 32.5 (Registry.histogram_sum h)
+
+(* ----- JSON ----- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [ ("s", Json.Str "a\"b\\c\n\t\x01é");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 3.25);
+        ("tiny", Json.Float 1.2345678901234e-7);
+        ("nan", Json.Float Float.nan);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Obj []; Json.List [] ]) ]
+  in
+  let s = Json.to_string doc in
+  match Json.parse s with
+  | Error e -> Alcotest.fail ("reparse failed: " ^ e)
+  | Ok doc' ->
+    (* nan encodes as null, so compare against the expectation. *)
+    let expected =
+      Json.Obj
+        [ ("s", Json.Str "a\"b\\c\n\t\x01é");
+          ("i", Json.Int (-42));
+          ("f", Json.Float 3.25);
+          ("tiny", Json.Float 1.2345678901234e-7);
+          ("nan", Json.Null);
+          ("b", Json.Bool true);
+          ("n", Json.Null);
+          ("l", Json.List [ Json.Int 1; Json.Obj []; Json.List [] ]) ]
+    in
+    checkb "round-trips" true (Json.equal doc' expected)
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s -> checkb ("rejects " ^ s) true (Result.is_error (Json.parse s)))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"\\x\""; "nul" ]
+
+let test_registry_snapshot_roundtrip () =
+  let r = Registry.create () in
+  Registry.add (Registry.counter r ~labels:[ ("replica", "0") ] "tee.ecalls") 17;
+  Registry.set (Registry.gauge r "g") 2.5;
+  Registry.observe (Registry.histogram r ~buckets:[ 10.0 ] "h") 3.0;
+  Splitbft_util.Stats.add (Registry.summary r "lat") 5.0;
+  let s = Registry.to_json_string r in
+  match Json.parse s with
+  | Error e -> Alcotest.fail ("snapshot reparse failed: " ^ e)
+  | Ok doc ->
+    checkb "snapshot self-equal" true (Json.equal doc (Registry.to_json r));
+    (match Json.member "schema" doc with
+    | Some (Json.Str schema) -> checks "schema tag" "splitbft.metrics/v1" schema
+    | _ -> Alcotest.fail "missing schema");
+    (match Json.member "metrics" doc with
+    | Some (Json.List ms) -> checki "four metrics" 4 (List.length ms)
+    | _ -> Alcotest.fail "missing metrics")
+
+(* ----- end-to-end: a cluster run populates the registry ----- *)
+
+let test_cluster_run_populates_metrics () =
+  let params =
+    { (H.Cluster.default_params H.Cluster.Splitbft) with H.Cluster.seed = 5L }
+  in
+  let cluster = H.Cluster.create params in
+  let spec =
+    { H.Workload.default_spec with
+      H.Workload.clients = 2;
+      warmup_us = 20_000.0;
+      duration_us = 100_000.0 }
+  in
+  let res = H.Workload.run cluster spec in
+  checkb "work happened" true (res.H.Workload.completed_total > 0);
+  let reg = H.Cluster.obs cluster in
+  let pos name = Registry.sum reg ~prefix:name > 0.0 in
+  checkb "enclave transitions counted" true (pos "tee.ecalls");
+  checkb "copied bytes counted" true (pos "tee.copy_bytes");
+  checkb "network bytes counted" true (pos "net.bytes_sent");
+  checkb "per-link traffic counted" true (pos "net.link.bytes");
+  checkb "broker batches counted" true (pos "broker.batches");
+  checkb "broker ecalls counted" true (pos "broker.ecalls");
+  checkb "resource busy time counted" true (pos "resource.busy_us");
+  (* Each replica's preparation enclave reports under its own label. *)
+  List.iteri
+    (fun i _ ->
+      match
+        Registry.read reg
+          ~labels:[ ("enclave", Printf.sprintf "replica%d-preparation" i) ]
+          "tee.ecalls"
+      with
+      | Some v -> checkb (Printf.sprintf "replica %d transitions" i) true (v > 0.0)
+      | None -> Alcotest.fail (Printf.sprintf "replica %d has no tee.ecalls" i))
+    (H.Cluster.nodes cluster);
+  (* The latency summary snapshot carries interpolated percentiles. *)
+  match Json.member "metrics" (Registry.to_json reg) with
+  | Some (Json.List ms) ->
+    let is_latency m =
+      match Json.member "name" m with
+      | Some (Json.Str "workload.latency_us") -> true
+      | _ -> false
+    in
+    (match List.find_opt is_latency ms with
+    | None -> Alcotest.fail "no workload.latency_us summary in snapshot"
+    | Some m ->
+      let field k =
+        match Json.member k m with
+        | Some (Json.Float v) -> v
+        | Some (Json.Int v) -> float_of_int v
+        | _ -> Alcotest.failf "latency summary lacks %s" k
+      in
+      checkb "p50 <= p99" true (field "p50" <= field "p99");
+      checkb "count positive" true (field "count" > 0.0))
+  | _ -> Alcotest.fail "snapshot has no metrics list"
+
+let suites =
+  [ ( "obs",
+      [ Alcotest.test_case "counter basics" `Quick test_counter_basics;
+        Alcotest.test_case "label identity" `Quick test_labels_identity;
+        Alcotest.test_case "kind clash" `Quick test_kind_clash_rejected;
+        Alcotest.test_case "gauge" `Quick test_gauge_last_write_wins;
+        Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+        Alcotest.test_case "sum and read" `Quick test_sum_and_read;
+        Alcotest.test_case "span vs simulated clock" `Quick test_span_simulated_clock;
+        Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+        Alcotest.test_case "snapshot roundtrip" `Quick test_registry_snapshot_roundtrip;
+        Alcotest.test_case "cluster run populates metrics" `Quick
+          test_cluster_run_populates_metrics ] ) ]

@@ -40,6 +40,23 @@ let test_engine_cancel () =
   Engine.run e;
   checkb "cancelled never fires" false !fired
 
+let test_engine_pending_accounting () =
+  let e = Engine.create () in
+  checki "starts empty" 0 (Engine.pending e);
+  let a = Engine.schedule e ~delay:5.0 ~label:"a" (fun () -> ()) in
+  let b = Engine.schedule e ~delay:6.0 ~label:"b" (fun () -> ()) in
+  ignore (Engine.schedule e ~delay:7.0 ~label:"c" (fun () -> ()));
+  checki "three scheduled" 3 (Engine.pending e);
+  Engine.cancel a;
+  checki "cancel decrements immediately" 2 (Engine.pending e);
+  Engine.cancel a;
+  checki "double cancel is idempotent" 2 (Engine.pending e);
+  Engine.run e;
+  checki "drains to zero" 0 (Engine.pending e);
+  (* Cancelling after the event fired must not corrupt the counter. *)
+  Engine.cancel b;
+  checki "cancel after fire is a no-op" 0 (Engine.pending e)
+
 let test_engine_until () =
   let e = Engine.create () in
   let fired = ref 0 in
@@ -304,6 +321,7 @@ let suites =
       [ Alcotest.test_case "time order" `Quick test_engine_time_order;
         Alcotest.test_case "fifo ties" `Quick test_engine_fifo_ties;
         Alcotest.test_case "cancel" `Quick test_engine_cancel;
+        Alcotest.test_case "pending accounting" `Quick test_engine_pending_accounting;
         Alcotest.test_case "until horizon" `Quick test_engine_until;
         Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
         Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_rejected;

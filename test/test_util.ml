@@ -118,6 +118,33 @@ let test_stats_percentile () =
   Alcotest.(check (float 2.0)) "p50" 50.0 (Stats.median s);
   Alcotest.(check (float 2.0)) "p99" 99.0 (Stats.percentile s 99.0)
 
+let test_stats_percentile_interpolates () =
+  (* Known arrays pin the interpolating definition: rank p/100*(n-1),
+     linear between adjacent order statistics. *)
+  let of_list l =
+    let s = Stats.create () in
+    List.iter (Stats.add s) l;
+    s
+  in
+  let quad = of_list [ 10.0; 20.0; 30.0; 40.0 ] in
+  Alcotest.(check (float 1e-9)) "p50 of 4" 25.0 (Stats.percentile quad 50.0);
+  Alcotest.(check (float 1e-9)) "p90 of 4" 37.0 (Stats.percentile quad 90.0);
+  Alcotest.(check (float 1e-9)) "p99 of 4" 39.7 (Stats.percentile quad 99.0);
+  (* Before the fix, nearest-rank rounding collapsed p99 of a small sample
+     onto the max and biased p50 upward ([1;2;3;4] -> p50 = 3). *)
+  let four = of_list [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check (float 1e-9)) "p50 unbiased" 2.5 (Stats.percentile four 50.0);
+  Alcotest.(check bool) "p99 below max" true (Stats.percentile four 99.0 < 4.0);
+  let cent = of_list (List.init 100 (fun i -> float_of_int (i + 1))) in
+  Alcotest.(check (float 1e-9)) "p50 of 1..100" 50.5 (Stats.percentile cent 50.0);
+  Alcotest.(check (float 1e-9)) "p90 of 1..100" 90.1 (Stats.percentile cent 90.0);
+  Alcotest.(check (float 1e-9)) "p99 of 1..100" 99.01 (Stats.percentile cent 99.0);
+  Alcotest.(check (float 1e-9)) "p0 is min" 1.0 (Stats.percentile cent 0.0);
+  Alcotest.(check (float 1e-9)) "p100 is max" 100.0 (Stats.percentile cent 100.0);
+  Alcotest.(check (float 1e-9)) "clamped above" 100.0 (Stats.percentile cent 150.0);
+  let one = of_list [ 7.0 ] in
+  Alcotest.(check (float 1e-9)) "singleton" 7.0 (Stats.percentile one 99.0)
+
 let test_stats_empty_is_nan () =
   let s = Stats.create () in
   Alcotest.(check bool) "mean nan" true (Float.is_nan (Stats.mean s));
@@ -169,6 +196,8 @@ let suites =
         QCheck_alcotest.to_alcotest heap_sorts;
         Alcotest.test_case "stats basic" `Quick test_stats_basic;
         Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+        Alcotest.test_case "stats percentile interpolates" `Quick
+          test_stats_percentile_interpolates;
         Alcotest.test_case "stats empty" `Quick test_stats_empty_is_nan;
         Alcotest.test_case "stats merge" `Quick test_stats_merge;
         Alcotest.test_case "lines classify" `Quick test_lines_classification;
