@@ -1,9 +1,25 @@
-type t = Buffer.t
+type t = { mutable buf : Bytes.t; mutable len : int }
 
-let create ?(initial_size = 64) () = Buffer.create initial_size
-let contents t = Buffer.contents t
-let length t = Buffer.length t
-let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+let create ?(initial_size = 64) () = { buf = Bytes.create (max 8 initial_size); len = 0 }
+let contents t = Bytes.sub_string t.buf 0 t.len
+let length t = t.len
+
+let ensure t extra =
+  let needed = t.len + extra in
+  if needed > Bytes.length t.buf then begin
+    let cap = ref (Bytes.length t.buf) in
+    while !cap < needed do
+      cap := !cap * 2
+    done;
+    let fresh = Bytes.create !cap in
+    Bytes.blit t.buf 0 fresh 0 t.len;
+    t.buf <- fresh
+  end
+
+let u8 t v =
+  ensure t 1;
+  Bytes.unsafe_set t.buf t.len (Char.unsafe_chr (v land 0xff));
+  t.len <- t.len + 1
 
 let u16 t v =
   u8 t v;
@@ -29,7 +45,11 @@ let rec varint t v =
 let bool t b = u8 t (if b then 1 else 0)
 let float t f = u64 t (Int64.bits_of_float f)
 
-let raw t s = Buffer.add_string t s
+let raw t s =
+  let n = String.length s in
+  ensure t n;
+  Bytes.blit_string s 0 t.buf t.len n;
+  t.len <- t.len + n
 
 let bytes t s =
   varint t (String.length s);
@@ -41,9 +61,52 @@ let option t enc = function
     u8 t 1;
     enc t v
 
+let varint_width v =
+  let rec go v acc = if v < 0x80 then acc else go (v lsr 7) (acc + 1) in
+  go v 1
+
+let write_varint_at t pos v =
+  let rec go pos v =
+    if v < 0x80 then Bytes.set t.buf pos (Char.chr v)
+    else begin
+      Bytes.set t.buf pos (Char.chr (0x80 lor (v land 0x7f)));
+      go (pos + 1) (v lsr 7)
+    end
+  in
+  go pos v
+
+(* One byte is reserved for the varint before the payload is written; when
+   the value needs a wider varint (payload >= 128 bytes, list >= 128
+   elements) the payload is shifted right in place.  Either way the output
+   bytes are identical to [varint] followed by the payload, without
+   round-tripping the payload through a second buffer. *)
+let patch_reserved_varint t start value =
+  let width = varint_width value in
+  if width > 1 then begin
+    ensure t (width - 1);
+    Bytes.blit t.buf (start + 1) t.buf (start + width) (t.len - start - 1);
+    t.len <- t.len + width - 1
+  end;
+  write_varint_at t start value
+
+let nested t enc v =
+  ensure t 1;
+  let start = t.len in
+  t.len <- start + 1;
+  enc t v;
+  patch_reserved_varint t start (t.len - start - 1)
+
 let list t enc xs =
-  varint t (List.length xs);
-  List.iter (enc t) xs
+  ensure t 1;
+  let start = t.len in
+  t.len <- start + 1;
+  let count = ref 0 in
+  List.iter
+    (fun x ->
+      incr count;
+      enc t x)
+    xs;
+  patch_reserved_varint t start !count
 
 let to_string enc v =
   let t = create () in

@@ -29,7 +29,17 @@ val raw : t -> string -> unit
 (** Appends bytes with no length prefix. *)
 
 val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+
 val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+(** Varint element count followed by the elements.  The input is traversed
+    once: elements are counted while they are emitted and the count is
+    patched in front of them afterwards. *)
+
+val nested : t -> (t -> 'a -> unit) -> 'a -> unit
+(** [nested t enc v] writes [enc v] as a length-prefixed payload directly
+    into [t], producing exactly the bytes of [bytes t (to_string enc v)]
+    without serializing into a fresh buffer and copying.  Readers consume
+    it with {!Reader.bytes}. *)
 
 val to_string : (t -> 'a -> unit) -> 'a -> string
 (** [to_string enc v] encodes [v] with [enc] into a fresh buffer. *)

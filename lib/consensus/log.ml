@@ -1,0 +1,35 @@
+module Ids = Splitbft_types.Ids
+
+type 'a t = {
+  slots : (Ids.seqno, 'a) Hashtbl.t;
+  mutable low : Ids.seqno;
+  window : int;
+}
+
+let create ?(size = 128) ~window () = { slots = Hashtbl.create size; low = 0; window }
+let low_mark t = t.low
+let window t = t.window
+let in_window t seq = seq > t.low && seq <= t.low + t.window
+let advance_low_mark t seq = t.low <- max t.low seq
+let find t seq = Hashtbl.find_opt t.slots seq
+let mem t seq = Hashtbl.mem t.slots seq
+let set t seq v = Hashtbl.replace t.slots seq v
+let remove t seq = Hashtbl.remove t.slots seq
+
+let find_or_add t seq ~default =
+  match Hashtbl.find_opt t.slots seq with
+  | Some v -> v
+  | None ->
+    let v = default () in
+    Hashtbl.replace t.slots seq v;
+    v
+
+let prune t ~upto =
+  Hashtbl.iter
+    (fun seq _ -> if seq <= upto then Hashtbl.remove t.slots seq)
+    (Hashtbl.copy t.slots)
+
+let reset t = Hashtbl.reset t.slots
+let iter f t = Hashtbl.iter f t.slots
+let fold f t init = Hashtbl.fold f t.slots init
+let cardinal t = Hashtbl.length t.slots

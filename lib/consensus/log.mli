@@ -1,0 +1,38 @@
+(** A sequenced message log with a low watermark and a bounded acceptance
+    window — the [h < n <= h + L] rule of PBFT §4.2, shared by the
+    monolithic replica and every SplitBFT compartment.
+
+    The log stores one slot of caller-chosen type per sequence number.  The
+    low watermark only moves forward: checkpoint stabilization advances it
+    through {!advance_low_mark} + {!prune}, a view change may additionally
+    raise it to the NewView's stable point. *)
+
+module Ids = Splitbft_types.Ids
+
+type 'a t
+
+val create : ?size:int -> window:int -> unit -> 'a t
+val low_mark : 'a t -> Ids.seqno
+val window : 'a t -> int
+
+val in_window : 'a t -> Ids.seqno -> bool
+(** [low < seq <= low + window]. *)
+
+val advance_low_mark : 'a t -> Ids.seqno -> unit
+(** Raises the low watermark (never lowers it). *)
+
+val find : 'a t -> Ids.seqno -> 'a option
+val mem : 'a t -> Ids.seqno -> bool
+val set : 'a t -> Ids.seqno -> 'a -> unit
+val remove : 'a t -> Ids.seqno -> unit
+val find_or_add : 'a t -> Ids.seqno -> default:(unit -> 'a) -> 'a
+
+val prune : 'a t -> upto:Ids.seqno -> unit
+(** Drops every slot at or below [upto] (checkpoint GC). *)
+
+val reset : 'a t -> unit
+(** Drops all slots, keeping the watermark (view entry). *)
+
+val iter : (Ids.seqno -> 'a -> unit) -> 'a t -> unit
+val fold : (Ids.seqno -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+val cardinal : 'a t -> int

@@ -1,3 +1,6 @@
+module Ids = Splitbft_types.Ids
+module Message = Splitbft_types.Message
+
 let compute ~view ~sender (vcs : Message.viewchange list) =
   let min_s =
     List.fold_left (fun acc (vc : Message.viewchange) -> max acc vc.vc_last_stable) 0 vcs

@@ -7,6 +7,9 @@
     by the PBFT baseline and SplitBFT's Preparation compartment keeps the
     two protocols comparable. *)
 
+module Ids = Splitbft_types.Ids
+module Message = Splitbft_types.Message
+
 val compute :
   view:Ids.view ->
   sender:Ids.replica_id ->

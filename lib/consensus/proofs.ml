@@ -1,0 +1,23 @@
+module Message = Splitbft_types.Message
+module Validation = Splitbft_types.Validation
+
+let count_sigs proofs =
+  List.fold_left
+    (fun acc (p : Message.prepared_proof) -> acc + 1 + List.length p.proof_prepares)
+    0 proofs
+
+let viewchange_sig_count (vc : Message.viewchange) =
+  1 + List.length vc.vc_checkpoint_proof + count_sigs vc.vc_prepared
+
+let newview_sig_count (nv : Message.newview) =
+  1
+  + List.fold_left (fun acc vc -> acc + viewchange_sig_count vc) 0 nv.nv_viewchanges
+  + List.length nv.nv_preprepares
+
+let assemble ~f slots =
+  List.filter_map
+    (fun ((pd : Message.preprepare_digest), prepares) ->
+      if Validation.prepare_cert_complete ~f pd prepares then
+        Some { Message.proof_preprepare = pd; proof_prepares = prepares }
+      else None)
+    slots

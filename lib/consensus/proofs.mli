@@ -1,0 +1,25 @@
+(** Prepared-certificate assembly and signature counting for ViewChange /
+    NewView messages — the arithmetic every replica needs both to build its
+    own ViewChange and to price verifying someone else's. *)
+
+module Message = Splitbft_types.Message
+
+val assemble :
+  f:int ->
+  (Message.preprepare_digest * Message.prepare list) list ->
+  Message.prepared_proof list
+(** Keeps the slots whose prepare certificate is complete ([2f] matching
+    Prepares behind the accepted proposal) and packages each as the
+    prepared proof carried in a ViewChange. *)
+
+val count_sigs : Message.prepared_proof list -> int
+(** Signatures embedded in a list of prepared proofs: one PrePrepare digest
+    plus the Prepares behind it, per proof. *)
+
+val viewchange_sig_count : Message.viewchange -> int
+(** Signatures to verify one ViewChange deeply: its own, its checkpoint
+    proof and its prepared proofs. *)
+
+val newview_sig_count : Message.newview -> int
+(** Signatures to verify one NewView deeply: its own, each embedded
+    ViewChange (deeply) and the re-issued PrePrepare digests. *)

@@ -1,0 +1,26 @@
+type 'a t = {
+  senders : (int, unit) Hashtbl.t;
+  mutable items : 'a list;  (* newest first *)
+  mutable size : int;
+}
+
+let create ?(size = 8) () = { senders = Hashtbl.create size; items = []; size = 0 }
+let mem t ~sender = Hashtbl.mem t.senders sender
+
+let add t ~sender vote =
+  if Hashtbl.mem t.senders sender then false
+  else begin
+    Hashtbl.replace t.senders sender ();
+    t.items <- vote :: t.items;
+    t.size <- t.size + 1;
+    true
+  end
+
+let count t = t.size
+let votes t = t.items
+let senders t = Hashtbl.fold (fun s () acc -> s :: acc) t.senders []
+
+let reset t =
+  Hashtbl.reset t.senders;
+  t.items <- [];
+  t.size <- 0

@@ -1,0 +1,25 @@
+(** A per-sender-deduplicated vote set: the building block of every quorum
+    certificate (Prepare, Commit, Checkpoint, ViewChange tallies).
+
+    The paper's principle P5 — compartments act only on certificates, never
+    on individual messages — requires each certificate to count every
+    sender at most once.  Before this module existed, every consumer
+    carried its own [List.exists ... sender] scan; this is the single
+    shared implementation. *)
+
+type 'a t
+
+val create : ?size:int -> unit -> 'a t
+
+val add : 'a t -> sender:int -> 'a -> bool
+(** Records a vote; returns [false] (and keeps the first vote) if this
+    sender already voted. *)
+
+val mem : 'a t -> sender:int -> bool
+val count : 'a t -> int
+
+val votes : 'a t -> 'a list
+(** Newest first — the order the ad-hoc lists this module replaced used. *)
+
+val senders : 'a t -> int list
+val reset : 'a t -> unit

@@ -1,0 +1,9 @@
+module Ids = Splitbft_types.Ids
+
+type 'a t = (Ids.client_id, 'a) Hashtbl.t
+
+let create ?(size = 64) () : _ t = Hashtbl.create size
+let set t client v = Hashtbl.replace t client v
+let find t client = Hashtbl.find_opt t client
+let mem t client = Hashtbl.mem t client
+let count t = Hashtbl.length t

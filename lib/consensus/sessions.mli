@@ -1,0 +1,13 @@
+(** Per-client session material (attested request-authentication keys in
+    Preparation, full crypto sessions in Execution).  A thin keyed store so
+    every compartment exposes the same probe surface. *)
+
+module Ids = Splitbft_types.Ids
+
+type 'a t
+
+val create : ?size:int -> unit -> 'a t
+val set : 'a t -> Ids.client_id -> 'a -> unit
+val find : 'a t -> Ids.client_id -> 'a option
+val mem : 'a t -> Ids.client_id -> bool
+val count : 'a t -> int

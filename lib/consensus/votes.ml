@@ -1,0 +1,37 @@
+type ('k, 'a) t = ('k, 'a Quorum.t) Hashtbl.t
+
+let create ?(size = 16) () : _ t = Hashtbl.create size
+
+let quorum t key =
+  match Hashtbl.find_opt t key with
+  | Some q -> q
+  | None ->
+    let q = Quorum.create () in
+    Hashtbl.replace t key q;
+    q
+
+let add t ~key ~sender vote = Quorum.add (quorum t key) ~sender vote
+let find t key = Hashtbl.find_opt t key
+
+let get t key =
+  match Hashtbl.find_opt t key with
+  | Some q -> Quorum.votes q
+  | None -> []
+
+let count t key =
+  match Hashtbl.find_opt t key with
+  | Some q -> Quorum.count q
+  | None -> 0
+
+let mem t ~key ~sender =
+  match Hashtbl.find_opt t key with
+  | Some q -> Quorum.mem q ~sender
+  | None -> false
+
+let remove t key = Hashtbl.remove t key
+
+let prune t ~keep =
+  Hashtbl.iter (fun key _ -> if not (keep key) then Hashtbl.remove t key) (Hashtbl.copy t)
+
+let reset t = Hashtbl.reset t
+let fold f t init = Hashtbl.fold f t init

@@ -1,0 +1,30 @@
+(** Keyed vote tallies: one {!Quorum.t} per sequence number (or view, or
+    USIG counter), created on demand.
+
+    Replaces the [(seq, message list) Hashtbl.t] + manual sender-dedup
+    pattern previously copied across the PBFT baseline, all three SplitBFT
+    compartments and MinBFT. *)
+
+type ('k, 'a) t
+
+val create : ?size:int -> unit -> ('k, 'a) t
+
+val add : ('k, 'a) t -> key:'k -> sender:int -> 'a -> bool
+(** [false] if this sender already voted for this key. *)
+
+val find : ('k, 'a) t -> 'k -> 'a Quorum.t option
+
+val get : ('k, 'a) t -> 'k -> 'a list
+(** The recorded votes, newest first; [[]] if none. *)
+
+val count : ('k, 'a) t -> 'k -> int
+val mem : ('k, 'a) t -> key:'k -> sender:int -> bool
+
+val remove : ('k, 'a) t -> 'k -> unit
+(** Drops one key's tally entirely. *)
+
+val prune : ('k, 'a) t -> keep:('k -> bool) -> unit
+(** Drops every key for which [keep] is [false] (checkpoint GC). *)
+
+val reset : ('k, 'a) t -> unit
+val fold : ('k -> 'a Quorum.t -> 'b -> 'b) -> ('k, 'a) t -> 'b -> 'b

@@ -3,17 +3,7 @@ module Message = Splitbft_types.Message
 module Validation = Splitbft_types.Validation
 module Enclave = Splitbft_tee.Enclave
 module Signature = Splitbft_crypto.Signature
-
-type ckpt = {
-  quorum : int;
-  mutable stable : Ids.seqno;
-  mutable proof : Message.checkpoint list;
-  received : (Ids.seqno, Message.checkpoint list) Hashtbl.t;
-}
-
-let create_ckpt ~quorum = { quorum; stable = 0; proof = []; received = Hashtbl.create 8 }
-let last_stable c = c.stable
-let stable_proof c = c.proof
+module Ckpt = Splitbft_consensus.Ckpt
 
 let charge_verify env count =
   Enclave.charge env
@@ -26,49 +16,10 @@ let sign_with env msg =
   charge_sign env 1;
   Signature.sign (Enclave.env_keypair env).Signature.secret msg
 
-let try_advance c seq ~on_stable =
-  match Hashtbl.find_opt c.received seq with
-  | None -> ()
-  | Some cks ->
-    if seq > c.stable && Validation.checkpoint_quorum_complete ~quorum:c.quorum cks
-    then begin
-      c.stable <- seq;
-      c.proof <- cks;
-      Hashtbl.iter
-        (fun s _ -> if s < seq then Hashtbl.remove c.received s)
-        (Hashtbl.copy c.received);
-      on_stable seq
-    end
-
-let store c (ck : Message.checkpoint) =
-  let existing = Option.value ~default:[] (Hashtbl.find_opt c.received ck.seq) in
-  if not (List.exists (fun (e : Message.checkpoint) -> e.sender = ck.sender) existing)
-  then Hashtbl.replace c.received ck.seq (ck :: existing)
-
-let record_own_checkpoint c ck =
-  store c ck;
-  (* Own checkpoints never complete a quorum alone; advancing happens when
-     peer checkpoints arrive through [on_checkpoint]. *)
-  ()
-
-let on_checkpoint env ~exec_lookup c (ck : Message.checkpoint) ~on_stable =
+let on_checkpoint env ~exec_lookup ckpt (ck : Message.checkpoint) ~on_stable =
   charge_verify env 1;
-  if ck.seq > c.stable && Validation.verify_checkpoint exec_lookup ck then begin
-    store c ck;
-    try_advance c ck.seq ~on_stable
-  end
-
-let viewchange_sig_count (vc : Message.viewchange) =
-  1
-  + List.length vc.vc_checkpoint_proof
-  + List.fold_left
-      (fun acc (p : Message.prepared_proof) -> acc + 1 + List.length p.proof_prepares)
-      0 vc.vc_prepared
-
-let newview_sig_count (nv : Message.newview) =
-  1
-  + List.fold_left (fun acc vc -> acc + viewchange_sig_count vc) 0 nv.nv_viewchanges
-  + List.length nv.nv_preprepares
+  if ck.seq > Ckpt.last_stable ckpt && Validation.verify_checkpoint exec_lookup ck then
+    Ckpt.observe ckpt ck ~on_stable
 
 let newview_shallow_ok env ~f ~n ~prep_lookup ~conf_lookup (nv : Message.newview) =
   (* Confirmation/Execution verify the NewView and ViewChange signatures
@@ -84,18 +35,3 @@ let newview_shallow_ok env ~f ~n ~prep_lookup ~conf_lookup (nv : Message.newview
        (fun (vc : Message.viewchange) ->
          vc.vc_new_view = nv.nv_view && Validation.verify_viewchange conf_lookup vc)
        nv.nv_viewchanges
-
-let apply_newview_checkpoint c (nv : Message.newview) =
-  List.iter
-    (fun (vc : Message.viewchange) -> List.iter (store c) vc.vc_checkpoint_proof)
-    nv.nv_viewchanges;
-  (* Try every sequence number the embedded proofs could stabilize. *)
-  let seqs =
-    List.sort_uniq compare
-      (List.concat_map
-         (fun (vc : Message.viewchange) ->
-           List.map (fun (ck : Message.checkpoint) -> ck.seq) vc.vc_checkpoint_proof)
-         nv.nv_viewchanges)
-  in
-  List.iter (fun seq -> try_advance c seq ~on_stable:(fun _ -> ())) seqs;
-  c.stable

@@ -1,31 +1,21 @@
-(** Logic duplicated in every compartment: the checkpoint handler (9), the
-    checkpoint/view part of NewView handling (7'), and metered signing/
-    verification helpers.
+(** Metered wrappers over the shared consensus core for logic every
+    compartment runs: the checkpoint handler (9), the checkpoint/view part
+    of NewView handling (7'), and signing/verification cost helpers.
 
     The paper deliberately duplicates these handlers across compartments so
     each runs independently (P2); here they share one implementation, but
-    each compartment owns its own {!ckpt} instance and view variable, so at
-    run time the state is fully replicated per enclave, as in the paper. *)
+    each compartment owns its own {!Splitbft_consensus.Ckpt.t} instance and
+    view variable, so at run time the state is fully replicated per
+    enclave, as in the paper. *)
 
 module Ids = Splitbft_types.Ids
 module Message = Splitbft_types.Message
 module Enclave = Splitbft_tee.Enclave
 
-(** {2 Per-compartment checkpoint state} *)
-
-type ckpt
-
-val create_ckpt : quorum:int -> ckpt
-val last_stable : ckpt -> Ids.seqno
-val stable_proof : ckpt -> Message.checkpoint list
-
-val record_own_checkpoint : ckpt -> Message.checkpoint -> unit
-(** The Execution compartment records the checkpoints it originates. *)
-
 val on_checkpoint :
   Enclave.env ->
   exec_lookup:Splitbft_types.Validation.key_lookup ->
-  ckpt ->
+  Splitbft_consensus.Ckpt.t ->
   Message.checkpoint ->
   on_stable:(Ids.seqno -> unit) ->
   unit
@@ -34,8 +24,6 @@ val on_checkpoint :
     the proving quorum and invoking [on_stable] so the compartment can
     garbage-collect its logs.  Checkpoints below the current stable mark
     are discarded even if they arrive later. *)
-
-(** {2 NewView handling shared by Confirmation and Execution (7')} *)
 
 val newview_shallow_ok :
   Enclave.env ->
@@ -51,19 +39,12 @@ val newview_shallow_ok :
     distinct ViewChange senders — but {e not} the embedded Prepares, per
     §4. *)
 
-val apply_newview_checkpoint : ckpt -> Message.newview -> Ids.seqno
-(** Adopts the highest checkpoint certificate proven inside the NewView's
-    ViewChanges; returns the (possibly unchanged) stable sequence
-    number. *)
-
 (** {2 Metered crypto helpers} *)
 
 val charge_verify : Enclave.env -> int -> unit
 (** Charge for [count] signature verifications. *)
 
 val charge_sign : Enclave.env -> int -> unit
-val viewchange_sig_count : Message.viewchange -> int
-val newview_sig_count : Message.newview -> int
 
 val sign_with : Enclave.env -> string -> string
 (** Sign with the enclave's own key (charges one signature). *)

@@ -2,6 +2,9 @@ module Ids = Splitbft_types.Ids
 module Message = Splitbft_types.Message
 module Validation = Splitbft_types.Validation
 module Enclave = Splitbft_tee.Enclave
+module Log = Splitbft_consensus.Log
+module Votes = Splitbft_consensus.Votes
+module Ckpt = Splitbft_consensus.Ckpt
 
 type byz = Conf_honest | Conf_promiscuous
 
@@ -11,17 +14,21 @@ type probe = {
   commits_sent : unit -> int;
 }
 
+type slot = {
+  pd : Message.preprepare_digest;  (* accepted proposal (in_conf) *)
+  mutable committed : bool;
+}
+
 type state = {
   cfg : Config.t;
   prep_lookup : Validation.key_lookup;
   conf_lookup : Validation.key_lookup;
   exec_lookup : Validation.key_lookup;
   mutable view : Ids.view;
-  proposals : (Ids.seqno, Message.preprepare_digest) Hashtbl.t;  (* in_conf *)
-  prepares : (Ids.seqno, Message.prepare list) Hashtbl.t;
-  mutable prepared : (Ids.seqno * Message.prepared_proof) list;  (* for ViewChange *)
-  committed : (Ids.seqno, unit) Hashtbl.t;
-  ckpt : Common.ckpt;
+  proposals : slot Log.t;
+  prepares : (Ids.seqno, Message.prepare) Votes.t;
+  prepared : Message.prepared_proof Log.t;  (* for ViewChange; survives suspicion *)
+  ckpt : Ckpt.t;
   mutable commit_count : int;
 }
 
@@ -31,33 +38,29 @@ let create_state (cfg : Config.t) =
     conf_lookup = Config.conf_public ~n:cfg.n;
     exec_lookup = Config.exec_public ~n:cfg.n;
     view = 0;
-    proposals = Hashtbl.create 128;
-    prepares = Hashtbl.create 128;
-    prepared = [];
-    committed = Hashtbl.create 128;
-    ckpt = Common.create_ckpt ~quorum:(Config.quorum cfg);
+    proposals = Log.create ~window:cfg.watermark_window ();
+    prepares = Votes.create ~size:128 ();
+    prepared = Log.create ~window:cfg.watermark_window ();
+    ckpt = Ckpt.create ~quorum:(Config.quorum cfg);
     commit_count = 0 }
 
-let in_window st seq =
-  let stable = Common.last_stable st.ckpt in
-  seq > stable && seq <= stable + st.cfg.watermark_window
+let in_window st seq = Log.in_window st.proposals seq
 
 (* Handler (3): a complete prepare certificate yields a Commit. *)
 let try_commit env st seq =
-  match Hashtbl.find_opt st.proposals seq with
+  match Log.find st.proposals seq with
   | None -> ()
-  | Some pd ->
-    let prepares = Option.value ~default:[] (Hashtbl.find_opt st.prepares seq) in
+  | Some s ->
+    let prepares = Votes.get st.prepares seq in
     if
-      (not (Hashtbl.mem st.committed seq))
-      && Validation.prepare_cert_complete ~f:(Config.f st.cfg) pd prepares
+      (not s.committed)
+      && Validation.prepare_cert_complete ~f:(Config.f st.cfg) s.pd prepares
     then begin
-      Hashtbl.replace st.committed seq ();
+      s.committed <- true;
       st.commit_count <- st.commit_count + 1;
-      st.prepared <-
-        (seq, { Message.proof_preprepare = pd; proof_prepares = prepares }) :: st.prepared;
+      Log.set st.prepared seq { Message.proof_preprepare = s.pd; proof_prepares = prepares };
       let c =
-        { Message.view = st.view; seq; digest = pd.pd_digest; sender = st.cfg.id; c_sig = "" }
+        { Message.view = st.view; seq; digest = s.pd.pd_digest; sender = st.cfg.id; c_sig = "" }
       in
       let c = { c with c_sig = Common.sign_with env (Message.commit_signing_bytes c) } in
       Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Commit c)))
@@ -83,10 +86,10 @@ let on_proposal env st ~byz (pd : Message.preprepare_digest) =
     pd.pd_view = st.view
     && pd.pd_sender = Config.primary_of_view st.cfg st.view
     && in_window st pd.pd_seq
-    && (not (Hashtbl.mem st.proposals pd.pd_seq))
+    && (not (Log.mem st.proposals pd.pd_seq))
     && Validation.verify_preprepare_digest st.prep_lookup pd
   then begin
-    Hashtbl.replace st.proposals pd.pd_seq pd;
+    Log.set st.proposals pd.pd_seq { pd; committed = false };
     try_commit env st pd.pd_seq
   end
 
@@ -94,23 +97,15 @@ let on_prepare env st (p : Message.prepare) =
   Common.charge_verify env 1;
   if p.view = st.view && in_window st p.seq && Validation.verify_prepare st.prep_lookup p
   then begin
-    let existing = Option.value ~default:[] (Hashtbl.find_opt st.prepares p.seq) in
-    if not (List.exists (fun (q : Message.prepare) -> q.sender = p.sender) existing)
-    then begin
-      Hashtbl.replace st.prepares p.seq (p :: existing);
-      try_commit env st p.seq
-    end
+    if Votes.add st.prepares ~key:p.seq ~sender:p.sender p then try_commit env st p.seq
   end
 
 let gc st stable =
-  let drop table =
-    Hashtbl.iter (fun seq _ -> if seq <= stable then Hashtbl.remove table seq)
-      (Hashtbl.copy table)
-  in
-  drop st.proposals;
-  drop st.prepares;
-  drop st.committed;
-  st.prepared <- List.filter (fun (seq, _) -> seq > stable) st.prepared
+  Log.advance_low_mark st.proposals stable;
+  Log.prune st.proposals ~upto:stable;
+  Votes.prune st.prepares ~keep:(fun seq -> seq > stable);
+  Log.advance_low_mark st.prepared stable;
+  Log.prune st.prepared ~upto:stable
 
 (* Handler (5): primary suspicion from the environment's request timer. *)
 let on_suspect env st suspected_view =
@@ -118,19 +113,19 @@ let on_suspect env st suspected_view =
     let new_view = st.view + 1 in
     let vc =
       { Message.vc_new_view = new_view;
-        vc_last_stable = Common.last_stable st.ckpt;
-        vc_checkpoint_proof = Common.stable_proof st.ckpt;
-        vc_prepared = List.map snd st.prepared;
+        vc_last_stable = Ckpt.last_stable st.ckpt;
+        vc_checkpoint_proof = Ckpt.proof st.ckpt;
+        vc_prepared = Log.fold (fun _ proof acc -> proof :: acc) st.prepared [];
         vc_sender = st.cfg.id;
         vc_sig = "" }
     in
     let vc = { vc with vc_sig = Common.sign_with env (Message.viewchange_signing_bytes vc) } in
     (* Advancing the view stops Prepare processing and Commits in the old
-       view from this point on. *)
+       view from this point on.  Prepared certificates are kept: a
+       cascading view change must still be able to carry them. *)
     st.view <- new_view;
-    Hashtbl.reset st.proposals;
-    Hashtbl.reset st.prepares;
-    Hashtbl.reset st.committed;
+    Log.reset st.proposals;
+    Votes.reset st.prepares;
     Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Viewchange vc)));
     Enclave.emit env (Wire.encode_output (Wire.Out_entered_view new_view))
   end
@@ -143,13 +138,12 @@ let on_newview env st (nv : Message.newview) =
     && Common.newview_shallow_ok env ~f:(Config.f st.cfg) ~n:st.cfg.n
          ~prep_lookup:st.prep_lookup ~conf_lookup:st.conf_lookup nv
   then begin
-    ignore (Common.apply_newview_checkpoint st.ckpt nv);
+    ignore (Ckpt.absorb_newview st.ckpt nv);
     st.view <- nv.nv_view;
-    Hashtbl.reset st.proposals;
-    Hashtbl.reset st.prepares;
-    Hashtbl.reset st.committed;
-    st.prepared <- [];
-    gc st (Common.last_stable st.ckpt);
+    Log.reset st.proposals;
+    Votes.reset st.prepares;
+    Log.reset st.prepared;
+    gc st (Ckpt.last_stable st.ckpt);
     Enclave.emit env (Wire.encode_output (Wire.Out_entered_view st.view))
   end
 
@@ -186,7 +180,7 @@ let make ?(byz = Conf_honest) (cfg : Config.t) =
   in
   let probe =
     { view = (fun () -> !current.view);
-      last_stable = (fun () -> Common.last_stable !current.ckpt);
+      last_stable = (fun () -> Ckpt.last_stable !current.ckpt);
       commits_sent = (fun () -> !current.commit_count) }
   in
   (program, probe)

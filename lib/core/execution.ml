@@ -8,6 +8,11 @@ module Enclave = Splitbft_tee.Enclave
 module Box = Splitbft_crypto.Box
 module Hmac = Splitbft_crypto.Hmac
 module State_machine = Splitbft_app.State_machine
+module Log = Splitbft_consensus.Log
+module Votes = Splitbft_consensus.Votes
+module Ckpt = Splitbft_consensus.Ckpt
+module Client_table = Splitbft_consensus.Client_table
+module Sessions = Splitbft_consensus.Sessions
 
 type byz = Exec_honest | Exec_leak | Exec_corrupt
 
@@ -21,8 +26,6 @@ type probe = {
   sessions : unit -> int;
 }
 
-module Client_dedup = Splitbft_types.Client_dedup
-
 type state = {
   cfg : Config.t;
   prep_lookup : Validation.key_lookup;
@@ -32,13 +35,13 @@ type state = {
   app : State_machine.t;
   mutable view : Ids.view;
   batches : (string, Message.request list) Hashtbl.t;  (* by digest *)
-  commits : (Ids.seqno, Message.commit list) Hashtbl.t;  (* current view *)
-  decided : (Ids.seqno, string) Hashtbl.t;  (* seq -> committed digest *)
+  commits : (Ids.seqno, Message.commit) Votes.t;  (* current view *)
+  decided : string Log.t;  (* seq -> committed digest *)
   mutable last_executed : Ids.seqno;
   executed_log : (Ids.seqno, string) Hashtbl.t;
-  clients : (Ids.client_id, Client_dedup.t) Hashtbl.t;
-  sessions : (Ids.client_id, Session.keys) Hashtbl.t;
-  ckpt : Common.ckpt;
+  clients : Client_table.t;
+  sessions : Session.keys Sessions.t;
+  ckpt : Ckpt.t;
   fetching : (string, unit) Hashtbl.t;  (* batch digests requested from peers *)
   mutable executed_total : int;
 }
@@ -52,27 +55,17 @@ let create_state (cfg : Config.t) ~app =
     app = app ();
     view = 0;
     batches = Hashtbl.create 256;
-    commits = Hashtbl.create 128;
-    decided = Hashtbl.create 128;
+    commits = Votes.create ~size:128 ();
+    decided = Log.create ~window:cfg.watermark_window ();
     last_executed = 0;
     executed_log = Hashtbl.create 1024;
-    clients = Hashtbl.create 64;
-    sessions = Hashtbl.create 64;
-    ckpt = Common.create_ckpt ~quorum:(Config.quorum cfg);
+    clients = Client_table.create ();
+    sessions = Sessions.create ();
+    ckpt = Ckpt.create ~quorum:(Config.quorum cfg);
     fetching = Hashtbl.create 8;
     executed_total = 0 }
 
-let in_window st seq =
-  let stable = Common.last_stable st.ckpt in
-  seq > stable && seq <= stable + st.cfg.watermark_window
-
-let client_entry st client =
-  match Hashtbl.find_opt st.clients client with
-  | Some e -> e
-  | None ->
-    let e = Client_dedup.create () in
-    Hashtbl.replace st.clients client e;
-    e
+let in_window st seq = Log.in_window st.decided seq
 
 (* Handler (8): originate a Checkpoint every interval. *)
 let send_checkpoint_if_due env st seq =
@@ -84,32 +77,30 @@ let send_checkpoint_if_due env st seq =
         ck_sig = "" }
     in
     let ck = { ck with ck_sig = Common.sign_with env (Message.checkpoint_signing_bytes ck) } in
-    Common.record_own_checkpoint st.ckpt ck;
+    (* Own checkpoints never complete a quorum alone; advancing happens
+       when peer checkpoints arrive through [Common.on_checkpoint]. *)
+    Ckpt.store st.ckpt ck;
     Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Checkpoint ck)))
   end
 
 let gc st stable =
-  Hashtbl.iter
-    (fun seq _ -> if seq <= stable then Hashtbl.remove st.commits seq)
-    (Hashtbl.copy st.commits);
-  Hashtbl.iter
-    (fun seq _ -> if seq <= stable then Hashtbl.remove st.decided seq)
-    (Hashtbl.copy st.decided)
+  Votes.prune st.commits ~keep:(fun seq -> seq > stable);
+  Log.advance_low_mark st.decided stable;
+  Log.prune st.decided ~upto:stable
 
 let execute_request env st ~byz (req : Message.request) =
   let c = Enclave.cost_model env in
   Enclave.charge env (c.decrypt_request_us +. c.exec_op_us +. c.reply_auth_us);
-  let entry = client_entry st req.client in
-  if Client_dedup.executed entry req.timestamp then
+  if Client_table.executed st.clients req.client req.timestamp then
     (* Duplicate (re-ordered after a view change, or a retransmission that
        raced execution): do not re-execute; retransmit the cached reply. *)
-    (match Client_dedup.cached_reply entry req.timestamp with
+    (match Client_table.cached_reply st.clients req.client req.timestamp with
     | Some reply ->
       Enclave.emit env
         (Wire.encode_output (Wire.Out_send (Addr.client req.client, Message.Reply reply)))
     | None -> ())
   else begin
-    let session = Hashtbl.find_opt st.sessions req.client in
+    let session = Sessions.find st.sessions req.client in
     let plaintext_op =
       match session with
       | None -> None
@@ -137,7 +128,7 @@ let execute_request env st ~byz (req : Message.request) =
     in
     st.executed_total <- st.executed_total + 1;
     match session with
-    | None -> Client_dedup.record entry req.timestamp None
+    | None -> Client_table.record st.clients req.client req.timestamp None
     | Some keys ->
       let encrypted =
         Session.encrypt_result keys ~client:req.client ~timestamp:req.timestamp
@@ -152,7 +143,7 @@ let execute_request env st ~byz (req : Message.request) =
           r_auth = "" }
       in
       let reply = Session.authenticate_reply keys reply in
-      Client_dedup.record entry req.timestamp (Some reply);
+      Client_table.record st.clients req.client req.timestamp (Some reply);
       Enclave.emit env
         (Wire.encode_output (Wire.Out_send (Addr.client req.client, Message.Reply reply)))
   end
@@ -171,7 +162,7 @@ let persist_effects env st =
 
 let rec try_execute env st ~byz =
   let seq = st.last_executed + 1 in
-  match Hashtbl.find_opt st.decided seq with
+  match Log.find st.decided seq with
   | None -> ()
   | Some digest ->
     let batch =
@@ -212,19 +203,16 @@ let on_commit env st ~byz (c : Message.commit) =
   Common.charge_verify env 1;
   if
     c.view = st.view && in_window st c.seq
-    && (not (Hashtbl.mem st.decided c.seq))
+    && (not (Log.mem st.decided c.seq))
     && Validation.verify_commit st.conf_lookup c
   then begin
-    let existing = Option.value ~default:[] (Hashtbl.find_opt st.commits c.seq) in
-    if not (List.exists (fun (q : Message.commit) -> q.sender = c.sender) existing)
-    then begin
-      let commits = c :: existing in
-      Hashtbl.replace st.commits c.seq commits;
+    if Votes.add st.commits ~key:c.seq ~sender:c.sender c then begin
+      let commits = Votes.get st.commits c.seq in
       if
         Validation.commit_quorum_complete ~quorum:(Config.quorum st.cfg) ~view:st.view
           ~seq:c.seq ~digest:c.digest commits
       then begin
-        Hashtbl.replace st.decided c.seq c.digest;
+        Log.set st.decided c.seq c.digest;
         try_execute env st ~byz
       end
     end
@@ -237,10 +225,10 @@ let on_newview env st (nv : Message.newview) =
     && Common.newview_shallow_ok env ~f:(Config.f st.cfg) ~n:st.cfg.n
          ~prep_lookup:st.prep_lookup ~conf_lookup:st.conf_lookup nv
   then begin
-    ignore (Common.apply_newview_checkpoint st.ckpt nv);
+    ignore (Ckpt.absorb_newview st.ckpt nv);
     st.view <- nv.nv_view;
-    Hashtbl.reset st.commits;
-    gc st (Common.last_stable st.ckpt);
+    Votes.reset st.commits;
+    gc st (Ckpt.last_stable st.ckpt);
     Enclave.emit env (Wire.encode_output (Wire.Out_entered_view st.view))
   end
 
@@ -266,7 +254,7 @@ let on_session_key env st (sk : Message.session_key) =
       match Session.decode_provision provision with
       | Error _ -> ()
       | Ok keys when String.length keys.Session.enc > 0 ->
-        Hashtbl.replace st.sessions sk.sk_client keys;
+        Sessions.set st.sessions sk.sk_client keys;
         let sa = { Message.sa_replica = st.cfg.id; sa_client = sk.sk_client; sa_auth = "" } in
         let sa =
           { sa with
@@ -337,7 +325,7 @@ let make ?(byz = Exec_honest) (cfg : Config.t) ~app =
           Hashtbl.fold (fun seq d acc -> (seq, d) :: acc) !current.executed_log []
           |> List.sort compare);
       app_digest = (fun () -> State_machine.digest !current.app);
-      last_stable = (fun () -> Common.last_stable !current.ckpt);
-      sessions = (fun () -> Hashtbl.length !current.sessions) }
+      last_stable = (fun () -> Ckpt.last_stable !current.ckpt);
+      sessions = (fun () -> Sessions.count !current.sessions) }
   in
   (program, probe)

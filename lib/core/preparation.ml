@@ -1,7 +1,6 @@
 module Ids = Splitbft_types.Ids
 module Message = Splitbft_types.Message
 module Validation = Splitbft_types.Validation
-module Newview_logic = Splitbft_types.Newview_logic
 module Session = Splitbft_types.Session
 module Keys = Splitbft_types.Keys
 module Addr = Splitbft_types.Addr
@@ -9,6 +8,13 @@ module Enclave = Splitbft_tee.Enclave
 module Signature = Splitbft_crypto.Signature
 module Box = Splitbft_crypto.Box
 module Hmac = Splitbft_crypto.Hmac
+module Log = Splitbft_consensus.Log
+module Votes = Splitbft_consensus.Votes
+module Ckpt = Splitbft_consensus.Ckpt
+module Client_table = Splitbft_consensus.Client_table
+module Sessions = Splitbft_consensus.Sessions
+module Proofs = Splitbft_consensus.Proofs
+module Newview_logic = Splitbft_consensus.Newview
 
 type byz = Prep_honest | Prep_equivocate
 
@@ -28,12 +34,12 @@ type state = {
   mutable view : Ids.view;
   mutable next_seq : Ids.seqno;
   (* in_prep: own and accepted proposals plus the duplicated prepare log *)
-  preprepares : (Ids.seqno, Message.preprepare) Hashtbl.t;
-  prepares : (Ids.seqno, Message.prepare list) Hashtbl.t;
-  last_assigned : (Ids.client_id, int64) Hashtbl.t;
-  sessions : (Ids.client_id, string) Hashtbl.t;  (* client auth keys *)
-  viewchanges : (Ids.view, Message.viewchange list) Hashtbl.t;
-  ckpt : Common.ckpt;
+  preprepares : Message.preprepare Log.t;
+  prepares : (Ids.seqno, Message.prepare) Votes.t;
+  assigned : Client_table.t;  (* client timestamps already given a seqno *)
+  sessions : string Sessions.t;  (* client auth keys *)
+  viewchanges : (Ids.view, Message.viewchange) Votes.t;
+  ckpt : Ckpt.t;
 }
 
 let create_state (cfg : Config.t) =
@@ -44,18 +50,15 @@ let create_state (cfg : Config.t) =
     box = Box.derive ~seed:(Keys.enclave_box_seed cfg.id Ids.Preparation);
     view = 0;
     next_seq = 1;
-    preprepares = Hashtbl.create 128;
-    prepares = Hashtbl.create 128;
-    last_assigned = Hashtbl.create 64;
-    sessions = Hashtbl.create 64;
-    viewchanges = Hashtbl.create 4;
-    ckpt = Common.create_ckpt ~quorum:(Config.quorum cfg) }
+    preprepares = Log.create ~window:cfg.watermark_window ();
+    prepares = Votes.create ~size:128 ();
+    assigned = Client_table.create ();
+    sessions = Sessions.create ();
+    viewchanges = Votes.create ~size:4 ();
+    ckpt = Ckpt.create ~quorum:(Config.quorum cfg) }
 
 let is_primary st = Config.primary_of_view st.cfg st.view = st.cfg.id
-
-let in_window st seq =
-  let stable = Common.last_stable st.ckpt in
-  seq > stable && seq <= stable + st.cfg.watermark_window
+let in_window st seq = Log.in_window st.preprepares seq
 
 let charge_client_auth env st count =
   Enclave.charge env
@@ -63,7 +66,7 @@ let charge_client_auth env st count =
   ignore st
 
 let request_ok st (r : Message.request) =
-  match Hashtbl.find_opt st.sessions r.client with
+  match Sessions.find st.sessions r.client with
   | None -> false
   | Some auth_key ->
     Hmac.verify ~key:auth_key ~msg:(Message.request_auth_bytes r) ~tag:r.auth
@@ -79,7 +82,7 @@ let equivocate env st seq batch =
   (* The conflicting proposal is the (valid) empty batch, so honest
      receivers cannot reject it on client-authentication grounds. *)
   let pp_b = sign_pp env { Message.view = st.view; seq; batch = []; sender = st.cfg.id; pp_sig = "" } in
-  Hashtbl.replace st.preprepares seq pp_a;
+  Log.set st.preprepares seq pp_a;
   for j = 0 to st.cfg.n - 1 do
     let pp = if j mod 2 = 1 then pp_a else pp_b in
     Enclave.emit env
@@ -91,16 +94,13 @@ let on_batch env st ~byz reqs =
   if is_primary st && in_window st st.next_seq then begin
     charge_client_auth env st (List.length reqs);
     let fresh (r : Message.request) =
-      request_ok st r
-      &&
-      let last = Option.value ~default:0L (Hashtbl.find_opt st.last_assigned r.client) in
-      Int64.compare r.timestamp last > 0
+      request_ok st r && not (Client_table.already_assigned st.assigned r.client r.timestamp)
     in
     let batch = List.filter fresh reqs in
     if batch <> [] then begin
       List.iter
         (fun (r : Message.request) ->
-          Hashtbl.replace st.last_assigned r.client r.timestamp)
+          Client_table.note_assigned st.assigned r.client r.timestamp)
         batch;
       let seq = st.next_seq in
       st.next_seq <- seq + 1;
@@ -110,7 +110,7 @@ let on_batch env st ~byz reqs =
         let pp =
           sign_pp env { Message.view = st.view; seq; batch; sender = st.cfg.id; pp_sig = "" }
         in
-        Hashtbl.replace st.preprepares seq pp;
+        Log.set st.preprepares seq pp;
         Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Preprepare pp)))
     end
   end
@@ -125,18 +125,17 @@ let on_preprepare env st (pp : Message.preprepare) =
     && pp.sender = Config.primary_of_view st.cfg st.view
     && pp.sender <> st.cfg.id
     && in_window st pp.seq
-    && (not (Hashtbl.mem st.preprepares pp.seq))
+    && (not (Log.mem st.preprepares pp.seq))
     && Validation.verify_preprepare st.prep_lookup pp
   then begin
     (* Authentication of the batched client requests is charged above; an
        individual corrupted operation is still ordered and later no-oped by
        Execution (§4), so it does not invalidate the proposal. *)
-    Hashtbl.replace st.preprepares pp.seq pp;
+    Log.set st.preprepares pp.seq pp;
     let digest = Message.digest_of_batch pp.batch in
     let p = { Message.view = st.view; seq = pp.seq; digest; sender = st.cfg.id; p_sig = "" } in
     let p = { p with p_sig = Common.sign_with env (Message.prepare_signing_bytes p) } in
-    let existing = Option.value ~default:[] (Hashtbl.find_opt st.prepares pp.seq) in
-    Hashtbl.replace st.prepares pp.seq (p :: existing);
+    ignore (Votes.add st.prepares ~key:pp.seq ~sender:st.cfg.id p);
     Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Prepare p)))
   end
 
@@ -144,37 +143,30 @@ let on_preprepare env st (pp : Message.preprepare) =
 let on_prepare env st (p : Message.prepare) =
   Common.charge_verify env 1;
   if p.view = st.view && in_window st p.seq && Validation.verify_prepare st.prep_lookup p
-  then begin
-    let existing = Option.value ~default:[] (Hashtbl.find_opt st.prepares p.seq) in
-    if not (List.exists (fun (q : Message.prepare) -> q.sender = p.sender) existing) then
-      Hashtbl.replace st.prepares p.seq (p :: existing)
-  end
+  then ignore (Votes.add st.prepares ~key:p.seq ~sender:p.sender p)
 
 let gc st stable =
-  Hashtbl.iter
-    (fun seq _ -> if seq <= stable then Hashtbl.remove st.preprepares seq)
-    (Hashtbl.copy st.preprepares);
-  Hashtbl.iter
-    (fun seq _ -> if seq <= stable then Hashtbl.remove st.prepares seq)
-    (Hashtbl.copy st.prepares);
+  Log.advance_low_mark st.preprepares stable;
+  Log.prune st.preprepares ~upto:stable;
+  Votes.prune st.prepares ~keep:(fun seq -> seq > stable);
   if st.next_seq <= stable then st.next_seq <- stable + 1
 
 let enter_view env st ~view ~max_s =
   st.view <- view;
-  st.next_seq <- max max_s (Common.last_stable st.ckpt) + 1;
-  Hashtbl.reset st.preprepares;
-  Hashtbl.reset st.prepares;
+  st.next_seq <- max max_s (Ckpt.last_stable st.ckpt) + 1;
+  Log.reset st.preprepares;
+  Votes.reset st.prepares;
   (* Requests assigned in the dead view may have been lost with it; allow
      client retransmissions to be ordered again (Execution deduplicates by
      timestamp, so re-ordering cannot double-execute). *)
-  Hashtbl.reset st.last_assigned;
+  Client_table.reset_assignments st.assigned;
   Enclave.emit env (Wire.encode_output (Wire.Out_entered_view view))
 
 (* Handler (6): quorum of ViewChanges — the new primary emits a NewView. *)
 let maybe_send_newview env st target =
   if Config.primary_of_view st.cfg target = st.cfg.id && target >= st.view then begin
-    match Hashtbl.find_opt st.viewchanges target with
-    | Some vcs when List.length vcs >= Config.quorum st.cfg ->
+    let vcs = Votes.get st.viewchanges target in
+    if List.length vcs >= Config.quorum st.cfg then begin
       let min_s, max_s, pds =
         Newview_logic.compute ~view:target ~sender:st.cfg.id vcs
       in
@@ -199,34 +191,24 @@ let maybe_send_newview env st target =
       ignore min_s;
       Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Newview nv)));
       enter_view env st ~view:target ~max_s
-    | Some _ | None -> ()
+    end
   end
 
 let on_viewchange env st (vc : Message.viewchange) =
-  Common.charge_verify env (Common.viewchange_sig_count vc);
+  Common.charge_verify env (Proofs.viewchange_sig_count vc);
   if
     vc.vc_new_view >= st.view
     && Validation.verify_viewchange_deep ~f:(Config.f st.cfg) ~vc_lookup:st.conf_lookup
          ~ckpt_lookup:st.exec_lookup ~proof_lookup:st.prep_lookup vc
   then begin
-    let existing =
-      Option.value ~default:[] (Hashtbl.find_opt st.viewchanges vc.vc_new_view)
-    in
-    if
-      not
-        (List.exists
-           (fun (v : Message.viewchange) -> v.vc_sender = vc.vc_sender)
-           existing)
-    then begin
-      Hashtbl.replace st.viewchanges vc.vc_new_view (vc :: existing);
+    if Votes.add st.viewchanges ~key:vc.vc_new_view ~sender:vc.vc_sender vc then
       maybe_send_newview env st vc.vc_new_view
-    end
   end
 
 (* Handler (7): full NewView validation — including recomputing the
    re-issued PrePrepares, the logic the paper notes is repeated here. *)
 let on_newview env st (nv : Message.newview) =
-  Common.charge_verify env (Common.newview_sig_count nv);
+  Common.charge_verify env (Proofs.newview_sig_count nv);
   let f = Config.f st.cfg in
   if
     nv.nv_view >= st.view
@@ -243,9 +225,9 @@ let on_newview env st (nv : Message.newview) =
       Newview_logic.compute ~view:nv.nv_view ~sender:nv.nv_sender nv.nv_viewchanges
     in
     if Newview_logic.matches ~expected ~actual:nv.nv_preprepares then begin
-      ignore (Common.apply_newview_checkpoint st.ckpt nv);
+      ignore (Ckpt.absorb_newview st.ckpt nv);
       enter_view env st ~view:nv.nv_view ~max_s;
-      gc st (Common.last_stable st.ckpt);
+      gc st (Ckpt.last_stable st.ckpt);
       (* Re-issue Prepares for the NewView's proposals (backup role). *)
       Common.charge_sign env (List.length nv.nv_preprepares);
       List.iter
@@ -263,8 +245,7 @@ let on_newview env st (nv : Message.newview) =
                 Signature.sign (Enclave.env_keypair env).Signature.secret
                   (Message.prepare_signing_bytes p) }
           in
-          let existing = Option.value ~default:[] (Hashtbl.find_opt st.prepares p.seq) in
-          Hashtbl.replace st.prepares p.seq (p :: existing);
+          ignore (Votes.add st.prepares ~key:p.seq ~sender:st.cfg.id p);
           Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Prepare p))))
         nv.nv_preprepares
     end
@@ -293,7 +274,7 @@ let on_session_key env st (sk : Message.session_key) =
     | Ok provision -> (
       match Session.decode_provision provision with
       | Error _ -> ()
-      | Ok keys -> Hashtbl.replace st.sessions sk.sk_client keys.Session.auth)
+      | Ok keys -> Sessions.set st.sessions sk.sk_client keys.Session.auth)
   end
 
 let handle env st ~byz (input : Wire.input) =
@@ -329,7 +310,7 @@ let make ?(byz = Prep_honest) (cfg : Config.t) =
   let probe =
     { view = (fun () -> !current.view);
       next_seq = (fun () -> !current.next_seq);
-      last_stable = (fun () -> Common.last_stable !current.ckpt);
-      sessions = (fun () -> Hashtbl.length !current.sessions) }
+      last_stable = (fun () -> Ckpt.last_stable !current.ckpt);
+      sessions = (fun () -> Sessions.count !current.sessions) }
   in
   (program, probe)

@@ -20,10 +20,10 @@ let encode_input input =
       match input with
       | In_net msg ->
         W.u8 w 1;
-        W.bytes w (Message.encode msg)
+        W.nested w Message.encode_into msg
       | In_batch reqs ->
         W.u8 w 2;
-        W.list w (fun w r -> W.bytes w (Message.encode_request r)) reqs
+        W.list w (fun w r -> W.nested w Message.encode_request_into r) reqs
       | In_suspect view ->
         W.u8 w 3;
         W.varint w view)
@@ -56,10 +56,10 @@ let encode_output output =
       | Out_send (dst, msg) ->
         W.u8 w 1;
         W.varint w dst;
-        W.bytes w (Message.encode msg)
+        W.nested w Message.encode_into msg
       | Out_broadcast msg ->
         W.u8 w 2;
-        W.bytes w (Message.encode msg)
+        W.nested w Message.encode_into msg
       | Out_persist { tag; data } ->
         W.u8 w 3;
         W.bytes w tag;

@@ -9,6 +9,9 @@ module Keys = Splitbft_types.Keys
 module Message = Splitbft_types.Message
 module Hmac = Splitbft_crypto.Hmac
 module State_machine = Splitbft_app.State_machine
+module Quorum = Splitbft_consensus.Quorum
+module Votes = Splitbft_consensus.Votes
+module Client_table = Splitbft_consensus.Client_table
 
 let protocol_name = "minbft"
 
@@ -45,11 +48,9 @@ type entry = {
   e_counter : int64;
   e_digest : string;
   e_batch : Message.request list;
-  mutable e_attesters : int list;  (* primary + commit senders *)
+  e_attesters : unit Quorum.t;  (* primary + commit senders *)
   mutable e_executed : bool;
 }
-
-module Client_dedup = Splitbft_types.Client_dedup
 
 type t = {
   cfg : config;
@@ -65,19 +66,19 @@ type t = {
   holdback : (int * int64, Mmsg.t) Hashtbl.t;
   mutable order : entry list;  (* newest first; counter order when reversed *)
   by_counter : (int64, entry) Hashtbl.t;
-  pending_commits : (int64, Mmsg.commit list) Hashtbl.t;
+  pending_commits : (int64, Mmsg.commit) Votes.t;
   mutable executed_upto : int;  (* executed prefix length of (rev order) *)
   mutable last_exec_counter : int64;
   mutable exec_index : int;  (* global execution position, across views *)
   executed_digests : (int64 * string) list ref;  (* (exec index, digest) *)
-  checkpoints : (int64, Mmsg.checkpoint list) Hashtbl.t;
-  clients : (Ids.client_id, Client_dedup.t) Hashtbl.t;
+  checkpoints : (int64, Mmsg.checkpoint) Votes.t;
+  clients : Client_table.t;
   mutable pending : Message.request list;
   mutable pending_count : int;
   batch_timer : Timer.t;
   awaiting : (Ids.client_id * int64, unit) Hashtbl.t;
   suspect_timer : Timer.t;
-  viewchanges : (Ids.view, int list) Hashtbl.t;
+  viewchanges : (Ids.view, unit) Votes.t;
   mutable crashed : bool;
   mutable byz : byzantine_mode;
   mutable executed_total : int;
@@ -109,14 +110,6 @@ let send_reply t (reply : Message.reply) =
     ~cost:(t.cfg.cost.reply_auth_us +. payload_cost t payload)
     (fun () -> Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst:(Addr.client reply.client) payload)
 
-let client_entry t client =
-  match Hashtbl.find_opt t.clients client with
-  | Some e -> e
-  | None ->
-    let e = Client_dedup.create () in
-    Hashtbl.replace t.clients client e;
-    e
-
 (* Re-armed on progress so a loaded-but-progressing replica never
    suspects its primary. *)
 let refresh_suspect_timer t =
@@ -145,7 +138,7 @@ let rec try_execute t =
     | [] -> ()
     | (e : entry) :: rest ->
       if i < t.executed_upto then loop (i + 1) rest
-      else if (not e.e_executed) && List.length (List.sort_uniq compare e.e_attesters) >= t.f + 1
+      else if (not e.e_executed) && Quorum.count e.e_attesters >= t.f + 1
       then begin
         e.e_executed <- true;
         t.executed_upto <- i + 1;
@@ -156,9 +149,8 @@ let rec try_execute t =
         let replies = ref [] in
         List.iter
           (fun (req : Message.request) ->
-            let entry = client_entry t req.client in
             Hashtbl.remove t.awaiting (req.client, req.timestamp);
-            if not (Client_dedup.executed entry req.timestamp) then begin
+            if not (Client_table.executed t.clients req.client req.timestamp) then begin
               let result =
                 match t.byz with
                 | Corrupt_execution -> "CORRUPT"
@@ -166,7 +158,7 @@ let rec try_execute t =
                   t.app.State_machine.apply req.payload
               in
               let reply = make_reply t ~req ~result in
-              Client_dedup.record entry req.timestamp (Some reply);
+              Client_table.record t.clients req.client req.timestamp (Some reply);
               replies := reply :: !replies;
               t.executed_total <- t.executed_total + 1
             end)
@@ -203,9 +195,10 @@ let accept_prepare t (p : Mmsg.prepare) =
       { e_counter = counter;
         e_digest = digest;
         e_batch = p.p_batch;
-        e_attesters = [ primary t ];
+        e_attesters = Quorum.create ();
         e_executed = false }
     in
+    ignore (Quorum.add e.e_attesters ~sender:(primary t) ());
     Hashtbl.replace t.by_counter counter e;
     t.order <- e :: t.order;
     List.iter
@@ -214,14 +207,13 @@ let accept_prepare t (p : Mmsg.prepare) =
       p.p_batch;
     refresh_suspect_timer t;
     (* Fold in commits that raced ahead of the prepare. *)
-    (match Hashtbl.find_opt t.pending_commits counter with
-    | Some cs ->
-      Hashtbl.remove t.pending_commits counter;
-      List.iter
-        (fun (c : Mmsg.commit) ->
-          if String.equal c.c_digest digest then e.e_attesters <- c.c_sender :: e.e_attesters)
-        cs
-    | None -> ());
+    let raced = Votes.get t.pending_commits counter in
+    Votes.remove t.pending_commits counter;
+    List.iter
+      (fun (c : Mmsg.commit) ->
+        if String.equal c.c_digest digest then
+          ignore (Quorum.add e.e_attesters ~sender:c.c_sender ()))
+      raced;
     if not (is_primary t) then begin
       match t.byz with
       | Mute_commits -> ()
@@ -236,7 +228,7 @@ let accept_prepare t (p : Mmsg.prepare) =
         let signed =
           { commit with c_ui = Usig.create_ui t.usig (Mmsg.signed_part (Mmsg.Commit commit)) }
         in
-        e.e_attesters <- t.cfg.id :: e.e_attesters;
+        ignore (Quorum.add e.e_attesters ~sender:t.cfg.id ());
         broadcast t ~cost:(ui_create_cost t) (Mmsg.Commit signed)
     end;
     try_execute t
@@ -247,22 +239,16 @@ let on_commit t (c : Mmsg.commit) =
     match Hashtbl.find_opt t.by_counter c.c_primary_counter with
     | Some e ->
       if String.equal c.c_digest e.e_digest then begin
-        e.e_attesters <- c.c_sender :: e.e_attesters;
+        ignore (Quorum.add e.e_attesters ~sender:c.c_sender ());
         try_execute t
       end
     | None ->
-      let existing =
-        Option.value ~default:[] (Hashtbl.find_opt t.pending_commits c.c_primary_counter)
-      in
-      Hashtbl.replace t.pending_commits c.c_primary_counter (c :: existing)
+      ignore (Votes.add t.pending_commits ~key:c.c_primary_counter ~sender:c.c_sender c)
   end
 
 let on_checkpoint t (k : Mmsg.checkpoint) =
-  let existing = Option.value ~default:[] (Hashtbl.find_opt t.checkpoints k.k_counter) in
-  if not (List.exists (fun (e : Mmsg.checkpoint) -> e.k_sender = k.k_sender) existing)
-  then begin
-    let all = k :: existing in
-    Hashtbl.replace t.checkpoints k.k_counter all;
+  if Votes.add t.checkpoints ~key:k.k_counter ~sender:k.k_sender k then begin
+    let all = Votes.get t.checkpoints k.k_counter in
     let matching =
       List.filter (fun (e : Mmsg.checkpoint) -> String.equal e.k_state_digest k.k_state_digest) all
     in
@@ -337,7 +323,7 @@ let enter_view t v =
   if v > t.view then begin
     t.view <- v;
     t.order <- List.filter (fun (e : entry) -> e.e_executed) t.order;
-    Hashtbl.reset t.pending_commits;
+    Votes.reset t.pending_commits;
     t.executed_upto <- List.length t.order;
     refresh_suspect_timer t;
     if is_primary t then begin
@@ -349,27 +335,22 @@ let enter_view t v =
   end
 
 let on_viewchange t (v : Mmsg.viewchange) =
-  let existing = Option.value ~default:[] (Hashtbl.find_opt t.viewchanges v.v_new_view) in
-  if not (List.mem v.v_sender existing) then begin
-    let all = v.v_sender :: existing in
-    Hashtbl.replace t.viewchanges v.v_new_view all;
-    if v.v_new_view > t.view && List.length all >= t.f + 1 then enter_view t v.v_new_view
+  if Votes.add t.viewchanges ~key:v.v_new_view ~sender:v.v_sender () then begin
+    if v.v_new_view > t.view && Votes.count t.viewchanges v.v_new_view >= t.f + 1 then
+      enter_view t v.v_new_view
   end
 
 let start_view_change t =
   let target = t.view + 1 in
   let vc = { Mmsg.v_new_view = target; v_sender = t.cfg.id; v_ui = { Usig.counter = 0L; cert = "" } } in
   let vc = { vc with Mmsg.v_ui = Usig.create_ui t.usig (Mmsg.signed_part (Mmsg.Viewchange vc)) } in
-  let existing = Option.value ~default:[] (Hashtbl.find_opt t.viewchanges target) in
-  if not (List.mem t.cfg.id existing) then
-    Hashtbl.replace t.viewchanges target (t.cfg.id :: existing);
+  ignore (Votes.add t.viewchanges ~key:target ~sender:t.cfg.id ());
   broadcast t ~cost:(ui_create_cost t) (Mmsg.Viewchange vc)
 
 (* ----- requests ----- *)
 
 let resend_cached_reply t (r : Message.request) =
-  let entry = client_entry t r.client in
-  match Client_dedup.cached_reply entry r.timestamp with
+  match Client_table.cached_reply t.clients r.client r.timestamp with
   | Some reply -> send_reply t reply
   | None -> ()
 
@@ -378,8 +359,7 @@ let request_auth_ok (r : Message.request) ~replica =
     ~msg:(Message.request_auth_bytes r) ~auth:r.auth
 
 let on_request t (r : Message.request) =
-  let entry = client_entry t r.client in
-  if Client_dedup.executed entry r.timestamp then resend_cached_reply t r
+  if Client_table.executed t.clients r.client r.timestamp then resend_cached_reply t r
   else begin
     Hashtbl.replace t.awaiting (r.client, r.timestamp) ();
     refresh_suspect_timer t;
@@ -493,13 +473,13 @@ let create engine net cfg ~app =
         holdback = Hashtbl.create 64;
         order = [];
         by_counter = Hashtbl.create 256;
-        pending_commits = Hashtbl.create 64;
+        pending_commits = Votes.create ();
         executed_upto = 0;
         last_exec_counter = 0L;
         exec_index = 0;
         executed_digests = ref [];
-        checkpoints = Hashtbl.create 16;
-        clients = Hashtbl.create 64;
+        checkpoints = Votes.create ();
+        clients = Client_table.create ();
         pending = [];
         pending_count = 0;
         batch_timer =
@@ -519,7 +499,7 @@ let create engine net cfg ~app =
                 start_view_change t;
                 Timer.restart t.suspect_timer
               end);
-        viewchanges = Hashtbl.create 4;
+        viewchanges = Votes.create ();
         crashed = false;
         byz = Honest;
         executed_total = 0 }

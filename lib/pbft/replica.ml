@@ -11,6 +11,13 @@ module Keys = Splitbft_types.Keys
 module Signature = Splitbft_crypto.Signature
 module Hmac = Splitbft_crypto.Hmac
 module State_machine = Splitbft_app.State_machine
+module Log = Splitbft_consensus.Log
+module Quorum = Splitbft_consensus.Quorum
+module Votes = Splitbft_consensus.Votes
+module Ckpt = Splitbft_consensus.Ckpt
+module Client_table = Splitbft_consensus.Client_table
+module Proofs = Splitbft_consensus.Proofs
+module Newview = Splitbft_consensus.Newview
 
 let protocol_name = "pbft"
 
@@ -50,8 +57,8 @@ type slot = {
   mutable proposal : Message.preprepare_digest option;
       (* accepted proposal in signed digest form *)
   mutable batch : Message.request list option;  (* full requests, for execution *)
-  mutable prepares : Message.prepare list;
-  mutable commits : Message.commit list;
+  prepares : Message.prepare Quorum.t;
+  commits : Message.commit Quorum.t;
   mutable own_prepare_sent : bool;
   mutable own_commit_sent : bool;
   mutable committed : bool;
@@ -61,8 +68,8 @@ type slot = {
 let fresh_slot () =
   { proposal = None;
     batch = None;
-    prepares = [];
-    commits = [];
+    prepares = Quorum.create ();
+    commits = Quorum.create ();
     own_prepare_sent = false;
     own_commit_sent = false;
     committed = false;
@@ -82,14 +89,12 @@ type t = {
   mutable view : Ids.view;
   mutable next_seq : Ids.seqno;
   mutable last_executed : Ids.seqno;
-  mutable low_mark : Ids.seqno;
-  slots : (Ids.seqno, slot) Hashtbl.t;
+  slots : slot Log.t;  (* owns the low watermark *)
   batches_by_digest : (string, Message.request list) Hashtbl.t;
   fetching : (string, unit) Hashtbl.t;  (* batch digests requested from peers *)
   executed_digests : (Ids.seqno, string) Hashtbl.t;
-  checkpoints : (Ids.seqno, Message.checkpoint list) Hashtbl.t;
-  mutable stable_proof : Message.checkpoint list;
-  clients : (Ids.client_id, Splitbft_types.Client_dedup.t) Hashtbl.t;
+  ckpt : Ckpt.t;
+  clients : Client_table.t;
   mutable pending : Message.request list;  (* batch queue, newest first *)
   mutable pending_count : int;
   batch_timer : Timer.t;
@@ -97,7 +102,7 @@ type t = {
   suspect_timer : Timer.t;
   mutable in_view_change : bool;
   mutable vc_target : Ids.view;
-  viewchanges : (Ids.view, Message.viewchange list) Hashtbl.t;
+  viewchanges : (Ids.view, Message.viewchange) Votes.t;
   vc_timer : Timer.t;
   mutable persist_log : (string * string) list;  (* newest first *)
   mutable crashed : bool;
@@ -122,11 +127,6 @@ let make_lookup n =
 let payload_cost t payload =
   t.cfg.cost.serialize_per_byte_us *. float_of_int (String.length payload)
 
-let count_proof_sigs proofs =
-  List.fold_left
-    (fun acc (p : Message.prepared_proof) -> acc + 1 + List.length p.proof_prepares)
-    0 proofs
-
 let verify_cost t (msg : Message.t) =
   let c = t.cfg.cost in
   match msg with
@@ -136,21 +136,8 @@ let verify_cost t (msg : Message.t) =
   | Message.Preprepare_digest _ | Message.Prepare _ | Message.Commit _
   | Message.Checkpoint _ ->
     c.verify_us
-  | Message.Viewchange vc ->
-    let sigs =
-      1 + List.length vc.vc_checkpoint_proof + count_proof_sigs vc.vc_prepared
-    in
-    c.verify_us *. float_of_int sigs
-  | Message.Newview nv ->
-    let sigs =
-      1
-      + List.fold_left
-          (fun acc (vc : Message.viewchange) ->
-            acc + 1 + List.length vc.vc_checkpoint_proof + count_proof_sigs vc.vc_prepared)
-          0 nv.nv_viewchanges
-      + List.length nv.nv_preprepares
-    in
-    c.verify_us *. float_of_int sigs
+  | Message.Viewchange vc -> c.verify_us *. float_of_int (Proofs.viewchange_sig_count vc)
+  | Message.Newview nv -> c.verify_us *. float_of_int (Proofs.newview_sig_count nv)
   | Message.Batch_fetch _ | Message.Batch_data _ -> 1.0
   | Message.Reply _ | Message.Session_init _ | Message.Session_quote _
   | Message.Session_key _ | Message.Session_ack _ ->
@@ -215,15 +202,8 @@ let broadcast t ~sign_cost msg =
 
 (* ----- slots and watermarks ----- *)
 
-let slot t seq =
-  match Hashtbl.find_opt t.slots seq with
-  | Some s -> s
-  | None ->
-    let s = fresh_slot () in
-    Hashtbl.replace t.slots seq s;
-    s
-
-let in_window t seq = seq > t.low_mark && seq <= t.low_mark + t.cfg.watermark_window
+let slot t seq = Log.find_or_add t.slots seq ~default:fresh_slot
+let in_window t seq = Log.in_window t.slots seq
 let primary t = Ids.primary_of_view ~n:t.cfg.n t.view
 let is_primary t = primary t = t.cfg.id
 
@@ -286,14 +266,6 @@ let send_targeted_votes t (pp : Message.preprepare) =
 
 (* ----- execution ----- *)
 
-let client_entry t client =
-  match Hashtbl.find_opt t.clients client with
-  | Some e -> e
-  | None ->
-    let e = Splitbft_types.Client_dedup.create () in
-    Hashtbl.replace t.clients client e;
-    e
-
 (* The request timer tracks the oldest pending request: it is (re)armed on
    progress, so a loaded-but-progressing replica never suspects its
    primary. *)
@@ -306,8 +278,7 @@ let send_checkpoint_if_due t seq =
     let state_digest = State_machine.digest t.app in
     let ck = make_checkpoint t ~seq ~state_digest in
     broadcast t ~sign_cost:t.cfg.cost.sign_us (Message.Checkpoint ck);
-    let existing = Option.value ~default:[] (Hashtbl.find_opt t.checkpoints seq) in
-    Hashtbl.replace t.checkpoints seq (ck :: existing)
+    Ckpt.store t.ckpt ck
   end
 
 let resolve_batch t (s : slot) =
@@ -332,7 +303,7 @@ let resolve_batch t (s : slot) =
 
 let rec try_execute t =
   let seq = t.last_executed + 1 in
-  match Hashtbl.find_opt t.slots seq with
+  match Log.find t.slots seq with
   | Some s when s.committed && not s.executed -> (
     resolve_batch t s;
     match s.proposal, s.batch with
@@ -345,16 +316,15 @@ let rec try_execute t =
       let replies = ref [] in
       List.iter
         (fun (req : Message.request) ->
-          let entry = client_entry t req.client in
           Hashtbl.remove t.awaiting (req.client, req.timestamp);
-          if not (Splitbft_types.Client_dedup.executed entry req.timestamp) then begin
+          if not (Client_table.executed t.clients req.client req.timestamp) then begin
             let result =
               match t.byz with
               | Corrupt_execution -> "CORRUPT"
               | Honest | Equivocate _ | Collude | Mute_commits -> t.app.apply req.payload
             in
             let reply = make_reply t ~req ~result in
-            Splitbft_types.Client_dedup.record entry req.timestamp (Some reply);
+            Client_table.record t.clients req.client req.timestamp (Some reply);
             replies := reply :: !replies;
             t.executed_total <- t.executed_total + 1
           end)
@@ -389,22 +359,11 @@ let rec try_execute t =
 (* ----- checkpoints / garbage collection ----- *)
 
 and check_checkpoint_stability t seq =
-  match Hashtbl.find_opt t.checkpoints seq with
-  | None -> ()
-  | Some cks ->
-    if seq > t.low_mark && Validation.checkpoint_quorum_complete ~quorum:t.quorum cks then begin
+  Ckpt.try_advance t.ckpt seq ~on_stable:(fun stable ->
       (* Keep the proving quorum, advance the low watermark, drop old state. *)
-      let groups = List.filter (fun (c : Message.checkpoint) -> c.seq = seq) cks in
-      t.stable_proof <- groups;
-      t.low_mark <- seq;
-      Hashtbl.iter
-        (fun s _ -> if s <= seq then Hashtbl.remove t.slots s)
-        (Hashtbl.copy t.slots);
-      Hashtbl.iter
-        (fun s _ -> if s < seq then Hashtbl.remove t.checkpoints s)
-        (Hashtbl.copy t.checkpoints);
-      flush_batch_if_ready t
-    end
+      Log.advance_low_mark t.slots stable;
+      Log.prune t.slots ~upto:stable;
+      flush_batch_if_ready t)
 
 (* ----- batching (primary) ----- *)
 
@@ -473,7 +432,7 @@ let rec try_send_commit t seq =
   | Some pd ->
     if
       (not s.own_commit_sent)
-      && Validation.prepare_cert_complete ~f:t.f pd s.prepares
+      && Validation.prepare_cert_complete ~f:t.f pd (Quorum.votes s.prepares)
     then begin
       s.own_commit_sent <- true;
       match t.byz with
@@ -481,7 +440,7 @@ let rec try_send_commit t seq =
       | Honest | Equivocate _ | Collude | Corrupt_execution ->
         let digest = pd.pd_digest in
         let c = make_commit t ~view:t.view ~seq ~digest in
-        s.commits <- c :: s.commits;
+        ignore (Quorum.add s.commits ~sender:t.cfg.id c);
         broadcast t ~sign_cost:t.cfg.cost.sign_us (Message.Commit c);
         try_mark_committed t seq
     end
@@ -495,7 +454,7 @@ and try_mark_committed t seq =
     if
       (not s.committed)
       && Validation.commit_quorum_complete ~quorum:t.quorum ~view:t.view ~seq ~digest
-           s.commits
+           (Quorum.votes s.commits)
     then begin
       s.committed <- true;
       try_execute t
@@ -504,41 +463,21 @@ and try_mark_committed t seq =
 (* ----- normal-operation handlers ----- *)
 
 let resend_cached_reply t (r : Message.request) =
-  let entry = client_entry t r.client in
-  match Splitbft_types.Client_dedup.cached_reply entry r.timestamp with
+  match Client_table.cached_reply t.clients r.client r.timestamp with
   | Some reply ->
     send_to t ~sign_cost:t.cfg.cost.reply_auth_us (Addr.client r.client)
       (Message.encode (Message.Reply reply))
   | None -> ()
 
 let on_request t (r : Message.request) =
-  let entry = client_entry t r.client in
-  if Splitbft_types.Client_dedup.executed entry r.timestamp then resend_cached_reply t r
+  if Client_table.executed t.clients r.client r.timestamp then resend_cached_reply t r
   else begin
     Hashtbl.replace t.awaiting (r.client, r.timestamp) ();
     refresh_suspect_timer t;
     if is_primary t && not t.in_view_change then begin
-      (* Drop duplicates already queued or assigned. *)
-      let queued =
-        List.exists
-          (fun (q : Message.request) -> q.client = r.client && q.timestamp = r.timestamp)
-          t.pending
-      in
-      let assigned =
-        Hashtbl.fold
-          (fun _ s acc ->
-            acc
-            ||
-            match s.batch with
-            | Some batch ->
-              List.exists
-                (fun (q : Message.request) ->
-                  q.client = r.client && q.timestamp = r.timestamp)
-                batch
-            | None -> false)
-          t.slots false
-      in
-      if not (queued || assigned) then begin
+      (* Drop duplicates already queued or assigned a sequence number. *)
+      if not (Client_table.already_assigned t.clients r.client r.timestamp) then begin
+        Client_table.note_assigned t.clients r.client r.timestamp;
         t.pending <- r :: t.pending;
         t.pending_count <- t.pending_count + 1;
         if t.pending_count >= t.cfg.batch_size then flush_batch_if_ready t
@@ -572,15 +511,14 @@ let on_preprepare t (pp : Message.preprepare) =
       Hashtbl.replace t.batches_by_digest digest pp.batch;
       List.iter
         (fun (r : Message.request) ->
-          let entry = client_entry t r.client in
-          if not (Splitbft_types.Client_dedup.executed entry r.timestamp) then
+          if not (Client_table.executed t.clients r.client r.timestamp) then
             Hashtbl.replace t.awaiting (r.client, r.timestamp) ())
         pp.batch;
       refresh_suspect_timer t;
       if not s.own_prepare_sent then begin
         s.own_prepare_sent <- true;
         let p = make_prepare t ~view:t.view ~seq:pp.seq ~digest in
-        s.prepares <- p :: s.prepares;
+        ignore (Quorum.add s.prepares ~sender:t.cfg.id p);
         broadcast t ~sign_cost:t.cfg.cost.sign_us (Message.Prepare p)
       end;
       try_send_commit t pp.seq
@@ -590,55 +528,40 @@ let on_prepare t (p : Message.prepare) =
   if p.view = t.view && (not t.in_view_change) && in_window t p.seq && p.sender <> t.cfg.id
   then begin
     let s = slot t p.seq in
-    if
-      not
-        (List.exists (fun (q : Message.prepare) -> q.sender = p.sender) s.prepares)
-    then begin
-      s.prepares <- p :: s.prepares;
-      try_send_commit t p.seq
-    end
+    if Quorum.add s.prepares ~sender:p.sender p then try_send_commit t p.seq
   end
 
 let on_commit t (c : Message.commit) =
   if c.view = t.view && (not t.in_view_change) && in_window t c.seq && c.sender <> t.cfg.id
   then begin
     let s = slot t c.seq in
-    if not (List.exists (fun (q : Message.commit) -> q.sender = c.sender) s.commits) then begin
-      s.commits <- c :: s.commits;
-      try_mark_committed t c.seq
-    end
+    if Quorum.add s.commits ~sender:c.sender c then try_mark_committed t c.seq
   end
 
 let on_checkpoint t (ck : Message.checkpoint) =
-  if ck.seq > t.low_mark && ck.sender <> t.cfg.id then begin
-    let existing = Option.value ~default:[] (Hashtbl.find_opt t.checkpoints ck.seq) in
-    if
-      not
-        (List.exists (fun (c : Message.checkpoint) -> c.sender = ck.sender) existing)
-    then begin
-      Hashtbl.replace t.checkpoints ck.seq (ck :: existing);
-      check_checkpoint_stability t ck.seq
-    end
+  if ck.seq > Log.low_mark t.slots && ck.sender <> t.cfg.id then begin
+    Ckpt.store t.ckpt ck;
+    check_checkpoint_stability t ck.seq
   end
 
 (* ----- view change ----- *)
 
 let prepared_proofs t =
-  Hashtbl.fold
-    (fun seq s acc ->
-      if seq > t.low_mark then
-        match s.proposal with
-        | Some pd when Validation.prepare_cert_complete ~f:t.f pd s.prepares ->
-          { Message.proof_preprepare = pd; proof_prepares = s.prepares } :: acc
-        | Some _ | None -> acc
-      else acc)
-    t.slots []
+  Proofs.assemble ~f:t.f
+    (Log.fold
+       (fun seq s acc ->
+         if seq > Log.low_mark t.slots then
+           match s.proposal with
+           | Some pd -> (pd, Quorum.votes s.prepares) :: acc
+           | None -> acc
+         else acc)
+       t.slots [])
 
 let make_viewchange t ~new_view : Message.viewchange =
   let vc =
     { Message.vc_new_view = new_view;
-      vc_last_stable = t.low_mark;
-      vc_checkpoint_proof = t.stable_proof;
+      vc_last_stable = Log.low_mark t.slots;
+      vc_checkpoint_proof = Ckpt.proof t.ckpt;
       vc_prepared = prepared_proofs t;
       vc_sender = t.cfg.id;
       vc_sig = "" }
@@ -650,14 +573,32 @@ let enter_view t ~view ~min_s ~max_s (pps : Message.preprepare_digest list) ~as_
   t.view <- view;
   t.in_view_change <- false;
   Timer.stop t.vc_timer;
-  t.low_mark <- max t.low_mark min_s;
-  Hashtbl.reset t.slots;
+  Log.advance_low_mark t.slots min_s;
+  (* Keep the checkpoint tracker's stable point in lock-step with the low
+     watermark even though the NewView carried no quorum for it. *)
+  Ckpt.force_stable t.ckpt (Log.low_mark t.slots);
+  Log.reset t.slots;
   t.next_seq <- max_s + 1;
+  (* Requests assigned in the dead view may have been lost with it; allow
+     client retransmissions to be ordered again (execution deduplicates by
+     timestamp, so re-ordering cannot double-execute).  Requests still
+     queued or re-issued by the NewView stay deduplicated. *)
+  Client_table.reset_assignments t.clients;
+  List.iter
+    (fun (r : Message.request) -> Client_table.note_assigned t.clients r.client r.timestamp)
+    t.pending;
   List.iter
     (fun (pd : Message.preprepare_digest) ->
       let s = slot t pd.pd_seq in
       s.proposal <- Some pd;
       resolve_batch t s;
+      (match s.batch with
+      | Some batch ->
+        List.iter
+          (fun (r : Message.request) ->
+            Client_table.note_assigned t.clients r.client r.timestamp)
+          batch
+      | None -> ());
       if pd.pd_seq <= t.last_executed then begin
         s.executed <- true;
         s.committed <- true
@@ -665,7 +606,7 @@ let enter_view t ~view ~min_s ~max_s (pps : Message.preprepare_digest list) ~as_
       else if not as_primary then begin
         s.own_prepare_sent <- true;
         let p = make_prepare t ~view:t.view ~seq:pd.pd_seq ~digest:pd.pd_digest in
-        s.prepares <- p :: s.prepares;
+        ignore (Quorum.add s.prepares ~sender:t.cfg.id p);
         broadcast t ~sign_cost:t.cfg.cost.sign_us (Message.Prepare p)
       end)
     pps;
@@ -681,19 +622,16 @@ let rec start_view_change t ~target =
     Timer.stop t.suspect_timer;
     Timer.restart t.vc_timer;
     let vc = make_viewchange t ~new_view:target in
-    let existing = Option.value ~default:[] (Hashtbl.find_opt t.viewchanges target) in
-    Hashtbl.replace t.viewchanges target (vc :: existing);
+    ignore (Votes.add t.viewchanges ~key:target ~sender:t.cfg.id vc);
     broadcast t ~sign_cost:t.cfg.cost.sign_us (Message.Viewchange vc);
     maybe_send_newview t ~target
   end
 
 and maybe_send_newview t ~target =
   if Ids.primary_of_view ~n:t.cfg.n target = t.cfg.id then begin
-    match Hashtbl.find_opt t.viewchanges target with
-    | Some vcs when List.length vcs >= t.quorum && t.view = target && t.in_view_change ->
-      let min_s, max_s, pps =
-        Splitbft_types.Newview_logic.compute ~view:target ~sender:t.cfg.id vcs
-      in
+    let vcs = Votes.get t.viewchanges target in
+    if List.length vcs >= t.quorum && t.view = target && t.in_view_change then begin
+      let min_s, max_s, pps = Newview.compute ~view:target ~sender:t.cfg.id vcs in
       let signed_pps =
         List.map
           (fun (pd : Message.preprepare_digest) ->
@@ -719,20 +657,13 @@ and maybe_send_newview t ~target =
         ~sign_cost:(t.cfg.cost.sign_us *. float_of_int (1 + List.length signed_pps))
         (Message.Newview nv);
       enter_view t ~view:target ~min_s ~max_s signed_pps ~as_primary:true
-    | Some _ | None -> ()
+    end
   end
 
 let on_viewchange t (vc : Message.viewchange) =
   if vc.vc_new_view > t.view || (t.in_view_change && vc.vc_new_view = t.vc_target) then begin
-    let existing = Option.value ~default:[] (Hashtbl.find_opt t.viewchanges vc.vc_new_view) in
-    if
-      not
-        (List.exists
-           (fun (v : Message.viewchange) -> v.vc_sender = vc.vc_sender)
-           existing)
-    then begin
-      Hashtbl.replace t.viewchanges vc.vc_new_view (vc :: existing);
-      let count = List.length (Hashtbl.find_opt t.viewchanges vc.vc_new_view |> Option.value ~default:[]) in
+    if Votes.add t.viewchanges ~key:vc.vc_new_view ~sender:vc.vc_sender vc then begin
+      let count = Votes.count t.viewchanges vc.vc_new_view in
       (* Join a view change supported by f+1 peers (liveness rule). *)
       if vc.vc_new_view > t.view && count >= t.f + 1 && not (t.in_view_change && t.vc_target >= vc.vc_new_view)
       then start_view_change t ~target:vc.vc_new_view;
@@ -748,10 +679,9 @@ let on_newview t (nv : Message.newview) =
     && List.length nv.nv_viewchanges >= t.quorum
   then begin
     let min_s, max_s, expected =
-      Splitbft_types.Newview_logic.compute ~view:nv.nv_view ~sender:nv.nv_sender
-        nv.nv_viewchanges
+      Newview.compute ~view:nv.nv_view ~sender:nv.nv_sender nv.nv_viewchanges
     in
-    if Splitbft_types.Newview_logic.matches ~expected ~actual:nv.nv_preprepares then
+    if Newview.matches ~expected ~actual:nv.nv_preprepares then
       enter_view t ~view:nv.nv_view ~min_s ~max_s nv.nv_preprepares ~as_primary:false
   end
 
@@ -825,14 +755,12 @@ let create engine net cfg ~app =
         view = 0;
         next_seq = 1;
         last_executed = 0;
-        low_mark = 0;
-        slots = Hashtbl.create 128;
+        slots = Log.create ~window:cfg.watermark_window ();
         batches_by_digest = Hashtbl.create 256;
         fetching = Hashtbl.create 8;
         executed_digests = Hashtbl.create 1024;
-        checkpoints = Hashtbl.create 16;
-        stable_proof = [];
-        clients = Hashtbl.create 64;
+        ckpt = Ckpt.create ~quorum:(Ids.quorum ~n:cfg.n);
+        clients = Client_table.create ();
         pending = [];
         pending_count = 0;
         batch_timer =
@@ -851,7 +779,7 @@ let create engine net cfg ~app =
               start_view_change t ~target:(t.view + 1));
         in_view_change = false;
         vc_target = 0;
-        viewchanges = Hashtbl.create 8;
+        viewchanges = Votes.create ();
         vc_timer =
           Timer.create engine
             ~label:(Printf.sprintf "pbft%d-vc" cfg.id)
@@ -874,7 +802,7 @@ let create engine net cfg ~app =
 let id t = t.cfg.id
 let view t = t.view
 let last_executed t = t.last_executed
-let low_watermark t = t.low_mark
+let low_watermark t = Log.low_mark t.slots
 let executed_count t = t.executed_total
 
 let committed_digest t seq = Hashtbl.find_opt t.executed_digests seq

@@ -169,6 +169,7 @@ let read_request r : request =
   let auth = R.bytes r in
   { client; timestamp; payload; auth }
 
+let encode_request_into = write_request
 let encode_request req = W.to_string write_request req
 let decode_request s = R.parse read_request s
 
@@ -472,27 +473,26 @@ let read_batch_data r : batch_data = { bd_batch = R.list r read_request }
 
 (* ----- top-level ----- *)
 
-let encode msg =
-  W.to_string
-    (fun w msg ->
-      W.u8 w (tag msg);
-      match msg with
-      | Request x -> write_request w x
-      | Preprepare x -> write_preprepare w x
-      | Preprepare_digest x -> write_preprepare_digest w x
-      | Prepare x -> write_prepare w x
-      | Commit x -> write_commit w x
-      | Checkpoint x -> write_checkpoint w x
-      | Reply x -> write_reply w x
-      | Viewchange x -> write_viewchange w x
-      | Newview x -> write_newview w x
-      | Session_init x -> write_session_init w x
-      | Session_quote x -> write_session_quote w x
-      | Session_key x -> write_session_key w x
-      | Session_ack x -> write_session_ack w x
-      | Batch_fetch x -> write_batch_fetch w x
-      | Batch_data x -> write_batch_data w x)
-    msg
+let encode_into w msg =
+  W.u8 w (tag msg);
+  match msg with
+  | Request x -> write_request w x
+  | Preprepare x -> write_preprepare w x
+  | Preprepare_digest x -> write_preprepare_digest w x
+  | Prepare x -> write_prepare w x
+  | Commit x -> write_commit w x
+  | Checkpoint x -> write_checkpoint w x
+  | Reply x -> write_reply w x
+  | Viewchange x -> write_viewchange w x
+  | Newview x -> write_newview w x
+  | Session_init x -> write_session_init w x
+  | Session_quote x -> write_session_quote w x
+  | Session_key x -> write_session_key w x
+  | Session_ack x -> write_session_ack w x
+  | Batch_fetch x -> write_batch_fetch w x
+  | Batch_data x -> write_batch_data w x
+
+let encode msg = W.to_string encode_into msg
 
 let decode s =
   R.parse

@@ -161,10 +161,17 @@ val summarize : preprepare -> preprepare_digest
 val encode : t -> string
 val decode : string -> (t, string) result
 
+val encode_into : Splitbft_codec.Writer.t -> t -> unit
+(** Appends the encoding of the message to an existing writer; together
+    with {!Splitbft_codec.Writer.nested} this lets containers embed a
+    length-prefixed message without serializing it into a fresh buffer
+    first. *)
+
 val peek_tag : string -> int option
 (** Message tag without a full decode (broker routing). *)
 
 val encode_request : request -> string
+val encode_request_into : Splitbft_codec.Writer.t -> request -> unit
 val decode_request : string -> (request, string) result
 
 (** {2 Signing bytes}

@@ -1,7 +1,7 @@
 module M = Splitbft_types.Message
 module Ids = Splitbft_types.Ids
 module Validation = Splitbft_types.Validation
-module Newview_logic = Splitbft_types.Newview_logic
+module Newview_logic = Splitbft_consensus.Newview
 module Client_dedup = Splitbft_types.Client_dedup
 module Session = Splitbft_types.Session
 module Keys = Splitbft_types.Keys
