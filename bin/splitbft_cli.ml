@@ -81,7 +81,10 @@ let scenario_cmd =
         o.H.Scenarios.workload.H.Workload.completed_total
         (if H.Scenarios.matches_expectation o then "(matches the paper's fault model)"
          else "(UNEXPECTED)");
-      if v.H.Safety.detail <> "" then Printf.printf "  detail: %s\n" v.H.Safety.detail
+      if v.H.Safety.detail <> "" then Printf.printf "  detail: %s\n" v.H.Safety.detail;
+      (match o.H.Scenarios.check_failure with
+      | None -> ()
+      | Some reason -> Printf.printf "  check: %s\n" reason)
   in
   Cmd.v (Cmd.info "scenario" ~doc:"Run one fault-model scenario.") Term.(const run $ id)
 

@@ -25,6 +25,9 @@ type config = {
   reply_quorum : int;
   window : int;
   retry_timeout_us : float;
+  retry_backoff : float;
+  retry_cap_us : float;
+  retry_jitter : float;
   protocol : protocol;
 }
 
@@ -34,7 +37,15 @@ let default_config protocol ~n ~id =
     | Minbft -> Ids.f_of_n_hybrid n
     | Pbft | Splitbft _ -> Ids.f_of_n n
   in
-  { id; n; reply_quorum = f + 1; window = 1; retry_timeout_us = 400_000.0; protocol }
+  { id;
+    n;
+    reply_quorum = f + 1;
+    window = 1;
+    retry_timeout_us = 400_000.0;
+    retry_backoff = 2.0;
+    retry_cap_us = 1_600_000.0;
+    retry_jitter = 0.1;
+    protocol }
 
 type pending = {
   op : string;
@@ -42,6 +53,7 @@ type pending = {
   mutable sent_at : float;
   mutable votes : (Ids.replica_id * string) list;  (* validated results *)
   mutable retry : Timer.t;
+  mutable cur_delay_us : float;  (* grows by [retry_backoff] up to the cap *)
   on_result : latency_us:float -> result:string -> unit;
 }
 
@@ -138,6 +150,15 @@ let broadcast t msg =
     Network.send t.net ~src:(Addr.client t.cfg.id) ~dst:(Addr.replica j) payload
   done
 
+(* Seeded jitter: each armed delay is perturbed by up to ±retry_jitter so
+   clients retrying into the same outage desynchronize — deterministically,
+   since the rng derives from the engine seed. *)
+let jittered t delay =
+  if t.cfg.retry_jitter <= 0.0 then delay
+  else
+    delay
+    *. (1.0 +. (t.cfg.retry_jitter *. ((2.0 *. Splitbft_util.Rng.float t.rng 1.0) -. 1.0)))
+
 let dispatch t ~op ~on_result =
   t.next_ts <- Int64.add t.next_ts 1L;
   let ts = t.next_ts in
@@ -149,19 +170,29 @@ let dispatch t ~op ~on_result =
       ~callback:(fun () -> ())
   in
   let p =
-    { op; request; sent_at = Engine.now t.engine; votes = []; retry = dummy; on_result }
+    { op;
+      request;
+      sent_at = Engine.now t.engine;
+      votes = [];
+      retry = dummy;
+      cur_delay_us = t.cfg.retry_timeout_us;
+      on_result }
   in
   Hashtbl.replace t.inflight ts p;
   let resend () =
     if (not t.stopped) && Hashtbl.mem t.inflight ts then begin
       broadcast t (Message.Request p.request);
+      (* Exponential backoff, capped: a cluster mid-recovery is not helped
+         by a fixed-period request storm. *)
+      p.cur_delay_us <- min t.cfg.retry_cap_us (p.cur_delay_us *. t.cfg.retry_backoff);
+      Timer.set_delay p.retry (jittered t p.cur_delay_us);
       Timer.restart p.retry
     end
   in
   p.retry <-
     Timer.create t.engine
       ~label:(Printf.sprintf "client%d-retry" t.cfg.id)
-      ~delay:t.cfg.retry_timeout_us ~callback:resend;
+      ~delay:(jittered t p.cur_delay_us) ~callback:resend;
   broadcast t (Message.Request p.request);
   Timer.restart p.retry
 
@@ -228,9 +259,16 @@ let on_session_quote t (sq : Message.session_quote) =
         ~signature:sq.sq_sig
     in
     if meas_ok && quote_ok && sig_ok then begin
-      let already = List.mem (sq.sq_replica, sq.sq_box_public) t.provisioned in
+      (* Key the dedup on the enclave's instance nonce too: a restarted
+         enclave re-attests with a fresh nonce and must be re-provisioned
+         (its box key is unchanged, but sessions established after its last
+         seal are gone). *)
+      let already =
+        List.mem (sq.sq_replica, sq.sq_box_public ^ ":" ^ sq.sq_nonce) t.provisioned
+      in
       if not already then begin
-        t.provisioned <- (sq.sq_replica, sq.sq_box_public) :: t.provisioned;
+        t.provisioned <-
+          (sq.sq_replica, sq.sq_box_public ^ ":" ^ sq.sq_nonce) :: t.provisioned;
         let provision =
           if Measurement.equal quote.Attestation.measurement Enclave_identity.execution
           then Session.encode_for_execution t.session

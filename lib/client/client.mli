@@ -29,7 +29,14 @@ type config = {
   n : int;
   reply_quorum : int;  (** matching replies required; [f + 1] *)
   window : int;  (** outstanding requests; 1 = synchronous *)
-  retry_timeout_us : float;
+  retry_timeout_us : float;  (** initial retry delay *)
+  retry_backoff : float;
+      (** multiplier applied to the delay after every resend ([2.0]);
+          [1.0] recovers the old fixed-period behaviour *)
+  retry_cap_us : float;  (** backoff ceiling *)
+  retry_jitter : float;
+      (** each armed delay is perturbed by up to ±this fraction, from a
+          deterministic per-client rng, so retry storms desynchronize *)
   protocol : protocol;
 }
 

@@ -7,3 +7,5 @@ let set t client v = Hashtbl.replace t client v
 let find t client = Hashtbl.find_opt t client
 let mem t client = Hashtbl.mem t client
 let count t = Hashtbl.length t
+let fold f t acc = Hashtbl.fold f t acc
+let reset t = Hashtbl.reset t

@@ -11,3 +11,9 @@ val set : 'a t -> Ids.client_id -> 'a -> unit
 val find : 'a t -> Ids.client_id -> 'a option
 val mem : 'a t -> Ids.client_id -> bool
 val count : 'a t -> int
+
+val fold : (Ids.client_id -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b
+(** Enumeration for checkpoint sealing: recovery must restore sessions or
+    every post-restart request would decrypt to a no-op. *)
+
+val reset : 'a t -> unit

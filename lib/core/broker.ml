@@ -27,13 +27,27 @@ type t = {
   batch_timer : Timer.t;
   awaiting : (Ids.client_id * int64, unit) Hashtbl.t;
   suspect_timer : Timer.t;
+  recovery_timer : Timer.t;
   mutable storage : (string * string) list;  (* newest first *)
   mutable fault : fault;
   mutable crashed : bool;
+  mutable epoch : int;
+      (* incarnation counter: bumped on crash so callbacks scheduled by a
+         previous incarnation (in-flight ecall completions, delayed work,
+         queued loop submissions) are recognizably stale and dropped *)
+  mutable alerts : string list;  (* newest first; e.g. rollback detections *)
+  mutable recovering : bool;
+  mutable recovery_started_at : float;
+  mutable recovered_count : int;
   ecall_counter_of : Ids.compartment -> Registry.counter;
   c_batches : Registry.counter;
   h_batch_occupancy : Registry.histogram;
   c_suspect_firings : Registry.counter;
+  c_restarts : Registry.counter;
+  c_alerts : Registry.counter;
+  g_recovery_us : Registry.gauge;
+  c_state_bytes_out : Registry.counter;
+  c_state_bytes_in : Registry.counter;
 }
 
 let primary t = Ids.primary_of_view ~n:t.cfg.n t.view
@@ -65,6 +79,7 @@ let route (msg : Message.t) : (Ids.compartment * Message.t) list =
   | Message.Session_init _ -> [ (Ids.Preparation, msg); (Ids.Execution, msg) ]
   | Message.Session_key _ -> [ (Ids.Preparation, msg); (Ids.Execution, msg) ]
   | Message.Batch_fetch _ | Message.Batch_data _ -> [ (Ids.Execution, msg) ]
+  | Message.State_request _ | Message.State_reply _ -> [ (Ids.Execution, msg) ]
   | Message.Request _ | Message.Reply _ | Message.Session_quote _
   | Message.Session_ack _ ->
     []
@@ -78,13 +93,16 @@ let loop_cost t payload_len =
 let rec ecall t compartment (input : Wire.input) =
   let starved = match t.fault with Env_starve c -> c = compartment | _ -> false in
   if (not t.crashed) && not starved then begin
+    let epoch = t.epoch in
     let issue () =
-      Registry.incr (t.ecall_counter_of compartment);
-      let enclave = t.enclave_of compartment in
-      Enclave.ecall enclave
-        ~thread:(t.thread_of compartment)
-        ~payload:(Wire.encode_input input)
-        ~on_done:(fun outputs -> on_outputs t compartment outputs)
+      if t.epoch = epoch && not t.crashed then begin
+        Registry.incr (t.ecall_counter_of compartment);
+        let enclave = t.enclave_of compartment in
+        Enclave.ecall enclave
+          ~thread:(t.thread_of compartment)
+          ~payload:(Wire.encode_input input)
+          ~on_done:(fun outputs -> on_outputs t epoch compartment outputs)
+      end
     in
     match t.fault with
     | Env_delay d ->
@@ -94,12 +112,15 @@ let rec ecall t compartment (input : Wire.input) =
 
 (* ----- enclave outputs ----- *)
 
-and on_outputs t origin outputs =
-  if (not t.crashed) && t.fault <> Env_mute then
+and on_outputs t epoch origin outputs =
+  (* [epoch] pins the incarnation that issued the ecall: a completion that
+     crosses a crash (or a crash + restart) must not leak into the next
+     incarnation as a ghost callback. *)
+  if t.epoch = epoch && (not t.crashed) && t.fault <> Env_mute then
     List.iter
       (fun payload ->
         Resource.submit t.loop ~cost:(loop_cost t (String.length payload)) (fun () ->
-            if not t.crashed then
+            if t.epoch = epoch && not t.crashed then
               match Wire.decode_output payload with
               | Error _ -> ()
               | Ok output -> apply_output t origin output))
@@ -111,9 +132,18 @@ and apply_output t origin (output : Wire.output) =
     (match msg with
     | Message.Reply rp -> request_replied t rp
     | _ -> ());
-    Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst (Message.encode msg)
+    let payload = Message.encode msg in
+    (match msg with
+    | Message.State_reply _ | Message.State_request _ ->
+      Registry.add t.c_state_bytes_out (String.length payload)
+    | _ -> ());
+    Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst payload
   | Wire.Out_broadcast msg ->
     let payload = Message.encode msg in
+    (match msg with
+    | Message.State_reply _ | Message.State_request _ ->
+      Registry.add t.c_state_bytes_out ((t.cfg.n - 1) * String.length payload)
+    | _ -> ());
     for j = 0 to t.cfg.n - 1 do
       if j <> t.cfg.id then
         Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst:(Addr.replica j) payload
@@ -131,6 +161,15 @@ and apply_output t origin (output : Wire.output) =
       (* Give the new primary a full timeout before suspecting it too. *)
       if Hashtbl.length t.awaiting > 0 then Timer.restart t.suspect_timer;
       flush_batch t
+    end
+  | Wire.Out_alert msg ->
+    t.alerts <- msg :: t.alerts;
+    Registry.incr t.c_alerts
+  | Wire.Out_recovered ->
+    if t.recovering then begin
+      t.recovering <- false;
+      t.recovered_count <- t.recovered_count + 1;
+      Registry.set t.g_recovery_us (Engine.now t.engine -. t.recovery_started_at)
     end
 
 (* ----- client requests, batching, suspicion ----- *)
@@ -178,16 +217,22 @@ let on_request t (r : Message.request) =
   end
 
 let on_payload t ~src:_ payload =
-  if not t.crashed then
+  if not t.crashed then begin
+    let epoch = t.epoch in
     Resource.submit t.loop ~cost:(loop_cost t (String.length payload)) (fun () ->
-        if not t.crashed then
+        if t.epoch = epoch && not t.crashed then
           match Message.decode payload with
           | Error _ -> ()
           | Ok (Message.Request r) -> on_request t r
           | Ok msg ->
+            (match msg with
+            | Message.State_reply _ | Message.State_request _ ->
+              Registry.add t.c_state_bytes_in (String.length payload)
+            | _ -> ());
             List.iter
               (fun (compartment, m) -> ecall t compartment (Wire.In_net m))
               (route msg))
+  end
 
 let create engine net (cfg : Config.t) ~enclave_of =
   let obs = Engine.obs engine in
@@ -251,9 +296,29 @@ let create engine net (cfg : Config.t) ~enclave_of =
                 (* keep escalating while requests stay unanswered *)
                 Timer.restart t.suspect_timer
               end);
+        recovery_timer =
+          Timer.create engine
+            ~label:(Printf.sprintf "broker%d-recovery" cfg.id)
+            ~delay:cfg.recovery_retry_us
+            ~callback:
+              (fun () ->
+              let t = Lazy.force t in
+              (* A state-request round can be lost with the messages that
+                 were in flight at crash time; re-prompt Execution (which
+                 just re-broadcasts its request — the other compartments
+                 must not re-unseal) until recovery completes. *)
+              if t.recovering && not t.crashed then begin
+                ecall t Ids.Execution (Wire.In_recover None);
+                Timer.restart t.recovery_timer
+              end);
         storage = [];
         fault = Env_honest;
         crashed = false;
+        epoch = 0;
+        alerts = [];
+        recovering = false;
+        recovery_started_at = 0.0;
+        recovered_count = 0;
         ecall_counter_of = (fun c -> List.assoc c ecall_counters);
         c_batches = Registry.counter obs ~labels:[ replica_label ] "broker.batches";
         h_batch_occupancy =
@@ -261,7 +326,15 @@ let create engine net (cfg : Config.t) ~enclave_of =
             ~buckets:[ 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 400.0 ]
             "broker.batch_occupancy";
         c_suspect_firings =
-          Registry.counter obs ~labels:[ replica_label ] "broker.suspect_firings" }
+          Registry.counter obs ~labels:[ replica_label ] "broker.suspect_firings";
+        c_restarts = Registry.counter obs ~labels:[ replica_label ] "broker.restarts";
+        c_alerts = Registry.counter obs ~labels:[ replica_label ] "broker.recovery_alerts";
+        g_recovery_us =
+          Registry.gauge obs ~labels:[ replica_label ] "broker.recovery_duration_us";
+        c_state_bytes_out =
+          Registry.counter obs ~labels:[ replica_label ] "broker.state_transfer_bytes_out";
+        c_state_bytes_in =
+          Registry.counter obs ~labels:[ replica_label ] "broker.state_transfer_bytes_in" }
   in
   let t = Lazy.force t in
   Network.register net (Addr.replica cfg.id) (fun ~src payload -> on_payload t ~src payload);
@@ -271,13 +344,44 @@ let set_fault t fault = t.fault <- fault
 
 let crash t =
   t.crashed <- true;
+  (* Quiesce: bump the incarnation so in-flight completions die on arrival,
+     stop the timers and drop queued host-side work.  Storage survives —
+     it is the (untrusted) disk recovery will read from. *)
+  t.epoch <- t.epoch + 1;
   Timer.stop t.batch_timer;
   Timer.stop t.suspect_timer;
+  Timer.stop t.recovery_timer;
+  Queue.clear t.pending;
+  Hashtbl.reset t.queued;
+  Hashtbl.reset t.awaiting;
+  t.recovering <- false;
   Network.unregister t.net (Addr.replica t.cfg.id)
+
+let restart t =
+  if t.crashed then begin
+    t.crashed <- false;
+    t.view <- 0;  (* belief only; re-learned from Out_entered_view *)
+    t.recovering <- true;
+    t.recovery_started_at <- Engine.now t.engine;
+    Registry.incr t.c_restarts;
+    Network.register t.net (Addr.replica t.cfg.id) (fun ~src payload ->
+        on_payload t ~src payload);
+    (* Recovery handshake: hand each compartment the newest sealed
+       checkpoint blob on disk ([storage] is newest-first), or [None] if
+       there is none.  The compartment decides whether to trust it. *)
+    List.iter
+      (fun compartment ->
+        let tag = "ckpt:" ^ Ids.compartment_name compartment in
+        ecall t compartment (Wire.In_recover (List.assoc_opt tag t.storage)))
+      Ids.all_compartments;
+    Timer.restart t.recovery_timer
+  end
 
 let is_crashed t = t.crashed
 let view_belief t = t.view
 let persisted t = List.rev t.storage
+let alerts t = List.rev t.alerts
+let recovered t = t.recovered_count > 0 && not t.recovering
 
 let ecalls_to t compartment =
   int_of_float (Registry.counter_value (t.ecall_counter_of compartment))

@@ -33,8 +33,27 @@ val create :
 
 val set_fault : t -> fault -> unit
 val crash : t -> unit
-(** Host crash: unregister from the network, stop timers.  The enclaves
-    become unreachable (their state survives, as on real hardware). *)
+(** Host crash: unregister from the network, stop timers, and quiesce —
+    queued batches and pending ecall work are dropped and any in-flight
+    completions are invalidated, so a later {!restart} observes no ghost
+    callbacks from the previous incarnation.  The enclaves become
+    unreachable (their state survives, as on real hardware), and sealed
+    storage survives too. *)
+
+val restart : t -> unit
+(** Recover from a host crash: re-register on the network and hand each
+    compartment its newest sealed checkpoint blob (or [None]) via
+    [In_recover].  The compartments validate the blob against their
+    rollback counters; Execution then drives state transfer and reports
+    [Out_recovered] once caught up.  No-op if not crashed. *)
+
+val alerts : t -> string list
+(** Safety alerts raised by compartments (e.g. rollback detection during
+    recovery), oldest first. *)
+
+val recovered : t -> bool
+(** True once a restart completed recovery (state transfer caught up) and
+    no recovery is currently in progress. *)
 
 val is_crashed : t -> bool
 val view_belief : t -> Ids.view

@@ -16,6 +16,7 @@ type t = {
   watermark_window : int;
   suspect_timeout_us : float;
   viewchange_timeout_us : float;
+  recovery_retry_us : float;
 }
 
 let default ~n ~id =
@@ -28,7 +29,8 @@ let default ~n ~id =
     checkpoint_interval = 64;
     watermark_window = 1024;
     suspect_timeout_us = 500_000.0;
-    viewchange_timeout_us = 1_000_000.0 }
+    viewchange_timeout_us = 1_000_000.0;
+    recovery_retry_us = 150_000.0 }
 
 let f t = Ids.f_of_n t.n
 let quorum t = Ids.quorum ~n:t.n

@@ -22,6 +22,10 @@ type t = {
   watermark_window : int;
   suspect_timeout_us : float;
   viewchange_timeout_us : float;
+  recovery_retry_us : float;
+      (** while recovering after a restart, the broker re-prompts the
+          Execution compartment at this period so a state-request round
+          lost to in-flight message drop does not stall catch-up *)
 }
 
 val default : n:int -> id:Ids.replica_id -> t

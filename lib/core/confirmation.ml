@@ -5,6 +5,8 @@ module Enclave = Splitbft_tee.Enclave
 module Log = Splitbft_consensus.Log
 module Votes = Splitbft_consensus.Votes
 module Ckpt = Splitbft_consensus.Ckpt
+module W = Splitbft_codec.Writer
+module R = Splitbft_codec.Reader
 
 type byz = Conf_honest | Conf_promiscuous
 
@@ -30,6 +32,7 @@ type state = {
   prepared : Message.prepared_proof Log.t;  (* for ViewChange; survives suspicion *)
   ckpt : Ckpt.t;
   mutable commit_count : int;
+  mutable halted : bool;
 }
 
 let create_state (cfg : Config.t) =
@@ -42,7 +45,8 @@ let create_state (cfg : Config.t) =
     prepares = Votes.create ~size:128 ();
     prepared = Log.create ~window:cfg.watermark_window ();
     ckpt = Ckpt.create ~quorum:(Config.quorum cfg);
-    commit_count = 0 }
+    commit_count = 0;
+    halted = false }
 
 let in_window st seq = Log.in_window st.proposals seq
 
@@ -107,6 +111,70 @@ let gc st stable =
   Log.advance_low_mark st.prepared stable;
   Log.prune st.prepared ~upto:stable
 
+(* ----- rollback-protected sealed checkpoints (view + stable mark) ----- *)
+
+let encode_recovery_image ~counter st =
+  W.to_string
+    (fun w () ->
+      W.u64 w counter;
+      W.varint w st.view;
+      W.varint w (Ckpt.last_stable st.ckpt))
+    ()
+
+let decode_recovery_image s =
+  R.parse
+    (fun r ->
+      let counter = R.u64 r in
+      let view = R.varint r in
+      let last_stable = R.varint r in
+      (counter, view, last_stable))
+    s
+
+let seal_checkpoint_state env st =
+  let counter = Enclave.counter_increment env "ckpt" in
+  let sealed = Enclave.seal env (encode_recovery_image ~counter st) in
+  Enclave.ocall env
+    (Wire.encode_output (Wire.Out_persist { tag = "ckpt:confirmation"; data = sealed }))
+
+let on_recover env st blob_opt =
+  let refuse reason =
+    st.halted <- true;
+    Enclave.emit env (Wire.encode_output (Wire.Out_alert reason))
+  in
+  (* One-slot tolerance: the counter bumps inside the seal but the blob is
+     persisted asynchronously by the untrusted host, so a crash can
+     legitimately lose the newest seal (see Execution.on_recover). *)
+  let counter = Enclave.counter_read env "ckpt" in
+  match blob_opt with
+  | None ->
+    if Int64.compare counter 1L > 0 then
+      refuse
+        (Printf.sprintf
+           "confirmation: rollback detected — counter at %Ld but no sealed checkpoint offered"
+           counter)
+  | Some sealed -> (
+    match Enclave.unseal env sealed with
+    | Error e -> refuse ("confirmation: sealed checkpoint rejected: " ^ e)
+    | Ok blob -> (
+      match decode_recovery_image blob with
+      | Error e -> refuse ("confirmation: sealed checkpoint malformed: " ^ e)
+      | Ok (sealed_counter, view, last_stable) ->
+        if
+          Int64.compare sealed_counter counter <> 0
+          && Int64.compare sealed_counter (Int64.pred counter) <> 0
+        then
+          refuse
+            (Printf.sprintf
+               "confirmation: rollback detected — sealed checkpoint bound to counter %Ld, \
+                platform counter is %Ld"
+               sealed_counter counter)
+        else begin
+          st.view <- view;
+          Ckpt.force_stable st.ckpt last_stable;
+          Log.advance_low_mark st.proposals last_stable;
+          Log.advance_low_mark st.prepared last_stable
+        end))
+
 (* Handler (5): primary suspicion from the environment's request timer. *)
 let on_suspect env st suspected_view =
   if suspected_view >= st.view then begin
@@ -142,31 +210,41 @@ let on_newview env st (nv : Message.newview) =
     st.view <- nv.nv_view;
     Log.reset st.proposals;
     Votes.reset st.prepares;
-    Log.reset st.prepared;
+    (* [st.prepared] is deliberately kept (as in on_suspect): dropping the
+       certificates for unstable seqs here would let a still-later NewView
+       re-propose different content at seqs already committed under them.
+       Stability-driven [gc] below prunes whatever the checkpoint covers;
+       per-seq entries are overwritten when a higher view re-prepares. *)
     gc st (Ckpt.last_stable st.ckpt);
     Enclave.emit env (Wire.encode_output (Wire.Out_entered_view st.view))
   end
 
 let handle env st ~byz (input : Wire.input) =
-  match input with
-  | Wire.In_suspect v -> on_suspect env st v
-  | Wire.In_batch _ -> ()
-  | Wire.In_net msg -> (
-    match msg with
-    | Message.Preprepare pp ->
-      (* A correct broker sends the digest form; accept the full form too
-         (it carries strictly more). *)
-      on_proposal env st ~byz (Message.summarize pp)
-    | Message.Preprepare_digest pd -> on_proposal env st ~byz pd
-    | Message.Prepare p -> on_prepare env st p
-    | Message.Newview nv -> on_newview env st nv
-    | Message.Checkpoint ck ->
-      Common.on_checkpoint env ~exec_lookup:st.exec_lookup st.ckpt ck
-        ~on_stable:(fun stable -> gc st stable)
-    | Message.Request _ | Message.Commit _ | Message.Reply _ | Message.Viewchange _
-    | Message.Session_init _ | Message.Session_quote _ | Message.Session_key _
-    | Message.Session_ack _ | Message.Batch_fetch _ | Message.Batch_data _ ->
-      ())
+  if st.halted then ()
+  else
+    match input with
+    | Wire.In_suspect v -> on_suspect env st v
+    | Wire.In_batch _ -> ()
+    | Wire.In_recover blob -> on_recover env st blob
+    | Wire.In_net msg -> (
+      match msg with
+      | Message.Preprepare pp ->
+        (* A correct broker sends the digest form; accept the full form too
+           (it carries strictly more). *)
+        on_proposal env st ~byz (Message.summarize pp)
+      | Message.Preprepare_digest pd -> on_proposal env st ~byz pd
+      | Message.Prepare p -> on_prepare env st p
+      | Message.Newview nv -> on_newview env st nv
+      | Message.Checkpoint ck ->
+        Common.on_checkpoint env ~exec_lookup:st.exec_lookup st.ckpt ck
+          ~on_stable:(fun stable ->
+            gc st stable;
+            seal_checkpoint_state env st)
+      | Message.Request _ | Message.Commit _ | Message.Reply _ | Message.Viewchange _
+      | Message.Session_init _ | Message.Session_quote _ | Message.Session_key _
+      | Message.Session_ack _ | Message.Batch_fetch _ | Message.Batch_data _
+      | Message.State_request _ | Message.State_reply _ ->
+        ())
 
 let make ?(byz = Conf_honest) (cfg : Config.t) =
   let current = ref (create_state cfg) in

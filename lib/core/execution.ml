@@ -4,15 +4,23 @@ module Validation = Splitbft_types.Validation
 module Session = Splitbft_types.Session
 module Keys = Splitbft_types.Keys
 module Addr = Splitbft_types.Addr
+module Enclave_identity = Splitbft_types.Enclave_identity
 module Enclave = Splitbft_tee.Enclave
+module Measurement = Splitbft_tee.Measurement
 module Box = Splitbft_crypto.Box
 module Hmac = Splitbft_crypto.Hmac
+module Kdf = Splitbft_crypto.Kdf
+module Aead = Splitbft_crypto.Aead
+module Sha256 = Splitbft_crypto.Sha256
+module Rng = Splitbft_util.Rng
 module State_machine = Splitbft_app.State_machine
 module Log = Splitbft_consensus.Log
 module Votes = Splitbft_consensus.Votes
 module Ckpt = Splitbft_consensus.Ckpt
 module Client_table = Splitbft_consensus.Client_table
 module Sessions = Splitbft_consensus.Sessions
+module W = Splitbft_codec.Writer
+module R = Splitbft_codec.Reader
 
 type byz = Exec_honest | Exec_leak | Exec_corrupt
 
@@ -44,6 +52,16 @@ type state = {
   ckpt : Ckpt.t;
   fetching : (string, unit) Hashtbl.t;  (* batch digests requested from peers *)
   mutable executed_total : int;
+  snapshots : (Ids.seqno, string) Hashtbl.t;  (* app snapshots at checkpoint seqs *)
+  sync_votes : (Ids.seqno, string * Message.request list) Votes.t;
+  mutable sync_replies : (Ids.replica_id * Ids.seqno * Ids.view) list;
+  quote_offered : (Ids.client_id, unit) Hashtbl.t;
+  mutable instance_nonce : string;
+  mutable recovering : bool;
+  mutable recovered_once : bool;
+      (* latches when recovery completes so a stale retry prompt from the
+         broker cannot re-enter the unseal path of a synced incarnation *)
+  mutable halted : bool;
 }
 
 let create_state (cfg : Config.t) ~app =
@@ -63,13 +81,99 @@ let create_state (cfg : Config.t) ~app =
     sessions = Sessions.create ();
     ckpt = Ckpt.create ~quorum:(Config.quorum cfg);
     fetching = Hashtbl.create 8;
-    executed_total = 0 }
+    executed_total = 0;
+    snapshots = Hashtbl.create 4;
+    sync_votes = Votes.create ~size:32 ();
+    sync_replies = [];
+    quote_offered = Hashtbl.create 8;
+    instance_nonce = "";
+    recovering = false;
+    recovered_once = false;
+    halted = false }
 
 let in_window st seq = Log.in_window st.decided seq
+
+(* ----- rollback-protected sealed checkpoints (§4–5) -----
+
+   Every checkpoint, the compartment seals its recoverable state and binds
+   the blob to a fresh value of a named monotonic counter.  A recovering
+   incarnation accepts only the blob matching the current counter value: a
+   host replaying an older blob (or wiping the counter) is detected and
+   recovery aborts loudly instead of silently rejoining with stale state. *)
+
+type recovery_image = {
+  ri_counter : int64;
+  ri_view : Ids.view;
+  ri_last_executed : Ids.seqno;
+  ri_snapshot : string;
+  ri_executed : (Ids.seqno * string) list;
+  ri_sessions : (Ids.client_id * Session.keys) list;
+}
+
+let encode_recovery_image ri =
+  W.to_string
+    (fun w () ->
+      W.u64 w ri.ri_counter;
+      W.varint w ri.ri_view;
+      W.varint w ri.ri_last_executed;
+      W.bytes w ri.ri_snapshot;
+      W.list w
+        (fun w (seq, d) ->
+          W.varint w seq;
+          W.bytes w d)
+        ri.ri_executed;
+      W.list w
+        (fun w (c, (k : Session.keys)) ->
+          W.varint w c;
+          W.bytes w k.Session.auth;
+          W.bytes w k.Session.enc)
+        ri.ri_sessions)
+    ()
+
+let decode_recovery_image s =
+  R.parse
+    (fun r ->
+      let ri_counter = R.u64 r in
+      let ri_view = R.varint r in
+      let ri_last_executed = R.varint r in
+      let ri_snapshot = R.bytes r in
+      let ri_executed =
+        R.list r (fun r ->
+            let seq = R.varint r in
+            let d = R.bytes r in
+            (seq, d))
+      in
+      let ri_sessions =
+        R.list r (fun r ->
+            let c = R.varint r in
+            let auth = R.bytes r in
+            let enc = R.bytes r in
+            (c, { Session.auth; enc }))
+      in
+      { ri_counter; ri_view; ri_last_executed; ri_snapshot; ri_executed; ri_sessions })
+    s
+
+let seal_checkpoint_state env st seq snapshot =
+  let counter = Enclave.counter_increment env "ckpt" in
+  let image =
+    { ri_counter = counter;
+      ri_view = st.view;
+      ri_last_executed = seq;
+      ri_snapshot = snapshot;
+      ri_executed =
+        Hashtbl.fold (fun s d acc -> (s, d) :: acc) st.executed_log [] |> List.sort compare;
+      ri_sessions = Sessions.fold (fun c k acc -> (c, k) :: acc) st.sessions [] }
+  in
+  let sealed = Enclave.seal env (encode_recovery_image image) in
+  Enclave.ocall env (Wire.encode_output (Wire.Out_persist { tag = "ckpt:execution"; data = sealed }))
 
 (* Handler (8): originate a Checkpoint every interval. *)
 let send_checkpoint_if_due env st seq =
   if seq mod st.cfg.checkpoint_interval = 0 then begin
+    let snapshot = st.app.State_machine.snapshot () in
+    (* Kept so a later [State_request] can be served with the snapshot
+       matching this (eventually stable) certified state digest. *)
+    Hashtbl.replace st.snapshots seq snapshot;
     let ck =
       { Message.seq;
         state_digest = State_machine.digest st.app;
@@ -80,13 +184,38 @@ let send_checkpoint_if_due env st seq =
     (* Own checkpoints never complete a quorum alone; advancing happens
        when peer checkpoints arrive through [Common.on_checkpoint]. *)
     Ckpt.store st.ckpt ck;
-    Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Checkpoint ck)))
+    Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Checkpoint ck)));
+    seal_checkpoint_state env st seq snapshot
   end
 
 let gc st stable =
   Votes.prune st.commits ~keep:(fun seq -> seq > stable);
   Log.advance_low_mark st.decided stable;
-  Log.prune st.decided ~upto:stable
+  Log.prune st.decided ~upto:stable;
+  let stale =
+    Hashtbl.fold (fun s _ acc -> if s < stable then s :: acc else acc) st.snapshots []
+  in
+  List.iter (Hashtbl.remove st.snapshots) stale
+
+let send_session_quote env st client =
+  Hashtbl.replace st.quote_offered client ();
+  let sq =
+    { Message.sq_replica = st.cfg.id;
+      sq_quote = Enclave.quote env;
+      sq_box_public = st.box.Box.public;
+      sq_nonce = st.instance_nonce;
+      sq_sig = "" }
+  in
+  let sq = { sq with sq_sig = Common.sign_with env (Message.session_quote_signing_bytes sq) } in
+  Enclave.emit env
+    (Wire.encode_output (Wire.Out_send (Addr.client client, Message.Session_quote sq)))
+
+(* Re-attestation path: a request we hold no session for means the client
+   believes it is provisioned (e.g. it attested a previous incarnation
+   whose sessions died with the crash) — push it a fresh quote, at most
+   once per client per incarnation, so it can re-provision. *)
+let offer_session env st client =
+  if not (Hashtbl.mem st.quote_offered client) then send_session_quote env st client
 
 let execute_request env st ~byz (req : Message.request) =
   let c = Enclave.cost_model env in
@@ -128,7 +257,9 @@ let execute_request env st ~byz (req : Message.request) =
     in
     st.executed_total <- st.executed_total + 1;
     match session with
-    | None -> Client_table.record st.clients req.client req.timestamp None
+    | None ->
+      Client_table.record st.clients req.client req.timestamp None;
+      offer_session env st req.client
     | Some keys ->
       let encrypted =
         Session.encrypt_result keys ~client:req.client ~timestamp:req.timestamp
@@ -188,6 +319,251 @@ let rec try_execute env st ~byz =
       send_checkpoint_if_due env st seq;
       try_execute env st ~byz)
 
+(* ----- state transfer -----
+
+   A recovering Execution broadcasts a [State_request]; peers answer with
+   their checkpoint certificate, the snapshot matching its state digest and
+   the decided log suffix.  The snapshot travels AEAD-protected under a key
+   derived from the Execution measurement, modelling the attested
+   enclave-to-enclave channel of the paper: the untrusted hosts relaying it
+   learn nothing about application state. *)
+
+let transfer_aad = "splitbft-state-transfer"
+
+let transfer_key =
+  lazy
+    (Kdf.derive ~ikm:"splitbft-exec-state-transfer"
+       ~info:(Measurement.to_raw Enclave_identity.execution) ~length:32 ())
+
+let transfer_nonce ~replier ~stable =
+  String.sub (Sha256.digest (Printf.sprintf "st-nonce:%d:%d" replier stable)) 0 Aead.nonce_size
+
+let on_state_request env st (sr : Message.state_request) =
+  Enclave.charge env 2.0;
+  if sr.sr_requester <> st.cfg.id then begin
+    let stable = Ckpt.last_stable st.ckpt in
+    let snapshot =
+      if stable > 0 && sr.sr_from <= stable then
+        match Hashtbl.find_opt st.snapshots stable with
+        | Some snap ->
+          let c = Enclave.cost_model env in
+          Enclave.charge env (c.seal_per_byte_us *. float_of_int (String.length snap));
+          Aead.encrypt ~key:(Lazy.force transfer_key)
+            ~nonce:(transfer_nonce ~replier:st.cfg.id ~stable)
+            ~aad:transfer_aad snap
+        | None -> ""
+      else ""
+    in
+    let entries =
+      Log.fold
+        (fun seq digest acc ->
+          if seq >= sr.sr_from && seq <= st.last_executed then
+            match
+              if String.equal digest Message.empty_batch_digest then Some []
+              else Hashtbl.find_opt st.batches digest
+            with
+            | Some batch ->
+              { Message.se_seq = seq; se_digest = digest; se_batch = batch } :: acc
+            | None -> acc
+          else acc)
+        st.decided []
+      |> List.sort (fun a b -> compare a.Message.se_seq b.Message.se_seq)
+    in
+    let reply =
+      { Message.st_replier = st.cfg.id;
+        st_requester = sr.sr_requester;
+        st_stable = stable;
+        st_proof = Ckpt.proof st.ckpt;
+        st_snapshot = snapshot;
+        st_view = st.view;
+        st_entries = entries }
+    in
+    Enclave.emit env
+      (Wire.encode_output
+         (Wire.Out_send (Addr.replica sr.sr_requester, Message.State_reply reply)))
+  end
+
+(* Caught up once we reach the height vouched by f+1 repliers (at least one
+   honest, so the target is a height the cluster genuinely reached). *)
+let finish_recovery_if_caught_up env st =
+  if st.recovering then begin
+    let f1 = Config.f st.cfg + 1 in
+    if List.length st.sync_replies >= f1 then begin
+      let heights =
+        List.map (fun (_, h, _) -> h) st.sync_replies |> List.sort (fun a b -> compare b a)
+      in
+      if st.last_executed >= List.nth heights (f1 - 1) then begin
+        st.recovering <- false;
+        st.recovered_once <- true;
+        st.sync_replies <- [];
+        Votes.reset st.sync_votes;
+        Enclave.emit env (Wire.encode_output Wire.Out_recovered)
+      end
+    end
+  end
+
+let on_state_reply env st ~byz (sr : Message.state_reply) =
+  Enclave.charge env (1.0 +. float_of_int (List.length sr.st_entries));
+  if st.recovering && sr.st_requester = st.cfg.id && sr.st_replier <> st.cfg.id
+  then begin
+    let quorum = Config.quorum st.cfg in
+    (* Certified snapshot: install only if it moves us forward and its
+       digest matches the checkpoint-quorum certificate. *)
+    (if String.length sr.st_snapshot > 0 && sr.st_stable > st.last_executed then begin
+       Common.charge_verify env (List.length sr.st_proof);
+       let proof_ok =
+         Validation.checkpoint_quorum_seq ~quorum sr.st_proof = Some sr.st_stable
+         && List.for_all (Validation.verify_checkpoint st.exec_lookup) sr.st_proof
+       in
+       if proof_ok then
+         match
+           Aead.decrypt ~key:(Lazy.force transfer_key)
+             ~nonce:(transfer_nonce ~replier:sr.st_replier ~stable:sr.st_stable)
+             ~aad:transfer_aad sr.st_snapshot
+         with
+         | Error _ -> ()
+         | Ok snap ->
+           let certified_digest =
+             match sr.st_proof with
+             | ck :: _ -> ck.Message.state_digest
+             | [] -> ""
+           in
+           if String.equal (Sha256.digest snap) certified_digest then begin
+             match st.app.State_machine.restore snap with
+             | Error _ -> ()
+             | Ok () ->
+               ignore (st.app.State_machine.drain_effects ());
+               st.last_executed <- sr.st_stable;
+               Hashtbl.replace st.snapshots sr.st_stable snap;
+               Ckpt.force_stable st.ckpt sr.st_stable;
+               Log.advance_low_mark st.decided sr.st_stable
+           end
+     end);
+    (* Log suffix: entries are content-addressed but unsigned, so install a
+       slot only once f+1 distinct repliers vouch for the same digest. *)
+    List.iter
+      (fun (e : Message.state_entry) ->
+        if
+          e.se_seq > st.last_executed
+          && (not (Log.mem st.decided e.se_seq))
+          && String.equal (Message.digest_of_batch e.se_batch) e.se_digest
+          && Votes.add st.sync_votes ~key:e.se_seq ~sender:sr.st_replier
+               (e.se_digest, e.se_batch)
+        then begin
+          let matching =
+            List.filter
+              (fun (d, _) -> String.equal d e.se_digest)
+              (Votes.get st.sync_votes e.se_seq)
+          in
+          if List.length matching >= Config.f st.cfg + 1 then begin
+            Hashtbl.replace st.batches e.se_digest e.se_batch;
+            Log.set st.decided e.se_seq e.se_digest
+          end
+        end)
+      sr.st_entries;
+    let vouched =
+      List.fold_left
+        (fun acc (e : Message.state_entry) -> max acc e.se_seq)
+        sr.st_stable sr.st_entries
+    in
+    (* One live slot per replier: a retry round's reply supersedes the
+       replier's earlier (possibly shorter) one. *)
+    st.sync_replies <-
+      (sr.st_replier, vouched, sr.st_view)
+      :: List.filter (fun (r, _, _) -> r <> sr.st_replier) st.sync_replies;
+    (* Adopt the view vouched by f+1 repliers so commits flowing in the
+       cluster's current view are not discarded. *)
+    let f1 = Config.f st.cfg + 1 in
+    if List.length st.sync_replies >= f1 then begin
+      let views =
+        List.map (fun (_, _, v) -> v) st.sync_replies |> List.sort (fun a b -> compare b a)
+      in
+      let v = List.nth views (f1 - 1) in
+      if v > st.view then begin
+        st.view <- v;
+        Votes.reset st.commits;
+        Enclave.emit env (Wire.encode_output (Wire.Out_entered_view st.view))
+      end
+    end;
+    try_execute env st ~byz;
+    finish_recovery_if_caught_up env st
+  end
+
+(* ----- restart handshake ----- *)
+
+let on_recover env st blob_opt =
+  if st.recovering then
+    (* Retry round from the broker: commits in flight during the crash are
+       lost, so one request can leave a gap.  Re-ask from where we are —
+       re-unsealing now would roll freshly transferred state backward. *)
+    Enclave.emit env
+      (Wire.encode_output
+         (Wire.Out_broadcast
+            (Message.State_request { sr_requester = st.cfg.id; sr_from = st.last_executed + 1 })))
+  else if st.recovered_once then ()
+    (* stale retry prompt delivered after recovery completed *)
+  else begin
+  let refuse reason =
+    st.halted <- true;
+    Enclave.emit env (Wire.encode_output (Wire.Out_alert reason))
+  in
+  (* The enclave bumps the counter *inside* the seal, but the blob reaches
+     disk through the untrusted host asynchronously — a crash can land
+     between the two, legitimately losing the newest seal.  So acceptance
+     tolerates exactly one slot: a blob bound to [counter] or
+     [counter - 1].  A replayed blob is always ≥ 2 behind (or fails the
+     absent-blob check below), so the tolerance never masks an attack; it
+     costs at most one checkpoint interval of staleness, which state
+     transfer repairs anyway. *)
+  let counter = Enclave.counter_read env "ckpt" in
+  (match blob_opt with
+  | None ->
+    (* A counter past 1 proves an earlier seal reached disk (the one-slot
+       window only covers the newest); an absent blob means the host
+       destroyed (or withheld) it — a rollback to the empty state. *)
+    if Int64.compare counter 1L > 0 then
+      refuse
+        (Printf.sprintf
+           "execution: rollback detected — counter at %Ld but no sealed checkpoint offered"
+           counter)
+  | Some sealed -> (
+    match Enclave.unseal env sealed with
+    | Error e -> refuse ("execution: sealed checkpoint rejected: " ^ e)
+    | Ok blob -> (
+      match decode_recovery_image blob with
+      | Error e -> refuse ("execution: sealed checkpoint malformed: " ^ e)
+      | Ok ri ->
+        if
+          Int64.compare ri.ri_counter counter <> 0
+          && Int64.compare ri.ri_counter (Int64.pred counter) <> 0
+        then
+          refuse
+            (Printf.sprintf
+               "execution: rollback detected — sealed checkpoint bound to counter %Ld, \
+                platform counter is %Ld"
+               ri.ri_counter counter)
+        else begin
+          match st.app.State_machine.restore ri.ri_snapshot with
+          | Error e -> refuse ("execution: sealed snapshot rejected by application: " ^ e)
+          | Ok () ->
+            ignore (st.app.State_machine.drain_effects ());
+            st.view <- ri.ri_view;
+            st.last_executed <- ri.ri_last_executed;
+            List.iter (fun (s, d) -> Hashtbl.replace st.executed_log s d) ri.ri_executed;
+            List.iter (fun (c, k) -> Sessions.set st.sessions c k) ri.ri_sessions;
+            Hashtbl.replace st.snapshots ri.ri_last_executed ri.ri_snapshot;
+            Ckpt.force_stable st.ckpt ri.ri_last_executed;
+            Log.advance_low_mark st.decided ri.ri_last_executed
+        end)));
+  if not st.halted then begin
+    st.recovering <- true;
+    Enclave.emit env
+      (Wire.encode_output
+         (Wire.Out_broadcast
+            (Message.State_request { sr_requester = st.cfg.id; sr_from = st.last_executed + 1 })))
+  end
+  end
+
 (* Full-request PrePrepares are duplicated into this compartment's log so
    Commits (which carry only digests) can be executed. *)
 let on_preprepare env st ~byz (pp : Message.preprepare) =
@@ -213,7 +589,8 @@ let on_commit env st ~byz (c : Message.commit) =
           ~seq:c.seq ~digest:c.digest commits
       then begin
         Log.set st.decided c.seq c.digest;
-        try_execute env st ~byz
+        try_execute env st ~byz;
+        finish_recovery_if_caught_up env st
       end
     end
   end
@@ -234,16 +611,7 @@ let on_newview env st (nv : Message.newview) =
 
 (* Session establishment (§4 step 1): quote, then receive the session keys
    through the attestation box, then acknowledge under the auth key. *)
-let on_session_init env st (si : Message.session_init) =
-  let sq =
-    { Message.sq_replica = st.cfg.id;
-      sq_quote = Enclave.quote env;
-      sq_box_public = st.box.Box.public;
-      sq_sig = "" }
-  in
-  let sq = { sq with sq_sig = Common.sign_with env (Message.session_quote_signing_bytes sq) } in
-  Enclave.emit env
-    (Wire.encode_output (Wire.Out_send (Addr.client si.si_client, Message.Session_quote sq)))
+let on_session_init env st (si : Message.session_init) = send_session_quote env st si.si_client
 
 let on_session_key env st (sk : Message.session_key) =
   Enclave.charge env (Enclave.cost_model env).decrypt_request_us;
@@ -287,29 +655,54 @@ let on_batch_data env st ~byz (bd : Message.batch_data) =
   end
 
 let handle env st ~byz (input : Wire.input) =
-  match input with
-  | Wire.In_batch _ | Wire.In_suspect _ -> ()
-  | Wire.In_net msg -> (
-    match msg with
-    | Message.Preprepare pp -> on_preprepare env st ~byz pp
-    | Message.Commit c -> on_commit env st ~byz c
-    | Message.Batch_fetch bf -> on_batch_fetch env st bf
-    | Message.Batch_data bd -> on_batch_data env st ~byz bd
-    | Message.Newview nv -> on_newview env st nv
-    | Message.Checkpoint ck ->
-      Common.on_checkpoint env ~exec_lookup:st.exec_lookup st.ckpt ck
-        ~on_stable:(fun stable -> gc st stable)
-    | Message.Session_init si -> on_session_init env st si
-    | Message.Session_key sk -> on_session_key env st sk
-    | Message.Request _ | Message.Preprepare_digest _ | Message.Prepare _
-    | Message.Reply _ | Message.Viewchange _ | Message.Session_quote _
-    | Message.Session_ack _ ->
-      ())
+  if st.halted then ()
+  else
+    match input with
+    | Wire.In_batch _ | Wire.In_suspect _ -> ()
+    | Wire.In_recover blob -> on_recover env st blob
+    | Wire.In_net msg -> (
+      match msg with
+      | Message.Preprepare pp -> on_preprepare env st ~byz pp
+      | Message.Commit c -> on_commit env st ~byz c
+      | Message.Batch_fetch bf -> on_batch_fetch env st bf
+      | Message.Batch_data bd -> on_batch_data env st ~byz bd
+      | Message.Newview nv -> on_newview env st nv
+      | Message.Checkpoint ck ->
+        Common.on_checkpoint env ~exec_lookup:st.exec_lookup st.ckpt ck
+          ~on_stable:(fun stable ->
+            gc st stable;
+            (* A quorum certified state a full interval past what we have
+               executed (e.g. we sat out a partition): the commits we missed
+               will not be retransmitted, so catch up through the same
+               state-transfer path a restarted replica uses. *)
+            if
+              (not st.recovering)
+              && stable >= st.last_executed + st.cfg.checkpoint_interval
+            then begin
+              st.recovering <- true;
+              st.sync_replies <- [];
+              Enclave.emit env
+                (Wire.encode_output
+                   (Wire.Out_broadcast
+                      (Message.State_request
+                         { sr_requester = st.cfg.id; sr_from = st.last_executed + 1 })))
+            end)
+      | Message.Session_init si -> on_session_init env st si
+      | Message.Session_key sk -> on_session_key env st sk
+      | Message.State_request sr -> on_state_request env st sr
+      | Message.State_reply sr -> on_state_reply env st ~byz sr
+      | Message.Request _ | Message.Preprepare_digest _ | Message.Prepare _
+      | Message.Reply _ | Message.Viewchange _ | Message.Session_quote _
+      | Message.Session_ack _ ->
+        ())
 
 let make ?(byz = Exec_honest) (cfg : Config.t) ~app =
   let current = ref (create_state cfg ~app) in
   let program env =
     let st = create_state cfg ~app in
+    (* Fresh per incarnation: lets clients tell a recovered enclave (which
+       needs re-provisioning) apart from a quote retransmission. *)
+    st.instance_nonce <- Rng.bytes (Enclave.env_rng env) 16;
     current := st;
     fun payload ->
       match Wire.decode_input payload with

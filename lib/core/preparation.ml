@@ -15,6 +15,9 @@ module Client_table = Splitbft_consensus.Client_table
 module Sessions = Splitbft_consensus.Sessions
 module Proofs = Splitbft_consensus.Proofs
 module Newview_logic = Splitbft_consensus.Newview
+module Rng = Splitbft_util.Rng
+module W = Splitbft_codec.Writer
+module R = Splitbft_codec.Reader
 
 type byz = Prep_honest | Prep_equivocate
 
@@ -40,6 +43,8 @@ type state = {
   sessions : string Sessions.t;  (* client auth keys *)
   viewchanges : (Ids.view, Message.viewchange) Votes.t;
   ckpt : Ckpt.t;
+  mutable instance_nonce : string;
+  mutable halted : bool;
 }
 
 let create_state (cfg : Config.t) =
@@ -55,7 +60,9 @@ let create_state (cfg : Config.t) =
     assigned = Client_table.create ();
     sessions = Sessions.create ();
     viewchanges = Votes.create ~size:4 ();
-    ckpt = Ckpt.create ~quorum:(Config.quorum cfg) }
+    ckpt = Ckpt.create ~quorum:(Config.quorum cfg);
+    instance_nonce = "";
+    halted = false }
 
 let is_primary st = Config.primary_of_view st.cfg st.view = st.cfg.id
 let in_window st seq = Log.in_window st.preprepares seq
@@ -150,6 +157,88 @@ let gc st stable =
   Log.prune st.preprepares ~upto:stable;
   Votes.prune st.prepares ~keep:(fun seq -> seq > stable);
   if st.next_seq <= stable then st.next_seq <- stable + 1
+
+(* ----- rollback-protected sealed checkpoints -----
+
+   Sealed at every checkpoint stabilization, bound to this compartment's
+   own monotonic counter (the counter namespace is per-measurement, so the
+   three compartments of one replica do not collide). *)
+
+let encode_recovery_image ~counter st =
+  W.to_string
+    (fun w () ->
+      W.u64 w counter;
+      W.varint w st.view;
+      W.varint w st.next_seq;
+      W.varint w (Ckpt.last_stable st.ckpt);
+      W.list w
+        (fun w (c, auth) ->
+          W.varint w c;
+          W.bytes w auth)
+        (Sessions.fold (fun c k acc -> (c, k) :: acc) st.sessions []))
+    ()
+
+let decode_recovery_image s =
+  R.parse
+    (fun r ->
+      let counter = R.u64 r in
+      let view = R.varint r in
+      let next_seq = R.varint r in
+      let last_stable = R.varint r in
+      let sessions =
+        R.list r (fun r ->
+            let c = R.varint r in
+            let auth = R.bytes r in
+            (c, auth))
+      in
+      (counter, view, next_seq, last_stable, sessions))
+    s
+
+let seal_checkpoint_state env st =
+  let counter = Enclave.counter_increment env "ckpt" in
+  let sealed = Enclave.seal env (encode_recovery_image ~counter st) in
+  Enclave.ocall env
+    (Wire.encode_output (Wire.Out_persist { tag = "ckpt:preparation"; data = sealed }))
+
+let on_recover env st blob_opt =
+  let refuse reason =
+    st.halted <- true;
+    Enclave.emit env (Wire.encode_output (Wire.Out_alert reason))
+  in
+  (* One-slot tolerance: the counter bumps inside the seal but the blob is
+     persisted asynchronously by the untrusted host, so a crash can
+     legitimately lose the newest seal (see Execution.on_recover). *)
+  let counter = Enclave.counter_read env "ckpt" in
+  match blob_opt with
+  | None ->
+    if Int64.compare counter 1L > 0 then
+      refuse
+        (Printf.sprintf
+           "preparation: rollback detected — counter at %Ld but no sealed checkpoint offered"
+           counter)
+  | Some sealed -> (
+    match Enclave.unseal env sealed with
+    | Error e -> refuse ("preparation: sealed checkpoint rejected: " ^ e)
+    | Ok blob -> (
+      match decode_recovery_image blob with
+      | Error e -> refuse ("preparation: sealed checkpoint malformed: " ^ e)
+      | Ok (sealed_counter, view, next_seq, last_stable, sessions) ->
+        if
+          Int64.compare sealed_counter counter <> 0
+          && Int64.compare sealed_counter (Int64.pred counter) <> 0
+        then
+          refuse
+            (Printf.sprintf
+               "preparation: rollback detected — sealed checkpoint bound to counter %Ld, \
+                platform counter is %Ld"
+               sealed_counter counter)
+        else begin
+          st.view <- view;
+          st.next_seq <- next_seq;
+          List.iter (fun (c, auth) -> Sessions.set st.sessions c auth) sessions;
+          Ckpt.force_stable st.ckpt last_stable;
+          Log.advance_low_mark st.preprepares last_stable
+        end))
 
 let enter_view env st ~view ~max_s =
   st.view <- view;
@@ -259,6 +348,7 @@ let on_session_init env st (si : Message.session_init) =
     { Message.sq_replica = st.cfg.id;
       sq_quote = Enclave.quote env;
       sq_box_public = st.box.Box.public;
+      sq_nonce = st.instance_nonce;
       sq_sig = "" }
   in
   let sq = { sq with sq_sig = Common.sign_with env (Message.session_quote_signing_bytes sq) } in
@@ -278,29 +368,36 @@ let on_session_key env st (sk : Message.session_key) =
   end
 
 let handle env st ~byz (input : Wire.input) =
-  match input with
-  | Wire.In_batch reqs -> on_batch env st ~byz reqs
-  | Wire.In_suspect _ -> ()  (* suspicion is the Confirmation compartment's trigger *)
-  | Wire.In_net msg -> (
-    match msg with
-    | Message.Preprepare pp -> on_preprepare env st pp
-    | Message.Prepare p -> on_prepare env st p
-    | Message.Viewchange vc -> on_viewchange env st vc
-    | Message.Newview nv -> on_newview env st nv
-    | Message.Checkpoint ck ->
-      Common.on_checkpoint env ~exec_lookup:st.exec_lookup st.ckpt ck
-        ~on_stable:(fun stable -> gc st stable)
-    | Message.Session_init si -> on_session_init env st si
-    | Message.Session_key sk -> on_session_key env st sk
-    | Message.Request _ | Message.Preprepare_digest _ | Message.Commit _
-    | Message.Reply _ | Message.Session_quote _ | Message.Session_ack _
-    | Message.Batch_fetch _ | Message.Batch_data _ ->
-      ())
+  if st.halted then ()
+  else
+    match input with
+    | Wire.In_batch reqs -> on_batch env st ~byz reqs
+    | Wire.In_suspect _ -> ()  (* suspicion is the Confirmation compartment's trigger *)
+    | Wire.In_recover blob -> on_recover env st blob
+    | Wire.In_net msg -> (
+      match msg with
+      | Message.Preprepare pp -> on_preprepare env st pp
+      | Message.Prepare p -> on_prepare env st p
+      | Message.Viewchange vc -> on_viewchange env st vc
+      | Message.Newview nv -> on_newview env st nv
+      | Message.Checkpoint ck ->
+        Common.on_checkpoint env ~exec_lookup:st.exec_lookup st.ckpt ck
+          ~on_stable:(fun stable ->
+            gc st stable;
+            seal_checkpoint_state env st)
+      | Message.Session_init si -> on_session_init env st si
+      | Message.Session_key sk -> on_session_key env st sk
+      | Message.Request _ | Message.Preprepare_digest _ | Message.Commit _
+      | Message.Reply _ | Message.Session_quote _ | Message.Session_ack _
+      | Message.Batch_fetch _ | Message.Batch_data _ | Message.State_request _
+      | Message.State_reply _ ->
+        ())
 
 let make ?(byz = Prep_honest) (cfg : Config.t) =
   let current = ref (create_state cfg) in
   let program env =
     let st = create_state cfg in
+    st.instance_nonce <- Rng.bytes (Enclave.env_rng env) 16;
     current := st;
     fun payload ->
       match Wire.decode_input payload with

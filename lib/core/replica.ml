@@ -88,6 +88,18 @@ let program_of t = function
 let restart_enclave t compartment =
   Enclave.restart (enclave t compartment) ~program:(program_of t compartment)
 
+let restart_host t =
+  (* Fresh enclave incarnations first (handlers cleared, programs re-armed),
+     then the broker's recovery handshake feeds them their sealed state. *)
+  List.iter (restart_enclave t) Ids.all_compartments;
+  Broker.restart t.broker
+
+let tamper_counter t compartment name =
+  Enclave.tamper_counter (enclave t compartment) name
+
+let recovery_alerts t = Broker.alerts t.broker
+let recovered t = Broker.recovered t.broker
+
 let subvert_enclave t compartment program = Enclave.subvert (enclave t compartment) program
 
 let ecall_stats t compartment =

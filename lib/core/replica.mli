@@ -54,6 +54,25 @@ val restart_enclave : t -> Ids.compartment -> unit
 (** Reboot the compartment with a fresh program instance (the enclave
     recovery path of §4's discussion). *)
 
+val restart_host : t -> unit
+(** Full crash-recovery: reboot all three enclaves with fresh program
+    instances, then run the broker's recovery handshake — each compartment
+    unseals its newest checkpoint, verifies it against its rollback
+    counter, and Execution state-transfers from its peers before the
+    replica rejoins quorums.  No-op unless {!crash_host} happened. *)
+
+val tamper_counter : t -> Ids.compartment -> string -> unit
+(** Rollback attack: reset one of the compartment's named monotonic
+    counters behind its back (e.g. ["ckpt"]).  A subsequent recovery must
+    refuse the stale state. *)
+
+val recovery_alerts : t -> string list
+(** Safety alerts the compartments raised (rollback refusals etc.),
+    oldest first. *)
+
+val recovered : t -> bool
+(** True once a host restart finished recovery and caught up. *)
+
 val subvert_enclave : t -> Ids.compartment -> Enclave.program -> unit
 
 (** {2 Per-enclave ecall accounting (Figure 4)} *)

@@ -7,12 +7,15 @@ type input =
   | In_net of Message.t
   | In_batch of Message.request list
   | In_suspect of Ids.view
+  | In_recover of string option
 
 type output =
   | Out_send of int * Message.t
   | Out_broadcast of Message.t
   | Out_persist of { tag : string; data : string }
   | Out_entered_view of Ids.view
+  | Out_alert of string
+  | Out_recovered
 
 let encode_input input =
   W.to_string
@@ -26,7 +29,14 @@ let encode_input input =
         W.list w (fun w r -> W.nested w Message.encode_request_into r) reqs
       | In_suspect view ->
         W.u8 w 3;
-        W.varint w view)
+        W.varint w view
+      | In_recover blob ->
+        W.u8 w 4;
+        (match blob with
+        | None -> W.u8 w 0
+        | Some b ->
+          W.u8 w 1;
+          W.bytes w b))
     input
 
 let decode_nested_message r =
@@ -46,6 +56,11 @@ let decode_input s =
       | 1 -> In_net (decode_nested_message r)
       | 2 -> In_batch (R.list r decode_nested_request)
       | 3 -> In_suspect (R.varint r)
+      | 4 ->
+        (match R.u8 r with
+        | 0 -> In_recover None
+        | 1 -> In_recover (Some (R.bytes r))
+        | p -> raise (R.Error (Printf.sprintf "bad recover presence byte %d" p)))
       | t -> raise (R.Error (Printf.sprintf "unknown input tag %d" t)))
     s
 
@@ -66,7 +81,11 @@ let encode_output output =
         W.bytes w data
       | Out_entered_view view ->
         W.u8 w 4;
-        W.varint w view)
+        W.varint w view
+      | Out_alert msg ->
+        W.u8 w 5;
+        W.bytes w msg
+      | Out_recovered -> W.u8 w 6)
     output
 
 let decode_output s =
@@ -82,5 +101,7 @@ let decode_output s =
         let data = R.bytes r in
         Out_persist { tag; data }
       | 4 -> Out_entered_view (R.varint r)
+      | 5 -> Out_alert (R.bytes r)
+      | 6 -> Out_recovered
       | t -> raise (R.Error (Printf.sprintf "unknown output tag %d" t)))
     s

@@ -15,6 +15,11 @@ type input =
   | In_net of Message.t  (** protocol message from the network or a local compartment *)
   | In_batch of Message.request list  (** environment hands a batch to the primary's Preparation *)
   | In_suspect of Ids.view  (** environment suspects the primary of the given view *)
+  | In_recover of string option
+      (** restart handshake: the broker hands back the newest sealed
+          checkpoint blob it holds for this compartment ([None] if storage
+          has none).  The compartment unseals it, checks the bound
+          monotonic counter, and either resumes or refuses (rollback). *)
 
 type output =
   | Out_send of int * Message.t  (** unicast to a network address *)
@@ -24,6 +29,10 @@ type output =
   | Out_persist of { tag : string; data : string }
       (** sealed blob written to untrusted storage (ledger blocks) *)
   | Out_entered_view of Ids.view  (** liveness hint: timers/primary tracking *)
+  | Out_alert of string
+      (** loud safety alarm — e.g. a rollback attack detected during
+          recovery.  The compartment halts after emitting it. *)
+  | Out_recovered  (** recovery complete: caught up and rejoining quorums *)
 
 val encode_input : input -> string
 val decode_input : string -> (input, string) result

@@ -176,7 +176,32 @@ let crash_host t i =
   | Node_minbft r -> M.crash r
   | Node_splitbft r -> S.crash_host r
 
+let restart_host t i =
+  match node t i with
+  | Node_pbft r -> P.restart r
+  | Node_minbft r -> M.restart r
+  | Node_splitbft r -> S.restart_host r
+
+let tamper_checkpoint_counter t i =
+  match node t i with
+  | Node_pbft r -> P.tamper_counter r "ckpt"
+  | Node_minbft r -> M.tamper_counter r "ckpt"
+  | Node_splitbft r ->
+    (* The Execution compartment holds the replicated state; rolling its
+       counter back is the canonical attack. *)
+    S.tamper_counter r Ids.Execution "ckpt"
+
+let recovered_of = function
+  | Node_pbft r -> P.recovered r
+  | Node_minbft r -> M.recovered r
+  | Node_splitbft r -> S.recovered r
+
+let recovery_alerts_of = function
+  | Node_pbft r -> P.recovery_alerts r
+  | Node_minbft r -> M.recovery_alerts r
+  | Node_splitbft r -> S.recovery_alerts r
+
 let persisted_of = function
   | Node_pbft r -> P.persisted r
-  | Node_minbft _ -> []
+  | Node_minbft r -> M.persisted r
   | Node_splitbft r -> S.persisted r

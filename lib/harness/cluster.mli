@@ -74,4 +74,25 @@ val executed_count_of : node -> int
 val app_digest_of : node -> string
 val view_of : node -> int
 val crash_host : t -> Ids.replica_id -> unit
+(** Crash the whole host: the node quiesces (timers stopped, queued work
+    dropped) and leaves the network.  Sealed storage and the platform's
+    monotonic counters survive. *)
+
+val restart_host : t -> Ids.replica_id -> unit
+(** Bring a crashed host back: enclaves are re-created, unseal their last
+    checkpoint, verify its monotonic-counter binding (refusing rolled-back
+    state — see {!recovery_alerts_of}), and catch up via state transfer
+    before rejoining quorums. *)
+
+val tamper_checkpoint_counter : t -> Ids.replica_id -> unit
+(** Fault injection: reset the node's checkpoint monotonic counter (for
+    SplitBFT, the Execution compartment's) — the rollback attack a
+    subsequent {!restart_host} must detect and refuse. *)
+
+val recovered_of : node -> bool
+(** The node completed at least one crash-recovery and none is pending. *)
+
+val recovery_alerts_of : node -> string list
+(** Rollback/unseal refusals raised during recovery, oldest first. *)
+
 val persisted_of : node -> (string * string) list

@@ -20,6 +20,9 @@ type scenario = {
   inject : Cluster.t -> unit;
   duration_us : float;
   min_completed : int;
+  check : Cluster.t -> string option;
+      (* scenario-specific post-condition evaluated on the final cluster
+         state; [Some reason] fails the row even if the verdict matches *)
 }
 
 let tolerate = { exp_live = true; exp_safe = true; exp_confidential = true }
@@ -47,13 +50,53 @@ let crash_at cluster ~delay i =
     (Engine.schedule (Cluster.engine cluster) ~delay ~label:"scenario:crash" (fun () ->
          Cluster.crash_host cluster i))
 
+let restart_at cluster ~delay i =
+  ignore
+    (Engine.schedule (Cluster.engine cluster) ~delay ~label:"scenario:restart" (fun () ->
+         Cluster.restart_host cluster i))
+
 let make_simple protocol seed =
   Cluster.create
     { (Cluster.default_params protocol) with
       Cluster.seed;
       suspect_timeout_us = 250_000.0 }
 
+(* Recovery rows checkpoint aggressively so a sealed image exists before the
+   400 ms crash point. *)
+let make_recovery protocol seed =
+  Cluster.create
+    { (Cluster.default_params protocol) with
+      Cluster.seed;
+      suspect_timeout_us = 250_000.0;
+      checkpoint_interval = 8 }
+
 let no_inject (_ : Cluster.t) = ()
+let no_check (_ : Cluster.t) = None
+
+(* Post-condition of the crash-recover rows: the restarted node finished
+   recovery (re-attested, state-transferred, rejoined) without alerts, and
+   actually holds executed state. *)
+let check_recovered i cluster =
+  let node = Cluster.node cluster i in
+  if not (Cluster.recovered_of node) then
+    Some (Printf.sprintf "replica %d did not complete recovery" i)
+  else
+    match Cluster.recovery_alerts_of node with
+    | alert :: _ -> Some (Printf.sprintf "replica %d raised alert: %s" i alert)
+    | [] ->
+      if Int64.compare (Cluster.last_executed_of node) 0L <= 0 then
+        Some (Printf.sprintf "replica %d recovered but executed nothing" i)
+      else None
+
+(* Post-condition of the rollback rows: recovery must be REFUSED, loudly. *)
+let check_rollback_refused i cluster =
+  let node = Cluster.node cluster i in
+  if Cluster.recovered_of node then
+    Some (Printf.sprintf "replica %d rejoined despite a rolled-back counter" i)
+  else
+    match Cluster.recovery_alerts_of node with
+    | [] -> Some (Printf.sprintf "replica %d refused silently (no alert)" i)
+    | _ -> None
 
 let splitbft_with seed byz_of =
   Cluster.create ~splitbft_byz:byz_of
@@ -72,7 +115,8 @@ let all =
       make = make_simple Cluster.Pbft;
       inject = no_inject;
       duration_us = 1_500_000.0;
-      min_completed = 50 };
+      min_completed = 50;
+      check = no_check };
     { id = "pbft/crash-f";
       description = "PBFT, f = 1 host crash (backup)";
       protocol = Cluster.Pbft;
@@ -81,7 +125,8 @@ let all =
       make = make_simple Cluster.Pbft;
       inject = (fun c -> crash_at c ~delay:400_000.0 3);
       duration_us = 2_000_000.0;
-      min_completed = 50 };
+      min_completed = 50;
+      check = no_check };
     { id = "pbft/crash-primary";
       description = "PBFT, primary host crash (view change)";
       protocol = Cluster.Pbft;
@@ -90,7 +135,8 @@ let all =
       make = make_simple Cluster.Pbft;
       inject = (fun c -> crash_at c ~delay:400_000.0 0);
       duration_us = 2_500_000.0;
-      min_completed = 50 };
+      min_completed = 50;
+      check = no_check };
     { id = "pbft/byz-f";
       description = "PBFT, f = 1 byzantine replica (corrupt execution)";
       protocol = Cluster.Pbft;
@@ -99,7 +145,8 @@ let all =
       make = make_simple Cluster.Pbft;
       inject = (fun c -> P.set_byzantine (pbft_node c 1) P.Corrupt_execution);
       duration_us = 1_500_000.0;
-      min_completed = 50 };
+      min_completed = 50;
+      check = no_check };
     { id = "pbft/byz-f+1";
       description = "PBFT, f + 1 byzantine replicas (equivocation + collusion)";
       protocol = Cluster.Pbft;
@@ -111,7 +158,8 @@ let all =
           P.set_byzantine (pbft_node c 0) (P.Equivocate { accomplices = [ 1 ] });
           P.set_byzantine (pbft_node c 1) P.Collude);
       duration_us = 1_500_000.0;
-      min_completed = 10 };
+      min_completed = 10;
+      check = no_check };
     (* ---------- MinBFT (hybrid) ---------- *)
     { id = "minbft/fault-free";
       description = "MinBFT, no faults";
@@ -121,7 +169,8 @@ let all =
       make = make_simple Cluster.Minbft;
       inject = no_inject;
       duration_us = 1_500_000.0;
-      min_completed = 50 };
+      min_completed = 50;
+      check = no_check };
     { id = "minbft/crash-f";
       description = "MinBFT, f = 1 host crash (backup)";
       protocol = Cluster.Minbft;
@@ -130,7 +179,8 @@ let all =
       make = make_simple Cluster.Minbft;
       inject = (fun c -> crash_at c ~delay:400_000.0 2);
       duration_us = 2_000_000.0;
-      min_completed = 50 };
+      min_completed = 50;
+      check = no_check };
     { id = "minbft/byz-f";
       description = "MinBFT, f = 1 byzantine host (corrupt execution, intact USIG)";
       protocol = Cluster.Minbft;
@@ -139,7 +189,8 @@ let all =
       make = make_simple Cluster.Minbft;
       inject = (fun c -> M.set_byzantine (minbft_node c 1) M.Corrupt_execution);
       duration_us = 1_500_000.0;
-      min_completed = 50 };
+      min_completed = 50;
+      check = no_check };
     { id = "minbft/faulty-tee";
       description = "MinBFT, single compromised USIG (primary equivocates)";
       protocol = Cluster.Minbft;
@@ -150,7 +201,8 @@ let all =
       make = make_simple Cluster.Minbft;
       inject = (fun c -> M.set_byzantine (minbft_node c 0) M.Faulty_tee_equivocate);
       duration_us = 1_500_000.0;
-      min_completed = 10 };
+      min_completed = 10;
+      check = no_check };
     (* ---------- SplitBFT ---------- *)
     { id = "splitbft/fault-free";
       description = "SplitBFT, no faults";
@@ -160,7 +212,8 @@ let all =
       make = make_simple Cluster.Splitbft;
       inject = no_inject;
       duration_us = 1_500_000.0;
-      min_completed = 50 };
+      min_completed = 50;
+      check = no_check };
     { id = "splitbft/crash-f";
       description = "SplitBFT, f = 1 host crash";
       protocol = Cluster.Splitbft;
@@ -169,7 +222,8 @@ let all =
       make = make_simple Cluster.Splitbft;
       inject = (fun c -> crash_at c ~delay:400_000.0 3);
       duration_us = 2_000_000.0;
-      min_completed = 50 };
+      min_completed = 50;
+      check = no_check };
     { id = "splitbft/enclave-f-each-type";
       description =
         "SplitBFT, f byzantine enclaves of EVERY type (equivocating \
@@ -188,7 +242,8 @@ let all =
               | _ -> Cluster.honest_enclaves));
       inject = no_inject;
       duration_us = 3_000_000.0;
-      min_completed = 20 };
+      min_completed = 20;
+      check = no_check };
     { id = "splitbft/exec-f+1-corrupt";
       description = "SplitBFT, f + 1 corrupt Execution enclaves (beyond the bound)";
       protocol = Cluster.Splitbft;
@@ -202,7 +257,8 @@ let all =
               else Cluster.honest_enclaves));
       inject = no_inject;
       duration_us = 1_500_000.0;
-      min_completed = 20 };
+      min_completed = 20;
+      check = no_check };
     { id = "splitbft/exec-leak";
       description = "SplitBFT, f = 1 leaking Execution enclave (confidentiality lost)";
       protocol = Cluster.Splitbft;
@@ -216,7 +272,8 @@ let all =
               else Cluster.honest_enclaves));
       inject = no_inject;
       duration_us = 1_500_000.0;
-      min_completed = 50 };
+      min_completed = 50;
+      check = no_check };
     { id = "splitbft/host-attacker-all";
       description = "SplitBFT, attacker on ALL hosts (delaying environments)";
       protocol = Cluster.Splitbft;
@@ -229,7 +286,8 @@ let all =
             (fun i _ -> S.set_env_fault (splitbft_node c i) (Broker.Env_delay 2_000.0))
             (Cluster.nodes c));
       duration_us = 2_000_000.0;
-      min_completed = 20 };
+      min_completed = 20;
+      check = no_check };
     { id = "splitbft/env-starve-all";
       description =
         "SplitBFT, attacker on ALL hosts starving the Confirmation \
@@ -245,7 +303,69 @@ let all =
               S.set_env_fault (splitbft_node c i) (Broker.Env_starve Ids.Confirmation))
             (Cluster.nodes c));
       duration_us = 1_500_000.0;
-      min_completed = 10 };
+      min_completed = 10;
+      check = no_check };
+    (* ---------- crash-recovery / rollback (Table 1 extension) ---------- *)
+    { id = "splitbft/crash-recover";
+      description =
+        "SplitBFT, host crash then restart: enclaves unseal, re-attest, \
+         state-transfer and rejoin quorums";
+      protocol = Cluster.Splitbft;
+      expected = tolerate;
+      honest = [ 0; 1; 2; 3 ];
+      make = make_recovery Cluster.Splitbft;
+      inject =
+        (fun c ->
+          crash_at c ~delay:400_000.0 3;
+          restart_at c ~delay:900_000.0 3);
+      duration_us = 2_500_000.0;
+      min_completed = 50;
+      check = check_recovered 3 };
+    { id = "splitbft/rollback-attack";
+      description =
+        "SplitBFT, host crash, checkpoint counter rolled back, restart: \
+         recovery must refuse loudly; the rest of the cluster is unharmed";
+      protocol = Cluster.Splitbft;
+      expected = tolerate;
+      honest = [ 0; 1; 2 ];
+      make = make_recovery Cluster.Splitbft;
+      inject =
+        (fun c ->
+          crash_at c ~delay:400_000.0 3;
+          ignore
+            (Engine.schedule (Cluster.engine c) ~delay:900_000.0
+               ~label:"scenario:rollback" (fun () ->
+                 Cluster.tamper_checkpoint_counter c 3;
+                 Cluster.restart_host c 3)));
+      duration_us = 2_500_000.0;
+      min_completed = 50;
+      check = check_rollback_refused 3 };
+    { id = "pbft/crash-recover";
+      description = "PBFT, host crash then restart with sealed-checkpoint recovery";
+      protocol = Cluster.Pbft;
+      expected = plaintext tolerate;
+      honest = [ 0; 1; 2; 3 ];
+      make = make_recovery Cluster.Pbft;
+      inject =
+        (fun c ->
+          crash_at c ~delay:400_000.0 3;
+          restart_at c ~delay:900_000.0 3);
+      duration_us = 2_500_000.0;
+      min_completed = 50;
+      check = check_recovered 3 };
+    { id = "minbft/crash-recover";
+      description = "MinBFT, host crash then restart with sealed-checkpoint recovery";
+      protocol = Cluster.Minbft;
+      expected = plaintext tolerate;
+      honest = [ 0; 1; 2 ];
+      make = make_recovery Cluster.Minbft;
+      inject =
+        (fun c ->
+          crash_at c ~delay:400_000.0 2;
+          restart_at c ~delay:900_000.0 2);
+      duration_us = 2_500_000.0;
+      min_completed = 50;
+      check = check_recovered 2 };
   ]
 
 let find id = List.find_opt (fun s -> String.equal s.id id) all
@@ -254,6 +374,7 @@ type outcome = {
   scenario : scenario;
   verdict : Safety.verdict;
   workload : Workload.result;
+  check_failure : string option;
 }
 
 let run ?(seed = 42L) scenario =
@@ -275,12 +396,14 @@ let run ?(seed = 42L) scenario =
     Safety.verdict cluster ~honest:scenario.honest ~scanner ~workload
       ~min_completed:scenario.min_completed
   in
-  { scenario; verdict; workload }
+  let check_failure = scenario.check cluster in
+  { scenario; verdict; workload; check_failure }
 
 let matches_expectation o =
   let e = o.scenario.expected and v = o.verdict in
   e.exp_live = v.Safety.live && e.exp_safe = v.Safety.safe
   && e.exp_confidential = v.Safety.confidential
+  && o.check_failure = None
 
 let print_table1 outcomes =
   let rows =
@@ -321,5 +444,9 @@ let json_of_outcomes outcomes =
                   ("safe", Json.Bool v.Safety.safe);
                   ("confidential", Json.Bool v.Safety.confidential) ]);
              ("ops", Json.Int o.workload.Workload.completed_total);
+             ("check",
+              match o.check_failure with
+              | None -> Json.Str "ok"
+              | Some reason -> Json.Str reason);
              ("matches", Json.Bool (matches_expectation o)) ])
        outcomes)

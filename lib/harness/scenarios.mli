@@ -21,6 +21,11 @@ type scenario = {
   inject : Cluster.t -> unit;  (** post-creation fault injection *)
   duration_us : float;
   min_completed : int;  (** liveness threshold *)
+  check : Cluster.t -> string option;
+      (** scenario-specific post-condition on the final cluster state
+          (e.g. "the restarted replica recovered", "the rollback was
+          refused"); [Some reason] fails the row even when the
+          live/safe/confidential verdict matches *)
 }
 
 val all : scenario list
@@ -31,6 +36,7 @@ type outcome = {
   scenario : scenario;
   verdict : Safety.verdict;
   workload : Workload.result;
+  check_failure : string option;  (** [scenario.check] result *)
 }
 
 val run : ?seed:int64 -> scenario -> outcome

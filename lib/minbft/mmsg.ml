@@ -26,12 +26,38 @@ type checkpoint = {
 type viewchange = { v_new_view : int; v_sender : int; v_ui : Usig.ui }
 type newview = { n_view : int; n_sender : int; n_ui : Usig.ui }
 
+(* State transfer (crash-recovery).  These carry no UI of their own: the
+   snapshot is certified by the f+1 UI-signed checkpoints in [s_proof], and
+   log-suffix entries are only installed once f+1 distinct repliers vouch
+   for the same digest, so they bypass the per-sender counter windows. *)
+type state_entry = {
+  t_counter : int64;
+  t_digest : string;
+  t_batch : Message.request list;
+}
+
+type state_request = { q_requester : int }
+
+type state_reply = {
+  s_replier : int;
+  s_requester : int;
+  s_view : int;
+  s_proof : checkpoint list;
+  s_stable_counter : int64;
+  s_snapshot : string;
+  s_exec_prefix : int;
+  s_entries : state_entry list;
+  s_windows : (int * int64) list;
+}
+
 type t =
   | Prepare of prepare
   | Commit of commit
   | Checkpoint of checkpoint
   | Viewchange of viewchange
   | Newview of newview
+  | Statereq of state_request
+  | Statereply of state_reply
 
 let base_tag = 100
 
@@ -41,13 +67,18 @@ let sender = function
   | Checkpoint k -> k.k_sender
   | Viewchange v -> v.v_sender
   | Newview n -> n.n_sender
+  | Statereq q -> q.q_requester
+  | Statereply s -> s.s_replier
 
+(* State-transfer messages carry no UI; callers route them around the
+   USIG admission path before asking for one. *)
 let ui = function
   | Prepare p -> p.p_ui
   | Commit c -> c.c_ui
   | Checkpoint k -> k.k_ui
   | Viewchange v -> v.v_ui
   | Newview n -> n.n_ui
+  | Statereq _ | Statereply _ -> { Usig.counter = 0L; cert = "" }
 
 let signed_part msg =
   W.to_string
@@ -75,7 +106,14 @@ let signed_part msg =
       | Newview n ->
         W.raw w "mb-n";
         W.varint w n.n_view;
-        W.varint w n.n_sender)
+        W.varint w n.n_sender
+      | Statereq q ->
+        (* unsigned; present only so [signed_part] stays total *)
+        W.raw w "mb-q";
+        W.varint w q.q_requester
+      | Statereply s ->
+        W.raw w "mb-s";
+        W.varint w s.s_replier)
     msg
 
 let write_ui w (u : Usig.ui) = W.bytes w (Usig.encode_ui u)
@@ -89,6 +127,30 @@ let read_request r =
   match Message.decode_request (R.bytes r) with
   | Ok req -> req
   | Error e -> raise (R.Error ("request: " ^ e))
+
+let write_checkpoint w (k : checkpoint) =
+  W.u64 w k.k_counter;
+  W.bytes w k.k_state_digest;
+  W.varint w k.k_sender;
+  write_ui w k.k_ui
+
+let read_checkpoint r =
+  let k_counter = R.u64 r in
+  let k_state_digest = R.bytes r in
+  let k_sender = R.varint r in
+  let k_ui = read_ui r in
+  { k_counter; k_state_digest; k_sender; k_ui }
+
+let write_entry w (e : state_entry) =
+  W.u64 w e.t_counter;
+  W.bytes w e.t_digest;
+  W.list w (fun w req -> W.bytes w (Message.encode_request req)) e.t_batch
+
+let read_entry r =
+  let t_counter = R.u64 r in
+  let t_digest = R.bytes r in
+  let t_batch = R.list r read_request in
+  { t_counter; t_digest; t_batch }
 
 let encode msg =
   W.to_string
@@ -121,7 +183,25 @@ let encode msg =
         W.u8 w (base_tag + 4);
         W.varint w n.n_view;
         W.varint w n.n_sender;
-        write_ui w n.n_ui)
+        write_ui w n.n_ui
+      | Statereq q ->
+        W.u8 w (base_tag + 5);
+        W.varint w q.q_requester
+      | Statereply s ->
+        W.u8 w (base_tag + 6);
+        W.varint w s.s_replier;
+        W.varint w s.s_requester;
+        W.varint w s.s_view;
+        W.list w write_checkpoint s.s_proof;
+        W.u64 w s.s_stable_counter;
+        W.bytes w s.s_snapshot;
+        W.varint w s.s_exec_prefix;
+        W.list w write_entry s.s_entries;
+        W.list w
+          (fun w (i, c) ->
+            W.varint w i;
+            W.u64 w c)
+          s.s_windows)
     msg
 
 let decode s =
@@ -156,8 +236,36 @@ let decode s =
         let n_sender = R.varint r in
         let n_ui = read_ui r in
         Newview { n_view; n_sender; n_ui }
+      | 5 ->
+        let q_requester = R.varint r in
+        Statereq { q_requester }
+      | 6 ->
+        let s_replier = R.varint r in
+        let s_requester = R.varint r in
+        let s_view = R.varint r in
+        let s_proof = R.list r read_checkpoint in
+        let s_stable_counter = R.u64 r in
+        let s_snapshot = R.bytes r in
+        let s_exec_prefix = R.varint r in
+        let s_entries = R.list r read_entry in
+        let s_windows =
+          R.list r (fun r ->
+              let i = R.varint r in
+              let c = R.u64 r in
+              (i, c))
+        in
+        Statereply
+          { s_replier;
+            s_requester;
+            s_view;
+            s_proof;
+            s_stable_counter;
+            s_snapshot;
+            s_exec_prefix;
+            s_entries;
+            s_windows }
       | t -> raise (R.Error (Printf.sprintf "unknown minbft tag %d" (t + base_tag))))
     s
 
 let is_minbft_payload s =
-  String.length s > 0 && Char.code s.[0] >= base_tag && Char.code s.[0] < base_tag + 5
+  String.length s > 0 && Char.code s.[0] >= base_tag && Char.code s.[0] < base_tag + 7

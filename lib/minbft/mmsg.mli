@@ -33,15 +33,44 @@ type checkpoint = {
 type viewchange = { v_new_view : int; v_sender : int; v_ui : Usig.ui }
 type newview = { n_view : int; n_sender : int; n_ui : Usig.ui }
 
+(** State transfer (crash-recovery).  No UI of their own: the snapshot is
+    certified by the f+1 UI-signed checkpoints in [s_proof]; suffix entries
+    are installed only on f+1 matching replier votes.  Receivers route them
+    around the per-sender counter windows. *)
+type state_entry = {
+  t_counter : int64;  (** primary counter that ordered this batch *)
+  t_digest : string;
+  t_batch : Message.request list;
+}
+
+type state_request = { q_requester : int }
+
+type state_reply = {
+  s_replier : int;
+  s_requester : int;
+  s_view : int;
+  s_proof : checkpoint list;  (** f+1 matching UI-signed checkpoints *)
+  s_stable_counter : int64;
+  s_snapshot : string;  (** app snapshot whose digest the proof certifies *)
+  s_exec_prefix : int;  (** replier's execution index at the stable point *)
+  s_entries : state_entry list;  (** executed suffix, counter ascending *)
+  s_windows : (int * int64) list;  (** replier's per-sender window positions *)
+}
+
 type t =
   | Prepare of prepare
   | Commit of commit
   | Checkpoint of checkpoint
   | Viewchange of viewchange
   | Newview of newview
+  | Statereq of state_request
+  | Statereply of state_reply
 
 val sender : t -> int
+
 val ui : t -> Usig.ui
+(** The zero UI for [Statereq]/[Statereply]; never verify those through
+    the USIG path. *)
 
 val signed_part : t -> string
 (** Bytes covered by the message's USIG certificate. *)

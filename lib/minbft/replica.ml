@@ -3,6 +3,12 @@ module Network = Splitbft_sim.Network
 module Resource = Splitbft_sim.Resource
 module Timer = Splitbft_sim.Timer
 module Cost_model = Splitbft_tee.Cost_model
+module Platform = Splitbft_tee.Platform
+module Measurement = Splitbft_tee.Measurement
+module Sealing = Splitbft_tee.Sealing
+module Sha256 = Splitbft_crypto.Sha256
+module W = Splitbft_codec.Writer
+module R = Splitbft_codec.Reader
 module Ids = Splitbft_types.Ids
 module Addr = Splitbft_types.Addr
 module Keys = Splitbft_types.Keys
@@ -24,6 +30,7 @@ type config = {
   batch_timeout_us : float;
   checkpoint_interval : int;
   suspect_timeout_us : float;
+  recovery_retry_us : float;
 }
 
 let default_config ~n ~id =
@@ -34,7 +41,8 @@ let default_config ~n ~id =
     batch_size = 1;
     batch_timeout_us = 10_000.0;
     checkpoint_interval = 64;
-    suspect_timeout_us = 500_000.0 }
+    suspect_timeout_us = 500_000.0;
+    recovery_retry_us = 150_000.0 }
 
 type byzantine_mode =
   | Honest
@@ -72,7 +80,7 @@ type t = {
   mutable exec_index : int;  (* global execution position, across views *)
   executed_digests : (int64 * string) list ref;  (* (exec index, digest) *)
   checkpoints : (int64, Mmsg.checkpoint) Votes.t;
-  clients : Client_table.t;
+  mutable clients : Client_table.t;
   mutable pending : Message.request list;
   mutable pending_count : int;
   batch_timer : Timer.t;
@@ -80,8 +88,28 @@ type t = {
   suspect_timer : Timer.t;
   viewchanges : (Ids.view, unit) Votes.t;
   mutable crashed : bool;
+  mutable epoch : int;
+      (* incarnation counter: work queued before a crash must not run after
+         a restart, so deferred closures check the epoch they captured *)
   mutable byz : byzantine_mode;
   mutable executed_total : int;
+  (* crash-recovery (sealed checkpoints + state transfer).  The USIG [t.usig]
+     itself survives crashes: it is trusted hardware with its own
+     persistence, and its counter keeps growing monotonically. *)
+  platform : Platform.t;
+  seal_key : string;
+  initial_snapshot : string;
+  mutable persist_log : (string * string) list;  (* sealed blobs, newest first *)
+  snapshots : (int64, string) Hashtbl.t;  (* own snapshot at own checkpoint counters *)
+  exec_index_at : (int64, int) Hashtbl.t;  (* counter -> exec index after executing it *)
+  mutable stable_proof : (int64 * string * Mmsg.checkpoint list) option;
+  sync_votes : (int64, string * Message.request list) Votes.t;
+  mutable sync_replies : (int * int64 * int) list;
+      (* one live slot per replier: (replier, vouched head counter, view) *)
+  mutable recovering : bool;
+  mutable recovered_count : int;
+  mutable alerts : string list;  (* newest first *)
+  recovery_timer : Timer.t;
 }
 
 let primary t = t.view mod t.cfg.n
@@ -133,6 +161,11 @@ let make_reply t ~(req : Message.request) ~result : Message.reply =
 (* ----- execution ----- *)
 
 let rec try_execute t =
+  (* While recovering, the normal path must not execute: a freshly admitted
+     entry could jump ahead of gap entries still being state-transferred,
+     misaligning execution indices across replicas. *)
+  if t.recovering then ()
+  else
   let entries = List.rev t.order in
   let rec loop i = function
     | [] -> ()
@@ -145,6 +178,7 @@ let rec try_execute t =
         t.last_exec_counter <- e.e_counter;
         t.exec_index <- t.exec_index + 1;
         t.executed_digests := (Int64.of_int t.exec_index, e.e_digest) :: !(t.executed_digests);
+        Hashtbl.replace t.exec_index_at e.e_counter t.exec_index;
         let exec_cost = t.cfg.cost.exec_op_us *. float_of_int (List.length e.e_batch) in
         let replies = ref [] in
         List.iter
@@ -175,15 +209,70 @@ let rec try_execute t =
 
 and maybe_checkpoint t counter =
   if t.executed_upto mod t.cfg.checkpoint_interval = 0 then begin
+    let snapshot = t.app.State_machine.snapshot () in
+    let state_digest = Sha256.digest snapshot in
+    (* Cache the snapshot so a Statereply can serve bytes matching the
+       certified digest. *)
+    Hashtbl.replace t.snapshots counter snapshot;
     let unsigned =
       { Mmsg.k_counter = counter;
-        k_state_digest = State_machine.digest t.app;
+        k_state_digest = state_digest;
         k_sender = t.cfg.id;
         k_ui = { Usig.counter = 0L; cert = "" } }
     in
     let k_ui = Usig.create_ui t.usig (Mmsg.signed_part (Mmsg.Checkpoint unsigned)) in
-    broadcast t ~cost:(ui_create_cost t) (Mmsg.Checkpoint { unsigned with k_ui })
+    let signed = { unsigned with Mmsg.k_ui } in
+    (* Our own vote joins the certificate so a stable proof can be
+       assembled from f+1 UI-signed checkpoints including ours. *)
+    ignore (Votes.add t.checkpoints ~key:counter ~sender:t.cfg.id signed);
+    broadcast t ~cost:(ui_create_cost t) (Mmsg.Checkpoint signed);
+    seal_checkpoint_state t ~counter ~snapshot
   end
+
+(* ----- rollback-protected sealed checkpoints ----- *)
+
+and encode_recovery_image t ~counter ~snapshot =
+  W.to_string
+    (fun w () ->
+      W.u64 w counter;
+      W.varint w t.view;
+      W.varint w t.exec_index;
+      W.u64 w t.last_exec_counter;
+      W.bytes w snapshot;
+      W.list w
+        (fun w (i, d) ->
+          W.u64 w i;
+          W.bytes w d)
+        !(t.executed_digests))
+    ()
+
+(* Each seal bumps the platform's monotonic counter and binds the new value
+   into the image — the same rollback defense as the SplitBFT compartments,
+   for the comparison rows. *)
+and seal_checkpoint_state t ~counter:_ ~snapshot =
+  let seal_counter = Platform.counter_increment t.platform "ckpt" in
+  let sealed =
+    Sealing.seal ~key:t.seal_key ~rng:(Platform.rng t.platform)
+      (encode_recovery_image t ~counter:seal_counter ~snapshot)
+  in
+  t.persist_log <- ("ckpt:minbft", sealed) :: t.persist_log
+
+let decode_recovery_image s =
+  R.parse
+    (fun r ->
+      let counter = R.u64 r in
+      let view = R.varint r in
+      let exec_index = R.varint r in
+      let last_exec_counter = R.u64 r in
+      let snapshot = R.bytes r in
+      let executed =
+        R.list r (fun r ->
+            let i = R.u64 r in
+            let d = R.bytes r in
+            (i, d))
+      in
+      (counter, view, exec_index, last_exec_counter, snapshot, executed))
+    s
 
 (* ----- prepare / commit ----- *)
 
@@ -253,6 +342,20 @@ let on_checkpoint t (k : Mmsg.checkpoint) =
       List.filter (fun (e : Mmsg.checkpoint) -> String.equal e.k_state_digest k.k_state_digest) all
     in
     if List.length matching >= t.f + 1 then begin
+      (* Keep the newest f+1 certificate around: it is the proof served to
+         recovering replicas alongside the matching snapshot. *)
+      (match t.stable_proof with
+      | Some (c, _, _) when Int64.compare c k.k_counter >= 0 -> ()
+      | Some _ | None ->
+        t.stable_proof <- Some (k.k_counter, k.k_state_digest, matching);
+        Hashtbl.iter
+          (fun c _ ->
+            if Int64.compare c k.k_counter < 0 then Hashtbl.remove t.snapshots c)
+          (Hashtbl.copy t.snapshots);
+        Hashtbl.iter
+          (fun c _ ->
+            if Int64.compare c k.k_counter < 0 then Hashtbl.remove t.exec_index_at c)
+          (Hashtbl.copy t.exec_index_at));
       (* Stable: trim executed entries below the checkpoint. *)
       t.order <-
         List.filter
@@ -403,6 +506,8 @@ let handle t (msg : Mmsg.t) =
   | Mmsg.Checkpoint k -> on_checkpoint t k
   | Mmsg.Viewchange v -> on_viewchange t v
   | Mmsg.Newview n -> if n.n_view > t.view then enter_view t n.n_view
+  | Mmsg.Statereq _ | Mmsg.Statereply _ -> ()
+  (* dispatched around the USIG path in [on_payload]; never reach here *)
 
 (* Process each sender's stream strictly in counter order; this is what
    makes the USIG's non-equivocation guarantee effective. *)
@@ -423,21 +528,240 @@ and drain_holdback t sender =
     admit t sender msg
   | None -> ()
 
+(* ----- state transfer (crash-recovery) ----- *)
+
+let request_state t =
+  broadcast t ~cost:0.0 (Mmsg.Statereq { Mmsg.q_requester = t.cfg.id })
+
+(* Serve our checkpoint proof + snapshot + executed suffix to a recovering
+   peer.  The snapshot is only offered when its digest matches the stable
+   certificate and we know our execution index at that point — otherwise
+   the requester recovers from suffix entries alone. *)
+let on_state_request t (q : Mmsg.state_request) =
+  if q.q_requester <> t.cfg.id && (not t.recovering)
+     && q.q_requester >= 0 && q.q_requester < t.cfg.n
+  then begin
+    let proof, stable_counter, snapshot, exec_prefix =
+      match t.stable_proof with
+      | Some (counter, digest, proof) -> (
+        match (Hashtbl.find_opt t.snapshots counter, Hashtbl.find_opt t.exec_index_at counter) with
+        | Some snap, Some prefix when String.equal (Sha256.digest snap) digest ->
+          (proof, counter, snap, prefix)
+        | _ -> ([], 0L, "", 0))
+      | None -> ([], 0L, "", 0)
+    in
+    let entries =
+      List.rev t.order
+      |> List.filter (fun (e : entry) ->
+             e.e_executed && Int64.compare e.e_counter stable_counter > 0)
+      |> List.map (fun (e : entry) ->
+             { Mmsg.t_counter = e.e_counter; t_digest = e.e_digest; t_batch = e.e_batch })
+    in
+    let windows =
+      Array.to_list (Array.mapi (fun i w -> (i, Usig.Window.last w)) t.windows)
+    in
+    let reply =
+      { Mmsg.s_replier = t.cfg.id;
+        s_requester = q.q_requester;
+        s_view = t.view;
+        s_proof = proof;
+        s_stable_counter = stable_counter;
+        s_snapshot = snapshot;
+        s_exec_prefix = exec_prefix;
+        s_entries = entries;
+        s_windows = windows }
+    in
+    let payload = Mmsg.encode (Mmsg.Statereply reply) in
+    Resource.Pool.submit t.pool ~cost:(payload_cost t payload) (fun () ->
+        Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst:(Addr.replica q.q_requester) payload)
+  end
+
+(* Keep [order] sorted newest-counter-first when recovery inserts below the
+   live head. *)
+let rec insert_sorted (e : entry) = function
+  | [] -> [ e ]
+  | (x : entry) :: rest as l ->
+    if Int64.compare e.e_counter x.e_counter >= 0 then e :: l
+    else x :: insert_sorted e rest
+
+(* Apply a state-transferred entry: advances the execution index exactly as
+   the live path would, so indices stay aligned with the rest of the
+   cluster.  No client replies — peers already answered these requests. *)
+let install_entry t ~counter ~digest ~(batch : Message.request list) =
+  t.last_exec_counter <- counter;
+  t.exec_index <- t.exec_index + 1;
+  t.executed_digests := (Int64.of_int t.exec_index, digest) :: !(t.executed_digests);
+  Hashtbl.replace t.exec_index_at counter t.exec_index;
+  List.iter
+    (fun (req : Message.request) ->
+      Hashtbl.remove t.awaiting (req.client, req.timestamp);
+      if not (Client_table.executed t.clients req.client req.timestamp) then begin
+        ignore (t.app.State_machine.apply req.payload);
+        Client_table.record t.clients req.client req.timestamp None;
+        t.executed_total <- t.executed_total + 1
+      end)
+    batch;
+  match Hashtbl.find_opt t.by_counter counter with
+  | Some e -> e.e_executed <- true
+  | None ->
+    let e =
+      { e_counter = counter;
+        e_digest = digest;
+        e_batch = batch;
+        e_attesters = Quorum.create ();
+        e_executed = true }
+    in
+    Hashtbl.replace t.by_counter counter e;
+    t.order <- insert_sorted e t.order
+
+let finish_recovery_if_caught_up t =
+  if t.recovering && List.length t.sync_replies >= t.f + 1 then begin
+    let heads =
+      List.sort (fun a b -> Int64.compare b a) (List.map (fun (_, h, _) -> h) t.sync_replies)
+    in
+    (* f+1 repliers vouch for at least this head, so one of them is honest:
+       reaching it means we hold the full executed prefix. *)
+    let target = List.nth heads t.f in
+    if Int64.compare t.last_exec_counter target >= 0 then begin
+      let views =
+        List.sort (fun a b -> compare b a) (List.map (fun (_, _, v) -> v) t.sync_replies)
+      in
+      let v = List.nth views t.f in
+      if v > t.view then t.view <- v;
+      t.recovering <- false;
+      t.recovered_count <- t.recovered_count + 1;
+      t.sync_replies <- [];
+      Votes.reset t.sync_votes;
+      Timer.stop t.recovery_timer;
+      (* Re-derive the executed prefix length over the rebuilt order. *)
+      let rec prefix n = function
+        | (e : entry) :: rest when e.e_executed -> prefix (n + 1) rest
+        | _ -> n
+      in
+      t.executed_upto <- prefix 0 (List.rev t.order);
+      for s = 0 to t.cfg.n - 1 do
+        if s <> t.cfg.id then drain_holdback t s
+      done;
+      refresh_suspect_timer t;
+      try_execute t
+    end
+  end
+
+let on_state_reply t (s : Mmsg.state_reply) =
+  if t.recovering && s.s_requester = t.cfg.id && s.s_replier <> t.cfg.id
+     && s.s_replier >= 0 && s.s_replier < t.cfg.n
+  then begin
+    (* 1. Snapshot install, when the f+1 UI-signed certificate checks out
+       and it extends what the sealed checkpoint restored. *)
+    if Int64.compare s.s_stable_counter t.last_exec_counter > 0 then begin
+      let digest = Sha256.digest s.s_snapshot in
+      let matching =
+        List.filter
+          (fun (k : Mmsg.checkpoint) ->
+            Int64.equal k.k_counter s.s_stable_counter
+            && String.equal k.k_state_digest digest)
+          s.s_proof
+      in
+      let senders =
+        List.sort_uniq compare (List.map (fun (k : Mmsg.checkpoint) -> k.k_sender) matching)
+      in
+      let certified =
+        List.length senders >= t.f + 1
+        && List.for_all
+             (fun (k : Mmsg.checkpoint) ->
+               Usig.verify_ui ~id:k.k_sender
+                 ~msg:(Mmsg.signed_part (Mmsg.Checkpoint k))
+                 k.k_ui)
+             matching
+      in
+      if certified then
+        match t.app.State_machine.restore s.s_snapshot with
+        | Error _ -> ()
+        | Ok () ->
+          t.last_exec_counter <- s.s_stable_counter;
+          t.exec_index <- s.s_exec_prefix;
+          t.order <-
+            List.filter
+              (fun (e : entry) -> Int64.compare e.e_counter s.s_stable_counter > 0)
+              t.order;
+          Hashtbl.iter
+            (fun c _ ->
+              if Int64.compare c s.s_stable_counter <= 0 then Hashtbl.remove t.by_counter c)
+            (Hashtbl.copy t.by_counter)
+    end;
+    (* 2. Vote in suffix entries — content-addressed, so a single reply's
+       bytes are trusted only once f+1 distinct repliers vouch for the
+       digest.  Each reply lists entries counter-ascending, so installs
+       happen in order. *)
+    List.iter
+      (fun (e : Mmsg.state_entry) ->
+        if String.equal e.t_digest (Message.digest_of_batch e.t_batch) then begin
+          ignore
+            (Votes.add t.sync_votes ~key:e.t_counter ~sender:s.s_replier
+               (e.t_digest, e.t_batch));
+          if Int64.compare e.t_counter t.last_exec_counter > 0 then begin
+            let votes = Votes.get t.sync_votes e.t_counter in
+            let agreeing = List.filter (fun (d, _) -> String.equal d e.t_digest) votes in
+            if List.length agreeing >= t.f + 1 then
+              install_entry t ~counter:e.t_counter ~digest:e.t_digest ~batch:e.t_batch
+          end
+        end)
+      s.s_entries;
+    (* 3. Fast-forward per-sender windows past counters the transfer covers
+       (forward-only, so a lying replier can cost liveness, never safety). *)
+    List.iter
+      (fun (i, c) ->
+        if i >= 0 && i < t.cfg.n && i <> t.cfg.id then
+          Usig.Window.fast_forward t.windows.(i) c)
+      s.s_windows;
+    (* 4. One live slot per replier: a retry round's reply supersedes. *)
+    let head =
+      List.fold_left
+        (fun acc (e : Mmsg.state_entry) ->
+          if Int64.compare e.t_counter acc > 0 then e.t_counter else acc)
+        s.s_stable_counter s.s_entries
+    in
+    t.sync_replies <-
+      (s.s_replier, head, s.s_view)
+      :: List.filter (fun (r, _, _) -> r <> s.s_replier) t.sync_replies;
+    finish_recovery_if_caught_up t
+  end
+
 let on_payload t ~src:_ payload =
   if not t.crashed then begin
+    (* Deferred closures only run if the replica is still in the same
+       incarnation — work queued before a crash must not fire afterwards. *)
+    let epoch = t.epoch in
+    let live () = t.epoch = epoch && not t.crashed in
     if Mmsg.is_minbft_payload payload then begin
       match Mmsg.decode payload with
       | Error _ -> ()
       | Ok msg ->
         let sender = sender_of t msg in
-        if sender >= 0 && sender < t.cfg.n && sender <> t.cfg.id then
-          Resource.Pool.submit t.pool
-            ~cost:(ui_verify_cost t +. payload_cost t payload)
-            (fun () ->
-              if Usig.verify_ui ~id:sender ~msg:(Mmsg.signed_part msg) (Mmsg.ui msg)
-              then
-                Resource.submit t.core ~cost:t.cfg.cost.pbft_core_us (fun () ->
-                    if not t.crashed then admit t sender msg))
+        (match msg with
+        | Mmsg.Statereq _ | Mmsg.Statereply _ ->
+          (* No UI of their own; certificates inside a Statereply are
+             checked by [on_state_reply]. *)
+          if sender >= 0 && sender < t.cfg.n && sender <> t.cfg.id then
+            Resource.Pool.submit t.pool ~cost:(payload_cost t payload) (fun () ->
+                if live () then
+                  Resource.submit t.core ~cost:t.cfg.cost.pbft_core_us (fun () ->
+                      if live () then
+                        match msg with
+                        | Mmsg.Statereq q -> on_state_request t q
+                        | Mmsg.Statereply s -> on_state_reply t s
+                        | _ -> ()))
+        | _ ->
+          if sender >= 0 && sender < t.cfg.n && sender <> t.cfg.id then
+            Resource.Pool.submit t.pool
+              ~cost:(ui_verify_cost t +. payload_cost t payload)
+              (fun () ->
+                if
+                  live ()
+                  && Usig.verify_ui ~id:sender ~msg:(Mmsg.signed_part msg) (Mmsg.ui msg)
+                then
+                  Resource.submit t.core ~cost:t.cfg.cost.pbft_core_us (fun () ->
+                      if live () then admit t sender msg)))
     end
     else
       match Message.decode payload with
@@ -445,16 +769,21 @@ let on_payload t ~src:_ payload =
         Resource.Pool.submit t.pool
           ~cost:(t.cfg.cost.client_auth_us +. payload_cost t payload)
           (fun () ->
-            if request_auth_ok r ~replica:t.cfg.id then
+            if live () && request_auth_ok r ~replica:t.cfg.id then
               Resource.submit t.core ~cost:t.cfg.cost.pbft_core_us (fun () ->
-                  if not t.crashed then on_request t r))
+                  if live () then on_request t r))
       | Ok _ | Error _ -> ()
   end
 
 (* ----- construction ----- *)
 
+let measurement =
+  Measurement.of_source ~name:"minbft-replica" ~version:"1"
+    ~code:"baseline minbft replica checkpoint state"
+
 let create engine net cfg ~app =
   if cfg.n < 3 then invalid_arg "Minbft.Replica.create: need n >= 3";
+  let platform = Platform.create engine ~id:cfg.id in
   let rec t =
     lazy
       { cfg;
@@ -501,8 +830,35 @@ let create engine net cfg ~app =
               end);
         viewchanges = Votes.create ();
         crashed = false;
+        epoch = 0;
         byz = Honest;
-        executed_total = 0 }
+        executed_total = 0;
+        platform;
+        seal_key = Platform.sealing_key platform measurement;
+        initial_snapshot = app.State_machine.snapshot ();
+        persist_log = [];
+        snapshots = Hashtbl.create 8;
+        exec_index_at = Hashtbl.create 64;
+        stable_proof = None;
+        sync_votes = Votes.create ();
+        sync_replies = [];
+        recovering = false;
+        recovered_count = 0;
+        alerts = [];
+        recovery_timer =
+          Timer.create engine
+            ~label:(Printf.sprintf "minbft%d-recovery" cfg.id)
+            ~delay:cfg.recovery_retry_us
+            ~callback:
+              (fun () ->
+              let t = Lazy.force t in
+              (* Commits in flight during the crash are gone for good, so a
+                 single request round can leave a gap; keep asking until the
+                 vouched head is reached. *)
+              if t.recovering && not t.crashed then begin
+                request_state t;
+                Timer.restart t.recovery_timer
+              end) }
   in
   let t = Lazy.force t in
   Network.register net (Addr.replica cfg.id) (fun ~src payload -> on_payload t ~src payload);
@@ -515,11 +871,107 @@ let last_executed_counter t = t.last_exec_counter
 let executed_log t = List.rev !(t.executed_digests)
 let app_digest t = State_machine.digest t.app
 
+(* Crash quiesces: bump the incarnation so deferred pool/core work is
+   dropped, silence every timer, and clear in-flight request state.  Only
+   [persist_log] (disk), the platform (hardware counters, sealing secret)
+   and the USIG (trusted, persistent) survive. *)
 let crash t =
   t.crashed <- true;
+  t.epoch <- t.epoch + 1;
   Timer.stop t.batch_timer;
   Timer.stop t.suspect_timer;
+  Timer.stop t.recovery_timer;
+  t.pending <- [];
+  t.pending_count <- 0;
+  Hashtbl.reset t.awaiting;
+  t.recovering <- false;
   Network.unregister t.net (Addr.replica t.cfg.id)
 
 let is_crashed t = t.crashed
 let set_byzantine t mode = t.byz <- mode
+
+(* ----- restart with rollback-protected recovery ----- *)
+
+let refuse t reason = t.alerts <- reason :: t.alerts
+
+let restart t =
+  if t.crashed then begin
+    (* The process image is gone: wipe all volatile state back to genesis
+       before consulting the sealed checkpoint. *)
+    t.epoch <- t.epoch + 1;
+    t.view <- 0;
+    Array.iteri (fun i _ -> t.windows.(i) <- Usig.Window.create ()) t.windows;
+    Hashtbl.reset t.holdback;
+    t.order <- [];
+    Hashtbl.reset t.by_counter;
+    Votes.reset t.pending_commits;
+    t.executed_upto <- 0;
+    t.last_exec_counter <- 0L;
+    t.exec_index <- 0;
+    t.executed_digests := [];
+    Votes.reset t.checkpoints;
+    (* A stale reply cache would make re-execution skip operations the
+       snapshot does not cover, so the client table starts fresh too. *)
+    t.clients <- Client_table.create ();
+    t.pending <- [];
+    t.pending_count <- 0;
+    Hashtbl.reset t.awaiting;
+    Votes.reset t.viewchanges;
+    Hashtbl.reset t.snapshots;
+    Hashtbl.reset t.exec_index_at;
+    t.stable_proof <- None;
+    Votes.reset t.sync_votes;
+    t.sync_replies <- [];
+    t.recovering <- false;
+    ignore (t.app.State_machine.restore t.initial_snapshot);
+    let counter = Platform.counter_read t.platform "ckpt" in
+    let verdict =
+      match List.assoc_opt "ckpt:minbft" t.persist_log with
+      | None ->
+        if Int64.compare counter 0L > 0 then
+          Error
+            (Printf.sprintf
+               "minbft: rollback detected — counter at %Ld but no sealed checkpoint on disk"
+               counter)
+        else Ok None
+      | Some sealed -> (
+        match Sealing.unseal ~key:t.seal_key sealed with
+        | Error e -> Error ("minbft: sealed checkpoint rejected: " ^ e)
+        | Ok image -> (
+          match decode_recovery_image image with
+          | Error e -> Error ("minbft: sealed checkpoint undecodable: " ^ e)
+          | Ok (sealed_counter, view, exec_index, last_exec_counter, snapshot, executed) ->
+            if Int64.compare sealed_counter counter <> 0 then
+              Error
+                (Printf.sprintf
+                   "minbft: rollback detected — sealed checkpoint bound to counter %Ld, \
+                    platform counter is %Ld"
+                   sealed_counter counter)
+            else (
+              match t.app.State_machine.restore snapshot with
+              | Error e -> Error ("minbft: sealed snapshot rejected by application: " ^ e)
+              | Ok () -> Ok (Some (view, exec_index, last_exec_counter, executed)))))
+    in
+    match verdict with
+    | Error reason -> refuse t reason (* refuse loudly and stay down *)
+    | Ok restored ->
+      (match restored with
+      | None -> ()
+      | Some (view, exec_index, last_exec_counter, executed) ->
+        t.view <- view;
+        t.exec_index <- exec_index;
+        t.last_exec_counter <- last_exec_counter;
+        t.executed_digests := executed);
+      t.crashed <- false;
+      t.recovering <- true;
+      Network.register t.net (Addr.replica t.cfg.id) (fun ~src payload ->
+          on_payload t ~src payload);
+      request_state t;
+      Timer.restart t.recovery_timer
+  end
+
+let is_recovering t = t.recovering
+let recovered t = t.recovered_count > 0 && not t.recovering
+let recovery_alerts t = List.rev t.alerts
+let persisted t = List.rev t.persist_log
+let tamper_counter t name = Platform.counter_tamper_reset t.platform name

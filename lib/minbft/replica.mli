@@ -24,6 +24,10 @@ type config = {
   batch_timeout_us : float;
   checkpoint_interval : int;
   suspect_timeout_us : float;
+  recovery_retry_us : float;
+      (** while recovering, re-broadcast the state request at this period —
+          commits in flight during the crash are lost, so one round can
+          leave a gap below the vouched head *)
 }
 
 val default_config : n:int -> id:Ids.replica_id -> config
@@ -53,6 +57,32 @@ val executed_log : t -> (int64 * string) list
 (** (primary counter, batch digest), oldest first. *)
 
 val app_digest : t -> string
+
 val crash : t -> unit
+(** Quiesce: bump the incarnation (dropping deferred work), stop all
+    timers, clear in-flight request state, leave the network.  The sealed
+    checkpoint log, the platform counters, and the USIG survive. *)
+
 val is_crashed : t -> bool
 val set_byzantine : t -> byzantine_mode -> unit
+
+val restart : t -> unit
+(** Wipe volatile state, unseal the last checkpoint, and verify it is bound
+    to the current monotonic counter — a mismatch (rollback) is refused
+    loudly ({!recovery_alerts}) and the replica stays down.  Otherwise the
+    replica rejoins and catches up from peers via state transfer. *)
+
+val is_recovering : t -> bool
+
+val recovered : t -> bool
+(** At least one restart completed recovery and none is in progress. *)
+
+val recovery_alerts : t -> string list
+(** Rollback/unseal refusals, oldest first. *)
+
+val persisted : t -> (string * string) list
+(** Simulated disk (sealed checkpoint blobs), oldest first. *)
+
+val tamper_counter : t -> string -> unit
+(** Fault injection: reset the named platform monotonic counter (the
+    rollback attack the sealed checkpoints must detect). *)

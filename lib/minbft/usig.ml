@@ -66,6 +66,10 @@ module Window = struct
     | _ -> `Seen
 
   let last w = w.last
+
+  (* Recovery: skip the counters covered by a state transfer.  Only moves
+     forward — rolling a window back would re-admit replayed identifiers. *)
+  let fast_forward w counter = if Int64.compare counter w.last > 0 then w.last <- counter
 end
 
 let tamper_set t v = t.next <- v

@@ -44,6 +44,10 @@ module Window : sig
       means hold the message back; [`Seen] means replay/rollback. *)
 
   val last : w -> int64
+
+  val fast_forward : w -> int64 -> unit
+  (** Recovery: skip to the given counter (covered by a state transfer);
+      never moves backward. *)
 end
 
 val tamper_set : t -> int64 -> unit

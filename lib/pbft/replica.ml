@@ -3,6 +3,12 @@ module Network = Splitbft_sim.Network
 module Resource = Splitbft_sim.Resource
 module Timer = Splitbft_sim.Timer
 module Cost_model = Splitbft_tee.Cost_model
+module Platform = Splitbft_tee.Platform
+module Measurement = Splitbft_tee.Measurement
+module Sealing = Splitbft_tee.Sealing
+module Sha256 = Splitbft_crypto.Sha256
+module W = Splitbft_codec.Writer
+module R = Splitbft_codec.Reader
 module Message = Splitbft_types.Message
 module Validation = Splitbft_types.Validation
 module Ids = Splitbft_types.Ids
@@ -32,6 +38,7 @@ type config = {
   watermark_window : int;
   suspect_timeout_us : float;
   viewchange_timeout_us : float;
+  recovery_retry_us : float;
 }
 
 let default_config ~n ~id =
@@ -44,7 +51,8 @@ let default_config ~n ~id =
     checkpoint_interval = 64;
     watermark_window = 256;
     suspect_timeout_us = 500_000.0;
-    viewchange_timeout_us = 1_000_000.0 }
+    viewchange_timeout_us = 1_000_000.0;
+    recovery_retry_us = 150_000.0 }
 
 type byzantine_mode =
   | Honest
@@ -90,11 +98,17 @@ type t = {
   mutable next_seq : Ids.seqno;
   mutable last_executed : Ids.seqno;
   slots : slot Log.t;  (* owns the low watermark *)
+  prepared_certs : (Ids.seqno, Message.prepared_proof) Hashtbl.t;
+      (* Prepare certificates retained until their seq is checkpoint-stable.
+         The live slots are reset on every view entry, but ViewChanges must
+         still carry the evidence for unstable decided seqs across cascaded
+         view changes — otherwise a later NewView is free to re-propose
+         different content at a seq some replica already executed. *)
   batches_by_digest : (string, Message.request list) Hashtbl.t;
   fetching : (string, unit) Hashtbl.t;  (* batch digests requested from peers *)
   executed_digests : (Ids.seqno, string) Hashtbl.t;
   ckpt : Ckpt.t;
-  clients : Client_table.t;
+  mutable clients : Client_table.t;
   mutable pending : Message.request list;  (* batch queue, newest first *)
   mutable pending_count : int;
   batch_timer : Timer.t;
@@ -106,8 +120,22 @@ type t = {
   vc_timer : Timer.t;
   mutable persist_log : (string * string) list;  (* newest first *)
   mutable crashed : bool;
+  mutable epoch : int;
+      (* incarnation counter: work queued before a crash must not run after
+         a restart, so deferred closures check the epoch they captured *)
   mutable byz : byzantine_mode;
   mutable executed_total : int;
+  (* crash-recovery (sealed checkpoints + state transfer) *)
+  platform : Platform.t;
+  seal_key : string;
+  initial_snapshot : string;
+  snapshots : (Ids.seqno, string) Hashtbl.t;  (* app snapshot at checkpoint seqs *)
+  sync_votes : (Ids.seqno, string * Message.request list) Votes.t;
+  mutable sync_replies : (Ids.replica_id * Ids.seqno * Ids.view) list;
+  mutable recovering : bool;
+  mutable recovered_count : int;
+  mutable alerts : string list;  (* newest first *)
+  recovery_timer : Timer.t;
 }
 
 (* ----- key management ----- *)
@@ -138,7 +166,8 @@ let verify_cost t (msg : Message.t) =
     c.verify_us
   | Message.Viewchange vc -> c.verify_us *. float_of_int (Proofs.viewchange_sig_count vc)
   | Message.Newview nv -> c.verify_us *. float_of_int (Proofs.newview_sig_count nv)
-  | Message.Batch_fetch _ | Message.Batch_data _ -> 1.0
+  | Message.Batch_fetch _ | Message.Batch_data _ | Message.State_request _ -> 1.0
+  | Message.State_reply sr -> c.verify_us *. float_of_int (List.length sr.st_proof)
   | Message.Reply _ | Message.Session_init _ | Message.Session_quote _
   | Message.Session_key _ | Message.Session_ack _ ->
     0.0
@@ -178,6 +207,10 @@ let verify_ok t (msg : Message.t) =
          nv.nv_viewchanges
   | Message.Batch_fetch _ | Message.Batch_data _ ->
     (* content-addressed: the handler checks the digest *)
+    true
+  | Message.State_request _ | Message.State_reply _ ->
+    (* snapshot certified by its checkpoint proof, entries by f+1 matching
+       repliers — both checked in the handler *)
     true
   | Message.Reply _ | Message.Session_init _ | Message.Session_quote _
   | Message.Session_key _ | Message.Session_ack _ ->
@@ -273,12 +306,78 @@ let refresh_suspect_timer t =
   if Hashtbl.length t.awaiting = 0 then Timer.stop t.suspect_timer
   else Timer.restart t.suspect_timer
 
+(* ----- rollback-protected sealed checkpoints ----- *)
+
+let encode_recovery_image t ~counter ~snapshot =
+  W.to_string
+    (fun w () ->
+      W.u64 w counter;
+      W.varint w t.view;
+      W.varint w t.last_executed;
+      W.bytes w snapshot;
+      W.list w
+        (fun w (seq, d) ->
+          W.varint w seq;
+          W.bytes w d)
+        (Hashtbl.fold (fun seq d acc -> (seq, d) :: acc) t.executed_digests []))
+    ()
+
+let decode_recovery_image s =
+  R.parse
+    (fun r ->
+      let counter = R.u64 r in
+      let view = R.varint r in
+      let last_executed = R.varint r in
+      let snapshot = R.bytes r in
+      let executed =
+        R.list r (fun r ->
+            let seq = R.varint r in
+            let d = R.bytes r in
+            (seq, d))
+      in
+      (counter, view, last_executed, snapshot, executed))
+    s
+
+(* Each seal bumps the platform's monotonic counter and binds the new value
+   into the image, so recovery can tell the newest blob from a replayed
+   older one (the baseline gets the same rollback defense as the SplitBFT
+   compartments, for comparison rows). *)
+let seal_checkpoint_state t ~snapshot =
+  let counter = Platform.counter_increment t.platform "ckpt" in
+  let sealed =
+    Sealing.seal ~key:t.seal_key ~rng:(Platform.rng t.platform)
+      (encode_recovery_image t ~counter ~snapshot)
+  in
+  t.persist_log <- ("ckpt:pbft", sealed) :: t.persist_log
+
+let finish_recovery t =
+  let f1 = t.f + 1 in
+  if t.recovering && List.length t.sync_replies >= f1 then begin
+    let heights =
+      List.map (fun (_, h, _) -> h) t.sync_replies |> List.sort (fun a b -> compare b a)
+    in
+    (* Caught up once we reach the (f+1)-th highest vouched height: at
+       least one honest replica was at or below it. *)
+    if t.last_executed >= List.nth heights (f1 - 1) then begin
+      t.recovering <- false;
+      t.recovered_count <- t.recovered_count + 1;
+      t.sync_replies <- [];
+      Votes.reset t.sync_votes;
+      Timer.stop t.recovery_timer
+    end
+  end
+
 let send_checkpoint_if_due t seq =
   if seq mod t.cfg.checkpoint_interval = 0 then begin
-    let state_digest = State_machine.digest t.app in
+    let snapshot = t.app.State_machine.snapshot () in
+    let state_digest = Sha256.digest snapshot in
+    (* Cache the snapshot so a State_reply can serve bytes matching the
+       certified digest. *)
+    Hashtbl.replace t.snapshots seq snapshot;
     let ck = make_checkpoint t ~seq ~state_digest in
     broadcast t ~sign_cost:t.cfg.cost.sign_us (Message.Checkpoint ck);
-    Ckpt.store t.ckpt ck
+    Ckpt.store t.ckpt ck;
+    seal_checkpoint_state t ~snapshot
   end
 
 let resolve_batch t (s : slot) =
@@ -363,6 +462,12 @@ and check_checkpoint_stability t seq =
       (* Keep the proving quorum, advance the low watermark, drop old state. *)
       Log.advance_low_mark t.slots stable;
       Log.prune t.slots ~upto:stable;
+      Hashtbl.iter
+        (fun s _ -> if s <= stable then Hashtbl.remove t.prepared_certs s)
+        (Hashtbl.copy t.prepared_certs);
+      Hashtbl.iter
+        (fun s _ -> if s < stable then Hashtbl.remove t.snapshots s)
+        (Hashtbl.copy t.snapshots);
       flush_batch_if_ready t)
 
 (* ----- batching (primary) ----- *)
@@ -435,6 +540,16 @@ let rec try_send_commit t seq =
       && Validation.prepare_cert_complete ~f:t.f pd (Quorum.votes s.prepares)
     then begin
       s.own_commit_sent <- true;
+      (* Retain the completed certificate (per seq, highest view wins) so
+         view changes can still prove it after the slots are reset. *)
+      (match Proofs.assemble ~f:t.f [ (pd, Quorum.votes s.prepares) ] with
+      | [ proof ] -> (
+        match Hashtbl.find_opt t.prepared_certs seq with
+        | Some old when old.Message.proof_preprepare.Message.pd_view >= pd.Message.pd_view
+          ->
+          ()
+        | Some _ | None -> Hashtbl.replace t.prepared_certs seq proof)
+      | _ -> ());
       match t.byz with
       | Mute_commits -> ()
       | Honest | Equivocate _ | Collude | Corrupt_execution ->
@@ -457,7 +572,8 @@ and try_mark_committed t seq =
            (Quorum.votes s.commits)
     then begin
       s.committed <- true;
-      try_execute t
+      try_execute t;
+      finish_recovery t
     end
 
 (* ----- normal-operation handlers ----- *)
@@ -547,15 +663,10 @@ let on_checkpoint t (ck : Message.checkpoint) =
 (* ----- view change ----- *)
 
 let prepared_proofs t =
-  Proofs.assemble ~f:t.f
-    (Log.fold
-       (fun seq s acc ->
-         if seq > Log.low_mark t.slots then
-           match s.proposal with
-           | Some pd -> (pd, Quorum.votes s.prepares) :: acc
-           | None -> acc
-         else acc)
-       t.slots [])
+  let low = Log.low_mark t.slots in
+  Hashtbl.fold
+    (fun seq proof acc -> if seq > low then proof :: acc else acc)
+    t.prepared_certs []
 
 let make_viewchange t ~new_view : Message.viewchange =
   let vc =
@@ -577,7 +688,12 @@ let enter_view t ~view ~min_s ~max_s (pps : Message.preprepare_digest list) ~as_
   (* Keep the checkpoint tracker's stable point in lock-step with the low
      watermark even though the NewView carried no quorum for it. *)
   Ckpt.force_stable t.ckpt (Log.low_mark t.slots);
+  (* Resetting the slots is safe only because prepared certificates live in
+     [prepared_certs]; prune the ones the NewView's stable point covers. *)
   Log.reset t.slots;
+  Hashtbl.iter
+    (fun s _ -> if s <= Log.low_mark t.slots then Hashtbl.remove t.prepared_certs s)
+    (Hashtbl.copy t.prepared_certs);
   t.next_seq <- max_s + 1;
   (* Requests assigned in the dead view may have been lost with it; allow
      client retransmissions to be ordered again (execution deduplicates by
@@ -702,6 +818,125 @@ let on_batch_data t (bd : Message.batch_data) =
     try_execute t
   end
 
+(* ----- state transfer ----- *)
+
+let on_state_request t (sr : Message.state_request) =
+  if sr.sr_requester <> t.cfg.id && not t.recovering then begin
+    let stable = Ckpt.last_stable t.ckpt in
+    let snapshot =
+      if stable > 0 && sr.sr_from <= stable then
+        Option.value ~default:"" (Hashtbl.find_opt t.snapshots stable)
+      else ""
+    in
+    let entries = ref [] in
+    for seq = t.last_executed downto max 1 sr.sr_from do
+      match Hashtbl.find_opt t.executed_digests seq with
+      | None -> ()
+      | Some d ->
+        let batch =
+          if String.equal d Message.empty_batch_digest then Some []
+          else Hashtbl.find_opt t.batches_by_digest d
+        in
+        (match batch with
+        | Some b ->
+          entries := { Message.se_seq = seq; se_digest = d; se_batch = b } :: !entries
+        | None -> ())
+    done;
+    send_to t ~sign_cost:0.0
+      (Addr.replica sr.sr_requester)
+      (Message.encode
+         (Message.State_reply
+            { st_replier = t.cfg.id;
+              st_requester = sr.sr_requester;
+              st_stable = stable;
+              st_proof = Ckpt.proof t.ckpt;
+              st_snapshot = snapshot;
+              st_view = t.view;
+              st_entries = !entries }))
+  end
+
+let on_state_reply t (sr : Message.state_reply) =
+  if t.recovering && sr.st_requester = t.cfg.id && sr.st_replier <> t.cfg.id then begin
+    (* Certified snapshot: install only if it moves us forward and matches
+       its checkpoint-quorum certificate. *)
+    (if String.length sr.st_snapshot > 0 && sr.st_stable > t.last_executed then begin
+       let proof_ok =
+         Validation.checkpoint_quorum_seq ~quorum:t.quorum sr.st_proof = Some sr.st_stable
+         && List.for_all (Validation.verify_checkpoint t.lookup) sr.st_proof
+       in
+       let digest_ok =
+         match sr.st_proof with
+         | ck :: _ -> String.equal (Sha256.digest sr.st_snapshot) ck.Message.state_digest
+         | [] -> false
+       in
+       if proof_ok && digest_ok then
+         match t.app.State_machine.restore sr.st_snapshot with
+         | Error _ -> ()
+         | Ok () ->
+           ignore (t.app.State_machine.drain_effects ());
+           t.last_executed <- sr.st_stable;
+           Hashtbl.replace t.snapshots sr.st_stable sr.st_snapshot;
+           Ckpt.force_stable t.ckpt sr.st_stable;
+           Log.advance_low_mark t.slots sr.st_stable;
+           Log.prune t.slots ~upto:sr.st_stable
+     end);
+    (* Log suffix: entries are content-addressed but unsigned, so install a
+       slot only once f+1 distinct repliers vouch for the same digest. *)
+    List.iter
+      (fun (e : Message.state_entry) ->
+        if
+          e.se_seq > t.last_executed
+          && String.equal (Message.digest_of_batch e.se_batch) e.se_digest
+          && Votes.add t.sync_votes ~key:e.se_seq ~sender:sr.st_replier
+               (e.se_digest, e.se_batch)
+        then begin
+          let matching =
+            List.filter
+              (fun (d, _) -> String.equal d e.se_digest)
+              (Votes.get t.sync_votes e.se_seq)
+          in
+          if List.length matching >= t.f + 1 then begin
+            let s = slot t e.se_seq in
+            s.proposal <-
+              Some
+                { Message.pd_view = sr.st_view;
+                  pd_seq = e.se_seq;
+                  pd_digest = e.se_digest;
+                  pd_sender = Ids.primary_of_view ~n:t.cfg.n sr.st_view;
+                  pd_sig = "" };
+            s.batch <- Some e.se_batch;
+            Hashtbl.replace t.batches_by_digest e.se_digest e.se_batch;
+            s.committed <- true
+          end
+        end)
+      sr.st_entries;
+    let vouched =
+      List.fold_left
+        (fun acc (e : Message.state_entry) -> max acc e.se_seq)
+        sr.st_stable sr.st_entries
+    in
+    (* One live slot per replier: the recovery timer re-requests, and a
+       newer reply supersedes the older one. *)
+    t.sync_replies <-
+      (sr.st_replier, vouched, sr.st_view)
+      :: List.filter (fun (r, _, _) -> r <> sr.st_replier) t.sync_replies;
+    (* Adopt the view vouched by f+1 repliers so current-view traffic is
+       not discarded after the catch-up. *)
+    let f1 = t.f + 1 in
+    if List.length t.sync_replies >= f1 then begin
+      let views =
+        List.map (fun (_, _, v) -> v) t.sync_replies |> List.sort (fun a b -> compare b a)
+      in
+      let v = List.nth views (f1 - 1) in
+      if v > t.view && not t.in_view_change then begin
+        t.view <- v;
+        t.next_seq <- max t.next_seq (t.last_executed + 1)
+      end
+    end;
+    try_execute t;
+    finish_recovery t
+  end
+
 let handle t ~src:_ (msg : Message.t) =
   match msg with
   | Message.Request r -> on_request t r
@@ -714,6 +949,8 @@ let handle t ~src:_ (msg : Message.t) =
   | Message.Newview nv -> on_newview t nv
   | Message.Batch_fetch bf -> on_batch_fetch t bf
   | Message.Batch_data bd -> on_batch_data t bd
+  | Message.State_request sr -> on_state_request t sr
+  | Message.State_reply sr -> on_state_reply t sr
   | Message.Reply _ | Message.Session_init _ | Message.Session_quote _
   | Message.Session_key _ | Message.Session_ack _ ->
     ()
@@ -723,20 +960,26 @@ let on_payload t ~src payload =
     match Message.decode payload with
     | Error _ -> ()
     | Ok msg ->
+      let epoch = t.epoch in
       let vcost = verify_cost t msg +. payload_cost t payload in
       Resource.Pool.submit t.pool ~cost:vcost (fun () ->
-          if verify_ok t msg then
+          if t.epoch = epoch && verify_ok t msg then
             Resource.submit t.core ~cost:(core_cost t msg) (fun () ->
-                if not t.crashed then handle t ~src msg))
+                if t.epoch = epoch && not t.crashed then handle t ~src msg))
   end
 
 (* ----- construction ----- *)
+
+let measurement =
+  Measurement.of_source ~name:"pbft-replica" ~version:"1"
+    ~code:"baseline pbft replica checkpoint state"
 
 let create engine net cfg ~app =
   if cfg.n < 4 then invalid_arg "Pbft.Replica.create: need n >= 4";
   let keypair =
     Signature.derive ~seed:(Keys.replica_signing_seed ~protocol:protocol_name cfg.id)
   in
+  let platform = Platform.create engine ~id:cfg.id in
   let rec t =
     lazy
       { cfg;
@@ -756,6 +999,7 @@ let create engine net cfg ~app =
         next_seq = 1;
         last_executed = 0;
         slots = Log.create ~window:cfg.watermark_window ();
+        prepared_certs = Hashtbl.create 64;
         batches_by_digest = Hashtbl.create 256;
         fetching = Hashtbl.create 8;
         executed_digests = Hashtbl.create 1024;
@@ -790,8 +1034,33 @@ let create engine net cfg ~app =
               start_view_change t ~target:(t.vc_target + 1));
         persist_log = [];
         crashed = false;
+        epoch = 0;
         byz = Honest;
-        executed_total = 0 }
+        executed_total = 0;
+        platform;
+        seal_key = Platform.sealing_key platform measurement;
+        initial_snapshot = app.State_machine.snapshot ();
+        snapshots = Hashtbl.create 4;
+        sync_votes = Votes.create ~size:32 ();
+        sync_replies = [];
+        recovering = false;
+        recovered_count = 0;
+        alerts = [];
+        recovery_timer =
+          Timer.create engine
+            ~label:(Printf.sprintf "pbft%d-recovery" cfg.id)
+            ~delay:cfg.recovery_retry_us
+            ~callback:
+              (fun () ->
+              let t = Lazy.force t in
+              (* Re-request: commits in flight during the crash are gone,
+                 so a single round can leave a gap below the cluster head. *)
+              if t.recovering && not t.crashed then begin
+                broadcast t ~sign_cost:0.0
+                  (Message.State_request
+                     { sr_requester = t.cfg.id; sr_from = t.last_executed + 1 });
+                Timer.restart t.recovery_timer
+              end) }
   in
   let t = Lazy.force t in
   Network.register net (Addr.replica cfg.id) (fun ~src payload -> on_payload t ~src payload);
@@ -816,11 +1085,101 @@ let persisted t = List.rev t.persist_log
 
 let crash t =
   t.crashed <- true;
+  (* Quiesce: invalidate in-flight pool/core work and drop queued
+     host-side state so a later restart observes no ghost callbacks.
+     [persist_log] survives — it is the disk recovery reads from. *)
+  t.epoch <- t.epoch + 1;
   Timer.stop t.batch_timer;
   Timer.stop t.suspect_timer;
   Timer.stop t.vc_timer;
+  Timer.stop t.recovery_timer;
+  t.pending <- [];
+  t.pending_count <- 0;
+  Hashtbl.reset t.awaiting;
+  t.recovering <- false;
   Network.unregister t.net (Addr.replica t.cfg.id)
 
+let restart t =
+  if t.crashed then begin
+    (* Volatile state did not survive the crash. *)
+    t.view <- 0;
+    t.next_seq <- 1;
+    t.last_executed <- 0;
+    Log.reset t.slots;
+    (* Certificate amnesia after a crash is within the f allowance. *)
+    Hashtbl.reset t.prepared_certs;
+    Hashtbl.reset t.batches_by_digest;
+    Hashtbl.reset t.fetching;
+    Hashtbl.reset t.executed_digests;
+    Hashtbl.reset t.snapshots;
+    t.in_view_change <- false;
+    t.vc_target <- 0;
+    Votes.reset t.viewchanges;
+    Votes.reset t.sync_votes;
+    t.sync_replies <- [];
+    (* The reply cache must not survive either: stale "already executed"
+       entries would make re-execution skip operations and diverge. *)
+    t.clients <- Client_table.create ();
+    (match t.app.State_machine.restore t.initial_snapshot with
+    | Ok () -> ignore (t.app.State_machine.drain_effects ())
+    | Error _ -> ());
+    (* Rollback check: the newest sealed checkpoint must carry the exact
+       platform counter value, and a moved counter proves a seal exists. *)
+    let counter = Platform.counter_read t.platform "ckpt" in
+    let refused = ref None in
+    (match List.assoc_opt "ckpt:pbft" t.persist_log with
+    | None ->
+      if Int64.compare counter 0L > 0 then
+        refused :=
+          Some
+            (Printf.sprintf
+               "pbft: rollback detected — counter at %Ld but no sealed checkpoint on disk"
+               counter)
+    | Some sealed -> (
+      match Sealing.unseal ~key:t.seal_key sealed with
+      | Error e -> refused := Some ("pbft: sealed checkpoint rejected: " ^ e)
+      | Ok blob -> (
+        match decode_recovery_image blob with
+        | Error e -> refused := Some ("pbft: sealed checkpoint malformed: " ^ e)
+        | Ok (sealed_counter, view, last_executed, snapshot, executed) ->
+          if Int64.compare sealed_counter counter <> 0 then
+            refused :=
+              Some
+                (Printf.sprintf
+                   "pbft: rollback detected — sealed checkpoint bound to counter %Ld, \
+                    platform counter is %Ld"
+                   sealed_counter counter)
+          else (
+            match t.app.State_machine.restore snapshot with
+            | Error e -> refused := Some ("pbft: sealed snapshot rejected: " ^ e)
+            | Ok () ->
+              ignore (t.app.State_machine.drain_effects ());
+              t.view <- view;
+              t.next_seq <- last_executed + 1;
+              t.last_executed <- last_executed;
+              List.iter
+                (fun (seq, d) -> Hashtbl.replace t.executed_digests seq d)
+                executed;
+              Hashtbl.replace t.snapshots last_executed snapshot;
+              Ckpt.force_stable t.ckpt last_executed;
+              Log.advance_low_mark t.slots last_executed))));
+    match !refused with
+    | Some reason -> t.alerts <- reason :: t.alerts  (* stay down, loudly *)
+    | None ->
+      t.crashed <- false;
+      t.epoch <- t.epoch + 1;
+      t.recovering <- true;
+      Network.register t.net (Addr.replica t.cfg.id) (fun ~src payload ->
+          on_payload t ~src payload);
+      broadcast t ~sign_cost:0.0
+        (Message.State_request { sr_requester = t.cfg.id; sr_from = t.last_executed + 1 });
+      Timer.restart t.recovery_timer
+  end
+
 let is_crashed t = t.crashed
+let is_recovering t = t.recovering
+let recovered t = t.recovered_count > 0 && not t.recovering
+let recovery_alerts t = List.rev t.alerts
+let tamper_counter t name = Platform.counter_tamper_reset t.platform name
 let set_byzantine t mode = t.byz <- mode
 let byzantine_mode t = t.byz

@@ -27,6 +27,8 @@ type config = {
   watermark_window : int;
   suspect_timeout_us : float;  (** request timer driving view changes *)
   viewchange_timeout_us : float;  (** retry timer for a stalled view change *)
+  recovery_retry_us : float;
+      (** while recovering, period between repeated StateRequest rounds *)
 }
 
 val default_config : n:int -> id:Ids.replica_id -> config
@@ -64,9 +66,30 @@ val persisted : t -> (string * string) list
     oldest first. *)
 
 val crash : t -> unit
-(** Host crash: unregisters from the network and stops all timers. *)
+(** Host crash: unregisters from the network, stops all timers, and drops
+    all queued host-side work so a later {!restart} cannot observe ghost
+    callbacks from the previous incarnation.  Sealed checkpoints (the
+    "disk") survive. *)
+
+val restart : t -> unit
+(** Crash-recovery: wipe volatile state, unseal the newest checkpoint and
+    verify it against the platform's monotonic counter (a detected
+    rollback is refused loudly — see {!recovery_alerts} — and the replica
+    stays down), then rejoin the network and catch up from peers via
+    StateRequest/StateReply before participating again. *)
 
 val is_crashed : t -> bool
+val is_recovering : t -> bool
+
+val recovered : t -> bool
+(** True once a restart finished state transfer and caught up. *)
+
+val recovery_alerts : t -> string list
+(** Rollback-refusal (and other recovery-safety) alerts, oldest first. *)
+
+val tamper_counter : t -> string -> unit
+(** Rollback attack: reset a named platform counter (e.g. ["ckpt"]) behind
+    the replica's back; the next {!restart} must refuse the stale seal. *)
 
 (** {2 Byzantine behaviour injection (harness)} *)
 

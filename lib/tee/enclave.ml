@@ -174,8 +174,11 @@ let unseal env blob =
   charge env (cm.seal_base_us +. (cm.seal_per_byte_us *. float_of_int (String.length blob)));
   Sealing.unseal ~key:env.enclave.sealing_key blob
 
-let counter_name env name =
-  Printf.sprintf "%s:%s" (Splitbft_util.Hex.encode (Measurement.to_raw env.enclave.meas)) name
+let scoped_counter_name t name =
+  Printf.sprintf "%s:%s" (Splitbft_util.Hex.encode (Measurement.to_raw t.meas)) name
+
+let tamper_counter t name = Platform.counter_tamper_reset t.platform (scoped_counter_name t name)
+let counter_name env name = scoped_counter_name env.enclave name
 
 let counter_increment env name =
   Platform.counter_increment env.enclave.platform (counter_name env name)

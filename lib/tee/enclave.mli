@@ -70,6 +70,12 @@ val subvert : t -> program -> unit
 
 val is_subverted : t -> bool
 
+val tamper_counter : t -> string -> unit
+(** Fault injection: wipe the named monotonic counter (scoped to this
+    enclave's measurement, as {!counter_increment} scopes it) — the
+    rollback attack a malicious host mounts against sealed state.  A
+    subsequent recovery must detect the mismatch and refuse the blob. *)
+
 (** {2 Accounting (Figure 4)} *)
 
 val ecall_count : t -> int

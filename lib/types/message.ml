@@ -85,6 +85,7 @@ type session_quote = {
   sq_replica : Ids.replica_id;
   sq_quote : string;
   sq_box_public : string;
+  sq_nonce : string;
   sq_sig : string;
 }
 
@@ -103,6 +104,20 @@ type session_ack = {
 type batch_fetch = { bf_digest : string; bf_requester : Ids.replica_id }
 type batch_data = { bd_batch : request list }
 
+type state_request = { sr_requester : Ids.replica_id; sr_from : Ids.seqno }
+
+type state_entry = { se_seq : Ids.seqno; se_digest : string; se_batch : request list }
+
+type state_reply = {
+  st_replier : Ids.replica_id;
+  st_requester : Ids.replica_id;
+  st_stable : Ids.seqno;
+  st_proof : checkpoint list;
+  st_snapshot : string;
+  st_view : Ids.view;
+  st_entries : state_entry list;
+}
+
 type t =
   | Request of request
   | Preprepare of preprepare
@@ -119,6 +134,8 @@ type t =
   | Session_ack of session_ack
   | Batch_fetch of batch_fetch
   | Batch_data of batch_data
+  | State_request of state_request
+  | State_reply of state_reply
 
 let tag = function
   | Request _ -> 1
@@ -136,6 +153,8 @@ let tag = function
   | Session_ack _ -> 12
   | Batch_fetch _ -> 14
   | Batch_data _ -> 15
+  | State_request _ -> 16
+  | State_reply _ -> 17
 
 let type_name = function
   | Request _ -> "request"
@@ -153,6 +172,8 @@ let type_name = function
   | Session_ack _ -> "session-ack"
   | Batch_fetch _ -> "batch-fetch"
   | Batch_data _ -> "batch-data"
+  | State_request _ -> "state-request"
+  | State_reply _ -> "state-reply"
 
 (* ----- request ----- *)
 
@@ -413,7 +434,8 @@ let read_session_init r : session_init = { si_client = R.varint r }
 let write_session_quote_core w (s : session_quote) =
   W.varint w s.sq_replica;
   W.bytes w s.sq_quote;
-  W.bytes w s.sq_box_public
+  W.bytes w s.sq_box_public;
+  W.bytes w s.sq_nonce
 
 let write_session_quote w s =
   write_session_quote_core w s;
@@ -423,8 +445,9 @@ let read_session_quote r : session_quote =
   let sq_replica = R.varint r in
   let sq_quote = R.bytes r in
   let sq_box_public = R.bytes r in
+  let sq_nonce = R.bytes r in
   let sq_sig = R.bytes r in
-  { sq_replica; sq_quote; sq_box_public; sq_sig }
+  { sq_replica; sq_quote; sq_box_public; sq_nonce; sq_sig }
 
 let session_quote_signing_bytes s =
   W.to_string (fun w s -> W.raw w "sq"; write_session_quote_core w s) s
@@ -471,6 +494,47 @@ let read_batch_fetch r : batch_fetch =
 let write_batch_data w (b : batch_data) = W.list w write_request b.bd_batch
 let read_batch_data r : batch_data = { bd_batch = R.list r read_request }
 
+(* ----- state transfer ----- *)
+
+let write_state_request w (s : state_request) =
+  W.varint w s.sr_requester;
+  W.varint w s.sr_from
+
+let read_state_request r : state_request =
+  let sr_requester = R.varint r in
+  let sr_from = R.varint r in
+  { sr_requester; sr_from }
+
+let write_state_entry w (e : state_entry) =
+  W.varint w e.se_seq;
+  W.bytes w e.se_digest;
+  W.list w write_request e.se_batch
+
+let read_state_entry r : state_entry =
+  let se_seq = R.varint r in
+  let se_digest = R.bytes r in
+  let se_batch = R.list r read_request in
+  { se_seq; se_digest; se_batch }
+
+let write_state_reply w (s : state_reply) =
+  W.varint w s.st_replier;
+  W.varint w s.st_requester;
+  W.varint w s.st_stable;
+  W.list w write_checkpoint s.st_proof;
+  W.bytes w s.st_snapshot;
+  W.varint w s.st_view;
+  W.list w write_state_entry s.st_entries
+
+let read_state_reply r : state_reply =
+  let st_replier = R.varint r in
+  let st_requester = R.varint r in
+  let st_stable = R.varint r in
+  let st_proof = R.list r read_checkpoint in
+  let st_snapshot = R.bytes r in
+  let st_view = R.varint r in
+  let st_entries = R.list r read_state_entry in
+  { st_replier; st_requester; st_stable; st_proof; st_snapshot; st_view; st_entries }
+
 (* ----- top-level ----- *)
 
 let encode_into w msg =
@@ -491,6 +555,8 @@ let encode_into w msg =
   | Session_ack x -> write_session_ack w x
   | Batch_fetch x -> write_batch_fetch w x
   | Batch_data x -> write_batch_data w x
+  | State_request x -> write_state_request w x
+  | State_reply x -> write_state_reply w x
 
 let encode msg = W.to_string encode_into msg
 
@@ -513,6 +579,8 @@ let decode s =
       | 13 -> Preprepare_digest (read_preprepare_digest r)
       | 14 -> Batch_fetch (read_batch_fetch r)
       | 15 -> Batch_data (read_batch_data r)
+      | 16 -> State_request (read_state_request r)
+      | 17 -> State_reply (read_state_reply r)
       | t -> raise (R.Error (Printf.sprintf "unknown message tag %d" t)))
     s
 
@@ -545,3 +613,8 @@ let pp ppf msg =
     Format.fprintf ppf "batch-fetch(%s from %d)" (Splitbft_util.Hex.short b.bf_digest)
       b.bf_requester
   | Batch_data b -> Format.fprintf ppf "batch-data(|b|=%d)" (List.length b.bd_batch)
+  | State_request s ->
+    Format.fprintf ppf "state-request(from=%d by %d)" s.sr_from s.sr_requester
+  | State_reply s ->
+    Format.fprintf ppf "state-reply(stable=%d |e|=%d from %d)" s.st_stable
+      (List.length s.st_entries) s.st_replier

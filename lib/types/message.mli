@@ -101,6 +101,10 @@ type session_quote = {
   sq_replica : Ids.replica_id;
   sq_quote : string;  (** encoded attestation quote *)
   sq_box_public : string;
+  sq_nonce : string;
+      (** freshness nonce, distinct per enclave incarnation — lets a client
+          distinguish a recovered enclave (which must be re-provisioned)
+          from a retransmitted quote of one it already trusts *)
   sq_sig : string;  (** signature by the enclave's protocol key *)
 }
 
@@ -124,6 +128,30 @@ type batch_fetch = { bf_digest : string; bf_requester : Ids.replica_id }
 
 type batch_data = { bd_batch : request list }
 
+type state_request = { sr_requester : Ids.replica_id; sr_from : Ids.seqno }
+(** Broadcast by a recovering replica: "send me everything from [sr_from]
+    on".  PBFT's state-transfer request; in SplitBFT it is served by the
+    Execution compartment. *)
+
+type state_entry = { se_seq : Ids.seqno; se_digest : string; se_batch : request list }
+(** One decided log slot.  Content-addressed: the receiver recomputes the
+    batch digest, so entries need no signature — but it waits for [f + 1]
+    repliers agreeing on (seq, digest) before installing. *)
+
+type state_reply = {
+  st_replier : Ids.replica_id;
+  st_requester : Ids.replica_id;
+  st_stable : Ids.seqno;  (** replier's last stable checkpoint (0 = none) *)
+  st_proof : checkpoint list;  (** quorum certificate for [st_stable] *)
+  st_snapshot : string;
+      (** application snapshot at [st_stable], matching the certified state
+          digest; AEAD-sealed to the Execution identity in SplitBFT, plain
+          in the PBFT baseline; [""] when the requester is past the stable
+          point and only needs log entries *)
+  st_view : Ids.view;
+  st_entries : state_entry list;  (** decided suffix above the stable point *)
+}
+
 type t =
   | Request of request
   | Preprepare of preprepare
@@ -140,6 +168,8 @@ type t =
   | Session_ack of session_ack
   | Batch_fetch of batch_fetch
   | Batch_data of batch_data
+  | State_request of state_request
+  | State_reply of state_reply
 
 val tag : t -> int
 val type_name : t -> string

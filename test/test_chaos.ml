@@ -15,6 +15,7 @@ type fault_plan = {
   seed : int64;
   crash_host : int option;  (* at most f = 1 *)
   crash_delay_us : float;
+  restart : bool;  (* bring the crashed host back up (crash-recovery path) *)
   byz_enclave : (int * Splitbft_types.Ids.compartment) option;
   drop_prob : float;
 }
@@ -22,10 +23,11 @@ type fault_plan = {
 let plan_gen =
   QCheck.Gen.(
     map
-      (fun (seed, crash, delay, byz, drop) ->
+      (fun (seed, crash, delay, restart, byz, drop) ->
         { seed = Int64.of_int seed;
           crash_host = (if crash < 4 then Some crash else None);
           crash_delay_us = float_of_int (10_000 + delay);
+          restart = restart = 0;
           byz_enclave =
             (match byz with
             | 0 -> Some (0, Splitbft_types.Ids.Preparation)
@@ -33,12 +35,14 @@ let plan_gen =
             | 2 -> Some (2, Splitbft_types.Ids.Execution)
             | _ -> None);
           drop_prob = float_of_int drop /. 1000.0 })
-      (tup5 (1 -- 10_000) (0 -- 7) (0 -- 200_000) (0 -- 5) (0 -- 20)))
+      (tup6 (1 -- 10_000) (0 -- 7) (0 -- 200_000) (0 -- 1) (0 -- 5) (0 -- 20)))
 
 let plan_print p =
-  Printf.sprintf "seed=%Ld crash=%s byz=%s drop=%.3f"
+  Printf.sprintf "seed=%Ld crash=%s%s@%.0fus byz=%s drop=%.3f"
     p.seed
     (match p.crash_host with Some i -> string_of_int i | None -> "-")
+    (if p.restart then "+restart" else "")
+    p.crash_delay_us
     (match p.byz_enclave with
     | Some (i, c) -> Printf.sprintf "%d:%s" i (Splitbft_types.Ids.compartment_name c)
     | None -> "-")
@@ -85,7 +89,15 @@ let splitbft_run (p : fault_plan) =
     (* Keep the total fault load at one host + one enclave elsewhere. *)
     ignore
       (Engine.schedule engine ~delay:p.crash_delay_us ~label:"chaos-crash" (fun () ->
-           S.crash_host (List.nth replicas i)))
+           S.crash_host (List.nth replicas i)));
+    if p.restart then
+      (* Crash-recovery: unseal, verify the counter binding, state-transfer
+         back in.  Safety must hold whether or not recovery completes. *)
+      ignore
+        (Engine.schedule engine
+           ~delay:(p.crash_delay_us +. 500_000.0)
+           ~label:"chaos-restart"
+           (fun () -> S.restart_host (List.nth replicas i)))
   | _ -> ());
   let wrong = ref 0 in
   let cl =
@@ -136,9 +148,15 @@ let splitbft_run (p : fault_plan) =
   in
   agreement && !wrong = 0
 
+(* CI's chaos job raises this well beyond the default for a deeper sweep. *)
+let qcheck_count =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | Some s -> ( try max 1 (int_of_string s) with _ -> 6)
+  | None -> 6
+
 let prop_splitbft_safe_under_bounded_faults =
-  QCheck.Test.make ~name:"splitbft safe under any bounded fault schedule" ~count:6
-    plan_arbitrary splitbft_run
+  QCheck.Test.make ~name:"splitbft safe under any bounded fault schedule"
+    ~count:qcheck_count plan_arbitrary splitbft_run
 
 let pbft_run (p : fault_plan) =
   let engine = Engine.create ~seed:p.seed () in
@@ -159,7 +177,13 @@ let pbft_run (p : fault_plan) =
   | Some i ->
     ignore
       (Engine.schedule engine ~delay:p.crash_delay_us ~label:"chaos-crash" (fun () ->
-           P.crash (List.nth replicas i)))
+           P.crash (List.nth replicas i)));
+    if p.restart then
+      ignore
+        (Engine.schedule engine
+           ~delay:(p.crash_delay_us +. 500_000.0)
+           ~label:"chaos-restart"
+           (fun () -> P.restart (List.nth replicas i)))
   | None -> ());
   (* One byzantine replica (<= f), never the crashed one. *)
   let byz_id =
@@ -187,7 +211,7 @@ let pbft_run (p : fault_plan) =
   Engine.run ~until:1_600_000.0 engine;
   let honest =
     List.filteri
-      (fun i _ -> Some i <> byz_id && Some i <> p.crash_host)
+      (fun i _ -> Some i <> byz_id && (p.restart || Some i <> p.crash_host))
       replicas
   in
   let tables =
@@ -217,8 +241,8 @@ let pbft_run (p : fault_plan) =
   agreement && !wrong = 0
 
 let prop_pbft_safe_under_bounded_faults =
-  QCheck.Test.make ~name:"pbft safe under any bounded fault schedule" ~count:6
-    plan_arbitrary pbft_run
+  QCheck.Test.make ~name:"pbft safe under any bounded fault schedule"
+    ~count:qcheck_count plan_arbitrary pbft_run
 
 let suites =
   [ ( "chaos",

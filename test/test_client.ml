@@ -43,7 +43,9 @@ let setup ~reply_fn =
   let client =
     Client.create engine net
       { (Client.default_config Client.Pbft ~n:4 ~id:0) with
-        Client.retry_timeout_us = 100_000.0 }
+        Client.retry_timeout_us = 100_000.0;
+        (* exact retry timing matters in these tests *)
+        retry_jitter = 0.0 }
   in
   (engine, net, client)
 
@@ -155,6 +157,78 @@ let test_retransmission () =
   checkb "completed after retry" true (not (Float.is_nan !done_at));
   checkb "latency includes the retry timeout" true (!done_at >= 100_000.0)
 
+let test_backoff_grows_and_caps () =
+  (* Nobody ever answers; the resend schedule must back off geometrically
+     from the initial timeout up to the cap, then hold there. *)
+  let engine = Engine.create ~seed:81L () in
+  let net = Network.create engine Network.default_config in
+  let arrivals = ref [] in
+  Network.register net (Addr.replica 0) (fun ~src:_ payload ->
+      match Message.decode payload with
+      | Ok (Message.Request _) -> arrivals := Engine.now engine :: !arrivals
+      | Ok _ | Error _ -> ());
+  let client =
+    Client.create engine net
+      { (Client.default_config Client.Pbft ~n:4 ~id:0) with
+        Client.retry_timeout_us = 50_000.0;
+        retry_backoff = 2.0;
+        retry_cap_us = 200_000.0;
+        retry_jitter = 0.0 }
+  in
+  Client.start client ~on_ready:(fun () ->
+      Client.submit client ~op:"x" ~on_result:(fun ~latency_us:_ ~result:_ -> ()));
+  Engine.run ~until:1_200_000.0 engine;
+  let ts = List.rev !arrivals in
+  let rec gaps = function a :: (b :: _ as rest) -> (b -. a) :: gaps rest | _ -> [] in
+  let g = Array.of_list (gaps ts) in
+  checkb "enough resends observed" true (Array.length g >= 5);
+  let near want got = Float.abs (got -. want) < 5_000.0 in
+  checkb "first gap = initial timeout" true (near 50_000.0 g.(0));
+  checkb "second gap doubled" true (near 100_000.0 g.(1));
+  checkb "third gap doubled again" true (near 200_000.0 g.(2));
+  checkb "fourth gap held at cap" true (near 200_000.0 g.(3));
+  checkb "fifth gap held at cap" true (near 200_000.0 g.(4))
+
+let test_backoff_jitter_deterministic_and_bounded () =
+  (* With jitter on, each armed delay moves by at most ±the jitter
+     fraction, and the same seed reproduces the same schedule. *)
+  let run () =
+    let engine = Engine.create ~seed:82L () in
+    let net = Network.create engine Network.default_config in
+    let arrivals = ref [] in
+    Network.register net (Addr.replica 0) (fun ~src:_ payload ->
+        match Message.decode payload with
+        | Ok (Message.Request _) -> arrivals := Engine.now engine :: !arrivals
+        | Ok _ | Error _ -> ());
+    let client =
+      Client.create engine net
+        { (Client.default_config Client.Pbft ~n:4 ~id:0) with
+          Client.retry_timeout_us = 50_000.0;
+          retry_backoff = 2.0;
+          retry_cap_us = 200_000.0;
+          retry_jitter = 0.1 }
+    in
+    Client.start client ~on_ready:(fun () ->
+        Client.submit client ~op:"x" ~on_result:(fun ~latency_us:_ ~result:_ -> ()));
+    Engine.run ~until:800_000.0 engine;
+    List.rev !arrivals
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (list (float 1e-6))) "same seed, same schedule" a b;
+  let rec gaps = function x :: (y :: _ as rest) -> (y -. x) :: gaps rest | _ -> [] in
+  let nominal = [ 50_000.0; 100_000.0; 200_000.0; 200_000.0 ] in
+  List.iteri
+    (fun i g ->
+      if i < List.length nominal then begin
+        let base = List.nth nominal i in
+        (* ±10% jitter plus a little network slack *)
+        checkb
+          (Printf.sprintf "gap %d within jitter bound" i)
+          true
+          (g >= (base *. 0.9) -. 2_000.0 && g <= (base *. 1.1) +. 2_000.0)
+      end)
+    (gaps a)
+
 let test_window_respected () =
   let inflight_max = ref 0 in
   let engine = Engine.create ~seed:80L () in
@@ -213,6 +287,7 @@ let test_splitbft_handshake_requires_genuine_quotes () =
             { Message.sq_replica = id;
               sq_quote = "not-a-quote";
               sq_box_public = String.make 32 'b';
+              sq_nonce = String.make 16 'n';
               sq_sig = String.make 32 's' }
           in
           Network.send net ~src:(Addr.replica id) ~dst:src
@@ -236,5 +311,8 @@ let suites =
         Alcotest.test_case "bad auth rejected" `Quick test_bad_auth_rejected;
         Alcotest.test_case "duplicate votes ignored" `Quick test_duplicate_votes_ignored;
         Alcotest.test_case "retransmission" `Quick test_retransmission;
+        Alcotest.test_case "backoff grows and caps" `Quick test_backoff_grows_and_caps;
+        Alcotest.test_case "backoff jitter bounded" `Quick
+          test_backoff_jitter_deterministic_and_bounded;
         Alcotest.test_case "window respected" `Quick test_window_respected;
         Alcotest.test_case "fake quotes rejected" `Quick test_splitbft_handshake_requires_genuine_quotes ] ) ]

@@ -77,6 +77,79 @@ let test_scenario_faulty_tee () =
   checkb "matches" true (Scenarios.matches_expectation o);
   checkb "unsafe" false o.Scenarios.verdict.Safety.safe
 
+let test_scenario_crash_recover () =
+  let s = Option.get (Scenarios.find "splitbft/crash-recover") in
+  let o = Scenarios.run ~seed:42L s in
+  checkb "matches" true (Scenarios.matches_expectation o);
+  Alcotest.(check (option string)) "recovery check passes" None o.Scenarios.check_failure
+
+let test_scenario_rollback_refused () =
+  let s = Option.get (Scenarios.find "splitbft/rollback-attack") in
+  let o = Scenarios.run ~seed:42L s in
+  checkb "matches" true (Scenarios.matches_expectation o);
+  Alcotest.(check (option string)) "refusal check passes" None o.Scenarios.check_failure
+
+let test_rollback_tamper_refused_direct () =
+  (* Seal checkpoints under load, crash, reset the monotonic counter, and
+     restart: recovery must refuse the (now unbindable) sealed state and
+     stay down, loudly. *)
+  let c =
+    Cluster.create
+      { (Cluster.default_params Cluster.Splitbft) with
+        Cluster.seed = 11L;
+        checkpoint_interval = 8 }
+  in
+  ignore
+    (Workload.run c
+       { Workload.default_spec with
+         Workload.clients = 2;
+         warmup_us = 0.0;
+         duration_us = 500_000.0 });
+  Cluster.crash_host c 3;
+  Cluster.tamper_checkpoint_counter c 3;
+  Cluster.restart_host c 3;
+  let e = Cluster.engine c in
+  Cluster.run c ~until_us:(Splitbft_sim.Engine.now e +. 400_000.0);
+  let n3 = Cluster.node c 3 in
+  checkb "restart refused" false (Cluster.recovered_of n3);
+  checkb "alert raised" true (Cluster.recovery_alerts_of n3 <> [])
+
+let test_partition_then_heal () =
+  (* Isolate replica 3; the 3-replica majority keeps committing; after the
+     heal replica 3 catches back up to the quorum's history. *)
+  let module Addr = Splitbft_types.Addr in
+  let module Engine = Splitbft_sim.Engine in
+  let module Network = Splitbft_sim.Network in
+  let c =
+    Cluster.create { (Cluster.default_params Cluster.Splitbft) with Cluster.seed = 7L }
+  in
+  let e = Cluster.engine c in
+  let net = Cluster.network c in
+  let at_heal = ref 0L in
+  ignore
+    (Engine.schedule e ~delay:200_000.0 ~label:"test:partition" (fun () ->
+         Network.partition net [ [ Addr.replica 3 ] ]));
+  ignore
+    (Engine.schedule e ~delay:700_000.0 ~label:"test:heal" (fun () ->
+         at_heal := Cluster.last_executed_of (Cluster.node c 3);
+         Network.heal net));
+  let scanner = Safety.install_scanner c in
+  let r =
+    Workload.run c
+      { Workload.default_spec with
+        Workload.clients = 4;
+        warmup_us = 0.0;
+        duration_us = 1_500_000.0 }
+  in
+  let v = Safety.verdict c ~honest:[ 0; 1; 2; 3 ] ~scanner ~workload:r ~min_completed:20 in
+  checkb "live through partition" true v.Safety.live;
+  checkb "safe" true v.Safety.safe;
+  let n3 = Cluster.last_executed_of (Cluster.node c 3) in
+  checkb "replica 3 progressed after heal" true (Int64.compare n3 !at_heal > 0);
+  (* ... and is within one checkpoint window of the quorum. *)
+  let n0 = Cluster.last_executed_of (Cluster.node c 0) in
+  checkb "replica 3 caught up" true (Int64.compare (Int64.sub n0 n3) 64L <= 0)
+
 let test_scenario_ids_unique () =
   let ids = List.map (fun s -> s.Scenarios.id) Scenarios.all in
   checki "unique ids" (List.length ids) (List.length (List.sort_uniq compare ids))
@@ -119,6 +192,10 @@ let suites =
         Alcotest.test_case "divergence detected" `Slow test_agreement_detects_divergence;
         Alcotest.test_case "scenario splitbft ok" `Slow test_scenario_fault_free_splitbft;
         Alcotest.test_case "scenario faulty tee" `Slow test_scenario_faulty_tee;
+        Alcotest.test_case "scenario crash-recover" `Slow test_scenario_crash_recover;
+        Alcotest.test_case "scenario rollback refused" `Slow test_scenario_rollback_refused;
+        Alcotest.test_case "tampered counter refused" `Slow test_rollback_tamper_refused_direct;
+        Alcotest.test_case "partition then heal" `Slow test_partition_then_heal;
         Alcotest.test_case "scenario ids unique" `Quick test_scenario_ids_unique;
         Alcotest.test_case "table2 counts" `Quick test_table2_counts;
         Alcotest.test_case "table render" `Quick test_table_render;
