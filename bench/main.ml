@@ -155,13 +155,13 @@ let run_micro () =
    enclave transition counts and copied bytes, per-link network traffic,
    broker batching, and interpolated latency percentiles. *)
 
-let probe_metrics () =
+let probe_metrics ?tracer () =
   let params =
     { (H.Cluster.default_params H.Cluster.Splitbft) with
       H.Cluster.app = H.Cluster.App_kvs;
       seed = 97L }
   in
-  let cluster = H.Cluster.create params in
+  let cluster = H.Cluster.create ?tracer params in
   let spec =
     { H.Workload.default_spec with
       H.Workload.clients = 10;
@@ -192,12 +192,12 @@ let run_artifacts ~full names =
       (name, f ~full ()))
     (List.filter (fun (name, _) -> List.mem name names) artifacts)
 
-let write_json ~path results =
+let write_json ~path ~metrics results =
   let doc =
     Json.Obj
       [ ("schema", Json.Str "splitbft.bench/v1");
         ("artifacts", Json.Obj results);
-        ("metrics", probe_metrics ()) ]
+        ("metrics", metrics) ]
   in
   match open_out path with
   | exception Sys_error msg ->
@@ -225,26 +225,53 @@ let () =
             "Also write the selected artifacts as JSON to $(docv), together with the \
              metrics snapshot of an instrumented probe run (see README, Metrics).")
   in
+  let trace_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"PATH"
+          ~doc:
+            "Run the probe deployment with causal tracing enabled and write the Chrome \
+             Trace Event JSON to $(docv) (load in about://tracing or Perfetto); also \
+             prints the per-phase cost attribution table.  With $(b,--json), the traced \
+             probe run supplies that snapshot's metrics.")
+  in
   let what =
     Arg.(
       value
       & pos_all (enum (("all", "all") :: List.map (fun (n, _) -> (n, n)) artifacts)) []
       & info [] ~docv:"ARTIFACT" ~doc:"Artifacts to regenerate (default: all).")
   in
-  let main full json_path what =
+  let main full json_path trace_path what =
     let names =
       match what with
       | [] | [ "all" ] -> List.map fst artifacts
       | names -> names
     in
     let results = run_artifacts ~full names in
+    let traced_metrics =
+      match trace_path with
+      | None -> None
+      | Some path ->
+        let tracer = Splitbft_obs.Tracer.create () in
+        let metrics = probe_metrics ~tracer () in
+        Splitbft_obs.Tracer.write_file tracer ~path;
+        Printf.printf "\n######## trace ########\n%!";
+        H.Trace_report.print (H.Trace_report.analyze tracer);
+        Printf.printf "wrote %s\n%!" path;
+        Some metrics
+    in
     match json_path with
     | None -> ()
-    | Some path -> write_json ~path results
+    | Some path ->
+      let metrics =
+        match traced_metrics with Some m -> m | None -> probe_metrics ()
+      in
+      write_json ~path ~metrics results
   in
   let cmd =
     Cmd.v
       (Cmd.info "splitbft-bench" ~doc:"Regenerate the SplitBFT paper's tables and figures")
-      Term.(const main $ full $ json_path $ what)
+      Term.(const main $ full $ json_path $ trace_path $ what)
   in
   exit (Cmd.eval cmd)

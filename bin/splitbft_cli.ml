@@ -150,9 +150,138 @@ let metrics_cmd =
           transitions, copied bytes, network traffic, broker batching, latency percentiles).")
     Term.(const run $ protocol $ app_arg $ clients $ batch $ duration $ seed $ out)
 
+(* ----- trace ----- *)
+
+let trace_cmd =
+  let protocol =
+    Arg.(value & opt protocol_conv H.Cluster.Splitbft & info [ "protocol"; "p" ] ~doc:"Protocol.")
+  in
+  let app_arg = Arg.(value & opt app_conv H.Cluster.App_kvs & info [ "app"; "a" ] ~doc:"Application.") in
+  let clients = Arg.(value & opt int 3 & info [ "clients"; "c" ] ~doc:"Closed-loop clients.") in
+  let duration = Arg.(value & opt float 0.5 & info [ "duration"; "d" ] ~doc:"Measured seconds (simulated).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let scenario =
+    Arg.(value & opt (some string) None
+         & info [ "scenario"; "s" ] ~docv:"ID"
+             ~doc:"Trace a Table 1 scenario instead of a plain workload (overrides --protocol/--app).")
+  in
+  let sample =
+    Arg.(value & opt int 1
+         & info [ "sample-every" ] ~docv:"N"
+             ~doc:"Head-sample one client trace in $(docv) (1 = trace everything; slow, \
+                   view-change and recovery traces are always kept).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~docv:"PATH"
+             ~doc:"Write the Chrome Trace Event JSON to $(docv) (load in about://tracing or Perfetto).")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"PATH" ~doc:"Also write the metrics registry snapshot to $(docv).")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Exit non-zero unless every causal tree is structurally sound, the exported \
+                   JSON validates, and (at --sample-every 1) span-attributed enclave cost \
+                   reconciles with the registry counters.")
+  in
+  let run protocol app clients duration seed scenario sample out metrics_out check =
+    let tracer = Splitbft_obs.Tracer.create ~sample_every:sample () in
+    let registry =
+      match scenario with
+      | Some id -> (
+        match H.Scenarios.find id with
+        | None ->
+          Printf.eprintf "unknown scenario %S (see `splitbft_cli scenarios`)\n" id;
+          exit 1
+        | Some s ->
+          let o = H.Scenarios.run ~seed:(Int64.of_int seed) ~tracer s in
+          Printf.printf "%s: ops=%d\n" s.H.Scenarios.id
+            o.H.Scenarios.workload.H.Workload.completed_total;
+          H.Cluster.obs o.H.Scenarios.cluster)
+      | None ->
+        let params =
+          { (H.Cluster.default_params protocol) with
+            H.Cluster.app;
+            seed = Int64.of_int seed }
+        in
+        let cluster = H.Cluster.create ~tracer params in
+        let spec =
+          { H.Workload.default_spec with
+            H.Workload.clients;
+            warmup_us = 0.0;
+            duration_us = duration *. 1e6 }
+        in
+        let r = H.Workload.run cluster spec in
+        Printf.printf "workload: %s ops/s, mean latency %s\n"
+          (H.Table.ops r.H.Workload.throughput_ops)
+          (H.Table.us r.H.Workload.mean_latency_us);
+        H.Cluster.obs cluster
+    in
+    let report = H.Trace_report.analyze tracer in
+    H.Trace_report.print report;
+    (match out with
+    | None -> ()
+    | Some path ->
+      Splitbft_obs.Tracer.write_file tracer ~path;
+      Printf.printf "wrote %s (%d spans)\n" path report.H.Trace_report.spans);
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+      Splitbft_obs.Registry.write_file registry ~path;
+      Printf.printf "wrote %s\n" path);
+    let failures = ref [] in
+    let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+    (* reconciliation is only exact when nothing was sampled away *)
+    if sample = 1 then begin
+      match H.Trace_report.reconcile report registry with
+      | Ok () ->
+        Printf.printf "reconciliation: span cost attribution matches registry counters\n"
+      | Error e -> fail "reconciliation: %s" e
+    end;
+    (* validate what a consumer would read: the serialized document,
+       re-parsed — not the in-memory tree *)
+    let serialized =
+      match out with
+      | Some path ->
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      | None -> Splitbft_obs.Json.to_string (Splitbft_obs.Tracer.to_json tracer)
+    in
+    (match Splitbft_obs.Json.parse serialized with
+    | Error e -> fail "trace JSON does not parse: %s" e
+    | Ok doc -> (
+      match H.Trace_report.validate doc with
+      | Ok () -> Printf.printf "trace JSON: valid (%d spans, %d traces)\n"
+                   report.H.Trace_report.spans report.H.Trace_report.traces
+      | Error e -> fail "trace JSON: %s" e));
+    if report.H.Trace_report.broken_traces > 0 then
+      fail "%d broken causal trees (%s)" report.H.Trace_report.broken_traces
+        (Option.value ~default:"?" report.H.Trace_report.first_defect);
+    if report.H.Trace_report.dropped > 0 then
+      fail "%d spans dropped (capacity)" report.H.Trace_report.dropped;
+    match !failures with
+    | [] -> ()
+    | fs ->
+      List.iter (Printf.eprintf "FAIL: %s\n") (List.rev fs);
+      if check then exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a traced workload or scenario: every sampled client request becomes a causal \
+          trace (client → broker → compartments → reply) with per-phase cost attribution, \
+          exported as Chrome Trace Event JSON and summarized as the Figure 4 decomposition.")
+    Term.(const run $ protocol $ app_arg $ clients $ duration $ seed $ scenario $ sample $ out
+          $ metrics_out $ check)
+
 let () =
   let doc = "SplitBFT: compartmentalized BFT with trusted execution (MIDDLEWARE'22 reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "splitbft_cli" ~doc)
-          [ run_cmd; scenario_cmd; scenarios_cmd; tcb_cmd; metrics_cmd ]))
+          [ run_cmd; scenario_cmd; scenarios_cmd; tcb_cmd; metrics_cmd; trace_cmd ]))

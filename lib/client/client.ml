@@ -13,6 +13,8 @@ module Signature = Splitbft_crypto.Signature
 module Box = Splitbft_crypto.Box
 module Hmac = Splitbft_crypto.Hmac
 module Stats = Splitbft_util.Stats
+module Tracer = Splitbft_obs.Tracer
+module Trace_ctx = Splitbft_obs.Trace_ctx
 
 type protocol =
   | Pbft
@@ -54,6 +56,9 @@ type pending = {
   mutable votes : (Ids.replica_id * string) list;  (* validated results *)
   mutable retry : Timer.t;
   mutable cur_delay_us : float;  (* grows by [retry_backoff] up to the cap *)
+  mutable ctx : Trace_ctx.t option;  (* root trace context, if sampled *)
+  mutable root : int;  (* open root span id, or -1 *)
+  mutable retransmits : int;
   on_result : latency_us:float -> result:string -> unit;
 }
 
@@ -144,11 +149,26 @@ let validate_reply t (rp : Message.reply) : string option =
 
 (* ----- sending ----- *)
 
-let broadcast t msg =
-  let payload = Message.encode msg in
+let broadcast t ?ctx msg =
+  let payload = Message.encode_traced ?ctx msg in
   for j = 0 to t.cfg.n - 1 do
     Network.send t.net ~src:(Addr.client t.cfg.id) ~dst:(Addr.replica j) payload
   done
+
+(* Root span for a request's whole trace.  [forced] marks roots created
+   retroactively for slow requests (promoted at their first retransmit,
+   back-dated to the original send); retransmissions reuse the pending's
+   context, so they join the original trace rather than forking one. *)
+let open_root t ~ts ~at ~forced =
+  match Engine.tracer t.engine with
+  | None -> (None, -1)
+  | Some tr ->
+    let trace = Tracer.client_trace ~client:t.cfg.id ~ts in
+    let id =
+      Tracer.open_span tr ~trace ~name:"request" ~cat:"client"
+        ~pid:(Addr.client t.cfg.id) ~tid:"client" ~at ()
+    in
+    (Some { Trace_ctx.trace; span = id; forced }, id)
 
 (* Seeded jitter: each armed delay is perturbed by up to ±retry_jitter so
    clients retrying into the same outage desynchronize — deterministically,
@@ -176,12 +196,32 @@ let dispatch t ~op ~on_result =
       votes = [];
       retry = dummy;
       cur_delay_us = t.cfg.retry_timeout_us;
+      ctx = None;
+      root = -1;
+      retransmits = 0;
       on_result }
   in
+  (match Engine.tracer t.engine with
+  | Some tr when Tracer.sampled_ts tr ts ->
+    let ctx, root = open_root t ~ts ~at:p.sent_at ~forced:false in
+    p.ctx <- ctx;
+    p.root <- root
+  | _ -> ());
   Hashtbl.replace t.inflight ts p;
   let resend () =
     if (not t.stopped) && Hashtbl.mem t.inflight ts then begin
-      broadcast t (Message.Request p.request);
+      p.retransmits <- p.retransmits + 1;
+      (* A retransmission marks the request slow: promote it to an
+         always-sampled trace (back-dated to the first send) if head
+         sampling had skipped it. *)
+      (match (p.ctx, Engine.tracer t.engine) with
+      | None, Some tr ->
+        let ctx, root = open_root t ~ts ~at:(Engine.now t.engine) ~forced:true in
+        Tracer.set_start tr root ~at:p.sent_at;
+        p.ctx <- ctx;
+        p.root <- root
+      | _ -> ());
+      broadcast t ?ctx:p.ctx (Message.Request p.request);
       (* Exponential backoff, capped: a cluster mid-recovery is not helped
          by a fixed-period request storm. *)
       p.cur_delay_us <- min t.cfg.retry_cap_us (p.cur_delay_us *. t.cfg.retry_backoff);
@@ -193,7 +233,7 @@ let dispatch t ~op ~on_result =
     Timer.create t.engine
       ~label:(Printf.sprintf "client%d-retry" t.cfg.id)
       ~delay:(jittered t p.cur_delay_us) ~callback:resend;
-  broadcast t (Message.Request p.request);
+  broadcast t ?ctx:p.ctx (Message.Request p.request);
   Timer.restart p.retry
 
 let rec pump t =
@@ -233,6 +273,12 @@ let on_reply t (rp : Message.reply) =
           t.completed <- t.completed + 1;
           let latency = Engine.now t.engine -. p.sent_at in
           Stats.add t.lat latency;
+          (match Engine.tracer t.engine with
+          | Some tr when p.root >= 0 ->
+            Tracer.add_arg tr p.root "latency_us" latency;
+            Tracer.add_arg tr p.root "retransmits" (float_of_int p.retransmits);
+            Tracer.finish tr p.root ~at:(Engine.now t.engine)
+          | _ -> ());
           p.on_result ~latency_us:latency ~result;
           pump t
         end

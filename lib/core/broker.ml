@@ -7,6 +7,8 @@ module Ids = Splitbft_types.Ids
 module Addr = Splitbft_types.Addr
 module Message = Splitbft_types.Message
 module Registry = Splitbft_obs.Registry
+module Tracer = Splitbft_obs.Tracer
+module Trace_ctx = Splitbft_obs.Trace_ctx
 
 type fault =
   | Env_honest
@@ -39,6 +41,12 @@ type t = {
   mutable recovering : bool;
   mutable recovery_started_at : float;
   mutable recovered_count : int;
+  req_ctx : (Ids.client_id * int64, Trace_ctx.t) Hashtbl.t;
+      (* trace context of each queued/awaited request, so the context can
+         ride the In_batch ecall even though batching decouples it from
+         the arrival that carried it *)
+  mutable recovery_ctx : Trace_ctx.t option;
+  mutable recovery_span : int;  (* open span covering recovery, or -1 *)
   ecall_counter_of : Ids.compartment -> Registry.counter;
   c_batches : Registry.counter;
   h_batch_occupancy : Registry.histogram;
@@ -88,9 +96,44 @@ let loop_cost t payload_len =
   t.cfg.cost.broker_dispatch_us
   +. (t.cfg.cost.serialize_per_byte_us *. float_of_int payload_len)
 
+let tracer t = Engine.tracer t.engine
+
+(* Span covering one host event-loop dispatch (queue wait + the metered
+   (de)serialization/dispatch cost), parented on the trace the payload
+   belongs to.  Returns the span id to finish when the work completes. *)
+let loop_span t ctx ~name ~begun ~cost =
+  match (tracer t, ctx) with
+  | Some tr, Some { Trace_ctx.trace; span; _ } ->
+    let id =
+      Tracer.open_span tr ~parent:span ~trace ~name ~cat:"broker" ~pid:t.cfg.id
+        ~tid:"host" ~at:begun ()
+    in
+    Tracer.add_arg tr id "serialize_us" cost;
+    id
+  | _ -> -1
+
+let finish_span t id =
+  match tracer t with
+  | Some tr when id >= 0 -> Tracer.finish tr id ~at:(Engine.now t.engine)
+  | _ -> ()
+
+(* Synthetic always-sampled root for broker-initiated causality (primary
+   suspicion, recovery): a zero-length root span whose id anchors the
+   children. *)
+let forced_root t ~name ~cat =
+  match tracer t with
+  | None -> None
+  | Some tr ->
+    let trace = Tracer.fresh_forced_trace tr in
+    let at = Engine.now t.engine in
+    let id =
+      Tracer.open_span tr ~trace ~name ~cat ~pid:t.cfg.id ~tid:"host" ~at ()
+    in
+    Some (id, { Trace_ctx.trace; span = id; forced = true })
+
 (* ----- ecalls ----- *)
 
-let rec ecall t compartment (input : Wire.input) =
+let rec ecall t ?ctx compartment (input : Wire.input) =
   let starved = match t.fault with Env_starve c -> c = compartment | _ -> false in
   if (not t.crashed) && not starved then begin
     let epoch = t.epoch in
@@ -100,8 +143,10 @@ let rec ecall t compartment (input : Wire.input) =
         let enclave = t.enclave_of compartment in
         Enclave.ecall enclave
           ~thread:(t.thread_of compartment)
-          ~payload:(Wire.encode_input input)
+          ?ctx
+          ~payload:(Wire.encode_input ?ctx input)
           ~on_done:(fun outputs -> on_outputs t epoch compartment outputs)
+          ()
       end
     in
     match t.fault with
@@ -119,27 +164,32 @@ and on_outputs t epoch origin outputs =
   if t.epoch = epoch && (not t.crashed) && t.fault <> Env_mute then
     List.iter
       (fun payload ->
-        Resource.submit t.loop ~cost:(loop_cost t (String.length payload)) (fun () ->
+        let begun = Engine.now t.engine in
+        let cost = loop_cost t (String.length payload) in
+        Resource.submit t.loop ~cost (fun () ->
             if t.epoch = epoch && not t.crashed then
-              match Wire.decode_output payload with
+              match Wire.decode_output_traced payload with
               | Error _ -> ()
-              | Ok output -> apply_output t origin output))
+              | Ok (output, ctx) ->
+                let sp = loop_span t ctx ~name:"host:tx" ~begun ~cost in
+                apply_output t origin ?ctx output;
+                finish_span t sp))
       outputs
 
-and apply_output t origin (output : Wire.output) =
+and apply_output t origin ?ctx (output : Wire.output) =
   match output with
   | Wire.Out_send (dst, msg) ->
     (match msg with
     | Message.Reply rp -> request_replied t rp
     | _ -> ());
-    let payload = Message.encode msg in
+    let payload = Message.encode_traced ?ctx msg in
     (match msg with
     | Message.State_reply _ | Message.State_request _ ->
       Registry.add t.c_state_bytes_out (String.length payload)
     | _ -> ());
     Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst payload
   | Wire.Out_broadcast msg ->
-    let payload = Message.encode msg in
+    let payload = Message.encode_traced ?ctx msg in
     (match msg with
     | Message.State_reply _ | Message.State_request _ ->
       Registry.add t.c_state_bytes_out ((t.cfg.n - 1) * String.length payload)
@@ -152,7 +202,7 @@ and apply_output t origin (output : Wire.output) =
        forwards to all compartments at the same time, §4). *)
     List.iter
       (fun (compartment, m) ->
-        if compartment <> origin then ecall t compartment (Wire.In_net m))
+        if compartment <> origin then ecall t ?ctx compartment (Wire.In_net m))
       (route msg)
   | Wire.Out_persist { tag; data } -> t.storage <- (tag, data) :: t.storage
   | Wire.Out_entered_view v ->
@@ -169,13 +219,17 @@ and apply_output t origin (output : Wire.output) =
     if t.recovering then begin
       t.recovering <- false;
       t.recovered_count <- t.recovered_count + 1;
-      Registry.set t.g_recovery_us (Engine.now t.engine -. t.recovery_started_at)
+      Registry.set t.g_recovery_us (Engine.now t.engine -. t.recovery_started_at);
+      finish_span t t.recovery_span;
+      t.recovery_span <- -1;
+      t.recovery_ctx <- None
     end
 
 (* ----- client requests, batching, suspicion ----- *)
 
 and request_replied t (rp : Message.reply) =
   Hashtbl.remove t.awaiting (rp.client, rp.timestamp);
+  Hashtbl.remove t.req_ctx (rp.client, rp.timestamp);
   (* Progress: re-arm the timer for the remaining requests so a loaded but
      progressing system never suspects its primary. *)
   if Hashtbl.length t.awaiting = 0 then Timer.stop t.suspect_timer
@@ -197,13 +251,24 @@ and flush_batch t =
     let batch = grab take [] in
     Registry.incr t.c_batches;
     Registry.observe t.h_batch_occupancy (float_of_int take);
-    ecall t Ids.Preparation (Wire.In_batch batch);
+    (* The batch rides under the first sampled request's trace; the other
+       members' contexts stay in [req_ctx] for their replies. *)
+    let ctx =
+      List.find_map
+        (fun (r : Message.request) ->
+          Hashtbl.find_opt t.req_ctx (r.client, r.timestamp))
+        batch
+    in
+    ecall t ?ctx Ids.Preparation (Wire.In_batch batch);
     if Queue.length t.pending >= t.cfg.batch_size then flush_batch t
     else if not (Queue.is_empty t.pending) then Timer.start t.batch_timer
     else Timer.stop t.batch_timer
   end
 
-let on_request t (r : Message.request) =
+let on_request t ?ctx (r : Message.request) =
+  (match ctx with
+  | Some c -> Hashtbl.replace t.req_ctx (r.client, r.timestamp) c
+  | None -> ());
   Hashtbl.replace t.awaiting (r.client, r.timestamp) ();
   Timer.start t.suspect_timer;
   if is_primary t then begin
@@ -219,19 +284,26 @@ let on_request t (r : Message.request) =
 let on_payload t ~src:_ payload =
   if not t.crashed then begin
     let epoch = t.epoch in
-    Resource.submit t.loop ~cost:(loop_cost t (String.length payload)) (fun () ->
+    let begun = Engine.now t.engine in
+    let cost = loop_cost t (String.length payload) in
+    Resource.submit t.loop ~cost (fun () ->
         if t.epoch = epoch && not t.crashed then
-          match Message.decode payload with
+          match Message.decode_traced payload with
           | Error _ -> ()
-          | Ok (Message.Request r) -> on_request t r
-          | Ok msg ->
+          | Ok (Message.Request r, ctx) ->
+            let sp = loop_span t ctx ~name:"host:rx" ~begun ~cost in
+            on_request t ?ctx r;
+            finish_span t sp
+          | Ok (msg, ctx) ->
+            let sp = loop_span t ctx ~name:"host:rx" ~begun ~cost in
             (match msg with
             | Message.State_reply _ | Message.State_request _ ->
               Registry.add t.c_state_bytes_in (String.length payload)
             | _ -> ());
             List.iter
-              (fun (compartment, m) -> ecall t compartment (Wire.In_net m))
-              (route msg))
+              (fun (compartment, m) -> ecall t ?ctx compartment (Wire.In_net m))
+              (route msg);
+            finish_span t sp)
   end
 
 let create engine net (cfg : Config.t) ~enclave_of =
@@ -292,7 +364,17 @@ let create engine net (cfg : Config.t) ~enclave_of =
               let t = Lazy.force t in
               if Hashtbl.length t.awaiting > 0 then begin
                 Registry.incr t.c_suspect_firings;
-                ecall t Ids.Confirmation (Wire.In_suspect t.view);
+                (* View changes are always-sampled: give the suspicion a
+                   forced root so the whole protocol cascade it triggers
+                   is traceable even under 1-in-N sampling. *)
+                let ctx =
+                  match forced_root t ~name:"suspect" ~cat:"broker.suspect" with
+                  | Some (id, ctx) ->
+                    finish_span t id;
+                    Some ctx
+                  | None -> None
+                in
+                ecall t ?ctx Ids.Confirmation (Wire.In_suspect t.view);
                 (* keep escalating while requests stay unanswered *)
                 Timer.restart t.suspect_timer
               end);
@@ -308,7 +390,7 @@ let create engine net (cfg : Config.t) ~enclave_of =
                  just re-broadcasts its request — the other compartments
                  must not re-unseal) until recovery completes. *)
               if t.recovering && not t.crashed then begin
-                ecall t Ids.Execution (Wire.In_recover None);
+                ecall t ?ctx:t.recovery_ctx Ids.Execution (Wire.In_recover None);
                 Timer.restart t.recovery_timer
               end);
         storage = [];
@@ -319,6 +401,9 @@ let create engine net (cfg : Config.t) ~enclave_of =
         recovering = false;
         recovery_started_at = 0.0;
         recovered_count = 0;
+        req_ctx = Hashtbl.create 64;
+        recovery_ctx = None;
+        recovery_span = -1;
         ecall_counter_of = (fun c -> List.assoc c ecall_counters);
         c_batches = Registry.counter obs ~labels:[ replica_label ] "broker.batches";
         h_batch_occupancy =
@@ -354,7 +439,10 @@ let crash t =
   Queue.clear t.pending;
   Hashtbl.reset t.queued;
   Hashtbl.reset t.awaiting;
+  Hashtbl.reset t.req_ctx;
   t.recovering <- false;
+  t.recovery_span <- -1;
+  t.recovery_ctx <- None;
   Network.unregister t.net (Addr.replica t.cfg.id)
 
 let restart t =
@@ -364,6 +452,13 @@ let restart t =
     t.recovering <- true;
     t.recovery_started_at <- Engine.now t.engine;
     Registry.incr t.c_restarts;
+    (* Recovery is always-sampled; the root span stays open until
+       Out_recovered so its duration is the measured recovery time. *)
+    (match forced_root t ~name:"recovery" ~cat:"broker.recovery" with
+    | Some (id, ctx) ->
+      t.recovery_span <- id;
+      t.recovery_ctx <- Some ctx
+    | None -> ());
     Network.register t.net (Addr.replica t.cfg.id) (fun ~src payload ->
         on_payload t ~src payload);
     (* Recovery handshake: hand each compartment the newest sealed
@@ -372,7 +467,8 @@ let restart t =
     List.iter
       (fun compartment ->
         let tag = "ckpt:" ^ Ids.compartment_name compartment in
-        ecall t compartment (Wire.In_recover (List.assoc_opt tag t.storage)))
+        ecall t ?ctx:t.recovery_ctx compartment
+          (Wire.In_recover (List.assoc_opt tag t.storage)))
       Ids.all_compartments;
     Timer.restart t.recovery_timer
   end

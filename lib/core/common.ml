@@ -6,11 +6,11 @@ module Signature = Splitbft_crypto.Signature
 module Ckpt = Splitbft_consensus.Ckpt
 
 let charge_verify env count =
-  Enclave.charge env
+  Enclave.charge_crypto env
     ((Enclave.cost_model env).verify_us *. float_of_int count)
 
 let charge_sign env count =
-  Enclave.charge env ((Enclave.cost_model env).sign_us *. float_of_int count)
+  Enclave.charge_crypto env ((Enclave.cost_model env).sign_us *. float_of_int count)
 
 let sign_with env msg =
   charge_sign env 1;

@@ -219,7 +219,8 @@ let offer_session env st client =
 
 let execute_request env st ~byz (req : Message.request) =
   let c = Enclave.cost_model env in
-  Enclave.charge env (c.decrypt_request_us +. c.exec_op_us +. c.reply_auth_us);
+  Enclave.charge_crypto env (c.decrypt_request_us +. c.reply_auth_us);
+  Enclave.charge_exec env c.exec_op_us;
   if Client_table.executed st.clients req.client req.timestamp then
     (* Duplicate (re-ordered after a view change, or a retransmission that
        raced execution): do not re-execute; retransmit the cached reply. *)
@@ -286,7 +287,7 @@ let persist_effects env st =
       (* One ocall per block, written sealed (sgx_tprotected_fs in the
          paper): block formation/write cost plus sealing (charged inside
          [Enclave.seal]) plus the ocall transition. *)
-      Enclave.charge env c.ledger_block_us;
+      Enclave.charge_io env c.ledger_block_us;
       let sealed = Enclave.seal env data in
       Enclave.ocall env (Wire.encode_output (Wire.Out_persist { tag; data = sealed })))
     (st.app.State_machine.drain_effects ())
@@ -339,7 +340,7 @@ let transfer_nonce ~replier ~stable =
   String.sub (Sha256.digest (Printf.sprintf "st-nonce:%d:%d" replier stable)) 0 Aead.nonce_size
 
 let on_state_request env st (sr : Message.state_request) =
-  Enclave.charge env 2.0;
+  Enclave.charge_exec env 2.0;
   if sr.sr_requester <> st.cfg.id then begin
     let stable = Ckpt.last_stable st.ckpt in
     let snapshot =
@@ -347,7 +348,8 @@ let on_state_request env st (sr : Message.state_request) =
         match Hashtbl.find_opt st.snapshots stable with
         | Some snap ->
           let c = Enclave.cost_model env in
-          Enclave.charge env (c.seal_per_byte_us *. float_of_int (String.length snap));
+          Enclave.charge_crypto env
+            (c.seal_per_byte_us *. float_of_int (String.length snap));
           Aead.encrypt ~key:(Lazy.force transfer_key)
             ~nonce:(transfer_nonce ~replier:st.cfg.id ~stable)
             ~aad:transfer_aad snap
@@ -403,7 +405,7 @@ let finish_recovery_if_caught_up env st =
   end
 
 let on_state_reply env st ~byz (sr : Message.state_reply) =
-  Enclave.charge env (1.0 +. float_of_int (List.length sr.st_entries));
+  Enclave.charge_exec env (1.0 +. float_of_int (List.length sr.st_entries));
   if st.recovering && sr.st_requester = st.cfg.id && sr.st_replier <> st.cfg.id
   then begin
     let quorum = Config.quorum st.cfg in
@@ -614,7 +616,7 @@ let on_newview env st (nv : Message.newview) =
 let on_session_init env st (si : Message.session_init) = send_session_quote env st si.si_client
 
 let on_session_key env st (sk : Message.session_key) =
-  Enclave.charge env (Enclave.cost_model env).decrypt_request_us;
+  Enclave.charge_crypto env (Enclave.cost_model env).decrypt_request_us;
   if sk.sk_replica = st.cfg.id then begin
     match Box.decrypt st.box.Box.secret sk.sk_box with
     | Error _ -> ()
@@ -636,7 +638,7 @@ let on_session_key env st (sk : Message.session_key) =
   end
 
 let on_batch_fetch env st (bf : Message.batch_fetch) =
-  Enclave.charge env 1.0;
+  Enclave.charge_exec env 1.0;
   match Hashtbl.find_opt st.batches bf.bf_digest with
   | Some batch when bf.bf_requester <> st.cfg.id ->
     Enclave.emit env
@@ -646,7 +648,7 @@ let on_batch_fetch env st (bf : Message.batch_fetch) =
   | Some _ | None -> ()
 
 let on_batch_data env st ~byz (bd : Message.batch_data) =
-  Enclave.charge env 1.0;
+  Enclave.charge_exec env 1.0;
   let digest = Message.digest_of_batch bd.bd_batch in
   if Hashtbl.mem st.fetching digest then begin
     Hashtbl.remove st.fetching digest;

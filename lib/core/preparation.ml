@@ -68,7 +68,7 @@ let is_primary st = Config.primary_of_view st.cfg st.view = st.cfg.id
 let in_window st seq = Log.in_window st.preprepares seq
 
 let charge_client_auth env st count =
-  Enclave.charge env
+  Enclave.charge_crypto env
     ((Enclave.cost_model env).client_auth_us *. float_of_int count);
   ignore st
 
@@ -357,7 +357,7 @@ let on_session_init env st (si : Message.session_init) =
     (Wire.encode_output (Wire.Out_send (Addr.client si.si_client, Message.Session_quote sq)))
 
 let on_session_key env st (sk : Message.session_key) =
-  Enclave.charge env (Enclave.cost_model env).decrypt_request_us;
+  Enclave.charge_crypto env (Enclave.cost_model env).decrypt_request_us;
   if sk.sk_replica = st.cfg.id then begin
     match Box.decrypt st.box.Box.secret sk.sk_box with
     | Error _ -> ()

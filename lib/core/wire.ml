@@ -2,6 +2,7 @@ module W = Splitbft_codec.Writer
 module R = Splitbft_codec.Reader
 module Ids = Splitbft_types.Ids
 module Message = Splitbft_types.Message
+module Trace_ctx = Splitbft_obs.Trace_ctx
 
 type input =
   | In_net of Message.t
@@ -17,7 +18,7 @@ type output =
   | Out_alert of string
   | Out_recovered
 
-let encode_input input =
+let encode_input_plain input =
   W.to_string
     (fun w input ->
       match input with
@@ -49,7 +50,7 @@ let decode_nested_request r =
   | Ok req -> req
   | Error e -> raise (R.Error ("nested request: " ^ e))
 
-let decode_input s =
+let decode_input_exact s =
   R.parse
     (fun r ->
       match R.u8 r with
@@ -64,7 +65,27 @@ let decode_input s =
       | t -> raise (R.Error (Printf.sprintf "unknown input tag %d" t)))
     s
 
-let encode_output output =
+(* Trace contexts ride envelopes as the same backward-compatible trailer
+   Message uses, with exact-parse fallback against magic-tail collisions
+   in legacy payloads (cf. Message.decode_traced). *)
+
+let encode_input ?ctx input = Trace_ctx.append ctx (encode_input_plain input)
+
+let decode_input_traced s =
+  match Trace_ctx.strip s with
+  | body, (Some _ as ctx) -> (
+    match decode_input_exact body with
+    | Ok input -> Ok (input, ctx)
+    | Error _ -> (
+      match decode_input_exact s with
+      | Ok input -> Ok (input, None)
+      | Error e -> Error e))
+  | _, None -> (
+    match decode_input_exact s with Ok i -> Ok (i, None) | Error e -> Error e)
+
+let decode_input s = Result.map fst (decode_input_traced s)
+
+let encode_output_plain output =
   W.to_string
     (fun w output ->
       match output with
@@ -88,7 +109,7 @@ let encode_output output =
       | Out_recovered -> W.u8 w 6)
     output
 
-let decode_output s =
+let decode_output_exact s =
   R.parse
     (fun r ->
       match R.u8 r with
@@ -105,3 +126,19 @@ let decode_output s =
       | 6 -> Out_recovered
       | t -> raise (R.Error (Printf.sprintf "unknown output tag %d" t)))
     s
+
+let encode_output ?ctx output = Trace_ctx.append ctx (encode_output_plain output)
+
+let decode_output_traced s =
+  match Trace_ctx.strip s with
+  | body, (Some _ as ctx) -> (
+    match decode_output_exact body with
+    | Ok output -> Ok (output, ctx)
+    | Error _ -> (
+      match decode_output_exact s with
+      | Ok output -> Ok (output, None)
+      | Error e -> Error e))
+  | _, None -> (
+    match decode_output_exact s with Ok o -> Ok (o, None) | Error e -> Error e)
+
+let decode_output s = Result.map fst (decode_output_traced s)

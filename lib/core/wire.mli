@@ -34,7 +34,20 @@ type output =
           recovery.  The compartment halts after emitting it. *)
   | Out_recovered  (** recovery complete: caught up and rejoining quorums *)
 
-val encode_input : input -> string
+(** Envelopes optionally carry a trace context as a backward-compatible
+    trailer ({!Splitbft_obs.Trace_ctx}): [encode_*] without [ctx] is
+    byte-identical to the pre-tracing encoding, and the plain [decode_*]
+    tolerate (and drop) a trailer, so compartments built before tracing
+    — and sealed payloads — keep decoding. *)
+
+val encode_input : ?ctx:Splitbft_obs.Trace_ctx.t -> input -> string
 val decode_input : string -> (input, string) result
-val encode_output : output -> string
+
+val decode_input_traced :
+  string -> (input * Splitbft_obs.Trace_ctx.t option, string) result
+
+val encode_output : ?ctx:Splitbft_obs.Trace_ctx.t -> output -> string
 val decode_output : string -> (output, string) result
+
+val decode_output_traced :
+  string -> (output * Splitbft_obs.Trace_ctx.t option, string) result

@@ -73,8 +73,8 @@ let make_app kind () : State_machine.t =
   | App_ledger -> Splitbft_app.Ledger.create ()
   | App_counter -> Splitbft_app.Counter_app.create ()
 
-let create ?(splitbft_byz = fun (_ : int) -> honest_enclaves) params =
-  let engine = Engine.create ~seed:params.seed () in
+let create ?(splitbft_byz = fun (_ : int) -> honest_enclaves) ?tracer params =
+  let engine = Engine.create ~seed:params.seed ?tracer () in
   let net = Network.create engine params.net in
   let nodes =
     List.init params.n (fun i ->

@@ -40,10 +40,17 @@ val honest_enclaves : splitbft_byz
 
 type t
 
-val create : ?splitbft_byz:(Ids.replica_id -> splitbft_byz) -> params -> t
+val create :
+  ?splitbft_byz:(Ids.replica_id -> splitbft_byz) ->
+  ?tracer:Splitbft_obs.Tracer.t ->
+  params ->
+  t
 (** Deploys [n] replicas.  SplitBFT byzantine enclaves must be installed at
     creation (compromised-at-deployment); PBFT/MinBFT byzantine modes are
-    set afterwards via {!node}. *)
+    set afterwards via {!node}.  [tracer], when given, is installed on the
+    engine: clients open root spans per sampled request and every hop
+    (broker dispatch, enclave transition, baseline handler) records
+    parent-linked spans with cost attribution. *)
 
 val params : t -> params
 val engine : t -> Splitbft_sim.Engine.t

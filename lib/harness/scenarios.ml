@@ -16,7 +16,7 @@ type scenario = {
   protocol : Cluster.protocol;
   expected : expectation;
   honest : int list;
-  make : int64 -> Cluster.t;
+  make : ?tracer:Splitbft_obs.Tracer.t -> int64 -> Cluster.t;
   inject : Cluster.t -> unit;
   duration_us : float;
   min_completed : int;
@@ -55,16 +55,16 @@ let restart_at cluster ~delay i =
     (Engine.schedule (Cluster.engine cluster) ~delay ~label:"scenario:restart" (fun () ->
          Cluster.restart_host cluster i))
 
-let make_simple protocol seed =
-  Cluster.create
+let make_simple protocol ?tracer seed =
+  Cluster.create ?tracer
     { (Cluster.default_params protocol) with
       Cluster.seed;
       suspect_timeout_us = 250_000.0 }
 
 (* Recovery rows checkpoint aggressively so a sealed image exists before the
    400 ms crash point. *)
-let make_recovery protocol seed =
-  Cluster.create
+let make_recovery protocol ?tracer seed =
+  Cluster.create ?tracer
     { (Cluster.default_params protocol) with
       Cluster.seed;
       suspect_timeout_us = 250_000.0;
@@ -98,8 +98,8 @@ let check_rollback_refused i cluster =
     | [] -> Some (Printf.sprintf "replica %d refused silently (no alert)" i)
     | _ -> None
 
-let splitbft_with seed byz_of =
-  Cluster.create ~splitbft_byz:byz_of
+let splitbft_with ?tracer seed byz_of =
+  Cluster.create ~splitbft_byz:byz_of ?tracer
     { (Cluster.default_params Cluster.Splitbft) with
       Cluster.seed;
       suspect_timeout_us = 250_000.0 }
@@ -233,8 +233,8 @@ let all =
       expected = tolerate;
       honest = [ 0; 1; 3 ];
       make =
-        (fun seed ->
-          splitbft_with seed (fun i ->
+        (fun ?tracer seed ->
+          splitbft_with ?tracer seed (fun i ->
               match i with
               | 0 -> { Cluster.honest_enclaves with Cluster.prep = Preparation.Prep_equivocate }
               | 1 -> { Cluster.honest_enclaves with Cluster.conf = Confirmation.Conf_promiscuous }
@@ -250,8 +250,8 @@ let all =
       expected = unsafe tolerate;
       honest = [ 2; 3 ];
       make =
-        (fun seed ->
-          splitbft_with seed (fun i ->
+        (fun ?tracer seed ->
+          splitbft_with ?tracer seed (fun i ->
               if i <= 1 then
                 { Cluster.honest_enclaves with Cluster.exec = Execution.Exec_corrupt }
               else Cluster.honest_enclaves));
@@ -265,8 +265,8 @@ let all =
       expected = { exp_live = true; exp_safe = true; exp_confidential = false };
       honest = [ 1; 2; 3 ];
       make =
-        (fun seed ->
-          splitbft_with seed (fun i ->
+        (fun ?tracer seed ->
+          splitbft_with ?tracer seed (fun i ->
               if i = 0 then
                 { Cluster.honest_enclaves with Cluster.exec = Execution.Exec_leak }
               else Cluster.honest_enclaves));
@@ -372,13 +372,14 @@ let find id = List.find_opt (fun s -> String.equal s.id id) all
 
 type outcome = {
   scenario : scenario;
+  cluster : Cluster.t;
   verdict : Safety.verdict;
   workload : Workload.result;
   check_failure : string option;
 }
 
-let run ?(seed = 42L) scenario =
-  let cluster = scenario.make seed in
+let run ?(seed = 42L) ?tracer scenario =
+  let cluster = scenario.make ?tracer seed in
   let scanner = Safety.install_scanner cluster in
   scenario.inject cluster;
   let spec =
@@ -397,7 +398,7 @@ let run ?(seed = 42L) scenario =
       ~min_completed:scenario.min_completed
   in
   let check_failure = scenario.check cluster in
-  { scenario; verdict; workload; check_failure }
+  { scenario; cluster; verdict; workload; check_failure }
 
 let matches_expectation o =
   let e = o.scenario.expected and v = o.verdict in

@@ -17,7 +17,7 @@ type scenario = {
   protocol : Cluster.protocol;
   expected : expectation;
   honest : int list;  (** replicas whose execution state must agree *)
-  make : int64 -> Cluster.t;
+  make : ?tracer:Splitbft_obs.Tracer.t -> int64 -> Cluster.t;
   inject : Cluster.t -> unit;  (** post-creation fault injection *)
   duration_us : float;
   min_completed : int;  (** liveness threshold *)
@@ -34,12 +34,15 @@ val find : string -> scenario option
 
 type outcome = {
   scenario : scenario;
+  cluster : Cluster.t;  (** final cluster state (registry, nodes) *)
   verdict : Safety.verdict;
   workload : Workload.result;
   check_failure : string option;  (** [scenario.check] result *)
 }
 
-val run : ?seed:int64 -> scenario -> outcome
+val run : ?seed:int64 -> ?tracer:Splitbft_obs.Tracer.t -> scenario -> outcome
+(** [tracer], when given, is installed on the scenario's cluster engine so
+    the run emits causal spans (see {!Trace_report}). *)
 
 val matches_expectation : outcome -> bool
 

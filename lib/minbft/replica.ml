@@ -18,6 +18,8 @@ module State_machine = Splitbft_app.State_machine
 module Quorum = Splitbft_consensus.Quorum
 module Votes = Splitbft_consensus.Votes
 module Client_table = Splitbft_consensus.Client_table
+module Tracer = Splitbft_obs.Tracer
+module Trace_ctx = Splitbft_obs.Trace_ctx
 
 let protocol_name = "minbft"
 
@@ -110,6 +112,9 @@ type t = {
   mutable recovered_count : int;
   mutable alerts : string list;  (* newest first *)
   recovery_timer : Timer.t;
+  mutable cur_ctx : Trace_ctx.t option;
+      (* trace context of the message being handled; [broadcast]/[send_reply]
+         default to it, so everything a handler emits joins its trace *)
 }
 
 let primary t = t.view mod t.cfg.n
@@ -122,8 +127,38 @@ let payload_cost t payload =
 let ui_create_cost t = t.cfg.cost.ecall_transition_us +. t.cfg.cost.sign_us
 let ui_verify_cost t = t.cfg.cost.verify_us
 
-let broadcast t ~cost msg =
-  let payload = Mmsg.encode msg in
+(* Synthetic always-sampled root for replica-initiated causality (primary
+   suspicion, recovery), installed as the current context around the
+   initiating call so the cascade it triggers is traceable. *)
+let forced_ctx t ~name =
+  match Engine.tracer t.engine with
+  | None -> None
+  | Some tr ->
+    let trace = Tracer.fresh_forced_trace tr in
+    let at = Engine.now t.engine in
+    let id =
+      Tracer.open_span tr ~trace ~name ~cat:"replica.forced" ~pid:t.cfg.id
+        ~tid:"core" ~at ()
+    in
+    Tracer.finish tr id ~at;
+    Some { Trace_ctx.trace; span = id; forced = true }
+
+(* MinBFT wire messages carry the same backward-compatible trace trailer
+   the shared [Message] codec uses, with the same exact-parse fallback
+   against magic-tail collisions in legacy payloads. *)
+let decode_mmsg_traced payload =
+  match Trace_ctx.strip payload with
+  | body, (Some _ as ctx) -> (
+    match Mmsg.decode body with
+    | Ok m -> Ok (m, ctx)
+    | Error _ -> (
+      match Mmsg.decode payload with Ok m -> Ok (m, None) | Error e -> Error e))
+  | _, None -> (
+    match Mmsg.decode payload with Ok m -> Ok (m, None) | Error e -> Error e)
+
+let broadcast t ?ctx ~cost msg =
+  let ctx = match ctx with Some _ as c -> c | None -> t.cur_ctx in
+  let payload = Trace_ctx.append ctx (Mmsg.encode msg) in
   Resource.Pool.submit t.pool
     ~cost:(cost +. payload_cost t payload)
     (fun () ->
@@ -132,8 +167,9 @@ let broadcast t ~cost msg =
           Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst:(Addr.replica j) payload
       done)
 
-let send_reply t (reply : Message.reply) =
-  let payload = Message.encode (Message.Reply reply) in
+let send_reply t ?ctx (reply : Message.reply) =
+  let ctx = match ctx with Some _ as c -> c | None -> t.cur_ctx in
+  let payload = Message.encode_traced ?ctx (Message.Reply reply) in
   Resource.Pool.submit t.pool
     ~cost:(t.cfg.cost.reply_auth_us +. payload_cost t payload)
     (fun () -> Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst:(Addr.client reply.client) payload)
@@ -199,8 +235,11 @@ let rec try_execute t =
           e.e_batch;
         refresh_suspect_timer t;
         let outgoing = List.rev !replies in
+        (* The closure runs after the handler returns; pin its trace context
+           now so replies still join the committing message's trace. *)
+        let ctx = t.cur_ctx in
         Resource.submit t.core ~cost:exec_cost (fun () ->
-            List.iter (send_reply t) outgoing);
+            List.iter (send_reply t ?ctx) outgoing);
         maybe_checkpoint t e.e_counter;
         loop (i + 1) rest
       end
@@ -531,7 +570,9 @@ and drain_holdback t sender =
 (* ----- state transfer (crash-recovery) ----- *)
 
 let request_state t =
-  broadcast t ~cost:0.0 (Mmsg.Statereq { Mmsg.q_requester = t.cfg.id })
+  t.cur_ctx <- forced_ctx t ~name:"recovery";
+  broadcast t ~cost:0.0 (Mmsg.Statereq { Mmsg.q_requester = t.cfg.id });
+  t.cur_ctx <- None
 
 (* Serve our checkpoint proof + snapshot + executed suffix to a recovering
    peer.  The snapshot is only offered when its digest matches the stable
@@ -727,16 +768,52 @@ let on_state_reply t (s : Mmsg.state_reply) =
     finish_recovery_if_caught_up t
   end
 
+let mmsg_name = function
+  | Mmsg.Prepare _ -> "prepare"
+  | Mmsg.Commit _ -> "commit"
+  | Mmsg.Checkpoint _ -> "checkpoint"
+  | Mmsg.Viewchange _ -> "viewchange"
+  | Mmsg.Newview _ -> "newview"
+  | Mmsg.Statereq _ -> "statereq"
+  | Mmsg.Statereply _ -> "statereply"
+
+(* Handling span, opened when the core picks the message up (back-dated to
+   its arrival so verification time is covered) and installed as the
+   current context for whatever the handler emits. *)
+let open_handle_span t ctx ~name ~crypto ~serialize ~at =
+  match (Engine.tracer t.engine, ctx) with
+  | Some tr, Some { Trace_ctx.trace; span; forced } ->
+    let id =
+      Tracer.open_span tr ~parent:span ~trace
+        ~name:(protocol_name ^ ":" ^ name) ~cat:"replica" ~pid:t.cfg.id
+        ~tid:"core" ~at ()
+    in
+    Tracer.add_arg tr id "crypto_us" crypto;
+    Tracer.add_arg tr id "serialize_us" serialize;
+    Tracer.add_arg tr id "core_us" t.cfg.cost.pbft_core_us;
+    t.cur_ctx <- Some { Trace_ctx.trace; span = id; forced };
+    Some (tr, id)
+  | _ ->
+    t.cur_ctx <- ctx;
+    None
+
+let close_handle_span t sp =
+  t.cur_ctx <- None;
+  match sp with
+  | Some (tr, id) -> Tracer.finish tr id ~at:(Engine.now t.engine)
+  | None -> ()
+
 let on_payload t ~src:_ payload =
   if not t.crashed then begin
     (* Deferred closures only run if the replica is still in the same
        incarnation — work queued before a crash must not fire afterwards. *)
     let epoch = t.epoch in
     let live () = t.epoch = epoch && not t.crashed in
+    let received = Engine.now t.engine in
     if Mmsg.is_minbft_payload payload then begin
-      match Mmsg.decode payload with
+      match decode_mmsg_traced payload with
       | Error _ -> ()
-      | Ok msg ->
+      | Ok (msg, tctx) ->
         let sender = sender_of t msg in
         (match msg with
         | Mmsg.Statereq _ | Mmsg.Statereply _ ->
@@ -746,11 +823,18 @@ let on_payload t ~src:_ payload =
             Resource.Pool.submit t.pool ~cost:(payload_cost t payload) (fun () ->
                 if live () then
                   Resource.submit t.core ~cost:t.cfg.cost.pbft_core_us (fun () ->
-                      if live () then
-                        match msg with
+                      if live () then begin
+                        let sp =
+                          open_handle_span t tctx ~name:(mmsg_name msg)
+                            ~crypto:0.0 ~serialize:(payload_cost t payload)
+                            ~at:received
+                        in
+                        (match msg with
                         | Mmsg.Statereq q -> on_state_request t q
                         | Mmsg.Statereply s -> on_state_reply t s
-                        | _ -> ()))
+                        | _ -> ());
+                        close_handle_span t sp
+                      end))
         | _ ->
           if sender >= 0 && sender < t.cfg.n && sender <> t.cfg.id then
             Resource.Pool.submit t.pool
@@ -761,17 +845,33 @@ let on_payload t ~src:_ payload =
                   && Usig.verify_ui ~id:sender ~msg:(Mmsg.signed_part msg) (Mmsg.ui msg)
                 then
                   Resource.submit t.core ~cost:t.cfg.cost.pbft_core_us (fun () ->
-                      if live () then admit t sender msg)))
+                      if live () then begin
+                        let sp =
+                          open_handle_span t tctx ~name:(mmsg_name msg)
+                            ~crypto:(ui_verify_cost t)
+                            ~serialize:(payload_cost t payload) ~at:received
+                        in
+                        admit t sender msg;
+                        close_handle_span t sp
+                      end)))
     end
     else
-      match Message.decode payload with
-      | Ok (Message.Request r) ->
+      match Message.decode_traced payload with
+      | Ok (Message.Request r, tctx) ->
         Resource.Pool.submit t.pool
           ~cost:(t.cfg.cost.client_auth_us +. payload_cost t payload)
           (fun () ->
             if live () && request_auth_ok r ~replica:t.cfg.id then
               Resource.submit t.core ~cost:t.cfg.cost.pbft_core_us (fun () ->
-                  if live () then on_request t r))
+                  if live () then begin
+                    let sp =
+                      open_handle_span t tctx ~name:"request"
+                        ~crypto:t.cfg.cost.client_auth_us
+                        ~serialize:(payload_cost t payload) ~at:received
+                    in
+                    on_request t r;
+                    close_handle_span t sp
+                  end))
       | Ok _ | Error _ -> ()
   end
 
@@ -825,7 +925,9 @@ let create engine net cfg ~app =
               (fun () ->
               let t = Lazy.force t in
               if Hashtbl.length t.awaiting > 0 then begin
+                t.cur_ctx <- forced_ctx t ~name:"suspect";
                 start_view_change t;
+                t.cur_ctx <- None;
                 Timer.restart t.suspect_timer
               end);
         viewchanges = Votes.create ();
@@ -858,7 +960,8 @@ let create engine net cfg ~app =
               if t.recovering && not t.crashed then begin
                 request_state t;
                 Timer.restart t.recovery_timer
-              end) }
+              end);
+        cur_ctx = None }
   in
   let t = Lazy.force t in
   Network.register net (Addr.replica cfg.id) (fun ~src payload -> on_payload t ~src payload);

@@ -125,10 +125,10 @@ let histogram_sum h = h.hsum
 
 (* ----- summaries ----- *)
 
-let summary t ?(labels = []) name =
+let summary t ?cap ?(labels = []) name =
   let r =
     register t ~name ~labels
-      ~make:(fun () -> Summary (ref (Stats.create ())))
+      ~make:(fun () -> Summary (ref (Stats.create ?cap ())))
       ~cast:(function Summary r -> Some r | _ -> None)
   in
   !r

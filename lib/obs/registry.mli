@@ -55,11 +55,18 @@ val observe : histogram -> float -> unit
 val histogram_count : histogram -> int
 val histogram_sum : histogram -> float
 
-(** {2 Summaries} — exact sample sets with interpolated percentiles *)
+(** {2 Summaries} — bounded sample sets with interpolated percentiles *)
 
-val summary : t -> ?labels:labels -> string -> Splitbft_util.Stats.t
+val summary : t -> ?cap:int -> ?labels:labels -> string -> Splitbft_util.Stats.t
 (** Registers (or looks up) a summary and returns its backing collector;
-    percentiles (p50/p90/p99) are computed at snapshot time. *)
+    percentiles (p50/p90/p99) are computed at snapshot time.
+
+    Memory cutoff: the collector stores at most [cap] samples
+    ([Stats.default_cap] = 65536 when omitted).  Until the cutoff the
+    sample set is exact; past it, uniform reservoir sampling keeps
+    percentiles as estimates while count/sum/mean/min/max stay exact —
+    so week-long chaos runs cannot grow a summary without bound.  On
+    lookup of an existing summary the argument is ignored. *)
 
 val set_summary : t -> ?labels:labels -> string -> Splitbft_util.Stats.t -> unit
 (** Points the summary [name] at an existing collector (replacing any

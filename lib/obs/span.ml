@@ -1,9 +1,17 @@
-type t = { hist : Registry.histogram; started_at : float }
+type t = {
+  hist : Registry.histogram;
+  started_at : float;
+  mutable finished : float option;
+}
 
-let start hist ~at = { hist; started_at = at }
+let start hist ~at = { hist; started_at = at; finished = None }
 let elapsed t ~at = at -. t.started_at
 
 let finish t ~at =
-  let d = at -. t.started_at in
-  Registry.observe t.hist d;
-  d
+  match t.finished with
+  | Some d -> d
+  | None ->
+    let d = at -. t.started_at in
+    t.finished <- Some d;
+    Registry.observe t.hist d;
+    d

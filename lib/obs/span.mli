@@ -14,5 +14,6 @@ val elapsed : t -> at:float -> float
 (** Duration so far, without recording anything. *)
 
 val finish : t -> at:float -> float
-(** Records [at - start] into the histogram and returns it.  Finishing a
-    span twice records twice (spans are plain values; don't do that). *)
+(** Records [at - start] into the histogram and returns it.  Idempotent:
+    a second finish records nothing and returns the duration cached by
+    the first (double-finish used to double-count the histogram). *)

@@ -1,0 +1,55 @@
+(* Wire representation of a trace context: a fixed 15-byte trailer
+   appended AFTER an already-encoded payload, so that every existing
+   codec keeps producing byte-identical output when tracing is off and
+   pre-tracing peers (or sealed blobs) decode unchanged.
+
+   Layout (appended, little-endian):
+
+     [trace id : 8] [span id : 4] [flags : 1] [magic : 2]
+
+   The magic suffix makes stripping cheap (two byte compares on the
+   tail).  A legacy payload whose last two bytes coincidentally equal
+   the magic is mis-detected here; callers therefore fall back to
+   decoding the whole string when the stripped prefix does not parse
+   (see Message.decode_traced). *)
+
+type t = { trace : int64; span : int; forced : bool }
+
+let magic0 = '\xc7'
+let magic1 = '\x54'
+let trailer_len = 15
+
+let flag_forced = 0x01
+
+let append ctx payload =
+  match ctx with
+  | None -> payload
+  | Some { trace; span; forced } ->
+    let n = String.length payload in
+    let b = Bytes.create (n + trailer_len) in
+    Bytes.blit_string payload 0 b 0 n;
+    Bytes.set_int64_le b n trace;
+    Bytes.set_int32_le b (n + 8) (Int32.of_int span);
+    Bytes.set_uint8 b (n + 12) (if forced then flag_forced else 0);
+    Bytes.set b (n + 13) magic0;
+    Bytes.set b (n + 14) magic1;
+    Bytes.unsafe_to_string b
+
+let strip payload =
+  let n = String.length payload in
+  if n >= trailer_len
+     && payload.[n - 2] = magic0
+     && payload.[n - 1] = magic1
+  then begin
+    let b = Bytes.unsafe_of_string payload in
+    let base = n - trailer_len in
+    let trace = Bytes.get_int64_le b base in
+    let span = Int32.to_int (Bytes.get_int32_le b (base + 8)) in
+    let flags = Bytes.get_uint8 b (base + 12) in
+    ( String.sub payload 0 base,
+      Some { trace; span; forced = flags land flag_forced <> 0 } )
+  end
+  else (payload, None)
+
+let pp fmt { trace; span; forced } =
+  Format.fprintf fmt "%016Lx/%d%s" trace span (if forced then "!" else "")

@@ -1,0 +1,30 @@
+(** Trace context carried on the wire.
+
+    A context names the trace a payload belongs to and the span that
+    caused it; it rides as a fixed 15-byte trailer {e after} the
+    payload's normal encoding, so codecs are untouched and payloads
+    written before tracing existed (or with tracing off) decode exactly
+    as before.  [append None] is the identity — the hot path with
+    tracing disabled never copies. *)
+
+type t = {
+  trace : int64;  (** trace id; client roots use [(client << 32) lor ts] *)
+  span : int;  (** causing span, to parent the next hop *)
+  forced : bool;  (** sampled by force (slow / view change / recovery) *)
+}
+
+val trailer_len : int
+(** Bytes [append] adds: 15. *)
+
+val append : t option -> string -> string
+(** [append (Some ctx) payload] returns [payload] with the trailer;
+    [append None payload] returns [payload] itself. *)
+
+val strip : string -> string * t option
+(** Splits a payload from its trailer, if the magic suffix is present.
+    May false-positive on binary payloads whose tail happens to match
+    the magic (probability 2^-16 per payload); callers that own a codec
+    must fall back to parsing the unstripped string when the stripped
+    prefix fails to decode. *)
+
+val pp : Format.formatter -> t -> unit

@@ -24,6 +24,8 @@ module Ckpt = Splitbft_consensus.Ckpt
 module Client_table = Splitbft_consensus.Client_table
 module Proofs = Splitbft_consensus.Proofs
 module Newview = Splitbft_consensus.Newview
+module Tracer = Splitbft_obs.Tracer
+module Trace_ctx = Splitbft_obs.Trace_ctx
 
 let protocol_name = "pbft"
 
@@ -136,6 +138,9 @@ type t = {
   mutable recovered_count : int;
   mutable alerts : string list;  (* newest first *)
   recovery_timer : Timer.t;
+  mutable cur_ctx : Trace_ctx.t option;
+      (* trace context of the message being handled; [send_to]/[broadcast]
+         default to it, so everything a handler emits joins its trace *)
 }
 
 (* ----- key management ----- *)
@@ -216,15 +221,36 @@ let verify_ok t (msg : Message.t) =
   | Message.Session_key _ | Message.Session_ack _ ->
     false
 
+(* ----- tracing ----- *)
+
+(* Synthetic always-sampled root for replica-initiated causality (primary
+   suspicion, recovery), installed as the current context around the
+   initiating call so the cascade it triggers is traceable. *)
+let forced_ctx t ~name =
+  match Engine.tracer t.engine with
+  | None -> None
+  | Some tr ->
+    let trace = Tracer.fresh_forced_trace tr in
+    let at = Engine.now t.engine in
+    let id =
+      Tracer.open_span tr ~trace ~name ~cat:"replica.forced" ~pid:t.cfg.id
+        ~tid:"core" ~at ()
+    in
+    Tracer.finish tr id ~at;
+    Some { Trace_ctx.trace; span = id; forced = true }
+
 (* ----- sending ----- *)
 
-let send_to t ~sign_cost dst payload =
+let send_to t ?ctx ~sign_cost dst payload =
+  let ctx = match ctx with Some _ as c -> c | None -> t.cur_ctx in
+  let payload = Trace_ctx.append ctx payload in
   Resource.Pool.submit t.pool
     ~cost:(sign_cost +. payload_cost t payload)
     (fun () -> Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst payload)
 
-let broadcast t ~sign_cost msg =
-  let payload = Message.encode msg in
+let broadcast t ?ctx ~sign_cost msg =
+  let ctx = match ctx with Some _ as c -> c | None -> t.cur_ctx in
+  let payload = Message.encode_traced ?ctx msg in
   Resource.Pool.submit t.pool
     ~cost:(sign_cost +. payload_cost t payload)
     (fun () ->
@@ -443,10 +469,13 @@ let rec try_execute t =
         | _ -> 0.0
       in
       let outgoing = List.rev !replies in
+      (* The closure runs after the handler returns; pin its trace context
+         now so replies still join the committing message's trace. *)
+      let ctx = t.cur_ctx in
       Resource.submit t.core ~cost:exec_cost (fun () ->
           List.iter
             (fun (reply : Message.reply) ->
-              send_to t ~sign_cost:c.reply_auth_us
+              send_to t ?ctx ~sign_cost:c.reply_auth_us
                 (Addr.client reply.client)
                 (Message.encode (Message.Reply reply)))
             outgoing);
@@ -957,15 +986,43 @@ let handle t ~src:_ (msg : Message.t) =
 
 let on_payload t ~src payload =
   if not t.crashed then begin
-    match Message.decode payload with
+    match Message.decode_traced payload with
     | Error _ -> ()
-    | Ok msg ->
+    | Ok (msg, ctx) ->
       let epoch = t.epoch in
       let vcost = verify_cost t msg +. payload_cost t payload in
+      let received = Engine.now t.engine in
       Resource.Pool.submit t.pool ~cost:vcost (fun () ->
           if t.epoch = epoch && verify_ok t msg then
             Resource.submit t.core ~cost:(core_cost t msg) (fun () ->
-                if t.epoch = epoch && not t.crashed then handle t ~src msg))
+                if t.epoch = epoch && not t.crashed then begin
+                  (* The handling span covers verification (started when
+                     the payload arrived) through the handler, with the
+                     monolithic replica's cost split the same way the
+                     enclave spans split theirs. *)
+                  let sp =
+                    match (Engine.tracer t.engine, ctx) with
+                    | Some tr, Some { Trace_ctx.trace; span; forced } ->
+                      let id =
+                        Tracer.open_span tr ~parent:span ~trace
+                          ~name:(protocol_name ^ ":" ^ Message.type_name msg)
+                          ~cat:"replica" ~pid:t.cfg.id ~tid:"core" ~at:received ()
+                      in
+                      Tracer.add_arg tr id "crypto_us" (verify_cost t msg);
+                      Tracer.add_arg tr id "serialize_us" (payload_cost t payload);
+                      Tracer.add_arg tr id "core_us" (core_cost t msg);
+                      t.cur_ctx <- Some { Trace_ctx.trace; span = id; forced };
+                      Some (tr, id)
+                    | _ ->
+                      t.cur_ctx <- ctx;
+                      None
+                  in
+                  handle t ~src msg;
+                  t.cur_ctx <- None;
+                  match sp with
+                  | Some (tr, id) -> Tracer.finish tr id ~at:(Engine.now t.engine)
+                  | None -> ()
+                end))
   end
 
 (* ----- construction ----- *)
@@ -1020,7 +1077,9 @@ let create engine net cfg ~app =
             ~callback:
               (fun () ->
               let t = Lazy.force t in
-              start_view_change t ~target:(t.view + 1));
+              t.cur_ctx <- forced_ctx t ~name:"suspect";
+              start_view_change t ~target:(t.view + 1);
+              t.cur_ctx <- None);
         in_view_change = false;
         vc_target = 0;
         viewchanges = Votes.create ();
@@ -1031,7 +1090,9 @@ let create engine net cfg ~app =
             ~callback:
               (fun () ->
               let t = Lazy.force t in
-              start_view_change t ~target:(t.vc_target + 1));
+              t.cur_ctx <- forced_ctx t ~name:"viewchange-timeout";
+              start_view_change t ~target:(t.vc_target + 1);
+              t.cur_ctx <- None);
         persist_log = [];
         crashed = false;
         epoch = 0;
@@ -1056,11 +1117,14 @@ let create engine net cfg ~app =
               (* Re-request: commits in flight during the crash are gone,
                  so a single round can leave a gap below the cluster head. *)
               if t.recovering && not t.crashed then begin
+                t.cur_ctx <- forced_ctx t ~name:"recovery";
                 broadcast t ~sign_cost:0.0
                   (Message.State_request
                      { sr_requester = t.cfg.id; sr_from = t.last_executed + 1 });
+                t.cur_ctx <- None;
                 Timer.restart t.recovery_timer
-              end) }
+              end);
+        cur_ctx = None }
   in
   let t = Lazy.force t in
   Network.register net (Addr.replica cfg.id) (fun ~src payload -> on_payload t ~src payload);
@@ -1171,8 +1235,10 @@ let restart t =
       t.recovering <- true;
       Network.register t.net (Addr.replica t.cfg.id) (fun ~src payload ->
           on_payload t ~src payload);
+      t.cur_ctx <- forced_ctx t ~name:"recovery";
       broadcast t ~sign_cost:0.0
         (Message.State_request { sr_requester = t.cfg.id; sr_from = t.last_executed + 1 });
+      t.cur_ctx <- None;
       Timer.restart t.recovery_timer
   end
 

@@ -17,6 +17,7 @@ and t = {
   queue : event Splitbft_util.Heap.t;
   root_rng : Splitbft_util.Rng.t;
   obs : Registry.t;
+  tracer : Splitbft_obs.Tracer.t option;
   g_live : Registry.gauge;
   c_fired : Registry.counter;
   mutable clock : float;
@@ -31,11 +32,12 @@ let compare_events a b =
   let c = compare a.time b.time in
   if c <> 0 then c else compare a.seq b.seq
 
-let create ?(seed = 1L) ?obs () =
+let create ?(seed = 1L) ?obs ?tracer () =
   let obs = match obs with Some r -> r | None -> Registry.create () in
   { queue = Splitbft_util.Heap.create ~cmp:compare_events;
     root_rng = Splitbft_util.Rng.create seed;
     obs;
+    tracer;
     g_live = Registry.gauge obs "sim.events_live";
     c_fired = Registry.counter obs "sim.events_fired";
     clock = 0.0;
@@ -46,6 +48,7 @@ let create ?(seed = 1L) ?obs () =
 let now t = t.clock
 let rng t = t.root_rng
 let obs t = t.obs
+let tracer t = t.tracer
 
 let schedule t ~delay ~label action =
   if delay < 0.0 then invalid_arg (Printf.sprintf "Engine.schedule %s: negative delay" label);

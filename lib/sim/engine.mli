@@ -11,17 +11,29 @@ type t
 type handle
 (** A scheduled event, usable for cancellation. *)
 
-val create : ?seed:int64 -> ?obs:Splitbft_obs.Registry.t -> unit -> t
+val create :
+  ?seed:int64 ->
+  ?obs:Splitbft_obs.Registry.t ->
+  ?tracer:Splitbft_obs.Tracer.t ->
+  unit ->
+  t
 (** Fresh engine with virtual time 0.  [seed] (default 1) drives {!rng}.
     [obs] (default: a fresh registry) is the metrics registry this
     simulation reports into; every component reachable from the engine
-    (network, resources, enclaves, brokers) records there. *)
+    (network, resources, enclaves, brokers) records there.  [tracer]
+    (default: none — tracing off, zero overhead) attaches a causal trace
+    recorder that the same components consult for per-request spans. *)
 
 val now : t -> float
 (** Current virtual time in microseconds. *)
 
 val obs : t -> Splitbft_obs.Registry.t
 (** The simulation's metrics registry. *)
+
+val tracer : t -> Splitbft_obs.Tracer.t option
+(** The simulation's causal trace recorder, when one was attached.
+    Instrumentation sites match on [None] first, so a run without a
+    tracer pays nothing. *)
 
 val rng : t -> Splitbft_util.Rng.t
 (** The engine's root generator.  Components that need independent streams

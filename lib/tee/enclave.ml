@@ -2,6 +2,8 @@ module Signature = Splitbft_crypto.Signature
 module Resource = Splitbft_sim.Resource
 module Stats = Splitbft_util.Stats
 module Registry = Splitbft_obs.Registry
+module Tracer = Splitbft_obs.Tracer
+module Trace_ctx = Splitbft_obs.Trace_ctx
 
 type env = {
   enclave : t;
@@ -9,6 +11,15 @@ type env = {
   rng : Splitbft_util.Rng.t;
   mutable pending_charge : float;
   mutable pending_outputs : string list; (* newest first *)
+  (* Per-ecall cost attribution, reset on entry and read into the active
+     span on exit.  [pending_charge] stays the single source of truth for
+     the metered cost; these only classify where it came from. *)
+  mutable cat_crypto : float;
+  mutable cat_exec : float;
+  mutable cat_seal : float;
+  mutable cat_io : float;
+  mutable cat_ocall_transitions : float;
+  mutable ocalls : int;
 }
 
 and t = {
@@ -70,7 +81,13 @@ let create platform ~name ~measurement ~cost_model ~key_seed ~program =
         keypair;
         rng = Splitbft_util.Rng.split (Platform.rng platform);
         pending_charge = 0.0;
-        pending_outputs = [] };
+        pending_outputs = [];
+        cat_crypto = 0.0;
+        cat_exec = 0.0;
+        cat_seal = 0.0;
+        cat_io = 0.0;
+        cat_ocall_transitions = 0.0;
+        ocalls = 0 };
   t
 
 let name t = t.name
@@ -92,29 +109,103 @@ let instantiate t =
     t.handler <- Some h;
     h
 
-let ecall t ~thread ~payload ~on_done =
+(* Thread lane inside the replica's trace: the compartment part of
+   "replicaN-compartment" (the whole name when there is no dash). *)
+let lane t =
+  match String.rindex_opt t.name '-' with
+  | Some i -> String.sub t.name (i + 1) (String.length t.name - i - 1)
+  | None -> t.name
+
+let engine t = Platform.engine t.platform
+
+(* Open the span covering this transition: a child of the caller's span
+   when the payload belongs to a sampled trace, or a fresh orphan root
+   (so aggregate cost attribution stays complete) when it does not. *)
+let open_ecall_span t tracer ctx =
+  let at = Splitbft_sim.Engine.now (engine t) in
+  let pid = Platform.id t.platform in
+  let tid = lane t in
+  match ctx with
+  | Some { Trace_ctx.trace; span; forced } ->
+    let id =
+      Tracer.open_span tracer ~parent:span ~trace ~name:("ecall:" ^ tid)
+        ~cat:"enclave" ~pid ~tid ~at ()
+    in
+    Some (id, { Trace_ctx.trace; span = id; forced })
+  | None ->
+    if not (Tracer.record_orphans tracer) then None
+    else
+      let trace = Tracer.fresh_orphan_trace tracer in
+      let id =
+        Tracer.open_span tracer ~trace ~name:("ecall:" ^ tid) ~cat:"enclave" ~pid
+          ~tid ~at ()
+      in
+      Some (id, { Trace_ctx.trace; span = id; forced = false })
+
+let ecall t ~thread ?ctx ~payload ~on_done () =
   let cm = t.cost_model in
+  let tracer = Splitbft_sim.Engine.tracer (engine t) in
   if t.crashed then begin
     (* An aborted ecall into a dead enclave: the transition is attempted,
        nothing comes back. *)
     Registry.incr t.c_ecalls_aborted;
-    Resource.submit thread ~cost:cm.ecall_transition_us (fun () -> on_done [])
+    (match (tracer, ctx) with
+    | Some tr, Some { Trace_ctx.trace; span; _ } ->
+      let id =
+        Tracer.open_span tr ~parent:span ~trace ~name:("ecall-aborted:" ^ lane t)
+          ~cat:"enclave.aborted" ~pid:(Platform.id t.platform) ~tid:(lane t)
+          ~at:(Splitbft_sim.Engine.now (engine t)) ()
+      in
+      Resource.submit thread ~cost:cm.ecall_transition_us (fun () ->
+          Tracer.finish tr id ~at:(Splitbft_sim.Engine.now (engine t));
+          on_done [])
+    | _ -> Resource.submit thread ~cost:cm.ecall_transition_us (fun () -> on_done []))
   end
   else begin
     let env = the_env t in
     env.pending_charge <- 0.0;
     env.pending_outputs <- [];
+    env.cat_crypto <- 0.0;
+    env.cat_exec <- 0.0;
+    env.cat_seal <- 0.0;
+    env.cat_io <- 0.0;
+    env.cat_ocall_transitions <- 0.0;
+    env.ocalls <- 0;
+    let span = match tracer with Some tr -> open_ecall_span t tr ctx | None -> None in
     let handler = instantiate t in
     handler payload;
     let outputs = List.rev env.pending_outputs in
     env.pending_outputs <- [];
+    (* Outputs leave the boundary stamped with THIS transition's span, so
+       whatever the environment does with them parents here. *)
+    let outputs =
+      match span with
+      | Some (_, out_ctx) -> List.map (Trace_ctx.append (Some out_ctx)) outputs
+      | None -> outputs
+    in
     let out_bytes = List.fold_left (fun acc o -> acc + String.length o) 0 outputs in
     let copied = String.length payload + out_bytes in
-    let cost =
-      cm.ecall_transition_us
-      +. (cm.copy_per_byte_us *. float_of_int copied)
-      +. env.pending_charge
-    in
+    let copy_us = cm.copy_per_byte_us *. float_of_int copied in
+    let cost = cm.ecall_transition_us +. copy_us +. env.pending_charge in
+    (match (tracer, span) with
+    | Some tr, Some (id, _) ->
+      let categorized =
+        env.cat_crypto +. env.cat_exec +. env.cat_seal +. env.cat_io
+        +. env.cat_ocall_transitions
+      in
+      Tracer.add_arg tr id "transitions" (float_of_int (1 + env.ocalls));
+      Tracer.add_arg tr id "transition_us"
+        (cm.ecall_transition_us +. env.cat_ocall_transitions);
+      Tracer.add_arg tr id "copied_bytes" (float_of_int copied);
+      Tracer.add_arg tr id "copy_us" copy_us;
+      Tracer.add_arg tr id "crypto_us" env.cat_crypto;
+      Tracer.add_arg tr id "exec_us" env.cat_exec;
+      Tracer.add_arg tr id "seal_us" env.cat_seal;
+      Tracer.add_arg tr id "io_us" env.cat_io;
+      Tracer.add_arg tr id "other_us"
+        (Float.max 0.0 (env.pending_charge -. categorized));
+      Tracer.add_arg tr id "total_us" cost
+    | _ -> ());
     env.pending_charge <- 0.0;
     t.calls <- t.calls + 1;
     t.total_us <- t.total_us +. cost;
@@ -123,7 +214,12 @@ let ecall t ~thread ~payload ~on_done =
     Registry.add_f t.c_ecall_us cost;
     Registry.add t.c_copy_bytes copied;
     Registry.observe t.h_ecall_us cost;
-    Resource.submit thread ~cost (fun () -> on_done outputs)
+    Resource.submit thread ~cost (fun () ->
+        (match (tracer, span) with
+        | Some tr, Some (id, _) ->
+          Tracer.finish tr id ~at:(Splitbft_sim.Engine.now (engine t))
+        | _ -> ());
+        on_done outputs)
   end
 
 let crash t = t.crashed <- true
@@ -150,12 +246,28 @@ let reset_stats t =
   t.durations <- Stats.create ()
 
 let charge env us = env.pending_charge <- env.pending_charge +. us
+
+let charge_crypto env us =
+  env.cat_crypto <- env.cat_crypto +. us;
+  charge env us
+
+let charge_exec env us =
+  env.cat_exec <- env.cat_exec +. us;
+  charge env us
+
+let charge_io env us =
+  env.cat_io <- env.cat_io +. us;
+  charge env us
+
 let cost_model env = env.enclave.cost_model
 let emit env payload = env.pending_outputs <- payload :: env.pending_outputs
 
 let ocall env ?(cost = 0.0) payload =
   let cm = env.enclave.cost_model in
-  charge env (cm.ocall_transition_us +. cost);
+  env.ocalls <- env.ocalls + 1;
+  env.cat_ocall_transitions <- env.cat_ocall_transitions +. cm.ocall_transition_us;
+  charge env cm.ocall_transition_us;
+  charge_io env cost;
   emit env payload
 
 let env_keypair env = env.keypair
@@ -164,14 +276,20 @@ let env_measurement env = env.enclave.meas
 let env_now env = Splitbft_sim.Engine.now (Platform.engine env.enclave.platform)
 let env_rng env = env.rng
 
+let charge_seal env us =
+  env.cat_seal <- env.cat_seal +. us;
+  charge env us
+
 let seal env data =
   let cm = env.enclave.cost_model in
-  charge env (cm.seal_base_us +. (cm.seal_per_byte_us *. float_of_int (String.length data)));
+  charge_seal env
+    (cm.seal_base_us +. (cm.seal_per_byte_us *. float_of_int (String.length data)));
   Sealing.seal ~key:env.enclave.sealing_key ~rng:env.rng data
 
 let unseal env blob =
   let cm = env.enclave.cost_model in
-  charge env (cm.seal_base_us +. (cm.seal_per_byte_us *. float_of_int (String.length blob)));
+  charge_seal env
+    (cm.seal_base_us +. (cm.seal_per_byte_us *. float_of_int (String.length blob)));
   Sealing.unseal ~key:env.enclave.sealing_key blob
 
 let scoped_counter_name t name =

@@ -48,12 +48,22 @@ val public_key : t -> Splitbft_crypto.Signature.public
 val ecall :
   t ->
   thread:Splitbft_sim.Resource.t ->
+  ?ctx:Splitbft_obs.Trace_ctx.t ->
   payload:string ->
   on_done:(string list -> unit) ->
+  unit ->
   unit
 (** Asynchronous ecall: occupies [thread] for the metered duration, then
     invokes [on_done outputs].  On a crashed enclave only the transition
-    cost is paid and [on_done []] fires. *)
+    cost is paid and [on_done []] fires.
+
+    When the engine has a tracer, the transition records a span —
+    parented on [ctx] when given, an orphan root otherwise (if the
+    tracer records orphans) — carrying the Figure-4 cost attribution as
+    span arguments: transition count/time, copied bytes/time, and the
+    handler's charges split by category (crypto/exec/seal/io/other).
+    Outputs are stamped with the span's context, so downstream effects
+    parent on this transition. *)
 
 (** {2 Fault injection} *)
 
@@ -86,7 +96,17 @@ val reset_stats : t -> unit
 (** {2 Environment API (used by programs)} *)
 
 val charge : env -> float -> unit
-(** Adds compute time to the current ecall. *)
+(** Adds compute time to the current ecall (attributed to the catch-all
+    "other" category in traces). *)
+
+val charge_crypto : env -> float -> unit
+(** [charge], attributed to signature/MAC/AEAD work. *)
+
+val charge_exec : env -> float -> unit
+(** [charge], attributed to application execution. *)
+
+val charge_io : env -> float -> unit
+(** [charge], attributed to storage/ledger work performed outside. *)
 
 val cost_model : env -> Cost_model.t
 

@@ -1,6 +1,7 @@
 module W = Splitbft_codec.Writer
 module R = Splitbft_codec.Reader
 module Sha256 = Splitbft_crypto.Sha256
+module Trace_ctx = Splitbft_obs.Trace_ctx
 
 type request = {
   client : Ids.client_id;
@@ -560,7 +561,7 @@ let encode_into w msg =
 
 let encode msg = W.to_string encode_into msg
 
-let decode s =
+let decode_exact s =
   R.parse
     (fun r ->
       match R.u8 r with
@@ -583,6 +584,35 @@ let decode s =
       | 17 -> State_reply (read_state_reply r)
       | t -> raise (R.Error (Printf.sprintf "unknown message tag %d" t)))
     s
+
+(* ----- optional trace context (backward-compatible trailer) -----
+
+   The context rides [Trace_ctx.trailer_len] bytes after the message's
+   normal encoding, so pre-tracing encodings (and sealed/persisted
+   blobs) remain valid and [encode] itself is byte-stable.  Stripping
+   keys on a two-byte magic suffix, which can collide with the tail of a
+   legacy message; the exact-parse fallback below resolves that case
+   correctly (the stripped prefix of a real legacy message cannot also
+   be a complete valid encoding, since every encoding is parsed to
+   exhaustion). *)
+
+let encode_traced ?ctx msg = Trace_ctx.append ctx (encode msg)
+
+let decode_traced s =
+  match Trace_ctx.strip s with
+  | body, (Some _ as ctx) -> (
+    match decode_exact body with
+    | Ok msg -> Ok (msg, ctx)
+    | Error _ -> (
+      match decode_exact s with
+      | Ok msg -> Ok (msg, None)
+      | Error e -> Error e))
+  | _, None -> (
+    match decode_exact s with Ok msg -> Ok (msg, None) | Error e -> Error e)
+
+(* Trailer-tolerant: every legacy call site keeps working when handed a
+   traced payload, it just does not see the context. *)
+let decode s = Result.map fst (decode_traced s)
 
 let peek_tag s = if String.length s = 0 then None else Some (Char.code s.[0])
 

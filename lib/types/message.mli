@@ -189,7 +189,23 @@ val summarize : preprepare -> preprepare_digest
 (** {2 Codec} *)
 
 val encode : t -> string
+
 val decode : string -> (t, string) result
+(** Trailer-tolerant: accepts both plain encodings and encodings carrying
+    a trace-context trailer (the context is dropped — use
+    {!decode_traced} to see it). *)
+
+val encode_traced : ?ctx:Splitbft_obs.Trace_ctx.t -> t -> string
+(** [encode] plus an optional trace-context trailer
+    ({!Splitbft_obs.Trace_ctx.append}); without [ctx] this {e is}
+    [encode], byte for byte, so pre-tracing peers and persisted blobs
+    stay compatible. *)
+
+val decode_traced : string -> (t * Splitbft_obs.Trace_ctx.t option, string) result
+(** Decodes a message and its trace context, if one rides on it.
+    Encodings from before the trailer existed decode with [None]; a
+    legacy message whose tail coincidentally matches the trailer magic
+    is resolved by exact-parse fallback. *)
 
 val encode_into : Splitbft_codec.Writer.t -> t -> unit
 (** Appends the encoding of the message to an existing writer; together

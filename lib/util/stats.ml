@@ -1,42 +1,82 @@
+(* Sample collection with a bounded reservoir.
+
+   Count / total / mean / min / max / stddev come from exact running
+   accumulators regardless of how many samples were observed; order
+   statistics (percentiles) come from the sample store, which switches
+   from exact to uniform reservoir sampling (algorithm R) once [cap]
+   observations have been seen, so unbounded runs hold bounded memory.
+   The reservoir's RNG is its own deterministic xorshift64* stream — it
+   must not perturb (or be perturbed by) the simulation's seeded RNGs. *)
+
 type t = {
+  cap : int;
   mutable samples : float array;
-  mutable size : int;
+  mutable size : int;  (* live entries in [samples] *)
   mutable sorted : bool;
+  mutable n : int;  (* observations ever *)
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable mn : float;
+  mutable mx : float;
+  mutable rng : int64;
 }
 
-let create () = { samples = [||]; size = 0; sorted = true }
+let default_cap = 65536
 
-let add t x =
-  let cap = Array.length t.samples in
-  if t.size >= cap then begin
-    let data = Array.make (Stdlib.max 64 (2 * cap)) 0.0 in
+let create ?(cap = default_cap) () =
+  if cap < 1 then invalid_arg "Stats.create: cap < 1";
+  { cap;
+    samples = [||];
+    size = 0;
+    sorted = true;
+    n = 0;
+    sum = 0.0;
+    sumsq = 0.0;
+    mn = infinity;
+    mx = neg_infinity;
+    rng = 0x9E3779B97F4A7C15L }
+
+let cap t = t.cap
+
+let rand_below t bound =
+  let x = t.rng in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.rng <- x;
+  Int64.to_int (Int64.rem (Int64.logand x Int64.max_int) (Int64.of_int bound))
+
+let store t i x =
+  let alloc = Array.length t.samples in
+  if i >= alloc then begin
+    let data = Array.make (Stdlib.min t.cap (Stdlib.max 64 (2 * alloc))) 0.0 in
     Array.blit t.samples 0 data 0 t.size;
     t.samples <- data
   end;
-  t.samples.(t.size) <- x;
-  t.size <- t.size + 1;
+  t.samples.(i) <- x;
   t.sorted <- false
 
-let count t = t.size
+let add t x =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sumsq <- t.sumsq +. (x *. x);
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x;
+  if t.size < t.cap then begin
+    store t t.size x;
+    t.size <- t.size + 1
+  end
+  else begin
+    (* Reservoir: keep each of the n observations with probability cap/n. *)
+    let j = rand_below t t.n in
+    if j < t.cap then store t j x
+  end
 
-let total t =
-  let acc = ref 0.0 in
-  for i = 0 to t.size - 1 do
-    acc := !acc +. t.samples.(i)
-  done;
-  !acc
-
-let mean t = if t.size = 0 then nan else total t /. float_of_int t.size
-
-let fold_extreme op init t =
-  let acc = ref init in
-  for i = 0 to t.size - 1 do
-    acc := op !acc t.samples.(i)
-  done;
-  !acc
-
-let min t = if t.size = 0 then nan else fold_extreme Stdlib.min infinity t
-let max t = if t.size = 0 then nan else fold_extreme Stdlib.max neg_infinity t
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
+let min t = if t.n = 0 then nan else t.mn
+let max t = if t.n = 0 then nan else t.mx
 
 let ensure_sorted t =
   if not t.sorted then begin
@@ -62,25 +102,27 @@ let percentile t p =
 let median t = percentile t 50.0
 
 let stddev t =
-  if t.size < 2 then 0.0
-  else begin
-    let m = mean t in
-    let acc = ref 0.0 in
-    for i = 0 to t.size - 1 do
-      let d = t.samples.(i) -. m in
-      acc := !acc +. (d *. d)
-    done;
-    sqrt (!acc /. float_of_int (t.size - 1))
-  end
+  if t.n < 2 then 0.0
+  else
+    let n = float_of_int t.n in
+    let var = (t.sumsq -. (t.sum *. t.sum /. n)) /. (n -. 1.0) in
+    sqrt (Float.max 0.0 var)
 
 let merge a b =
-  let t = create () in
+  let t = create ~cap:(Stdlib.max a.cap b.cap) () in
   for i = 0 to a.size - 1 do
     add t a.samples.(i)
   done;
   for i = 0 to b.size - 1 do
     add t b.samples.(i)
   done;
+  (* The reservoir above holds both sample sets; the exact moments are
+     the sums of the inputs' exact moments, not of their reservoirs. *)
+  t.n <- a.n + b.n;
+  t.sum <- a.sum +. b.sum;
+  t.sumsq <- a.sumsq +. b.sumsq;
+  t.mn <- Stdlib.min a.mn b.mn;
+  t.mx <- Stdlib.max a.mx b.mx;
   t
 
 let pp_summary ppf t =

@@ -1,9 +1,20 @@
 (** Online collection of scalar samples (latencies, sizes) with summary
-    statistics used by the experiment harness. *)
+    statistics used by the experiment harness.
+
+    Memory is bounded: the collector stores at most [cap] samples
+    (default {!default_cap} = 65536), switching to uniform reservoir
+    sampling (algorithm R, its own deterministic RNG stream) once more
+    observations arrive.  [count], [total], [mean], [min], [max] and
+    [stddev] stay exact via running accumulators; percentiles are exact
+    up to [cap] observations and reservoir estimates beyond. *)
 
 type t
 
-val create : unit -> t
+val default_cap : int
+
+val create : ?cap:int -> unit -> t
+val cap : t -> int
+
 val add : t -> float -> unit
 val count : t -> int
 val total : t -> float
@@ -21,6 +32,8 @@ val median : t -> float
 val stddev : t -> float
 
 val merge : t -> t -> t
-(** New collector holding the samples of both arguments. *)
+(** New collector over both sample sets (cap = max of the inputs');
+    exact statistics are combined exactly, percentiles reflect the
+    merged reservoirs. *)
 
 val pp_summary : Format.formatter -> t -> unit

@@ -111,7 +111,7 @@ let test_enclave_ecall_outputs () =
   let enclave = make_enclave platform ~program:(fun env -> echo_program env) in
   let thread = Resource.create engine ~name:"t" in
   let got = ref [] in
-  Enclave.ecall enclave ~thread ~payload:"hi" ~on_done:(fun outs -> got := outs);
+  Enclave.ecall enclave ~thread ~payload:"hi" ~on_done:(fun outs -> got := outs) ();
   Engine.run engine;
   Alcotest.(check (list string)) "echoed" [ "echo:hi" ] !got
 
@@ -127,7 +127,7 @@ let test_enclave_state_isolated_in_closure () =
   let thread = Resource.create engine ~name:"t" in
   let got = ref [] in
   let call () =
-    Enclave.ecall enclave ~thread ~payload:"" ~on_done:(fun outs -> got := !got @ outs)
+    Enclave.ecall enclave ~thread ~payload:"" ~on_done:(fun outs -> got := !got @ outs) ()
   in
   call ();
   call ();
@@ -143,7 +143,7 @@ let test_enclave_metering () =
   in
   let thread = Resource.create engine ~name:"t" in
   let done_at = ref nan in
-  Enclave.ecall enclave ~thread ~payload:"abcd" ~on_done:(fun _ -> done_at := Engine.now engine);
+  Enclave.ecall enclave ~thread ~payload:"abcd" ~on_done:(fun _ -> done_at := Engine.now engine) ();
   Engine.run engine;
   (* 2 (transition) + 4 (copy-in) + 10 (charge) + 0 (no outputs) *)
   checkf "metered duration" 16.0 !done_at;
@@ -158,7 +158,7 @@ let test_enclave_thread_serializes () =
   let done_at = ref [] in
   for _ = 1 to 3 do
     Enclave.ecall enclave ~thread ~payload:"" ~on_done:(fun _ ->
-        done_at := Engine.now engine :: !done_at)
+        done_at := Engine.now engine :: !done_at) ()
   done;
   Engine.run engine;
   Alcotest.(check (list (float 1e-9))) "serialized on the thread" [ 10.0; 20.0; 30.0 ]
@@ -176,7 +176,7 @@ let test_enclave_crash_and_restart () =
   let thread = Resource.create engine ~name:"t" in
   let got = ref [] in
   let call () =
-    Enclave.ecall enclave ~thread ~payload:"" ~on_done:(fun outs -> got := !got @ outs)
+    Enclave.ecall enclave ~thread ~payload:"" ~on_done:(fun outs -> got := !got @ outs) ()
   in
   call ();
   Engine.run engine;
@@ -198,7 +198,7 @@ let test_enclave_subvert () =
   Enclave.subvert enclave (fun env -> fun _ -> Enclave.emit env "evil");
   checkb "marked subverted" true (Enclave.is_subverted enclave);
   let got = ref [] in
-  Enclave.ecall enclave ~thread ~payload:"hi" ~on_done:(fun outs -> got := outs);
+  Enclave.ecall enclave ~thread ~payload:"hi" ~on_done:(fun outs -> got := outs) ();
   Engine.run engine;
   Alcotest.(check (list string)) "adversarial behavior" [ "evil" ] !got
 
@@ -215,11 +215,11 @@ let test_enclave_seal_env () =
             | Error e -> Enclave.emit env ("error:" ^ e))
   in
   let thread = Resource.create engine ~name:"t" in
-  Enclave.ecall enclave ~thread ~payload:"seal" ~on_done:(fun outs -> out := outs);
+  Enclave.ecall enclave ~thread ~payload:"seal" ~on_done:(fun outs -> out := outs) ();
   Engine.run engine;
   let sealed = List.hd !out in
   checkb "sealed is not plaintext" false (String.equal sealed "secret-state");
-  Enclave.ecall enclave ~thread ~payload:sealed ~on_done:(fun outs -> out := outs);
+  Enclave.ecall enclave ~thread ~payload:sealed ~on_done:(fun outs -> out := outs) ();
   Engine.run engine;
   Alcotest.(check (list string)) "unsealed" [ "recovered:secret-state" ] !out
 
@@ -231,8 +231,8 @@ let test_enclave_counter_scoped () =
   in
   let enclave = make_enclave platform ~program in
   let thread = Resource.create engine ~name:"t" in
-  Enclave.ecall enclave ~thread ~payload:"" ~on_done:(fun o -> out := !out @ o);
-  Enclave.ecall enclave ~thread ~payload:"" ~on_done:(fun o -> out := !out @ o);
+  Enclave.ecall enclave ~thread ~payload:"" ~on_done:(fun o -> out := !out @ o) ();
+  Enclave.ecall enclave ~thread ~payload:"" ~on_done:(fun o -> out := !out @ o) ();
   Engine.run engine;
   Alcotest.(check (list string)) "monotonic" [ "1"; "2" ] !out
 
@@ -243,7 +243,7 @@ let test_enclave_quote_verifies () =
     make_enclave platform ~program:(fun env -> fun _ -> Enclave.emit env (Enclave.quote env))
   in
   let thread = Resource.create engine ~name:"t" in
-  Enclave.ecall enclave ~thread ~payload:"" ~on_done:(fun o -> out := o);
+  Enclave.ecall enclave ~thread ~payload:"" ~on_done:(fun o -> out := o) ();
   Engine.run engine;
   match Attestation.decode (List.hd !out) with
   | Error e -> Alcotest.fail e
