@@ -74,6 +74,11 @@ let run_ablation () =
   Experiments.print_batch_ablation points;
   Experiments.json_of_batch_ablation points
 
+let run_hotpath () =
+  let points = Experiments.hotpath () in
+  Experiments.print_hotpath points;
+  Experiments.json_of_hotpath points
+
 let run_ceilings () =
   let r = Experiments.ceilings () in
   Experiments.print_ceilings r;
@@ -182,6 +187,7 @@ let artifacts =
     ("fig4", fun ~full:_ () -> run_fig4 ());
     ("simmode", fun ~full:_ () -> run_simmode ());
     ("ablation", fun ~full:_ () -> run_ablation ());
+    ("hotpath", fun ~full:_ () -> run_hotpath ());
     ("ceilings", fun ~full:_ () -> run_ceilings ());
     ("micro", fun ~full:_ () -> run_micro ()) ]
 
@@ -210,6 +216,16 @@ let write_json ~path ~metrics results =
         Json.to_channel oc doc;
         output_char oc '\n');
     Printf.printf "\nwrote %s\n%!" path
+
+let () =
+  (* The simulator is deterministic, so dev-profile numbers are internally
+     consistent — but wall-clock-free cost accounting still shifts with
+     inlining, and CI gates on release numbers.  Make mixing them loud. *)
+  if not (String.equal Build_profile.profile "release") then
+    Printf.eprintf
+      "WARNING: built with dune profile %S — benchmark numbers are only comparable \
+       (and CI-gated against BENCH_BASELINE.json) when built with --profile release.\n%!"
+      Build_profile.profile
 
 let () =
   let open Cmdliner in

@@ -1,0 +1,103 @@
+(* CI perf-regression gate.
+
+   Compares a fresh `bench hotpath --json` run against the checked-in
+   BENCH_BASELINE.json: every hotpath point in the baseline must still
+   exist, its throughput must not drop more than the tolerance below the
+   baseline, and its per-request ecall cost must not rise more than the
+   tolerance above it.  Improvements always pass (the baseline is a floor,
+   not a pin); refreshing the floor after a deliberate win means
+   committing the new JSON as the baseline.
+
+     bench_check --baseline BENCH_BASELINE.json --current out.json [--tolerance 0.10] *)
+
+module Json = Splitbft_obs.Json
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline ("bench_check: " ^ s); exit 2) fmt
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> die "cannot read %s: %s" path msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_doc path =
+  match Json.parse (read_file path) with
+  | Ok doc -> doc
+  | Error e -> die "%s: %s" path e
+
+let number = function
+  | Some (Json.Int n) -> float_of_int n
+  | Some (Json.Float f) -> f
+  | Some _ | None -> nan
+
+let str = function Some (Json.Str s) -> Some s | Some _ | None -> None
+
+let hotpath_points path doc =
+  match Option.bind (Json.member "artifacts" doc) (Json.member "hotpath") with
+  | Some (Json.List points) -> points
+  | Some _ | None -> die "%s: no artifacts.hotpath array" path
+
+type point = { label : string; tput : float; ecall_us : float }
+
+let point_of_json path j =
+  match str (Json.member "label" j) with
+  | None -> die "%s: hotpath point without a label" path
+  | Some label ->
+    let tput = number (Json.member "throughput_ops" j) in
+    let ecall_us = number (Json.member "ecall_us_per_request" j) in
+    if Float.is_nan tput || Float.is_nan ecall_us then
+      die "%s: point %s lacks throughput_ops/ecall_us_per_request" path label;
+    { label; tput; ecall_us }
+
+let pct base v = (v -. base) /. base *. 100.0
+
+let () =
+  let baseline = ref "BENCH_BASELINE.json" in
+  let current = ref "" in
+  let tolerance = ref 0.10 in
+  let spec =
+    [ ("--baseline", Arg.Set_string baseline, "PATH checked-in baseline JSON");
+      ("--current", Arg.Set_string current, "PATH freshly measured bench JSON");
+      ("--tolerance", Arg.Set_float tolerance, "FRAC allowed relative regression (default 0.10)") ]
+  in
+  Arg.parse spec (fun a -> die "unexpected argument %s" a) "bench_check [options]";
+  if !current = "" then die "--current is required";
+  if !tolerance < 0.0 then die "--tolerance must be non-negative";
+  let base_points =
+    List.map (point_of_json !baseline) (hotpath_points !baseline (parse_doc !baseline))
+  in
+  let cur_points =
+    List.map (point_of_json !current) (hotpath_points !current (parse_doc !current))
+  in
+  let failures = ref 0 in
+  Printf.printf "%-24s %14s %14s %8s %14s %14s %8s  %s\n" "point" "base ops/s"
+    "cur ops/s" "Δ%" "base ecall µs" "cur ecall µs" "Δ%" "status";
+  List.iter
+    (fun b ->
+      match List.find_opt (fun c -> c.label = b.label) cur_points with
+      | None ->
+        incr failures;
+        Printf.printf "%-24s %14.0f %14s %8s %14.2f %14s %8s  MISSING\n" b.label b.tput
+          "-" "-" b.ecall_us "-" "-"
+      | Some c ->
+        let tput_bad = c.tput < b.tput *. (1.0 -. !tolerance) in
+        let ecall_bad = c.ecall_us > b.ecall_us *. (1.0 +. !tolerance) in
+        if tput_bad || ecall_bad then incr failures;
+        Printf.printf "%-24s %14.0f %14.0f %+7.1f%% %14.2f %14.2f %+7.1f%%  %s\n" b.label
+          b.tput c.tput (pct b.tput c.tput) b.ecall_us c.ecall_us
+          (pct b.ecall_us c.ecall_us)
+          (if tput_bad && ecall_bad then "REGRESSION (throughput, ecall cost)"
+           else if tput_bad then "REGRESSION (throughput)"
+           else if ecall_bad then "REGRESSION (ecall cost)"
+           else "ok"))
+    base_points;
+  if !failures > 0 then begin
+    Printf.printf "\n%d point(s) regressed beyond ±%.0f%% of %s\n" !failures
+      (100.0 *. !tolerance) !baseline;
+    exit 1
+  end
+  else
+    Printf.printf "\nall %d point(s) within ±%.0f%% of %s\n" (List.length base_points)
+      (100.0 *. !tolerance) !baseline

@@ -3,6 +3,7 @@ type t = { mutable buf : Bytes.t; mutable len : int }
 let create ?(initial_size = 64) () = { buf = Bytes.create (max 8 initial_size); len = 0 }
 let contents t = Bytes.sub_string t.buf 0 t.len
 let length t = t.len
+let reset t = t.len <- 0
 
 let ensure t extra =
   let needed = t.len + extra in

@@ -10,6 +10,11 @@ type t
 val create : ?initial_size:int -> unit -> t
 val contents : t -> string
 val length : t -> int
+
+(** [reset t] empties the writer while keeping its grown buffer, so one
+    writer can serve as a reusable encode arena: steady-state encodes stop
+    paying the grow-and-blit doubling of a fresh buffer per message. *)
+val reset : t -> unit
 val u8 : t -> int -> unit
 val u16 : t -> int -> unit
 val u32 : t -> int -> unit

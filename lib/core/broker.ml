@@ -9,6 +9,8 @@ module Message = Splitbft_types.Message
 module Registry = Splitbft_obs.Registry
 module Tracer = Splitbft_obs.Tracer
 module Trace_ctx = Splitbft_obs.Trace_ctx
+module W = Splitbft_codec.Writer
+module Lru = Splitbft_util.Lru
 
 type fault =
   | Env_honest
@@ -45,6 +47,17 @@ type t = {
       (* trace context of each queued/awaited request, so the context can
          ride the In_batch ecall even though batching decouples it from
          the arrival that carried it *)
+  scratch : W.t;
+      (* reusable encode arena for ecall payloads and outgoing messages *)
+  replied : string Lru.t;
+      (* plain reply encodings by client request, so a retransmission of an
+         answered request is served from here — what any untrusted relay
+         could do, since replies are end-to-end authenticated *)
+  inflight : (Ids.client_id * int64, unit) Hashtbl.t;
+      (* batched but not yet replied: a retransmission of one of these
+         would re-order the request, so it is dropped (suspicion timers
+         still run; the set is wiped on view entry so a new primary can
+         re-batch) *)
   mutable recovery_ctx : Trace_ctx.t option;
   mutable recovery_span : int;  (* open span covering recovery, or -1 *)
   ecall_counter_of : Ids.compartment -> Registry.counter;
@@ -56,7 +69,11 @@ type t = {
   g_recovery_us : Registry.gauge;
   c_state_bytes_out : Registry.counter;
   c_state_bytes_in : Registry.counter;
+  c_retx_suppressed : Registry.counter;
+  c_retx_replayed : Registry.counter;
 }
+
+let retx_key client ts = Printf.sprintf "%d:%Ld" client ts
 
 let primary t = Ids.primary_of_view ~n:t.cfg.n t.view
 let is_primary t = primary t = t.cfg.id
@@ -133,7 +150,20 @@ let forced_root t ~name ~cat =
 
 (* ----- ecalls ----- *)
 
-let rec ecall t ?ctx compartment (input : Wire.input) =
+(* Outgoing message encode through the same arena as ecall payloads;
+   byte-identical to [Message.encode_traced]. *)
+let encode_msg t ?ctx msg =
+  W.reset t.scratch;
+  Message.encode_into t.scratch msg;
+  (match ctx with Some c -> W.raw t.scratch (Trace_ctx.to_trailer c) | None -> ());
+  W.contents t.scratch
+
+(* [body] is the batch handed over in an [In_batch] ecall: the resulting
+   Preprepare broadcast may arrive in summary (digest-signed) form with
+   its body elided, and the re-attachment must use exactly the batch that
+   produced it — riding the ecall's own completion closure makes that
+   pairing immune to flush/completion interleaving. *)
+let rec ecall t ?ctx ?body compartment (input : Wire.input) =
   let starved = match t.fault with Env_starve c -> c = compartment | _ -> false in
   if (not t.crashed) && not starved then begin
     let epoch = t.epoch in
@@ -141,11 +171,15 @@ let rec ecall t ?ctx compartment (input : Wire.input) =
       if t.epoch = epoch && not t.crashed then begin
         Registry.incr (t.ecall_counter_of compartment);
         let enclave = t.enclave_of compartment in
+        (* The payload is built in the broker's arena and handed over as
+           the enclave's copy-in buffer — no per-ecall buffer growth. *)
+        W.reset t.scratch;
+        Wire.encode_input_into ?ctx t.scratch input;
         Enclave.ecall enclave
           ~thread:(t.thread_of compartment)
           ?ctx
-          ~payload:(Wire.encode_input ?ctx input)
-          ~on_done:(fun outputs -> on_outputs t epoch compartment outputs)
+          ~payload:(W.contents t.scratch)
+          ~on_done:(fun outputs -> on_outputs t epoch compartment ?body outputs)
           ()
       end
     in
@@ -157,7 +191,7 @@ let rec ecall t ?ctx compartment (input : Wire.input) =
 
 (* ----- enclave outputs ----- *)
 
-and on_outputs t epoch origin outputs =
+and on_outputs t epoch origin ?body outputs =
   (* [epoch] pins the incarnation that issued the ecall: a completion that
      crosses a crash (or a crash + restart) must not leak into the next
      incarnation as a ghost callback. *)
@@ -172,24 +206,42 @@ and on_outputs t epoch origin outputs =
               | Error _ -> ()
               | Ok (output, ctx) ->
                 let sp = loop_span t ctx ~name:"host:tx" ~begun ~cost in
-                apply_output t origin ?ctx output;
+                apply_output t origin ?ctx ?body output;
                 finish_span t sp))
       outputs
 
-and apply_output t origin ?ctx (output : Wire.output) =
+and apply_output t origin ?ctx ?body (output : Wire.output) =
   match output with
   | Wire.Out_send (dst, msg) ->
     (match msg with
     | Message.Reply rp -> request_replied t rp
     | _ -> ());
-    let payload = Message.encode_traced ?ctx msg in
+    let payload = encode_msg t ?ctx msg in
     (match msg with
     | Message.State_reply _ | Message.State_request _ ->
       Registry.add t.c_state_bytes_out (String.length payload)
     | _ -> ());
     Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst payload
   | Wire.Out_broadcast msg ->
-    let payload = Message.encode_traced ?ctx msg in
+    let msg =
+      (* Re-attach the batch body the primary's Preparation elided: the
+         broker copied this exact batch *in* with the very ecall whose
+         outputs are being applied, so the body never needed to be copied
+         back out of the enclave.  The signature covers the digest form,
+         so the reconstructed full Preprepare verifies at every receiver;
+         a broker that attached the wrong body could only make the
+         proposal fail verification, never change what is ordered. *)
+      match (msg, body) with
+      | Message.Preprepare_digest pd, Some batch ->
+        Message.Preprepare
+          { Message.view = pd.pd_view;
+            seq = pd.pd_seq;
+            batch;
+            sender = pd.pd_sender;
+            pp_sig = pd.pd_sig }
+      | _ -> msg
+    in
+    let payload = encode_msg t ?ctx msg in
     (match msg with
     | Message.State_reply _ | Message.State_request _ ->
       Registry.add t.c_state_bytes_out ((t.cfg.n - 1) * String.length payload)
@@ -208,6 +260,10 @@ and apply_output t origin ?ctx (output : Wire.output) =
   | Wire.Out_entered_view v ->
     if v > t.view then begin
       t.view <- v;
+      (* Batches in flight under the deposed primary may never commit;
+         drop the suppression state so retransmissions reach the new
+         primary's queue. *)
+      Hashtbl.reset t.inflight;
       (* Give the new primary a full timeout before suspecting it too. *)
       if Hashtbl.length t.awaiting > 0 then Timer.restart t.suspect_timer;
       flush_batch t
@@ -230,6 +286,13 @@ and apply_output t origin ?ctx (output : Wire.output) =
 and request_replied t (rp : Message.reply) =
   Hashtbl.remove t.awaiting (rp.client, rp.timestamp);
   Hashtbl.remove t.req_ctx (rp.client, rp.timestamp);
+  Hashtbl.remove t.inflight (rp.client, rp.timestamp);
+  if Config.hotpath t.cfg then
+    (* Plain encoding, not the traced one: a replay must not carry the
+       original request's (long-finished) trace context. *)
+    Lru.add t.replied
+      (retx_key rp.client rp.timestamp)
+      (Message.encode (Message.Reply rp));
   (* Progress: re-arm the timer for the remaining requests so a loaded but
      progressing system never suspects its primary. *)
   if Hashtbl.length t.awaiting = 0 then Timer.stop t.suspect_timer
@@ -249,6 +312,11 @@ and flush_batch t =
       end
     in
     let batch = grab take [] in
+    if Config.hotpath t.cfg then
+      List.iter
+        (fun (r : Message.request) ->
+          Hashtbl.replace t.inflight (r.client, r.timestamp) ())
+        batch;
     Registry.incr t.c_batches;
     Registry.observe t.h_batch_occupancy (float_of_int take);
     (* The batch rides under the first sampled request's trace; the other
@@ -259,25 +327,43 @@ and flush_batch t =
           Hashtbl.find_opt t.req_ctx (r.client, r.timestamp))
         batch
     in
-    ecall t ?ctx Ids.Preparation (Wire.In_batch batch);
+    ecall t ?ctx ~body:batch Ids.Preparation (Wire.In_batch batch);
     if Queue.length t.pending >= t.cfg.batch_size then flush_batch t
     else if not (Queue.is_empty t.pending) then Timer.start t.batch_timer
     else Timer.stop t.batch_timer
   end
 
 let on_request t ?ctx (r : Message.request) =
-  (match ctx with
-  | Some c -> Hashtbl.replace t.req_ctx (r.client, r.timestamp) c
-  | None -> ());
-  Hashtbl.replace t.awaiting (r.client, r.timestamp) ();
-  Timer.start t.suspect_timer;
-  if is_primary t then begin
-    let key = (r.client, r.timestamp) in
-    if not (Hashtbl.mem t.queued key) then begin
-      Hashtbl.replace t.queued key ();
-      Queue.push r t.pending;
-      if Queue.length t.pending >= t.cfg.batch_size then flush_batch t
-      else Timer.start t.batch_timer
+  let key = (r.client, r.timestamp) in
+  let replayed =
+    (* Early reject before any enclave transition is charged: an
+       already-answered request is served from the reply cache. *)
+    Config.hotpath t.cfg
+    &&
+    match Lru.find t.replied (retx_key r.client r.timestamp) with
+    | Some payload ->
+      Registry.incr t.c_retx_replayed;
+      Network.send t.net ~src:(Addr.replica t.cfg.id) ~dst:(Addr.client r.client) payload;
+      true
+    | None -> false
+  in
+  if not replayed then begin
+    (match ctx with
+    | Some c -> Hashtbl.replace t.req_ctx key c
+    | None -> ());
+    Hashtbl.replace t.awaiting key ();
+    Timer.start t.suspect_timer;
+    if is_primary t then begin
+      if Config.hotpath t.cfg && Hashtbl.mem t.inflight key then
+        (* Batched and awaiting a reply: re-queueing would only re-order
+           it.  The suspicion timer above still guards liveness. *)
+        Registry.incr t.c_retx_suppressed
+      else if not (Hashtbl.mem t.queued key) then begin
+        Hashtbl.replace t.queued key ();
+        Queue.push r t.pending;
+        if Queue.length t.pending >= t.cfg.batch_size then flush_batch t
+        else Timer.start t.batch_timer
+      end
     end
   end
 
@@ -402,6 +488,9 @@ let create engine net (cfg : Config.t) ~enclave_of =
         recovery_started_at = 0.0;
         recovered_count = 0;
         req_ctx = Hashtbl.create 64;
+        scratch = W.create ~initial_size:1024 ();
+        replied = Lru.create ~capacity:(if Config.hotpath cfg then 4096 else 0);
+        inflight = Hashtbl.create 64;
         recovery_ctx = None;
         recovery_span = -1;
         ecall_counter_of = (fun c -> List.assoc c ecall_counters);
@@ -419,7 +508,11 @@ let create engine net (cfg : Config.t) ~enclave_of =
         c_state_bytes_out =
           Registry.counter obs ~labels:[ replica_label ] "broker.state_transfer_bytes_out";
         c_state_bytes_in =
-          Registry.counter obs ~labels:[ replica_label ] "broker.state_transfer_bytes_in" }
+          Registry.counter obs ~labels:[ replica_label ] "broker.state_transfer_bytes_in";
+        c_retx_suppressed =
+          Registry.counter obs ~labels:[ replica_label ] "broker.retx_suppressed";
+        c_retx_replayed =
+          Registry.counter obs ~labels:[ replica_label ] "broker.retx_replayed" }
   in
   let t = Lazy.force t in
   Network.register net (Addr.replica cfg.id) (fun ~src payload -> on_payload t ~src payload);
@@ -440,6 +533,11 @@ let crash t =
   Hashtbl.reset t.queued;
   Hashtbl.reset t.awaiting;
   Hashtbl.reset t.req_ctx;
+  Hashtbl.reset t.inflight;
+  (* The reply cache does not survive the crash either: replies minted by
+     a pre-restart enclave incarnation may be under retired session keys,
+     and replaying those forever would mute this replica for the client. *)
+  Lru.clear t.replied;
   t.recovering <- false;
   t.recovery_span <- -1;
   t.recovery_ctx <- None;

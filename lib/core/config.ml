@@ -17,6 +17,7 @@ type t = {
   suspect_timeout_us : float;
   viewchange_timeout_us : float;
   recovery_retry_us : float;
+  verify_cache_capacity : int;
 }
 
 let default ~n ~id =
@@ -30,8 +31,10 @@ let default ~n ~id =
     watermark_window = 1024;
     suspect_timeout_us = 500_000.0;
     viewchange_timeout_us = 1_000_000.0;
-    recovery_retry_us = 150_000.0 }
+    recovery_retry_us = 150_000.0;
+    verify_cache_capacity = 1024 }
 
+let hotpath t = t.verify_cache_capacity > 0
 let f t = Ids.f_of_n t.n
 let quorum t = Ids.quorum ~n:t.n
 let primary_of_view t view = Ids.primary_of_view ~n:t.n view

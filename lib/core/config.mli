@@ -26,9 +26,18 @@ type t = {
       (** while recovering after a restart, the broker re-prompts the
           Execution compartment at this period so a state-request round
           lost to in-flight message drop does not stall catch-up *)
+  verify_cache_capacity : int;
+      (** bound (entries) of each enclave's verified-digest cache; [0]
+          disables the whole hot-path optimization layer — lazy
+          verification ordering, digest memoization and the broker's
+          retransmit early-reject — reproducing the pre-cache cost
+          accounting exactly (the [bench hotpath] ablation's off arm) *)
 }
 
 val default : n:int -> id:Ids.replica_id -> t
+
+val hotpath : t -> bool
+(** [verify_cache_capacity > 0] — the hot-path layer is enabled. *)
 
 val f : t -> int
 val quorum : t -> int

@@ -81,27 +81,55 @@ let promiscuous_commit env st (pd : Message.preprepare_digest) =
   let c = { c with c_sig = Common.sign_with env (Message.commit_signing_bytes c) } in
   Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Commit c)))
 
+let proposal_plausible st (pd : Message.preprepare_digest) =
+  pd.pd_view = st.view
+  && pd.pd_sender = Config.primary_of_view st.cfg st.view
+  && in_window st pd.pd_seq
+  && not (Log.mem st.proposals pd.pd_seq)
+
 let on_proposal env st ~byz (pd : Message.preprepare_digest) =
   (match byz with
   | Conf_promiscuous -> promiscuous_commit env st pd
   | Conf_honest -> ());
-  Common.charge_verify env 1;
-  if
-    pd.pd_view = st.view
-    && pd.pd_sender = Config.primary_of_view st.cfg st.view
-    && in_window st pd.pd_seq
-    && (not (Log.mem st.proposals pd.pd_seq))
-    && Validation.verify_preprepare_digest st.prep_lookup pd
-  then begin
-    Log.set st.proposals pd.pd_seq { pd; committed = false };
-    try_commit env st pd.pd_seq
+  if Config.hotpath st.cfg then begin
+    if proposal_plausible st pd && Common.verify_preprepare_digest_c env st.prep_lookup pd
+    then begin
+      Log.set st.proposals pd.pd_seq { pd; committed = false };
+      try_commit env st pd.pd_seq
+    end
+  end
+  else begin
+    Common.charge_verify env 1;
+    if proposal_plausible st pd && Validation.verify_preprepare_digest st.prep_lookup pd
+    then begin
+      Log.set st.proposals pd.pd_seq { pd; committed = false };
+      try_commit env st pd.pd_seq
+    end
   end
 
 let on_prepare env st (p : Message.prepare) =
-  Common.charge_verify env 1;
-  if p.view = st.view && in_window st p.seq && Validation.verify_prepare st.prep_lookup p
-  then begin
-    if Votes.add st.prepares ~key:p.seq ~sender:p.sender p then try_commit env st p.seq
+  if Config.hotpath st.cfg then begin
+    (* Already-committed slots and duplicate senders cannot change the
+       outcome; drop them before the signature is even checked. *)
+    let committed =
+      match Log.find st.proposals p.seq with Some s -> s.committed | None -> false
+    in
+    if
+      p.view = st.view
+      && in_window st p.seq
+      && (not committed)
+      && (not (Votes.mem st.prepares ~key:p.seq ~sender:p.sender))
+      && Common.verify_prepare_c env st.prep_lookup p
+    then begin
+      if Votes.add st.prepares ~key:p.seq ~sender:p.sender p then try_commit env st p.seq
+    end
+  end
+  else begin
+    Common.charge_verify env 1;
+    if p.view = st.view && in_window st p.seq && Validation.verify_prepare st.prep_lookup p
+    then begin
+      if Votes.add st.prepares ~key:p.seq ~sender:p.sender p then try_commit env st p.seq
+    end
   end
 
 let gc st stable =
@@ -203,8 +231,9 @@ let on_suspect env st suspected_view =
 let on_newview env st (nv : Message.newview) =
   if
     nv.nv_view >= st.view
-    && Common.newview_shallow_ok env ~f:(Config.f st.cfg) ~n:st.cfg.n
-         ~prep_lookup:st.prep_lookup ~conf_lookup:st.conf_lookup nv
+    && Common.newview_shallow_ok env ~hotpath:(Config.hotpath st.cfg)
+         ~f:(Config.f st.cfg) ~n:st.cfg.n ~prep_lookup:st.prep_lookup
+         ~conf_lookup:st.conf_lookup nv
   then begin
     ignore (Ckpt.absorb_newview st.ckpt nv);
     st.view <- nv.nv_view;
@@ -236,7 +265,8 @@ let handle env st ~byz (input : Wire.input) =
       | Message.Prepare p -> on_prepare env st p
       | Message.Newview nv -> on_newview env st nv
       | Message.Checkpoint ck ->
-        Common.on_checkpoint env ~exec_lookup:st.exec_lookup st.ckpt ck
+        Common.on_checkpoint env ~hotpath:(Config.hotpath st.cfg)
+          ~exec_lookup:st.exec_lookup st.ckpt ck
           ~on_stable:(fun stable ->
             gc st stable;
             seal_checkpoint_state env st)

@@ -118,39 +118,74 @@ let on_batch env st ~byz reqs =
           sign_pp env { Message.view = st.view; seq; batch; sender = st.cfg.id; pp_sig = "" }
         in
         Log.set st.preprepares seq pp;
-        Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Preprepare pp)))
+        let wire =
+          (* Body elision: the signature covers the digest form (see
+             [Message.signing_bytes_of_proposal]), so when freshness
+             filtering dropped nothing the broker — which copied this
+             exact batch in one ecall ago — re-attaches the body outside
+             the boundary instead of paying to copy it back out.
+             Receivers verify the signed digest against the re-attached
+             body, so a confused or malicious broker can only make the
+             proposal fail verification, never change what is ordered. *)
+          if Config.hotpath st.cfg && List.length batch = List.length reqs then
+            Message.Preprepare_digest (Message.summarize pp)
+          else Message.Preprepare pp
+        in
+        Enclave.emit env (Wire.encode_output (Wire.Out_broadcast wire))
     end
   end
 
 (* Handler (2): PrePrepare from the primary — backups answer with a
-   Prepare. *)
+   Prepare.  Authentication of the batched client requests is charged; an
+   individual corrupted operation is still ordered and later no-oped by
+   Execution (§4), so it does not invalidate the proposal. *)
+let accept_preprepare env st (pp : Message.preprepare) ~digest =
+  Log.set st.preprepares pp.seq pp;
+  let p = { Message.view = st.view; seq = pp.seq; digest; sender = st.cfg.id; p_sig = "" } in
+  let p = { p with p_sig = Common.sign_with env (Message.prepare_signing_bytes p) } in
+  ignore (Votes.add st.prepares ~key:pp.seq ~sender:st.cfg.id p);
+  Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Prepare p)))
+
+let preprepare_plausible st (pp : Message.preprepare) =
+  pp.view = st.view
+  && pp.sender = Config.primary_of_view st.cfg st.view
+  && pp.sender <> st.cfg.id
+  && in_window st pp.seq
+  && not (Log.mem st.preprepares pp.seq)
+
 let on_preprepare env st (pp : Message.preprepare) =
-  Common.charge_verify env 1;
-  charge_client_auth env st (List.length pp.batch);
-  if
-    pp.view = st.view
-    && pp.sender = Config.primary_of_view st.cfg st.view
-    && pp.sender <> st.cfg.id
-    && in_window st pp.seq
-    && (not (Log.mem st.preprepares pp.seq))
-    && Validation.verify_preprepare st.prep_lookup pp
-  then begin
-    (* Authentication of the batched client requests is charged above; an
-       individual corrupted operation is still ordered and later no-oped by
-       Execution (§4), so it does not invalidate the proposal. *)
-    Log.set st.preprepares pp.seq pp;
-    let digest = Message.digest_of_batch pp.batch in
-    let p = { Message.view = st.view; seq = pp.seq; digest; sender = st.cfg.id; p_sig = "" } in
-    let p = { p with p_sig = Common.sign_with env (Message.prepare_signing_bytes p) } in
-    ignore (Votes.add st.prepares ~key:pp.seq ~sender:st.cfg.id p);
-    Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Prepare p)))
+  if Config.hotpath st.cfg then begin
+    (* Cheap structural checks before any crypto is charged; the batch is
+       hashed once and the digest reused for signature check and Prepare. *)
+    if preprepare_plausible st pp then begin
+      charge_client_auth env st (List.length pp.batch);
+      let digest = Common.digest_of_batch_c env pp.batch in
+      if Common.verify_preprepare_c env st.prep_lookup pp ~digest then
+        accept_preprepare env st pp ~digest
+    end
+  end
+  else begin
+    Common.charge_verify env 1;
+    charge_client_auth env st (List.length pp.batch);
+    if preprepare_plausible st pp && Validation.verify_preprepare st.prep_lookup pp
+    then accept_preprepare env st pp ~digest:(Message.digest_of_batch pp.batch)
   end
 
 (* Prepares are duplicated into this compartment's input log (P3). *)
 let on_prepare env st (p : Message.prepare) =
-  Common.charge_verify env 1;
-  if p.view = st.view && in_window st p.seq && Validation.verify_prepare st.prep_lookup p
-  then ignore (Votes.add st.prepares ~key:p.seq ~sender:p.sender p)
+  if Config.hotpath st.cfg then begin
+    if
+      p.view = st.view
+      && in_window st p.seq
+      && (not (Votes.mem st.prepares ~key:p.seq ~sender:p.sender))
+      && Common.verify_prepare_c env st.prep_lookup p
+    then ignore (Votes.add st.prepares ~key:p.seq ~sender:p.sender p)
+  end
+  else begin
+    Common.charge_verify env 1;
+    if p.view = st.view && in_window st p.seq && Validation.verify_prepare st.prep_lookup p
+    then ignore (Votes.add st.prepares ~key:p.seq ~sender:p.sender p)
+  end
 
 let gc st stable =
   Log.advance_low_mark st.preprepares stable;
@@ -284,32 +319,56 @@ let maybe_send_newview env st target =
   end
 
 let on_viewchange env st (vc : Message.viewchange) =
-  Common.charge_verify env (Proofs.viewchange_sig_count vc);
-  if
-    vc.vc_new_view >= st.view
-    && Validation.verify_viewchange_deep ~f:(Config.f st.cfg) ~vc_lookup:st.conf_lookup
-         ~ckpt_lookup:st.exec_lookup ~proof_lookup:st.prep_lookup vc
-  then begin
+  let deep_ok =
+    if Config.hotpath st.cfg then
+      vc.vc_new_view >= st.view
+      && Common.verify_viewchange_deep_c env ~f:(Config.f st.cfg)
+           ~vc_lookup:st.conf_lookup ~ckpt_lookup:st.exec_lookup
+           ~proof_lookup:st.prep_lookup vc
+    else begin
+      Common.charge_verify env (Proofs.viewchange_sig_count vc);
+      vc.vc_new_view >= st.view
+      && Validation.verify_viewchange_deep ~f:(Config.f st.cfg) ~vc_lookup:st.conf_lookup
+           ~ckpt_lookup:st.exec_lookup ~proof_lookup:st.prep_lookup vc
+    end
+  in
+  if deep_ok then begin
     if Votes.add st.viewchanges ~key:vc.vc_new_view ~sender:vc.vc_sender vc then
       maybe_send_newview env st vc.vc_new_view
   end
 
 (* Handler (7): full NewView validation — including recomputing the
-   re-issued PrePrepares, the logic the paper notes is repeated here. *)
+   re-issued PrePrepares, the logic the paper notes is repeated here.  On
+   the hot path the deep re-check of each embedded ViewChange resolves
+   through the verified-digest cache: a quorum already deep-verified on
+   individual arrival costs one cache lookup per ViewChange. *)
 let on_newview env st (nv : Message.newview) =
-  Common.charge_verify env (Proofs.newview_sig_count nv);
   let f = Config.f st.cfg in
-  if
-    nv.nv_view >= st.view
-    && nv.nv_sender = Config.primary_of_view st.cfg nv.nv_view
-    && nv.nv_sender <> st.cfg.id
-    && Validation.verify_newview st.prep_lookup nv
-    && List.length nv.nv_viewchanges >= Config.quorum st.cfg
-    && List.for_all
-         (Validation.verify_viewchange_deep ~f ~vc_lookup:st.conf_lookup
-            ~ckpt_lookup:st.exec_lookup ~proof_lookup:st.prep_lookup)
-         nv.nv_viewchanges
-  then begin
+  let valid =
+    if Config.hotpath st.cfg then
+      nv.nv_view >= st.view
+      && nv.nv_sender = Config.primary_of_view st.cfg nv.nv_view
+      && nv.nv_sender <> st.cfg.id
+      && List.length nv.nv_viewchanges >= Config.quorum st.cfg
+      && Common.verify_newview_c env st.prep_lookup nv
+      && List.for_all
+           (Common.verify_viewchange_deep_c env ~f ~vc_lookup:st.conf_lookup
+              ~ckpt_lookup:st.exec_lookup ~proof_lookup:st.prep_lookup)
+           nv.nv_viewchanges
+    else begin
+      Common.charge_verify env (Proofs.newview_sig_count nv);
+      nv.nv_view >= st.view
+      && nv.nv_sender = Config.primary_of_view st.cfg nv.nv_view
+      && nv.nv_sender <> st.cfg.id
+      && Validation.verify_newview st.prep_lookup nv
+      && List.length nv.nv_viewchanges >= Config.quorum st.cfg
+      && List.for_all
+           (Validation.verify_viewchange_deep ~f ~vc_lookup:st.conf_lookup
+              ~ckpt_lookup:st.exec_lookup ~proof_lookup:st.prep_lookup)
+           nv.nv_viewchanges
+    end
+  in
+  if valid then begin
     let _min_s, max_s, expected =
       Newview_logic.compute ~view:nv.nv_view ~sender:nv.nv_sender nv.nv_viewchanges
     in
@@ -381,7 +440,8 @@ let handle env st ~byz (input : Wire.input) =
       | Message.Viewchange vc -> on_viewchange env st vc
       | Message.Newview nv -> on_newview env st nv
       | Message.Checkpoint ck ->
-        Common.on_checkpoint env ~exec_lookup:st.exec_lookup st.ckpt ck
+        Common.on_checkpoint env ~hotpath:(Config.hotpath st.cfg)
+          ~exec_lookup:st.exec_lookup st.ckpt ck
           ~on_stable:(fun stable ->
             gc st stable;
             seal_checkpoint_state env st)

@@ -18,27 +18,30 @@ type output =
   | Out_alert of string
   | Out_recovered
 
-let encode_input_plain input =
-  W.to_string
-    (fun w input ->
-      match input with
-      | In_net msg ->
-        W.u8 w 1;
-        W.nested w Message.encode_into msg
-      | In_batch reqs ->
-        W.u8 w 2;
-        W.list w (fun w r -> W.nested w Message.encode_request_into r) reqs
-      | In_suspect view ->
-        W.u8 w 3;
-        W.varint w view
-      | In_recover blob ->
-        W.u8 w 4;
-        (match blob with
-        | None -> W.u8 w 0
-        | Some b ->
-          W.u8 w 1;
-          W.bytes w b))
-    input
+let input_into w input =
+  match input with
+  | In_net msg ->
+    W.u8 w 1;
+    W.nested w Message.encode_into msg
+  | In_batch reqs ->
+    W.u8 w 2;
+    W.list w (fun w r -> W.nested w Message.encode_request_into r) reqs
+  | In_suspect view ->
+    W.u8 w 3;
+    W.varint w view
+  | In_recover blob ->
+    W.u8 w 4;
+    (match blob with
+    | None -> W.u8 w 0
+    | Some b ->
+      W.u8 w 1;
+      W.bytes w b)
+
+let encode_input_plain input = W.to_string input_into input
+
+let encode_input_into ?ctx w input =
+  input_into w input;
+  match ctx with Some c -> W.raw w (Trace_ctx.to_trailer c) | None -> ()
 
 let decode_nested_message r =
   match Message.decode (R.bytes r) with

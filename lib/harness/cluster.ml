@@ -22,6 +22,7 @@ type params = {
   suspect_timeout_us : float;
   cost : Cost_model.t;
   threading : Sconfig.threading;
+  verify_cache : bool;
   net : Network.config;
   seed : int64;
 }
@@ -41,6 +42,7 @@ let default_params ?n protocol =
     suspect_timeout_us = 500_000.0;
     cost = Cost_model.default;
     threading = Sconfig.Per_enclave;
+    verify_cache = true;
     net = Network.default_config;
     seed = 1L }
 
@@ -107,7 +109,8 @@ let create ?(splitbft_byz = fun (_ : int) -> honest_enclaves) ?tracer params =
               batch_size = params.batch_size;
               batch_timeout_us = params.batch_timeout_us;
               checkpoint_interval = params.checkpoint_interval;
-              suspect_timeout_us = params.suspect_timeout_us }
+              suspect_timeout_us = params.suspect_timeout_us;
+              verify_cache_capacity = (if params.verify_cache then 1024 else 0) }
           in
           let byz = splitbft_byz i in
           Node_splitbft

@@ -18,6 +18,11 @@ type params = {
   suspect_timeout_us : float;
   cost : Splitbft_tee.Cost_model.t;
   threading : Splitbft_core.Config.threading;  (** SplitBFT only *)
+  verify_cache : bool;
+      (** SplitBFT only: enable the enclaves' verified-digest caches and
+          the rest of the hot-path layer (lazy verification, broker
+          retransmit early-reject); [false] reproduces the pre-cache cost
+          accounting for the [bench hotpath] ablation *)
   net : Splitbft_sim.Network.config;
   seed : int64;
 }

@@ -323,6 +323,109 @@ let print_batch_ablation points =
              Printf.sprintf "%.1f" p.ab_ecall_us_per_req ])
          points)
 
+(* ----- hotpath ablation: verified-digest cache on/off x batch size ----- *)
+
+type hotpath_point = {
+  hp_label : string;
+  hp_batch : int;
+  hp_cache : bool;
+  hp_churn : bool;
+  hp_tput : float;
+  hp_ecall_us_per_req : float;
+  hp_cache_hits : float;
+  hp_cache_misses : float;
+  hp_copy_bytes : float;
+  hp_retx_suppressed : float;
+}
+
+let hotpath_point ~batch ~cache ~churn =
+  let executed_at_warmup = ref 0 in
+  let at_warmup cluster =
+    (match Cluster.node cluster 0 with
+    | Cluster.Node_splitbft r ->
+      S.reset_ecall_stats r;
+      executed_at_warmup := S.executed_count r
+    | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> ());
+    if churn then begin
+      (* Crash the view-0 primary right after warmup: the cluster view-
+         changes under load and the host later restarts and catches up via
+         state transfer — the paths on which verification results are
+         legitimately reused (view-change proofs, checkpoint certificates,
+         client retransmissions). *)
+      Cluster.crash_host cluster 0;
+      ignore
+        (Splitbft_sim.Engine.schedule (Cluster.engine cluster) ~delay:900_000.0
+           ~label:"hotpath:restart" (fun () -> Cluster.restart_host cluster 0))
+    end
+  in
+  let params =
+    { (Cluster.default_params Cluster.Splitbft) with
+      Cluster.batch_size = batch;
+      batch_timeout_us = 10_000.0;
+      verify_cache = cache;
+      seed = 71L }
+  in
+  let warmup_us = if churn then 300_000.0 else 200_000.0 in
+  let duration_us = if churn then 1_600_000.0 else 400_000.0 in
+  let cluster, r = measure ~at_warmup params ~clients:40 ~window:40 ~warmup_us ~duration_us in
+  let per_req =
+    (* Leader-side ecall time per executed request, as in the batch
+       ablation.  In churn arms the view-0 leader spends part of the run
+       crashed; the number is still deterministic and comparable between
+       the cache arms, which is all the regression gate needs. *)
+    match Cluster.node cluster 0 with
+    | Cluster.Node_splitbft replica ->
+      let executed = max 1 (S.executed_count replica - !executed_at_warmup) in
+      List.fold_left
+        (fun acc c ->
+          let _, total, _ = S.ecall_stats replica c in
+          acc +. (total /. float_of_int executed))
+        0.0 Ids.all_compartments
+    | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> nan
+  in
+  let obs = Cluster.obs cluster in
+  let sum prefix = Splitbft_obs.Registry.sum obs ~prefix in
+  { hp_label =
+      Printf.sprintf "batch%d%s%s" batch
+        (if cache then "" else "-nocache")
+        (if churn then "-churn" else "");
+    hp_batch = batch;
+    hp_cache = cache;
+    hp_churn = churn;
+    hp_tput = r.Workload.throughput_ops;
+    hp_ecall_us_per_req = per_req;
+    hp_cache_hits = sum "tee.verify_cache_hits";
+    hp_cache_misses = sum "tee.verify_cache_misses";
+    hp_copy_bytes = sum "tee.copy_bytes";
+    hp_retx_suppressed = sum "broker.retx" }
+
+let hotpath ?(batches = [ 1; 50; 200 ]) () =
+  List.concat_map
+    (fun cache ->
+      List.map (fun batch -> hotpath_point ~batch ~cache ~churn:false) batches
+      @ [ hotpath_point ~batch:200 ~cache ~churn:true ])
+    [ true; false ]
+
+let print_hotpath points =
+  Table.print
+    ~title:
+      "Hotpath ablation — verified-digest cache on/off (SplitBFT KVS, 40x40 clients; \
+       churn = primary crash + view change + recovery)"
+    ~header:
+      [ "point"; "throughput"; "ecall us/req"; "cache hits"; "misses"; "copy MB";
+        "retx early-rejects" ]
+    ~rows:
+      (List.map
+         (fun p ->
+           [ p.hp_label;
+             Table.ops p.hp_tput;
+             Printf.sprintf "%.1f" p.hp_ecall_us_per_req;
+             Printf.sprintf "%.0f" p.hp_cache_hits;
+             Printf.sprintf "%.0f" p.hp_cache_misses;
+             Printf.sprintf "%.1f" (p.hp_copy_bytes /. 1e6);
+             Printf.sprintf "%.0f" p.hp_retx_suppressed ])
+         points)
+
 (* ----- §6 threading ceilings ----- *)
 
 type ceilings_result = {
@@ -444,6 +547,23 @@ let json_of_batch_ablation points =
            [ ("batch", Json.Int p.ab_batch);
              ("throughput_ops", num p.ab_tput);
              ("ecall_us_per_request", num p.ab_ecall_us_per_req) ])
+       points)
+
+let json_of_hotpath points =
+  Json.List
+    (List.map
+       (fun p ->
+         Json.Obj
+           [ ("label", Json.Str p.hp_label);
+             ("batch", Json.Int p.hp_batch);
+             ("cache", Json.Bool p.hp_cache);
+             ("churn", Json.Bool p.hp_churn);
+             ("throughput_ops", num p.hp_tput);
+             ("ecall_us_per_request", num p.hp_ecall_us_per_req);
+             ("verify_cache_hits", num p.hp_cache_hits);
+             ("verify_cache_misses", num p.hp_cache_misses);
+             ("copy_bytes", num p.hp_copy_bytes);
+             ("retx_early_rejects", num p.hp_retx_suppressed) ])
        points)
 
 let json_of_ceilings r =

@@ -88,6 +88,31 @@ val batch_ablation : ?batches:int list -> ?duration_us:float -> unit -> ablation
 
 val print_batch_ablation : ablation_point list -> unit
 
+(** {2 Hotpath ablation — verified-digest cache on/off}
+
+    The perf-regression gate's pinned sweep ([bench hotpath]): saturated
+    SplitBFT-KVS points across batch sizes with the enclaves' hot-path
+    layer (verified-digest cache, lazy verification, broker retransmit
+    early-reject) enabled and disabled, plus a churn point (primary crash,
+    view change, crash-recovery) that exercises the paths on which
+    verification results are legitimately reused. *)
+
+type hotpath_point = {
+  hp_label : string;  (** stable key the regression gate matches on *)
+  hp_batch : int;
+  hp_cache : bool;
+  hp_churn : bool;
+  hp_tput : float;
+  hp_ecall_us_per_req : float;
+  hp_cache_hits : float;  (** summed [tee.verify_cache_hits] *)
+  hp_cache_misses : float;
+  hp_copy_bytes : float;  (** summed [tee.copy_bytes] *)
+  hp_retx_suppressed : float;  (** broker early-rejected retransmissions *)
+}
+
+val hotpath : ?batches:int list -> unit -> hotpath_point list
+val print_hotpath : hotpath_point list -> unit
+
 (** {2 §6 threading ceilings} *)
 
 type ceilings_result = {
@@ -113,4 +138,5 @@ val json_of_fig4 : fig4_row list -> Splitbft_obs.Json.t
 val json_of_table2 : tcb_row list -> Splitbft_obs.Json.t
 val json_of_simmode : simmode_result -> Splitbft_obs.Json.t
 val json_of_batch_ablation : ablation_point list -> Splitbft_obs.Json.t
+val json_of_hotpath : hotpath_point list -> Splitbft_obs.Json.t
 val json_of_ceilings : ceilings_result -> Splitbft_obs.Json.t

@@ -21,18 +21,23 @@ let trailer_len = 15
 
 let flag_forced = 0x01
 
+let to_trailer { trace; span; forced } =
+  let b = Bytes.create trailer_len in
+  Bytes.set_int64_le b 0 trace;
+  Bytes.set_int32_le b 8 (Int32.of_int span);
+  Bytes.set_uint8 b 12 (if forced then flag_forced else 0);
+  Bytes.set b 13 magic0;
+  Bytes.set b 14 magic1;
+  Bytes.unsafe_to_string b
+
 let append ctx payload =
   match ctx with
   | None -> payload
-  | Some { trace; span; forced } ->
+  | Some c ->
     let n = String.length payload in
     let b = Bytes.create (n + trailer_len) in
     Bytes.blit_string payload 0 b 0 n;
-    Bytes.set_int64_le b n trace;
-    Bytes.set_int32_le b (n + 8) (Int32.of_int span);
-    Bytes.set_uint8 b (n + 12) (if forced then flag_forced else 0);
-    Bytes.set b (n + 13) magic0;
-    Bytes.set b (n + 14) magic1;
+    Bytes.blit_string (to_trailer c) 0 b n trailer_len;
     Bytes.unsafe_to_string b
 
 let strip payload =

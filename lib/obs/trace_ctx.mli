@@ -20,6 +20,11 @@ val append : t option -> string -> string
 (** [append (Some ctx) payload] returns [payload] with the trailer;
     [append None payload] returns [payload] itself. *)
 
+val to_trailer : t -> string
+(** The 15-byte trailer alone — lets an encoder writing into a reusable
+    arena append the context without re-copying the payload
+    ([append (Some ctx) p] = [p ^ to_trailer ctx]). *)
+
 val strip : string -> string * t option
 (** Splits a payload from its trailer, if the magic suffix is present.
     May false-positive on binary payloads whose tail happens to match

@@ -4,6 +4,7 @@ type t = {
   copy_per_byte_us : float;
   sign_us : float;
   verify_us : float;
+  cache_ref_us : float;
   client_auth_us : float;
   reply_auth_us : float;
   decrypt_request_us : float;
@@ -24,6 +25,7 @@ let default =
     copy_per_byte_us = 0.010;
     sign_us = 25.0;
     verify_us = 65.0;
+    cache_ref_us = 0.2;
     client_auth_us = 2.5;
     reply_auth_us = 1.0;
     decrypt_request_us = 0.5;
@@ -48,6 +50,7 @@ let free =
     copy_per_byte_us = 0.0;
     sign_us = 0.0;
     verify_us = 0.0;
+    cache_ref_us = 0.0;
     client_auth_us = 0.0;
     reply_auth_us = 0.0;
     decrypt_request_us = 0.0;

@@ -20,6 +20,7 @@ type env = {
   mutable cat_io : float;
   mutable cat_ocall_transitions : float;
   mutable ocalls : int;
+  mutable call_cache_hits : int;
 }
 
 and t = {
@@ -37,17 +38,21 @@ and t = {
   mutable total_us : float;
   mutable durations : Stats.t;
   quote_encoded : string;
+  cache : Verify_cache.t;
   c_ecalls : Registry.counter;
   c_ecalls_aborted : Registry.counter;
   c_ecall_us : Registry.counter;
   c_copy_bytes : Registry.counter;
+  c_cache_hits : Registry.counter;
+  c_cache_misses : Registry.counter;
   h_ecall_us : Registry.histogram;
 }
 
 and handler = string -> unit
 and program = env -> handler
 
-let create platform ~name ~measurement ~cost_model ~key_seed ~program =
+let create ?(verify_cache_capacity = 0) platform ~name ~measurement ~cost_model
+    ~key_seed ~program =
   let keypair = Signature.derive ~seed:key_seed in
   let quote =
     Attestation.create platform ~measurement ~report_data:keypair.Signature.public
@@ -69,10 +74,13 @@ let create platform ~name ~measurement ~cost_model ~key_seed ~program =
       total_us = 0.0;
       durations = Stats.create ();
       quote_encoded = Attestation.encode quote;
+      cache = Verify_cache.create ~capacity:verify_cache_capacity;
       c_ecalls = Registry.counter obs ~labels "tee.ecalls";
       c_ecalls_aborted = Registry.counter obs ~labels "tee.ecalls_aborted";
       c_ecall_us = Registry.counter obs ~labels "tee.ecall_us";
       c_copy_bytes = Registry.counter obs ~labels "tee.copy_bytes";
+      c_cache_hits = Registry.counter obs ~labels "tee.verify_cache_hits";
+      c_cache_misses = Registry.counter obs ~labels "tee.verify_cache_misses";
       h_ecall_us = Registry.histogram obs ~labels "tee.ecall_duration_us" }
   in
   t.env <-
@@ -87,7 +95,8 @@ let create platform ~name ~measurement ~cost_model ~key_seed ~program =
         cat_seal = 0.0;
         cat_io = 0.0;
         cat_ocall_transitions = 0.0;
-        ocalls = 0 };
+        ocalls = 0;
+        call_cache_hits = 0 };
   t
 
 let name t = t.name
@@ -171,6 +180,7 @@ let ecall t ~thread ?ctx ~payload ~on_done () =
     env.cat_io <- 0.0;
     env.cat_ocall_transitions <- 0.0;
     env.ocalls <- 0;
+    env.call_cache_hits <- 0;
     let span = match tracer with Some tr -> open_ecall_span t tr ctx | None -> None in
     let handler = instantiate t in
     handler payload;
@@ -204,6 +214,7 @@ let ecall t ~thread ?ctx ~payload ~on_done () =
       Tracer.add_arg tr id "io_us" env.cat_io;
       Tracer.add_arg tr id "other_us"
         (Float.max 0.0 (env.pending_charge -. categorized));
+      Tracer.add_arg tr id "cache_hits" (float_of_int env.call_cache_hits);
       Tracer.add_arg tr id "total_us" cost
     | _ -> ());
     env.pending_charge <- 0.0;
@@ -229,7 +240,10 @@ let restart t ~program =
   t.crashed <- false;
   t.subverted <- false;
   t.program <- program;
-  t.handler <- None
+  t.handler <- None;
+  (* Enclave memory does not survive teardown: the verified-digest cache
+     restarts cold, like every other in-enclave structure. *)
+  Verify_cache.clear t.cache
 
 let subvert t program =
   t.subverted <- true;
@@ -260,6 +274,26 @@ let charge_io env us =
   charge env us
 
 let cost_model env = env.enclave.cost_model
+
+let cache_enabled env = Verify_cache.capacity env.enclave.cache > 0
+
+let cache_find env key =
+  if not (cache_enabled env) then None
+  else
+    match Verify_cache.find env.enclave.cache key with
+    | Some v ->
+      env.call_cache_hits <- env.call_cache_hits + 1;
+      Registry.incr env.enclave.c_cache_hits;
+      charge_crypto env env.enclave.cost_model.cache_ref_us;
+      Some v
+    | None ->
+      Registry.incr env.enclave.c_cache_misses;
+      None
+
+let cache_add env key value =
+  if cache_enabled env then Verify_cache.add env.enclave.cache key value
+
+let verify_cache t = t.cache
 let emit env payload = env.pending_outputs <- payload :: env.pending_outputs
 
 let ocall env ?(cost = 0.0) payload =

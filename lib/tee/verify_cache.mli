@@ -1,0 +1,38 @@
+(** Per-enclave verified-digest cache (bounded LRU, inside the trust
+    boundary).
+
+    Records facts the enclave has already paid trusted crypto to
+    establish — "this signature verified over these bytes", "this batch
+    hashes to this digest" — so re-encountering the same artifact
+    (preprepare→prepare→commit reuse, view-change proofs, checkpoint
+    certificates, retransmissions, state transfer) costs one in-EPC
+    lookup ({!Cost_model.t.cache_ref_us}) instead of a re-verification.
+
+    Poison resistance comes from *where* entries are created, not from the
+    structure itself: the cache lives in enclave memory and only the
+    enclave inserts, strictly after a successful verification.  The
+    untrusted broker can replay or reorder inputs (at worst causing extra
+    misses or hits on facts that are true anyway) but can never insert a
+    fact, so a hit is exactly as trustworthy as the verification that
+    created the entry.  See DESIGN.md, "Verified-digest cache". *)
+
+type t
+
+val create : capacity:int -> t
+(** Capacity 0 = disabled (every lookup misses, nothing is stored). *)
+
+val key : kind:string -> signature:string -> bytes:string -> string
+(** Unambiguous cache key for a signature-verification fact: [kind] names
+    the message class (and thereby the key table it verifies against),
+    [bytes] are the exact signing bytes.  The variable-length fields are
+    length-prefixed so distinct triples can never collide. *)
+
+val find : t -> string -> string option
+val add : t -> string -> string -> unit
+val length : t -> int
+val capacity : t -> int
+
+val hits : t -> int
+val misses : t -> int
+
+val clear : t -> unit

@@ -206,11 +206,13 @@ let request_auth_bytes (r : request) =
 
 let digest_of_request r = Sha256.digest (encode_request r)
 
-let digest_of_batch batch =
+let batch_preimage batch =
   let w = W.create () in
   W.raw w "batch";
   List.iter (write_request w) batch;
-  Sha256.digest (W.contents w)
+  W.contents w
+
+let digest_of_batch batch = Sha256.digest (batch_preimage batch)
 
 (* ----- preprepare ----- *)
 

@@ -179,6 +179,10 @@ val type_name : t -> string
 val digest_of_request : request -> string
 val digest_of_batch : request list -> string
 
+val batch_preimage : request list -> string
+(** The exact bytes {!digest_of_batch} hashes — lets a caller memoize the
+    digest under a key it can build without hashing. *)
+
 val empty_batch_digest : string
 (** [digest_of_batch []], the digest of the no-op filler batch used to plug
     sequence-number gaps in a NewView. *)
@@ -224,6 +228,11 @@ val decode_request : string -> (request, string) result
 
     The encoding of a message with its signature field blanked; what the
     sender signs and the receiver verifies. *)
+
+val signing_bytes_of_proposal :
+  view:Ids.view -> seq:Ids.seqno -> digest:string -> sender:Ids.replica_id -> string
+(** Proposal signing bytes from an already-computed batch digest
+    ({!preprepare_signing_bytes} re-hashes the batch to obtain it). *)
 
 val preprepare_signing_bytes : preprepare -> string
 val preprepare_digest_signing_bytes : preprepare_digest -> string

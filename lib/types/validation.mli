@@ -13,6 +13,12 @@ val distinct_senders : int list -> bool
 
 (** {2 Signature checks} *)
 
+val verify_with : key_lookup -> Ids.replica_id -> string -> string -> bool
+(** [verify_with lookup sender bytes signature] — the primitive every
+    [verify_*] below reduces to; exposed so callers can verify against
+    signing bytes they already hold (e.g. re-using a batch digest computed
+    once instead of re-hashing inside {!verify_preprepare}). *)
+
 val verify_preprepare : key_lookup -> Message.preprepare -> bool
 val verify_preprepare_digest : key_lookup -> Message.preprepare_digest -> bool
 val verify_prepare : key_lookup -> Message.prepare -> bool
