@@ -79,6 +79,11 @@ let run_hotpath () =
   Experiments.print_hotpath points;
   Experiments.json_of_hotpath points
 
+let run_lanes () =
+  let points = Experiments.lanes () in
+  Experiments.print_lanes points;
+  Experiments.json_of_lanes points
+
 let run_ceilings () =
   let r = Experiments.ceilings () in
   Experiments.print_ceilings r;
@@ -142,7 +147,7 @@ let run_micro () =
       in
       rows := (name, ns) :: !rows)
     results;
-  let rows = List.sort compare !rows in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
   H.Table.print ~title:"Micro-benchmarks (bechamel, monotonic clock)"
     ~header:[ "operation"; "time/op" ]
     ~rows:(List.map (fun (name, ns) -> [ name; Printf.sprintf "%.0f ns" ns ]) rows);
@@ -188,6 +193,7 @@ let artifacts =
     ("simmode", fun ~full:_ () -> run_simmode ());
     ("ablation", fun ~full:_ () -> run_ablation ());
     ("hotpath", fun ~full:_ () -> run_hotpath ());
+    ("lanes", fun ~full:_ () -> run_lanes ());
     ("ceilings", fun ~full:_ () -> run_ceilings ());
     ("micro", fun ~full:_ () -> run_micro ()) ]
 

@@ -1,12 +1,13 @@
 (* CI perf-regression gate.
 
-   Compares a fresh `bench hotpath --json` run against the checked-in
-   BENCH_BASELINE.json: every hotpath point in the baseline must still
-   exist, its throughput must not drop more than the tolerance below the
-   baseline, and its per-request ecall cost must not rise more than the
-   tolerance above it.  Improvements always pass (the baseline is a floor,
-   not a pin); refreshing the floor after a deliberate win means
-   committing the new JSON as the baseline.
+   Compares a fresh `bench hotpath lanes --json` run against the
+   checked-in BENCH_BASELINE.json: every gated point in the baseline
+   (artifacts.hotpath and artifacts.lanes) must still exist, its
+   throughput must not drop more than the tolerance below the baseline,
+   and its per-request ecall cost must not rise more than the tolerance
+   above it.  Improvements always pass (the baseline is a floor, not a
+   pin); refreshing the floor after a deliberate win means committing the
+   new JSON as the baseline.
 
      bench_check --baseline BENCH_BASELINE.json --current out.json [--tolerance 0.10] *)
 
@@ -34,16 +35,22 @@ let number = function
 
 let str = function Some (Json.Str s) -> Some s | Some _ | None -> None
 
-let hotpath_points path doc =
-  match Option.bind (Json.member "artifacts" doc) (Json.member "hotpath") with
-  | Some (Json.List points) -> points
-  | Some _ | None -> die "%s: no artifacts.hotpath array" path
+(* Artifact arrays the gate covers, in report order.  A name missing from
+   the baseline is skipped (old baselines predating an artifact stay
+   valid); once baselined, the current run must produce it. *)
+let gated_artifacts = [ "hotpath"; "lanes" ]
+
+let artifact_points path name doc =
+  match Option.bind (Json.member "artifacts" doc) (Json.member name) with
+  | Some (Json.List points) -> Some points
+  | Some _ -> die "%s: artifacts.%s is not an array" path name
+  | None -> None
 
 type point = { label : string; tput : float; ecall_us : float }
 
-let point_of_json path j =
+let point_of_json path name j =
   match str (Json.member "label" j) with
-  | None -> die "%s: hotpath point without a label" path
+  | None -> die "%s: %s point without a label" path name
   | Some label ->
     let tput = number (Json.member "throughput_ops" j) in
     let ecall_us = number (Json.member "ecall_us_per_request" j) in
@@ -65,39 +72,51 @@ let () =
   Arg.parse spec (fun a -> die "unexpected argument %s" a) "bench_check [options]";
   if !current = "" then die "--current is required";
   if !tolerance < 0.0 then die "--tolerance must be non-negative";
-  let base_points =
-    List.map (point_of_json !baseline) (hotpath_points !baseline (parse_doc !baseline))
-  in
-  let cur_points =
-    List.map (point_of_json !current) (hotpath_points !current (parse_doc !current))
-  in
+  let base_doc = parse_doc !baseline in
+  let cur_doc = parse_doc !current in
   let failures = ref 0 in
+  let checked = ref 0 in
   Printf.printf "%-24s %14s %14s %8s %14s %14s %8s  %s\n" "point" "base ops/s"
     "cur ops/s" "Δ%" "base ecall µs" "cur ecall µs" "Δ%" "status";
   List.iter
-    (fun b ->
-      match List.find_opt (fun c -> c.label = b.label) cur_points with
-      | None ->
-        incr failures;
-        Printf.printf "%-24s %14.0f %14s %8s %14.2f %14s %8s  MISSING\n" b.label b.tput
-          "-" "-" b.ecall_us "-" "-"
-      | Some c ->
-        let tput_bad = c.tput < b.tput *. (1.0 -. !tolerance) in
-        let ecall_bad = c.ecall_us > b.ecall_us *. (1.0 +. !tolerance) in
-        if tput_bad || ecall_bad then incr failures;
-        Printf.printf "%-24s %14.0f %14.0f %+7.1f%% %14.2f %14.2f %+7.1f%%  %s\n" b.label
-          b.tput c.tput (pct b.tput c.tput) b.ecall_us c.ecall_us
-          (pct b.ecall_us c.ecall_us)
-          (if tput_bad && ecall_bad then "REGRESSION (throughput, ecall cost)"
-           else if tput_bad then "REGRESSION (throughput)"
-           else if ecall_bad then "REGRESSION (ecall cost)"
-           else "ok"))
-    base_points;
+    (fun name ->
+      match artifact_points !baseline name base_doc with
+      | None -> ()
+      | Some base_raw ->
+        let base_points = List.map (point_of_json !baseline name) base_raw in
+        let cur_points =
+          match artifact_points !current name cur_doc with
+          | Some raw -> List.map (point_of_json !current name) raw
+          | None -> die "%s: no artifacts.%s array (baseline gates on it)" !current name
+        in
+        checked := !checked + List.length base_points;
+        List.iter
+          (fun b ->
+            match List.find_opt (fun c -> c.label = b.label) cur_points with
+            | None ->
+              incr failures;
+              Printf.printf "%-24s %14.0f %14s %8s %14.2f %14s %8s  MISSING\n"
+                (name ^ "/" ^ b.label) b.tput "-" "-" b.ecall_us "-" "-"
+            | Some c ->
+              let tput_bad = c.tput < b.tput *. (1.0 -. !tolerance) in
+              let ecall_bad = c.ecall_us > b.ecall_us *. (1.0 +. !tolerance) in
+              if tput_bad || ecall_bad then incr failures;
+              Printf.printf "%-24s %14.0f %14.0f %+7.1f%% %14.2f %14.2f %+7.1f%%  %s\n"
+                (name ^ "/" ^ b.label) b.tput c.tput (pct b.tput c.tput) b.ecall_us
+                c.ecall_us
+                (pct b.ecall_us c.ecall_us)
+                (if tput_bad && ecall_bad then "REGRESSION (throughput, ecall cost)"
+                 else if tput_bad then "REGRESSION (throughput)"
+                 else if ecall_bad then "REGRESSION (ecall cost)"
+                 else "ok"))
+          base_points)
+    gated_artifacts;
+  if !checked = 0 then die "%s: none of the gated artifact arrays present" !baseline;
   if !failures > 0 then begin
     Printf.printf "\n%d point(s) regressed beyond ±%.0f%% of %s\n" !failures
       (100.0 *. !tolerance) !baseline;
     exit 1
   end
   else
-    Printf.printf "\nall %d point(s) within ±%.0f%% of %s\n" (List.length base_points)
+    Printf.printf "\nall %d point(s) within ±%.0f%% of %s\n" !checked
       (100.0 *. !tolerance) !baseline

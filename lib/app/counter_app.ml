@@ -11,8 +11,15 @@ let create () =
     | "?" -> string_of_int !value
     | _ -> State_machine.noop_result
   in
+  let classify op =
+    match op with
+    | "+" -> { State_machine.reads = []; writes = [ "counter" ] }
+    | "?" -> { State_machine.reads = [ "counter" ]; writes = [] }
+    | _ -> State_machine.rw_none
+  in
   { State_machine.app_name = "counter";
     apply;
+    classify;
     snapshot = (fun () -> string_of_int !value);
     restore =
       (fun blob ->

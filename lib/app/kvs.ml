@@ -57,7 +57,9 @@ let create () =
   let snapshot () =
     (* Sorted entries make the snapshot (and thus checkpoints) canonical. *)
     let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] in
-    let entries = List.sort compare entries in
+    let entries =
+      List.sort (fun (ka, _) (kb, _) -> String.compare ka kb) entries
+    in
     W.to_string
       (fun w () ->
         W.list w
@@ -83,4 +85,15 @@ let create () =
       List.iter (fun (k, v) -> Hashtbl.replace table k v) entries;
       Ok ()
   in
-  { State_machine.app_name = "kvs"; apply; snapshot; restore; drain_effects = (fun () -> []) }
+  let classify op_bytes =
+    match decode_op op_bytes with
+    | Error _ -> State_machine.rw_none
+    | Ok (Put (k, _)) | Ok (Delete k) -> { State_machine.reads = []; writes = [ k ] }
+    | Ok (Get k) -> { State_machine.reads = [ k ]; writes = [] }
+  in
+  { State_machine.app_name = "kvs";
+    apply;
+    classify;
+    snapshot;
+    restore;
+    drain_effects = (fun () -> []) }

@@ -96,7 +96,9 @@ let create ?(block_size = 5) () =
           { tag = Printf.sprintf "block-%d" b.height; data = encode_block b })
       blocks
   in
-  { State_machine.app_name = "ledger"; apply; snapshot; restore; drain_effects }
+  (* Every transaction appends to the single chain tip. *)
+  let classify _ = { State_machine.reads = []; writes = [ "chain" ] } in
+  { State_machine.app_name = "ledger"; apply; classify; snapshot; restore; drain_effects }
 
 let verify_chain blocks =
   let rec loop prev_hash height = function

@@ -1,8 +1,16 @@
 type side_effect = Persist of { tag : string; data : string }
 
+type rw = {
+  reads : string list;
+  writes : string list;
+}
+
+let rw_none = { reads = []; writes = [] }
+
 type t = {
   app_name : string;
   apply : string -> string;
+  classify : string -> rw;
   snapshot : unit -> string;
   restore : string -> (unit, string) result;
   drain_effects : unit -> side_effect list;

@@ -12,9 +12,25 @@
 
 type side_effect = Persist of { tag : string; data : string }
 
+type rw = {
+  reads : string list;
+  writes : string list;
+}
+(** Conflict footprint of one operation: the logical keys it reads and
+    writes.  The Execution worker pool uses these sets to decide which
+    batches may overlap in time — two operations conflict iff one writes a
+    key the other touches.  [classify] must be conservative: when the
+    footprint is unknown, return a write to a sentinel key (forcing serial
+    order) rather than an empty set. *)
+
+val rw_none : rw
+(** The empty footprint — for operations that execute as no-ops
+    (malformed bytes, duplicate suppression). *)
+
 type t = {
   app_name : string;
   apply : string -> string;  (** operation bytes -> result bytes *)
+  classify : string -> rw;  (** operation bytes -> conflict footprint *)
   snapshot : unit -> string;
   restore : string -> (unit, string) result;
   drain_effects : unit -> side_effect list;

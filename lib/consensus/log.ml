@@ -10,6 +10,7 @@ let create ?(size = 128) ~window () = { slots = Hashtbl.create size; low = 0; wi
 let low_mark t = t.low
 let window t = t.window
 let in_window t seq = seq > t.low && seq <= t.low + t.window
+let ahead_of_window t seq = seq > t.low + t.window && seq <= t.low + (2 * t.window)
 let advance_low_mark t seq = t.low <- max t.low seq
 let find t seq = Hashtbl.find_opt t.slots seq
 let mem t seq = Hashtbl.mem t.slots seq
@@ -28,6 +29,8 @@ let prune t ~upto =
   Hashtbl.iter
     (fun seq _ -> if seq <= upto then Hashtbl.remove t.slots seq)
     (Hashtbl.copy t.slots)
+
+let by_seqno (a, _) (b, _) = Int.compare a b
 
 let reset t = Hashtbl.reset t.slots
 let iter f t = Hashtbl.iter f t.slots

@@ -18,6 +18,12 @@ val window : 'a t -> int
 val in_window : 'a t -> Ids.seqno -> bool
 (** [low < seq <= low + window]. *)
 
+val ahead_of_window : 'a t -> Ids.seqno -> bool
+(** [seq] lies in the window-sized band just above the high edge — the
+    sender's checkpoint stabilised before this replica's did.  Receivers
+    park such messages until their own window slides rather than dropping
+    them (the window-edge races the core compartments guard against). *)
+
 val advance_low_mark : 'a t -> Ids.seqno -> unit
 (** Raises the low watermark (never lowers it). *)
 
@@ -29,6 +35,12 @@ val find_or_add : 'a t -> Ids.seqno -> default:(unit -> 'a) -> 'a
 
 val prune : 'a t -> upto:Ids.seqno -> unit
 (** Drops every slot at or below [upto] (checkpoint GC). *)
+
+val by_seqno : Ids.seqno * 'a -> Ids.seqno * 'b -> int
+(** Orders [(seqno, _)] pairs by sequence number alone ([Int.compare] on
+    the first component) — the principled comparator for sorting log or
+    snapshot entries, as opposed to polymorphic [compare] which also
+    inspects the payload representation. *)
 
 val reset : 'a t -> unit
 (** Drops all slots, keeping the watermark (view entry). *)

@@ -24,13 +24,29 @@ type t = {
   net : Network.t;
   enclave_of : Ids.compartment -> Enclave.t;
   loop : Resource.t;  (* the event-loop thread *)
-  thread_of : Ids.compartment -> Resource.t;
+  thread_of : Ids.compartment -> int -> Resource.t;
+      (* ecall thread per (compartment, lane): protocol messages of lane
+         [l] — seqno [s] with [(s-1) mod lanes = l] — ride lane [l]'s
+         thread, so consensus rounds for different seqnos pipeline instead
+         of queueing behind one another *)
+  lanes : int;
+  mutable next_batch_lane : int;  (* round-robin stripe for In_batch ecalls *)
+  c_lane_ecalls : Registry.counter array;  (* per-lane; empty when lanes = 1 *)
   mutable view : Ids.view;  (* belief, liveness-only *)
   pending : Message.request Queue.t;  (* batch queue, FIFO *)
   queued : (Ids.client_id * int64, unit) Hashtbl.t;  (* membership of [pending] *)
   batch_timer : Timer.t;
   awaiting : (Ids.client_id * int64, unit) Hashtbl.t;
   suspect_timer : Timer.t;
+  mutable suspect_delay_us : float;
+      (* current suspicion delay.  The first suspicion of a view fires
+         after [cfg.suspect_timeout_us]; consecutive suspicions without a
+         reply escalate to [cfg.viewchange_timeout_us] and double from
+         there (capped), PBFT's weak-synchrony timeout growth.  A
+         constant re-suspicion period livelocks under message loss: every
+         NewView keeps arriving just after the backups have already
+         suspected their way into the next view.  Progress (any reply)
+         resets the delay. *)
   recovery_timer : Timer.t;
   mutable storage : (string * string) list;  (* newest first *)
   mutable fault : fault;
@@ -53,11 +69,14 @@ type t = {
       (* plain reply encodings by client request, so a retransmission of an
          answered request is served from here — what any untrusted relay
          could do, since replies are end-to-end authenticated *)
-  inflight : (Ids.client_id * int64, unit) Hashtbl.t;
-      (* batched but not yet replied: a retransmission of one of these
-         would re-order the request, so it is dropped (suspicion timers
-         still run; the set is wiped on view entry so a new primary can
-         re-batch) *)
+  inflight : (Ids.client_id * int64, float) Hashtbl.t;
+      (* batched but not yet replied, keyed to the batching time: a
+         retransmission of one of these would re-order the request, so it
+         is dropped — but only while the entry is younger than
+         [inflight_ttl_us].  An entry stuck longer than that (its batch
+         was lost without a view change, e.g. to a starved enclave) stops
+         suppressing, so the client's retry can be re-driven.  The set is
+         also wiped on view entry so a new primary can re-batch. *)
   mutable recovery_ctx : Trace_ctx.t option;
   mutable recovery_span : int;  (* open span covering recovery, or -1 *)
   ecall_counter_of : Ids.compartment -> Registry.counter;
@@ -91,7 +110,11 @@ let route (msg : Message.t) : (Ids.compartment * Message.t) list =
   | Message.Commit _ -> [ (Ids.Execution, msg) ]
   | Message.Checkpoint _ ->
     [ (Ids.Preparation, msg); (Ids.Confirmation, msg); (Ids.Execution, msg) ]
-  | Message.Viewchange _ -> [ (Ids.Preparation, msg) ]
+  | Message.Viewchange _ ->
+    (* Confirmation gets ViewChanges too: it originates them, and the join
+       rule (f+1 for a higher view) must fire even when this replica's own
+       suspicion timer never does. *)
+    [ (Ids.Preparation, msg); (Ids.Confirmation, msg) ]
   | Message.Newview nv ->
     (* After the NewView itself, hand Confirmation the re-issued proposals
        in digest form — the same duplication a correct environment performs
@@ -158,6 +181,25 @@ let encode_msg t ?ctx msg =
   (match ctx with Some c -> W.raw t.scratch (Trace_ctx.to_trailer c) | None -> ());
   W.contents t.scratch
 
+(* Which lane thread carries an ecall: sequence-numbered protocol
+   messages ride their seqno's lane; batches stripe round-robin (the
+   assigned seqno is only known inside the enclave); everything else
+   rides lane 0.  The lane choice only picks a thread — handler state
+   transitions happen at issue time, so it cannot affect results. *)
+let lane_of_input t (input : Wire.input) =
+  if t.lanes = 1 then 0
+  else
+    match input with
+    | Wire.In_net (Message.Preprepare pp) -> (pp.Message.seq - 1) mod t.lanes
+    | Wire.In_net (Message.Preprepare_digest pd) -> (pd.Message.pd_seq - 1) mod t.lanes
+    | Wire.In_net (Message.Prepare p) -> (p.Message.seq - 1) mod t.lanes
+    | Wire.In_net (Message.Commit c) -> (c.Message.seq - 1) mod t.lanes
+    | Wire.In_batch _ ->
+      let l = t.next_batch_lane in
+      t.next_batch_lane <- (l + 1) mod t.lanes;
+      l
+    | _ -> 0
+
 (* [body] is the batch handed over in an [In_batch] ecall: the resulting
    Preprepare broadcast may arrive in summary (digest-signed) form with
    its body elided, and the re-attachment must use exactly the batch that
@@ -167,16 +209,18 @@ let rec ecall t ?ctx ?body compartment (input : Wire.input) =
   let starved = match t.fault with Env_starve c -> c = compartment | _ -> false in
   if (not t.crashed) && not starved then begin
     let epoch = t.epoch in
+    let lane = lane_of_input t input in
     let issue () =
       if t.epoch = epoch && not t.crashed then begin
         Registry.incr (t.ecall_counter_of compartment);
+        if t.lanes > 1 then Registry.incr t.c_lane_ecalls.(lane);
         let enclave = t.enclave_of compartment in
         (* The payload is built in the broker's arena and handed over as
            the enclave's copy-in buffer — no per-ecall buffer growth. *)
         W.reset t.scratch;
         Wire.encode_input_into ?ctx t.scratch input;
         Enclave.ecall enclave
-          ~thread:(t.thread_of compartment)
+          ~thread:(t.thread_of compartment lane)
           ?ctx
           ~payload:(W.contents t.scratch)
           ~on_done:(fun outputs -> on_outputs t epoch compartment ?body outputs)
@@ -195,20 +239,50 @@ and on_outputs t epoch origin ?body outputs =
   (* [epoch] pins the incarnation that issued the ecall: a completion that
      crosses a crash (or a crash + restart) must not leak into the next
      incarnation as a ghost callback. *)
-  if t.epoch = epoch && (not t.crashed) && t.fault <> Env_mute then
-    List.iter
-      (fun payload ->
-        let begun = Engine.now t.engine in
-        let cost = loop_cost t (String.length payload) in
-        Resource.submit t.loop ~cost (fun () ->
-            if t.epoch = epoch && not t.crashed then
-              match Wire.decode_output_traced payload with
-              | Error _ -> ()
-              | Ok (output, ctx) ->
-                let sp = loop_span t ctx ~name:"host:tx" ~begun ~cost in
-                apply_output t origin ?ctx ?body output;
-                finish_span t sp))
-      outputs
+  if t.epoch = epoch && (not t.crashed) && t.fault <> Env_mute then begin
+    let vectored =
+      (* The pipelined host egress writes a whole completion burst (e.g.
+         a batch's replies) in one event-loop dispatch, like writev: one
+         dispatch fee, serialization still per byte.  The serial
+         configuration keeps one dispatch per message so lanes = 1 /
+         workers = 1 meters exactly as before. *)
+      (t.lanes > 1 || t.cfg.exec_workers > 1)
+      && match outputs with _ :: _ :: _ -> true | _ -> false
+    in
+    if not vectored then
+      List.iter
+        (fun payload ->
+          let begun = Engine.now t.engine in
+          let cost = loop_cost t (String.length payload) in
+          Resource.submit t.loop ~cost (fun () ->
+              if t.epoch = epoch && not t.crashed then
+                match Wire.decode_output_traced payload with
+                | Error _ -> ()
+                | Ok (output, ctx) ->
+                  let sp = loop_span t ctx ~name:"host:tx" ~begun ~cost in
+                  apply_output t origin ?ctx ?body output;
+                  finish_span t sp))
+        outputs
+    else begin
+      let begun = Engine.now t.engine in
+      let bytes =
+        List.fold_left (fun acc p -> acc + String.length p) 0 outputs
+      in
+      let cost = loop_cost t bytes in
+      let per = cost /. float_of_int (List.length outputs) in
+      Resource.submit t.loop ~cost (fun () ->
+          if t.epoch = epoch && not t.crashed then
+            List.iter
+              (fun payload ->
+                match Wire.decode_output_traced payload with
+                | Error _ -> ()
+                | Ok (output, ctx) ->
+                  let sp = loop_span t ctx ~name:"host:tx" ~begun ~cost:per in
+                  apply_output t origin ?ctx ?body output;
+                  finish_span t sp)
+              outputs)
+    end
+  end
 
 and apply_output t origin ?ctx ?body (output : Wire.output) =
   match output with
@@ -294,7 +368,10 @@ and request_replied t (rp : Message.reply) =
       (retx_key rp.client rp.timestamp)
       (Message.encode (Message.Reply rp));
   (* Progress: re-arm the timer for the remaining requests so a loaded but
-     progressing system never suspects its primary. *)
+     progressing system never suspects its primary — and wind any
+     suspicion backoff down to the base timeout. *)
+  t.suspect_delay_us <- t.cfg.suspect_timeout_us;
+  Timer.set_delay t.suspect_timer t.cfg.suspect_timeout_us;
   if Hashtbl.length t.awaiting = 0 then Timer.stop t.suspect_timer
   else Timer.restart t.suspect_timer
 
@@ -312,11 +389,13 @@ and flush_batch t =
       end
     in
     let batch = grab take [] in
-    if Config.hotpath t.cfg then
+    if Config.hotpath t.cfg then begin
+      let now = Engine.now t.engine in
       List.iter
         (fun (r : Message.request) ->
-          Hashtbl.replace t.inflight (r.client, r.timestamp) ())
-        batch;
+          Hashtbl.replace t.inflight (r.client, r.timestamp) now)
+        batch
+    end;
     Registry.incr t.c_batches;
     Registry.observe t.h_batch_occupancy (float_of_int take);
     (* The batch rides under the first sampled request's trace; the other
@@ -354,7 +433,23 @@ let on_request t ?ctx (r : Message.request) =
     Hashtbl.replace t.awaiting key ();
     Timer.start t.suspect_timer;
     if is_primary t then begin
-      if Config.hotpath t.cfg && Hashtbl.mem t.inflight key then
+      let suppressed =
+        Config.hotpath t.cfg
+        &&
+        match Hashtbl.find_opt t.inflight key with
+        | None -> false
+        | Some since when Engine.now t.engine -. since < t.cfg.inflight_ttl_us ->
+          true
+        | Some _ ->
+          (* The batch this entry guarded has been in flight longer than
+             the retransmit TTL without producing a reply — it is
+             presumed lost.  Evict so the retry below is re-driven
+             (previously such entries suppressed retransmits forever when
+             no view change wiped the table). *)
+          Hashtbl.remove t.inflight key;
+          false
+      in
+      if suppressed then
         (* Batched and awaiting a reply: re-queueing would only re-order
            it.  The suspicion timer above still guards liveness. *)
         Registry.incr t.c_retx_suppressed
@@ -404,6 +499,8 @@ let create engine net (cfg : Config.t) ~enclave_of =
             "broker.ecalls" ))
       Ids.all_compartments
   in
+  if cfg.lanes < 1 then invalid_arg "Broker.create: lanes must be >= 1";
+  let lanes = cfg.lanes in
   let loop = Resource.create engine ~name:(Printf.sprintf "broker%d-loop" cfg.id) in
   let thread_of =
     match cfg.threading with
@@ -411,18 +508,34 @@ let create engine net (cfg : Config.t) ~enclave_of =
       let shared =
         Resource.create engine ~name:(Printf.sprintf "broker%d-ecall" cfg.id)
       in
-      fun (_ : Ids.compartment) -> shared
+      fun (_ : Ids.compartment) (_ : int) -> shared
     | Config.Per_enclave ->
+      (* One thread per (compartment, lane); at lanes = 1 the resource
+         names match the historical single-pipeline layout exactly. *)
       let table =
         List.map
           (fun c ->
             ( c,
-              Resource.create engine
-                ~name:
-                  (Printf.sprintf "broker%d-ecall-%s" cfg.id (Ids.compartment_name c)) ))
+              Array.init lanes (fun l ->
+                  let name =
+                    if lanes = 1 then
+                      Printf.sprintf "broker%d-ecall-%s" cfg.id (Ids.compartment_name c)
+                    else
+                      Printf.sprintf "broker%d-ecall-%s-l%d" cfg.id
+                        (Ids.compartment_name c) l
+                  in
+                  Resource.create engine ~name) ))
           Ids.all_compartments
       in
-      fun c -> List.assoc c table
+      fun c l -> (List.assoc c table).(l)
+  in
+  let c_lane_ecalls =
+    if lanes = 1 then [||]
+    else
+      Array.init lanes (fun l ->
+          Registry.counter obs
+            ~labels:[ replica_label; ("lane", string_of_int l) ]
+            "broker.lane_ecalls")
   in
   let rec t =
     lazy
@@ -432,6 +545,9 @@ let create engine net (cfg : Config.t) ~enclave_of =
         enclave_of;
         loop;
         thread_of;
+        lanes;
+        next_batch_lane = 0;
+        c_lane_ecalls;
         view = 0;
         pending = Queue.create ();
         queued = Hashtbl.create 64;
@@ -441,6 +557,7 @@ let create engine net (cfg : Config.t) ~enclave_of =
             ~delay:cfg.batch_timeout_us
             ~callback:(fun () -> flush_batch (Lazy.force t));
         awaiting = Hashtbl.create 64;
+        suspect_delay_us = cfg.suspect_timeout_us;
         suspect_timer =
           Timer.create engine
             ~label:(Printf.sprintf "broker%d-suspect" cfg.id)
@@ -461,7 +578,14 @@ let create engine net (cfg : Config.t) ~enclave_of =
                   | None -> None
                 in
                 ecall t ?ctx Ids.Confirmation (Wire.In_suspect t.view);
-                (* keep escalating while requests stay unanswered *)
+                (* Keep escalating while requests stay unanswered, backing
+                   off so a view change eventually outlasts its own round
+                   trip (see [suspect_delay_us]). *)
+                t.suspect_delay_us <-
+                  Float.min
+                    (Float.max t.cfg.viewchange_timeout_us (t.suspect_delay_us *. 2.0))
+                    (t.cfg.viewchange_timeout_us *. 32.0);
+                Timer.set_delay t.suspect_timer t.suspect_delay_us;
                 Timer.restart t.suspect_timer
               end);
         recovery_timer =
@@ -528,6 +652,8 @@ let crash t =
   t.epoch <- t.epoch + 1;
   Timer.stop t.batch_timer;
   Timer.stop t.suspect_timer;
+  t.suspect_delay_us <- t.cfg.suspect_timeout_us;
+  Timer.set_delay t.suspect_timer t.cfg.suspect_timeout_us;
   Timer.stop t.recovery_timer;
   Queue.clear t.pending;
   Hashtbl.reset t.queued;

@@ -18,6 +18,9 @@ type t = {
   viewchange_timeout_us : float;
   recovery_retry_us : float;
   verify_cache_capacity : int;
+  lanes : int;
+  exec_workers : int;
+  inflight_ttl_us : float;
 }
 
 let default ~n ~id =
@@ -32,7 +35,10 @@ let default ~n ~id =
     suspect_timeout_us = 500_000.0;
     viewchange_timeout_us = 1_000_000.0;
     recovery_retry_us = 150_000.0;
-    verify_cache_capacity = 1024 }
+    verify_cache_capacity = 1024;
+    lanes = 1;
+    exec_workers = 1;
+    inflight_ttl_us = 500_000.0 }
 
 let hotpath t = t.verify_cache_capacity > 0
 let f t = Ids.f_of_n t.n

@@ -32,6 +32,27 @@ type t = {
           verification ordering, digest memoization and the broker's
           retransmit early-reject — reproducing the pre-cache cost
           accounting exactly (the [bench hotpath] ablation's off arm) *)
+  lanes : int;
+      (** number of consensus lanes — concurrent protocol instances over a
+          partition of the sequence space ([seq] belongs to lane
+          [(seq - 1) mod lanes]).  Each lane gets its own broker ecall
+          threads under {!Per_enclave} threading, so
+          preprepare/prepare/commit rounds for different seqnos pipeline
+          instead of queueing behind one another.  [1] reproduces the
+          serial single-pipeline behavior bit-for-bit *)
+  exec_workers : int;
+      (** size of the Execution compartment's in-enclave worker pool.
+          Batches with disjoint read/write footprints (per
+          {!Splitbft_app.State_machine.t.classify}) execute on parallel
+          workers; conflicting batches are serialized in sequence order so
+          results stay identical to serial execution.  [1] reproduces the
+          serial cost accounting bit-for-bit *)
+  inflight_ttl_us : float;
+      (** age bound on the broker's inflight retransmit-suppression
+          entries.  A request stuck in flight longer than this (e.g.
+          dropped during a primary crash) stops suppressing client
+          retransmits, so the retry can be re-driven; keyed to the client
+          retry period (default 500 ms ≥ the client's 400 ms timer) *)
 }
 
 val default : n:int -> id:Ids.replica_id -> t

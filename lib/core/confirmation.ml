@@ -5,6 +5,7 @@ module Enclave = Splitbft_tee.Enclave
 module Log = Splitbft_consensus.Log
 module Votes = Splitbft_consensus.Votes
 module Ckpt = Splitbft_consensus.Ckpt
+module Proofs = Splitbft_consensus.Proofs
 module W = Splitbft_codec.Writer
 module R = Splitbft_codec.Reader
 
@@ -30,6 +31,16 @@ type state = {
   proposals : slot Log.t;
   prepares : (Ids.seqno, Message.prepare) Votes.t;
   prepared : Message.prepared_proof Log.t;  (* for ViewChange; survives suspicion *)
+  viewchanges_seen : (Ids.view, Message.viewchange) Votes.t;
+      (* peers' ViewChanges, for the join rule: f+1 of them for a higher
+         view prove a correct replica suspects, so this one joins without
+         waiting for its own timer.  Without it a replica that already
+         answered the stalled request (e.g. from the broker's replay
+         cache) never suspects, and the remaining live replicas can be
+         one short of the 2f+1 ViewChange quorum forever. *)
+  (* messages addressed just above the window's high edge, parked until
+     our own checkpoint stabilises (see Preparation.ahead) *)
+  mutable ahead : Message.t list;
   ckpt : Ckpt.t;
   mutable commit_count : int;
   mutable halted : bool;
@@ -44,6 +55,8 @@ let create_state (cfg : Config.t) =
     proposals = Log.create ~window:cfg.watermark_window ();
     prepares = Votes.create ~size:128 ();
     prepared = Log.create ~window:cfg.watermark_window ();
+    viewchanges_seen = Votes.create ~size:4 ();
+    ahead = [];
     ckpt = Ckpt.create ~quorum:(Config.quorum cfg);
     commit_count = 0;
     halted = false }
@@ -87,7 +100,14 @@ let proposal_plausible st (pd : Message.preprepare_digest) =
   && in_window st pd.pd_seq
   && not (Log.mem st.proposals pd.pd_seq)
 
+let park_ahead st msg =
+  if List.length st.ahead < Log.window st.proposals then
+    st.ahead <- st.ahead @ [ msg ]
+
 let on_proposal env st ~byz (pd : Message.preprepare_digest) =
+  if pd.pd_view = st.view && Log.ahead_of_window st.proposals pd.pd_seq then
+    park_ahead st (Message.Preprepare_digest pd)
+  else begin
   (match byz with
   | Conf_promiscuous -> promiscuous_commit env st pd
   | Conf_honest -> ());
@@ -106,9 +126,12 @@ let on_proposal env st ~byz (pd : Message.preprepare_digest) =
       try_commit env st pd.pd_seq
     end
   end
+  end
 
 let on_prepare env st (p : Message.prepare) =
-  if Config.hotpath st.cfg then begin
+  if p.view = st.view && Log.ahead_of_window st.proposals p.seq then
+    park_ahead st (Message.Prepare p)
+  else if Config.hotpath st.cfg then begin
     (* Already-committed slots and duplicate senders cannot change the
        outcome; drop them before the signature is even checked. *)
     let committed =
@@ -131,6 +154,17 @@ let on_prepare env st (p : Message.prepare) =
       if Votes.add st.prepares ~key:p.seq ~sender:p.sender p then try_commit env st p.seq
     end
   end
+
+(* Re-inject messages that were ahead of the window before it slid. *)
+let drain_ahead env st ~byz =
+  let pending = st.ahead in
+  st.ahead <- [];
+  List.iter
+    (function
+      | Message.Preprepare_digest pd -> on_proposal env st ~byz pd
+      | Message.Prepare p -> on_prepare env st p
+      | _ -> ())
+    pending
 
 let gc st stable =
   Log.advance_low_mark st.proposals stable;
@@ -203,27 +237,55 @@ let on_recover env st blob_opt =
           Log.advance_low_mark st.prepared last_stable
         end))
 
+(* Broadcast our own ViewChange targeting [new_view] and stop working in
+   the old view. *)
+let send_viewchange env st new_view =
+  let vc =
+    { Message.vc_new_view = new_view;
+      vc_last_stable = Ckpt.last_stable st.ckpt;
+      vc_checkpoint_proof = Ckpt.proof st.ckpt;
+      vc_prepared = Log.fold (fun _ proof acc -> proof :: acc) st.prepared [];
+      vc_sender = st.cfg.id;
+      vc_sig = "" }
+  in
+  let vc = { vc with vc_sig = Common.sign_with env (Message.viewchange_signing_bytes vc) } in
+  (* Advancing the view stops Prepare processing and Commits in the old
+     view from this point on.  Prepared certificates are kept: a
+     cascading view change must still be able to carry them. *)
+  st.view <- new_view;
+  Log.reset st.proposals;
+  Votes.reset st.prepares;
+  st.ahead <- [];
+  Votes.prune st.viewchanges_seen ~keep:(fun v -> v > new_view);
+  Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Viewchange vc)));
+  Enclave.emit env (Wire.encode_output (Wire.Out_entered_view new_view))
+
 (* Handler (5): primary suspicion from the environment's request timer. *)
 let on_suspect env st suspected_view =
-  if suspected_view >= st.view then begin
-    let new_view = st.view + 1 in
-    let vc =
-      { Message.vc_new_view = new_view;
-        vc_last_stable = Ckpt.last_stable st.ckpt;
-        vc_checkpoint_proof = Ckpt.proof st.ckpt;
-        vc_prepared = Log.fold (fun _ proof acc -> proof :: acc) st.prepared [];
-        vc_sender = st.cfg.id;
-        vc_sig = "" }
-    in
-    let vc = { vc with vc_sig = Common.sign_with env (Message.viewchange_signing_bytes vc) } in
-    (* Advancing the view stops Prepare processing and Commits in the old
-       view from this point on.  Prepared certificates are kept: a
-       cascading view change must still be able to carry them. *)
-    st.view <- new_view;
-    Log.reset st.proposals;
-    Votes.reset st.prepares;
-    Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Viewchange vc)));
-    Enclave.emit env (Wire.encode_output (Wire.Out_entered_view new_view))
+  if suspected_view >= st.view then send_viewchange env st (st.view + 1)
+
+(* Join rule (PBFT §4.5.2): f+1 ViewChanges for a view above ours prove at
+   least one correct replica's timer expired; join the smallest such view
+   without waiting for our own. *)
+let on_viewchange env st (vc : Message.viewchange) =
+  let deep_ok =
+    if Config.hotpath st.cfg then
+      vc.vc_new_view > st.view
+      && Common.verify_viewchange_deep_c env ~f:(Config.f st.cfg)
+           ~vc_lookup:st.conf_lookup ~ckpt_lookup:st.exec_lookup
+           ~proof_lookup:st.prep_lookup vc
+    else begin
+      Common.charge_verify env (Proofs.viewchange_sig_count vc);
+      vc.vc_new_view > st.view
+      && Validation.verify_viewchange_deep ~f:(Config.f st.cfg) ~vc_lookup:st.conf_lookup
+           ~ckpt_lookup:st.exec_lookup ~proof_lookup:st.prep_lookup vc
+    end
+  in
+  if deep_ok && vc.vc_sender <> st.cfg.id then begin
+    if Votes.add st.viewchanges_seen ~key:vc.vc_new_view ~sender:vc.vc_sender vc then begin
+      let joiners = List.length (Votes.get st.viewchanges_seen vc.vc_new_view) in
+      if joiners >= Config.f st.cfg + 1 then send_viewchange env st vc.vc_new_view
+    end
   end
 
 (* Handler (7'): checkpoint-and-view part of a NewView — the embedded
@@ -239,6 +301,8 @@ let on_newview env st (nv : Message.newview) =
     st.view <- nv.nv_view;
     Log.reset st.proposals;
     Votes.reset st.prepares;
+    st.ahead <- [];
+    Votes.prune st.viewchanges_seen ~keep:(fun v -> v > nv.nv_view);
     (* [st.prepared] is deliberately kept (as in on_suspect): dropping the
        certificates for unstable seqs here would let a still-later NewView
        re-propose different content at seqs already committed under them.
@@ -263,14 +327,16 @@ let handle env st ~byz (input : Wire.input) =
         on_proposal env st ~byz (Message.summarize pp)
       | Message.Preprepare_digest pd -> on_proposal env st ~byz pd
       | Message.Prepare p -> on_prepare env st p
+      | Message.Viewchange vc -> on_viewchange env st vc
       | Message.Newview nv -> on_newview env st nv
       | Message.Checkpoint ck ->
         Common.on_checkpoint env ~hotpath:(Config.hotpath st.cfg)
           ~exec_lookup:st.exec_lookup st.ckpt ck
           ~on_stable:(fun stable ->
             gc st stable;
+            drain_ahead env st ~byz;
             seal_checkpoint_state env st)
-      | Message.Request _ | Message.Commit _ | Message.Reply _ | Message.Viewchange _
+      | Message.Request _ | Message.Commit _ | Message.Reply _
       | Message.Session_init _ | Message.Session_quote _ | Message.Session_key _
       | Message.Session_ack _ | Message.Batch_fetch _ | Message.Batch_data _
       | Message.State_request _ | Message.State_reply _ ->

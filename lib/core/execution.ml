@@ -44,6 +44,9 @@ type state = {
   mutable view : Ids.view;
   batches : (string, Message.request list) Hashtbl.t;  (* by digest *)
   commits : (Ids.seqno, Message.commit) Votes.t;  (* current view *)
+  (* commits addressed just above the window's high edge, parked until
+     our own checkpoint stabilises (see Preparation.ahead) *)
+  mutable ahead : Message.commit list;
   decided : string Log.t;  (* seq -> committed digest *)
   mutable last_executed : Ids.seqno;
   executed_log : (Ids.seqno, string) Hashtbl.t;
@@ -74,6 +77,7 @@ let create_state (cfg : Config.t) ~app =
     view = 0;
     batches = Hashtbl.create 256;
     commits = Votes.create ~size:128 ();
+    ahead = [];
     decided = Log.create ~window:cfg.watermark_window ();
     last_executed = 0;
     executed_log = Hashtbl.create 1024;
@@ -161,7 +165,11 @@ let seal_checkpoint_state env st seq snapshot =
       ri_last_executed = seq;
       ri_snapshot = snapshot;
       ri_executed =
-        Hashtbl.fold (fun s d acc -> (s, d) :: acc) st.executed_log [] |> List.sort compare;
+        (* Explicit seqno order: polymorphic [compare] would also inspect
+           the digest bytes, making the encoding order an accident of the
+           pair representation rather than the log order. *)
+        Hashtbl.fold (fun s d acc -> (s, d) :: acc) st.executed_log []
+        |> List.sort Log.by_seqno;
       ri_sessions = Sessions.fold (fun c k acc -> (c, k) :: acc) st.sessions [] }
   in
   let sealed = Enclave.seal env (encode_recovery_image image) in
@@ -169,24 +177,35 @@ let seal_checkpoint_state env st seq snapshot =
 
 (* Handler (8): originate a Checkpoint every interval. *)
 let send_checkpoint_if_due env st seq =
-  if seq mod st.cfg.checkpoint_interval = 0 then begin
-    let snapshot = st.app.State_machine.snapshot () in
-    (* Kept so a later [State_request] can be served with the snapshot
-       matching this (eventually stable) certified state digest. *)
-    Hashtbl.replace st.snapshots seq snapshot;
-    let ck =
-      { Message.seq;
-        state_digest = State_machine.digest st.app;
-        sender = st.cfg.id;
-        ck_sig = "" }
-    in
-    let ck = { ck with ck_sig = Common.sign_with env (Message.checkpoint_signing_bytes ck) } in
-    (* Own checkpoints never complete a quorum alone; advancing happens
-       when peer checkpoints arrive through [Common.on_checkpoint]. *)
-    Ckpt.store st.ckpt ck;
-    Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Checkpoint ck)));
-    seal_checkpoint_state env st seq snapshot
-  end
+  if seq mod st.cfg.checkpoint_interval = 0 then
+    (* The snapshot, certificate store and counter bump all run inline
+       (state transitions stay in sequence order); with [exec_workers > 1]
+       the snapshot/seal *cost* and the resulting broadcast ride a pool
+       worker like any other background checkpointing thread would —
+       otherwise every checkpoint serializes on the lane thread whose
+       residue class happens to contain the checkpoint seqnos (with
+       [checkpoint_interval] divisible by [lanes] that is always the same
+       lane). *)
+    Enclave.pool_run env (fun () ->
+        let snapshot = st.app.State_machine.snapshot () in
+        (* Kept so a later [State_request] can be served with the snapshot
+           matching this (eventually stable) certified state digest. *)
+        Hashtbl.replace st.snapshots seq snapshot;
+        let ck =
+          { Message.seq;
+            state_digest = State_machine.digest st.app;
+            sender = st.cfg.id;
+            ck_sig = "" }
+        in
+        let ck =
+          { ck with ck_sig = Common.sign_with env (Message.checkpoint_signing_bytes ck) }
+        in
+        (* Own checkpoints never complete a quorum alone; advancing happens
+           when peer checkpoints arrive through [Common.on_checkpoint]. *)
+        Ckpt.store st.ckpt ck;
+        Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Checkpoint ck)));
+        seal_checkpoint_state env st seq snapshot;
+        ([], []))
 
 let gc st stable =
   Votes.prune st.commits ~keep:(fun seq -> seq > stable);
@@ -217,18 +236,23 @@ let send_session_quote env st client =
 let offer_session env st client =
   if not (Hashtbl.mem st.quote_offered client) then send_session_quote env st client
 
+(* Executes one request and returns its conflict footprint (the keys the
+   decrypted operation reads/writes, per the application's [classify]) —
+   empty for duplicates and operations that execute as no-ops. *)
 let execute_request env st ~byz (req : Message.request) =
   let c = Enclave.cost_model env in
   Enclave.charge_crypto env (c.decrypt_request_us +. c.reply_auth_us);
   Enclave.charge_exec env c.exec_op_us;
-  if Client_table.executed st.clients req.client req.timestamp then
+  if Client_table.executed st.clients req.client req.timestamp then begin
     (* Duplicate (re-ordered after a view change, or a retransmission that
        raced execution): do not re-execute; retransmit the cached reply. *)
     (match Client_table.cached_reply st.clients req.client req.timestamp with
     | Some reply ->
       Enclave.emit env
         (Wire.encode_output (Wire.Out_send (Addr.client req.client, Message.Reply reply)))
-    | None -> ())
+    | None -> ());
+    State_machine.rw_none
+  end
   else begin
     let session = Sessions.find st.sessions req.client in
     let plaintext_op =
@@ -250,14 +274,14 @@ let execute_request env st ~byz (req : Message.request) =
         (Wire.encode_output (Wire.Out_persist { tag = "exfil"; data = op }))
     | (Exec_honest | Exec_corrupt | Exec_leak), _ -> ());
     (* Corrupted operations are ordered but executed as a no-op (§4). *)
-    let result =
+    let result, rw =
       match byz, plaintext_op with
-      | Exec_corrupt, Some _ -> "CORRUPT"
-      | _, Some op -> st.app.State_machine.apply op
-      | _, None -> State_machine.noop_result
+      | Exec_corrupt, Some _ -> ("CORRUPT", State_machine.rw_none)
+      | _, Some op -> (st.app.State_machine.apply op, st.app.State_machine.classify op)
+      | _, None -> (State_machine.noop_result, State_machine.rw_none)
     in
     st.executed_total <- st.executed_total + 1;
-    match session with
+    (match session with
     | None ->
       Client_table.record st.clients req.client req.timestamp None;
       offer_session env st req.client
@@ -277,7 +301,8 @@ let execute_request env st ~byz (req : Message.request) =
       let reply = Session.authenticate_reply keys reply in
       Client_table.record st.clients req.client req.timestamp (Some reply);
       Enclave.emit env
-        (Wire.encode_output (Wire.Out_send (Addr.client req.client, Message.Reply reply)))
+        (Wire.encode_output (Wire.Out_send (Addr.client req.client, Message.Reply reply))));
+    rw
   end
 
 let persist_effects env st =
@@ -315,7 +340,19 @@ let rec try_execute env st ~byz =
     | Some batch ->
       st.last_executed <- seq;
       Hashtbl.replace st.executed_log seq digest;
-      List.iter (execute_request env st ~byz) batch;
+      (* The batch executes as one pool task: state transitions happen
+         here, in sequence order (so executed_log and reply contents are
+         identical to serial execution by construction); with
+         [exec_workers > 1] the batch's metered cost and its replies move
+         to a worker thread that waits for any conflicting earlier batch
+         per the accumulated read/write footprint. *)
+      Enclave.pool_run env (fun () ->
+          List.fold_left
+            (fun (rs, ws) req ->
+              let rw = execute_request env st ~byz req in
+              ( List.rev_append rw.State_machine.reads rs,
+                List.rev_append rw.State_machine.writes ws ))
+            ([], []) batch);
       persist_effects env st;
       send_checkpoint_if_due env st seq;
       try_execute env st ~byz)
@@ -369,7 +406,7 @@ let on_state_request env st (sr : Message.state_request) =
             | None -> acc
           else acc)
         st.decided []
-      |> List.sort (fun a b -> compare a.Message.se_seq b.Message.se_seq)
+      |> List.sort (fun a b -> Int.compare a.Message.se_seq b.Message.se_seq)
     in
     let reply =
       { Message.st_replier = st.cfg.id;
@@ -392,7 +429,7 @@ let finish_recovery_if_caught_up env st =
     let f1 = Config.f st.cfg + 1 in
     if List.length st.sync_replies >= f1 then begin
       let heights =
-        List.map (fun (_, h, _) -> h) st.sync_replies |> List.sort (fun a b -> compare b a)
+        List.map (fun (_, h, _) -> h) st.sync_replies |> List.sort (fun a b -> Int.compare b a)
       in
       if st.last_executed >= List.nth heights (f1 - 1) then begin
         st.recovering <- false;
@@ -485,7 +522,7 @@ let on_state_reply env st ~byz (sr : Message.state_reply) =
     let f1 = Config.f st.cfg + 1 in
     if List.length st.sync_replies >= f1 then begin
       let views =
-        List.map (fun (_, _, v) -> v) st.sync_replies |> List.sort (fun a b -> compare b a)
+        List.map (fun (_, _, v) -> v) st.sync_replies |> List.sort (fun a b -> Int.compare b a)
       in
       let v = List.nth views (f1 - 1) in
       if v > st.view then begin
@@ -598,6 +635,10 @@ let on_preprepare env st ~byz (pp : Message.preprepare) =
 
 (* Handler (4): a commit certificate decides a sequence number. *)
 let on_commit env st ~byz (c : Message.commit) =
+  if c.view = st.view && Log.ahead_of_window st.decided c.seq then begin
+    if List.length st.ahead < Log.window st.decided then st.ahead <- st.ahead @ [ c ]
+  end
+  else
   let accept env st ~byz (c : Message.commit) =
     if Votes.add st.commits ~key:c.seq ~sender:c.sender c then begin
       let commits = Votes.get st.commits c.seq in
@@ -641,6 +682,7 @@ let on_newview env st (nv : Message.newview) =
     ignore (Ckpt.absorb_newview st.ckpt nv);
     st.view <- nv.nv_view;
     Votes.reset st.commits;
+    st.ahead <- [];
     gc st (Ckpt.last_stable st.ckpt);
     Enclave.emit env (Wire.encode_output (Wire.Out_entered_view st.view))
   end
@@ -708,6 +750,11 @@ let handle env st ~byz (input : Wire.input) =
           ~exec_lookup:st.exec_lookup st.ckpt ck
           ~on_stable:(fun stable ->
             gc st stable;
+            (* The window just slid: re-drive commits that were ahead of
+               it (any still ahead simply re-park). *)
+            let pending = st.ahead in
+            st.ahead <- [];
+            List.iter (fun c -> on_commit env st ~byz c) pending;
             (* A quorum certified state a full interval past what we have
                executed (e.g. we sat out a partition): the commits we missed
                will not be retransmitted, so catch up through the same
@@ -753,7 +800,7 @@ let make ?(byz = Exec_honest) (cfg : Config.t) ~app =
       executed_log =
         (fun () ->
           Hashtbl.fold (fun seq d acc -> (seq, d) :: acc) !current.executed_log []
-          |> List.sort compare);
+          |> List.sort Log.by_seqno);
       app_digest = (fun () -> State_machine.digest !current.app);
       last_stable = (fun () -> Ckpt.last_stable !current.ckpt);
       sessions = (fun () -> Sessions.count !current.sessions) }

@@ -26,6 +26,8 @@ type probe = {
   next_seq : unit -> int;
   last_stable : unit -> int;
   sessions : unit -> int;
+  parked : unit -> int;
+  lane_cursors : unit -> int list;
 }
 
 type state = {
@@ -36,6 +38,21 @@ type state = {
   box : Box.keypair;
   mutable view : Ids.view;
   mutable next_seq : Ids.seqno;
+  (* Per-lane issuance cursors.  Sequence number [s] belongs to lane
+     [(s - 1) mod lanes]; [lane_next.(l)] is the smallest unissued seqno
+     of lane [l].  Issuance always takes the globally smallest cursor, so
+     issued seqnos stay contiguous and [next_seq] remains the minimum over
+     all lanes — which is also what the recovery image stores; the
+     per-lane cursors re-derive from it via [realign_lanes]. *)
+  lane_next : Ids.seqno array;
+  (* Batches that arrived while the acceptance window was full, waiting
+     for checkpoint stabilization to slide it forward (oldest first). *)
+  mutable parked : Message.request list list;
+  (* Preprepares/Prepares addressed just above the window's high edge:
+     their sender's checkpoint stabilised before ours did.  Parked until
+     our own window slides — dropping them would strand the seqno until a
+     view change (the receiver-side half of the window-edge stall). *)
+  mutable ahead : Message.t list;
   (* in_prep: own and accepted proposals plus the duplicated prepare log *)
   preprepares : Message.preprepare Log.t;
   prepares : (Ids.seqno, Message.prepare) Votes.t;
@@ -48,6 +65,7 @@ type state = {
 }
 
 let create_state (cfg : Config.t) =
+  if cfg.lanes < 1 then invalid_arg "Preparation: lanes must be >= 1";
   { cfg;
     prep_lookup = Config.prep_public ~n:cfg.n;
     conf_lookup = Config.conf_public ~n:cfg.n;
@@ -55,6 +73,9 @@ let create_state (cfg : Config.t) =
     box = Box.derive ~seed:(Keys.enclave_box_seed cfg.id Ids.Preparation);
     view = 0;
     next_seq = 1;
+    lane_next = Array.init cfg.lanes (fun l -> l + 1);
+    parked = [];
+    ahead = [];
     preprepares = Log.create ~window:cfg.watermark_window ();
     prepares = Votes.create ~size:128 ();
     assigned = Client_table.create ();
@@ -66,6 +87,26 @@ let create_state (cfg : Config.t) =
 
 let is_primary st = Config.primary_of_view st.cfg st.view = st.cfg.id
 let in_window st seq = Log.in_window st.preprepares seq
+
+(* Reset every lane cursor to the smallest lane-congruent seqno above
+   [base] — the per-lane equivalent of [next_seq <- base + 1].  Used
+   wherever the single-lane path resets [next_seq]: checkpoint GC, view
+   entry, and recovery from a sealed checkpoint. *)
+let realign_lanes st base =
+  let k = Array.length st.lane_next in
+  for l = 0 to k - 1 do
+    st.lane_next.(l) <- base + 1 + ((((l - base) mod k) + k) mod k)
+  done
+
+(* Take the globally smallest unissued seqno and advance its lane. *)
+let take_next_seq st =
+  let k = Array.length st.lane_next in
+  let seq = st.next_seq in
+  let lane = (seq - 1) mod k in
+  assert (st.lane_next.(lane) = seq);
+  st.lane_next.(lane) <- seq + k;
+  st.next_seq <- seq + 1;
+  seq
 
 let charge_client_auth env st count =
   Enclave.charge_crypto env
@@ -96,44 +137,68 @@ let equivocate env st seq batch =
       (Wire.encode_output (Wire.Out_send (Addr.replica j, Message.Preprepare pp)))
   done
 
-(* Handler (1): batch from the environment — primary only. *)
-let on_batch env st ~byz reqs =
-  if is_primary st && in_window st st.next_seq then begin
-    charge_client_auth env st (List.length reqs);
-    let fresh (r : Message.request) =
-      request_ok st r && not (Client_table.already_assigned st.assigned r.client r.timestamp)
-    in
-    let batch = List.filter fresh reqs in
-    if batch <> [] then begin
-      List.iter
-        (fun (r : Message.request) ->
-          Client_table.note_assigned st.assigned r.client r.timestamp)
-        batch;
-      let seq = st.next_seq in
-      st.next_seq <- seq + 1;
-      match byz with
-      | Prep_equivocate -> equivocate env st seq batch
-      | Prep_honest ->
-        let pp =
-          sign_pp env { Message.view = st.view; seq; batch; sender = st.cfg.id; pp_sig = "" }
-        in
-        Log.set st.preprepares seq pp;
-        let wire =
-          (* Body elision: the signature covers the digest form (see
-             [Message.signing_bytes_of_proposal]), so when freshness
-             filtering dropped nothing the broker — which copied this
-             exact batch in one ecall ago — re-attaches the body outside
-             the boundary instead of paying to copy it back out.
-             Receivers verify the signed digest against the re-attached
-             body, so a confused or malicious broker can only make the
-             proposal fail verification, never change what is ordered. *)
-          if Config.hotpath st.cfg && List.length batch = List.length reqs then
-            Message.Preprepare_digest (Message.summarize pp)
-          else Message.Preprepare pp
-        in
-        Enclave.emit env (Wire.encode_output (Wire.Out_broadcast wire))
+(* Handler (1): batch from the environment — primary only.  A batch that
+   arrives while the acceptance window is full is parked, not dropped:
+   checkpoint stabilization slides the window forward and
+   [drain_parked] re-drives it (previously such batches were silently
+   lost and only a client retransmit could revive them — the
+   watermark-edge leader stall). *)
+let on_batch env st ~byz ?(elide = true) reqs =
+  if is_primary st then begin
+    if not (in_window st st.next_seq) then begin
+      if List.length st.parked < Log.window st.preprepares then
+        st.parked <- st.parked @ [ reqs ]
+    end
+    else begin
+      charge_client_auth env st (List.length reqs);
+      let fresh (r : Message.request) =
+        request_ok st r && not (Client_table.already_assigned st.assigned r.client r.timestamp)
+      in
+      let batch = List.filter fresh reqs in
+      if batch <> [] then begin
+        List.iter
+          (fun (r : Message.request) ->
+            Client_table.note_assigned st.assigned r.client r.timestamp)
+          batch;
+        let seq = take_next_seq st in
+        match byz with
+        | Prep_equivocate -> equivocate env st seq batch
+        | Prep_honest ->
+          let pp =
+            sign_pp env { Message.view = st.view; seq; batch; sender = st.cfg.id; pp_sig = "" }
+          in
+          Log.set st.preprepares seq pp;
+          let wire =
+            (* Body elision: the signature covers the digest form (see
+               [Message.signing_bytes_of_proposal]), so when freshness
+               filtering dropped nothing the broker — which copied this
+               exact batch in one ecall ago — re-attaches the body outside
+               the boundary instead of paying to copy it back out.
+               Receivers verify the signed digest against the re-attached
+               body, so a confused or malicious broker can only make the
+               proposal fail verification, never change what is ordered. *)
+            if elide && Config.hotpath st.cfg && List.length batch = List.length reqs
+            then Message.Preprepare_digest (Message.summarize pp)
+            else Message.Preprepare pp
+          in
+          Enclave.emit env (Wire.encode_output (Wire.Out_broadcast wire))
+      end
     end
   end
+
+(* Re-drive parked batches once the window has room again. *)
+let drain_parked env st ~byz =
+  let rec go () =
+    match st.parked with
+    | reqs :: rest when is_primary st && in_window st st.next_seq ->
+      st.parked <- rest;
+      (* Drained outside the In_batch ecall that carried the body, so the
+         broker can no longer re-attach it: send the full form. *)
+      on_batch env st ~byz ~elide:false reqs;
+      go ()
+    | _ -> ()
+  in
+  go ()
 
 (* Handler (2): PrePrepare from the primary — backups answer with a
    Prepare.  Authentication of the batched client requests is charged; an
@@ -153,8 +218,14 @@ let preprepare_plausible st (pp : Message.preprepare) =
   && in_window st pp.seq
   && not (Log.mem st.preprepares pp.seq)
 
+let park_ahead st msg =
+  if List.length st.ahead < Log.window st.preprepares then
+    st.ahead <- st.ahead @ [ msg ]
+
 let on_preprepare env st (pp : Message.preprepare) =
-  if Config.hotpath st.cfg then begin
+  if pp.view = st.view && Log.ahead_of_window st.preprepares pp.seq then
+    park_ahead st (Message.Preprepare pp)
+  else if Config.hotpath st.cfg then begin
     (* Cheap structural checks before any crypto is charged; the batch is
        hashed once and the digest reused for signature check and Prepare. *)
     if preprepare_plausible st pp then begin
@@ -173,7 +244,9 @@ let on_preprepare env st (pp : Message.preprepare) =
 
 (* Prepares are duplicated into this compartment's input log (P3). *)
 let on_prepare env st (p : Message.prepare) =
-  if Config.hotpath st.cfg then begin
+  if p.view = st.view && Log.ahead_of_window st.preprepares p.seq then
+    park_ahead st (Message.Prepare p)
+  else if Config.hotpath st.cfg then begin
     if
       p.view = st.view
       && in_window st p.seq
@@ -187,11 +260,26 @@ let on_prepare env st (p : Message.prepare) =
     then ignore (Votes.add st.prepares ~key:p.seq ~sender:p.sender p)
   end
 
+(* Re-inject messages that were ahead of the window before it slid; any
+   still ahead simply re-park. *)
+let drain_ahead env st =
+  let pending = st.ahead in
+  st.ahead <- [];
+  List.iter
+    (function
+      | Message.Preprepare pp -> on_preprepare env st pp
+      | Message.Prepare p -> on_prepare env st p
+      | _ -> ())
+    pending
+
 let gc st stable =
   Log.advance_low_mark st.preprepares stable;
   Log.prune st.preprepares ~upto:stable;
   Votes.prune st.prepares ~keep:(fun seq -> seq > stable);
-  if st.next_seq <= stable then st.next_seq <- stable + 1
+  if st.next_seq <= stable then begin
+    st.next_seq <- stable + 1;
+    realign_lanes st stable
+  end
 
 (* ----- rollback-protected sealed checkpoints -----
 
@@ -270,6 +358,10 @@ let on_recover env st blob_opt =
         else begin
           st.view <- view;
           st.next_seq <- next_seq;
+          (* The image stores only the minimum cursor; each lane's cursor
+             re-derives as the smallest lane-congruent seqno at or above
+             it, exactly as the single-lane path resumes from next_seq. *)
+          realign_lanes st (next_seq - 1);
           List.iter (fun (c, auth) -> Sessions.set st.sessions c auth) sessions;
           Ckpt.force_stable st.ckpt last_stable;
           Log.advance_low_mark st.preprepares last_stable
@@ -278,6 +370,11 @@ let on_recover env st blob_opt =
 let enter_view env st ~view ~max_s =
   st.view <- view;
   st.next_seq <- max max_s (Ckpt.last_stable st.ckpt) + 1;
+  realign_lanes st (st.next_seq - 1);
+  (* Parked batches belong to the dead view's primary; the clients'
+     retransmissions re-drive them through the new one. *)
+  st.parked <- [];
+  st.ahead <- [];
   Log.reset st.preprepares;
   Votes.reset st.prepares;
   (* Requests assigned in the dead view may have been lost with it; allow
@@ -444,6 +541,10 @@ let handle env st ~byz (input : Wire.input) =
           ~exec_lookup:st.exec_lookup st.ckpt ck
           ~on_stable:(fun stable ->
             gc st stable;
+            (* The window just slid forward: re-drive any batch that was
+               parked against its edge before sealing the new state. *)
+            drain_parked env st ~byz;
+            drain_ahead env st;
             seal_checkpoint_state env st)
       | Message.Session_init si -> on_session_init env st si
       | Message.Session_key sk -> on_session_key env st sk
@@ -468,6 +569,8 @@ let make ?(byz = Prep_honest) (cfg : Config.t) =
     { view = (fun () -> !current.view);
       next_seq = (fun () -> !current.next_seq);
       last_stable = (fun () -> Ckpt.last_stable !current.ckpt);
-      sessions = (fun () -> Sessions.count !current.sessions) }
+      sessions = (fun () -> Sessions.count !current.sessions);
+      parked = (fun () -> List.length !current.parked);
+      lane_cursors = (fun () -> Array.to_list !current.lane_next) }
   in
   (program, probe)

@@ -24,6 +24,8 @@ type probe = {
   next_seq : unit -> int;
   last_stable : unit -> int;
   sessions : unit -> int;
+  parked : unit -> int;  (** batches waiting for window space *)
+  lane_cursors : unit -> int list;  (** per-lane next unissued seqno *)
 }
 
 val make : ?byz:byz -> Config.t -> Enclave.program * probe

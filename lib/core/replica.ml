@@ -27,7 +27,13 @@ let create ?(prep_byz = Preparation.Prep_honest) ?(conf_byz = Confirmation.Conf_
   let conf_program, conf_probe = Confirmation.make ~byz:conf_byz cfg in
   let exec_program, exec_probe = Execution.make ~byz:exec_byz cfg ~app in
   let make_enclave compartment program =
+    (* Only Execution hosts a worker pool: it is where application work
+       parallelizes; protocol compartments stay single-threaded. *)
+    let workers =
+      match compartment with Ids.Execution -> cfg.exec_workers | _ -> 1
+    in
     Enclave.create platform ~verify_cache_capacity:cfg.verify_cache_capacity
+      ~workers
       ~name:
         (Printf.sprintf "replica%d-%s" cfg.id (Ids.compartment_name compartment))
       ~measurement:(Enclave_identity.of_compartment compartment)

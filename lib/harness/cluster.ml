@@ -23,6 +23,8 @@ type params = {
   cost : Cost_model.t;
   threading : Sconfig.threading;
   verify_cache : bool;
+  lanes : int;  (* SplitBFT consensus lanes; 1 = serial pipeline *)
+  exec_workers : int;  (* SplitBFT Execution worker pool; 1 = serial *)
   net : Network.config;
   seed : int64;
 }
@@ -43,6 +45,8 @@ let default_params ?n protocol =
     cost = Cost_model.default;
     threading = Sconfig.Per_enclave;
     verify_cache = true;
+    lanes = 1;
+    exec_workers = 1;
     net = Network.default_config;
     seed = 1L }
 
@@ -110,7 +114,9 @@ let create ?(splitbft_byz = fun (_ : int) -> honest_enclaves) ?tracer params =
               batch_timeout_us = params.batch_timeout_us;
               checkpoint_interval = params.checkpoint_interval;
               suspect_timeout_us = params.suspect_timeout_us;
-              verify_cache_capacity = (if params.verify_cache then 1024 else 0) }
+              verify_cache_capacity = (if params.verify_cache then 1024 else 0);
+              lanes = params.lanes;
+              exec_workers = params.exec_workers }
           in
           let byz = splitbft_byz i in
           Node_splitbft

@@ -23,6 +23,12 @@ type params = {
           the rest of the hot-path layer (lazy verification, broker
           retransmit early-reject); [false] reproduces the pre-cache cost
           accounting for the [bench hotpath] ablation *)
+  lanes : int;
+      (** SplitBFT only: concurrent consensus lanes (per-lane broker ecall
+          threads); 1 reproduces the serial pipeline *)
+  exec_workers : int;
+      (** SplitBFT only: Execution compartment worker-pool size; 1
+          reproduces serial execution cost accounting *)
   net : Splitbft_sim.Network.config;
   seed : int64;
 }

@@ -426,6 +426,98 @@ let print_hotpath points =
              Printf.sprintf "%.0f" p.hp_retx_suppressed ])
          points)
 
+(* ----- lanes ablation: consensus lanes x execution workers x batch ----- *)
+
+type lanes_point = {
+  lp_label : string;
+  lp_lanes : int;
+  lp_workers : int;
+  lp_batch : int;
+  lp_tput : float;
+  lp_ecall_us_per_req : float;  (* leader, summed over compartments *)
+  lp_pool_tasks : float;
+  lp_pool_conflict_waits : float;
+  lp_lane_ecalls : float;
+}
+
+let lanes_point ~lanes ~workers ~batch =
+  let executed_at_warmup = ref 0 in
+  let at_warmup cluster =
+    match Cluster.node cluster 0 with
+    | Cluster.Node_splitbft r ->
+      S.reset_ecall_stats r;
+      executed_at_warmup := S.executed_count r
+    | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> ()
+  in
+  let params =
+    { (Cluster.default_params Cluster.Splitbft) with
+      Cluster.batch_size = batch;
+      batch_timeout_us = 10_000.0;
+      lanes;
+      exec_workers = workers;
+      seed = 73L }
+  in
+  (* More offered load than the hotpath arms: the point of lanes/workers is
+     to raise the saturation ceiling, so the clients must not be the
+     bottleneck (120 x 40 = 4800 outstanding requests). *)
+  let cluster, r =
+    measure ~at_warmup params ~clients:120 ~window:40 ~warmup_us:200_000.0
+      ~duration_us:400_000.0
+  in
+  let per_req =
+    match Cluster.node cluster 0 with
+    | Cluster.Node_splitbft replica ->
+      let executed = max 1 (S.executed_count replica - !executed_at_warmup) in
+      List.fold_left
+        (fun acc c ->
+          let _, total, _ = S.ecall_stats replica c in
+          acc +. (total /. float_of_int executed))
+        0.0 Ids.all_compartments
+    | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> nan
+  in
+  let obs = Cluster.obs cluster in
+  let sum prefix = Splitbft_obs.Registry.sum obs ~prefix in
+  { lp_label = Printf.sprintf "l%dw%db%d" lanes workers batch;
+    lp_lanes = lanes;
+    lp_workers = workers;
+    lp_batch = batch;
+    lp_tput = r.Workload.throughput_ops;
+    lp_ecall_us_per_req = per_req;
+    lp_pool_tasks = sum "tee.pool_tasks";
+    lp_pool_conflict_waits = sum "tee.pool_conflict_waits";
+    lp_lane_ecalls = sum "broker.lane_ecalls" }
+
+let lanes_grid =
+  [ (1, 1, 200);
+    (4, 1, 200);
+    (1, 4, 200);
+    (2, 2, 200);
+    (4, 4, 200);
+    (8, 4, 200);
+    (4, 4, 50) ]
+
+let lanes ?(grid = lanes_grid) () =
+  List.map (fun (lanes, workers, batch) -> lanes_point ~lanes ~workers ~batch) grid
+
+let print_lanes points =
+  Table.print
+    ~title:
+      "Lanes ablation — consensus lanes x execution workers x batch (SplitBFT KVS, \
+       120x40 clients)"
+    ~header:
+      [ "point"; "throughput"; "ecall us/req"; "pool tasks"; "conflict waits";
+        "lane ecalls" ]
+    ~rows:
+      (List.map
+         (fun p ->
+           [ p.lp_label;
+             Table.ops p.lp_tput;
+             Printf.sprintf "%.1f" p.lp_ecall_us_per_req;
+             Printf.sprintf "%.0f" p.lp_pool_tasks;
+             Printf.sprintf "%.0f" p.lp_pool_conflict_waits;
+             Printf.sprintf "%.0f" p.lp_lane_ecalls ])
+         points)
+
 (* ----- §6 threading ceilings ----- *)
 
 type ceilings_result = {
@@ -564,6 +656,22 @@ let json_of_hotpath points =
              ("verify_cache_misses", num p.hp_cache_misses);
              ("copy_bytes", num p.hp_copy_bytes);
              ("retx_early_rejects", num p.hp_retx_suppressed) ])
+       points)
+
+let json_of_lanes points =
+  Json.List
+    (List.map
+       (fun p ->
+         Json.Obj
+           [ ("label", Json.Str p.lp_label);
+             ("lanes", Json.Int p.lp_lanes);
+             ("workers", Json.Int p.lp_workers);
+             ("batch", Json.Int p.lp_batch);
+             ("throughput_ops", num p.lp_tput);
+             ("ecall_us_per_request", num p.lp_ecall_us_per_req);
+             ("pool_tasks", num p.lp_pool_tasks);
+             ("pool_conflict_waits", num p.lp_pool_conflict_waits);
+             ("lane_ecalls", num p.lp_lane_ecalls) ])
        points)
 
 let json_of_ceilings r =

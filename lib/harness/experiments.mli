@@ -113,6 +113,33 @@ type hotpath_point = {
 val hotpath : ?batches:int list -> unit -> hotpath_point list
 val print_hotpath : hotpath_point list -> unit
 
+(** {2 Lanes ablation — pipelined consensus and parallel execution}
+
+    The multi-lane sweep ([bench lanes]): SplitBFT-KVS under heavy offered
+    load (80 clients, window 40) across (consensus lanes × Execution
+    workers × batch size) points.  The (1, 1, _) point is the serial
+    reference; raising lanes pipelines preprepare/prepare/commit across
+    in-flight seqnos, raising workers lets non-conflicting batches execute
+    in parallel — results stay bit-identical to serial, only cost timing
+    changes. *)
+
+type lanes_point = {
+  lp_label : string;  (** stable key the regression gate matches on *)
+  lp_lanes : int;
+  lp_workers : int;
+  lp_batch : int;
+  lp_tput : float;
+  lp_ecall_us_per_req : float;  (** leader, summed over compartments *)
+  lp_pool_tasks : float;  (** summed [tee.pool_tasks] *)
+  lp_pool_conflict_waits : float;  (** summed [tee.pool_conflict_waits] *)
+  lp_lane_ecalls : float;  (** summed [broker.lane_ecalls] *)
+}
+
+val lanes : ?grid:(int * int * int) list -> unit -> lanes_point list
+(** [grid] elements are (lanes, workers, batch). *)
+
+val print_lanes : lanes_point list -> unit
+
 (** {2 §6 threading ceilings} *)
 
 type ceilings_result = {
@@ -139,4 +166,5 @@ val json_of_table2 : tcb_row list -> Splitbft_obs.Json.t
 val json_of_simmode : simmode_result -> Splitbft_obs.Json.t
 val json_of_batch_ablation : ablation_point list -> Splitbft_obs.Json.t
 val json_of_hotpath : hotpath_point list -> Splitbft_obs.Json.t
+val json_of_lanes : lanes_point list -> Splitbft_obs.Json.t
 val json_of_ceilings : ceilings_result -> Splitbft_obs.Json.t

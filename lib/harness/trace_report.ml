@@ -140,7 +140,7 @@ let analyze tracer =
     Hashtbl.fold (fun _ cell acc -> !cell :: acc) phases []
     |> List.map (fun p ->
            { p with mean_dur_us = p.total_dur_us /. float_of_int p.count })
-    |> List.sort (fun a b -> compare b.total_dur_us a.total_dur_us)
+    |> List.sort (fun a b -> Float.compare b.total_dur_us a.total_dur_us)
   in
   { spans = Tracer.span_count tracer;
     dropped = Tracer.dropped tracer;

@@ -665,7 +665,7 @@ let finish_recovery_if_caught_up t =
     let target = List.nth heads t.f in
     if Int64.compare t.last_exec_counter target >= 0 then begin
       let views =
-        List.sort (fun a b -> compare b a) (List.map (fun (_, _, v) -> v) t.sync_replies)
+        List.sort (fun a b -> Int.compare b a) (List.map (fun (_, _, v) -> v) t.sync_replies)
       in
       let v = List.nth views t.f in
       if v > t.view then t.view <- v;

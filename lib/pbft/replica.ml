@@ -380,7 +380,7 @@ let finish_recovery t =
   let f1 = t.f + 1 in
   if t.recovering && List.length t.sync_replies >= f1 then begin
     let heights =
-      List.map (fun (_, h, _) -> h) t.sync_replies |> List.sort (fun a b -> compare b a)
+      List.map (fun (_, h, _) -> h) t.sync_replies |> List.sort (fun a b -> Int.compare b a)
     in
     (* Caught up once we reach the (f+1)-th highest vouched height: at
        least one honest replica was at or below it. *)
@@ -954,7 +954,7 @@ let on_state_reply t (sr : Message.state_reply) =
     let f1 = t.f + 1 in
     if List.length t.sync_replies >= f1 then begin
       let views =
-        List.map (fun (_, _, v) -> v) t.sync_replies |> List.sort (fun a b -> compare b a)
+        List.map (fun (_, _, v) -> v) t.sync_replies |> List.sort (fun a b -> Int.compare b a)
       in
       let v = List.nth views (f1 - 1) in
       if v > t.view && not t.in_view_change then begin
@@ -1142,7 +1142,7 @@ let committed_digest t seq = Hashtbl.find_opt t.executed_digests seq
 
 let executed_log t =
   Hashtbl.fold (fun seq digest acc -> (seq, digest) :: acc) t.executed_digests []
-  |> List.sort compare
+  |> List.sort Log.by_seqno
 
 let app_digest t = State_machine.digest t.app
 let persisted t = List.rev t.persist_log

@@ -25,10 +25,13 @@ let create engine ~name =
 
 let name t = t.name
 
-let submit t ~cost callback =
+(* [earliest] lifts the job's start time past data dependencies the server
+   itself does not know about (e.g. a conflicting write still in flight on
+   a sibling worker); the server still serializes its own jobs. *)
+let submit_after t ~earliest ~cost callback =
   if cost < 0.0 then invalid_arg (t.name ^ ": negative job cost");
   let now = Engine.now t.engine in
-  let start = Float.max now t.free_at in
+  let start = Float.max earliest (Float.max now t.free_at) in
   let finish = start +. cost in
   t.free_at <- finish;
   t.busy <- t.busy +. cost;
@@ -37,6 +40,8 @@ let submit t ~cost callback =
   Registry.incr t.c_jobs;
   Registry.set t.g_queue_us (finish -. now);
   ignore (Engine.schedule t.engine ~delay:(finish -. now) ~label:("cpu:" ^ t.name) callback)
+
+let submit t ~cost callback = submit_after t ~earliest:0.0 ~cost callback
 
 let free_at t = t.free_at
 let busy_time t = t.busy

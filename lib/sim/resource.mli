@@ -16,6 +16,11 @@ val submit : t -> cost:float -> (unit -> unit) -> unit
 (** Enqueues a job with service time [cost] µs; the callback runs at its
     completion time. *)
 
+val submit_after : t -> earliest:float -> cost:float -> (unit -> unit) -> unit
+(** Like {!submit}, but the job cannot start before virtual time
+    [earliest] — used to model data dependencies on work running on a
+    sibling resource (e.g. a conflicting write in the execution pool). *)
+
 val free_at : t -> float
 (** Virtual time at which all currently queued work completes. *)
 

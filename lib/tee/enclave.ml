@@ -21,6 +21,25 @@ type env = {
   mutable cat_ocall_transitions : float;
   mutable ocalls : int;
   mutable call_cache_hits : int;
+  (* Worker-pool plumbing, valid only while an ecall is executing: the
+     caller's output sink (so deferred task outputs reach the same
+     destination as the ecall's own outputs) and the transition span's
+     context for stamping them. *)
+  mutable deferred_sink : (string list -> unit) option;
+  mutable ecall_out_ctx : Trace_ctx.t option;
+}
+
+and pool = {
+  servers : Resource.t array;
+  (* Conflict horizon per logical key: when the last writer finishes, and
+     when the last reader finishes.  A task must start after the writers
+     of everything it touches and after the readers of everything it
+     writes — the classic RW/WR/WW hazard rule. *)
+  write_free : (string, float) Hashtbl.t;
+  read_free : (string, float) Hashtbl.t;
+  c_tasks : Registry.counter;
+  c_conflict_waits : Registry.counter;
+  g_backlog_us : Registry.gauge;
 }
 
 and t = {
@@ -39,6 +58,7 @@ and t = {
   mutable durations : Stats.t;
   quote_encoded : string;
   cache : Verify_cache.t;
+  pool : pool option;
   c_ecalls : Registry.counter;
   c_ecalls_aborted : Registry.counter;
   c_ecall_us : Registry.counter;
@@ -51,14 +71,29 @@ and t = {
 and handler = string -> unit
 and program = env -> handler
 
-let create ?(verify_cache_capacity = 0) platform ~name ~measurement ~cost_model
-    ~key_seed ~program =
+let create ?(verify_cache_capacity = 0) ?(workers = 1) platform ~name ~measurement
+    ~cost_model ~key_seed ~program =
+  if workers <= 0 then invalid_arg "Enclave.create: workers must be positive";
   let keypair = Signature.derive ~seed:key_seed in
   let quote =
     Attestation.create platform ~measurement ~report_data:keypair.Signature.public
   in
   let obs = Splitbft_sim.Engine.obs (Platform.engine platform) in
   let labels = [ ("enclave", name) ] in
+  let pool =
+    if workers <= 1 then None
+    else
+      Some
+        { servers =
+            Array.init workers (fun i ->
+                Resource.create (Platform.engine platform)
+                  ~name:(Printf.sprintf "%s-w%d" name i));
+          write_free = Hashtbl.create 64;
+          read_free = Hashtbl.create 64;
+          c_tasks = Registry.counter obs ~labels "tee.pool_tasks";
+          c_conflict_waits = Registry.counter obs ~labels "tee.pool_conflict_waits";
+          g_backlog_us = Registry.gauge obs ~labels "tee.pool_backlog_us" }
+  in
   let t =
     { name;
       platform;
@@ -75,6 +110,7 @@ let create ?(verify_cache_capacity = 0) platform ~name ~measurement ~cost_model
       durations = Stats.create ();
       quote_encoded = Attestation.encode quote;
       cache = Verify_cache.create ~capacity:verify_cache_capacity;
+      pool;
       c_ecalls = Registry.counter obs ~labels "tee.ecalls";
       c_ecalls_aborted = Registry.counter obs ~labels "tee.ecalls_aborted";
       c_ecall_us = Registry.counter obs ~labels "tee.ecall_us";
@@ -96,7 +132,9 @@ let create ?(verify_cache_capacity = 0) platform ~name ~measurement ~cost_model
         cat_io = 0.0;
         cat_ocall_transitions = 0.0;
         ocalls = 0;
-        call_cache_hits = 0 };
+        call_cache_hits = 0;
+        deferred_sink = None;
+        ecall_out_ctx = None };
   t
 
 let name t = t.name
@@ -182,8 +220,12 @@ let ecall t ~thread ?ctx ~payload ~on_done () =
     env.ocalls <- 0;
     env.call_cache_hits <- 0;
     let span = match tracer with Some tr -> open_ecall_span t tr ctx | None -> None in
+    env.deferred_sink <- Some on_done;
+    env.ecall_out_ctx <- (match span with Some (_, c) -> Some c | None -> None);
     let handler = instantiate t in
     handler payload;
+    env.deferred_sink <- None;
+    env.ecall_out_ctx <- None;
     let outputs = List.rev env.pending_outputs in
     env.pending_outputs <- [];
     (* Outputs leave the boundary stamped with THIS transition's span, so
@@ -242,8 +284,14 @@ let restart t ~program =
   t.program <- program;
   t.handler <- None;
   (* Enclave memory does not survive teardown: the verified-digest cache
-     restarts cold, like every other in-enclave structure. *)
-  Verify_cache.clear t.cache
+     restarts cold, like every other in-enclave structure — including the
+     worker pool's conflict horizons. *)
+  Verify_cache.clear t.cache;
+  match t.pool with
+  | None -> ()
+  | Some p ->
+    Hashtbl.reset p.write_free;
+    Hashtbl.reset p.read_free
 
 let subvert t program =
   t.subverted <- true;
@@ -309,6 +357,96 @@ let env_platform_id env = Platform.id env.enclave.platform
 let env_measurement env = env.enclave.meas
 let env_now env = Splitbft_sim.Engine.now (Platform.engine env.enclave.platform)
 let env_rng env = env.rng
+
+let pool_size t = match t.pool with None -> 1 | Some p -> Array.length p.servers
+
+(* Conflict horizons only matter while they are in the future; prune stale
+   keys so long runs do not accumulate one entry per key ever touched. *)
+let pool_prune_horizons p ~now =
+  let prune tbl =
+    if Hashtbl.length tbl > 4096 then
+      Hashtbl.iter
+        (fun k t -> if t <= now then Hashtbl.remove tbl k)
+        (Hashtbl.copy tbl)
+  in
+  prune p.write_free;
+  prune p.read_free
+
+let pool_run env f =
+  match env.enclave.pool with
+  | None -> ignore (f ())
+  | Some p ->
+    (* Run the task body now — state transitions stay in issue (sequence)
+       order, so results are identical to serial execution by
+       construction.  Only the task's *cost* and its outputs move to a
+       worker: we snapshot the charge/output accumulators around [f],
+       splice out what it contributed, and schedule that on the
+       earliest-available worker, no earlier than the finish time of every
+       conflicting task already scheduled. *)
+    let charge0 = env.pending_charge in
+    let crypto0 = env.cat_crypto and exec0 = env.cat_exec in
+    let seal0 = env.cat_seal and io0 = env.cat_io in
+    let ocall_t0 = env.cat_ocall_transitions and ocalls0 = env.ocalls in
+    let outputs0 = env.pending_outputs in
+    env.pending_outputs <- [];
+    let reads, writes = f () in
+    let task_outputs = List.rev env.pending_outputs in
+    env.pending_outputs <- outputs0;
+    let delta = env.pending_charge -. charge0 in
+    env.pending_charge <- charge0;
+    env.cat_crypto <- crypto0;
+    env.cat_exec <- exec0;
+    env.cat_seal <- seal0;
+    env.cat_io <- io0;
+    env.cat_ocall_transitions <- ocall_t0;
+    env.ocalls <- ocalls0;
+    let cm = env.enclave.cost_model in
+    let out_bytes =
+      List.fold_left (fun acc o -> acc + String.length o) 0 task_outputs
+    in
+    let cost = delta +. (cm.copy_per_byte_us *. float_of_int out_bytes) in
+    if cost <= 0.0 && task_outputs = [] then ()
+    else begin
+      let now = env_now env in
+      let dep = ref 0.0 in
+      let raise_dep tbl k =
+        match Hashtbl.find_opt tbl k with
+        | Some t -> if t > !dep then dep := t
+        | None -> ()
+      in
+      List.iter (raise_dep p.write_free) reads;
+      List.iter
+        (fun k ->
+          raise_dep p.write_free k;
+          raise_dep p.read_free k)
+        writes;
+      let best = ref p.servers.(0) in
+      Array.iter
+        (fun s -> if Resource.free_at s < Resource.free_at !best then best := s)
+        p.servers;
+      if !dep > Float.max now (Resource.free_at !best) then
+        Registry.incr p.c_conflict_waits;
+      let start = Float.max !dep (Float.max now (Resource.free_at !best)) in
+      let finish = start +. cost in
+      List.iter (fun k -> Hashtbl.replace p.write_free k finish) writes;
+      List.iter
+        (fun k ->
+          let prev =
+            match Hashtbl.find_opt p.read_free k with Some t -> t | None -> 0.0
+          in
+          Hashtbl.replace p.read_free k (Float.max prev finish))
+        reads;
+      pool_prune_horizons p ~now;
+      Registry.incr p.c_tasks;
+      Registry.add env.enclave.c_copy_bytes out_bytes;
+      Registry.set p.g_backlog_us (Float.max 0.0 (finish -. now));
+      let ctx = env.ecall_out_ctx in
+      let stamped = List.map (Trace_ctx.append ctx) task_outputs in
+      let sink =
+        match env.deferred_sink with Some s -> s | None -> fun _ -> ()
+      in
+      Resource.submit_after !best ~earliest:!dep ~cost (fun () -> sink stamped)
+    end
 
 let charge_seal env us =
   env.cat_seal <- env.cat_seal +. us;

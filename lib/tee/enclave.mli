@@ -28,6 +28,7 @@ type program = env -> handler
 
 val create :
   ?verify_cache_capacity:int ->
+  ?workers:int ->
   Platform.t ->
   name:string ->
   measurement:Measurement.t ->
@@ -38,7 +39,10 @@ val create :
 (** The enclave's protocol keypair derives deterministically from
     [key_seed].  [verify_cache_capacity] bounds the in-enclave
     verified-digest cache ({!Verify_cache}); 0 (the default) disables
-    it. *)
+    it.  [workers] (default 1) sizes the in-enclave worker pool used by
+    {!pool_run}; at 1 there is no pool and {!pool_run} degenerates to
+    running its task inline, reproducing single-threaded cost accounting
+    exactly. *)
 
 val name : t -> string
 val measurement : t -> Measurement.t
@@ -145,6 +149,27 @@ val emit : env -> string -> unit
 val ocall : env -> ?cost:float -> string -> unit
 (** Like {!emit} but modelling a mid-ecall ocall: charges the ocall
     transition plus [cost] (work performed outside). *)
+
+(** {2 Worker pool}
+
+    A pool of in-enclave worker threads (SGX enclaves may host multiple
+    trusted threads; each is a serial {!Splitbft_sim.Resource.t} named
+    ["<enclave>-w<i>"]).  {!pool_run} executes a task's state transition
+    immediately — in issue order, so results are bit-identical to serial
+    execution — but moves its metered cost and its emitted outputs onto
+    the earliest-available worker, no earlier than the finish time of any
+    conflicting task (per the read/write footprint the task returns).
+    Deferred outputs reach the ecall caller's [on_done] when the worker
+    finishes.  Metered as [tee.pool_tasks] / [tee.pool_conflict_waits] /
+    [tee.pool_backlog_us]. *)
+
+val pool_size : t -> int
+(** Number of workers (1 when the enclave has no pool). *)
+
+val pool_run : env -> (unit -> string list * string list) -> unit
+(** [pool_run env task] runs [task] now; [task] returns its [(reads,
+    writes)] key footprint.  Only callable from inside an ecall handler.
+    Without a pool: equivalent to [ignore (task ())]. *)
 
 val env_keypair : env -> Splitbft_crypto.Signature.keypair
 val env_platform_id : env -> int
