@@ -89,6 +89,11 @@ let run_ceilings () =
   Experiments.print_ceilings r;
   Experiments.json_of_ceilings r
 
+let run_openloop () =
+  let r = Experiments.openloop () in
+  Experiments.print_openloop r;
+  Experiments.json_of_openloop r
+
 (* ----- bechamel micro-benchmarks of the substrates ----- *)
 
 let micro_tests () =
@@ -167,7 +172,7 @@ let run_micro () =
 
 let probe_metrics ?tracer () =
   let params =
-    { (H.Cluster.default_params H.Cluster.Splitbft) with
+    { (H.Cluster.default_params Splitbft_proto.Proto_splitbft.protocol) with
       H.Cluster.app = H.Cluster.App_kvs;
       seed = 97L }
   in
@@ -195,6 +200,7 @@ let artifacts =
     ("hotpath", fun ~full:_ () -> run_hotpath ());
     ("lanes", fun ~full:_ () -> run_lanes ());
     ("ceilings", fun ~full:_ () -> run_ceilings ());
+    ("openloop", fun ~full:_ () -> run_openloop ());
     ("micro", fun ~full:_ () -> run_micro ()) ]
 
 let run_artifacts ~full names =

@@ -1,13 +1,16 @@
 (* CI perf-regression gate.
 
-   Compares a fresh `bench hotpath lanes --json` run against the
-   checked-in BENCH_BASELINE.json: every gated point in the baseline
-   (artifacts.hotpath and artifacts.lanes) must still exist, its
-   throughput must not drop more than the tolerance below the baseline,
-   and its per-request ecall cost must not rise more than the tolerance
-   above it.  Improvements always pass (the baseline is a floor, not a
-   pin); refreshing the floor after a deliberate win means committing the
-   new JSON as the baseline.
+   Compares a fresh `bench hotpath lanes openloop --json` run against the
+   checked-in BENCH_BASELINE.json: every gated point in the baseline must
+   still exist, and every metric the baseline records for it must stay
+   within the tolerance — throughput_ops is a floor, ecall_us_per_request
+   and p99_latency_us are ceilings.  A metric absent from a baseline point
+   is not gated (artifacts report different fields); an artifact may gate
+   only a subset of its labels (openloop pins the aggregate "knee-zipf",
+   "knee-uniform" and "p99-at-half-load" rows, not every sweep point).
+   Improvements always
+   pass (the baseline is a floor, not a pin); refreshing the floor after a
+   deliberate win means committing the new JSON as the baseline.
 
      bench_check --baseline BENCH_BASELINE.json --current out.json [--tolerance 0.10] *)
 
@@ -35,10 +38,14 @@ let number = function
 
 let str = function Some (Json.Str s) -> Some s | Some _ | None -> None
 
-(* Artifact arrays the gate covers, in report order.  A name missing from
+(* Artifact arrays the gate covers, in report order, with an optional
+   label filter (None = gate every labeled point).  A name missing from
    the baseline is skipped (old baselines predating an artifact stay
    valid); once baselined, the current run must produce it. *)
-let gated_artifacts = [ "hotpath"; "lanes" ]
+let gated_artifacts =
+  [ ("hotpath", None);
+    ("lanes", None);
+    ("openloop", Some [ "knee-zipf"; "knee-uniform"; "p99-at-half-load" ]) ]
 
 let artifact_points path name doc =
   match Option.bind (Json.member "artifacts" doc) (Json.member name) with
@@ -46,17 +53,23 @@ let artifact_points path name doc =
   | Some _ -> die "%s: artifacts.%s is not an array" path name
   | None -> None
 
-type point = { label : string; tput : float; ecall_us : float }
+type point = { label : string; tput : float; ecall_us : float; p99_us : float }
 
 let point_of_json path name j =
   match str (Json.member "label" j) with
   | None -> die "%s: %s point without a label" path name
   | Some label ->
-    let tput = number (Json.member "throughput_ops" j) in
-    let ecall_us = number (Json.member "ecall_us_per_request" j) in
-    if Float.is_nan tput || Float.is_nan ecall_us then
-      die "%s: point %s lacks throughput_ops/ecall_us_per_request" path label;
-    { label; tput; ecall_us }
+    { label;
+      tput = number (Json.member "throughput_ops" j);
+      ecall_us = number (Json.member "ecall_us_per_request" j);
+      p99_us = number (Json.member "p99_latency_us" j) }
+
+(* (metric name, accessor, direction): [`Floor] gates drops below the
+   baseline, [`Ceiling] gates rises above it. *)
+let metrics =
+  [ ("throughput", (fun p -> p.tput), `Floor);
+    ("ecall cost", (fun p -> p.ecall_us), `Ceiling);
+    ("p99 latency", (fun p -> p.p99_us), `Ceiling) ]
 
 let pct base v = (v -. base) /. base *. 100.0
 
@@ -76,47 +89,65 @@ let () =
   let cur_doc = parse_doc !current in
   let failures = ref 0 in
   let checked = ref 0 in
-  Printf.printf "%-24s %14s %14s %8s %14s %14s %8s  %s\n" "point" "base ops/s"
-    "cur ops/s" "Δ%" "base ecall µs" "cur ecall µs" "Δ%" "status";
+  Printf.printf "%-26s %-12s %14s %14s %8s  %s\n" "point" "metric" "baseline" "current"
+    "Δ%" "status";
   List.iter
-    (fun name ->
+    (fun (name, labels) ->
       match artifact_points !baseline name base_doc with
       | None -> ()
       | Some base_raw ->
-        let base_points = List.map (point_of_json !baseline name) base_raw in
+        let keep p =
+          match labels with None -> true | Some ls -> List.mem p.label ls
+        in
+        let base_points =
+          List.filter keep (List.map (point_of_json !baseline name) base_raw)
+        in
         let cur_points =
           match artifact_points !current name cur_doc with
           | Some raw -> List.map (point_of_json !current name) raw
           | None -> die "%s: no artifacts.%s array (baseline gates on it)" !current name
         in
-        checked := !checked + List.length base_points;
         List.iter
           (fun b ->
             match List.find_opt (fun c -> c.label = b.label) cur_points with
             | None ->
+              incr checked;
               incr failures;
-              Printf.printf "%-24s %14.0f %14s %8s %14.2f %14s %8s  MISSING\n"
-                (name ^ "/" ^ b.label) b.tput "-" "-" b.ecall_us "-" "-"
+              Printf.printf "%-26s %-12s %14s %14s %8s  MISSING POINT\n"
+                (name ^ "/" ^ b.label) "-" "-" "-" "-"
             | Some c ->
-              let tput_bad = c.tput < b.tput *. (1.0 -. !tolerance) in
-              let ecall_bad = c.ecall_us > b.ecall_us *. (1.0 +. !tolerance) in
-              if tput_bad || ecall_bad then incr failures;
-              Printf.printf "%-24s %14.0f %14.0f %+7.1f%% %14.2f %14.2f %+7.1f%%  %s\n"
-                (name ^ "/" ^ b.label) b.tput c.tput (pct b.tput c.tput) b.ecall_us
-                c.ecall_us
-                (pct b.ecall_us c.ecall_us)
-                (if tput_bad && ecall_bad then "REGRESSION (throughput, ecall cost)"
-                 else if tput_bad then "REGRESSION (throughput)"
-                 else if ecall_bad then "REGRESSION (ecall cost)"
-                 else "ok"))
+              List.iter
+                (fun (metric, get, dir) ->
+                  let bv = get b in
+                  if Float.is_finite bv then begin
+                    incr checked;
+                    let cv = get c in
+                    if not (Float.is_finite cv) then begin
+                      incr failures;
+                      Printf.printf "%-26s %-12s %14.2f %14s %8s  MISSING METRIC\n"
+                        (name ^ "/" ^ b.label) metric bv "-" "-"
+                    end
+                    else begin
+                      let bad =
+                        match dir with
+                        | `Floor -> cv < bv *. (1.0 -. !tolerance)
+                        | `Ceiling -> cv > bv *. (1.0 +. !tolerance)
+                      in
+                      if bad then incr failures;
+                      Printf.printf "%-26s %-12s %14.2f %14.2f %+7.1f%%  %s\n"
+                        (name ^ "/" ^ b.label) metric bv cv (pct bv cv)
+                        (if bad then "REGRESSION" else "ok")
+                    end
+                  end)
+                metrics)
           base_points)
     gated_artifacts;
   if !checked = 0 then die "%s: none of the gated artifact arrays present" !baseline;
   if !failures > 0 then begin
-    Printf.printf "\n%d point(s) regressed beyond ±%.0f%% of %s\n" !failures
+    Printf.printf "\n%d check(s) regressed beyond ±%.0f%% of %s\n" !failures
       (100.0 *. !tolerance) !baseline;
     exit 1
   end
   else
-    Printf.printf "\nall %d point(s) within ±%.0f%% of %s\n" !checked
+    Printf.printf "\nall %d check(s) within ±%.0f%% of %s\n" !checked
       (100.0 *. !tolerance) !baseline

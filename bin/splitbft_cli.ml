@@ -6,10 +6,25 @@
      splitbft tcb *)
 
 module H = Splitbft_harness
+module Proto = Splitbft_proto
 open Cmdliner
 
+(* Protocols come from the catalog: a protocol registered there is
+   immediately drivable from every subcommand, with no CLI change. *)
 let protocol_conv =
-  Arg.enum [ ("pbft", H.Cluster.Pbft); ("minbft", H.Cluster.Minbft); ("splitbft", H.Cluster.Splitbft) ]
+  let parse s =
+    match Proto.Catalog.find s with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown protocol %S (available: %s)" s
+             (String.concat ", " Proto.Catalog.names)))
+  in
+  let print ppf p = Format.pp_print_string ppf (Proto.Protocol_intf.name p) in
+  Arg.conv (parse, print)
+
+let default_protocol = Proto.Proto_splitbft.protocol
 
 let app_conv =
   Arg.enum
@@ -21,7 +36,7 @@ let app_conv =
 
 let run_cmd =
   let protocol =
-    Arg.(value & opt protocol_conv H.Cluster.Splitbft & info [ "protocol"; "p" ] ~doc:"Protocol.")
+    Arg.(value & opt protocol_conv default_protocol & info [ "protocol"; "p" ] ~doc:"Protocol.")
   in
   let app_arg = Arg.(value & opt app_conv H.Cluster.App_kvs & info [ "app"; "a" ] ~doc:"Application.") in
   let clients = Arg.(value & opt int 10 & info [ "clients"; "c" ] ~doc:"Closed-loop clients.") in
@@ -62,6 +77,89 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a workload against a simulated cluster and report the paper's metrics.")
     Term.(const run $ protocol $ app_arg $ clients $ batch $ window $ duration $ seed)
+
+(* ----- openloop ----- *)
+
+let openloop_cmd =
+  let protocol =
+    Arg.(value & opt protocol_conv default_protocol & info [ "protocol"; "p" ] ~doc:"Protocol.")
+  in
+  let app_arg = Arg.(value & opt app_conv H.Cluster.App_kvs & info [ "app"; "a" ] ~doc:"Application.") in
+  let rate = Arg.(value & opt float 2_000.0 & info [ "rate"; "r" ] ~doc:"Mean offered load, ops/s.") in
+  let bursty =
+    Arg.(value & flag
+         & info [ "bursty" ]
+             ~doc:"Square-wave (compressed diurnal) arrivals instead of Poisson: 4x the mean \
+                   rate for 20% of each 50ms period, mean-preserving low rate otherwise.")
+  in
+  let connections =
+    Arg.(value & opt int 16 & info [ "connections" ] ~doc:"Attested client sessions the identities multiplex over.")
+  in
+  let window = Arg.(value & opt int 16 & info [ "window"; "w" ] ~doc:"Outstanding requests per connection.") in
+  let identities =
+    Arg.(value & opt int 100_000 & info [ "identities" ] ~doc:"Simulated end-user identity space.")
+  in
+  let cache = Arg.(value & opt int 4096 & info [ "identity-cache" ] ~doc:"LRU bound on live per-identity state.") in
+  let zipf = Arg.(value & opt float 0.99 & info [ "zipf" ] ~doc:"Key-popularity skew exponent (0 = uniform).") in
+  let read_ratio = Arg.(value & opt float 0.5 & info [ "read-ratio" ] ~doc:"Fraction of GETs in the KVS mix.") in
+  let batch = Arg.(value & opt int 200 & info [ "batch"; "b" ] ~doc:"Batch size (1 = unbatched).") in
+  let duration = Arg.(value & opt float 1.0 & info [ "duration"; "d" ] ~doc:"Measured seconds (simulated).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let run protocol app rate bursty connections window identities cache zipf read_ratio batch
+      duration seed =
+    let params =
+      { (H.Cluster.default_params protocol) with
+        H.Cluster.app;
+        batch_size = batch;
+        batch_timeout_us = 10_000.0;
+        seed = Int64.of_int seed }
+    in
+    let cluster = H.Cluster.create params in
+    let arrival =
+      if bursty then
+        H.Workload.Open_loop.Bursty { peak_factor = 4.0; period_us = 50_000.0; duty = 0.2 }
+      else H.Workload.Open_loop.Poisson
+    in
+    let spec =
+      { H.Workload.Open_loop.default_spec with
+        H.Workload.Open_loop.arrival;
+        rate_ops = rate;
+        warmup_us = duration *. 1e6 /. 4.0;
+        duration_us = duration *. 1e6;
+        connections;
+        window;
+        identities;
+        identity_cache = cache;
+        zipf_s = zipf;
+        read_ratio }
+    in
+    let r = H.Workload.Open_loop.run cluster spec in
+    let open H.Workload.Open_loop in
+    H.Table.print ~title:"open-loop result"
+      ~header:[ "metric"; "value" ]
+      ~rows:
+        [ [ "offered"; H.Table.ops r.offered_ops ^ " ops/s" ];
+          [ "achieved"; H.Table.ops r.achieved_ops ^ " ops/s" ];
+          [ "p50 latency"; H.Table.us r.ol_p50_latency_us ];
+          [ "p95 latency"; H.Table.us r.ol_p95_latency_us ];
+          [ "p99 latency"; H.Table.us r.ol_p99_latency_us ];
+          [ "arrivals"; string_of_int r.arrivals ];
+          [ "completed (window)"; string_of_int r.ol_completed ];
+          [ "wrong results"; string_of_int r.ol_wrong_results ];
+          [ "backlog peak"; string_of_int r.backlog_peak ];
+          [ "live identities (peak)"; string_of_int r.live_identities_peak ];
+          [ "distinct identities"; string_of_int r.distinct_identities ];
+          [ "identity table words (peak)"; string_of_int r.identity_words_peak ] ]
+  in
+  Cmd.v
+    (Cmd.info "openloop"
+       ~doc:
+         "Drive an open-loop workload: arrivals follow a Poisson or bursty process \
+          independent of completions, latency is measured from arrival (client-side \
+          queueing included), and simulated identities multiplex over a bounded \
+          connection pool with LRU-bounded generator memory.")
+    Term.(const run $ protocol $ app_arg $ rate $ bursty $ connections $ window $ identities
+          $ cache $ zipf $ read_ratio $ batch $ duration $ seed)
 
 (* ----- scenarios ----- *)
 
@@ -110,7 +208,7 @@ let tcb_cmd =
 
 let metrics_cmd =
   let protocol =
-    Arg.(value & opt protocol_conv H.Cluster.Splitbft & info [ "protocol"; "p" ] ~doc:"Protocol.")
+    Arg.(value & opt protocol_conv default_protocol & info [ "protocol"; "p" ] ~doc:"Protocol.")
   in
   let app_arg = Arg.(value & opt app_conv H.Cluster.App_kvs & info [ "app"; "a" ] ~doc:"Application.") in
   let clients = Arg.(value & opt int 10 & info [ "clients"; "c" ] ~doc:"Closed-loop clients.") in
@@ -154,7 +252,7 @@ let metrics_cmd =
 
 let trace_cmd =
   let protocol =
-    Arg.(value & opt protocol_conv H.Cluster.Splitbft & info [ "protocol"; "p" ] ~doc:"Protocol.")
+    Arg.(value & opt protocol_conv default_protocol & info [ "protocol"; "p" ] ~doc:"Protocol.")
   in
   let app_arg = Arg.(value & opt app_conv H.Cluster.App_kvs & info [ "app"; "a" ] ~doc:"Application.") in
   let clients = Arg.(value & opt int 3 & info [ "clients"; "c" ] ~doc:"Closed-loop clients.") in
@@ -284,4 +382,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "splitbft_cli" ~doc)
-          [ run_cmd; scenario_cmd; scenarios_cmd; tcb_cmd; metrics_cmd; trace_cmd ]))
+          [ run_cmd; openloop_cmd; scenario_cmd; scenarios_cmd; tcb_cmd; metrics_cmd; trace_cmd ]))

@@ -29,8 +29,8 @@ let () =
     "Every operation value embeds the marker %S; the tap sees every byte\n\
      an attacker in the cloud provider's position would see.\n\n"
     H.Workload.canary;
-  run H.Cluster.Pbft "PBFT";
-  run H.Cluster.Splitbft "SplitBFT";
+  run Splitbft_proto.Proto_pbft.protocol "PBFT";
+  run Splitbft_proto.Proto_splitbft.protocol "SplitBFT";
   print_newline ();
   print_endline
     "PBFT exposes every operation to the infrastructure; SplitBFT's clients\n\

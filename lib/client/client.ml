@@ -85,7 +85,16 @@ type t = {
 }
 
 let create engine net cfg =
-  let rng = Splitbft_util.Rng.split (Engine.rng engine) in
+  (* Keyed on (engine seed, client id) rather than split off the engine's
+     root generator: the client's session keys, retry jitter and encryption
+     nonces are then a pure function of the scenario seed and its own id,
+     independent of how many replicas, clients or other rng consumers were
+     created before it — so workload traces reproduce across harness
+     rewirings and client-count changes. *)
+  let rng =
+    Splitbft_util.Rng.of_key (Engine.seed engine) ~domain:"client"
+      ~stream:(Int64.of_int cfg.id)
+  in
   let t =
     { cfg;
       engine;

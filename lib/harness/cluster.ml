@@ -3,17 +3,13 @@ module Network = Splitbft_sim.Network
 module Ids = Splitbft_types.Ids
 module Client = Splitbft_client.Client
 module Cost_model = Splitbft_tee.Cost_model
-module P = Splitbft_pbft.Replica
-module M = Splitbft_minbft.Replica
-module S = Splitbft_core.Replica
-module Sconfig = Splitbft_core.Config
+module Proto = Splitbft_proto.Protocol_intf
 module State_machine = Splitbft_app.State_machine
 
-type protocol = Pbft | Minbft | Splitbft
 type app_kind = App_kvs | App_ledger | App_counter
 
 type params = {
-  protocol : protocol;
+  protocol : Proto.t;
   n : int;
   app : app_kind;
   batch_size : int;
@@ -21,20 +17,12 @@ type params = {
   checkpoint_interval : int;
   suspect_timeout_us : float;
   cost : Cost_model.t;
-  threading : Sconfig.threading;
-  verify_cache : bool;
-  lanes : int;  (* SplitBFT consensus lanes; 1 = serial pipeline *)
-  exec_workers : int;  (* SplitBFT Execution worker pool; 1 = serial *)
   net : Network.config;
   seed : int64;
 }
 
 let default_params ?n protocol =
-  let n =
-    match n with
-    | Some n -> n
-    | None -> ( match protocol with Minbft -> 3 | Pbft | Splitbft -> 4)
-  in
+  let n = match n with Some n -> n | None -> Proto.default_n protocol in
   { protocol;
     n;
     app = App_kvs;
@@ -43,28 +31,10 @@ let default_params ?n protocol =
     checkpoint_interval = 64;
     suspect_timeout_us = 500_000.0;
     cost = Cost_model.default;
-    threading = Sconfig.Per_enclave;
-    verify_cache = true;
-    lanes = 1;
-    exec_workers = 1;
     net = Network.default_config;
     seed = 1L }
 
-type node =
-  | Node_pbft of P.t
-  | Node_minbft of M.t
-  | Node_splitbft of S.t
-
-type splitbft_byz = {
-  prep : Splitbft_core.Preparation.byz;
-  conf : Splitbft_core.Confirmation.byz;
-  exec : Splitbft_core.Execution.byz;
-}
-
-let honest_enclaves =
-  { prep = Splitbft_core.Preparation.Prep_honest;
-    conf = Splitbft_core.Confirmation.Conf_honest;
-    exec = Splitbft_core.Execution.Exec_honest }
+type node = Proto.packed
 
 type t = {
   params : params;
@@ -79,49 +49,22 @@ let make_app kind () : State_machine.t =
   | App_ledger -> Splitbft_app.Ledger.create ()
   | App_counter -> Splitbft_app.Counter_app.create ()
 
-let create ?(splitbft_byz = fun (_ : int) -> honest_enclaves) ?tracer params =
+let shared_of_params params : Proto.shared =
+  { Proto.n = params.n;
+    batch_size = params.batch_size;
+    batch_timeout_us = params.batch_timeout_us;
+    checkpoint_interval = params.checkpoint_interval;
+    suspect_timeout_us = params.suspect_timeout_us;
+    cost = params.cost }
+
+let create ?tracer params =
   let engine = Engine.create ~seed:params.seed ?tracer () in
   let net = Network.create engine params.net in
+  let ctx = Proto.context engine net in
+  let shared = shared_of_params params in
   let nodes =
     List.init params.n (fun i ->
-        match params.protocol with
-        | Pbft ->
-          let cfg =
-            { (P.default_config ~n:params.n ~id:i) with
-              P.cost = params.cost;
-              batch_size = params.batch_size;
-              batch_timeout_us = params.batch_timeout_us;
-              checkpoint_interval = params.checkpoint_interval;
-              suspect_timeout_us = params.suspect_timeout_us }
-          in
-          Node_pbft (P.create engine net cfg ~app:(make_app params.app ()))
-        | Minbft ->
-          let cfg =
-            { (M.default_config ~n:params.n ~id:i) with
-              M.cost = params.cost;
-              batch_size = params.batch_size;
-              batch_timeout_us = params.batch_timeout_us;
-              checkpoint_interval = params.checkpoint_interval;
-              suspect_timeout_us = params.suspect_timeout_us }
-          in
-          Node_minbft (M.create engine net cfg ~app:(make_app params.app ()))
-        | Splitbft ->
-          let cfg =
-            { (Sconfig.default ~n:params.n ~id:i) with
-              Sconfig.cost = params.cost;
-              threading = params.threading;
-              batch_size = params.batch_size;
-              batch_timeout_us = params.batch_timeout_us;
-              checkpoint_interval = params.checkpoint_interval;
-              suspect_timeout_us = params.suspect_timeout_us;
-              verify_cache_capacity = (if params.verify_cache then 1024 else 0);
-              lanes = params.lanes;
-              exec_workers = params.exec_workers }
-          in
-          let byz = splitbft_byz i in
-          Node_splitbft
-            (S.create ~prep_byz:byz.prep ~conf_byz:byz.conf ~exec_byz:byz.exec engine net
-               cfg ~app:(make_app params.app)))
+        Proto.spawn params.protocol ctx shared ~id:i ~app:(make_app params.app))
   in
   { params; engine; net; nodes }
 
@@ -131,20 +74,12 @@ let network t = t.net
 let obs t = Engine.obs t.engine
 let nodes t = t.nodes
 let node t i = List.nth t.nodes i
-
-let f t =
-  match t.params.protocol with
-  | Minbft -> Ids.f_of_n_hybrid t.params.n
-  | Pbft | Splitbft -> Ids.f_of_n t.params.n
+let protocol_name t = Proto.name t.params.protocol
+let f t = Proto.f_of_n t.params.protocol t.params.n
 
 let make_clients t ~count ~window ?ready_quorum () =
   let protocol =
-    match t.params.protocol with
-    | Pbft -> Client.Pbft
-    | Minbft -> Client.Minbft
-    | Splitbft ->
-      Client.Splitbft
-        { ready_quorum = Option.value ~default:t.params.n ready_quorum }
+    Proto.client_protocol t.params.protocol ~n:t.params.n ~ready_quorum
   in
   List.init count (fun id ->
       let cfg = { (Client.default_config protocol ~n:t.params.n ~id) with Client.window } in
@@ -152,65 +87,14 @@ let make_clients t ~count ~window ?ready_quorum () =
 
 let run t ~until_us = Engine.run ~until:until_us t.engine
 
-let executed_log_of = function
-  | Node_pbft r ->
-    List.map (fun (seq, d) -> (Int64.of_int seq, d)) (P.executed_log r)
-  | Node_minbft r -> M.executed_log r
-  | Node_splitbft r ->
-    List.map (fun (seq, d) -> (Int64.of_int seq, d)) (S.executed_log r)
-
-let last_executed_of = function
-  | Node_pbft r -> Int64.of_int (P.last_executed r)
-  | Node_minbft r -> M.last_executed_counter r
-  | Node_splitbft r -> Int64.of_int (S.last_executed r)
-
-let executed_count_of = function
-  | Node_pbft r -> P.executed_count r
-  | Node_minbft r -> M.executed_count r
-  | Node_splitbft r -> S.executed_count r
-
-let app_digest_of = function
-  | Node_pbft r -> P.app_digest r
-  | Node_minbft r -> M.app_digest r
-  | Node_splitbft r -> S.app_digest r
-
-let view_of = function
-  | Node_pbft r -> P.view r
-  | Node_minbft r -> M.view r
-  | Node_splitbft r -> S.view r
-
-let crash_host t i =
-  match node t i with
-  | Node_pbft r -> P.crash r
-  | Node_minbft r -> M.crash r
-  | Node_splitbft r -> S.crash_host r
-
-let restart_host t i =
-  match node t i with
-  | Node_pbft r -> P.restart r
-  | Node_minbft r -> M.restart r
-  | Node_splitbft r -> S.restart_host r
-
-let tamper_checkpoint_counter t i =
-  match node t i with
-  | Node_pbft r -> P.tamper_counter r "ckpt"
-  | Node_minbft r -> M.tamper_counter r "ckpt"
-  | Node_splitbft r ->
-    (* The Execution compartment holds the replicated state; rolling its
-       counter back is the canonical attack. *)
-    S.tamper_counter r Ids.Execution "ckpt"
-
-let recovered_of = function
-  | Node_pbft r -> P.recovered r
-  | Node_minbft r -> M.recovered r
-  | Node_splitbft r -> S.recovered r
-
-let recovery_alerts_of = function
-  | Node_pbft r -> P.recovery_alerts r
-  | Node_minbft r -> M.recovery_alerts r
-  | Node_splitbft r -> S.recovery_alerts r
-
-let persisted_of = function
-  | Node_pbft r -> P.persisted r
-  | Node_minbft r -> M.persisted r
-  | Node_splitbft r -> S.persisted r
+let executed_log_of = Proto.executed_log
+let last_executed_of = Proto.last_executed
+let executed_count_of = Proto.executed_count
+let app_digest_of = Proto.app_digest
+let view_of = Proto.view
+let crash_host t i = Proto.crash_host (node t i)
+let restart_host t i = Proto.restart_host (node t i)
+let tamper_checkpoint_counter t i = Proto.tamper_checkpoint_counter (node t i)
+let recovered_of = Proto.recovered
+let recovery_alerts_of = Proto.recovery_alerts
+let persisted_of = Proto.persisted

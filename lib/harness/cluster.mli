@@ -1,15 +1,21 @@
-(** Unified deployment of a BFT cluster (PBFT / MinBFT / SplitBFT) inside
-    one simulation, with matched clients — the substrate every experiment
-    builds on. *)
+(** Unified deployment of a BFT cluster inside one simulation, with matched
+    clients — the substrate every experiment builds on.
+
+    The cluster is polymorphic over {!Splitbft_proto.Protocol_intf.t}: any
+    protocol instance (built-in or third-party) deploys, observes and
+    recovers through the same interface, with zero protocol dispatch here.
+    Protocol-specific knobs (byzantine placement, lanes, worker pools,
+    threading) are closed over by the instance itself — see the [make]
+    constructors in [Splitbft_proto]. *)
 
 module Ids = Splitbft_types.Ids
 module Client = Splitbft_client.Client
+module Proto = Splitbft_proto.Protocol_intf
 
-type protocol = Pbft | Minbft | Splitbft
 type app_kind = App_kvs | App_ledger | App_counter
 
 type params = {
-  protocol : protocol;
+  protocol : Proto.t;
   n : int;
   app : app_kind;
   batch_size : int;
@@ -17,49 +23,24 @@ type params = {
   checkpoint_interval : int;
   suspect_timeout_us : float;
   cost : Splitbft_tee.Cost_model.t;
-  threading : Splitbft_core.Config.threading;  (** SplitBFT only *)
-  verify_cache : bool;
-      (** SplitBFT only: enable the enclaves' verified-digest caches and
-          the rest of the hot-path layer (lazy verification, broker
-          retransmit early-reject); [false] reproduces the pre-cache cost
-          accounting for the [bench hotpath] ablation *)
-  lanes : int;
-      (** SplitBFT only: concurrent consensus lanes (per-lane broker ecall
-          threads); 1 reproduces the serial pipeline *)
-  exec_workers : int;
-      (** SplitBFT only: Execution compartment worker-pool size; 1
-          reproduces serial execution cost accounting *)
   net : Splitbft_sim.Network.config;
   seed : int64;
 }
 
-val default_params : ?n:int -> protocol -> params
-(** [n] defaults to 4 (3f+1) for PBFT/SplitBFT and 3 (2f+1) for MinBFT. *)
+val default_params : ?n:int -> Proto.t -> params
+(** [n] defaults to the protocol's [default_n] (4 = 3f+1 for
+    PBFT/SplitBFT, 3 = 2f+1 for MinBFT). *)
 
-type node =
-  | Node_pbft of Splitbft_pbft.Replica.t
-  | Node_minbft of Splitbft_minbft.Replica.t
-  | Node_splitbft of Splitbft_core.Replica.t
-
-type splitbft_byz = {
-  prep : Splitbft_core.Preparation.byz;
-  conf : Splitbft_core.Confirmation.byz;
-  exec : Splitbft_core.Execution.byz;
-}
-
-val honest_enclaves : splitbft_byz
+type node = Proto.packed
 
 type t
 
-val create :
-  ?splitbft_byz:(Ids.replica_id -> splitbft_byz) ->
-  ?tracer:Splitbft_obs.Tracer.t ->
-  params ->
-  t
-(** Deploys [n] replicas.  SplitBFT byzantine enclaves must be installed at
-    creation (compromised-at-deployment); PBFT/MinBFT byzantine modes are
-    set afterwards via {!node}.  [tracer], when given, is installed on the
-    engine: clients open root spans per sampled request and every hop
+val create : ?tracer:Splitbft_obs.Tracer.t -> params -> t
+(** Deploys [n] replicas through the protocol's [spawn].  Byzantine
+    behaviour is part of the protocol instance (compromised-at-deployment);
+    build one with e.g. [Proto_splitbft.make ~byz] or
+    [Proto_pbft.make ~byzantine].  [tracer], when given, is installed on
+    the engine: clients open root spans per sampled request and every hop
     (broker dispatch, enclave transition, baseline handler) records
     parent-linked spans with cost attribution. *)
 
@@ -72,8 +53,10 @@ val network : t -> Splitbft_sim.Network.t
     resource utilization, and — after a workload run — the latency
     summary.  Snapshot with [Registry.to_json]. *)
 val obs : t -> Splitbft_obs.Registry.t
+
 val nodes : t -> node list
 val node : t -> Ids.replica_id -> node
+val protocol_name : t -> string
 val f : t -> int
 
 val make_clients : t -> count:int -> window:int -> ?ready_quorum:int -> unit -> Client.t list

@@ -4,22 +4,30 @@ module S = Splitbft_core.Replica
 module Stats = Splitbft_util.Stats
 module Lines = Splitbft_util.Lines
 module Json = Splitbft_obs.Json
+module Proto_pbft = Splitbft_proto.Proto_pbft
+module Proto_splitbft = Splitbft_proto.Proto_splitbft
 
 (* ----- shared runners ----- *)
 
-let splitbft_params ~batched ~app ~seed =
-  { (Cluster.default_params Cluster.Splitbft) with
+(* [proto] lets a point swap in a SplitBFT instance with non-default knobs
+   (lanes, workers, cache, threading) without touching the shared params. *)
+let splitbft_params ?(proto = Proto_splitbft.protocol) ~batched ~app ~seed () =
+  { (Cluster.default_params proto) with
     Cluster.app;
     batch_size = (if batched then 200 else 1);
     batch_timeout_us = 10_000.0;
     seed }
 
 let pbft_params ~batched ~app ~seed =
-  { (Cluster.default_params Cluster.Pbft) with
+  { (Cluster.default_params Proto_pbft.protocol) with
     Cluster.app;
     batch_size = (if batched then 200 else 1);
     batch_timeout_us = 10_000.0;
     seed }
+
+(* Leader-side SplitBFT replica, for the ecall-accounting experiments
+   (meaningless — [None] — under any other protocol). *)
+let leader_split cluster = Proto_splitbft.replica_of (Cluster.node cluster 0)
 
 let measure ?(at_warmup = fun (_ : Cluster.t) -> ()) params ~clients ~window ~warmup_us
     ~duration_us =
@@ -63,7 +71,7 @@ let fig3 ?clients_list ?duration_us ~batched ~app () =
               latency_us = r.Workload.mean_latency_us })
           clients_list }
   in
-  [ series "splitbft" (fun () -> splitbft_params ~batched ~app ~seed:21L);
+  [ series "splitbft" (fun () -> splitbft_params ~batched ~app ~seed:21L ());
     series "pbft" (fun () -> pbft_params ~batched ~app ~seed:22L) ]
 
 let print_fig3 ~title series =
@@ -103,21 +111,21 @@ type fig4_row = {
 let fig4 ?(clients = 40) ~batched () =
   let executed_at_warmup = ref 0 in
   let at_warmup cluster =
-    match Cluster.node cluster 0 with
-    | Cluster.Node_splitbft r ->
+    match leader_split cluster with
+    | Some r ->
       S.reset_ecall_stats r;
       executed_at_warmup := S.executed_count r
-    | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> ()
+    | None -> ()
   in
   let window = if batched then 40 else 1 in
   let duration_us = if batched then 500_000.0 else 800_000.0 in
   let cluster, _ =
     measure ~at_warmup
-      (splitbft_params ~batched ~app:Cluster.App_kvs ~seed:31L)
+      (splitbft_params ~batched ~app:Cluster.App_kvs ~seed:31L ())
       ~clients ~window ~warmup_us:300_000.0 ~duration_us
   in
-  match Cluster.node cluster 0 with
-  | Cluster.Node_splitbft r ->
+  match leader_split cluster with
+  | Some r ->
     let executed = max 1 (S.executed_count r - !executed_at_warmup) in
     List.map
       (fun c ->
@@ -127,7 +135,7 @@ let fig4 ?(clients = 40) ~batched () =
           ecalls = count;
           us_per_request = total /. float_of_int executed })
       Ids.all_compartments
-  | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> []
+  | None -> []
 
 let print_fig4 ~batched rows =
   let total = List.fold_left (fun acc r -> acc +. r.us_per_request) 0.0 rows in
@@ -245,10 +253,10 @@ let simmode ?(duration_us = 800_000.0) () =
     let _, r = measure params ~clients ~window:1 ~warmup_us:300_000.0 ~duration_us in
     r.Workload.throughput_ops
   in
-  let hw = run (splitbft_params ~batched:false ~app:Cluster.App_kvs ~seed:41L) in
+  let hw = run (splitbft_params ~batched:false ~app:Cluster.App_kvs ~seed:41L ()) in
   let sim =
     run
-      { (splitbft_params ~batched:false ~app:Cluster.App_kvs ~seed:41L) with
+      { (splitbft_params ~batched:false ~app:Cluster.App_kvs ~seed:41L ()) with
         Cluster.cost = Cost_model.simulation_mode Cost_model.default }
   in
   let pbft = run (pbft_params ~batched:false ~app:Cluster.App_kvs ~seed:42L) in
@@ -282,14 +290,14 @@ let batch_ablation ?(batches = [ 1; 10; 50; 100; 200; 400 ]) ?(duration_us = 400
     (fun batch ->
       let executed_at_warmup = ref 0 in
       let at_warmup cluster =
-        match Cluster.node cluster 0 with
-        | Cluster.Node_splitbft r ->
+        match leader_split cluster with
+        | Some r ->
           S.reset_ecall_stats r;
           executed_at_warmup := S.executed_count r
-        | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> ()
+        | None -> ()
       in
       let params =
-        { (Cluster.default_params Cluster.Splitbft) with
+        { (Cluster.default_params Proto_splitbft.protocol) with
           Cluster.batch_size = batch;
           batch_timeout_us = 10_000.0;
           seed = 61L }
@@ -298,15 +306,15 @@ let batch_ablation ?(batches = [ 1; 10; 50; 100; 200; 400 ]) ?(duration_us = 400
         measure ~at_warmup params ~clients:40 ~window:40 ~warmup_us:200_000.0 ~duration_us
       in
       let per_req =
-        match Cluster.node cluster 0 with
-        | Cluster.Node_splitbft replica ->
+        match leader_split cluster with
+        | Some replica ->
           let executed = max 1 (S.executed_count replica - !executed_at_warmup) in
           List.fold_left
             (fun acc c ->
               let _, total, _ = S.ecall_stats replica c in
               acc +. (total /. float_of_int executed))
             0.0 Ids.all_compartments
-        | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> nan
+        | None -> nan
       in
       { ab_batch = batch; ab_tput = r.Workload.throughput_ops; ab_ecall_us_per_req = per_req })
     batches
@@ -341,11 +349,11 @@ type hotpath_point = {
 let hotpath_point ~batch ~cache ~churn =
   let executed_at_warmup = ref 0 in
   let at_warmup cluster =
-    (match Cluster.node cluster 0 with
-    | Cluster.Node_splitbft r ->
+    (match leader_split cluster with
+    | Some r ->
       S.reset_ecall_stats r;
       executed_at_warmup := S.executed_count r
-    | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> ());
+    | None -> ());
     if churn then begin
       (* Crash the view-0 primary right after warmup: the cluster view-
          changes under load and the host later restarts and catches up via
@@ -359,10 +367,9 @@ let hotpath_point ~batch ~cache ~churn =
     end
   in
   let params =
-    { (Cluster.default_params Cluster.Splitbft) with
+    { (Cluster.default_params (Proto_splitbft.make ~verify_cache:cache ())) with
       Cluster.batch_size = batch;
       batch_timeout_us = 10_000.0;
-      verify_cache = cache;
       seed = 71L }
   in
   let warmup_us = if churn then 300_000.0 else 200_000.0 in
@@ -373,15 +380,15 @@ let hotpath_point ~batch ~cache ~churn =
        ablation.  In churn arms the view-0 leader spends part of the run
        crashed; the number is still deterministic and comparable between
        the cache arms, which is all the regression gate needs. *)
-    match Cluster.node cluster 0 with
-    | Cluster.Node_splitbft replica ->
+    match leader_split cluster with
+    | Some replica ->
       let executed = max 1 (S.executed_count replica - !executed_at_warmup) in
       List.fold_left
         (fun acc c ->
           let _, total, _ = S.ecall_stats replica c in
           acc +. (total /. float_of_int executed))
         0.0 Ids.all_compartments
-    | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> nan
+    | None -> nan
   in
   let obs = Cluster.obs cluster in
   let sum prefix = Splitbft_obs.Registry.sum obs ~prefix in
@@ -443,18 +450,16 @@ type lanes_point = {
 let lanes_point ~lanes ~workers ~batch =
   let executed_at_warmup = ref 0 in
   let at_warmup cluster =
-    match Cluster.node cluster 0 with
-    | Cluster.Node_splitbft r ->
+    match leader_split cluster with
+    | Some r ->
       S.reset_ecall_stats r;
       executed_at_warmup := S.executed_count r
-    | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> ()
+    | None -> ()
   in
   let params =
-    { (Cluster.default_params Cluster.Splitbft) with
+    { (Cluster.default_params (Proto_splitbft.make ~lanes ~exec_workers:workers ())) with
       Cluster.batch_size = batch;
       batch_timeout_us = 10_000.0;
-      lanes;
-      exec_workers = workers;
       seed = 73L }
   in
   (* More offered load than the hotpath arms: the point of lanes/workers is
@@ -465,15 +470,15 @@ let lanes_point ~lanes ~workers ~batch =
       ~duration_us:400_000.0
   in
   let per_req =
-    match Cluster.node cluster 0 with
-    | Cluster.Node_splitbft replica ->
+    match leader_split cluster with
+    | Some replica ->
       let executed = max 1 (S.executed_count replica - !executed_at_warmup) in
       List.fold_left
         (fun acc c ->
           let _, total, _ = S.ecall_stats replica c in
           acc +. (total /. float_of_int executed))
         0.0 Ids.all_compartments
-    | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> nan
+    | None -> nan
   in
   let obs = Cluster.obs cluster in
   let sum prefix = Splitbft_obs.Registry.sum obs ~prefix in
@@ -533,20 +538,20 @@ let ceilings ?(duration_us = 800_000.0) () =
   let clients = 40 in
   let executed_at_warmup = ref 0 in
   let at_warmup cluster =
-    match Cluster.node cluster 0 with
-    | Cluster.Node_splitbft r ->
+    match leader_split cluster with
+    | Some r ->
       S.reset_ecall_stats r;
       executed_at_warmup := S.executed_count r
-    | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> ()
+    | None -> ()
   in
   let multi_cluster, multi =
     measure ~at_warmup
-      (splitbft_params ~batched:false ~app:Cluster.App_kvs ~seed:51L)
+      (splitbft_params ~batched:false ~app:Cluster.App_kvs ~seed:51L ())
       ~clients ~window:1 ~warmup_us:300_000.0 ~duration_us
   in
   let sum_ecall, exec_ecall =
-    match Cluster.node multi_cluster 0 with
-    | Cluster.Node_splitbft r ->
+    match leader_split multi_cluster with
+    | Some r ->
       let executed = max 1 (S.executed_count r - !executed_at_warmup) in
       let per_req c =
         let _, total, _ = S.ecall_stats r c in
@@ -554,12 +559,13 @@ let ceilings ?(duration_us = 800_000.0) () =
       in
       ( List.fold_left (fun acc c -> acc +. per_req c) 0.0 Ids.all_compartments,
         per_req Ids.Execution )
-    | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> (nan, nan)
+    | None -> (nan, nan)
   in
   let _, single =
     measure
-      { (splitbft_params ~batched:false ~app:Cluster.App_kvs ~seed:51L) with
-        Cluster.threading = Splitbft_core.Config.Single_thread }
+      (splitbft_params
+         ~proto:(Proto_splitbft.make ~threading:Splitbft_core.Config.Single_thread ())
+         ~batched:false ~app:Cluster.App_kvs ~seed:51L ())
       ~clients ~window:1 ~warmup_us:300_000.0 ~duration_us
   in
   { single_thread_tput = single.Workload.throughput_ops;
@@ -682,3 +688,212 @@ let json_of_ceilings r =
       ("predicted_multi", num r.predicted_multi);
       ("sum_ecall_us", num r.sum_ecall_us);
       ("exec_ecall_us", num r.exec_ecall_us) ]
+
+(* ----- open-loop latency vs offered load ----- *)
+
+type openloop_point = {
+  ol_label : string;
+  ol_arrival : string;
+  ol_rate : float;
+  ol_offered : float;
+  ol_achieved : float;
+  ol_mean_us : float;
+  ol_p50_us : float;
+  ol_p95_us : float;
+  ol_p99_us : float;
+  ol_backlog : int;
+  ol_conflict_waits : float;
+}
+
+type openloop_result = {
+  ol_points : openloop_point list;
+  ol_knee_zipf_ops : float;
+  ol_knee_uniform_ops : float;
+  ol_half_label : string;
+  ol_half_p99_us : float;
+}
+
+let openloop_spec =
+  { Workload.Open_loop.default_spec with
+    warmup_us = 150_000.0;
+    duration_us = 300_000.0;
+    connections = 64;
+    window = 64;
+    identities = 1_000_000;
+    identity_cache = 4096;
+    zipf_s = 0.99;
+    keyspace = 65_536;
+    read_ratio = 0.9 }
+
+let openloop_proto () = Proto_splitbft.make ~lanes:4 ~exec_workers:4 ()
+
+let openloop_point ?(proto = openloop_proto ()) ~spec ~label ~arrival ~rate () =
+  let params =
+    { (Cluster.default_params proto) with
+      Cluster.batch_size = 200;
+      batch_timeout_us = 10_000.0;
+      seed = 79L }
+  in
+  let cluster = Cluster.create params in
+  let spec = { spec with Workload.Open_loop.arrival; rate_ops = rate } in
+  let r = Workload.Open_loop.run cluster spec in
+  let arrival_name =
+    match arrival with
+    | Workload.Open_loop.Poisson -> "poisson"
+    | Workload.Open_loop.Bursty _ -> "bursty"
+  in
+  { ol_label = label;
+    ol_arrival = arrival_name;
+    ol_rate = rate;
+    ol_offered = r.Workload.Open_loop.offered_ops;
+    ol_achieved = r.Workload.Open_loop.achieved_ops;
+    ol_mean_us = r.Workload.Open_loop.ol_mean_latency_us;
+    ol_p50_us = r.Workload.Open_loop.ol_p50_latency_us;
+    ol_p95_us = r.Workload.Open_loop.ol_p95_latency_us;
+    ol_p99_us = r.Workload.Open_loop.ol_p99_latency_us;
+    ol_backlog = r.Workload.Open_loop.backlog_peak;
+    ol_conflict_waits = Splitbft_obs.Registry.sum (Cluster.obs cluster) ~prefix:"tee.pool_conflict_waits" }
+
+let openloop_rates = [ 150e3; 300e3; 450e3; 600e3; 700e3 ]
+
+(* The Zipf-0.99 arm saturates well below the closed-loop pipeline
+   ceiling: with 10% writes, the hot key appears as a write in most
+   200-request batches, and one hot write conflict-serializes the
+   Execution worker pool (the plateau sits near the l4w1 lanes point).
+   The uniform-key arm removes that workload property so its knee
+   measures the pipeline capacity itself, comparable to the closed-loop
+   l4w4 ceiling; both knees are gated in CI. *)
+let openloop_uniform_rates = [ 300e3; 450e3; 600e3; 700e3 ]
+
+let openloop_bursty =
+  Workload.Open_loop.Bursty { peak_factor = 4.0; period_us = 50_000.0; duty = 0.2 }
+
+(* First offered load at which the achieved rate falls below 95% of
+   offered, linearly interpolated between the straddling sweep points; the
+   max swept load when the system keeps up everywhere. *)
+let openloop_knee points =
+  let deficit p = p.ol_achieved -. (0.95 *. p.ol_offered) in
+  let rec go prev = function
+    | [] -> (match prev with Some q -> q.ol_offered | None -> nan)
+    | p :: rest ->
+      if deficit p < 0.0 then
+        (match prev with
+        | None -> p.ol_offered
+        | Some q ->
+          let f1 = deficit q and f2 = deficit p in
+          if f1 <= f2 then p.ol_offered
+          else q.ol_offered +. ((p.ol_offered -. q.ol_offered) *. (f1 /. (f1 -. f2))))
+      else go (Some p) rest
+  in
+  go None points
+
+let openloop ?(rates = openloop_rates) ?(uniform_rates = openloop_uniform_rates)
+    ?(bursty_rates = [ 300e3 ]) ?(spec = openloop_spec) ?proto () =
+  let rates = List.sort compare rates in
+  let uniform_rates = List.sort compare uniform_rates in
+  let label kind rate = Printf.sprintf "%s-%.0fk" kind (rate /. 1e3) in
+  let point = openloop_point ?proto ~spec in
+  let poisson =
+    List.map
+      (fun rate ->
+        point ~label:(label "poisson" rate) ~arrival:Workload.Open_loop.Poisson ~rate ())
+      rates
+  in
+  let uniform_point =
+    openloop_point ?proto ~spec:{ spec with Workload.Open_loop.zipf_s = 0.0 }
+  in
+  let uniform =
+    List.map
+      (fun rate ->
+        uniform_point ~label:(label "uniform" rate) ~arrival:Workload.Open_loop.Poisson
+          ~rate ())
+      uniform_rates
+  in
+  let bursty =
+    List.map
+      (fun rate -> point ~label:(label "bursty" rate) ~arrival:openloop_bursty ~rate ())
+      bursty_rates
+  in
+  let knee = openloop_knee poisson in
+  let knee_uniform = openloop_knee uniform in
+  (* p99 at ~50% of the sweep's top load: a fixed grid point, so the CI
+     gate compares like against like across runs. *)
+  let half_target = 0.5 *. List.fold_left Float.max 0.0 rates in
+  let half =
+    List.fold_left
+      (fun best p ->
+        match best with
+        | None -> Some p
+        | Some b ->
+          if Float.abs (p.ol_rate -. half_target) < Float.abs (b.ol_rate -. half_target)
+          then Some p
+          else Some b)
+      None poisson
+  in
+  let points = poisson @ uniform @ bursty in
+  match half with
+  | None ->
+    { ol_points = points;
+      ol_knee_zipf_ops = knee;
+      ol_knee_uniform_ops = knee_uniform;
+      ol_half_label = "";
+      ol_half_p99_us = nan }
+  | Some h ->
+    { ol_points = points;
+      ol_knee_zipf_ops = knee;
+      ol_knee_uniform_ops = knee_uniform;
+      ol_half_label = h.ol_label;
+      ol_half_p99_us = h.ol_p99_us }
+
+let print_openloop r =
+  Table.print
+    ~title:
+      "Open-loop sweep — latency vs offered load (SplitBFT l4w4 b200, 64 conns x \
+       window 64, 1M identities; zipf/bursty arms at Zipf 0.99, uniform arm at s=0)"
+    ~header:
+      [ "point"; "offered"; "achieved"; "p50 us"; "p95 us"; "p99 us"; "backlog";
+        "conflict waits" ]
+    ~rows:
+      (List.map
+         (fun p ->
+           [ p.ol_label;
+             Table.ops p.ol_offered;
+             Table.ops p.ol_achieved;
+             Printf.sprintf "%.0f" p.ol_p50_us;
+             Printf.sprintf "%.0f" p.ol_p95_us;
+             Printf.sprintf "%.0f" p.ol_p99_us;
+             string_of_int p.ol_backlog;
+             Printf.sprintf "%.0f" p.ol_conflict_waits ])
+         r.ol_points);
+  Printf.printf "  saturation knee, zipf 0.99: %s ops/s (achieved < 95%% of offered)\n"
+    (Table.ops r.ol_knee_zipf_ops);
+  Printf.printf "  saturation knee, uniform keys: %s ops/s\n"
+    (Table.ops r.ol_knee_uniform_ops);
+  Printf.printf "  p99 at half load (%s): %.0f us\n%!" r.ol_half_label r.ol_half_p99_us
+
+let json_of_openloop r =
+  let point p =
+    Json.Obj
+      [ ("label", Json.Str p.ol_label);
+        ("arrival", Json.Str p.ol_arrival);
+        ("rate_ops", num p.ol_rate);
+        ("offered_ops", num p.ol_offered);
+        ("throughput_ops", num p.ol_achieved);
+        ("mean_latency_us", num p.ol_mean_us);
+        ("p50_latency_us", num p.ol_p50_us);
+        ("p95_latency_us", num p.ol_p95_us);
+        ("p99_latency_us", num p.ol_p99_us);
+        ("backlog_peak", Json.Int p.ol_backlog);
+        ("pool_conflict_waits", num p.ol_conflict_waits) ]
+  in
+  Json.List
+    (List.map point r.ol_points
+    @ [ Json.Obj
+          [ ("label", Json.Str "knee-zipf"); ("throughput_ops", num r.ol_knee_zipf_ops) ];
+        Json.Obj
+          [ ("label", Json.Str "knee-uniform");
+            ("throughput_ops", num r.ol_knee_uniform_ops) ];
+        Json.Obj
+          [ ("label", Json.Str "p99-at-half-load");
+            ("at", Json.Str r.ol_half_label);
+            ("p99_latency_us", num r.ol_half_p99_us) ] ])

@@ -154,6 +154,63 @@ type ceilings_result = {
 val ceilings : ?duration_us:float -> unit -> ceilings_result
 val print_ceilings : ceilings_result -> unit
 
+(** {2 Open-loop sweep — latency vs offered load}
+
+    The planet-scale harness ([bench openloop]): SplitBFT (4 lanes, 4
+    Execution workers, batch 200) under {!Workload.Open_loop} traffic —
+    arrivals scheduled by the process, not by completions, 1M simulated
+    identities over 64 attested connections, Zipf-0.99 key skew, read-mostly
+    mix.  Reports arrival-to-reply percentiles per offered load, locates the
+    saturation knee (first load where achieved < 95% of offered,
+    interpolated), and adds a bursty (square-wave diurnal) point.
+
+    Two Poisson arms, two knees: the Zipf-0.99 arm saturates where
+    hot-key write conflicts serialize the Execution worker pool, well
+    below pipeline capacity; the uniform-key arm's knee measures the
+    pipeline itself and is comparable to the closed-loop l4w4 ceiling
+    from {!lanes}.  Both are gated in CI. *)
+
+type openloop_point = {
+  ol_label : string;  (** stable key the regression gate matches on *)
+  ol_arrival : string;  (** "poisson" or "bursty" *)
+  ol_rate : float;  (** configured mean offered load, ops/s *)
+  ol_offered : float;  (** measured arrivals/s in the window *)
+  ol_achieved : float;  (** measured completions/s in the window *)
+  ol_mean_us : float;
+  ol_p50_us : float;
+  ol_p95_us : float;
+  ol_p99_us : float;
+  ol_backlog : int;  (** peak submitted-but-uncompleted operations *)
+  ol_conflict_waits : float;  (** summed [tee.pool_conflict_waits] *)
+}
+
+type openloop_result = {
+  ol_points : openloop_point list;
+  ol_knee_zipf_ops : float;  (** saturation knee of the Zipf-0.99 arm, ops/s *)
+  ol_knee_uniform_ops : float;  (** saturation knee of the uniform-key arm, ops/s *)
+  ol_half_label : string;  (** poisson point nearest 50% of the top swept load *)
+  ol_half_p99_us : float;  (** its p99 — the latency the CI gate pins *)
+}
+
+val openloop_spec : Workload.Open_loop.spec
+(** The default sweep spec: 150 ms warm-up / 300 ms measurement, 64
+    connections x window 64, 1M identities over a 4096-entry LRU,
+    Zipf 0.99 over 64k keys, 90% reads. *)
+
+val openloop :
+  ?rates:float list ->
+  ?uniform_rates:float list ->
+  ?bursty_rates:float list ->
+  ?spec:Workload.Open_loop.spec ->
+  ?proto:Cluster.Proto.t ->
+  unit ->
+  openloop_result
+(** [rates] are the Zipf-arm Poisson offered loads (default 150k..700k
+    ops/s); [uniform_rates] the uniform-key arm (default 300k..700k);
+    [bursty_rates] add square-wave points (default one at 300k mean). *)
+
+val print_openloop : openloop_result -> unit
+
 (** {2 Machine-readable artifacts}
 
     JSON encoders for the [BENCH_*.json] trajectory: every artifact above
@@ -168,3 +225,8 @@ val json_of_batch_ablation : ablation_point list -> Splitbft_obs.Json.t
 val json_of_hotpath : hotpath_point list -> Splitbft_obs.Json.t
 val json_of_lanes : lanes_point list -> Splitbft_obs.Json.t
 val json_of_ceilings : ceilings_result -> Splitbft_obs.Json.t
+
+val json_of_openloop : openloop_result -> Splitbft_obs.Json.t
+(** Flat labeled rows (one per sweep point, plus aggregate ["knee-zipf"],
+    ["knee-uniform"] and ["p99-at-half-load"] rows) — the shape
+    [bin/bench_check.ml] gates. *)

@@ -7,13 +7,18 @@ module Preparation = Splitbft_core.Preparation
 module Confirmation = Splitbft_core.Confirmation
 module Execution = Splitbft_core.Execution
 module Ids = Splitbft_types.Ids
+module Proto = Splitbft_proto.Protocol_intf
+module Proto_pbft = Splitbft_proto.Proto_pbft
+module Proto_minbft = Splitbft_proto.Proto_minbft
+module Proto_splitbft = Splitbft_proto.Proto_splitbft
+module Catalog = Splitbft_proto.Catalog
 
 type expectation = { exp_live : bool; exp_safe : bool; exp_confidential : bool }
 
 type scenario = {
   id : string;
   description : string;
-  protocol : Cluster.protocol;
+  protocol : Proto.t;
   expected : expectation;
   honest : int list;
   make : ?tracer:Splitbft_obs.Tracer.t -> int64 -> Cluster.t;
@@ -30,20 +35,22 @@ let plaintext e = { e with exp_confidential = false }
 let unsafe e = { e with exp_safe = false }
 let stalled e = { e with exp_live = false }
 
+(* Protocol-specific injections downcast through the protocol's own
+   witness; a mismatched scenario row is a programming error. *)
 let pbft_node cluster i =
-  match Cluster.node cluster i with
-  | Cluster.Node_pbft r -> r
-  | Cluster.Node_minbft _ | Cluster.Node_splitbft _ -> assert false
+  match Proto_pbft.replica_of (Cluster.node cluster i) with
+  | Some r -> r
+  | None -> assert false
 
 let minbft_node cluster i =
-  match Cluster.node cluster i with
-  | Cluster.Node_minbft r -> r
-  | Cluster.Node_pbft _ | Cluster.Node_splitbft _ -> assert false
+  match Proto_minbft.replica_of (Cluster.node cluster i) with
+  | Some r -> r
+  | None -> assert false
 
 let splitbft_node cluster i =
-  match Cluster.node cluster i with
-  | Cluster.Node_splitbft r -> r
-  | Cluster.Node_pbft _ | Cluster.Node_minbft _ -> assert false
+  match Proto_splitbft.replica_of (Cluster.node cluster i) with
+  | Some r -> r
+  | None -> assert false
 
 let crash_at cluster ~delay i =
   ignore
@@ -99,60 +106,117 @@ let check_rollback_refused i cluster =
     | _ -> None
 
 let splitbft_with ?tracer seed byz_of =
-  Cluster.create ~splitbft_byz:byz_of ?tracer
-    { (Cluster.default_params Cluster.Splitbft) with
+  Cluster.create ?tracer
+    { (Cluster.default_params (Proto_splitbft.make ~byz:byz_of ())) with
       Cluster.seed;
       suspect_timeout_us = 250_000.0 }
 
-let all =
+(* ---------- generic rows, inherited by every catalogued protocol ----------
+
+   These exercise only the uniform interface (deploy, crash, restart,
+   tamper), so any protocol that plugs into the catalog gets the whole
+   block: fault-free, backup crash, primary crash (view change),
+   crash-recovery, and the rollback attack. *)
+
+let generic_for name protocol =
+  let n = Proto.default_n protocol in
+  let base = if Proto.confidential protocol then tolerate else plaintext tolerate in
+  let all_honest = List.init n Fun.id in
+  let but i = List.filter (fun j -> j <> i) all_honest in
+  let last = n - 1 in
+  let id suffix = name ^ "/" ^ suffix in
+  let upper = String.uppercase_ascii name in
   [
-    (* ---------- PBFT ---------- *)
-    { id = "pbft/fault-free";
-      description = "PBFT, no faults";
-      protocol = Cluster.Pbft;
-      expected = plaintext tolerate;
-      honest = [ 0; 1; 2; 3 ];
-      make = make_simple Cluster.Pbft;
+    { id = id "fault-free";
+      description = Printf.sprintf "%s, no faults" upper;
+      protocol;
+      expected = base;
+      honest = all_honest;
+      make = make_simple protocol;
       inject = no_inject;
       duration_us = 1_500_000.0;
       min_completed = 50;
       check = no_check };
-    { id = "pbft/crash-f";
-      description = "PBFT, f = 1 host crash (backup)";
-      protocol = Cluster.Pbft;
-      expected = plaintext tolerate;
-      honest = [ 0; 1; 2 ];
-      make = make_simple Cluster.Pbft;
-      inject = (fun c -> crash_at c ~delay:400_000.0 3);
+    { id = id "crash-f";
+      description = Printf.sprintf "%s, f = 1 host crash (backup)" upper;
+      protocol;
+      expected = base;
+      honest = but last;
+      make = make_simple protocol;
+      inject = (fun c -> crash_at c ~delay:400_000.0 last);
       duration_us = 2_000_000.0;
       min_completed = 50;
       check = no_check };
-    { id = "pbft/crash-primary";
-      description = "PBFT, primary host crash (view change)";
-      protocol = Cluster.Pbft;
-      expected = plaintext tolerate;
-      honest = [ 1; 2; 3 ];
-      make = make_simple Cluster.Pbft;
+    { id = id "crash-primary";
+      description = Printf.sprintf "%s, primary host crash (view change)" upper;
+      protocol;
+      expected = base;
+      honest = but 0;
+      make = make_simple protocol;
       inject = (fun c -> crash_at c ~delay:400_000.0 0);
       duration_us = 2_500_000.0;
       min_completed = 50;
       check = no_check };
+    { id = id "crash-recover";
+      description =
+        Printf.sprintf
+          "%s, host crash then restart with sealed-checkpoint recovery" upper;
+      protocol;
+      expected = base;
+      honest = all_honest;
+      make = make_recovery protocol;
+      inject =
+        (fun c ->
+          crash_at c ~delay:400_000.0 last;
+          restart_at c ~delay:900_000.0 last);
+      duration_us = 2_500_000.0;
+      min_completed = 50;
+      check = check_recovered last };
+    { id = id "rollback-attack";
+      description =
+        Printf.sprintf
+          "%s, host crash, checkpoint counter rolled back, restart: recovery \
+           must refuse loudly; the rest of the cluster is unharmed" upper;
+      protocol;
+      expected = base;
+      honest = but last;
+      make = make_recovery protocol;
+      inject =
+        (fun c ->
+          crash_at c ~delay:400_000.0 last;
+          ignore
+            (Engine.schedule (Cluster.engine c) ~delay:900_000.0
+               ~label:"scenario:rollback" (fun () ->
+                 Cluster.tamper_checkpoint_counter c last;
+                 Cluster.restart_host c last)));
+      duration_us = 2_500_000.0;
+      min_completed = 50;
+      check = check_rollback_refused last };
+  ]
+
+let generic = List.concat_map (fun (name, p) -> generic_for name p) Catalog.builtins
+
+(* ---------- protocol-specific byzantine / environment rows ---------- *)
+
+let specific =
+  [
+    (* ---------- PBFT ---------- *)
     { id = "pbft/byz-f";
       description = "PBFT, f = 1 byzantine replica (corrupt execution)";
-      protocol = Cluster.Pbft;
+      protocol = Proto_pbft.protocol;
       expected = plaintext tolerate;
       honest = [ 0; 2; 3 ];
-      make = make_simple Cluster.Pbft;
+      make = make_simple Proto_pbft.protocol;
       inject = (fun c -> P.set_byzantine (pbft_node c 1) P.Corrupt_execution);
       duration_us = 1_500_000.0;
       min_completed = 50;
       check = no_check };
     { id = "pbft/byz-f+1";
       description = "PBFT, f + 1 byzantine replicas (equivocation + collusion)";
-      protocol = Cluster.Pbft;
+      protocol = Proto_pbft.protocol;
       expected = unsafe (plaintext tolerate);
       honest = [ 2; 3 ];
-      make = make_simple Cluster.Pbft;
+      make = make_simple Proto_pbft.protocol;
       inject =
         (fun c ->
           P.set_byzantine (pbft_node c 0) (P.Equivocate { accomplices = [ 1 ] });
@@ -161,125 +225,93 @@ let all =
       min_completed = 10;
       check = no_check };
     (* ---------- MinBFT (hybrid) ---------- *)
-    { id = "minbft/fault-free";
-      description = "MinBFT, no faults";
-      protocol = Cluster.Minbft;
-      expected = plaintext tolerate;
-      honest = [ 0; 1; 2 ];
-      make = make_simple Cluster.Minbft;
-      inject = no_inject;
-      duration_us = 1_500_000.0;
-      min_completed = 50;
-      check = no_check };
-    { id = "minbft/crash-f";
-      description = "MinBFT, f = 1 host crash (backup)";
-      protocol = Cluster.Minbft;
-      expected = plaintext tolerate;
-      honest = [ 0; 1 ];
-      make = make_simple Cluster.Minbft;
-      inject = (fun c -> crash_at c ~delay:400_000.0 2);
-      duration_us = 2_000_000.0;
-      min_completed = 50;
-      check = no_check };
     { id = "minbft/byz-f";
       description = "MinBFT, f = 1 byzantine host (corrupt execution, intact USIG)";
-      protocol = Cluster.Minbft;
+      protocol = Proto_minbft.protocol;
       expected = plaintext tolerate;
       honest = [ 0; 2 ];
-      make = make_simple Cluster.Minbft;
+      make = make_simple Proto_minbft.protocol;
       inject = (fun c -> M.set_byzantine (minbft_node c 1) M.Corrupt_execution);
       duration_us = 1_500_000.0;
       min_completed = 50;
       check = no_check };
     { id = "minbft/faulty-tee";
       description = "MinBFT, single compromised USIG (primary equivocates)";
-      protocol = Cluster.Minbft;
+      protocol = Proto_minbft.protocol;
       (* Divergent replicas each answer differently, so no client ever
          collects f+1 matching replies: integrity AND liveness are lost. *)
       expected = stalled (unsafe (plaintext tolerate));
       honest = [ 1; 2 ];
-      make = make_simple Cluster.Minbft;
+      make = make_simple Proto_minbft.protocol;
       inject = (fun c -> M.set_byzantine (minbft_node c 0) M.Faulty_tee_equivocate);
       duration_us = 1_500_000.0;
       min_completed = 10;
       check = no_check };
     (* ---------- SplitBFT ---------- *)
-    { id = "splitbft/fault-free";
-      description = "SplitBFT, no faults";
-      protocol = Cluster.Splitbft;
-      expected = tolerate;
-      honest = [ 0; 1; 2; 3 ];
-      make = make_simple Cluster.Splitbft;
-      inject = no_inject;
-      duration_us = 1_500_000.0;
-      min_completed = 50;
-      check = no_check };
-    { id = "splitbft/crash-f";
-      description = "SplitBFT, f = 1 host crash";
-      protocol = Cluster.Splitbft;
-      expected = tolerate;
-      honest = [ 0; 1; 2 ];
-      make = make_simple Cluster.Splitbft;
-      inject = (fun c -> crash_at c ~delay:400_000.0 3);
-      duration_us = 2_000_000.0;
-      min_completed = 50;
-      check = no_check };
     { id = "splitbft/enclave-f-each-type";
       description =
         "SplitBFT, f byzantine enclaves of EVERY type (equivocating \
          Preparation, promiscuous Confirmation, corrupt Execution, on \
          three different hosts)";
-      protocol = Cluster.Splitbft;
+      protocol = Proto_splitbft.protocol;
       expected = tolerate;
       honest = [ 0; 1; 3 ];
       make =
         (fun ?tracer seed ->
           splitbft_with ?tracer seed (fun i ->
               match i with
-              | 0 -> { Cluster.honest_enclaves with Cluster.prep = Preparation.Prep_equivocate }
-              | 1 -> { Cluster.honest_enclaves with Cluster.conf = Confirmation.Conf_promiscuous }
-              | 2 -> { Cluster.honest_enclaves with Cluster.exec = Execution.Exec_corrupt }
-              | _ -> Cluster.honest_enclaves));
+              | 0 ->
+                { Proto_splitbft.honest_enclaves with
+                  Proto_splitbft.prep = Preparation.Prep_equivocate }
+              | 1 ->
+                { Proto_splitbft.honest_enclaves with
+                  Proto_splitbft.conf = Confirmation.Conf_promiscuous }
+              | 2 ->
+                { Proto_splitbft.honest_enclaves with
+                  Proto_splitbft.exec = Execution.Exec_corrupt }
+              | _ -> Proto_splitbft.honest_enclaves));
       inject = no_inject;
       duration_us = 3_000_000.0;
       min_completed = 20;
       check = no_check };
     { id = "splitbft/exec-f+1-corrupt";
       description = "SplitBFT, f + 1 corrupt Execution enclaves (beyond the bound)";
-      protocol = Cluster.Splitbft;
+      protocol = Proto_splitbft.protocol;
       expected = unsafe tolerate;
       honest = [ 2; 3 ];
       make =
         (fun ?tracer seed ->
           splitbft_with ?tracer seed (fun i ->
               if i <= 1 then
-                { Cluster.honest_enclaves with Cluster.exec = Execution.Exec_corrupt }
-              else Cluster.honest_enclaves));
+                { Proto_splitbft.honest_enclaves with
+                  Proto_splitbft.exec = Execution.Exec_corrupt }
+              else Proto_splitbft.honest_enclaves));
       inject = no_inject;
       duration_us = 1_500_000.0;
       min_completed = 20;
       check = no_check };
     { id = "splitbft/exec-leak";
       description = "SplitBFT, f = 1 leaking Execution enclave (confidentiality lost)";
-      protocol = Cluster.Splitbft;
+      protocol = Proto_splitbft.protocol;
       expected = { exp_live = true; exp_safe = true; exp_confidential = false };
       honest = [ 1; 2; 3 ];
       make =
         (fun ?tracer seed ->
           splitbft_with ?tracer seed (fun i ->
               if i = 0 then
-                { Cluster.honest_enclaves with Cluster.exec = Execution.Exec_leak }
-              else Cluster.honest_enclaves));
+                { Proto_splitbft.honest_enclaves with
+                  Proto_splitbft.exec = Execution.Exec_leak }
+              else Proto_splitbft.honest_enclaves));
       inject = no_inject;
       duration_us = 1_500_000.0;
       min_completed = 50;
       check = no_check };
     { id = "splitbft/host-attacker-all";
       description = "SplitBFT, attacker on ALL hosts (delaying environments)";
-      protocol = Cluster.Splitbft;
+      protocol = Proto_splitbft.protocol;
       expected = tolerate;
       honest = [ 0; 1; 2; 3 ];
-      make = make_simple Cluster.Splitbft;
+      make = make_simple Proto_splitbft.protocol;
       inject =
         (fun c ->
           List.iteri
@@ -292,10 +324,10 @@ let all =
       description =
         "SplitBFT, attacker on ALL hosts starving the Confirmation \
          compartments (liveness lost, safety kept)";
-      protocol = Cluster.Splitbft;
+      protocol = Proto_splitbft.protocol;
       expected = stalled tolerate;
       honest = [ 0; 1; 2; 3 ];
-      make = make_simple Cluster.Splitbft;
+      make = make_simple Proto_splitbft.protocol;
       inject =
         (fun c ->
           List.iteri
@@ -305,68 +337,9 @@ let all =
       duration_us = 1_500_000.0;
       min_completed = 10;
       check = no_check };
-    (* ---------- crash-recovery / rollback (Table 1 extension) ---------- *)
-    { id = "splitbft/crash-recover";
-      description =
-        "SplitBFT, host crash then restart: enclaves unseal, re-attest, \
-         state-transfer and rejoin quorums";
-      protocol = Cluster.Splitbft;
-      expected = tolerate;
-      honest = [ 0; 1; 2; 3 ];
-      make = make_recovery Cluster.Splitbft;
-      inject =
-        (fun c ->
-          crash_at c ~delay:400_000.0 3;
-          restart_at c ~delay:900_000.0 3);
-      duration_us = 2_500_000.0;
-      min_completed = 50;
-      check = check_recovered 3 };
-    { id = "splitbft/rollback-attack";
-      description =
-        "SplitBFT, host crash, checkpoint counter rolled back, restart: \
-         recovery must refuse loudly; the rest of the cluster is unharmed";
-      protocol = Cluster.Splitbft;
-      expected = tolerate;
-      honest = [ 0; 1; 2 ];
-      make = make_recovery Cluster.Splitbft;
-      inject =
-        (fun c ->
-          crash_at c ~delay:400_000.0 3;
-          ignore
-            (Engine.schedule (Cluster.engine c) ~delay:900_000.0
-               ~label:"scenario:rollback" (fun () ->
-                 Cluster.tamper_checkpoint_counter c 3;
-                 Cluster.restart_host c 3)));
-      duration_us = 2_500_000.0;
-      min_completed = 50;
-      check = check_rollback_refused 3 };
-    { id = "pbft/crash-recover";
-      description = "PBFT, host crash then restart with sealed-checkpoint recovery";
-      protocol = Cluster.Pbft;
-      expected = plaintext tolerate;
-      honest = [ 0; 1; 2; 3 ];
-      make = make_recovery Cluster.Pbft;
-      inject =
-        (fun c ->
-          crash_at c ~delay:400_000.0 3;
-          restart_at c ~delay:900_000.0 3);
-      duration_us = 2_500_000.0;
-      min_completed = 50;
-      check = check_recovered 3 };
-    { id = "minbft/crash-recover";
-      description = "MinBFT, host crash then restart with sealed-checkpoint recovery";
-      protocol = Cluster.Minbft;
-      expected = plaintext tolerate;
-      honest = [ 0; 1; 2 ];
-      make = make_recovery Cluster.Minbft;
-      inject =
-        (fun c ->
-          crash_at c ~delay:400_000.0 2;
-          restart_at c ~delay:900_000.0 2);
-      duration_us = 2_500_000.0;
-      min_completed = 50;
-      check = check_recovered 2 };
   ]
+
+let all = generic @ specific
 
 let find id = List.find_opt (fun s -> String.equal s.id id) all
 
@@ -386,11 +359,7 @@ let run ?(seed = 42L) ?tracer scenario =
     { Workload.default_spec with
       Workload.clients = 3;
       warmup_us = 0.0;
-      duration_us = scenario.duration_us;
-      ready_quorum =
-        (match scenario.protocol with
-        | Cluster.Splitbft -> Some (Cluster.params cluster).Cluster.n
-        | Cluster.Pbft | Cluster.Minbft -> None) }
+      duration_us = scenario.duration_us }
   in
   let workload = Workload.run cluster spec in
   let verdict =

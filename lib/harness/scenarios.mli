@@ -7,14 +7,21 @@
     demonstrate the violation that occurs one fault beyond the bound —
     e.g. PBFT with [f+1] byzantine replicas diverges, MinBFT with a single
     compromised USIG diverges, SplitBFT with [f+1] corrupt Execution
-    enclaves returns wrong results to clients. *)
+    enclaves returns wrong results to clients.
+
+    The uniform rows (fault-free, backup crash, primary crash,
+    crash-recovery, rollback attack) are generated for every protocol in
+    {!Splitbft_proto.Catalog.builtins}; a protocol added to the catalog
+    inherits them with no change here.  Protocol-specific byzantine and
+    environment-fault rows inject through each protocol's own witness
+    downcast. *)
 
 type expectation = { exp_live : bool; exp_safe : bool; exp_confidential : bool }
 
 type scenario = {
   id : string;
   description : string;
-  protocol : Cluster.protocol;
+  protocol : Cluster.Proto.t;
   expected : expectation;
   honest : int list;  (** replicas whose execution state must agree *)
   make : ?tracer:Splitbft_obs.Tracer.t -> int64 -> Cluster.t;

@@ -2,6 +2,9 @@ module Engine = Splitbft_sim.Engine
 module Client = Splitbft_client.Client
 module Kvs = Splitbft_app.Kvs
 module Stats = Splitbft_util.Stats
+module Rng = Splitbft_util.Rng
+module Zipf = Splitbft_util.Zipf
+module Lru = Splitbft_util.Lru
 
 type spec = {
   clients : int;
@@ -109,3 +112,285 @@ let run ?(at_warmup = fun () -> ()) cluster spec =
     completed_total = !completed_total;
     wrong_results = !wrong;
     clients_ready = !ready }
+
+(* ===== open-loop traffic generation =====
+
+   Closed-loop clients resubmit on completion, so offered load tracks
+   service capacity and latency never shows queueing.  The open-loop
+   generator schedules arrivals from a time-varying arrival process
+   regardless of completions: each arrival is stamped, multiplexed onto a
+   bounded pool of real (attested) client connections, and its latency is
+   measured from ARRIVAL to reply — client-side queueing included — which
+   is what makes the saturation knee visible as a latency explosion.
+
+   Simulated identities model millions of distinct end users behind the
+   connection pool (the gateway deployment: many users, few attested
+   sessions).  Per-identity state is keyed RNG + an op counter, held in a
+   bounded LRU so memory never grows with the identity space; an evicted
+   identity that returns is re-derived from [Rng.of_key] and continues a
+   statistically identical stream. *)
+
+module Open_loop = struct
+  type arrival =
+    | Poisson
+    | Bursty of { peak_factor : float; period_us : float; duty : float }
+
+  type spec = {
+    arrival : arrival;
+    rate_ops : float;
+    warmup_us : float;
+    duration_us : float;
+    connections : int;
+    window : int;
+    identities : int;
+    identity_cache : int;
+    zipf_s : float;
+    keyspace : int;
+    read_ratio : float;
+    payload_size : int;
+    ready_quorum : int option;
+  }
+
+  let default_spec =
+    { arrival = Poisson;
+      rate_ops = 2_000.0;
+      warmup_us = 500_000.0;
+      duration_us = 2_000_000.0;
+      connections = 16;
+      window = 16;
+      identities = 100_000;
+      identity_cache = 4_096;
+      zipf_s = 0.99;
+      keyspace = 4_096;
+      read_ratio = 0.5;
+      payload_size = 10;
+      ready_quorum = None }
+
+  type result = {
+    offered_ops : float;
+    achieved_ops : float;
+    ol_mean_latency_us : float;
+    ol_p50_latency_us : float;
+    ol_p95_latency_us : float;
+    ol_p99_latency_us : float;
+    arrivals : int;
+    ol_completed : int;
+    ol_completed_total : int;
+    ol_wrong_results : int;
+    backlog_peak : int;
+    live_identities_peak : int;
+    distinct_identities : int;
+    identity_words_peak : int;
+  }
+
+  (* ----- pure generator (drivable without a cluster, for tests) ----- *)
+
+  type identity_state = { id_rng : Rng.t; mutable id_ops : int }
+
+  type gen = {
+    g_spec : spec;
+    g_seed : int64;
+    g_app : Cluster.app_kind;
+    arrivals_rng : Rng.t;  (* arrival process + identity selection *)
+    zipf : Zipf.t;
+    idents : identity_state Lru.t;
+    mutable live_identities_peak : int;
+  }
+
+  let gen ?(app = Cluster.App_kvs) ~seed spec =
+    if spec.identities <= 0 then invalid_arg "Open_loop.gen: identities";
+    if spec.rate_ops <= 0.0 then invalid_arg "Open_loop.gen: rate_ops";
+    (match spec.arrival with
+    | Poisson -> ()
+    | Bursty { peak_factor; period_us; duty } ->
+      if duty <= 0.0 || duty >= 1.0 || period_us <= 0.0 || peak_factor *. duty >= 1.0
+      then invalid_arg "Open_loop.gen: bursty shape");
+    { g_spec = spec;
+      g_seed = seed;
+      g_app = app;
+      arrivals_rng = Rng.of_key seed ~domain:"openloop-arrivals" ~stream:0L;
+      zipf = Zipf.create ~s:spec.zipf_s ~n:spec.keyspace ();
+      idents = Lru.create ~capacity:(max 1 spec.identity_cache);
+      live_identities_peak = 0 }
+
+  (* Offered rate at virtual time [t].  The bursty process is a square wave
+     with the requested mean: [peak_factor * rate] for the [duty] fraction
+     of each period, and the complementary low rate otherwise — a
+     compressed diurnal cycle. *)
+  let rate_at spec t =
+    match spec.arrival with
+    | Poisson -> spec.rate_ops
+    | Bursty { peak_factor; period_us; duty } ->
+      let phase = Float.rem t period_us /. period_us in
+      if phase < duty then spec.rate_ops *. peak_factor
+      else spec.rate_ops *. (1.0 -. (peak_factor *. duty)) /. (1.0 -. duty)
+
+  let interarrival g ~now =
+    Rng.exponential g.arrivals_rng ~mean:(1e6 /. rate_at g.g_spec now)
+
+  let identity_state g identity =
+    let key = string_of_int identity in
+    match Lru.find g.idents key with
+    | Some st -> st
+    | None ->
+      (* Keyed derivation: the identity's op stream depends only on
+         (seed, identity) — independent of the connection count and of
+         every other identity.  An evicted identity that returns restarts
+         that same deterministic stream from the beginning (fresh-session
+         semantics): bounded memory, no eviction-history dependence. *)
+      let st =
+        { id_rng = Rng.of_key g.g_seed ~domain:"identity" ~stream:(Int64.of_int identity);
+          id_ops = 0 }
+      in
+      Lru.add g.idents key st;
+      if Lru.length g.idents > g.live_identities_peak then
+        g.live_identities_peak <- Lru.length g.idents;
+      st
+
+  (* One arrival: (identity, encoded op, expected result). *)
+  let next g =
+    let spec = g.g_spec in
+    let identity = Rng.int g.arrivals_rng spec.identities in
+    let st = identity_state g identity in
+    st.id_ops <- st.id_ops + 1;
+    let op, expect =
+      match g.g_app with
+      | Cluster.App_kvs ->
+        let key = Printf.sprintf "key-%d" (Zipf.sample g.zipf st.id_rng) in
+        if Rng.float st.id_rng 1.0 < spec.read_ratio then
+          (Kvs.encode_op (Kvs.Get key), `Any)
+        else
+          ( Kvs.encode_op
+              (Kvs.Put (key, value ~payload_size:spec.payload_size ~client:identity ~i:st.id_ops)),
+            `Expect Kvs.ok )
+      | Cluster.App_ledger ->
+        (value ~payload_size:spec.payload_size ~client:identity ~i:st.id_ops, `Any)
+      | Cluster.App_counter -> (Splitbft_app.Counter_app.increment_op, `Any)
+    in
+    (identity, op, expect)
+
+  let live_identities g = Lru.length g.idents
+  let live_identities_peak g = g.live_identities_peak
+  let distinct_identities g = Lru.misses g.idents
+
+  let identity_words g = Obj.reachable_words (Obj.repr g.idents)
+
+  (* Digest over the first [n] arrivals of the generator's virtual trace
+     (inter-arrival gap, identity, op bytes) — the regression pin for
+     reproducible workload generation. *)
+  let fingerprint ~seed ?app spec ~n =
+    let g = gen ?app ~seed spec in
+    let buf = Buffer.create (n * 32) in
+    let clock = ref 0.0 in
+    for _ = 1 to n do
+      let dt = interarrival g ~now:!clock in
+      clock := !clock +. dt;
+      let identity, op, _ = next g in
+      Buffer.add_string buf (Printf.sprintf "%.6f:%d:%s;" dt identity op)
+    done;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+
+  (* ----- driving a cluster ----- *)
+
+  let run ?(at_warmup = fun () -> ()) cluster spec =
+    let engine = Cluster.engine cluster in
+    let g =
+      gen ~app:(Cluster.params cluster).Cluster.app
+        ~seed:(Engine.seed engine) spec
+    in
+    let clients =
+      Array.of_list
+        (Cluster.make_clients cluster ~count:spec.connections ~window:spec.window
+           ?ready_quorum:spec.ready_quorum ())
+    in
+    let t_warm = Engine.now engine +. spec.warmup_us in
+    let t_end = t_warm +. spec.duration_us in
+    let lat = Stats.create () in
+    let arrivals_in_window = ref 0 in
+    let completed_in_window = ref 0 in
+    let completed_total = ref 0 in
+    let submitted = ref 0 in
+    let wrong = ref 0 in
+    let backlog_peak = ref 0 in
+    let words_peak = ref 0 in
+    let sample_words () =
+      let w = identity_words g in
+      if w > !words_peak then words_peak := w
+    in
+    let arrive () =
+      let arrived_at = Engine.now engine in
+      let identity, op, expect = next g in
+      if arrived_at >= t_warm && arrived_at < t_end then incr arrivals_in_window;
+      incr submitted;
+      if !submitted mod 4096 = 0 then sample_words ();
+      let backlog = !submitted - !completed_total in
+      if backlog > !backlog_peak then backlog_peak := backlog;
+      let conn = clients.(identity mod spec.connections) in
+      (* Latency from ARRIVAL, not from dispatch: when every connection
+         window is full the op waits in the client queue, and that wait is
+         the open-loop signal. *)
+      Client.submit conn ~op ~on_result:(fun ~latency_us:_ ~result ->
+          incr completed_total;
+          let now = Engine.now engine in
+          (match expect with
+          | `Expect e -> if not (String.equal result e) then incr wrong
+          | `Any -> if String.equal result "CORRUPT" then incr wrong);
+          if now >= t_warm && now < t_end then begin
+            incr completed_in_window;
+            Stats.add lat (now -. arrived_at)
+          end)
+    in
+    (* Arrivals start once the connection pool is ready (the attestation
+       handshake completes well inside the warmup) and stop at the end of
+       the measurement window. *)
+    let ready = ref 0 in
+    let rec schedule_next () =
+      let now = Engine.now engine in
+      let dt = interarrival g ~now in
+      if now +. dt < t_end then
+        ignore
+          (Engine.schedule engine ~delay:dt ~label:"openloop:arrival" (fun () ->
+               arrive ();
+               schedule_next ()))
+    in
+    Array.iter
+      (fun c ->
+        Client.start c ~on_ready:(fun () ->
+            incr ready;
+            if !ready = spec.connections then schedule_next ()))
+      clients;
+    ignore
+      (Engine.schedule engine ~delay:(t_warm -. Engine.now engine)
+         ~label:"openloop:warmup-end" at_warmup);
+    Engine.run ~until:t_end engine;
+    Array.iter Client.stop clients;
+    sample_words ();
+    let offered = float_of_int !arrivals_in_window /. (spec.duration_us /. 1e6) in
+    let achieved = float_of_int !completed_in_window /. (spec.duration_us /. 1e6) in
+    let reg = Engine.obs engine in
+    let module Registry = Splitbft_obs.Registry in
+    Registry.set_summary reg "openloop.latency_us" lat;
+    let set name v = Registry.set (Registry.gauge reg name) v in
+    set "openloop.offered_ops" offered;
+    set "openloop.achieved_ops" achieved;
+    set "openloop.arrivals" (float_of_int !arrivals_in_window);
+    set "openloop.completed" (float_of_int !completed_in_window);
+    set "openloop.wrong_results" (float_of_int !wrong);
+    set "openloop.backlog_peak" (float_of_int !backlog_peak);
+    set "openloop.live_identities_peak" (float_of_int (live_identities_peak g));
+    set "openloop.identity_words_peak" (float_of_int !words_peak);
+    { offered_ops = offered;
+      achieved_ops = achieved;
+      ol_mean_latency_us = Stats.mean lat;
+      ol_p50_latency_us = Stats.median lat;
+      ol_p95_latency_us = Stats.percentile lat 95.0;
+      ol_p99_latency_us = Stats.percentile lat 99.0;
+      arrivals = !arrivals_in_window;
+      ol_completed = !completed_in_window;
+      ol_completed_total = !completed_total;
+      ol_wrong_results = !wrong;
+      backlog_peak = !backlog_peak;
+      live_identities_peak = live_identities_peak g;
+      distinct_identities = distinct_identities g;
+      identity_words_peak = !words_peak }
+end

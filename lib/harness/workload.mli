@@ -38,3 +38,88 @@ val run : ?at_warmup:(unit -> unit) -> Cluster.t -> spec -> result
     [warmup + duration], and reports measurement-window statistics.
     [at_warmup] fires at the start of the measurement window (used to
     reset enclave ecall statistics for Figure 4). *)
+
+(** Open-loop traffic generation: arrivals are scheduled by a time-varying
+    arrival process independent of completions, latency is measured from
+    arrival (client-side queueing included), and millions of simulated
+    end-user identities multiplex over a bounded pool of real attested
+    connections with strictly bounded generator memory. *)
+module Open_loop : sig
+  type arrival =
+    | Poisson  (** memoryless arrivals at [rate_ops] *)
+    | Bursty of { peak_factor : float; period_us : float; duty : float }
+        (** square-wave (compressed diurnal) modulation: [peak_factor *
+            rate_ops] for the [duty] fraction of each period, the
+            mean-preserving low rate otherwise; requires
+            [peak_factor * duty < 1] *)
+
+  type spec = {
+    arrival : arrival;
+    rate_ops : float;  (** mean offered load, ops per simulated second *)
+    warmup_us : float;
+    duration_us : float;
+    connections : int;  (** real client sessions the identities multiplex over *)
+    window : int;  (** per-connection outstanding-request window *)
+    identities : int;  (** simulated end-user identity space *)
+    identity_cache : int;  (** LRU bound on live per-identity state *)
+    zipf_s : float;  (** key-popularity skew exponent (0 = uniform) *)
+    keyspace : int;  (** distinct keys for the KVS app *)
+    read_ratio : float;  (** fraction of GETs in the KVS mix *)
+    payload_size : int;
+    ready_quorum : int option;  (** SplitBFT session acks required *)
+  }
+
+  val default_spec : spec
+  (** Poisson at 2k ops/s, 16 connections x window 16, 100k identities
+      over a 4096-entry cache, Zipf 0.99 over 4096 keys, 50/50 mix. *)
+
+  type result = {
+    offered_ops : float;  (** arrivals per second inside the window *)
+    achieved_ops : float;  (** completions per second inside the window *)
+    ol_mean_latency_us : float;
+    ol_p50_latency_us : float;
+    ol_p95_latency_us : float;
+    ol_p99_latency_us : float;
+    arrivals : int;
+    ol_completed : int;
+    ol_completed_total : int;
+    ol_wrong_results : int;
+    backlog_peak : int;  (** peak of submitted-but-not-completed ops *)
+    live_identities_peak : int;  (** peak live entries in the identity LRU *)
+    distinct_identities : int;  (** identities instantiated at least once *)
+    identity_words_peak : int;  (** peak reachable words of the identity table *)
+  }
+
+  (** {2 Pure generator} — drivable without a cluster, for reproducibility
+      and memory-bound tests. *)
+
+  type gen
+
+  val gen : ?app:Cluster.app_kind -> seed:int64 -> spec -> gen
+  (** The generator's trace is a pure function of [(seed, app, spec)];
+      identity op streams are keyed on [(seed, identity)], so they are
+      independent of the connection count and of each other. *)
+
+  val interarrival : gen -> now:float -> float
+  (** Next inter-arrival gap (µs) for an arrival process at time [now]. *)
+
+  val next : gen -> int * string * [ `Any | `Expect of string ]
+  (** Next arrival: (identity, encoded op, expected result). *)
+
+  val live_identities : gen -> int
+  val live_identities_peak : gen -> int
+  val distinct_identities : gen -> int
+
+  val identity_words : gen -> int
+  (** Heap words reachable from the identity table ([Obj.reachable_words]) —
+      the bound the memory test asserts. *)
+
+  val fingerprint : seed:int64 -> ?app:Cluster.app_kind -> spec -> n:int -> string
+  (** Hex digest of the first [n] arrivals (gap, identity, op bytes) of a
+      fresh generator — pinned by the regression test. *)
+
+  val run : ?at_warmup:(unit -> unit) -> Cluster.t -> spec -> result
+  (** Deploys the connection pool, schedules arrivals from all-ready until
+      the end of the measurement window, and reports offered vs achieved
+      rate and arrival-to-reply latency percentiles over the window. *)
+end

@@ -1,0 +1,12 @@
+(* Name → protocol-instance registry.  The CLI's protocol enum, the
+   scenario generator and the docs' protocol matrix are all driven from
+   [builtins]; adding a protocol here makes it inherit every scenario,
+   trace, bench and safety check. *)
+
+let builtins : (string * Protocol_intf.t) list =
+  [ ("pbft", Proto_pbft.protocol);
+    ("minbft", Proto_minbft.protocol);
+    ("splitbft", Proto_splitbft.protocol) ]
+
+let find name = List.assoc_opt name builtins
+let names = List.map fst builtins

@@ -1,0 +1,55 @@
+(* MinBFT (hybrid fault model, 2f+1 replicas with USIGs) as a
+   [Protocol_intf.PROTOCOL] instance. *)
+
+module R = Splitbft_minbft.Replica
+module Ids = Splitbft_types.Ids
+module Client = Splitbft_client.Client
+
+type Protocol_intf.witness += Minbft of R.t
+
+let make ?(byzantine = fun (_ : Ids.replica_id) -> R.Honest) () : Protocol_intf.t
+    =
+  (module struct
+    let name = "minbft"
+    let confidential = false
+    let default_n = 3
+    let f_of_n = Ids.f_of_n_hybrid
+
+    type config = R.config
+    type node = R.t
+
+    let config_of_shared (s : Protocol_intf.shared) ~id =
+      { (R.default_config ~n:s.n ~id) with
+        R.cost = s.cost;
+        batch_size = s.batch_size;
+        batch_timeout_us = s.batch_timeout_us;
+        checkpoint_interval = s.checkpoint_interval;
+        suspect_timeout_us = s.suspect_timeout_us }
+
+    let spawn ctx (cfg : config) ~app =
+      let module C = (val ctx : Protocol_intf.CONTEXT) in
+      let r = R.create C.engine C.network cfg ~app:(app ()) in
+      (match byzantine cfg.R.id with
+      | R.Honest -> ()
+      | mode -> R.set_byzantine r mode);
+      r
+
+    let client_protocol ~n:_ ~ready_quorum:_ = Client.Minbft
+    let executed_log = R.executed_log
+    let last_executed = R.last_executed_counter
+    let executed_count = R.executed_count
+    let app_digest = R.app_digest
+    let view = R.view
+    let persisted = R.persisted
+    let crash_host = R.crash
+    let restart_host = R.restart
+    let tamper_checkpoint_counter r = R.tamper_counter r "ckpt"
+    let recovered = R.recovered
+    let recovery_alerts = R.recovery_alerts
+    let reveal r = Minbft r
+  end)
+
+let protocol = make ()
+
+let replica_of (packed : Protocol_intf.packed) =
+  match Protocol_intf.reveal packed with Minbft r -> Some r | _ -> None

@@ -1,0 +1,171 @@
+(* The protocol abstraction the harness is polymorphic over.
+
+   A protocol is a first-class module implementing [PROTOCOL]: it builds
+   its replicas from a [CONTEXT] (the simulation substrate) and a [shared]
+   knob record, names the client dialect that can talk to it, and exposes
+   the uniform observation and recovery hooks every scenario, trace, bench
+   and safety check is written against.  Protocol-specific configuration
+   (byzantine enclave placement, consensus lanes, worker pools, threading)
+   lives inside each implementation's [make] constructor — the harness
+   never sees it.
+
+   [witness] is the escape hatch for protocol-specific fault injection: an
+   implementation extends it with its own replica constructor, and its
+   [replica_of] helper downcasts a packed node back.  The match stays next
+   to the protocol; the harness stays dispatch-free. *)
+
+module Engine = Splitbft_sim.Engine
+module Network = Splitbft_sim.Network
+module Ids = Splitbft_types.Ids
+module State_machine = Splitbft_app.State_machine
+module Client = Splitbft_client.Client
+
+(** Protocol-independent deployment knobs; each implementation folds them
+    into its own config type, on top of its protocol-specific defaults. *)
+type shared = {
+  n : int;
+  batch_size : int;
+  batch_timeout_us : float;
+  checkpoint_interval : int;
+  suspect_timeout_us : float;
+  cost : Splitbft_tee.Cost_model.t;
+}
+
+(** The simulation substrate a protocol instance plugs into: the
+    deterministic engine (time, timers, seeded randomness), the message
+    fabric, and the observability plane. *)
+module type CONTEXT = sig
+  val engine : Engine.t
+  val network : Network.t
+
+  val obs : Splitbft_obs.Registry.t
+  (** Metrics registry shared by every component of the deployment. *)
+
+  val tracer : Splitbft_obs.Tracer.t option
+  (** Causal trace recorder, when the run is traced. *)
+
+  val schedule : delay:float -> label:string -> (unit -> unit) -> Engine.handle
+  (** Timer facility ([delay] µs from now). *)
+end
+
+type context = (module CONTEXT)
+
+let context engine network : context =
+  (module struct
+    let engine = engine
+    let network = network
+    let obs = Engine.obs engine
+    let tracer = Engine.tracer engine
+    let schedule ~delay ~label f = Engine.schedule engine ~delay ~label f
+  end)
+
+type witness = ..
+
+module type PROTOCOL = sig
+  val name : string
+
+  val confidential : bool
+  (** Whether the client dialect end-to-end encrypts operations (the
+      confidentiality column of Table 1 is only expected of protocols
+      that claim it). *)
+
+  val default_n : int
+  val f_of_n : int -> int
+
+  (** {2 Construction} *)
+
+  type config
+  (** Full per-replica configuration, including protocol-specific knobs. *)
+
+  type node
+
+  val config_of_shared : shared -> id:Ids.replica_id -> config
+  (** Protocol defaults overridden with the shared deployment knobs. *)
+
+  val spawn : context -> config -> app:(unit -> State_machine.t) -> node
+  (** Creates the replica (host, enclaves, timers) and registers it on the
+      context's network.  Byzantine behaviour configured through the
+      implementation's [make] constructor is installed here —
+      compromised-at-deployment, as the fault model prescribes. *)
+
+  val client_protocol : n:int -> ready_quorum:int option -> Client.protocol
+  (** The client dialect that speaks this protocol's request/reply (and,
+      where applicable, session-handshake) format. *)
+
+  (** {2 Committed-batch observation} *)
+
+  val executed_log : node -> (int64 * string) list
+  (** (sequence, batch digest), oldest first, normalized across protocols. *)
+
+  val last_executed : node -> int64
+  val executed_count : node -> int
+  val app_digest : node -> string
+  val view : node -> int
+
+  val persisted : node -> (string * string) list
+  (** Sealed blobs on the host's stable storage, for the canary scanner. *)
+
+  (** {2 Checkpoint / recovery hooks} *)
+
+  val crash_host : node -> unit
+  val restart_host : node -> unit
+
+  val tamper_checkpoint_counter : node -> unit
+  (** Roll back the monotonic counter guarding checkpoint seals — the
+      attack a subsequent {!restart_host} must refuse. *)
+
+  val recovered : node -> bool
+  val recovery_alerts : node -> string list
+
+  (** {2 Downcast} *)
+
+  val reveal : node -> witness
+  (** The implementation's own constructor around the concrete replica,
+      for protocol-specific injection sites (see {!witness}). *)
+end
+
+type t = (module PROTOCOL)
+
+(** A replica paired with its protocol module — what a deployed cluster
+    holds, with the concrete node type hidden. *)
+type packed = Node : (module PROTOCOL with type node = 'n) * 'n -> packed
+
+let spawn (p : t) ctx (shared : shared) ~id ~app : packed =
+  let module P = (val p) in
+  Node ((module P), P.spawn ctx (P.config_of_shared shared ~id) ~app)
+
+let name (p : t) =
+  let module P = (val p) in
+  P.name
+
+let confidential (p : t) =
+  let module P = (val p) in
+  P.confidential
+
+let default_n (p : t) =
+  let module P = (val p) in
+  P.default_n
+
+let f_of_n (p : t) n =
+  let module P = (val p) in
+  P.f_of_n n
+
+let client_protocol (p : t) ~n ~ready_quorum =
+  let module P = (val p) in
+  P.client_protocol ~n ~ready_quorum
+
+(** {2 Uniform accessors over packed nodes} *)
+
+let node_name (Node ((module P), _)) = P.name
+let executed_log (Node ((module P), n)) = P.executed_log n
+let last_executed (Node ((module P), n)) = P.last_executed n
+let executed_count (Node ((module P), n)) = P.executed_count n
+let app_digest (Node ((module P), n)) = P.app_digest n
+let view (Node ((module P), n)) = P.view n
+let persisted (Node ((module P), n)) = P.persisted n
+let crash_host (Node ((module P), n)) = P.crash_host n
+let restart_host (Node ((module P), n)) = P.restart_host n
+let tamper_checkpoint_counter (Node ((module P), n)) = P.tamper_checkpoint_counter n
+let recovered (Node ((module P), n)) = P.recovered n
+let recovery_alerts (Node ((module P), n)) = P.recovery_alerts n
+let reveal (Node ((module P), n)) = P.reveal n

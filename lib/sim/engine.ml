@@ -15,6 +15,7 @@ type event = {
 
 and t = {
   queue : event Splitbft_util.Heap.t;
+  seed : int64;
   root_rng : Splitbft_util.Rng.t;
   obs : Registry.t;
   tracer : Splitbft_obs.Tracer.t option;
@@ -35,6 +36,7 @@ let compare_events a b =
 let create ?(seed = 1L) ?obs ?tracer () =
   let obs = match obs with Some r -> r | None -> Registry.create () in
   { queue = Splitbft_util.Heap.create ~cmp:compare_events;
+    seed;
     root_rng = Splitbft_util.Rng.create seed;
     obs;
     tracer;
@@ -46,6 +48,7 @@ let create ?(seed = 1L) ?obs ?tracer () =
     live = 0 }
 
 let now t = t.clock
+let seed t = t.seed
 let rng t = t.root_rng
 let obs t = t.obs
 let tracer t = t.tracer

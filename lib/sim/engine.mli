@@ -39,6 +39,12 @@ val rng : t -> Splitbft_util.Rng.t
 (** The engine's root generator.  Components that need independent streams
     should [Rng.split] it at setup time. *)
 
+val seed : t -> int64
+(** The seed {!create} was given.  Components whose randomness must not
+    depend on setup order (e.g. clients, simulated identities) derive
+    their stream with [Rng.of_key (Engine.seed e) ~domain ~stream]
+    instead of splitting {!rng}. *)
+
 val schedule : t -> delay:float -> label:string -> (unit -> unit) -> handle
 (** Schedules [action] to run [delay] µs from now ([delay >= 0]).  [label]
     appears in traces and error reports. *)

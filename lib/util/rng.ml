@@ -18,6 +18,19 @@ let next64 t =
 
 let split t = create (next64 t)
 
+(* Keyed derivation: the stream for [(seed, domain, stream)] depends only on
+   those three values — not on how many other generators were split off the
+   seed first.  [domain] separates independent consumers sharing a stream
+   numbering (e.g. client #3's session keys vs simulated identity #3's op
+   choices) so equal stream ids never alias across subsystems. *)
+let of_key seed ~domain ~stream =
+  let h =
+    String.fold_left
+      (fun acc c -> mix (Int64.add acc (Int64.of_int (Char.code c))))
+      (mix seed) domain
+  in
+  create (mix (Int64.add h (Int64.mul stream golden_gamma)))
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   let r = Int64.to_int (Int64.shift_right_logical (next64 t) 1) land max_int in

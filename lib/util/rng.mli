@@ -15,6 +15,13 @@ val split : t -> t
 (** [split t] advances [t] and returns a new generator seeded from it,
     statistically independent of subsequent draws from [t]. *)
 
+val of_key : int64 -> domain:string -> stream:int64 -> t
+(** [of_key seed ~domain ~stream] is a generator determined purely by the
+    triple — unlike {!split}, it does not depend on any other generator's
+    draw order, so stream [(seed, domain, i)] is reproducible regardless
+    of how many sibling streams exist.  [domain] namespaces independent
+    consumers that both number their streams from 0. *)
+
 val next64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -1,0 +1,32 @@
+(* CDF-table Zipfian sampler.  The table costs O(n) floats once at setup;
+   each sample is one uniform draw plus a binary search, so the open-loop
+   generator can draw millions of keys without per-draw allocation. *)
+
+type t = { cdf : float array }
+
+let create ?(s = 0.99) ~n () =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0.0 then invalid_arg "Zipf.create: exponent must be non-negative";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) s);
+    cdf.(i) <- !acc
+  done;
+  let total = !acc in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. total
+  done;
+  { cdf }
+
+let n t = Array.length t.cdf
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* Smallest index with cdf.(i) >= u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo

@@ -1,0 +1,15 @@
+(** Zipfian (power-law) rank sampler over [0 .. n-1], the standard model
+    for skewed key popularity (YCSB uses s = 0.99).  [s = 0] degenerates
+    to the uniform distribution. *)
+
+type t
+
+val create : ?s:float -> n:int -> unit -> t
+(** [create ~s ~n ()] precomputes the CDF of a Zipf distribution with
+    exponent [s] (default 0.99) over ranks [0 .. n-1].  Raises
+    [Invalid_argument] when [n <= 0] or [s < 0]. *)
+
+val n : t -> int
+
+val sample : t -> Rng.t -> int
+(** One rank, rank 0 most popular; O(log n), allocation-free. *)

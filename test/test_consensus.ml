@@ -44,13 +44,13 @@ type trace = {
 let crash_at = 10_000.0
 let horizon = 15_000_000.0
 
-let drive engine net mode ~ops =
+let drive ?(n = 4) engine net mode ~ops =
   let ops_l = workload ops in
   let results = Array.make ops "<none>" in
   let completed = ref 0 in
   let cl =
     Client.create engine net
-      { (Client.default_config mode ~n:4 ~id:0) with
+      { (Client.default_config mode ~n ~id:0) with
         Client.window = 1;
         retry_timeout_us = 300_000.0 }
   in
@@ -215,6 +215,167 @@ let test_lanes_recovery () = check_seed ~lanes:2 ~workers:3 ~restart:true 23L
 let test_lanes_lossy () =
   check_seed ~lanes:4 ~workers:2 ~net_cfg:lossy ~allow_laggards:true 47L
 
+(* ----- functor-rewiring safety net -----
+
+   The same closed-loop run driven twice: once through the
+   Cluster/PROTOCOL functor harness and once by constructing the replica
+   stack directly, mirroring exactly the configuration the protocol
+   instance derives in [config_of_shared].  Every reply byte, the
+   executed-op counts and the final application digests must be identical
+   — for each built-in protocol, including SplitBFT with the pipeline
+   actually pipelined (lanes > 1, workers > 1).  Any behavioural drift
+   introduced by the functor layer shows up as a byte diff here. *)
+
+module Cluster = Splitbft_harness.Cluster
+module Minbft = Splitbft_minbft.Replica
+module Proto = Splitbft_proto
+
+type flat = {
+  f_completed : int;
+  f_results : string array;
+  f_digests : string list;  (** final app digest per survivor, in id order *)
+  f_execs : int list;
+}
+
+(* The shared-knob overrides every run in this suite uses (checkpoint
+   rounds every 8 seqnos, aggressive suspicion so the post-crash view
+   change happens early). *)
+let ckpt_interval = 8
+let suspect_us = 200_000.0
+
+let flat_of_harness protocol ~seed ~ops =
+  let params =
+    { (Cluster.default_params protocol) with
+      Cluster.checkpoint_interval = ckpt_interval;
+      suspect_timeout_us = suspect_us;
+      seed }
+  in
+  let cluster = Cluster.create params in
+  let engine = Cluster.engine cluster in
+  let net = Cluster.network cluster in
+  ignore
+    (Engine.schedule engine ~delay:crash_at ~label:"crash-primary-host" (fun () ->
+         Cluster.crash_host cluster 0));
+  let n = params.Cluster.n in
+  let mode = Cluster.Proto.client_protocol protocol ~n ~ready_quorum:None in
+  let completed, results = drive ~n engine net mode ~ops in
+  let survivors = List.filteri (fun i _ -> i > 0) (Cluster.nodes cluster) in
+  { f_completed = completed;
+    f_results = results;
+    f_digests = List.map Cluster.app_digest_of survivors;
+    f_execs = List.map Cluster.executed_count_of survivors }
+
+let flat_of_direct_pbft ~seed ~ops =
+  let engine = Engine.create ~seed () in
+  let net = Network.create engine Network.default_config in
+  let replicas =
+    List.init 4 (fun i ->
+        Pbft.create engine net
+          { (Pbft.default_config ~n:4 ~id:i) with
+            Pbft.batch_size = 1;
+            batch_timeout_us = 10_000.0;
+            checkpoint_interval = ckpt_interval;
+            suspect_timeout_us = suspect_us }
+          ~app:(Kvs.create ()))
+  in
+  ignore
+    (Engine.schedule engine ~delay:crash_at ~label:"crash-primary-host" (fun () ->
+         Pbft.crash (List.nth replicas 0)));
+  let completed, results = drive engine net Client.Pbft ~ops in
+  let survivors = List.filteri (fun i _ -> i > 0) replicas in
+  { f_completed = completed;
+    f_results = results;
+    f_digests = List.map Pbft.app_digest survivors;
+    f_execs = List.map Pbft.executed_count survivors }
+
+let flat_of_direct_minbft ~seed ~ops =
+  let engine = Engine.create ~seed () in
+  let net = Network.create engine Network.default_config in
+  let replicas =
+    List.init 3 (fun i ->
+        Minbft.create engine net
+          { (Minbft.default_config ~n:3 ~id:i) with
+            Minbft.batch_size = 1;
+            batch_timeout_us = 10_000.0;
+            checkpoint_interval = ckpt_interval;
+            suspect_timeout_us = suspect_us }
+          ~app:(Kvs.create ()))
+  in
+  ignore
+    (Engine.schedule engine ~delay:crash_at ~label:"crash-primary-host" (fun () ->
+         Minbft.crash (List.nth replicas 0)));
+  let completed, results = drive ~n:3 engine net Client.Minbft ~ops in
+  let survivors = List.filteri (fun i _ -> i > 0) replicas in
+  { f_completed = completed;
+    f_results = results;
+    f_digests = List.map Minbft.app_digest survivors;
+    f_execs = List.map Minbft.executed_count survivors }
+
+let flat_of_direct_split ?(lanes = 1) ?(workers = 1) ~seed ~ops () =
+  let engine = Engine.create ~seed () in
+  let net = Network.create engine Network.default_config in
+  let replicas =
+    List.init 4 (fun i ->
+        Split.create engine net
+          { (Config.default ~n:4 ~id:i) with
+            Config.batch_size = 1;
+            batch_timeout_us = 10_000.0;
+            checkpoint_interval = ckpt_interval;
+            suspect_timeout_us = suspect_us;
+            lanes;
+            exec_workers = workers }
+          ~app:(fun () -> Kvs.create ()))
+  in
+  ignore
+    (Engine.schedule engine ~delay:crash_at ~label:"crash-primary-host" (fun () ->
+         Split.crash_host (List.nth replicas 0)));
+  let completed, results =
+    drive engine net (Client.Splitbft { ready_quorum = 4 }) ~ops
+  in
+  let survivors = List.filteri (fun i _ -> i > 0) replicas in
+  { f_completed = completed;
+    f_results = results;
+    f_digests = List.map Split.app_digest survivors;
+    f_execs = List.map Split.executed_count survivors }
+
+let check_functor_identical name ~ops direct harness =
+  checki (name ^ ": all ops complete") ops direct.f_completed;
+  checki (name ^ ": completed identical") direct.f_completed harness.f_completed;
+  Array.iteri
+    (fun i rd ->
+      checks (Printf.sprintf "%s: reply %d identical" name i) rd harness.f_results.(i))
+    direct.f_results;
+  List.iter2
+    (fun dd hd -> checks (name ^ ": survivor digest identical") dd hd)
+    direct.f_digests harness.f_digests;
+  List.iter2
+    (fun de he -> checki (name ^ ": survivor exec count identical") de he)
+    direct.f_execs harness.f_execs
+
+let test_functor_pbft () =
+  let ops = 60 and seed = 11L in
+  check_functor_identical "pbft" ~ops
+    (flat_of_direct_pbft ~seed ~ops)
+    (flat_of_harness Proto.Proto_pbft.protocol ~seed ~ops)
+
+let test_functor_minbft () =
+  let ops = 60 and seed = 23L in
+  check_functor_identical "minbft" ~ops
+    (flat_of_direct_minbft ~seed ~ops)
+    (flat_of_harness Proto.Proto_minbft.protocol ~seed ~ops)
+
+let test_functor_splitbft () =
+  let ops = 60 and seed = 11L in
+  check_functor_identical "splitbft" ~ops
+    (flat_of_direct_split ~seed ~ops ())
+    (flat_of_harness Proto.Proto_splitbft.protocol ~seed ~ops)
+
+let test_functor_splitbft_lanes () =
+  let ops = 60 and seed = 47L in
+  check_functor_identical "splitbft l4w4" ~ops
+    (flat_of_direct_split ~lanes:4 ~workers:4 ~seed ~ops ())
+    (flat_of_harness (Proto.Proto_splitbft.make ~lanes:4 ~exec_workers:4 ()) ~seed ~ops)
+
 let suites =
   [ ( "consensus-differential",
       [
@@ -226,4 +387,9 @@ let suites =
         Alcotest.test_case "lanes=2 workers=3, crash-recovery" `Slow
           test_lanes_recovery;
         Alcotest.test_case "lanes=4 workers=2, lossy links" `Slow test_lanes_lossy;
+        Alcotest.test_case "functor vs direct: pbft" `Slow test_functor_pbft;
+        Alcotest.test_case "functor vs direct: minbft" `Slow test_functor_minbft;
+        Alcotest.test_case "functor vs direct: splitbft" `Slow test_functor_splitbft;
+        Alcotest.test_case "functor vs direct: splitbft l4w4" `Slow
+          test_functor_splitbft_lanes;
       ] ) ]

@@ -1,5 +1,6 @@
 module H = Splitbft_harness
 module Cluster = H.Cluster
+module Proto = Splitbft_proto
 module Workload = H.Workload
 module Safety = H.Safety
 module Scenarios = H.Scenarios
@@ -11,16 +12,17 @@ let checki = Alcotest.(check int)
 
 let test_cluster_protocol_dispatch () =
   List.iter
-    (fun protocol ->
+    (fun (name, protocol) ->
       let c = Cluster.create { (Cluster.default_params protocol) with Cluster.seed = 3L } in
-      checki "replica count"
-        (match protocol with Cluster.Minbft -> 3 | _ -> 4)
+      checki (name ^ " replica count")
+        (if name = "minbft" then 3 else 4)
         (List.length (Cluster.nodes c));
-      checki "f" 1 (Cluster.f c))
-    [ Cluster.Pbft; Cluster.Minbft; Cluster.Splitbft ]
+      checki (name ^ " f") 1 (Cluster.f c);
+      Alcotest.(check string) "protocol name" name (Cluster.protocol_name c))
+    Proto.Catalog.builtins
 
 let test_workload_fault_free () =
-  let c = Cluster.create { (Cluster.default_params Cluster.Pbft) with Cluster.seed = 3L } in
+  let c = Cluster.create { (Cluster.default_params Proto.Proto_pbft.protocol) with Cluster.seed = 3L } in
   let scanner = Safety.install_scanner c in
   let r =
     Workload.run c
@@ -42,7 +44,7 @@ let test_workload_fault_free () =
 
 let test_splitbft_workload_confidential () =
   let c =
-    Cluster.create { (Cluster.default_params Cluster.Splitbft) with Cluster.seed = 3L }
+    Cluster.create { (Cluster.default_params Proto.Proto_splitbft.protocol) with Cluster.seed = 3L }
   in
   let scanner = Safety.install_scanner c in
   let r =
@@ -95,7 +97,7 @@ let test_rollback_tamper_refused_direct () =
      stay down, loudly. *)
   let c =
     Cluster.create
-      { (Cluster.default_params Cluster.Splitbft) with
+      { (Cluster.default_params Proto.Proto_splitbft.protocol) with
         Cluster.seed = 11L;
         checkpoint_interval = 8 }
   in
@@ -121,7 +123,7 @@ let test_partition_then_heal () =
   let module Engine = Splitbft_sim.Engine in
   let module Network = Splitbft_sim.Network in
   let c =
-    Cluster.create { (Cluster.default_params Cluster.Splitbft) with Cluster.seed = 7L }
+    Cluster.create { (Cluster.default_params Proto.Proto_splitbft.protocol) with Cluster.seed = 7L }
   in
   let e = Cluster.engine c in
   let net = Cluster.network c in

@@ -156,7 +156,7 @@ let test_registry_snapshot_roundtrip () =
 
 let test_cluster_run_populates_metrics () =
   let params =
-    { (H.Cluster.default_params H.Cluster.Splitbft) with H.Cluster.seed = 5L }
+    { (H.Cluster.default_params Splitbft_proto.Proto_splitbft.protocol) with H.Cluster.seed = 5L }
   in
   let cluster = H.Cluster.create params in
   let spec =

@@ -1,0 +1,233 @@
+(* Open-loop workload generation and per-client keyed RNG streams.
+
+   The generator's trace is a pure function of (seed, app, spec): the
+   fingerprint pin below is the regression net for reproducible workload
+   generation, and the connection-count independence tests guard the keyed
+   derivation (seed, client-id) -> stream that replaced splitting a shared
+   engine generator — with a shared generator, creating one more client
+   perturbed every other client's nonces and the whole trace. *)
+
+module H = Splitbft_harness
+module Cluster = H.Cluster
+module Workload = H.Workload
+module Open_loop = H.Workload.Open_loop
+module Proto = Splitbft_proto
+module Client = Splitbft_client.Client
+module Network = Splitbft_sim.Network
+module Addr = Splitbft_types.Addr
+module Zipf = Splitbft_util.Zipf
+module Rng = Splitbft_util.Rng
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ----- pure generator ----- *)
+
+(* Pinned trace digest: first 256 arrivals at seed 42 under the default
+   spec.  Any change to arrival scheduling, identity selection, key
+   skew or op encoding must be deliberate enough to update this pin. *)
+let pinned_fingerprint = "361cde4e98579bfa8540dba4e8529b29"
+
+let test_fingerprint_pin () =
+  checks "trace fingerprint"
+    pinned_fingerprint
+    (Open_loop.fingerprint ~seed:42L Open_loop.default_spec ~n:256)
+
+let test_fingerprint_ignores_connections () =
+  (* The virtual trace exists before any deployment decision: multiplexing
+     over 4 or 64 connections must not change a byte of it. *)
+  let fp spec = Open_loop.fingerprint ~seed:7L spec ~n:128 in
+  let base = Open_loop.default_spec in
+  checks "connections do not perturb the trace" (fp base)
+    (fp { base with Open_loop.connections = 64; window = 64 });
+  (* ... but the workload knobs do. *)
+  checkb "read mix changes the trace" true
+    (fp base <> fp { base with Open_loop.read_ratio = 0.0 })
+
+let test_identity_lru_bound () =
+  (* Satellite: ~1M simulated identities over a 4096-entry cache; live
+     state and its reachable bytes stay under a fixed bound while the
+     identity space is three orders of magnitude larger. *)
+  let spec =
+    { Open_loop.default_spec with
+      Open_loop.identities = 1_000_000;
+      identity_cache = 4_096 }
+  in
+  let g = Open_loop.gen ~seed:9L spec in
+  let draws = 300_000 in
+  for _ = 1 to draws do
+    let identity, op, _expect = Open_loop.next g in
+    assert (identity >= 0 && identity < 1_000_000);
+    assert (String.length op > 0)
+  done;
+  checkb "live identities bounded" true (Open_loop.live_identities g <= 4_096);
+  checkb "live peak bounded" true (Open_loop.live_identities_peak g <= 4_096);
+  checkb "identity space actually explored" true
+    (Open_loop.distinct_identities g > 200_000);
+  let bytes = Open_loop.identity_words g * (Sys.word_size / 8) in
+  checkb
+    (Printf.sprintf "identity table stays under 4 MB (is %d bytes)" bytes)
+    true (bytes <= 4 * 1024 * 1024)
+
+let test_eviction_restarts_deterministically () =
+  (* Bounded memory means an evicted identity that returns restarts its
+     stream (fresh-session semantics).  The restarted stream must be the
+     same one the identity started with — a pure function of
+     (seed, identity), never of eviction history or cache size. *)
+  let base =
+    { Open_loop.default_spec with Open_loop.identities = 1; identity_cache = 8 }
+  in
+  (* Identity 0's first op in a never-evicting generator. *)
+  let g0 = Open_loop.gen ~seed:3L base in
+  let _, first_op, _ = Open_loop.next g0 in
+  (* Cache of 1 over two identities: every switch back to identity 0
+     re-admits it. *)
+  let g =
+    Open_loop.gen ~seed:3L { base with Open_loop.identities = 2; identity_cache = 1 }
+  in
+  let prev = ref (-1) in
+  let readmissions = ref 0 in
+  for _ = 1 to 256 do
+    let id, op, _ = Open_loop.next g in
+    if id = 0 && !prev <> 0 then begin
+      incr readmissions;
+      checks "re-admitted identity restarts its keyed stream" first_op op
+    end;
+    prev := id
+  done;
+  checkb "re-admission exercised" true (!readmissions >= 2)
+
+let test_bursty_validation () =
+  let bad shape =
+    match Open_loop.gen ~seed:1L { Open_loop.default_spec with Open_loop.arrival = shape } with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  checkb "peak_factor * duty >= 1 rejected" true
+    (bad (Open_loop.Bursty { peak_factor = 5.0; period_us = 1e5; duty = 0.2 }));
+  checkb "duty out of range rejected" true
+    (bad (Open_loop.Bursty { peak_factor = 2.0; period_us = 1e5; duty = 1.0 }));
+  checkb "valid bursty accepted" true
+    (not (bad (Open_loop.Bursty { peak_factor = 4.0; period_us = 1e5; duty = 0.2 })))
+
+let test_interarrival_positive () =
+  let g = Open_loop.gen ~seed:5L Open_loop.default_spec in
+  for i = 0 to 999 do
+    let gap = Open_loop.interarrival g ~now:(float_of_int i *. 137.0) in
+    assert (Float.is_finite gap && gap >= 0.0)
+  done
+
+(* ----- Zipf sampling ----- *)
+
+let test_zipf_skew () =
+  let z = Zipf.create ~s:0.99 ~n:1024 () in
+  let rng = Rng.create 11L in
+  let counts = Array.make 1024 0 in
+  for _ = 1 to 20_000 do
+    let k = Zipf.sample z rng in
+    assert (k >= 0 && k < 1024);
+    counts.(k) <- counts.(k) + 1
+  done;
+  let tail = Array.fold_left ( + ) 0 (Array.sub counts 512 512) in
+  checkb "head key is hot" true (counts.(0) > 20_000 / 100);
+  checkb "tail half is cold" true (tail < 20_000 / 4);
+  (* s = 0 degenerates to uniform: the head loses its advantage. *)
+  let u = Zipf.create ~s:0.0 ~n:1024 () in
+  let urng = Rng.create 11L in
+  let ucounts = Array.make 1024 0 in
+  for _ = 1 to 20_000 do
+    let k = Zipf.sample u urng in
+    ucounts.(k) <- ucounts.(k) + 1
+  done;
+  checkb "uniform head is not hot" true (ucounts.(0) < 100)
+
+(* ----- per-client keyed RNG streams ----- *)
+
+let first_wire_of_client ~extra ~seed =
+  let cluster =
+    Cluster.create
+      { (Cluster.default_params Proto.Proto_splitbft.protocol) with Cluster.seed = seed }
+  in
+  let engine = Cluster.engine cluster in
+  let net = Cluster.network cluster in
+  let mode = Client.Splitbft { ready_quorum = 4 } in
+  (* A bystander client created first: with a shared split-chain RNG this
+     shifted every later client's stream; with keyed streams it is inert. *)
+  if extra then ignore (Client.create engine net (Client.default_config mode ~n:4 ~id:9));
+  let cl = Client.create engine net (Client.default_config mode ~n:4 ~id:5) in
+  let captured = ref None in
+  Network.set_tap net
+    (Some
+       (fun ~src ~dst:_ payload ->
+         if !captured = None && src = Addr.client 5 then captured := Some payload));
+  Client.start cl ~on_ready:(fun () -> ());
+  Cluster.run cluster ~until_us:100_000.0;
+  match !captured with
+  | Some p -> p
+  | None -> Alcotest.fail "client 5 sent nothing"
+
+let test_client_stream_keyed () =
+  checks "client 5's first wire bytes ignore bystander creation"
+    (first_wire_of_client ~extra:false ~seed:31L)
+    (first_wire_of_client ~extra:true ~seed:31L)
+
+(* ----- end-to-end open-loop runs ----- *)
+
+let small_spec =
+  { Open_loop.default_spec with
+    Open_loop.rate_ops = 2_000.0;
+    warmup_us = 100_000.0;
+    duration_us = 400_000.0;
+    connections = 4;
+    window = 8;
+    identities = 10_000;
+    identity_cache = 512 }
+
+let run_small arrival =
+  let cluster =
+    Cluster.create
+      { (Cluster.default_params Proto.Proto_splitbft.protocol) with Cluster.seed = 5L }
+  in
+  Open_loop.run cluster { small_spec with Open_loop.arrival }
+
+let test_openloop_poisson_run () =
+  let r = run_small Open_loop.Poisson in
+  checkb "arrivals happened" true (r.Open_loop.arrivals > 0);
+  checki "no wrong results" 0 r.Open_loop.ol_wrong_results;
+  (* Far below saturation: the system keeps up with the offered load. *)
+  checkb "achieved tracks offered" true
+    (r.Open_loop.achieved_ops >= 0.75 *. r.Open_loop.offered_ops);
+  checkb "latency percentiles ordered" true
+    (r.Open_loop.ol_p50_latency_us <= r.Open_loop.ol_p95_latency_us
+    && r.Open_loop.ol_p95_latency_us <= r.Open_loop.ol_p99_latency_us);
+  checkb "p50 finite" true (Float.is_finite r.Open_loop.ol_p50_latency_us);
+  checkb "identity cache bounded" true (r.Open_loop.live_identities_peak <= 512)
+
+let test_openloop_bursty_run () =
+  let r =
+    run_small (Open_loop.Bursty { peak_factor = 4.0; period_us = 50_000.0; duty = 0.2 })
+  in
+  checkb "arrivals happened" true (r.Open_loop.arrivals > 0);
+  checki "no wrong results" 0 r.Open_loop.ol_wrong_results;
+  (* The square wave preserves the configured mean rate. *)
+  checkb "offered close to the configured mean" true
+    (Float.abs (r.Open_loop.offered_ops -. 2_000.0) <= 600.0);
+  checkb "achieved tracks offered" true
+    (r.Open_loop.achieved_ops >= 0.75 *. r.Open_loop.offered_ops)
+
+let suites =
+  [ ( "openloop",
+      [ Alcotest.test_case "trace fingerprint pinned" `Quick test_fingerprint_pin;
+        Alcotest.test_case "trace ignores connection count" `Quick
+          test_fingerprint_ignores_connections;
+        Alcotest.test_case "identity LRU bound at 1M identities" `Slow
+          test_identity_lru_bound;
+        Alcotest.test_case "eviction restarts keyed streams" `Quick
+          test_eviction_restarts_deterministically;
+        Alcotest.test_case "bursty shape validation" `Quick test_bursty_validation;
+        Alcotest.test_case "interarrival gaps positive" `Quick test_interarrival_positive;
+        Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+        Alcotest.test_case "client rng streams keyed" `Slow test_client_stream_keyed;
+        Alcotest.test_case "open-loop poisson run" `Slow test_openloop_poisson_run;
+        Alcotest.test_case "open-loop bursty run" `Slow test_openloop_bursty_run ] ) ]

@@ -265,7 +265,7 @@ let client_outage ~from_us ~until_us cluster =
          Network.set_filter net None))
 
 let test_splitbft_propagation () =
-  let tracer, cluster, result = run_traced H.Cluster.Splitbft in
+  let tracer, cluster, result = run_traced Splitbft_proto.Proto_splitbft.protocol in
   checkb "requests completed" true (result.H.Workload.completed_total > 0);
   let report = H.Trace_report.analyze tracer in
   checki "no broken causal trees" 0 report.H.Trace_report.broken_traces;
@@ -346,7 +346,7 @@ let test_retransmit_joins_trace () =
   let tracer, _cluster, result =
     run_traced ~duration_us:1_500_000.0
       ~setup:(client_outage ~from_us:200_000.0 ~until_us:500_000.0)
-      H.Cluster.Splitbft
+      Splitbft_proto.Proto_splitbft.protocol
   in
   checkb "requests completed despite the outage" true
     (result.H.Workload.completed_total > 0);
@@ -373,7 +373,7 @@ let test_slow_request_promoted () =
   let tracer, _cluster, result =
     run_traced ~sample_every:1_000_000 ~duration_us:1_500_000.0
       ~setup:(client_outage ~from_us:200_000.0 ~until_us:500_000.0)
-      H.Cluster.Splitbft
+      Splitbft_proto.Proto_splitbft.protocol
   in
   checkb "requests completed despite the outage" true
     (result.H.Workload.completed_total > 0);
@@ -401,7 +401,7 @@ let test_tracing_off_costs_nothing () =
      add wire bytes.) *)
   let snapshot tracer =
     let params =
-      { (H.Cluster.default_params H.Cluster.Splitbft) with H.Cluster.seed = 5L }
+      { (H.Cluster.default_params Splitbft_proto.Proto_splitbft.protocol) with H.Cluster.seed = 5L }
     in
     let cluster = H.Cluster.create ?tracer params in
     let spec =
