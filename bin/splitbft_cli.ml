@@ -377,9 +377,277 @@ let trace_cmd =
     Term.(const run $ protocol $ app_arg $ clients $ duration $ seed $ scenario $ sample $ out
           $ metrics_out $ check)
 
+(* ----- mc ----- *)
+
+module Mc = Splitbft_mc
+
+let print_mc_stats (s : Mc.Driver.stats) elapsed =
+  H.Table.print ~title:"exploration"
+    ~header:[ "metric"; "value" ]
+    ~rows:
+      [ [ "visited states"; string_of_int s.Mc.Driver.visited ];
+        [ "transitions"; string_of_int s.Mc.Driver.transitions ];
+        [ "pruned (visited hash)"; string_of_int s.Mc.Driver.hash_pruned ];
+        [ "pruned (sleep sets)"; string_of_int s.Mc.Driver.sleep_pruned ];
+        [ "deepest schedule"; string_of_int s.Mc.Driver.deepest ];
+        [ "world rebuilds"; string_of_int s.Mc.Driver.replays ];
+        [ "wall clock"; Printf.sprintf "%.1f s" elapsed ] ]
+
+(* Named small-scope configurations: the CI matrix and the acceptance
+   criteria run these by name, so the budgets they imply are documented
+   here rather than scattered over workflow files. *)
+let mc_presets :
+    (string * (Mc.World.config * Mc.Driver.budget * [ `Expect_violation | `Expect_none | `Require_exhausted ]))
+    list =
+  let zero = { Mc.World.suspect = 0; retry = 0; batch = 0; recovery = 0 } in
+  let adv l = List.map (fun s -> Result.get_ok (Mc.Adversary.of_string s)) l in
+  let base = Mc.World.default_config in
+  let quick = { Mc.Driver.max_states = 6_000; max_depth = 120; max_wall_s = 90.0 } in
+  [ (* Exhaust the honest no-fault space at per-host FIFO granularity
+       with a closed-loop client: timers suppressed (an idle timer
+       firing is protocol stutter on the quiescent path), requests
+       submitted one at a time, every host-pacing of the FIFO network's
+       2-request send order explored to termination (DESIGN.md §9). *)
+    ( "exhaust",
+      ( { base with Mc.World.budgets = zero; per_host_fifo = true; client_window = 1 },
+        { Mc.Driver.max_states = 60_000; max_depth = 150; max_wall_s = 300.0 },
+        `Require_exhausted ) );
+    (* Single byzantine compartment each: bounded search must find no
+       violation (the paper's containment claim, §5). *)
+    ("contained-prep", ({ base with Mc.World.adversaries = adv [ "equivocate@0" ]; budgets = zero }, quick, `Expect_none));
+    ( "contained-prep-digest",
+      ({ base with Mc.World.adversaries = adv [ "corrupt-digest@0" ]; budgets = zero }, quick, `Expect_none) );
+    ( "contained-conf",
+      ({ base with Mc.World.adversaries = adv [ "promiscuous-commit@1" ]; budgets = zero }, quick, `Expect_none) );
+    ( "contained-exec",
+      ({ base with Mc.World.adversaries = adv [ "corrupt-result@2" ]; budgets = zero }, quick, `Expect_none) );
+    ( "contained-broker",
+      ({ base with Mc.World.adversaries = adv [ "reorder-outputs@1" ]; budgets = zero }, quick, `Expect_none) );
+    ( "contained-broker-dup",
+      ({ base with Mc.World.adversaries = adv [ "duplicate-outputs@1" ]; budgets = zero }, quick, `Expect_none) );
+    ( "contained-broker-drop",
+      ( { base with
+          Mc.World.adversaries = adv [ "drop-outputs:3@1" ];
+          budgets = { zero with Mc.World.retry = 1; batch = 1 } },
+        quick,
+        `Expect_none ) );
+    (* Two compromised Executions exceed f: the checker must produce a
+       replayable counterexample (wrong result accepted by the client). *)
+    ( "overpowered",
+      ( { base with Mc.World.adversaries = adv [ "corrupt-result@0"; "corrupt-result@1" ]; budgets = zero },
+        quick,
+        `Expect_violation ) );
+    (* Mutation self-test: the re-introduced PR-3 view-change bug must be
+       caught; the unmutated control on the identical schedule space must
+       stay clean. *)
+    ( "mutation",
+      ( { base with
+          Mc.World.lossy_viewchange = true;
+          mutate_viewchange = true;
+          budgets = Mc.World.viewchange_budgets },
+        { Mc.Driver.max_states = 30_000; max_depth = 200; max_wall_s = 240.0 },
+        `Expect_violation ) );
+    ( "mutation-control",
+      ( { base with Mc.World.lossy_viewchange = true; budgets = Mc.World.viewchange_budgets },
+        { Mc.Driver.max_states = 30_000; max_depth = 200; max_wall_s = 240.0 },
+        `Expect_none ) ) ]
+
+let mc_cmd =
+  let preset =
+    Arg.(value & opt (some (enum (List.map (fun (n, v) -> (n, (n, v))) mc_presets))) None
+         & info [ "preset" ]
+             ~doc:(Printf.sprintf "Named configuration: %s."
+                     (String.concat ", " (List.map fst mc_presets))))
+  in
+  let adversaries =
+    Arg.(value & opt_all string []
+         & info [ "adversary" ]
+             ~doc:"Byzantine compartment as POLICY@REPLICA (repeatable); policies: equivocate, \
+                   corrupt-digest, promiscuous-commit, stale-proof, corrupt-result, \
+                   leak-plaintext, lie-checkpoint, drop-outputs:K, duplicate-outputs, \
+                   reorder-outputs.")
+  in
+  let requests = Arg.(value & opt int 2 & info [ "requests" ] ~doc:"Client requests.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let crash =
+    Arg.(value & opt (some string) None
+         & info [ "crash" ] ~doc:"Crash host HOST or HOST+restart as an explored choice.")
+  in
+  let timers =
+    Arg.(value & opt (enum [ ("none", `None); ("default", `Default); ("viewchange", `Viewchange) ]) `None
+         & info [ "timers" ]
+             ~doc:"Timer fire budgets: none (deliveries only), default, or viewchange (roomy).")
+  in
+  let max_states = Arg.(value & opt int 20_000 & info [ "max-states" ] ~doc:"Visited-state budget.") in
+  let max_depth = Arg.(value & opt int 150 & info [ "max-depth" ] ~doc:"Schedule depth budget.") in
+  let max_wall = Arg.(value & opt float 120.0 & info [ "max-wall" ] ~doc:"Wall-clock budget, seconds.") in
+  let expect_violation =
+    Arg.(value & flag
+         & info [ "expect-violation" ]
+             ~doc:"Exit 0 only if a violation is found (over-powered adversary runs).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out"; "o" ] ~doc:"Write the (minimized) counterexample schedule here.")
+  in
+  let run preset adversaries requests seed crash timers max_states max_depth max_wall
+      expect_violation out =
+    let cfg, budget, expectation =
+      match preset with
+      | Some (_name, (cfg, budget, expectation)) -> (cfg, budget, expectation)
+      | None ->
+        let advs =
+          List.map
+            (fun s ->
+              match Mc.Adversary.of_string s with
+              | Ok a -> a
+              | Error e ->
+                prerr_endline e;
+                exit 2)
+            adversaries
+        in
+        let crash =
+          match crash with
+          | None -> None
+          | Some s -> (
+            match Mc.Schedule.crash_of_string s with
+            | Ok c -> c
+            | Error e ->
+              prerr_endline e;
+              exit 2)
+        in
+        let budgets =
+          match timers with
+          | `None -> { Mc.World.suspect = 0; retry = 0; batch = 0; recovery = 0 }
+          | `Default -> Mc.World.default_budgets
+          | `Viewchange -> Mc.World.viewchange_budgets
+        in
+        ( { Mc.World.default_config with
+            Mc.World.requests;
+            seed = Int64.of_int seed;
+            adversaries = advs;
+            crash;
+            budgets;
+            client_window = requests },
+          { Mc.Driver.max_states; max_depth; max_wall_s = max_wall },
+          if expect_violation then `Expect_violation else `Expect_none )
+    in
+    let expectation = if expect_violation then `Expect_violation else expectation in
+    Printf.printf "mc: n=4, %d request(s), checkpoint interval %d, %s\n%!" cfg.Mc.World.requests
+      cfg.Mc.World.checkpoint_interval
+      (Mc.Adversary.describe cfg.Mc.World.adversaries
+      ^ (if cfg.Mc.World.lossy_viewchange then ", lossy-viewchange network" else "")
+      ^ (if cfg.Mc.World.mutate_viewchange then ", MUTATED view entry" else "")
+      ^
+      match cfg.Mc.World.crash with
+      | None -> ""
+      | Some (h, r) -> Printf.sprintf ", crash host %d%s" h (if r then "+restart" else ""));
+    let t0 = Sys.time () in
+    let r = Mc.Driver.run ~budget cfg in
+    let elapsed = Sys.time () -. t0 in
+    print_mc_stats r.Mc.Driver.stats elapsed;
+    match r.Mc.Driver.outcome with
+    | Mc.Driver.Violation { schedule; detail } ->
+      Printf.printf "violation: %s\n" detail;
+      Printf.printf "schedule (%d choices): %s\n" (List.length schedule)
+        (String.concat " " (List.map string_of_int schedule));
+      let minimized = Mc.Driver.minimize cfg schedule in
+      if List.length minimized < List.length schedule then
+        Printf.printf "minimized to %d choices: %s\n" (List.length minimized)
+          (String.concat " " (List.map string_of_int minimized));
+      let artifact = Mc.Schedule.Mc { cfg; schedule = minimized; detail } in
+      (match out with
+      | Some path ->
+        Mc.Schedule.save ~path artifact;
+        Printf.printf "counterexample written to %s (replay with: splitbft_cli replay %s)\n" path
+          path
+      | None -> ());
+      (* A counterexample that does not replay is a fingerprinting bug —
+         fail loudly rather than hand over a non-deterministic artifact. *)
+      (match Mc.Driver.replay cfg minimized with
+      | `Violation (_, detail') ->
+        Printf.printf "replay: reproduces (%s)\n" detail';
+        if expectation = `Expect_violation then exit 0
+        else begin
+          Printf.printf "FAIL: violation found but none expected\n";
+          exit 1
+        end
+      | `Clean | `Diverged _ ->
+        Printf.printf "FAIL: counterexample does not replay deterministically\n";
+        exit 1)
+    | Mc.Driver.Exhausted ->
+      Printf.printf "state space exhausted: every schedule explored, no violation\n";
+      if expectation = `Expect_violation then begin
+        Printf.printf "FAIL: expected a violation\n";
+        exit 1
+      end
+    | Mc.Driver.Budget reason ->
+      Printf.printf "bounded: search truncated by %s, no violation found\n" reason;
+      (match expectation with
+      | `Require_exhausted ->
+        Printf.printf "FAIL: this configuration must exhaust (hit %s)\n" reason;
+        exit 1
+      | `Expect_violation ->
+        Printf.printf "FAIL: expected a violation\n";
+        exit 1
+      | `Expect_none -> ())
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Bounded exhaustive model checking of the compartment boundary: explore every \
+          schedule of a small-scope deployment (n=4) under a byzantine compartment \
+          vocabulary, checking agreement, reply integrity, ledger prefix-consistency and the \
+          confidentiality canary at every state.")
+    Term.(const run $ preset $ adversaries $ requests $ seed $ crash $ timers $ max_states
+          $ max_depth $ max_wall $ expect_violation $ out)
+
+(* ----- replay ----- *)
+
+let replay_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"SCHEDULE" ~doc:"Artifact file.") in
+  let run file =
+    match Mc.Schedule.load file with
+    | Error e ->
+      Printf.eprintf "cannot load %s: %s\n" file e;
+      exit 2
+    | Ok (Mc.Schedule.Mc { cfg; schedule; detail }) -> (
+      Printf.printf "mc schedule: %d choices, %s\n" (List.length schedule)
+        (Mc.Adversary.describe cfg.Mc.World.adversaries);
+      if not (String.equal detail "") then Printf.printf "recorded violation: %s\n" detail;
+      match Mc.Driver.replay cfg schedule with
+      | `Violation (sched, detail') ->
+        Printf.printf "reproduced after %d choices: %s\n" (List.length sched) detail'
+      | `Clean ->
+        Printf.printf "schedule replayed clean — violation did NOT reproduce\n";
+        exit 1
+      | `Diverged done_ ->
+        Printf.printf "schedule diverged after %d choices (artifact/config mismatch)\n"
+          (List.length done_);
+        exit 1)
+    | Ok (Mc.Schedule.Chaos { protocol; plan; detail }) -> (
+      Printf.printf "chaos plan (%s): %s\n" protocol (Mc.Chaos.describe_plan plan);
+      if not (String.equal detail "") then Printf.printf "recorded violation: %s\n" detail;
+      match Mc.Chaos.run ~protocol plan with
+      | Error e ->
+        Printf.eprintf "%s\n" e;
+        exit 2
+      | Ok (Some detail') -> Printf.printf "reproduced: %s\n" detail'
+      | Ok None ->
+        Printf.printf "plan replayed clean — violation did NOT reproduce\n";
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Deterministically replay a failure artifact (model-checker counterexample or chaos \
+          plan) produced by `mc`, the chaos tests, or CI.")
+    Term.(const run $ file)
+
 let () =
   let doc = "SplitBFT: compartmentalized BFT with trusted execution (MIDDLEWARE'22 reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "splitbft_cli" ~doc)
-          [ run_cmd; openloop_cmd; scenario_cmd; scenarios_cmd; tcb_cmd; metrics_cmd; trace_cmd ]))
+          [ run_cmd; openloop_cmd; scenario_cmd; scenarios_cmd; tcb_cmd; metrics_cmd; trace_cmd;
+            mc_cmd; replay_cmd ]))

@@ -194,6 +194,7 @@ let dispatch t ~op ~on_result =
   let request = make_request t ~ts ~op in
   let dummy =
     Timer.create t.engine
+      ~cls:(Engine.Choice { host = Addr.client t.cfg.id; lane = -1 })
       ~label:(Printf.sprintf "client%d-retry" t.cfg.id)
       ~delay:t.cfg.retry_timeout_us
       ~callback:(fun () -> ())
@@ -240,6 +241,7 @@ let dispatch t ~op ~on_result =
   in
   p.retry <-
     Timer.create t.engine
+      ~cls:(Engine.Choice { host = Addr.client t.cfg.id; lane = -1 })
       ~label:(Printf.sprintf "client%d-retry" t.cfg.id)
       ~delay:(jittered t p.cur_delay_us) ~callback:resend;
   broadcast t ?ctx:p.ctx (Message.Request p.request);

@@ -17,6 +17,9 @@ type fault =
   | Env_mute
   | Env_starve of Ids.compartment
   | Env_delay of float
+  | Env_drop_nth of int
+  | Env_duplicate
+  | Env_reorder
 
 type t = {
   cfg : Config.t;
@@ -50,6 +53,9 @@ type t = {
   recovery_timer : Timer.t;
   mutable storage : (string * string) list;  (* newest first *)
   mutable fault : fault;
+  mutable env_output_seq : int;
+      (* count of enclave outputs this environment has handled, the
+         deterministic clock [Env_drop_nth] drops against *)
   mutable crashed : bool;
   mutable epoch : int;
       (* incarnation counter: bumped on crash so callbacks scheduled by a
@@ -230,8 +236,25 @@ let rec ecall t ?ctx ?body compartment (input : Wire.input) =
     match t.fault with
     | Env_delay d ->
       ignore (Engine.schedule t.engine ~delay:d ~label:"broker:delayed-ecall" issue)
-    | Env_honest | Env_mute | Env_starve _ -> issue ()
+    | Env_honest | Env_mute | Env_starve _ | Env_drop_nth _ | Env_duplicate | Env_reorder ->
+      issue ()
   end
+
+(* The output-boundary faults: a byzantine environment cannot forge what
+   an enclave says (outputs are signed inside), but it owns the channel
+   that carries them — so it can discard, replay or reorder the output
+   burst of any ecall completion before dispatching it. *)
+and env_mangle_outputs t outputs =
+  match t.fault with
+  | Env_reorder -> List.rev outputs
+  | Env_duplicate -> List.concat_map (fun o -> [ o; o ]) outputs
+  | Env_drop_nth k when k > 0 ->
+    List.filter
+      (fun _ ->
+        t.env_output_seq <- t.env_output_seq + 1;
+        t.env_output_seq mod k <> 0)
+      outputs
+  | _ -> outputs
 
 (* ----- enclave outputs ----- *)
 
@@ -240,6 +263,7 @@ and on_outputs t epoch origin ?body outputs =
      crosses a crash (or a crash + restart) must not leak into the next
      incarnation as a ghost callback. *)
   if t.epoch = epoch && (not t.crashed) && t.fault <> Env_mute then begin
+    let outputs = env_mangle_outputs t outputs in
     let vectored =
       (* The pipelined host egress writes a whole completion burst (e.g.
          a batch's replies) in one event-loop dispatch, like writev: one
@@ -553,6 +577,7 @@ let create engine net (cfg : Config.t) ~enclave_of =
         queued = Hashtbl.create 64;
         batch_timer =
           Timer.create engine
+            ~cls:(Engine.Choice { host = Addr.replica cfg.id; lane = -1 })
             ~label:(Printf.sprintf "broker%d-batch" cfg.id)
             ~delay:cfg.batch_timeout_us
             ~callback:(fun () -> flush_batch (Lazy.force t));
@@ -560,6 +585,7 @@ let create engine net (cfg : Config.t) ~enclave_of =
         suspect_delay_us = cfg.suspect_timeout_us;
         suspect_timer =
           Timer.create engine
+            ~cls:(Engine.Choice { host = Addr.replica cfg.id; lane = -1 })
             ~label:(Printf.sprintf "broker%d-suspect" cfg.id)
             ~delay:cfg.suspect_timeout_us
             ~callback:
@@ -590,6 +616,7 @@ let create engine net (cfg : Config.t) ~enclave_of =
               end);
         recovery_timer =
           Timer.create engine
+            ~cls:(Engine.Choice { host = Addr.replica cfg.id; lane = -1 })
             ~label:(Printf.sprintf "broker%d-recovery" cfg.id)
             ~delay:cfg.recovery_retry_us
             ~callback:
@@ -605,6 +632,7 @@ let create engine net (cfg : Config.t) ~enclave_of =
               end);
         storage = [];
         fault = Env_honest;
+        env_output_seq = 0;
         crashed = false;
         epoch = 0;
         alerts = [];

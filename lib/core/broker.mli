@@ -19,6 +19,11 @@ type fault =
   | Env_mute  (** drops every enclave output: replica looks crashed *)
   | Env_starve of Ids.compartment  (** never delivers inputs to one compartment *)
   | Env_delay of float  (** delays every ecall by the given µs *)
+  | Env_drop_nth of int
+      (** drops every [k]-th enclave output it should dispatch (a broker
+          that selectively loses ecall results) *)
+  | Env_duplicate  (** dispatches every enclave output twice *)
+  | Env_reorder  (** reverses each ecall completion's output burst *)
 
 type t
 

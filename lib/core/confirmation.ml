@@ -9,7 +9,14 @@ module Proofs = Splitbft_consensus.Proofs
 module W = Splitbft_codec.Writer
 module R = Splitbft_codec.Reader
 
-type byz = Conf_honest | Conf_promiscuous
+type byz = Conf_honest | Conf_promiscuous | Conf_stale_proof
+
+(* Mutation hook for the model checker's self-test: re-introduces the
+   pre-PR-3 view-change bug where prepared certificates were dropped on
+   [Log.reset] at view entry.  Never set outside tests — the checker must
+   find the resulting agreement violation within budget, proving it can
+   see this class of bug at all. *)
+let mutate_drop_prepared_on_view_entry = ref false
 
 type probe = {
   view : unit -> int;
@@ -110,7 +117,7 @@ let on_proposal env st ~byz (pd : Message.preprepare_digest) =
   else begin
   (match byz with
   | Conf_promiscuous -> promiscuous_commit env st pd
-  | Conf_honest -> ());
+  | Conf_honest | Conf_stale_proof -> ());
   if Config.hotpath st.cfg then begin
     if proposal_plausible st pd && Common.verify_preprepare_digest_c env st.prep_lookup pd
     then begin
@@ -238,13 +245,20 @@ let on_recover env st blob_opt =
         end))
 
 (* Broadcast our own ViewChange targeting [new_view] and stop working in
-   the old view. *)
-let send_viewchange env st new_view =
+   the old view.  A [Conf_stale_proof] adversary replays its initial
+   (stale) state instead of the current one: genesis checkpoint, no
+   prepared certificates — trying to talk the next primary into
+   re-proposing from scratch.  One such liar is harmless: the NewView
+   quorum (2f+1) still contains 2f honest ViewChanges that carry the real
+   certificates, and the new-view computation takes their maximum. *)
+let send_viewchange env st ~byz new_view =
+  let stale = match byz with Conf_stale_proof -> true | _ -> false in
   let vc =
     { Message.vc_new_view = new_view;
-      vc_last_stable = Ckpt.last_stable st.ckpt;
-      vc_checkpoint_proof = Ckpt.proof st.ckpt;
-      vc_prepared = Log.fold (fun _ proof acc -> proof :: acc) st.prepared [];
+      vc_last_stable = (if stale then 0 else Ckpt.last_stable st.ckpt);
+      vc_checkpoint_proof = (if stale then [] else Ckpt.proof st.ckpt);
+      vc_prepared =
+        (if stale then [] else Log.fold (fun _ proof acc -> proof :: acc) st.prepared []);
       vc_sender = st.cfg.id;
       vc_sig = "" }
   in
@@ -255,19 +269,20 @@ let send_viewchange env st new_view =
   st.view <- new_view;
   Log.reset st.proposals;
   Votes.reset st.prepares;
+  if !mutate_drop_prepared_on_view_entry then Log.reset st.prepared;
   st.ahead <- [];
   Votes.prune st.viewchanges_seen ~keep:(fun v -> v > new_view);
   Enclave.emit env (Wire.encode_output (Wire.Out_broadcast (Message.Viewchange vc)));
   Enclave.emit env (Wire.encode_output (Wire.Out_entered_view new_view))
 
 (* Handler (5): primary suspicion from the environment's request timer. *)
-let on_suspect env st suspected_view =
-  if suspected_view >= st.view then send_viewchange env st (st.view + 1)
+let on_suspect env st ~byz suspected_view =
+  if suspected_view >= st.view then send_viewchange env st ~byz (st.view + 1)
 
 (* Join rule (PBFT §4.5.2): f+1 ViewChanges for a view above ours prove at
    least one correct replica's timer expired; join the smallest such view
    without waiting for our own. *)
-let on_viewchange env st (vc : Message.viewchange) =
+let on_viewchange env st ~byz (vc : Message.viewchange) =
   let deep_ok =
     if Config.hotpath st.cfg then
       vc.vc_new_view > st.view
@@ -284,7 +299,7 @@ let on_viewchange env st (vc : Message.viewchange) =
   if deep_ok && vc.vc_sender <> st.cfg.id then begin
     if Votes.add st.viewchanges_seen ~key:vc.vc_new_view ~sender:vc.vc_sender vc then begin
       let joiners = List.length (Votes.get st.viewchanges_seen vc.vc_new_view) in
-      if joiners >= Config.f st.cfg + 1 then send_viewchange env st vc.vc_new_view
+      if joiners >= Config.f st.cfg + 1 then send_viewchange env st ~byz vc.vc_new_view
     end
   end
 
@@ -308,6 +323,7 @@ let on_newview env st (nv : Message.newview) =
        re-propose different content at seqs already committed under them.
        Stability-driven [gc] below prunes whatever the checkpoint covers;
        per-seq entries are overwritten when a higher view re-prepares. *)
+    if !mutate_drop_prepared_on_view_entry then Log.reset st.prepared;
     gc st (Ckpt.last_stable st.ckpt);
     Enclave.emit env (Wire.encode_output (Wire.Out_entered_view st.view))
   end
@@ -316,7 +332,7 @@ let handle env st ~byz (input : Wire.input) =
   if st.halted then ()
   else
     match input with
-    | Wire.In_suspect v -> on_suspect env st v
+    | Wire.In_suspect v -> on_suspect env st ~byz v
     | Wire.In_batch _ -> ()
     | Wire.In_recover blob -> on_recover env st blob
     | Wire.In_net msg -> (
@@ -327,7 +343,7 @@ let handle env st ~byz (input : Wire.input) =
         on_proposal env st ~byz (Message.summarize pp)
       | Message.Preprepare_digest pd -> on_proposal env st ~byz pd
       | Message.Prepare p -> on_prepare env st p
-      | Message.Viewchange vc -> on_viewchange env st vc
+      | Message.Viewchange vc -> on_viewchange env st ~byz vc
       | Message.Newview nv -> on_newview env st nv
       | Message.Checkpoint ck ->
         Common.on_checkpoint env ~hotpath:(Config.hotpath st.cfg)

@@ -16,6 +16,16 @@ type byz =
   | Conf_promiscuous
       (** signs a Commit for {e every} proposal it sees, without waiting
           for a prepare certificate — the double-voting accomplice *)
+  | Conf_stale_proof
+      (** its ViewChanges replay the initial (stale) state — genesis
+          checkpoint, no prepared certificates — trying to get committed
+          sequence numbers re-proposed with different content *)
+
+val mutate_drop_prepared_on_view_entry : bool ref
+(** Test-only mutation: re-introduces the pre-PR-3 bug where prepared
+    certificates were dropped ([Log.reset]) at view entry.  The model
+    checker's self-test flips this on and must find the resulting
+    agreement violation; leave it [false] everywhere else. *)
 
 type probe = {
   view : unit -> int;

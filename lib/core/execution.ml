@@ -22,7 +22,7 @@ module Sessions = Splitbft_consensus.Sessions
 module W = Splitbft_codec.Writer
 module R = Splitbft_codec.Reader
 
-type byz = Exec_honest | Exec_leak | Exec_corrupt
+type byz = Exec_honest | Exec_leak | Exec_corrupt | Exec_lie_checkpoint
 
 type probe = {
   view : unit -> int;
@@ -175,8 +175,13 @@ let seal_checkpoint_state env st seq snapshot =
   let sealed = Enclave.seal env (encode_recovery_image image) in
   Enclave.ocall env (Wire.encode_output (Wire.Out_persist { tag = "ckpt:execution"; data = sealed }))
 
-(* Handler (8): originate a Checkpoint every interval. *)
-let send_checkpoint_if_due env st seq =
+(* Handler (8): originate a Checkpoint every interval.  An
+   [Exec_lie_checkpoint] adversary signs checkpoints over a fabricated
+   state digest — trying to stabilize a state no honest replica has.  One
+   liar is contained: stability needs a quorum (2f+1) of {e matching}
+   digests, which f lying enclaves can never assemble against 2f+1 honest
+   ones; the lie costs only its own vote. *)
+let send_checkpoint_if_due env st ~byz seq =
   if seq mod st.cfg.checkpoint_interval = 0 then
     (* The snapshot, certificate store and counter bump all run inline
        (state transitions stay in sequence order); with [exec_workers > 1]
@@ -191,12 +196,12 @@ let send_checkpoint_if_due env st seq =
         (* Kept so a later [State_request] can be served with the snapshot
            matching this (eventually stable) certified state digest. *)
         Hashtbl.replace st.snapshots seq snapshot;
-        let ck =
-          { Message.seq;
-            state_digest = State_machine.digest st.app;
-            sender = st.cfg.id;
-            ck_sig = "" }
+        let state_digest =
+          match byz with
+          | Exec_lie_checkpoint -> Message.digest_of_batch []
+          | Exec_honest | Exec_leak | Exec_corrupt -> State_machine.digest st.app
         in
+        let ck = { Message.seq; state_digest; sender = st.cfg.id; ck_sig = "" } in
         let ck =
           { ck with ck_sig = Common.sign_with env (Message.checkpoint_signing_bytes ck) }
         in
@@ -272,7 +277,7 @@ let execute_request env st ~byz (req : Message.request) =
       (* Exfiltrate the decrypted operation into untrusted storage. *)
       Enclave.emit env
         (Wire.encode_output (Wire.Out_persist { tag = "exfil"; data = op }))
-    | (Exec_honest | Exec_corrupt | Exec_leak), _ -> ());
+    | (Exec_honest | Exec_corrupt | Exec_leak | Exec_lie_checkpoint), _ -> ());
     (* Corrupted operations are ordered but executed as a no-op (§4). *)
     let result, rw =
       match byz, plaintext_op with
@@ -354,7 +359,7 @@ let rec try_execute env st ~byz =
                 List.rev_append rw.State_machine.writes ws ))
             ([], []) batch);
       persist_effects env st;
-      send_checkpoint_if_due env st seq;
+      send_checkpoint_if_due env st ~byz seq;
       try_execute env st ~byz)
 
 (* ----- state transfer -----

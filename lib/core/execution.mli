@@ -22,6 +22,10 @@ type byz =
           to untrusted storage — the confidentiality failure of a faulty
           Execution enclave (the [0_exec] entry of Table 1) *)
   | Exec_corrupt  (** executes correctly-authenticated wrong results *)
+  | Exec_lie_checkpoint
+      (** signs checkpoints over a fabricated state digest, trying to
+          stabilize a state no honest replica has — contained because
+          stability needs a quorum of matching digests *)
 
 type probe = {
   view : unit -> int;

@@ -19,7 +19,7 @@ module Rng = Splitbft_util.Rng
 module W = Splitbft_codec.Writer
 module R = Splitbft_codec.Reader
 
-type byz = Prep_honest | Prep_equivocate
+type byz = Prep_honest | Prep_equivocate | Prep_corrupt_digest
 
 type probe = {
   view : unit -> int;
@@ -137,6 +137,34 @@ let equivocate env st seq batch =
       (Wire.encode_output (Wire.Out_send (Addr.replica j, Message.Preprepare pp)))
   done
 
+(* A byzantine primary enclave with a lying digest: it signs a proposal
+   whose digest matches no batch any client ever authorized, and unicasts
+   it in digest form so no environment can attach a plausible body.
+   Honest Confirmations may log the digest, but no honest Preparation
+   ever sees a matching PrePrepare — the prepare certificate cannot
+   complete, and no Execution can ever fetch a batch for it.  The slot
+   stalls: a liveness attack whose harmlessness to safety the model
+   checker establishes. *)
+let corrupt_digest env st seq =
+  let phantom =
+    [ { Message.client = 0; timestamp = 0L; payload = "corrupt-digest"; auth = "" } ]
+  in
+  let pd =
+    { Message.pd_view = st.view;
+      pd_seq = seq;
+      pd_digest = Message.digest_of_batch phantom;
+      pd_sender = st.cfg.id;
+      pd_sig = "" }
+  in
+  let pd =
+    { pd with
+      Message.pd_sig = Common.sign_with env (Message.preprepare_digest_signing_bytes pd) }
+  in
+  for j = 0 to st.cfg.n - 1 do
+    Enclave.emit env
+      (Wire.encode_output (Wire.Out_send (Addr.replica j, Message.Preprepare_digest pd)))
+  done
+
 (* Handler (1): batch from the environment — primary only.  A batch that
    arrives while the acceptance window is full is parked, not dropped:
    checkpoint stabilization slides the window forward and
@@ -163,6 +191,7 @@ let on_batch env st ~byz ?(elide = true) reqs =
         let seq = take_next_seq st in
         match byz with
         | Prep_equivocate -> equivocate env st seq batch
+        | Prep_corrupt_digest -> corrupt_digest env st seq
         | Prep_honest ->
           let pp =
             sign_pp env { Message.view = st.view; seq; batch; sender = st.cfg.id; pp_sig = "" }

@@ -18,6 +18,10 @@ type byz =
       (** as primary, assign the same sequence number to two conflicting
           batches and show each to a different subset of replicas — the
           equivocation a byzantine Preparation enclave can attempt *)
+  | Prep_corrupt_digest
+      (** as primary, sign proposals whose batch digest matches no batch
+          any client authorized — the slot can never prepare or execute,
+          a pure liveness attack *)
 
 type probe = {
   view : unit -> int;

@@ -18,55 +18,98 @@ let install_scanner cluster =
 
 let network_leaks s = s.leaks
 
+let blob_leaks blobs =
+  List.fold_left (fun acc (_, data) -> if contains_canary data then acc + 1 else acc) 0 blobs
+
 let storage_leaks cluster ~honest_hosts =
   ignore honest_hosts;
   List.fold_left
-    (fun acc node ->
-      List.fold_left
-        (fun acc (_, data) -> if contains_canary data then acc + 1 else acc)
-        acc
-        (Cluster.persisted_of node))
+    (fun acc node -> acc + blob_leaks (Cluster.persisted_of node))
     0 (Cluster.nodes cluster)
 
 type agreement =
   | Agreement
   | Conflict of { seq : int64; a : int; b : int }
+  | Prefix_lag of { a : int; b : int; high_a : int64; high_b : int64; window : int }
 
-let check_agreement cluster ~honest =
-  let logs =
+(* Pure predicate over executed logs, reusable outside the Cluster harness
+   (the model checker evaluates it at every explored state).  Shared
+   sequence numbers must carry identical digests; when [window] is given,
+   executed-prefix *lengths* may not diverge beyond it either — a replica
+   can trail while messages are in flight, but never by more than the
+   checkpoint window, past which state transfer must have caught it up. *)
+let agreement_of_logs ?window logs =
+  let tables =
     List.map
-      (fun i ->
+      (fun (i, log) ->
         let table = Hashtbl.create 256 in
-        List.iter
-          (fun (seq, d) -> Hashtbl.replace table seq d)
-          (Cluster.executed_log_of (Cluster.node cluster i));
-        (i, table))
-      honest
+        List.iter (fun (seq, d) -> Hashtbl.replace table seq d) log;
+        let high = List.fold_left (fun acc (seq, _) -> Int64.max acc seq) 0L log in
+        (i, table, high))
+      logs
+  in
+  let conflict_with (a, ta, high_a) (b, tb, high_b) =
+    let shared =
+      Hashtbl.fold
+        (fun seq da acc ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+            match Hashtbl.find_opt tb seq with
+            | Some db when not (String.equal da db) -> Some (Conflict { seq; a; b })
+            | Some _ | None -> None))
+        ta None
+    in
+    match (shared, window) with
+    | Some _, _ -> shared
+    | None, Some w when Int64.abs (Int64.sub high_a high_b) > Int64.of_int w ->
+      Some (Prefix_lag { a; b; high_a; high_b; window = w })
+    | None, _ -> None
   in
   let rec pairs = function
     | [] -> Agreement
-    | (a, ta) :: rest ->
-      let conflict_with (b, tb) =
-        Hashtbl.fold
-          (fun seq da acc ->
-            match acc with
-            | Some _ -> acc
-            | None -> (
-              match Hashtbl.find_opt tb seq with
-              | Some db when not (String.equal da db) -> Some (seq, b)
-              | Some _ | None -> None))
-          ta None
-      in
+    | first :: rest ->
       let rec check_rest = function
         | [] -> pairs rest
         | other :: more -> (
-          match conflict_with other with
-          | Some (seq, b) -> Conflict { seq; a; b }
+          match conflict_with first other with
+          | Some bad -> bad
           | None -> check_rest more)
       in
       check_rest rest
   in
-  pairs logs
+  pairs tables
+
+(* First missing sequence number if [log] is not contiguous.  Honest
+   Executions apply batches strictly in order — fresh replicas from seq 1,
+   state-transferred ones from just past the installed checkpoint — so an
+   internal gap can only mean state corruption (ledger
+   prefix-consistency). *)
+let prefix_gap log =
+  let sorted = List.sort (fun (a, _) (b, _) -> Int64.compare a b) log in
+  match sorted with
+  | [] -> None
+  | (first, _) :: _ ->
+    let rec scan expected = function
+      | [] -> None
+      | (seq, _) :: rest ->
+        if Int64.equal seq expected then scan (Int64.add expected 1L) rest else Some expected
+    in
+    scan first sorted
+
+let describe_agreement = function
+  | Agreement -> "agreement"
+  | Conflict { seq; a; b } ->
+    Printf.sprintf "divergence at seq %Ld (replicas %d vs %d)" seq a b
+  | Prefix_lag { a; b; high_a; high_b; window } ->
+    Printf.sprintf
+      "executed prefixes diverge beyond the checkpoint window: replica %d at %Ld vs replica %d \
+       at %Ld (window %d)"
+      a high_a b high_b window
+
+let check_agreement ?window cluster ~honest =
+  agreement_of_logs ?window
+    (List.map (fun i -> (i, Cluster.executed_log_of (Cluster.node cluster i))) honest)
 
 type verdict = {
   live : bool;
@@ -75,8 +118,8 @@ type verdict = {
   detail : string;
 }
 
-let verdict cluster ~honest ~scanner ~workload ~min_completed =
-  let agreement = check_agreement cluster ~honest in
+let verdict ?prefix_window cluster ~honest ~scanner ~workload ~min_completed =
+  let agreement = check_agreement ?window:prefix_window cluster ~honest in
   let storage = storage_leaks cluster ~honest_hosts:honest in
   let live = workload.Workload.completed_total >= min_completed in
   let safe = agreement = Agreement && workload.Workload.wrong_results = 0 in
@@ -85,8 +128,7 @@ let verdict cluster ~honest ~scanner ~workload ~min_completed =
     let parts = ref [] in
     (match agreement with
     | Agreement -> ()
-    | Conflict { seq; a; b } ->
-      parts := Printf.sprintf "divergence at seq %Ld (replicas %d vs %d)" seq a b :: !parts);
+    | bad -> parts := describe_agreement bad :: !parts);
     if workload.Workload.wrong_results > 0 then
       parts := Printf.sprintf "%d wrong client results" workload.Workload.wrong_results :: !parts;
     if network_leaks scanner > 0 then

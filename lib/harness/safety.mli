@@ -22,12 +22,38 @@ val storage_leaks : Cluster.t -> honest_hosts:int list -> int
     host exfiltrating what its own enclaves legitimately gave it is counted
     too, since enclave outputs should be sealed/encrypted regardless. *)
 
+val contains_canary : string -> bool
+(** Substring scan for {!Workload.canary}. *)
+
+val blob_leaks : (string * string) list -> int
+(** Canary-carrying blobs in a [(tag, data)] storage listing — the
+    Cluster-independent form of {!storage_leaks}. *)
+
 type agreement =
   | Agreement
   | Conflict of { seq : int64; a : int; b : int }
       (** replicas [a] and [b] executed different batches at [seq] *)
+  | Prefix_lag of { a : int; b : int; high_a : int64; high_b : int64; window : int }
+      (** replicas [a] and [b]'s executed prefixes diverge in length by
+          more than the checkpoint window — one of them fell behind
+          further than state transfer allows *)
 
-val check_agreement : Cluster.t -> honest:int list -> agreement
+val agreement_of_logs : ?window:int -> (int * (int64 * string) list) list -> agreement
+(** Pure agreement predicate over [(replica, executed log)] pairs,
+    reusable outside the Cluster harness (the model checker evaluates it
+    at every explored state).  Vacuously [Agreement] for zero or one log.
+    [window] enables the prefix-length check. *)
+
+val prefix_gap : (int64 * string) list -> int64 option
+(** First missing sequence number if the log is not contiguous — ledger
+    prefix-consistency.  Honest Executions apply batches strictly in
+    order (state transfer resumes just past the installed checkpoint), so
+    an internal gap can only mean corruption.  [None] for the empty
+    log. *)
+
+val describe_agreement : agreement -> string
+
+val check_agreement : ?window:int -> Cluster.t -> honest:int list -> agreement
 
 type verdict = {
   live : bool;
@@ -37,9 +63,13 @@ type verdict = {
 }
 
 val verdict :
+  ?prefix_window:int ->
   Cluster.t ->
   honest:int list ->
   scanner:scanner ->
   workload:Workload.result ->
   min_completed:int ->
   verdict
+(** [prefix_window] (default: off) additionally fails [safe] when honest
+    executed-prefix lengths diverge beyond that window — pass the
+    cluster's checkpoint window for runs expected to converge. *)

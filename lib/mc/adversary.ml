@@ -1,0 +1,132 @@
+module Ids = Splitbft_types.Ids
+module Preparation = Splitbft_core.Preparation
+module Confirmation = Splitbft_core.Confirmation
+module Execution = Splitbft_core.Execution
+module Broker = Splitbft_core.Broker
+
+type site = Site_preparation | Site_confirmation | Site_execution | Site_broker
+
+type policy =
+  | Equivocate
+  | Corrupt_digest
+  | Promiscuous_commit
+  | Stale_proof
+  | Drop_outputs of int
+  | Duplicate_outputs
+  | Reorder_outputs
+  | Corrupt_result
+  | Leak_plaintext
+  | Lie_checkpoint
+
+type t = { replica : int; policy : policy }
+
+let site_of_policy = function
+  | Equivocate | Corrupt_digest -> Site_preparation
+  | Promiscuous_commit | Stale_proof -> Site_confirmation
+  | Corrupt_result | Leak_plaintext | Lie_checkpoint -> Site_execution
+  | Drop_outputs _ | Duplicate_outputs | Reorder_outputs -> Site_broker
+
+let site_name = function
+  | Site_preparation -> "preparation"
+  | Site_confirmation -> "confirmation"
+  | Site_execution -> "execution"
+  | Site_broker -> "broker"
+
+let policy_name = function
+  | Equivocate -> "equivocate"
+  | Corrupt_digest -> "corrupt-digest"
+  | Promiscuous_commit -> "promiscuous-commit"
+  | Stale_proof -> "stale-proof"
+  | Drop_outputs k -> Printf.sprintf "drop-outputs:%d" k
+  | Duplicate_outputs -> "duplicate-outputs"
+  | Reorder_outputs -> "reorder-outputs"
+  | Corrupt_result -> "corrupt-result"
+  | Leak_plaintext -> "leak-plaintext"
+  | Lie_checkpoint -> "lie-checkpoint"
+
+let to_string a = Printf.sprintf "%s@%d" (policy_name a.policy) a.replica
+
+let policy_of_string s =
+  match s with
+  | "equivocate" -> Ok Equivocate
+  | "corrupt-digest" -> Ok Corrupt_digest
+  | "promiscuous-commit" -> Ok Promiscuous_commit
+  | "stale-proof" -> Ok Stale_proof
+  | "duplicate-outputs" -> Ok Duplicate_outputs
+  | "reorder-outputs" -> Ok Reorder_outputs
+  | "corrupt-result" -> Ok Corrupt_result
+  | "leak-plaintext" -> Ok Leak_plaintext
+  | "lie-checkpoint" -> Ok Lie_checkpoint
+  | _ -> (
+    match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "drop-outputs" -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some k when k > 0 -> Ok (Drop_outputs k)
+      | _ -> Error (Printf.sprintf "bad drop-outputs count in %S" s))
+    | _ -> Error (Printf.sprintf "unknown adversary policy %S" s))
+
+let of_string s =
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "adversary %S: expected <policy>@<replica>" s)
+  | Some i -> (
+    let p = String.sub s 0 i and r = String.sub s (i + 1) (String.length s - i - 1) in
+    match (policy_of_string p, int_of_string_opt r) with
+    | Ok policy, Some replica when replica >= 0 -> Ok { replica; policy }
+    | Error e, _ -> Error e
+    | _, _ -> Error (Printf.sprintf "adversary %S: bad replica id" s))
+
+let validate ~n advs =
+  let rec go = function
+    | [] -> Ok ()
+    | a :: rest ->
+      if a.replica < 0 || a.replica >= n then
+        Error (Printf.sprintf "adversary %s: replica out of range (n=%d)" (to_string a) n)
+      else if
+        List.exists
+          (fun b -> b.replica = a.replica && site_of_policy b.policy = site_of_policy a.policy)
+          rest
+      then
+        Error
+          (Printf.sprintf "two adversary policies at the same site (%s@%d)"
+             (site_name (site_of_policy a.policy))
+             a.replica)
+      else go rest
+  in
+  go advs
+
+let sites advs =
+  List.sort_uniq compare (List.map (fun a -> site_of_policy a.policy) advs)
+
+let byz_for advs id =
+  List.fold_left
+    (fun (prep, conf, exec) a ->
+      if a.replica <> id then (prep, conf, exec)
+      else
+        match a.policy with
+        | Equivocate -> (Preparation.Prep_equivocate, conf, exec)
+        | Corrupt_digest -> (Preparation.Prep_corrupt_digest, conf, exec)
+        | Promiscuous_commit -> (prep, Confirmation.Conf_promiscuous, exec)
+        | Stale_proof -> (prep, Confirmation.Conf_stale_proof, exec)
+        | Corrupt_result -> (prep, conf, Execution.Exec_corrupt)
+        | Leak_plaintext -> (prep, conf, Execution.Exec_leak)
+        | Lie_checkpoint -> (prep, conf, Execution.Exec_lie_checkpoint)
+        | Drop_outputs _ | Duplicate_outputs | Reorder_outputs -> (prep, conf, exec))
+    (Preparation.Prep_honest, Confirmation.Conf_honest, Execution.Exec_honest)
+    advs
+
+let env_fault_for advs id =
+  List.find_map
+    (fun a ->
+      if a.replica <> id then None
+      else
+        match a.policy with
+        | Drop_outputs k -> Some (Broker.Env_drop_nth k)
+        | Duplicate_outputs -> Some Broker.Env_duplicate
+        | Reorder_outputs -> Some Broker.Env_reorder
+        | _ -> None)
+    advs
+
+let describe advs =
+  match advs with
+  | [] -> "no adversary"
+  | _ -> String.concat "," (List.map to_string advs)

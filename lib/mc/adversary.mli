@@ -1,0 +1,56 @@
+(** Byzantine fault-injection vocabulary at the compartment boundary.
+
+    Each adversary compromises exactly one site — the Preparation,
+    Confirmation or Execution enclave, or the untrusted broker — of one
+    replica, with a concrete misbehaviour policy.  The enclave policies
+    deploy the adversarial compartment programs of [Splitbft_core] (the
+    adversary keeps that enclave's own keys but cannot forge others');
+    the broker policies mangle the channel that carries ecall outputs.
+
+    SplitBFT's containment claim is that any {e single} site below, on
+    any single replica, cannot violate agreement, reply integrity or
+    (except a compromised Execution, which holds plaintext)
+    confidentiality — which is exactly what {!Driver} checks
+    exhaustively on small configurations. *)
+
+type site = Site_preparation | Site_confirmation | Site_execution | Site_broker
+
+type policy =
+  | Equivocate  (** Preparation: conflicting proposals at one seqno *)
+  | Corrupt_digest  (** Preparation: sign a digest matching no real batch *)
+  | Promiscuous_commit  (** Confirmation: commit without a prepare certificate *)
+  | Stale_proof  (** Confirmation: ViewChanges replay the initial (stale) state *)
+  | Drop_outputs of int  (** broker: drop every k-th enclave output *)
+  | Duplicate_outputs  (** broker: dispatch every enclave output twice *)
+  | Reorder_outputs  (** broker: reverse each ecall completion's output burst *)
+  | Corrupt_result  (** Execution: return wrong, correctly-authenticated results *)
+  | Leak_plaintext  (** Execution: exfiltrate decrypted operations to storage *)
+  | Lie_checkpoint  (** Execution: checkpoints over a fabricated state digest *)
+
+type t = { replica : int; policy : policy }
+
+val site_of_policy : policy -> site
+val site_name : site -> string
+val policy_name : policy -> string
+
+val to_string : t -> string
+(** ["<policy>@<replica>"], e.g. ["equivocate@0"]; inverse of {!of_string}. *)
+
+val of_string : string -> (t, string) result
+
+val validate : n:int -> t list -> (unit, string) result
+(** Replica ids in range and at most one policy per (replica, site). *)
+
+val sites : t list -> site list
+(** Distinct compromised sites, for single-compartment accounting. *)
+
+val byz_for :
+  t list ->
+  int ->
+  Splitbft_core.Preparation.byz * Splitbft_core.Confirmation.byz * Splitbft_core.Execution.byz
+(** Compartment programs to deploy at replica [id]. *)
+
+val env_fault_for : t list -> int -> Splitbft_core.Broker.fault option
+(** Broker fault to install at replica [id] (after setup), if any. *)
+
+val describe : t list -> string

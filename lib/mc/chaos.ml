@@ -1,0 +1,220 @@
+(* Randomized fault-schedule runners, shared between the QCheck chaos
+   property (test/test_chaos.ml) and `splitbft_cli replay` so a failing
+   chaos plan dumped as an artifact reproduces outside the test binary.
+
+   The SplitBFT runner checks the same invariant set as the model
+   checker's [World.check] — agreement over honest Executions' logs,
+   ledger prefix-contiguity, reply integrity, confidentiality canary on
+   the wire and in untrusted storage — which is the mc-vs-chaos
+   cross-check: anything the DFS proves on the small scope, the
+   randomized sweep re-tests under crashes, drops and real timers. *)
+
+module Engine = Splitbft_sim.Engine
+module Network = Splitbft_sim.Network
+module Ids = Splitbft_types.Ids
+module S = Splitbft_core.Replica
+module Sconfig = Splitbft_core.Config
+module P = Splitbft_pbft.Replica
+module Client = Splitbft_client.Client
+module Kvs = Splitbft_app.Kvs
+module Safety = Splitbft_harness.Safety
+module Workload = Splitbft_harness.Workload
+
+type plan = {
+  seed : int64;
+  crash_host : int option;  (* at most f = 1 *)
+  crash_delay_us : float;
+  restart : bool;  (* bring the crashed host back up (crash-recovery path) *)
+  byz_enclave : (int * Ids.compartment) option;
+  drop_prob : float;
+}
+
+let describe_plan p =
+  Printf.sprintf "seed=%Ld crash=%s%s@%.0fus byz=%s drop=%.3f" p.seed
+    (match p.crash_host with Some i -> string_of_int i | None -> "-")
+    (if p.restart then "+restart" else "")
+    p.crash_delay_us
+    (match p.byz_enclave with
+    | Some (i, c) -> Printf.sprintf "%d:%s" i (Ids.compartment_name c)
+    | None -> "-")
+    p.drop_prob
+
+let requests = 12
+let n = 4
+
+let violation_of ~wrong ~wire_leaks ~storage_leaks ~logs =
+  match Safety.agreement_of_logs logs with
+  | (Safety.Conflict _ | Safety.Prefix_lag _) as bad -> Some (Safety.describe_agreement bad)
+  | Safety.Agreement -> (
+    let gap =
+      List.find_map
+        (fun (i, log) ->
+          Option.map
+            (fun seq -> Printf.sprintf "replica %d executed log has a gap at seq %Ld" i seq)
+            (Safety.prefix_gap log))
+        logs
+    in
+    match gap with
+    | Some _ as g -> g
+    | None ->
+      if wrong > 0 then Some (Printf.sprintf "%d wrong client results accepted" wrong)
+      else if wire_leaks > 0 then
+        Some (Printf.sprintf "%d canary-leaking wire payloads" wire_leaks)
+      else if storage_leaks > 0 then
+        Some (Printf.sprintf "%d canary-leaking storage blobs" storage_leaks)
+      else None)
+
+(* Returns the first violated invariant, or [None] if the run was safe.
+   Liveness is NOT asserted (drops and crashes may legitimately stall). *)
+let run_splitbft (p : plan) =
+  let engine = Engine.create ~seed:p.seed () in
+  let net =
+    Network.create engine
+      { Network.default_config with Network.drop_probability = p.drop_prob }
+  in
+  let byz_of i =
+    match p.byz_enclave with
+    | Some (j, Ids.Preparation) when i = j ->
+      (Splitbft_core.Preparation.Prep_equivocate, Splitbft_core.Confirmation.Conf_honest,
+       Splitbft_core.Execution.Exec_honest)
+    | Some (j, Ids.Confirmation) when i = j ->
+      (Splitbft_core.Preparation.Prep_honest, Splitbft_core.Confirmation.Conf_promiscuous,
+       Splitbft_core.Execution.Exec_honest)
+    | Some (j, Ids.Execution) when i = j ->
+      (Splitbft_core.Preparation.Prep_honest, Splitbft_core.Confirmation.Conf_honest,
+       Splitbft_core.Execution.Exec_corrupt)
+    | _ ->
+      (Splitbft_core.Preparation.Prep_honest, Splitbft_core.Confirmation.Conf_honest,
+       Splitbft_core.Execution.Exec_honest)
+  in
+  let replicas =
+    List.init n (fun id ->
+        let prep_byz, conf_byz, exec_byz = byz_of id in
+        S.create ~prep_byz ~conf_byz ~exec_byz engine net
+          { (Sconfig.default ~n ~id) with
+            Sconfig.suspect_timeout_us = 150_000.0;
+            viewchange_timeout_us = 300_000.0 }
+          ~app:(fun () -> Kvs.create ()))
+  in
+  let wire_leaks = ref 0 in
+  Network.set_tap net
+    (Some
+       (fun ~src:_ ~dst:_ payload ->
+         if Safety.contains_canary payload then incr wire_leaks));
+  (match p.crash_host with
+  | Some i when Some (i, Ids.Preparation) <> p.byz_enclave ->
+    (* Keep the total fault load at one host + one enclave elsewhere. *)
+    ignore
+      (Engine.schedule engine ~delay:p.crash_delay_us ~label:"chaos-crash" (fun () ->
+           S.crash_host (List.nth replicas i)));
+    if p.restart then
+      (* Crash-recovery: unseal, verify the counter binding, state-transfer
+         back in.  Safety must hold whether or not recovery completes. *)
+      ignore
+        (Engine.schedule engine
+           ~delay:(p.crash_delay_us +. 500_000.0)
+           ~label:"chaos-restart"
+           (fun () -> S.restart_host (List.nth replicas i)))
+  | _ -> ());
+  let wrong = ref 0 in
+  let cl =
+    Client.create engine net
+      { (Client.default_config (Client.Splitbft { ready_quorum = 3 }) ~n ~id:0) with
+        Client.retry_timeout_us = 200_000.0 }
+  in
+  Client.start cl ~on_ready:(fun () ->
+      for i = 1 to requests do
+        Client.submit cl
+          ~op:(Kvs.encode_op (Kvs.Put (Printf.sprintf "k%d" i, Workload.canary ^ "v")))
+          ~on_result:(fun ~latency_us:_ ~result ->
+            if not (String.equal result Kvs.ok) then incr wrong)
+      done);
+  Engine.run ~until:1_600_000.0 engine;
+  (* Honest = all replicas whose Execution enclave is honest. *)
+  let honest =
+    List.filteri
+      (fun i _ ->
+        match p.byz_enclave with
+        | Some (j, Ids.Execution) -> i <> j
+        | _ -> true)
+      (List.mapi (fun i r -> (i, r)) replicas)
+  in
+  let logs =
+    List.map
+      (fun (i, r) -> (i, List.map (fun (seq, d) -> (Int64.of_int seq, d)) (S.executed_log r)))
+      honest
+  in
+  let storage_leaks =
+    List.fold_left (fun acc r -> acc + Safety.blob_leaks (S.persisted r)) 0 replicas
+  in
+  violation_of ~wrong:!wrong ~wire_leaks:!wire_leaks ~storage_leaks ~logs
+
+let run_pbft (p : plan) =
+  let engine = Engine.create ~seed:p.seed () in
+  let net =
+    Network.create engine
+      { Network.default_config with Network.drop_probability = p.drop_prob }
+  in
+  let replicas =
+    List.init n (fun id ->
+        P.create engine net
+          { (P.default_config ~n ~id) with
+            P.suspect_timeout_us = 150_000.0;
+            viewchange_timeout_us = 300_000.0 }
+          ~app:(Kvs.create ()))
+  in
+  (match p.crash_host with
+  | Some i ->
+    ignore
+      (Engine.schedule engine ~delay:p.crash_delay_us ~label:"chaos-crash" (fun () ->
+           P.crash (List.nth replicas i)));
+    if p.restart then
+      ignore
+        (Engine.schedule engine
+           ~delay:(p.crash_delay_us +. 500_000.0)
+           ~label:"chaos-restart"
+           (fun () -> P.restart (List.nth replicas i)))
+  | None -> ());
+  (* One byzantine replica (<= f), never the crashed one. *)
+  let byz_id =
+    match (p.byz_enclave, p.crash_host) with
+    | Some (j, _), Some c when j = c -> None
+    | Some (j, _), _ -> Some j
+    | None, _ -> None
+  in
+  (match byz_id with
+  | Some j -> P.set_byzantine (List.nth replicas j) P.Corrupt_execution
+  | None -> ());
+  let wrong = ref 0 in
+  let cl =
+    Client.create engine net
+      { (Client.default_config Client.Pbft ~n ~id:0) with
+        Client.retry_timeout_us = 200_000.0 }
+  in
+  Client.start cl ~on_ready:(fun () ->
+      for i = 1 to requests do
+        (* Plaintext protocol: the canary WOULD legitimately appear on the
+           wire, so the pbft leg checks agreement and reply integrity only. *)
+        Client.submit cl
+          ~op:(Kvs.encode_op (Kvs.Put (Printf.sprintf "k%d" i, "v")))
+          ~on_result:(fun ~latency_us:_ ~result ->
+            if not (String.equal result Kvs.ok) then incr wrong)
+      done);
+  Engine.run ~until:1_600_000.0 engine;
+  let honest =
+    List.filteri
+      (fun i _ -> Some i <> byz_id && (p.restart || Some i <> p.crash_host))
+      (List.mapi (fun i r -> (i, r)) replicas)
+  in
+  let logs =
+    List.map
+      (fun (i, r) -> (i, List.map (fun (seq, d) -> (Int64.of_int seq, d)) (P.executed_log r)))
+      honest
+  in
+  violation_of ~wrong:!wrong ~wire_leaks:0 ~storage_leaks:0 ~logs
+
+let run ~protocol p =
+  match protocol with
+  | "splitbft" -> Ok (run_splitbft p)
+  | "pbft" -> Ok (run_pbft p)
+  | other -> Error (Printf.sprintf "unknown chaos protocol %S" other)

@@ -1,0 +1,30 @@
+(** Randomized fault-schedule runners, shared between the QCheck chaos
+    property and [splitbft_cli replay].
+
+    The SplitBFT leg checks the same invariants as {!World.check} —
+    agreement across honest Executions, ledger prefix-contiguity, reply
+    integrity, the confidentiality canary on wire and in untrusted
+    storage — so the model checker's exhaustive small-scope verdicts and
+    the randomized large-scope sweep cross-check each other.  The PBFT
+    baseline leg checks agreement and reply integrity only (a plaintext
+    protocol legitimately shows the canary on the wire). *)
+
+type plan = {
+  seed : int64;
+  crash_host : int option;  (** at most f = 1 *)
+  crash_delay_us : float;
+  restart : bool;  (** bring the crashed host back (crash-recovery path) *)
+  byz_enclave : (int * Splitbft_types.Ids.compartment) option;
+  drop_prob : float;
+}
+
+val describe_plan : plan -> string
+
+val run_splitbft : plan -> string option
+(** First violated invariant, or [None] if safe.  Liveness is NOT
+    asserted — drops and crashes may legitimately stall progress. *)
+
+val run_pbft : plan -> string option
+
+val run : protocol:string -> plan -> (string option, string) result
+(** Dispatch by artifact protocol name ("splitbft" / "pbft"). *)

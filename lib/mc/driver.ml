@@ -1,0 +1,194 @@
+(* Bounded exhaustive DFS over [World] schedules, with visited-state
+   pruning on canonical fingerprints and sleep-set partial-order
+   reduction.
+
+   The world is not snapshotable, so the search is stateless: one live
+   world tracks the current schedule prefix, and backtracking to a node
+   whose world was consumed by a deeper branch rebuilds it by replaying
+   the prefix from scratch ([stats.replays] counts these).  For the small
+   scopes this checker targets, re-execution is far cheaper than trying
+   to checkpoint enclave heaps.
+
+   Sleep sets (Godefroid): when sibling transitions t1..tk of a node are
+   explored in order, ti's subtree need not re-explore any tj (j < i)
+   that commutes with ti — every interleaving starting tj,ti was already
+   covered under tj's subtree as ti,tj.  A sleep entry is identified by
+   (label, payload fingerprint, host, lane); an identity that matches
+   several pending choices of one node is ambiguous and is never slept
+   (pending, not just enabled: a message queued behind a FIFO link head
+   can carry the head's identity and must not inherit its sleep).
+   Visited states store their sleep set: re-reaching a fingerprint with a
+   superset sleep is a guaranteed subset of the prior exploration and is
+   pruned; with anything else the stored set shrinks to the intersection
+   and the state is expanded again. *)
+
+type budget = { max_states : int; max_depth : int; max_wall_s : float }
+
+let default_budget = { max_states = 20_000; max_depth = 200; max_wall_s = 120.0 }
+
+type stats = {
+  mutable visited : int;  (** distinct states expanded *)
+  mutable transitions : int;  (** choices fired (excluding rebuilds) *)
+  mutable hash_pruned : int;  (** re-reached a visited fingerprint *)
+  mutable sleep_pruned : int;  (** skipped by the sleep set *)
+  mutable deepest : int;
+  mutable replays : int;  (** world rebuilds for backtracking *)
+}
+
+type outcome =
+  | Exhausted
+  | Violation of { schedule : int list; detail : string }
+  | Budget of string  (** search truncated: which budget bound it *)
+
+type result = { outcome : outcome; stats : stats }
+
+type key = { k_label : string; k_fp : string; k_host : int; k_lane : int }
+
+let key_of c =
+  { k_label = World.label c;
+    k_fp = World.choice_fp c;
+    k_host = World.host c;
+    k_lane = World.lane c }
+
+let keys_independent a b =
+  if a.k_host = -1 || b.k_host = -1 then false
+  else if a.k_host <> b.k_host then true
+  else a.k_lane >= 0 && b.k_lane >= 0 && a.k_lane <> b.k_lane
+
+exception Stop of outcome
+
+let run ?(budget = default_budget) cfg =
+  let stats =
+    { visited = 0; transitions = 0; hash_pruned = 0; sleep_pruned = 0; deepest = 0; replays = 0 }
+  in
+  let visited : (string, key list) Hashtbl.t = Hashtbl.create 4096 in
+  let started = Sys.time () in
+  let truncated = ref None in
+  let note_truncation reason = if !truncated = None then truncated := Some reason in
+  (* One live world; [current] is the schedule prefix it sits at. *)
+  let world = ref (World.create cfg) in
+  let current = ref [] in
+  let world_at prefix =
+    if !current <> prefix then begin
+      stats.replays <- stats.replays + 1;
+      let w = World.create cfg in
+      List.iter
+        (fun idx ->
+          let en = World.enabled w in
+          World.apply w (List.nth en idx))
+        (List.rev prefix);
+      world := w;
+      current := prefix
+    end;
+    !world
+  in
+  let subset a b = List.for_all (fun k -> List.mem k b) a in
+  let rec explore prefix sleep depth =
+    if Sys.time () -. started > budget.max_wall_s then begin
+      note_truncation "wall-clock budget";
+      raise (Stop (Budget "wall-clock budget"))
+    end;
+    let w = world_at prefix in
+    let enabled = World.enabled w in
+    let terminal = enabled = [] in
+    (match World.check ~terminal w with
+    | Some detail -> raise (Stop (Violation { schedule = List.rev prefix; detail }))
+    | None -> ());
+    let fp = World.fingerprint w in
+    let skip =
+      match Hashtbl.find_opt visited fp with
+      | Some stored when subset stored sleep ->
+        stats.hash_pruned <- stats.hash_pruned + 1;
+        true
+      | Some stored ->
+        Hashtbl.replace visited fp (List.filter (fun k -> List.mem k sleep) stored);
+        false
+      | None ->
+        Hashtbl.replace visited fp sleep;
+        false
+    in
+    if not skip then begin
+      stats.visited <- stats.visited + 1;
+      if depth > stats.deepest then stats.deepest <- depth;
+      if stats.visited >= budget.max_states then begin
+        note_truncation "state budget";
+        raise (Stop (Budget "state budget"))
+      end;
+      if (not terminal) && depth >= budget.max_depth then note_truncation "depth budget"
+      else begin
+        let keys = List.map key_of enabled in
+        let pending_keys = List.map key_of (World.choices w) in
+        let ambiguous k = List.length (List.filter (( = ) k) pending_keys) > 1 in
+        let explored = ref [] in
+        List.iteri
+          (fun i _c ->
+            let k = List.nth keys i in
+            if List.mem k sleep then stats.sleep_pruned <- stats.sleep_pruned + 1
+            else begin
+              let child_sleep =
+                List.filter (fun s -> keys_independent s k) (sleep @ !explored)
+              in
+              let w = world_at prefix in
+              let en = World.enabled w in
+              World.apply w (List.nth en i);
+              current := i :: prefix;
+              stats.transitions <- stats.transitions + 1;
+              explore (i :: prefix) child_sleep (depth + 1);
+              if not (ambiguous k) then explored := k :: !explored
+            end)
+          enabled
+      end
+    end
+  in
+  let outcome =
+    try
+      explore [] [] 0;
+      match !truncated with None -> Exhausted | Some reason -> Budget reason
+    with Stop o -> o
+  in
+  { outcome; stats }
+
+(* Deterministic schedule replay.  Returns the violation (with the
+   schedule truncated at the step where it first shows) or [None] if the
+   run stays clean; [`Diverged] when an index no longer resolves — the
+   schedule does not belong to this config. *)
+let replay cfg schedule =
+  let w = World.create cfg in
+  let rec step done_rev = function
+    | [] -> (
+      match World.check ~terminal:(World.enabled w = []) w with
+      | Some detail -> `Violation (List.rev done_rev, detail)
+      | None -> `Clean)
+    | idx :: rest -> (
+      let enabled = World.enabled w in
+      if idx < 0 || idx >= List.length enabled then `Diverged (List.rev done_rev)
+      else begin
+        World.apply w (List.nth enabled idx);
+        match World.check w with
+        | Some detail -> `Violation (List.rev (idx :: done_rev), detail)
+        | None -> step (idx :: done_rev) rest
+      end)
+  in
+  step [] schedule
+
+(* Greedy counterexample minimization: repeatedly try dropping one
+   position; a candidate survives if replay still reaches a violation
+   (replay truncates at the first one, so surviving candidates also
+   shrink from the tail).  Fixpoint in O(len^2) replays. *)
+let minimize cfg schedule =
+  let try_schedule s = match replay cfg s with `Violation (sched, _) -> Some sched | _ -> None in
+  let rec shrink s =
+    let len = List.length s in
+    let rec attempt pos =
+      if pos >= len then None
+      else
+        let candidate = List.filteri (fun i _ -> i <> pos) s in
+        match try_schedule candidate with
+        | Some shorter when List.length shorter < len -> Some shorter
+        | _ -> attempt (pos + 1)
+    in
+    match attempt 0 with Some shorter -> shrink shorter | None -> s
+  in
+  match try_schedule schedule with
+  | None -> schedule  (* not reproducible as handed in; keep it verbatim *)
+  | Some truncated -> shrink truncated

@@ -1,0 +1,54 @@
+(** Bounded exhaustive DFS over {!World} schedules.
+
+    Stateless-search model checking of the real implementation: the world
+    cannot be snapshotted, so backtracking re-executes the schedule prefix
+    from scratch.  Two reductions keep the small scopes tractable —
+    visited-state pruning on {!World.fingerprint}, and sleep-set
+    partial-order reduction built on {!World.independent} (events on
+    different hosts, or provably different lanes of one host, commute;
+    exploring both orders of a commuting pair is redundant).
+
+    Soundness of the pruning for the invariants checked: fingerprints are
+    over the full schedule-visible state, sleep sets only ever skip one of
+    two orders whose interleavings reach identical states, and invariants
+    are evaluated at {e every} explored state — so within the stated
+    budgets, "no violation + Exhausted" means no reachable violation under
+    any schedule of the configuration. *)
+
+type budget = { max_states : int; max_depth : int; max_wall_s : float }
+
+val default_budget : budget
+
+type stats = {
+  mutable visited : int;  (** distinct states expanded *)
+  mutable transitions : int;  (** choices fired (excluding rebuilds) *)
+  mutable hash_pruned : int;  (** re-reached a visited fingerprint *)
+  mutable sleep_pruned : int;  (** skipped by the sleep set *)
+  mutable deepest : int;
+  mutable replays : int;  (** world rebuilds for backtracking *)
+}
+
+type outcome =
+  | Exhausted  (** every reachable schedule explored; no violation *)
+  | Violation of { schedule : int list; detail : string }
+      (** [schedule] indexes into [World.enabled] step by step *)
+  | Budget of string  (** search truncated (which budget), no violation *)
+
+type result = { outcome : outcome; stats : stats }
+
+val run : ?budget:budget -> World.config -> result
+(** The search stops at the first violation — the returned schedule is the
+    raw (unminimized) path to it. *)
+
+val replay :
+  World.config ->
+  int list ->
+  [ `Violation of int list * string  (** schedule truncated at first violation *)
+  | `Clean
+  | `Diverged of int list  (** an index stopped resolving; config mismatch *) ]
+(** Deterministic replay with invariants checked after every step. *)
+
+val minimize : World.config -> int list -> int list
+(** Greedy delta-debugging: repeatedly drop one position while the replay
+    still violates; replay truncation also shrinks the tail.  Returns the
+    input unchanged if it does not reproduce. *)

@@ -1,0 +1,263 @@
+(* Replayable failure artifacts.
+
+   Every counterexample the model checker finds, and every failing chaos
+   plan, is dumped in one line-based format ("splitbft-schedule v1") that
+   `splitbft_cli replay` consumes — CI uploads these files, and replaying
+   one locally reproduces the violation deterministically.
+
+   An [Mc] artifact is a [World.config] plus the choice schedule: the
+   i-th number is an index into [World.enabled] after the first i-1
+   choices were applied (creation order, so indices are stable).  The
+   timer budgets are part of the identity — different budgets change
+   which events the menu contains.  A [Chaos] artifact is the full
+   randomized fault plan plus the protocol it ran against. *)
+
+module Ids = Splitbft_types.Ids
+
+let header = "splitbft-schedule v1"
+
+type t =
+  | Mc of { cfg : World.config; schedule : int list; detail : string }
+  | Chaos of { protocol : string; plan : Chaos.plan; detail : string }
+
+let string_of_crash = function
+  | None -> "-"
+  | Some (host, false) -> string_of_int host
+  | Some (host, true) -> Printf.sprintf "%d+restart" host
+
+let crash_of_string s =
+  if String.equal s "-" then Ok None
+  else
+    let host, restart =
+      match String.index_opt s '+' with
+      | Some i when String.sub s i (String.length s - i) = "+restart" ->
+        (String.sub s 0 i, true)
+      | _ -> (s, false)
+    in
+    match int_of_string_opt host with
+    | Some h -> Ok (Some (h, restart))
+    | None -> Error (Printf.sprintf "bad crash spec %S" s)
+
+let compartment_of_string = function
+  | "preparation" -> Ok Ids.Preparation
+  | "confirmation" -> Ok Ids.Confirmation
+  | "execution" -> Ok Ids.Execution
+  | s -> Error (Printf.sprintf "unknown compartment %S" s)
+
+let to_string t =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "%s" header;
+  (match t with
+  | Mc { cfg; schedule; detail } ->
+    line "kind mc";
+    line "seed %Ld" cfg.World.seed;
+    line "requests %d" cfg.World.requests;
+    line "checkpoint-interval %d" cfg.World.checkpoint_interval;
+    line "adversaries %s"
+      (match cfg.World.adversaries with
+      | [] -> "-"
+      | advs -> String.concat "," (List.map Adversary.to_string advs));
+    line "crash %s" (string_of_crash cfg.World.crash);
+    line "lossy-viewchange %b" cfg.World.lossy_viewchange;
+    line "mutate-viewchange %b" cfg.World.mutate_viewchange;
+    line "budget-suspect %d" cfg.World.budgets.World.suspect;
+    line "budget-retry %d" cfg.World.budgets.World.retry;
+    line "budget-batch %d" cfg.World.budgets.World.batch;
+    line "budget-recovery %d" cfg.World.budgets.World.recovery;
+    line "granularity %s" (if cfg.World.per_host_fifo then "host" else "message");
+    line "client-window %d" cfg.World.client_window;
+    line "detail %s" (String.map (function '\n' -> ' ' | c -> c) detail);
+    line "choices %s"
+      (match schedule with
+      | [] -> "-"
+      | s -> String.concat " " (List.map string_of_int s))
+  | Chaos { protocol; plan; detail } ->
+    line "kind chaos";
+    line "protocol %s" protocol;
+    line "seed %Ld" plan.Chaos.seed;
+    line "crash %s"
+      (string_of_crash (Option.map (fun h -> (h, plan.Chaos.restart)) plan.Chaos.crash_host));
+    line "crash-delay-us %.0f" plan.Chaos.crash_delay_us;
+    line "byz %s"
+      (match plan.Chaos.byz_enclave with
+      | None -> "-"
+      | Some (i, c) -> Printf.sprintf "%d:%s" i (Ids.compartment_name c));
+    line "drop %.4f" plan.Chaos.drop_prob;
+    line "detail %s" (String.map (function '\n' -> ' ' | c -> c) detail));
+  Buffer.contents b
+
+let ( let* ) = Result.bind
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> not (String.equal l ""))
+  in
+  match lines with
+  | [] -> Error "empty artifact"
+  | first :: rest when String.equal first header ->
+    let fields =
+      List.filter_map
+        (fun l ->
+          match String.index_opt l ' ' with
+          | None -> Some (l, "")
+          | Some i -> Some (String.sub l 0 i, String.sub l (i + 1) (String.length l - i - 1)))
+        rest
+    in
+    let get k =
+      match List.assoc_opt k fields with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "artifact is missing field %S" k)
+    in
+    let int_field k =
+      let* v = get k in
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "field %s: bad integer %S" k v)
+    in
+    let bool_field k =
+      let* v = get k in
+      match bool_of_string_opt v with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "field %s: bad bool %S" k v)
+    in
+    let* kind = get "kind" in
+    (match kind with
+    | "mc" ->
+      let* seed = get "seed" in
+      let* seed =
+        match Int64.of_string_opt seed with
+        | Some s -> Ok s
+        | None -> Error (Printf.sprintf "bad seed %S" seed)
+      in
+      let* requests = int_field "requests" in
+      let* checkpoint_interval = int_field "checkpoint-interval" in
+      let* advs = get "adversaries" in
+      let* adversaries =
+        if String.equal advs "-" then Ok []
+        else
+          List.fold_left
+            (fun acc s ->
+              let* acc = acc in
+              let* a = Adversary.of_string s in
+              Ok (a :: acc))
+            (Ok []) (String.split_on_char ',' advs)
+          |> Result.map List.rev
+      in
+      let* crash_s = get "crash" in
+      let* crash = crash_of_string crash_s in
+      let* lossy_viewchange = bool_field "lossy-viewchange" in
+      let* mutate_viewchange = bool_field "mutate-viewchange" in
+      let* suspect = int_field "budget-suspect" in
+      let* retry = int_field "budget-retry" in
+      let* batch = int_field "budget-batch" in
+      let* recovery = int_field "budget-recovery" in
+      (* Absent in artifacts predating the knob: per-message granularity. *)
+      let* per_host_fifo =
+        match List.assoc_opt "granularity" fields with
+        | None | Some "message" -> Ok false
+        | Some "host" -> Ok true
+        | Some other -> Error (Printf.sprintf "unknown granularity %S" other)
+      in
+      (* Absent in artifacts predating the knob: window = requests. *)
+      let* client_window =
+        match List.assoc_opt "client-window" fields with
+        | None -> Ok requests
+        | Some v -> (
+          match int_of_string_opt v with
+          | Some i -> Ok i
+          | None -> Error (Printf.sprintf "field client-window: bad integer %S" v))
+      in
+      let* detail = get "detail" in
+      let* choices = get "choices" in
+      let* schedule =
+        if String.equal choices "-" then Ok []
+        else
+          List.fold_left
+            (fun acc s ->
+              let* acc = acc in
+              match int_of_string_opt s with
+              | Some i -> Ok (i :: acc)
+              | None -> Error (Printf.sprintf "bad choice index %S" s))
+            (Ok [])
+            (String.split_on_char ' ' choices |> List.filter (fun s -> s <> ""))
+          |> Result.map List.rev
+      in
+      Ok
+        (Mc
+           { cfg =
+               { World.seed;
+                 requests;
+                 checkpoint_interval;
+                 adversaries;
+                 crash;
+                 lossy_viewchange;
+                 mutate_viewchange;
+                 budgets = { World.suspect; retry; batch; recovery };
+                 per_host_fifo;
+                 client_window };
+             schedule;
+             detail })
+    | "chaos" ->
+      let* protocol = get "protocol" in
+      let* seed = get "seed" in
+      let* seed =
+        match Int64.of_string_opt seed with
+        | Some s -> Ok s
+        | None -> Error (Printf.sprintf "bad seed %S" seed)
+      in
+      let* crash_s = get "crash" in
+      let* crash = crash_of_string crash_s in
+      let* delay = get "crash-delay-us" in
+      let* crash_delay_us =
+        match float_of_string_opt delay with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "bad crash-delay-us %S" delay)
+      in
+      let* byz = get "byz" in
+      let* byz_enclave =
+        if String.equal byz "-" then Ok None
+        else
+          match String.index_opt byz ':' with
+          | Some i -> (
+            let r = String.sub byz 0 i
+            and c = String.sub byz (i + 1) (String.length byz - i - 1) in
+            match int_of_string_opt r with
+            | Some replica ->
+              let* comp = compartment_of_string c in
+              Ok (Some (replica, comp))
+            | None -> Error (Printf.sprintf "bad byz replica in %S" byz))
+          | None -> Error (Printf.sprintf "bad byz spec %S" byz)
+      in
+      let* drop = get "drop" in
+      let* drop_prob =
+        match float_of_string_opt drop with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "bad drop %S" drop)
+      in
+      let* detail = get "detail" in
+      Ok
+        (Chaos
+           { protocol;
+             plan =
+               { Chaos.seed;
+                 crash_host = Option.map fst crash;
+                 crash_delay_us;
+                 restart = (match crash with Some (_, r) -> r | None -> false);
+                 byz_enclave;
+                 drop_prob };
+             detail })
+    | other -> Error (Printf.sprintf "unknown artifact kind %S" other))
+  | first :: _ -> Error (Printf.sprintf "not a schedule artifact (header %S)" first)
+
+let save ~path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error e -> Error e

@@ -1,0 +1,25 @@
+(** Replayable failure artifacts ("splitbft-schedule v1").
+
+    One line-based format for both failure sources — model-checker
+    counterexamples and failing chaos plans — consumed by
+    [splitbft_cli replay] and uploaded by CI on failure.
+
+    An {!Mc} artifact carries the full {!World.config} (timer budgets
+    included — they change what the choice menu contains, so they are
+    part of the schedule's identity) plus the choice indices: the i-th
+    number selects from [World.enabled] after the first i-1 choices.
+    A {!Chaos} artifact carries the protocol name and the complete
+    randomized fault plan. *)
+
+type t =
+  | Mc of { cfg : World.config; schedule : int list; detail : string }
+  | Chaos of { protocol : string; plan : Chaos.plan; detail : string }
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val save : path:string -> t -> unit
+val load : string -> (t, string) result
+
+val crash_of_string : string -> ((int * bool) option, string) result
+(** Parses "-", "HOST" or "HOST+restart" (shared with the CLI). *)

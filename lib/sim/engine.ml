@@ -2,12 +2,23 @@ module Registry = Splitbft_obs.Registry
 
 exception Stop
 
+(* Scheduling class, consulted only by the model checker (free-running
+   [run]/[step] ignore it).  [Choice] marks an event whose firing order is
+   a genuine scheduling decision — a network delivery, a timer, a fault
+   injection point — tagged with the host it affects and, when known, the
+   consensus lane ([-1] = unknown/wildcard).  Everything else ([Internal])
+   is deterministic computation that a controlled scheduler drains to
+   quiescence between choices. *)
+type event_class = Internal | Choice of { host : int; lane : int }
+
 (* [dead] covers both cancellation and firing, so a late [cancel] on an
    event that already ran cannot corrupt the live count. *)
 type event = {
   time : float;
   seq : int;
   label : string;
+  cls : event_class;
+  fp : string;
   action : unit -> unit;
   mutable dead : bool;
   owner : t;
@@ -53,9 +64,11 @@ let rng t = t.root_rng
 let obs t = t.obs
 let tracer t = t.tracer
 
-let schedule t ~delay ~label action =
+let schedule ?(cls = Internal) ?(fp = "") t ~delay ~label action =
   if delay < 0.0 then invalid_arg (Printf.sprintf "Engine.schedule %s: negative delay" label);
-  let ev = { time = t.clock +. delay; seq = t.next_seq; label; action; dead = false; owner = t } in
+  let ev =
+    { time = t.clock +. delay; seq = t.next_seq; label; cls; fp; action; dead = false; owner = t }
+  in
   t.next_seq <- t.next_seq + 1;
   t.live <- t.live + 1;
   Registry.set t.g_live (float_of_int t.live);
@@ -121,3 +134,31 @@ let run ?until ?max_events t =
   | _ -> ()
 
 let events_processed t = t.fired
+
+(* --- Controlled (model-checking) mode ------------------------------- *)
+
+let live_events t =
+  Splitbft_util.Heap.to_list t.queue
+  |> List.filter (fun ev -> not ev.dead)
+  |> List.sort (fun a b -> compare a.seq b.seq)
+
+let class_of ev = ev.cls
+let label_of ev = ev.label
+let seq_of ev = ev.seq
+let time_of ev = ev.time
+let fp_of ev = ev.fp
+let is_live ev = not ev.dead
+
+(* Fire [ev] regardless of its position in the time order.  The clock
+   only moves forward ([max]): a controlled scheduler may legitimately
+   fire a later-timestamped delivery before an earlier one, and actions
+   scheduled from inside the fired action must not land in the past. *)
+let fire_forced t ev =
+  if ev.dead then invalid_arg (Printf.sprintf "Engine.fire_forced %s: dead event" ev.label);
+  ev.dead <- true;
+  t.clock <- Float.max t.clock ev.time;
+  t.fired <- t.fired + 1;
+  t.live <- t.live - 1;
+  Registry.set t.g_live (float_of_int t.live);
+  Registry.incr t.c_fired;
+  ev.action ()

@@ -11,6 +11,21 @@ type t
 type handle
 (** A scheduled event, usable for cancellation. *)
 
+type event_class =
+  | Internal
+      (** Deterministic follow-on computation (resource completions, ecall
+          hand-offs).  A controlled scheduler drains these to quiescence
+          between scheduling decisions; free-running [run] treats them like
+          any other event. *)
+  | Choice of { host : int; lane : int }
+      (** A genuine scheduling decision: a network delivery, a timer
+          firing, a crash/restart point.  [host] is the simulated host the
+          event acts on (its [Sim.Network] address), [lane] the consensus
+          lane when statically known, [-1] for "any lane on that host".
+          Two [Choice] events on different hosts — or on the same host but
+          distinct non-negative lanes — commute; the model checker's
+          partial-order reduction relies on exactly this. *)
+
 val create :
   ?seed:int64 ->
   ?obs:Splitbft_obs.Registry.t ->
@@ -45,9 +60,13 @@ val seed : t -> int64
     their stream with [Rng.of_key (Engine.seed e) ~domain ~stream]
     instead of splitting {!rng}. *)
 
-val schedule : t -> delay:float -> label:string -> (unit -> unit) -> handle
+val schedule :
+  ?cls:event_class -> ?fp:string -> t -> delay:float -> label:string -> (unit -> unit) -> handle
 (** Schedules [action] to run [delay] µs from now ([delay >= 0]).  [label]
-    appears in traces and error reports. *)
+    appears in traces and error reports.  [cls] (default {!Internal})
+    classifies the event for controlled scheduling; [fp] (default [""]) is
+    an opaque payload fingerprint folded into the model checker's state
+    hash so that "same message still in flight" states collide. *)
 
 val cancel : handle -> unit
 (** Cancelling a fired or already-cancelled event is a no-op. *)
@@ -70,6 +89,36 @@ val step : t -> bool
 (** Processes a single event; [false] when the queue is empty. *)
 
 val events_processed : t -> int
+
+(** {2 Controlled (model-checking) mode}
+
+    A model checker drives the engine one event at a time instead of
+    calling {!run}: it reads {!live_events}, partitions them by
+    {!class_of}, picks one [Choice] to fire with {!fire_forced}, then
+    drains [Internal] events (again via {!fire_forced}, in time order) to
+    quiescence.  Free-running {!run}/{!step} ignore the classification
+    entirely, so existing callers are unaffected. *)
+
+val live_events : t -> handle list
+(** All scheduled, non-cancelled events, sorted by scheduling sequence
+    number (a stable, seed-independent canonical order).  O(n) snapshot. *)
+
+val class_of : handle -> event_class
+val label_of : handle -> string
+
+val seq_of : handle -> int
+(** Scheduling sequence number — the canonical order key for {!live_events}. *)
+
+val time_of : handle -> float
+val fp_of : handle -> string
+
+val is_live : handle -> bool
+(** [false] once fired or cancelled. *)
+
+val fire_forced : t -> handle -> unit
+(** Fires [ev] now, regardless of its position in the time order.  The
+    clock advances to [max now (time_of ev)] — never backwards.  Raises
+    [Invalid_argument] if the event is dead. *)
 
 exception Stop
 (** An event's action may raise [Stop] to end {!run} early (remaining

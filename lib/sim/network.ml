@@ -25,6 +25,7 @@ type t = {
   mutable groups : (addr, int) Hashtbl.t option; (* partition group per addr *)
   mutable filter : (src:addr -> dst:addr -> string -> action) option;
   mutable tap : (src:addr -> dst:addr -> string -> unit) option;
+  mutable lane_hint : (dst:addr -> string -> int) option;
   mutable sent : int;
   mutable delivered : int;
   mutable bytes : int;
@@ -45,6 +46,7 @@ let create engine config =
     groups = None;
     filter = None;
     tap = None;
+    lane_hint = None;
     sent = 0;
     delivered = 0;
     bytes = 0;
@@ -80,6 +82,7 @@ let partition t groups =
 let heal t = t.groups <- None
 let set_filter t filter = t.filter <- filter
 let set_tap t tap = t.tap <- tap
+let set_lane_hint t hint = t.lane_hint <- hint
 
 let same_side t src dst =
   match t.groups with
@@ -124,8 +127,12 @@ let send t ~src ~dst payload =
       let extra = match verdict with Delay d -> d | Deliver | Drop -> 0.0 in
       let delay = model_delay t size +. extra in
       let label = Printf.sprintf "net:%d->%d" src dst in
+      let lane = match t.lane_hint with None -> -1 | Some hint -> hint ~dst payload in
       ignore
-        (Engine.schedule t.engine ~delay ~label (fun () ->
+        (Engine.schedule t.engine
+           ~cls:(Engine.Choice { host = dst; lane })
+           ~fp:payload ~delay ~label
+           (fun () ->
              match Hashtbl.find_opt t.handlers dst with
              | None -> ()
              | Some handler ->

@@ -52,6 +52,13 @@ val set_tap : t -> (src:addr -> dst:addr -> string -> unit) option -> unit
 (** Passive observer invoked on every send attempt (before drops and
     filters) — the confidentiality checker scans payloads here. *)
 
+val set_lane_hint : t -> (dst:addr -> string -> int) option -> unit
+(** Classifier consulted at send time to tag the delivery event with a
+    consensus lane for the model checker's partial-order reduction
+    ([Engine.Choice]).  Returning [-1] (also the default when no hint is
+    installed) means "unknown lane" — the delivery then conflicts with
+    every other event on the same host. *)
+
 val messages_sent : t -> int
 val messages_delivered : t -> int
 val bytes_sent : t -> int

@@ -1,13 +1,14 @@
 type t = {
   engine : Engine.t;
   label : string;
+  cls : Engine.event_class;
   mutable delay : float;
   callback : unit -> unit;
   mutable armed : Engine.handle option;
 }
 
-let create engine ~label ~delay ~callback =
-  { engine; label; delay; callback; armed = None }
+let create ?(cls = Engine.Internal) engine ~label ~delay ~callback =
+  { engine; label; cls; delay; callback; armed = None }
 
 let is_running t = Option.is_some t.armed
 
@@ -21,7 +22,7 @@ let stop t =
 let restart t =
   stop t;
   let handle =
-    Engine.schedule t.engine ~delay:t.delay ~label:t.label (fun () ->
+    Engine.schedule ~cls:t.cls t.engine ~delay:t.delay ~label:t.label (fun () ->
         t.armed <- None;
         t.callback ())
   in

@@ -7,8 +7,16 @@
 type t
 
 val create :
-  Engine.t -> label:string -> delay:float -> callback:(unit -> unit) -> t
-(** The timer is created stopped. *)
+  ?cls:Engine.event_class ->
+  Engine.t ->
+  label:string ->
+  delay:float ->
+  callback:(unit -> unit) ->
+  t
+(** The timer is created stopped.  [cls] (default [Engine.Internal])
+    classifies every (re)armed firing for the model checker; timers whose
+    expiry is a real scheduling decision (suspicion, client retry) should
+    pass [Engine.Choice]. *)
 
 val start : t -> unit
 (** Arms the timer if it is not running; a running timer is unaffected. *)

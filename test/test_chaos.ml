@@ -1,152 +1,71 @@
 (* Randomized fault-schedule property tests: for arbitrary seeds and
    within-bound fault placements, the protocols must preserve agreement
-   among honest replicas and never hand a client a wrong result.  This is
-   the property-based counterpart of the hand-written Table 1 scenarios. *)
+   among honest replicas, keep ledgers prefix-consistent, never hand a
+   client a wrong result, and (SplitBFT) never show the confidentiality
+   canary to the untrusted world.  This is the property-based counterpart
+   of the hand-written Table 1 scenarios, and the randomized cross-check
+   of the model checker's exhaustive small-scope runs — both legs now
+   evaluate the same invariant set through [Splitbft_mc.Chaos].
 
-module Engine = Splitbft_sim.Engine
-module Network = Splitbft_sim.Network
-module S = Splitbft_core.Replica
-module Sconfig = Splitbft_core.Config
-module P = Splitbft_pbft.Replica
-module Client = Splitbft_client.Client
-module Kvs = Splitbft_app.Kvs
+   Failing plans shrink (drop the byzantine enclave first, then the
+   crash, then the drops) and are dumped as replayable artifacts under
+   $CHAOS_ARTIFACT_DIR, consumable by `splitbft_cli replay`. *)
 
-type fault_plan = {
-  seed : int64;
-  crash_host : int option;  (* at most f = 1 *)
-  crash_delay_us : float;
-  restart : bool;  (* bring the crashed host back up (crash-recovery path) *)
-  byz_enclave : (int * Splitbft_types.Ids.compartment) option;
-  drop_prob : float;
-}
+module Chaos = Splitbft_mc.Chaos
+module Schedule = Splitbft_mc.Schedule
+module Ids = Splitbft_types.Ids
 
 let plan_gen =
   QCheck.Gen.(
     map
       (fun (seed, crash, delay, restart, byz, drop) ->
-        { seed = Int64.of_int seed;
+        { Chaos.seed = Int64.of_int seed;
           crash_host = (if crash < 4 then Some crash else None);
           crash_delay_us = float_of_int (10_000 + delay);
           restart = restart = 0;
           byz_enclave =
             (match byz with
-            | 0 -> Some (0, Splitbft_types.Ids.Preparation)
-            | 1 -> Some (1, Splitbft_types.Ids.Confirmation)
-            | 2 -> Some (2, Splitbft_types.Ids.Execution)
+            | 0 -> Some (0, Ids.Preparation)
+            | 1 -> Some (1, Ids.Confirmation)
+            | 2 -> Some (2, Ids.Execution)
             | _ -> None);
           drop_prob = float_of_int drop /. 1000.0 })
       (tup6 (1 -- 10_000) (0 -- 7) (0 -- 200_000) (0 -- 1) (0 -- 5) (0 -- 20)))
 
-let plan_print p =
-  Printf.sprintf "seed=%Ld crash=%s%s@%.0fus byz=%s drop=%.3f"
-    p.seed
-    (match p.crash_host with Some i -> string_of_int i | None -> "-")
-    (if p.restart then "+restart" else "")
-    p.crash_delay_us
-    (match p.byz_enclave with
-    | Some (i, c) -> Printf.sprintf "%d:%s" i (Splitbft_types.Ids.compartment_name c)
-    | None -> "-")
-    p.drop_prob
+(* Shrink toward the fault-free plan, one fault at a time, so a reported
+   failure carries only the faults it actually needs. *)
+let plan_shrink (p : Chaos.plan) yield =
+  if p.Chaos.byz_enclave <> None then yield { p with Chaos.byz_enclave = None };
+  if p.Chaos.crash_host <> None then yield { p with Chaos.crash_host = None };
+  if p.Chaos.drop_prob > 0.0 then yield { p with Chaos.drop_prob = 0.0 };
+  if p.Chaos.restart then yield { p with Chaos.restart = false };
+  if p.Chaos.crash_delay_us > 10_000.0 then yield { p with Chaos.crash_delay_us = 10_000.0 }
 
-let plan_arbitrary = QCheck.make ~print:plan_print plan_gen
+let plan_arbitrary = QCheck.make ~print:Chaos.describe_plan ~shrink:plan_shrink plan_gen
 
-(* Returns true iff the run was safe: agreement among honest replicas and
-   zero wrong client results.  Liveness is NOT asserted (drops and crashes
-   may legitimately slow things down). *)
-let splitbft_run (p : fault_plan) =
-  let engine = Engine.create ~seed:p.seed () in
-  let net =
-    Network.create engine
-      { Network.default_config with Network.drop_probability = p.drop_prob }
-  in
-  let n = 4 in
-  let byz_of i =
-    match p.byz_enclave with
-    | Some (j, Splitbft_types.Ids.Preparation) when i = j ->
-      (Splitbft_core.Preparation.Prep_equivocate, Splitbft_core.Confirmation.Conf_honest,
-       Splitbft_core.Execution.Exec_honest)
-    | Some (j, Splitbft_types.Ids.Confirmation) when i = j ->
-      (Splitbft_core.Preparation.Prep_honest, Splitbft_core.Confirmation.Conf_promiscuous,
-       Splitbft_core.Execution.Exec_honest)
-    | Some (j, Splitbft_types.Ids.Execution) when i = j ->
-      (Splitbft_core.Preparation.Prep_honest, Splitbft_core.Confirmation.Conf_honest,
-       Splitbft_core.Execution.Exec_corrupt)
-    | _ ->
-      (Splitbft_core.Preparation.Prep_honest, Splitbft_core.Confirmation.Conf_honest,
-       Splitbft_core.Execution.Exec_honest)
-  in
-  let replicas =
-    List.init n (fun id ->
-        let prep_byz, conf_byz, exec_byz = byz_of id in
-        S.create ~prep_byz ~conf_byz ~exec_byz engine net
-          { (Sconfig.default ~n ~id) with
-            Sconfig.suspect_timeout_us = 150_000.0;
-            viewchange_timeout_us = 300_000.0 }
-          ~app:(fun () -> Kvs.create ()))
-  in
-  (match p.crash_host with
-  | Some i when Some (i, Splitbft_types.Ids.Preparation) <> p.byz_enclave ->
-    (* Keep the total fault load at one host + one enclave elsewhere. *)
-    ignore
-      (Engine.schedule engine ~delay:p.crash_delay_us ~label:"chaos-crash" (fun () ->
-           S.crash_host (List.nth replicas i)));
-    if p.restart then
-      (* Crash-recovery: unseal, verify the counter binding, state-transfer
-         back in.  Safety must hold whether or not recovery completes. *)
-      ignore
-        (Engine.schedule engine
-           ~delay:(p.crash_delay_us +. 500_000.0)
-           ~label:"chaos-restart"
-           (fun () -> S.restart_host (List.nth replicas i)))
-  | _ -> ());
-  let wrong = ref 0 in
-  let cl =
-    Client.create engine net
-      { (Client.default_config (Client.Splitbft { ready_quorum = 3 }) ~n ~id:0) with
-        Client.retry_timeout_us = 200_000.0 }
-  in
-  Client.start cl ~on_ready:(fun () ->
-      for i = 1 to 12 do
-        Client.submit cl
-          ~op:(Kvs.encode_op (Kvs.Put (Printf.sprintf "k%d" i, "v")))
-          ~on_result:(fun ~latency_us:_ ~result ->
-            if not (String.equal result Kvs.ok) then incr wrong)
-      done);
-  Engine.run ~until:1_600_000.0 engine;
-  (* Honest = all replicas whose Execution enclave is honest. *)
-  let honest =
-    List.filteri
-      (fun i _ ->
-        match p.byz_enclave with
-        | Some (j, Splitbft_types.Ids.Execution) -> i <> j
-        | _ -> true)
-      replicas
-  in
-  let tables =
-    List.map
-      (fun r ->
-        let t = Hashtbl.create 64 in
-        List.iter (fun (seq, d) -> Hashtbl.replace t seq d) (S.executed_log r);
-        t)
-      honest
-  in
-  let agreement =
-    List.for_all
-      (fun ta ->
-        List.for_all
-          (fun tb ->
-            Hashtbl.fold
-              (fun seq da acc ->
-                acc
-                &&
-                match Hashtbl.find_opt tb seq with
-                | Some db -> String.equal da db
-                | None -> true)
-              ta true)
-          tables)
-      tables
-  in
-  agreement && !wrong = 0
+(* Every failing plan becomes a replayable artifact; QCheck shrinks
+   before reporting, so the last dump for a property is the minimal one. *)
+let dump_artifact ~protocol (p : Chaos.plan) detail =
+  match Sys.getenv_opt "CHAOS_ARTIFACT_DIR" with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then ignore (Sys.command (Filename.quote_command "mkdir" [ "-p"; dir ]));
+    let path =
+      Filename.concat dir (Printf.sprintf "chaos-%s-seed%Ld.txt" protocol p.Chaos.seed)
+    in
+    (try
+       Schedule.save ~path (Schedule.Chaos { protocol; plan = p; detail });
+       Printf.eprintf "chaos: wrote failing plan to %s (replay with: splitbft_cli replay %s)\n%!"
+         path path
+     with Sys_error e -> Printf.eprintf "chaos: could not write artifact: %s\n%!" e)
+
+let safe ~protocol run p =
+  match run p with
+  | None -> true
+  | Some detail ->
+    dump_artifact ~protocol p detail;
+    QCheck.Test.fail_reportf "unsafe %s run: %s\n  plan: %s" protocol detail
+      (Chaos.describe_plan p)
 
 (* CI's chaos job raises this well beyond the default for a deeper sweep. *)
 let qcheck_count =
@@ -155,94 +74,14 @@ let qcheck_count =
   | None -> 6
 
 let prop_splitbft_safe_under_bounded_faults =
-  QCheck.Test.make ~name:"splitbft safe under any bounded fault schedule"
-    ~count:qcheck_count plan_arbitrary splitbft_run
-
-let pbft_run (p : fault_plan) =
-  let engine = Engine.create ~seed:p.seed () in
-  let net =
-    Network.create engine
-      { Network.default_config with Network.drop_probability = p.drop_prob }
-  in
-  let n = 4 in
-  let replicas =
-    List.init n (fun id ->
-        P.create engine net
-          { (P.default_config ~n ~id) with
-            P.suspect_timeout_us = 150_000.0;
-            viewchange_timeout_us = 300_000.0 }
-          ~app:(Kvs.create ()))
-  in
-  (match p.crash_host with
-  | Some i ->
-    ignore
-      (Engine.schedule engine ~delay:p.crash_delay_us ~label:"chaos-crash" (fun () ->
-           P.crash (List.nth replicas i)));
-    if p.restart then
-      ignore
-        (Engine.schedule engine
-           ~delay:(p.crash_delay_us +. 500_000.0)
-           ~label:"chaos-restart"
-           (fun () -> P.restart (List.nth replicas i)))
-  | None -> ());
-  (* One byzantine replica (<= f), never the crashed one. *)
-  let byz_id =
-    match (p.byz_enclave, p.crash_host) with
-    | Some (j, _), Some c when j = c -> None
-    | Some (j, _), _ -> Some j
-    | None, _ -> None
-  in
-  (match byz_id with
-  | Some j -> P.set_byzantine (List.nth replicas j) P.Corrupt_execution
-  | None -> ());
-  let wrong = ref 0 in
-  let cl =
-    Client.create engine net
-      { (Client.default_config Client.Pbft ~n ~id:0) with
-        Client.retry_timeout_us = 200_000.0 }
-  in
-  Client.start cl ~on_ready:(fun () ->
-      for i = 1 to 12 do
-        Client.submit cl
-          ~op:(Kvs.encode_op (Kvs.Put (Printf.sprintf "k%d" i, "v")))
-          ~on_result:(fun ~latency_us:_ ~result ->
-            if not (String.equal result Kvs.ok) then incr wrong)
-      done);
-  Engine.run ~until:1_600_000.0 engine;
-  let honest =
-    List.filteri
-      (fun i _ -> Some i <> byz_id && (p.restart || Some i <> p.crash_host))
-      replicas
-  in
-  let tables =
-    List.map
-      (fun r ->
-        let t = Hashtbl.create 64 in
-        List.iter (fun (seq, d) -> Hashtbl.replace t seq d) (P.executed_log r);
-        t)
-      honest
-  in
-  let agreement =
-    List.for_all
-      (fun ta ->
-        List.for_all
-          (fun tb ->
-            Hashtbl.fold
-              (fun seq da acc ->
-                acc
-                &&
-                match Hashtbl.find_opt tb seq with
-                | Some db -> String.equal da db
-                | None -> true)
-              ta true)
-          tables)
-      tables
-  in
-  agreement && !wrong = 0
+  QCheck.Test.make ~name:"splitbft safe under any bounded fault schedule" ~count:qcheck_count
+    plan_arbitrary
+    (safe ~protocol:"splitbft" Chaos.run_splitbft)
 
 let prop_pbft_safe_under_bounded_faults =
-  QCheck.Test.make ~name:"pbft safe under any bounded fault schedule"
-    ~count:qcheck_count plan_arbitrary pbft_run
+  QCheck.Test.make ~name:"pbft safe under any bounded fault schedule" ~count:qcheck_count
+    plan_arbitrary
+    (safe ~protocol:"pbft" Chaos.run_pbft)
 
 let suites =
   [ ( "chaos",
