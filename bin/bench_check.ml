@@ -53,7 +53,13 @@ let artifact_points path name doc =
   | Some _ -> die "%s: artifacts.%s is not an array" path name
   | None -> None
 
-type point = { label : string; tput : float; ecall_us : float; p99_us : float }
+type point = {
+  label : string;
+  tput : float;
+  ecall_us : float;
+  p99_us : float;
+  tol : float option;  (* baseline per-point override of --tolerance *)
+}
 
 let point_of_json path name j =
   match str (Json.member "label" j) with
@@ -62,7 +68,10 @@ let point_of_json path name j =
     { label;
       tput = number (Json.member "throughput_ops" j);
       ecall_us = number (Json.member "ecall_us_per_request" j);
-      p99_us = number (Json.member "p99_latency_us" j) }
+      p99_us = number (Json.member "p99_latency_us" j);
+      tol =
+        (let t = number (Json.member "tolerance" j) in
+         if Float.is_finite t then Some t else None) }
 
 (* (metric name, accessor, direction): [`Floor] gates drops below the
    baseline, [`Ceiling] gates rises above it. *)
@@ -128,10 +137,11 @@ let () =
                         (name ^ "/" ^ b.label) metric bv "-" "-"
                     end
                     else begin
+                      let tol = Option.value b.tol ~default:!tolerance in
                       let bad =
                         match dir with
-                        | `Floor -> cv < bv *. (1.0 -. !tolerance)
-                        | `Ceiling -> cv > bv *. (1.0 +. !tolerance)
+                        | `Floor -> cv < bv *. (1.0 -. tol)
+                        | `Ceiling -> cv > bv *. (1.0 +. tol)
                       in
                       if bad then incr failures;
                       Printf.printf "%-26s %-12s %14.2f %14.2f %+7.1f%%  %s\n"
@@ -142,6 +152,24 @@ let () =
                 metrics)
           base_points)
     gated_artifacts;
+  (* Detector overhead gate: the detectors-on twin of the saturated
+     batched point must hold within 3% of the plain point's throughput —
+     measured on the CURRENT run, so a slow observer can't hide behind a
+     refreshed baseline. *)
+  (match artifact_points !current "hotpath" cur_doc with
+  | None -> ()
+  | Some raw ->
+    let points = List.map (point_of_json !current "hotpath") raw in
+    let find l = List.find_opt (fun p -> p.label = l) points in
+    (match (find "batch200", find "batch200-detect") with
+    | Some plain, Some det when Float.is_finite plain.tput && Float.is_finite det.tput ->
+      incr checked;
+      let bad = det.tput < plain.tput *. 0.97 in
+      if bad then incr failures;
+      Printf.printf "%-26s %-12s %14.2f %14.2f %+7.1f%%  %s\n" "hotpath/detect-overhead"
+        "throughput" plain.tput det.tput (pct plain.tput det.tput)
+        (if bad then "REGRESSION (>3% detector cost)" else "ok")
+    | _ -> ()));
   if !checked = 0 then die "%s: none of the gated artifact arrays present" !baseline;
   if !failures > 0 then begin
     Printf.printf "\n%d check(s) regressed beyond ±%.0f%% of %s\n" !failures

@@ -165,14 +165,27 @@ let openloop_cmd =
 
 let scenario_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
-  let run id =
+  let detect =
+    Arg.(value & flag
+         & info [ "detect" ]
+             ~doc:"Attach the anomaly detector and a flight recorder; print the alerts the \
+                   run raised.")
+  in
+  let flight_dir =
+    Arg.(value & opt (some string) None
+         & info [ "flight-dir" ] ~docv:"DIR"
+             ~doc:"With $(b,--detect): dump the flight recording to $(docv) when the run is \
+                   anomalous (alerts, failed check, or missed expectation).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let run id detect flight_dir seed =
     match H.Scenarios.find id with
     | None ->
       Printf.eprintf "unknown scenario %S (see `splitbft_cli scenarios`)\n" id;
       exit 1
     | Some s ->
       Printf.printf "%s\n  %s\n%!" s.H.Scenarios.id s.H.Scenarios.description;
-      let o = H.Scenarios.run s in
+      let o = H.Scenarios.run ~seed:(Int64.of_int seed) ~detect s in
       let v = o.H.Scenarios.verdict in
       Printf.printf "  live=%b safe=%b confidential=%b ops=%d  %s\n"
         v.H.Safety.live v.H.Safety.safe v.H.Safety.confidential
@@ -182,9 +195,24 @@ let scenario_cmd =
       if v.H.Safety.detail <> "" then Printf.printf "  detail: %s\n" v.H.Safety.detail;
       (match o.H.Scenarios.check_failure with
       | None -> ()
-      | Some reason -> Printf.printf "  check: %s\n" reason)
+      | Some reason -> Printf.printf "  check: %s\n" reason);
+      if detect then begin
+        (match o.H.Scenarios.alerts with
+        | [] -> Printf.printf "  alerts: none\n"
+        | alerts ->
+          Printf.printf "  alerts (%d):\n" (List.length alerts);
+          List.iter (fun a -> Printf.printf "    %s\n" (H.Detector.describe a)) alerts);
+        match flight_dir with
+        | Some dir when H.Scenarios.anomalous o -> (
+          match H.Scenarios.dump_flight ~dir o with
+          | Some path -> Printf.printf "  flight recording written to %s\n" path
+          | None -> ())
+        | _ -> ()
+      end
   in
-  Cmd.v (Cmd.info "scenario" ~doc:"Run one fault-model scenario.") Term.(const run $ id)
+  Cmd.v
+    (Cmd.info "scenario" ~doc:"Run one fault-model scenario.")
+    Term.(const run $ id $ detect $ flight_dir $ seed)
 
 let scenarios_cmd =
   let run () =
@@ -219,7 +247,13 @@ let metrics_cmd =
     Arg.(value & opt (some string) None
          & info [ "out"; "o" ] ~docv:"PATH" ~doc:"Write the snapshot to $(docv) instead of stdout.")
   in
-  let run protocol app clients batch duration seed out =
+  let prom =
+    Arg.(value & flag
+         & info [ "prom" ]
+             ~doc:"Emit Prometheus text exposition format (0.0.4) instead of JSON — pipe into \
+                   a textfile collector or scrape endpoint.")
+  in
+  let run protocol app clients batch duration seed out prom =
     let params =
       { (H.Cluster.default_params protocol) with
         H.Cluster.app;
@@ -235,18 +269,106 @@ let metrics_cmd =
     in
     ignore (H.Workload.run cluster spec);
     let reg = H.Cluster.obs cluster in
+    let render () =
+      if prom then Splitbft_obs.Prom.of_registry reg
+      else Splitbft_obs.Registry.to_json_string reg
+    in
     match out with
-    | None -> print_endline (Splitbft_obs.Registry.to_json_string reg)
+    | None ->
+      let s = render () in
+      print_string s;
+      if s = "" || s.[String.length s - 1] <> '\n' then print_newline ()
     | Some path ->
-      Splitbft_obs.Registry.write_file reg ~path;
+      let oc = open_out_bin path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (render ()));
       Printf.printf "wrote %s\n" path
   in
   Cmd.v
     (Cmd.info "metrics"
        ~doc:
          "Run a workload and dump the full metrics registry snapshot as JSON (enclave \
-          transitions, copied bytes, network traffic, broker batching, latency percentiles).")
-    Term.(const run $ protocol $ app_arg $ clients $ batch $ duration $ seed $ out)
+          transitions, copied bytes, network traffic, broker batching, latency percentiles) \
+          or Prometheus exposition text ($(b,--prom)).")
+    Term.(const run $ protocol $ app_arg $ clients $ batch $ duration $ seed $ out $ prom)
+
+(* ----- top ----- *)
+
+let top_cmd =
+  let protocol =
+    Arg.(value & opt protocol_conv default_protocol & info [ "protocol"; "p" ] ~doc:"Protocol.")
+  in
+  let app_arg = Arg.(value & opt app_conv H.Cluster.App_kvs & info [ "app"; "a" ] ~doc:"Application.") in
+  let clients = Arg.(value & opt int 10 & info [ "clients"; "c" ] ~doc:"Closed-loop clients.") in
+  let batch = Arg.(value & opt int 1 & info [ "batch"; "b" ] ~doc:"Batch size (1 = unbatched).") in
+  let duration = Arg.(value & opt float 2.0 & info [ "duration"; "d" ] ~doc:"Simulated seconds to run.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let interval =
+    Arg.(value & opt float 250.0
+         & info [ "interval"; "i" ] ~docv:"MS" ~doc:"Refresh period, simulated milliseconds.")
+  in
+  let delay =
+    Arg.(value & opt float 0.05
+         & info [ "delay" ] ~docv:"SECONDS"
+             ~doc:"Wall-clock pause per frame so the refresh is watchable (0 = as fast as \
+                   the simulation runs).")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Render a single frame at the end of the run instead of refreshing — plain \
+                   output without ANSI control sequences, for CI and scripts.")
+  in
+  let run protocol app clients batch duration seed interval delay once =
+    let params =
+      { (H.Cluster.default_params protocol) with
+        H.Cluster.app;
+        batch_size = batch;
+        seed = Int64.of_int seed }
+    in
+    let flight = Splitbft_obs.Flight.create ~capacity:4096 () in
+    let cluster = H.Cluster.create ~flight params in
+    let detector = H.Detector.attach cluster in
+    let engine = H.Cluster.engine cluster in
+    let interval_us = Float.max 1_000.0 (interval *. 1_000.0) in
+    if not once then begin
+      (* A self-rescheduling frame event: the simulation advances between
+         frames, the terminal repaints in wall time. *)
+      let rec frame () =
+        print_string "\x1b[2J\x1b[H";
+        print_string (H.Dashboard.render ~detector cluster);
+        flush stdout;
+        if delay > 0.0 then begin
+          (* Busy-wait on processor time: no unix dependency for the CLI. *)
+          let t0 = Sys.time () in
+          while Sys.time () -. t0 < delay do () done
+        end;
+        ignore
+          (Splitbft_sim.Engine.schedule engine ~delay:interval_us ~label:"top:frame" frame)
+      in
+      ignore (Splitbft_sim.Engine.schedule engine ~delay:interval_us ~label:"top:frame" frame)
+    end;
+    let spec =
+      { H.Workload.default_spec with
+        H.Workload.clients;
+        warmup_us = 0.0;
+        duration_us = duration *. 1e6 }
+    in
+    let r = H.Workload.run cluster spec in
+    if not once then print_string "\x1b[2J\x1b[H";
+    print_string (H.Dashboard.render ~detector cluster);
+    Printf.printf "\nworkload: %s ops/s, mean latency %s, %d completed\n"
+      (H.Table.ops r.H.Workload.throughput_ops)
+      (H.Table.us r.H.Workload.mean_latency_us)
+      r.H.Workload.completed_total
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live refreshing health dashboard over a running cluster: per-replica view / \
+          executed prefix / utilization / ecall and retransmission rates, lane occupancy, \
+          knee proximity, and the anomaly detector's active alerts.")
+    Term.(const run $ protocol $ app_arg $ clients $ batch $ duration $ seed $ interval
+          $ delay $ once)
 
 (* ----- trace ----- *)
 
@@ -649,5 +771,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "splitbft_cli" ~doc)
-          [ run_cmd; openloop_cmd; scenario_cmd; scenarios_cmd; tcb_cmd; metrics_cmd; trace_cmd;
-            mc_cmd; replay_cmd ]))
+          [ run_cmd; openloop_cmd; scenario_cmd; scenarios_cmd; tcb_cmd; metrics_cmd; top_cmd;
+            trace_cmd; mc_cmd; replay_cmd ]))

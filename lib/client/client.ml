@@ -78,6 +78,12 @@ type t = {
   mutable completed : int;
   lat : Stats.t;
   mutable stopped : bool;
+  (* Divergence evidence (flight recorder only): winning results of recent
+     completions, so a corrupt replica's vote is flagged even when it
+     arrives after the honest f+1 quorum already answered the request.
+     Bounded FIFO; empty unless a flight recorder is attached. *)
+  recent : (int64, string) Hashtbl.t;
+  recent_order : int64 Queue.t;
   (* SplitBFT session state *)
   session : Session.keys;
   mutable exec_acks : Ids.replica_id list;
@@ -108,6 +114,8 @@ let create engine net cfg =
       completed = 0;
       lat = Stats.create ();
       stopped = false;
+      recent = Hashtbl.create 64;
+      recent_order = Queue.create ();
       session = Session.generate rng;
       exec_acks = [];
       provisioned = [] }
@@ -266,9 +274,33 @@ let submit t ~op ~on_result =
 
 (* ----- reply handling ----- *)
 
+(* The client is the natural witness for corrupt-result faults: it holds
+   the session keys, so it is the only party that can compare the f+1
+   decrypted votes.  When a flight recorder is attached, any validated
+   vote that disagrees with the quorum's winning result is recorded as
+   evidence against the replica that signed it — at completion time for
+   votes already in, and via [recent] for votes that straggle in after
+   the quorum answered.  Without a recorder this whole path is inert. *)
+let divergence_evidence t ~replica ~ts =
+  Engine.flight_record t.engine ~host:(Addr.replica replica) ~kind:"evidence"
+    ~detail:(Printf.sprintf "vote-divergence replica=%d client=%d ts=%Ld" replica t.cfg.id ts)
+
+let remember_result t ~ts ~result =
+  Hashtbl.replace t.recent ts result;
+  Queue.push ts t.recent_order;
+  if Queue.length t.recent_order > 512 then Hashtbl.remove t.recent (Queue.pop t.recent_order)
+
 let on_reply t (rp : Message.reply) =
   match Hashtbl.find_opt t.inflight rp.timestamp with
-  | None -> ()
+  | None ->
+    if Option.is_some (Engine.flight t.engine) then (
+      match Hashtbl.find_opt t.recent rp.timestamp with
+      | None -> ()
+      | Some winner -> (
+        match validate_reply t rp with
+        | Some r when not (String.equal r winner) ->
+          divergence_evidence t ~replica:rp.sender ~ts:rp.timestamp
+        | _ -> ()))
   | Some p -> (
     match validate_reply t rp with
     | None -> ()
@@ -281,6 +313,14 @@ let on_reply t (rp : Message.reply) =
         if matching >= t.cfg.reply_quorum then begin
           Hashtbl.remove t.inflight rp.timestamp;
           Timer.stop p.retry;
+          if Option.is_some (Engine.flight t.engine) then begin
+            List.iter
+              (fun (sender, r) ->
+                if not (String.equal r result) then
+                  divergence_evidence t ~replica:sender ~ts:rp.timestamp)
+              p.votes;
+            remember_result t ~ts:rp.timestamp ~result
+          end;
           t.completed <- t.completed + 1;
           let latency = Engine.now t.engine -. p.sent_at in
           Stats.add t.lat latency;

@@ -27,6 +27,7 @@ type t = {
   net : Network.t;
   enclave_of : Ids.compartment -> Enclave.t;
   loop : Resource.t;  (* the event-loop thread *)
+  threads : Resource.t list;  (* every distinct ecall thread, for crash quiesce *)
   thread_of : Ids.compartment -> int -> Resource.t;
       (* ecall thread per (compartment, lane): protocol messages of lane
          [l] — seqno [s] with [(s-1) mod lanes = l] — ride lane [l]'s
@@ -138,6 +139,9 @@ let route (msg : Message.t) : (Ids.compartment * Message.t) list =
   | Message.Session_ack _ ->
     []
 
+(* Flight-recorder shorthand: a no-op unless a recorder is attached. *)
+let flight t ~kind ~detail = Engine.flight_record t.engine ~host:(Addr.replica t.cfg.id) ~kind ~detail
+
 let loop_cost t payload_len =
   t.cfg.cost.broker_dispatch_us
   +. (t.cfg.cost.serialize_per_byte_us *. float_of_int payload_len)
@@ -220,6 +224,7 @@ let rec ecall t ?ctx ?body compartment (input : Wire.input) =
       if t.epoch = epoch && not t.crashed then begin
         Registry.incr (t.ecall_counter_of compartment);
         if t.lanes > 1 then Registry.incr t.c_lane_ecalls.(lane);
+        flight t ~kind:"ecall" ~detail:(Ids.compartment_name compartment);
         let enclave = t.enclave_of compartment in
         (* The payload is built in the broker's arena and handed over as
            the enclave's copy-in buffer — no per-ecall buffer growth. *)
@@ -358,6 +363,7 @@ and apply_output t origin ?ctx ?body (output : Wire.output) =
   | Wire.Out_entered_view v ->
     if v > t.view then begin
       t.view <- v;
+      flight t ~kind:"view" ~detail:(string_of_int v);
       (* Batches in flight under the deposed primary may never commit;
          drop the suppression state so retransmissions reach the new
          primary's queue. *)
@@ -368,12 +374,14 @@ and apply_output t origin ?ctx ?body (output : Wire.output) =
     end
   | Wire.Out_alert msg ->
     t.alerts <- msg :: t.alerts;
-    Registry.incr t.c_alerts
+    Registry.incr t.c_alerts;
+    flight t ~kind:"recovery-alert" ~detail:msg
   | Wire.Out_recovered ->
     if t.recovering then begin
       t.recovering <- false;
       t.recovered_count <- t.recovered_count + 1;
       Registry.set t.g_recovery_us (Engine.now t.engine -. t.recovery_started_at);
+      flight t ~kind:"recovered" ~detail:"";
       finish_span t t.recovery_span;
       t.recovery_span <- -1;
       t.recovery_ctx <- None
@@ -526,13 +534,13 @@ let create engine net (cfg : Config.t) ~enclave_of =
   if cfg.lanes < 1 then invalid_arg "Broker.create: lanes must be >= 1";
   let lanes = cfg.lanes in
   let loop = Resource.create engine ~name:(Printf.sprintf "broker%d-loop" cfg.id) in
-  let thread_of =
+  let thread_of, threads =
     match cfg.threading with
     | Config.Single_thread ->
       let shared =
         Resource.create engine ~name:(Printf.sprintf "broker%d-ecall" cfg.id)
       in
-      fun (_ : Ids.compartment) (_ : int) -> shared
+      ((fun (_ : Ids.compartment) (_ : int) -> shared), [ shared ])
     | Config.Per_enclave ->
       (* One thread per (compartment, lane); at lanes = 1 the resource
          names match the historical single-pipeline layout exactly. *)
@@ -551,7 +559,8 @@ let create engine net (cfg : Config.t) ~enclave_of =
                   Resource.create engine ~name) ))
           Ids.all_compartments
       in
-      fun c l -> (List.assoc c table).(l)
+      ( (fun c l -> (List.assoc c table).(l)),
+        List.concat_map (fun (_, arr) -> Array.to_list arr) table )
   in
   let c_lane_ecalls =
     if lanes = 1 then [||]
@@ -568,6 +577,7 @@ let create engine net (cfg : Config.t) ~enclave_of =
         net;
         enclave_of;
         loop;
+        threads;
         thread_of;
         lanes;
         next_batch_lane = 0;
@@ -593,6 +603,7 @@ let create engine net (cfg : Config.t) ~enclave_of =
               let t = Lazy.force t in
               if Hashtbl.length t.awaiting > 0 then begin
                 Registry.incr t.c_suspect_firings;
+                flight t ~kind:"suspect" ~detail:(string_of_int t.view);
                 (* View changes are always-sampled: give the suspicion a
                    forced root so the whole protocol cascade it triggers
                    is traceable even under 1-in-N sampling. *)
@@ -674,10 +685,15 @@ let set_fault t fault = t.fault <- fault
 
 let crash t =
   t.crashed <- true;
+  flight t ~kind:"crash" ~detail:"";
   (* Quiesce: bump the incarnation so in-flight completions die on arrival,
      stop the timers and drop queued host-side work.  Storage survives —
      it is the (untrusted) disk recovery will read from. *)
   t.epoch <- t.epoch + 1;
+  (* Stale-gauge reset: the dead incarnation's queue depths must not
+     survive into dashboard samples taken while the host is down. *)
+  Resource.quiesce t.loop;
+  List.iter Resource.quiesce t.threads;
   Timer.stop t.batch_timer;
   Timer.stop t.suspect_timer;
   t.suspect_delay_us <- t.cfg.suspect_timeout_us;
@@ -704,6 +720,11 @@ let restart t =
     t.recovering <- true;
     t.recovery_started_at <- Engine.now t.engine;
     Registry.incr t.c_restarts;
+    (* The recovery-duration gauge still holds the previous incarnation's
+       measurement; zero it so the dashboard shows "in progress", not a
+       stale completed recovery. *)
+    Registry.set t.g_recovery_us 0.0;
+    flight t ~kind:"restart" ~detail:"";
     (* Recovery is always-sampled; the root span stays open until
        Out_recovered so its duration is the measured recovery time. *)
     (match forced_root t ~name:"recovery" ~cat:"broker.recovery" with

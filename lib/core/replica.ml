@@ -81,7 +81,11 @@ let persisted t = Broker.persisted t.broker
 let prep_probe t = t.prep_probe
 let conf_probe t = t.conf_probe
 let exec_probe t = t.exec_probe
-let crash_host t = Broker.crash t.broker
+let crash_host t =
+  Broker.crash t.broker;
+  (* The host's enclaves stop receiving ecalls with it; reset their pool
+     backlog gauges so no dashboard sample shows the dead incarnation. *)
+  List.iter (fun c -> Enclave.quiesce (enclave t c)) Ids.all_compartments
 let host_crashed t = Broker.is_crashed t.broker
 let set_env_fault t fault = Broker.set_fault t.broker fault
 let crash_enclave t compartment = Enclave.crash (enclave t compartment)

@@ -57,8 +57,8 @@ let shared_of_params params : Proto.shared =
     suspect_timeout_us = params.suspect_timeout_us;
     cost = params.cost }
 
-let create ?tracer params =
-  let engine = Engine.create ~seed:params.seed ?tracer () in
+let create ?tracer ?flight params =
+  let engine = Engine.create ~seed:params.seed ?tracer ?flight () in
   let net = Network.create engine params.net in
   let ctx = Proto.context engine net in
   let shared = shared_of_params params in
@@ -72,6 +72,7 @@ let params t = t.params
 let engine t = t.engine
 let network t = t.net
 let obs t = Engine.obs t.engine
+let flight t = Engine.flight t.engine
 let nodes t = t.nodes
 let node t i = List.nth t.nodes i
 let protocol_name t = Proto.name t.params.protocol
@@ -92,8 +93,17 @@ let last_executed_of = Proto.last_executed
 let executed_count_of = Proto.executed_count
 let app_digest_of = Proto.app_digest
 let view_of = Proto.view
-let crash_host t i = Proto.crash_host (node t i)
-let restart_host t i = Proto.restart_host (node t i)
+(* Flight events here (not only in protocol internals) so observers get a
+   protocol-agnostic crash/restart record for every catalogued protocol. *)
+let crash_host t i =
+  Engine.flight_record t.engine ~host:(Splitbft_types.Addr.replica i) ~kind:"host-crash"
+    ~detail:"";
+  Proto.crash_host (node t i)
+
+let restart_host t i =
+  Engine.flight_record t.engine ~host:(Splitbft_types.Addr.replica i)
+    ~kind:"host-restart" ~detail:"";
+  Proto.restart_host (node t i)
 let tamper_checkpoint_counter t i = Proto.tamper_checkpoint_counter (node t i)
 let recovered_of = Proto.recovered
 let recovery_alerts_of = Proto.recovery_alerts

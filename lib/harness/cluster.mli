@@ -35,18 +35,24 @@ type node = Proto.packed
 
 type t
 
-val create : ?tracer:Splitbft_obs.Tracer.t -> params -> t
+val create : ?tracer:Splitbft_obs.Tracer.t -> ?flight:Splitbft_obs.Flight.t -> params -> t
 (** Deploys [n] replicas through the protocol's [spawn].  Byzantine
     behaviour is part of the protocol instance (compromised-at-deployment);
     build one with e.g. [Proto_splitbft.make ~byz] or
     [Proto_pbft.make ~byzantine].  [tracer], when given, is installed on
     the engine: clients open root spans per sampled request and every hop
     (broker dispatch, enclave transition, baseline handler) records
-    parent-linked spans with cost attribution. *)
+    parent-linked spans with cost attribution.  [flight], when given, is
+    likewise installed on the engine: brokers, clients and the detector
+    append structured events (ecalls, view entries, suspicion, crashes,
+    evidence, alerts) to it, dumpable via [Flight.save] on failure. *)
 
 val params : t -> params
 val engine : t -> Splitbft_sim.Engine.t
 val network : t -> Splitbft_sim.Network.t
+
+val flight : t -> Splitbft_obs.Flight.t option
+(** The flight recorder passed to {!create}, if any. *)
 
 (** The deployment's metrics registry (owned by the engine): enclave
     transition/copy counters, per-link network traffic, broker batching,

@@ -1,0 +1,173 @@
+module Engine = Splitbft_sim.Engine
+module Health = Splitbft_obs.Health
+module Ids = Splitbft_types.Ids
+
+(* The serial resource that saturates first is protocol-specific: the
+   untrusted broker loop for SplitBFT, the single core for the
+   baselines.  Utilization of the busiest one is the knee proximity. *)
+let main_resource_name protocol i =
+  match protocol with
+  | "splitbft" -> Printf.sprintf "broker%d-loop" i
+  | "pbft" -> Printf.sprintf "pbft%d-core" i
+  | "minbft" -> Printf.sprintf "minbft%d-core" i
+  | _ -> Printf.sprintf "%s%d-core" protocol i
+
+let utilization health ~resource =
+  match Health.rate health ~labels:[ ("resource", resource) ] "resource.busy_us" with
+  | Some r -> Some (r /. 1_000_000.0)  (* busy µs per wall second -> fraction *)
+  | None -> None
+
+let fmt_opt f = function None -> "-" | Some v -> f v
+let fmt_pct v = Printf.sprintf "%.0f%%" (100.0 *. Float.min 1.0 (Float.max 0.0 v))
+let fmt_rate v = if v >= 10_000.0 then Printf.sprintf "%.1fk/s" (v /. 1_000.0) else Printf.sprintf "%.0f/s" v
+
+let replica_labels i = [ ("replica", string_of_int i) ]
+
+let ecall_rate health i =
+  let any = ref false in
+  let total =
+    List.fold_left
+      (fun acc c ->
+        match
+          Health.rate health
+            ~labels:(replica_labels i @ [ ("compartment", Ids.compartment_name c) ])
+            "broker.ecalls"
+        with
+        | Some r ->
+          any := true;
+          acc +. r
+        | None -> acc)
+      0.0 Ids.all_compartments
+  in
+  if !any then Some total else None
+
+let retx_rate health i =
+  let get name = Health.rate health ~labels:(replica_labels i) name in
+  match (get "broker.retx_suppressed", get "broker.retx_replayed") with
+  | None, None -> None
+  | a, b -> Some (Option.value a ~default:0.0 +. Option.value b ~default:0.0)
+
+let lane_row health ~lanes i =
+  let deltas =
+    List.init lanes (fun l ->
+        Health.delta health
+          ~labels:(replica_labels i @ [ ("lane", string_of_int l) ])
+          "broker.lane_ecalls"
+        |> Option.value ~default:0.0)
+  in
+  let total = List.fold_left ( +. ) 0.0 deltas in
+  if total <= 0.0 then None
+  else
+    Some
+      (String.concat "/"
+         (List.map (fun d -> Printf.sprintf "%.0f%%" (100.0 *. d /. total)) deltas))
+
+let render ?detector ?health ?(max_alerts = 8) cluster =
+  let params = Cluster.params cluster in
+  let health =
+    match (health, detector) with
+    | Some h, _ -> Some h
+    | None, Some d -> Some (Detector.health d)
+    | None, None -> None
+  in
+  let windowed =
+    match health with Some h -> Health.samples h >= 2 | None -> false
+  in
+  let rate_of f = if windowed then f (Option.get health) else None in
+  let protocol = Cluster.protocol_name cluster in
+  let buf = Buffer.create 1024 in
+  let now = Engine.now (Cluster.engine cluster) in
+  Buffer.add_string buf
+    (Printf.sprintf "%s  n=%d  t=%.1fms%s\n" protocol params.Cluster.n (now /. 1_000.0)
+       (match health with
+       | Some h when windowed ->
+         Printf.sprintf "  window=%.0fms"
+           (Option.value (Health.span_us h) ~default:0.0 /. 1_000.0)
+       | _ -> "  (warming up)"));
+  (* Per-replica health table. *)
+  let rows =
+    List.mapi
+      (fun i node ->
+        let util = rate_of (fun h -> utilization h ~resource:(main_resource_name protocol i)) in
+        [ string_of_int i;
+          string_of_int (Cluster.view_of node);
+          string_of_int (Cluster.executed_count_of node);
+          fmt_opt fmt_pct util;
+          fmt_opt fmt_rate (rate_of (fun h -> ecall_rate h i));
+          fmt_opt fmt_rate (rate_of (fun h -> retx_rate h i));
+          fmt_opt
+            (fun v -> Printf.sprintf "%.0f" v)
+            (rate_of (fun h -> Health.latest h ~labels:(replica_labels i) "broker.suspect_firings")) ])
+      (Cluster.nodes cluster)
+  in
+  Buffer.add_string buf
+    (Table.render
+       ~header:[ "replica"; "view"; "executed"; "busy"; "ecalls"; "retx"; "suspect" ]
+       ~rows);
+  (* Lane occupancy (multi-lane SplitBFT deployments only). *)
+  (match rate_of (fun h ->
+       let rows =
+         List.filter_map
+           (fun i ->
+             (* Probe increasing lane ids until the metric disappears. *)
+             let rec lanes l = if l >= 64 then l
+               else
+                 match
+                   Health.latest h
+                     ~labels:(replica_labels i @ [ ("lane", string_of_int l) ])
+                     "broker.lane_ecalls"
+                 with
+                 | Some _ -> lanes (l + 1)
+                 | None -> l
+             in
+             let nl = lanes 0 in
+             if nl <= 1 then None
+             else
+               Option.map
+                 (fun s -> [ string_of_int i; s ])
+                 (lane_row h ~lanes:nl i))
+           (List.init params.Cluster.n Fun.id)
+       in
+       if rows = [] then None else Some rows)
+   with
+  | Some rows ->
+    Buffer.add_string buf "\nlane occupancy (ecall share per lane)\n";
+    Buffer.add_string buf (Table.render ~header:[ "replica"; "lanes" ] ~rows)
+  | _ -> ());
+  (* Knee proximity: the busiest serial resource across the deployment. *)
+  (match rate_of (fun h ->
+       List.fold_left
+         (fun acc i ->
+           let name = main_resource_name protocol i in
+           match utilization h ~resource:name with
+           | Some u -> (
+             match acc with
+             | Some (_, best) when best >= u -> acc
+             | _ -> Some (name, u))
+           | None -> acc)
+         None
+         (List.init params.Cluster.n Fun.id))
+   with
+  | Some (name, u) ->
+    Buffer.add_string buf
+      (Printf.sprintf "\nknee proximity: %s (bottleneck %s)\n" (fmt_pct u) name)
+  | _ -> ());
+  (* Active alerts. *)
+  (match detector with
+  | None -> ()
+  | Some d ->
+    let alerts = Detector.alerts d in
+    let count = List.length alerts in
+    if count = 0 then Buffer.add_string buf "\nalerts: none\n"
+    else begin
+      Buffer.add_string buf (Printf.sprintf "\nalerts (%d):\n" count);
+      let tail =
+        if count <= max_alerts then alerts
+        else
+          List.filteri (fun i _ -> i >= count - max_alerts) alerts
+      in
+      List.iter
+        (fun a -> Buffer.add_string buf ("  " ^ Detector.describe a ^ "\n"))
+        tail
+    end);
+  Buffer.contents buf

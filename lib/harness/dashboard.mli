@@ -1,0 +1,25 @@
+(** Live text dashboard over a running cluster: the renderer behind
+    [splitbft_cli top].
+
+    Pure with respect to the simulation: it reads probes, a {!Health}
+    sampler and (optionally) a {!Detector}, and returns a string — no
+    metrics are registered, no events scheduled, so rendering (or not)
+    never perturbs a run.  The CLI wraps it in an ANSI refresh loop;
+    tests assert on the returned string directly. *)
+
+val render :
+  ?detector:Detector.t ->
+  ?health:Splitbft_obs.Health.t ->
+  ?max_alerts:int ->
+  Cluster.t ->
+  string
+(** Per-replica health (view, executed prefix, main-loop utilization,
+    ecall and retransmission rates, suspicion count), per-lane ecall
+    shares when the deployment runs multiple lanes, knee proximity (the
+    busiest serial resource's utilization — how close the deployment is
+    to its saturation knee), and the detector's active alerts
+    ([max_alerts] most recent, default 8).
+
+    Windowed rates come from [health]; when absent, the [detector]'s own
+    sampler is used, and with neither (or fewer than two samples) rate
+    columns render as ["-"]. *)

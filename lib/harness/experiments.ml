@@ -29,9 +29,11 @@ let pbft_params ~batched ~app ~seed =
    (meaningless — [None] — under any other protocol). *)
 let leader_split cluster = Proto_splitbft.replica_of (Cluster.node cluster 0)
 
-let measure ?(at_warmup = fun (_ : Cluster.t) -> ()) params ~clients ~window ~warmup_us
+let measure ?flight ?(prepare = fun (_ : Cluster.t) -> ())
+    ?(at_warmup = fun (_ : Cluster.t) -> ()) params ~clients ~window ~warmup_us
     ~duration_us =
-  let cluster = Cluster.create params in
+  let cluster = Cluster.create ?flight params in
+  prepare cluster;
   let spec =
     { Workload.default_spec with
       Workload.clients;
@@ -346,7 +348,7 @@ type hotpath_point = {
   hp_retx_suppressed : float;
 }
 
-let hotpath_point ~batch ~cache ~churn =
+let hotpath_point ?(detect = false) ~batch ~cache ~churn () =
   let executed_at_warmup = ref 0 in
   let at_warmup cluster =
     (match leader_split cluster with
@@ -374,7 +376,14 @@ let hotpath_point ~batch ~cache ~churn =
   in
   let warmup_us = if churn then 300_000.0 else 200_000.0 in
   let duration_us = if churn then 1_600_000.0 else 400_000.0 in
-  let cluster, r = measure ~at_warmup params ~clients:40 ~window:40 ~warmup_us ~duration_us in
+  (* The detect arm carries the full observer stack — flight recorder
+     plus attached anomaly detector — so the gated throughput delta
+     against the plain point is the whole detectors-on bill. *)
+  let flight = if detect then Some (Splitbft_obs.Flight.create ~capacity:4096 ()) else None in
+  let prepare cluster = if detect then ignore (Detector.attach cluster) in
+  let cluster, r =
+    measure ?flight ~prepare ~at_warmup params ~clients:40 ~window:40 ~warmup_us ~duration_us
+  in
   let per_req =
     (* Leader-side ecall time per executed request, as in the batch
        ablation.  In churn arms the view-0 leader spends part of the run
@@ -393,9 +402,10 @@ let hotpath_point ~batch ~cache ~churn =
   let obs = Cluster.obs cluster in
   let sum prefix = Splitbft_obs.Registry.sum obs ~prefix in
   { hp_label =
-      Printf.sprintf "batch%d%s%s" batch
+      Printf.sprintf "batch%d%s%s%s" batch
         (if cache then "" else "-nocache")
-        (if churn then "-churn" else "");
+        (if churn then "-churn" else "")
+        (if detect then "-detect" else "");
     hp_batch = batch;
     hp_cache = cache;
     hp_churn = churn;
@@ -409,8 +419,11 @@ let hotpath_point ~batch ~cache ~churn =
 let hotpath ?(batches = [ 1; 50; 200 ]) () =
   List.concat_map
     (fun cache ->
-      List.map (fun batch -> hotpath_point ~batch ~cache ~churn:false) batches
-      @ [ hotpath_point ~batch:200 ~cache ~churn:true ])
+      List.map (fun batch -> hotpath_point ~batch ~cache ~churn:false ()) batches
+      @ [ hotpath_point ~batch:200 ~cache ~churn:true () ]
+      (* detectors-on twin of the saturated batch200 point: the CI gate
+         holds its throughput within 3% of the plain one *)
+      @ (if cache then [ hotpath_point ~detect:true ~batch:200 ~cache ~churn:false () ] else []))
     [ true; false ]
 
 let print_hotpath points =

@@ -21,7 +21,8 @@ type scenario = {
   protocol : Proto.t;
   expected : expectation;
   honest : int list;
-  make : ?tracer:Splitbft_obs.Tracer.t -> int64 -> Cluster.t;
+  make :
+    ?tracer:Splitbft_obs.Tracer.t -> ?flight:Splitbft_obs.Flight.t -> int64 -> Cluster.t;
   inject : Cluster.t -> unit;
   duration_us : float;
   min_completed : int;
@@ -62,16 +63,16 @@ let restart_at cluster ~delay i =
     (Engine.schedule (Cluster.engine cluster) ~delay ~label:"scenario:restart" (fun () ->
          Cluster.restart_host cluster i))
 
-let make_simple protocol ?tracer seed =
-  Cluster.create ?tracer
+let make_simple protocol ?tracer ?flight seed =
+  Cluster.create ?tracer ?flight
     { (Cluster.default_params protocol) with
       Cluster.seed;
       suspect_timeout_us = 250_000.0 }
 
 (* Recovery rows checkpoint aggressively so a sealed image exists before the
    400 ms crash point. *)
-let make_recovery protocol ?tracer seed =
-  Cluster.create ?tracer
+let make_recovery protocol ?tracer ?flight seed =
+  Cluster.create ?tracer ?flight
     { (Cluster.default_params protocol) with
       Cluster.seed;
       suspect_timeout_us = 250_000.0;
@@ -105,8 +106,8 @@ let check_rollback_refused i cluster =
     | [] -> Some (Printf.sprintf "replica %d refused silently (no alert)" i)
     | _ -> None
 
-let splitbft_with ?tracer seed byz_of =
-  Cluster.create ?tracer
+let splitbft_with ?tracer ?flight seed byz_of =
+  Cluster.create ?tracer ?flight
     { (Cluster.default_params (Proto_splitbft.make ~byz:byz_of ())) with
       Cluster.seed;
       suspect_timeout_us = 250_000.0 }
@@ -257,8 +258,8 @@ let specific =
       expected = tolerate;
       honest = [ 0; 1; 3 ];
       make =
-        (fun ?tracer seed ->
-          splitbft_with ?tracer seed (fun i ->
+        (fun ?tracer ?flight seed ->
+          splitbft_with ?tracer ?flight seed (fun i ->
               match i with
               | 0 ->
                 { Proto_splitbft.honest_enclaves with
@@ -280,8 +281,8 @@ let specific =
       expected = unsafe tolerate;
       honest = [ 2; 3 ];
       make =
-        (fun ?tracer seed ->
-          splitbft_with ?tracer seed (fun i ->
+        (fun ?tracer ?flight seed ->
+          splitbft_with ?tracer ?flight seed (fun i ->
               if i <= 1 then
                 { Proto_splitbft.honest_enclaves with
                   Proto_splitbft.exec = Execution.Exec_corrupt }
@@ -296,8 +297,8 @@ let specific =
       expected = { exp_live = true; exp_safe = true; exp_confidential = false };
       honest = [ 1; 2; 3 ];
       make =
-        (fun ?tracer seed ->
-          splitbft_with ?tracer seed (fun i ->
+        (fun ?tracer ?flight seed ->
+          splitbft_with ?tracer ?flight seed (fun i ->
               if i = 0 then
                 { Proto_splitbft.honest_enclaves with
                   Proto_splitbft.exec = Execution.Exec_leak }
@@ -349,10 +350,15 @@ type outcome = {
   verdict : Safety.verdict;
   workload : Workload.result;
   check_failure : string option;
+  alerts : Detector.alert list;
 }
 
-let run ?(seed = 42L) ?tracer scenario =
-  let cluster = scenario.make ?tracer seed in
+let run ?(seed = 42L) ?tracer ?(detect = false) scenario =
+  let flight =
+    if detect then Some (Splitbft_obs.Flight.create ~capacity:4096 ()) else None
+  in
+  let cluster = scenario.make ?tracer ?flight seed in
+  let detector = if detect then Some (Detector.attach cluster) else None in
   let scanner = Safety.install_scanner cluster in
   scenario.inject cluster;
   let spec =
@@ -367,7 +373,31 @@ let run ?(seed = 42L) ?tracer scenario =
       ~min_completed:scenario.min_completed
   in
   let check_failure = scenario.check cluster in
-  { scenario; cluster; verdict; workload; check_failure }
+  let alerts = match detector with Some d -> Detector.alerts d | None -> [] in
+  { scenario; cluster; verdict; workload; check_failure; alerts }
+
+let anomalous o =
+  let e = o.scenario.expected and v = o.verdict in
+  o.alerts <> [] || o.check_failure <> None
+  || e.exp_live <> v.Safety.live
+  || e.exp_safe <> v.Safety.safe
+  || e.exp_confidential <> v.Safety.confidential
+
+(* Flight-recorder artifact, dumped next to the model checker's
+   counterexample schedules whenever a detect-mode row misbehaves or the
+   detector fired.  Returns the path written, [None] when the run had no
+   recorder attached. *)
+let dump_flight ~dir o =
+  match Cluster.flight o.cluster with
+  | None -> None
+  | Some fl ->
+    let slug =
+      String.map (fun c -> if c = '/' then '-' else c) o.scenario.id
+    in
+    let path = Filename.concat dir (slug ^ "-flight.txt") in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    Splitbft_obs.Flight.save ~path fl;
+    Some path
 
 let matches_expectation o =
   let e = o.scenario.expected and v = o.verdict in

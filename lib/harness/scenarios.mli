@@ -24,7 +24,8 @@ type scenario = {
   protocol : Cluster.Proto.t;
   expected : expectation;
   honest : int list;  (** replicas whose execution state must agree *)
-  make : ?tracer:Splitbft_obs.Tracer.t -> int64 -> Cluster.t;
+  make :
+    ?tracer:Splitbft_obs.Tracer.t -> ?flight:Splitbft_obs.Flight.t -> int64 -> Cluster.t;
   inject : Cluster.t -> unit;  (** post-creation fault injection *)
   duration_us : float;
   min_completed : int;  (** liveness threshold *)
@@ -45,11 +46,28 @@ type outcome = {
   verdict : Safety.verdict;
   workload : Workload.result;
   check_failure : string option;  (** [scenario.check] result *)
+  alerts : Detector.alert list;
+      (** the anomaly detector's alerts, in detection order; always empty
+          when the run was made without [~detect] *)
 }
 
-val run : ?seed:int64 -> ?tracer:Splitbft_obs.Tracer.t -> scenario -> outcome
+val run :
+  ?seed:int64 -> ?tracer:Splitbft_obs.Tracer.t -> ?detect:bool -> scenario -> outcome
 (** [tracer], when given, is installed on the scenario's cluster engine so
-    the run emits causal spans (see {!Trace_report}). *)
+    the run emits causal spans (see {!Trace_report}).  [detect] (default
+    false) additionally attaches a flight recorder and a {!Detector}
+    before injection, populating [alerts]; a run without it is
+    byte-identical to one before the detector existed. *)
+
+val anomalous : outcome -> bool
+(** The row missed its expectation, failed its check, or raised alerts. *)
+
+val dump_flight : dir:string -> outcome -> string option
+(** Writes the run's flight recording as a [splitbft-flight v1] artifact
+    ([<dir>/<scenario-id>-flight.txt], slashes flattened), creating [dir]
+    if needed; [None] when the run carried no recorder.  CI calls this on
+    {!anomalous} detect-mode rows, next to the chaos counterexample
+    schedules. *)
 
 val matches_expectation : outcome -> bool
 

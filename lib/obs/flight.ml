@@ -1,0 +1,107 @@
+type event = { at : float; host : int; kind : string; detail : string }
+
+type t = {
+  cap : int;
+  ring : event option array;
+  mutable next : int;  (* write cursor = recorded mod cap *)
+  mutable total : int;
+  mutable listeners : (event -> unit) list;  (* reverse registration order *)
+}
+
+let create ?(capacity = 1024) () =
+  let cap = max 1 capacity in
+  { cap; ring = Array.make cap None; next = 0; total = 0; listeners = [] }
+
+let capacity t = t.cap
+let recorded t = t.total
+let dropped t = t.total - min t.total t.cap
+
+let record t ~at ~host ~kind ~detail =
+  let ev = { at; host; kind; detail } in
+  t.ring.(t.next) <- Some ev;
+  t.next <- (t.next + 1) mod t.cap;
+  t.total <- t.total + 1;
+  List.iter (fun f -> f ev) (List.rev t.listeners)
+
+let on_event t f = t.listeners <- f :: t.listeners
+
+let events t =
+  let n = min t.total t.cap in
+  let start = if t.total <= t.cap then 0 else t.next in
+  List.init n (fun i ->
+      match t.ring.((start + i) mod t.cap) with
+      | Some ev -> ev
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.ring 0 t.cap None;
+  t.next <- 0;
+  t.total <- 0
+
+(* ----- artifact ----------------------------------------------------- *)
+
+let header = "splitbft-flight v1"
+
+let flatten s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let to_string t =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  line "%s" header;
+  line "capacity %d" t.cap;
+  line "recorded %d" t.total;
+  line "dropped %d" (dropped t);
+  List.iter
+    (fun ev -> line "event %.3f %d %s %s" ev.at ev.host (flatten ev.kind) (flatten ev.detail))
+    (events t);
+  Buffer.contents b
+
+let ( let* ) = Result.bind
+
+let parse_event_line n rest =
+  (* <at> <host> <kind> <detail...>; detail may be empty and may contain
+     spaces. *)
+  let err () = Error (Printf.sprintf "line %d: bad event %S" n rest) in
+  match String.split_on_char ' ' rest with
+  | at :: host :: kind :: detail -> (
+    match (float_of_string_opt at, int_of_string_opt host) with
+    | Some at, Some host when kind <> "" ->
+      Ok { at; host; kind; detail = String.concat " " detail }
+    | _ -> err ())
+  | _ -> err ()
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> not (String.equal l ""))
+  in
+  match lines with
+  | [] -> Error "empty flight artifact"
+  | first :: rest when String.equal first header ->
+    let rec go n acc = function
+      | [] -> Ok (List.rev acc)
+      | l :: tl -> (
+        match String.index_opt l ' ' with
+        | None -> Error (Printf.sprintf "line %d: bad field %S" n l)
+        | Some i -> (
+          let k = String.sub l 0 i
+          and v = String.sub l (i + 1) (String.length l - i - 1) in
+          match k with
+          | "capacity" | "recorded" | "dropped" -> go (n + 1) acc tl
+          | "event" ->
+            let* ev = parse_event_line n v in
+            go (n + 1) (ev :: acc) tl
+          | other -> Error (Printf.sprintf "line %d: unknown field %S" n other)))
+    in
+    go 2 [] rest
+  | first :: _ -> Error (Printf.sprintf "not a flight artifact (header %S)" first)
+
+let save ~path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error e -> Error e

@@ -1,0 +1,69 @@
+(** Bounded flight recorder: a ring of recent structured events.
+
+    One recorder rides along a simulation (carried by the engine, like the
+    tracer) and components append cheap structured events to it — ecall
+    issues, view entries, suspicion transitions, crash/restart/recovery,
+    detector alerts, protocol evidence.  The ring is bounded, so a
+    week-long run keeps only the most recent [capacity] events; on a
+    safety violation, crash or alert the ring is dumped as a replayable
+    line-based artifact ("splitbft-flight v1") next to the
+    [splitbft-schedule v1] counterexample artifacts.
+
+    Recording is a pure in-memory side effect: no engine events are
+    scheduled and no metrics are registered, so a run with a recorder
+    attached is byte-identical (metrics, schedules, RNG) to one without. *)
+
+type event = {
+  at : float;  (** virtual time, µs *)
+  host : int;  (** simulated host address; [-1] = cluster-wide / harness *)
+  kind : string;  (** short machine token, no spaces ("ecall", "alert", ...) *)
+  detail : string;  (** free-form; newlines are flattened on dump *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh recorder keeping the most recent [capacity] (default 1024,
+    minimum 1) events. *)
+
+val capacity : t -> int
+
+val record : t -> at:float -> host:int -> kind:string -> detail:string -> unit
+(** Appends an event, evicting the oldest when full, and invokes every
+    {!on_event} listener with it. *)
+
+val on_event : t -> (event -> unit) -> unit
+(** Registers a listener called synchronously on every {!record} (after
+    the event is stored).  Listeners fire in registration order. *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val recorded : t -> int
+(** Total events ever recorded (retained + evicted). *)
+
+val dropped : t -> int
+(** Events evicted by the ring bound: [recorded - min recorded capacity]. *)
+
+val clear : t -> unit
+(** Empties the ring and resets the counters; listeners stay installed. *)
+
+(** {2 Artifact}
+
+    Line-based dump, replay-loadable, mirroring [splitbft-schedule v1]:
+    a header line, [capacity]/[recorded]/[dropped] fields, then one
+    [event <at> <host> <kind> <detail>] line per retained event, oldest
+    first. *)
+
+val header : string
+(** ["splitbft-flight v1"]. *)
+
+val to_string : t -> string
+
+val of_string : string -> (event list, string) result
+(** Parses a dump back into its retained events (oldest first). *)
+
+val save : path:string -> t -> unit
+
+val load : string -> (event list, string) result
+(** Reads and parses the artifact at [path]. *)

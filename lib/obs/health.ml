@@ -1,0 +1,94 @@
+type snapshot = { at : float; values : (string, float) Hashtbl.t }
+
+type t = {
+  registry : Registry.t;
+  window : int;
+  mutable snaps : snapshot list;  (* newest first, length <= window *)
+}
+
+let create ?(window = 16) registry = { registry; window = max 2 window; snaps = [] }
+
+(* Same key scheme as the registry itself: name + normalized labels,
+   rebuilt here because the registry's key function is private. *)
+let key name labels =
+  let labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf name;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf '\x00';
+      Buffer.add_string buf k;
+      Buffer.add_char buf '\x01';
+      Buffer.add_string buf v)
+    labels;
+  Buffer.contents buf
+
+let take n l =
+  let rec go acc n = function
+    | x :: tl when n > 0 -> go (x :: acc) (n - 1) tl
+    | _ -> List.rev acc
+  in
+  go [] n l
+
+let sample t ~at =
+  let values = Hashtbl.create 128 in
+  Registry.fold t.registry ~init:() ~f:(fun () ~name ~labels ~kind:_ ~value ->
+      Hashtbl.replace values (key name labels) value);
+  t.snaps <- take t.window ({ at; values } :: t.snaps)
+
+let samples t = List.length t.snaps
+
+let newest t = match t.snaps with [] -> None | s :: _ -> Some s
+
+let oldest t =
+  match t.snaps with
+  | [] | [ _ ] -> None
+  | _ :: _ -> Some (List.nth t.snaps (List.length t.snaps - 1))
+
+let span_us t =
+  match (newest t, oldest t) with
+  | Some n, Some o -> Some (n.at -. o.at)
+  | _ -> None
+
+let latest t ?(labels = []) name =
+  match newest t with
+  | None -> None
+  | Some s -> Hashtbl.find_opt s.values (key name labels)
+
+let delta t ?(labels = []) name =
+  match (newest t, oldest t) with
+  | Some n, Some o -> (
+    let k = key name labels in
+    match (Hashtbl.find_opt n.values k, Hashtbl.find_opt o.values k) with
+    | Some nv, Some ov -> Some (nv -. ov)
+    (* Registered after the oldest snapshot: it started from zero. *)
+    | Some nv, None -> Some nv
+    | _ -> None)
+  | _ -> None
+
+let per_second t d =
+  match span_us t with
+  | Some span when span > 0.0 -> Some (d /. span *. 1e6)
+  | _ -> None
+
+let rate t ?(labels = []) name =
+  match delta t ~labels name with
+  | None -> None
+  | Some d -> per_second t d
+
+let sum_prefix s ~prefix =
+  let plen = String.length prefix in
+  Hashtbl.fold
+    (fun k v acc ->
+      if String.length k >= plen && String.sub k 0 plen = prefix then acc +. v else acc)
+    s.values 0.0
+
+let delta_sum t ~prefix =
+  match (newest t, oldest t) with
+  | Some n, Some o -> Some (sum_prefix n ~prefix -. sum_prefix o ~prefix)
+  | _ -> None
+
+let rate_sum t ~prefix =
+  match delta_sum t ~prefix with
+  | None -> None
+  | Some d -> per_second t d

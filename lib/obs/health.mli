@@ -1,0 +1,47 @@
+(** Windowed sliding aggregates over a {!Registry}.
+
+    A sampler snapshots every registered metric's [fold]-style value (the
+    counter/gauge value, or the observation count for histograms and
+    summaries) at caller-chosen instants and keeps the most recent
+    [window] snapshots.  Queries compare the newest and oldest retained
+    snapshots, giving online windowed rates and deltas without touching
+    the metrics themselves — the sampler is a passive reader, it registers
+    nothing and perturbs nothing.
+
+    All queries return [None] (never nan) when the window holds too few
+    samples or the metric is absent, per the empty-window guard rule. *)
+
+type t
+
+val create : ?window:int -> Registry.t -> t
+(** Sampler over [registry] retaining the newest [window] (default 16,
+    minimum 2) snapshots. *)
+
+val sample : t -> at:float -> unit
+(** Takes a snapshot of every metric at virtual time [at] µs.  Samples
+    must be taken with non-decreasing [at]. *)
+
+val samples : t -> int
+(** Snapshots currently retained ([<= window]). *)
+
+val span_us : t -> float option
+(** Virtual time covered by the retained window (newest [at] - oldest
+    [at]); [None] with fewer than two samples. *)
+
+val latest : t -> ?labels:Registry.labels -> string -> float option
+(** The metric's value in the newest snapshot. *)
+
+val delta : t -> ?labels:Registry.labels -> string -> float option
+(** Newest minus oldest retained value; [None] with fewer than two
+    samples or if the metric is missing from either snapshot. *)
+
+val rate : t -> ?labels:Registry.labels -> string -> float option
+(** {!delta} per second of virtual time; [None] when {!delta} is [None]
+    or the window spans zero time. *)
+
+val delta_sum : t -> prefix:string -> float option
+(** Windowed delta of the sum of all metrics whose name starts with
+    [prefix] (e.g. every replica's [tee.ecalls]). *)
+
+val rate_sum : t -> prefix:string -> float option
+(** {!delta_sum} per second of virtual time. *)

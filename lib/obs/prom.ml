@@ -1,0 +1,121 @@
+(* Prometheus exposition built from the documented snapshot schema
+   (Registry.to_json: {"schema"; "metrics": [{name; type; labels; ...}]})
+   rather than from registry internals, so the exporter exercises the same
+   surface external tooling consumes. *)
+
+let sanitize_name name =
+  let ok = function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false in
+  let s = String.map (fun c -> if ok c then c else '_') name in
+  if s = "" then "_" else match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+let escape_label_value v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+    let pairs =
+      List.map
+        (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (sanitize_name k) (escape_label_value v))
+        labels
+    in
+    "{" ^ String.concat "," pairs ^ "}"
+
+let render_value v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let labels_of_json = function
+  | Some (Json.Obj fields) ->
+    List.map (fun (k, v) -> (k, match v with Json.Str s -> s | other -> Json.to_string other)) fields
+  | _ -> []
+
+let float_of_json = function
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int n) -> Some (float_of_int n)
+  | _ -> None
+
+let of_registry registry =
+  let buf = Buffer.create 4096 in
+  let typed = Hashtbl.create 32 in
+  let type_line name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.replace typed name ();
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  let sample ?(labels = []) name v =
+    (* Non-finite values cannot be scraped meaningfully; drop the sample. *)
+    if Float.is_finite v then
+      Buffer.add_string buf (Printf.sprintf "%s%s %s\n" name (render_labels labels) (render_value v))
+  in
+  let metrics =
+    match Json.member "metrics" (Registry.to_json registry) with
+    | Some (Json.List l) -> l
+    | _ -> []
+  in
+  List.iter
+    (fun m ->
+      let str k = match Json.member k m with Some (Json.Str s) -> Some s | _ -> None in
+      match (str "name", str "type") with
+      | Some raw_name, Some kind -> (
+        let name = sanitize_name raw_name in
+        let labels = labels_of_json (Json.member "labels" m) in
+        let value () = float_of_json (Json.member "value" m) in
+        let count () =
+          match Json.member "count" m with Some (Json.Int n) -> Some (float_of_int n) | _ -> None
+        in
+        let sum () = float_of_json (Json.member "sum" m) in
+        match kind with
+        | "counter" | "gauge" -> (
+          type_line name kind;
+          match value () with Some v -> sample ~labels name v | None -> ())
+        | "histogram" ->
+          type_line name "histogram";
+          let cumulative = ref 0 in
+          (match Json.member "buckets" m with
+          | Some (Json.List buckets) ->
+            List.iter
+              (fun b ->
+                let le =
+                  match Json.member "le" b with
+                  | Some (Json.Str "inf") -> "+Inf"
+                  | Some (Json.Float f) -> render_value f
+                  | Some (Json.Int n) -> string_of_int n
+                  | _ -> "+Inf"
+                in
+                (match Json.member "count" b with
+                | Some (Json.Int n) -> cumulative := !cumulative + n
+                | _ -> ());
+                sample
+                  ~labels:(labels @ [ ("le", le) ])
+                  (name ^ "_bucket") (float_of_int !cumulative))
+              buckets
+          | _ -> ());
+          (match sum () with Some s -> sample ~labels (name ^ "_sum") s | None -> ());
+          (match count () with Some c -> sample ~labels (name ^ "_count") c | None -> ())
+        | "summary" ->
+          type_line name "summary";
+          List.iter
+            (fun (field, q) ->
+              match float_of_json (Json.member field m) with
+              | Some v -> sample ~labels:(labels @ [ ("quantile", q) ]) name v
+              | None -> ())
+            [ ("p50", "0.5"); ("p90", "0.9"); ("p99", "0.99") ];
+          (match sum () with Some s -> sample ~labels (name ^ "_sum") s | None -> ());
+          (match count () with Some c -> sample ~labels (name ^ "_count") c | None -> ())
+        | _ -> ())
+      | _ -> ())
+    metrics;
+  Buffer.contents buf

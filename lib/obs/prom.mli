@@ -1,0 +1,17 @@
+(** Prometheus text-exposition export of a {!Registry} snapshot.
+
+    Maps the registry's metric kinds onto the exposition format 0.0.4:
+    counters and gauges become single samples, histograms become
+    cumulative [_bucket{le=...}] series plus [_sum]/[_count], summaries
+    become [{quantile=...}] series plus [_sum]/[_count].  Metric names are
+    sanitized (every character outside [[a-zA-Z0-9_:]] becomes [_], so
+    [tee.ecalls] exports as [tee_ecalls]); label values are escaped per
+    the spec.  Non-finite values (possible in gauges before any write
+    lands) are dropped rather than emitted as [NaN]. *)
+
+val sanitize_name : string -> string
+(** [tee.ecalls] -> [tee_ecalls]; a leading digit gains a [_] prefix. *)
+
+val of_registry : Registry.t -> string
+(** The full exposition page: [# TYPE] comments plus samples, one metric
+    family per registered name, in registration order. *)

@@ -30,6 +30,7 @@ and t = {
   root_rng : Splitbft_util.Rng.t;
   obs : Registry.t;
   tracer : Splitbft_obs.Tracer.t option;
+  flight : Splitbft_obs.Flight.t option;
   g_live : Registry.gauge;
   c_fired : Registry.counter;
   mutable clock : float;
@@ -44,13 +45,14 @@ let compare_events a b =
   let c = compare a.time b.time in
   if c <> 0 then c else compare a.seq b.seq
 
-let create ?(seed = 1L) ?obs ?tracer () =
+let create ?(seed = 1L) ?obs ?tracer ?flight () =
   let obs = match obs with Some r -> r | None -> Registry.create () in
   { queue = Splitbft_util.Heap.create ~cmp:compare_events;
     seed;
     root_rng = Splitbft_util.Rng.create seed;
     obs;
     tracer;
+    flight;
     g_live = Registry.gauge obs "sim.events_live";
     c_fired = Registry.counter obs "sim.events_fired";
     clock = 0.0;
@@ -63,6 +65,12 @@ let seed t = t.seed
 let rng t = t.root_rng
 let obs t = t.obs
 let tracer t = t.tracer
+let flight t = t.flight
+
+let flight_record t ~host ~kind ~detail =
+  match t.flight with
+  | None -> ()
+  | Some f -> Splitbft_obs.Flight.record f ~at:t.clock ~host ~kind ~detail
 
 let schedule ?(cls = Internal) ?(fp = "") t ~delay ~label action =
   if delay < 0.0 then invalid_arg (Printf.sprintf "Engine.schedule %s: negative delay" label);

@@ -30,6 +30,7 @@ val create :
   ?seed:int64 ->
   ?obs:Splitbft_obs.Registry.t ->
   ?tracer:Splitbft_obs.Tracer.t ->
+  ?flight:Splitbft_obs.Flight.t ->
   unit ->
   t
 (** Fresh engine with virtual time 0.  [seed] (default 1) drives {!rng}.
@@ -37,7 +38,11 @@ val create :
     simulation reports into; every component reachable from the engine
     (network, resources, enclaves, brokers) records there.  [tracer]
     (default: none — tracing off, zero overhead) attaches a causal trace
-    recorder that the same components consult for per-request spans. *)
+    recorder that the same components consult for per-request spans.
+    [flight] (default: none) attaches a bounded flight recorder the same
+    components append structured events to; like the tracer it is a pure
+    in-memory side effect, so an attached recorder leaves metrics, RNG
+    and schedules byte-identical. *)
 
 val now : t -> float
 (** Current virtual time in microseconds. *)
@@ -49,6 +54,14 @@ val tracer : t -> Splitbft_obs.Tracer.t option
 (** The simulation's causal trace recorder, when one was attached.
     Instrumentation sites match on [None] first, so a run without a
     tracer pays nothing. *)
+
+val flight : t -> Splitbft_obs.Flight.t option
+(** The simulation's flight recorder, when one was attached. *)
+
+val flight_record : t -> host:int -> kind:string -> detail:string -> unit
+(** Appends an event stamped with the current virtual time to the flight
+    recorder; no-op (and no allocation beyond the arguments) when none is
+    attached. *)
 
 val rng : t -> Splitbft_util.Rng.t
 (** The engine's root generator.  Components that need independent streams

@@ -25,6 +25,7 @@ type t = {
   mutable groups : (addr, int) Hashtbl.t option; (* partition group per addr *)
   mutable filter : (src:addr -> dst:addr -> string -> action) option;
   mutable tap : (src:addr -> dst:addr -> string -> unit) option;
+  mutable taps : (src:addr -> dst:addr -> string -> unit) list;  (* reverse order *)
   mutable lane_hint : (dst:addr -> string -> int) option;
   mutable sent : int;
   mutable delivered : int;
@@ -46,6 +47,7 @@ let create engine config =
     groups = None;
     filter = None;
     tap = None;
+    taps = [];
     lane_hint = None;
     sent = 0;
     delivered = 0;
@@ -82,6 +84,7 @@ let partition t groups =
 let heal t = t.groups <- None
 let set_filter t filter = t.filter <- filter
 let set_tap t tap = t.tap <- tap
+let add_tap t tap = t.taps <- tap :: t.taps
 let set_lane_hint t hint = t.lane_hint <- hint
 
 let same_side t src dst =
@@ -102,6 +105,9 @@ let model_delay t size =
 
 let send t ~src ~dst payload =
   (match t.tap with None -> () | Some tap -> tap ~src ~dst payload);
+  (match t.taps with
+  | [] -> ()
+  | taps -> List.iter (fun tap -> tap ~src ~dst payload) (List.rev taps));
   let size = String.length payload in
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + size;

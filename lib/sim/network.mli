@@ -50,7 +50,16 @@ val set_filter : t -> (src:addr -> dst:addr -> string -> action) option -> unit
 
 val set_tap : t -> (src:addr -> dst:addr -> string -> unit) option -> unit
 (** Passive observer invoked on every send attempt (before drops and
-    filters) — the confidentiality checker scans payloads here. *)
+    filters) — the confidentiality checker scans payloads here.  One
+    slot: installing replaces any previous [set_tap] observer (the
+    {!add_tap} list is untouched). *)
+
+val add_tap : t -> (src:addr -> dst:addr -> string -> unit) -> unit
+(** Appends an additional passive observer; all added taps fire (in
+    registration order) after the {!set_tap} slot on every send attempt,
+    before drops and filters.  Taps cannot be removed — attach them for
+    the life of the simulation (the anomaly detector's wire observer
+    lives here, coexisting with the safety scanner's slot). *)
 
 val set_lane_hint : t -> (dst:addr -> string -> int) option -> unit
 (** Classifier consulted at send time to tag the delivery event with a

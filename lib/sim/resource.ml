@@ -47,6 +47,17 @@ let free_at t = t.free_at
 let busy_time t = t.busy
 let jobs t = t.jobs
 
+(* Crash-path gauge reset: a crashed host's resources are abandoned (their
+   queued callbacks are cancelled by the owner), but the queue-depth gauge
+   would otherwise keep the dead incarnation's last value — the restarted
+   host re-registers the same (name, labels) gauge and only overwrites it
+   on its first submit, so a dashboard sampled in between reads stale
+   backlog.  Cumulative counters (busy/jobs) are left alone: they are
+   totals across incarnations by design. *)
+let quiesce t =
+  t.free_at <- Engine.now t.engine;
+  Registry.set t.g_queue_us 0.0
+
 module Pool = struct
   type pool = { servers : t array }
 
@@ -66,4 +77,5 @@ module Pool = struct
 
   let busy_time p = Array.fold_left (fun acc s -> acc +. s.busy) 0.0 p.servers
   let workers p = Array.to_list p.servers
+  let quiesce p = Array.iter quiesce p.servers
 end

@@ -29,6 +29,13 @@ val busy_time : t -> float
 
 val jobs : t -> int
 
+val quiesce : t -> unit
+(** Crash-path reset: marks the resource idle as of now and zeroes its
+    [resource.queue_us] gauge so a dashboard never reads a dead
+    incarnation's backlog.  Cumulative counters ([busy_time], [jobs]) are
+    preserved — they are totals across incarnations.  Call when the
+    owning host crashes or restarts. *)
+
 module Pool : sig
   type pool
 
@@ -36,4 +43,7 @@ module Pool : sig
   val submit : pool -> cost:float -> (unit -> unit) -> unit
   val busy_time : pool -> float
   val workers : pool -> t list
+
+  val quiesce : pool -> unit
+  (** {!quiesce} every worker. *)
 end

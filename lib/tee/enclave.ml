@@ -291,7 +291,21 @@ let restart t ~program =
   | None -> ()
   | Some p ->
     Hashtbl.reset p.write_free;
-    Hashtbl.reset p.read_free
+    Hashtbl.reset p.read_free;
+    (* The backlog gauge would otherwise hold the dead incarnation's last
+       queue depth until the first post-restart pool task overwrites it. *)
+    Registry.set p.g_backlog_us 0.0;
+    Array.iter Resource.quiesce p.servers
+
+(* Crash-path gauge reset without tearing the enclave down: a crashed
+   host's enclaves stop receiving ecalls, so their pool backlog gauge
+   would show the dead incarnation's queue until restart. *)
+let quiesce t =
+  match t.pool with
+  | None -> ()
+  | Some p ->
+    Registry.set p.g_backlog_us 0.0;
+    Array.iter Resource.quiesce p.servers
 
 let subvert t program =
   t.subverted <- true;

@@ -81,6 +81,13 @@ val restart : t -> program:program -> unit
 (** Reboot with a fresh program instance (recovery re-populates state via
     {!unseal}); clears the crashed flag and any subversion. *)
 
+val quiesce : t -> unit
+(** Crash-path gauge reset: zeroes the worker pool's [tee.pool_backlog_us]
+    gauge and its workers' queue gauges (see {!Splitbft_sim.Resource.quiesce})
+    without tearing the enclave down, so a dashboard sampled while the
+    host is down never reads the dead incarnation's backlog.  No-op for a
+    pool-less enclave; {!restart} performs the same reset itself. *)
+
 val subvert : t -> program -> unit
 (** Replaces the running handler with an adversarial program sharing the
     same [env] (same keys, sealing, counters). *)

@@ -77,6 +77,10 @@ let total t = t.sum
 let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
 let min t = if t.n = 0 then nan else t.mn
 let max t = if t.n = 0 then nan else t.mx
+let is_empty t = t.n = 0
+let mean_opt t = if t.n = 0 then None else Some (t.sum /. float_of_int t.n)
+let min_opt t = if t.n = 0 then None else Some t.mn
+let max_opt t = if t.n = 0 then None else Some t.mx
 
 let ensure_sorted t =
   if not t.sorted then begin
@@ -100,6 +104,12 @@ let percentile t p =
   end
 
 let median t = percentile t 50.0
+let percentile_opt t p = if t.size = 0 then None else Some (percentile t p)
+
+(* Total-window guard for code paths that feed JSON/records: an empty
+   window yields 0 rather than letting nan propagate into snapshots. *)
+let percentile_or0 t p = if t.size = 0 then 0.0 else percentile t p
+let mean_or0 t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
 
 let stddev t =
   if t.n < 2 then 0.0
@@ -126,5 +136,7 @@ let merge a b =
   t
 
 let pp_summary ppf t =
-  Format.fprintf ppf "n=%d mean=%.2f p50=%.2f p99=%.2f min=%.2f max=%.2f"
-    (count t) (mean t) (median t) (percentile t 99.0) (min t) (max t)
+  if is_empty t then Format.fprintf ppf "n=0 (no samples)"
+  else
+    Format.fprintf ppf "n=%d mean=%.2f p50=%.2f p99=%.2f min=%.2f max=%.2f"
+      (count t) (mean t) (median t) (percentile t 99.0) (min t) (max t)

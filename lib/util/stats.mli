@@ -31,6 +31,27 @@ val percentile : t -> float -> float
 val median : t -> float
 val stddev : t -> float
 
+(** {2 Empty-window guards}
+
+    The plain accessors above return [nan] on an empty collector (and
+    JSON encodes non-finite floats as [null]); these variants make the
+    empty case explicit so callers that feed records or snapshots never
+    see a nan at all. *)
+
+val is_empty : t -> bool
+val mean_opt : t -> float option
+val min_opt : t -> float option
+val max_opt : t -> float option
+
+val percentile_opt : t -> float -> float option
+(** [None] when no samples were observed, otherwise {!percentile}. *)
+
+val percentile_or0 : t -> float -> float
+(** [0.0] when empty — for result records and JSON snapshots where a
+    zero reads as "no data" and a nan would poison downstream math. *)
+
+val mean_or0 : t -> float
+
 val merge : t -> t -> t
 (** New collector over both sample sets (cap = max of the inputs');
     exact statistics are combined exactly, percentiles reflect the

@@ -208,6 +208,147 @@ let test_cluster_run_populates_metrics () =
       checkb "count positive" true (field "count" > 0.0))
   | _ -> Alcotest.fail "snapshot has no metrics list"
 
+(* ----- flight recorder ----- *)
+
+module Flight = Splitbft_obs.Flight
+
+let test_flight_ring_and_roundtrip () =
+  let fl = Flight.create ~capacity:4 () in
+  let heard = ref 0 in
+  Flight.on_event fl (fun (_ : Flight.event) -> incr heard);
+  for i = 1 to 7 do
+    Flight.record fl ~at:(float_of_int i) ~host:(i mod 3) ~kind:"ecall"
+      ~detail:(Printf.sprintf "op %d\nwith newline" i)
+  done;
+  checki "listener saw every record" 7 !heard;
+  checki "ring keeps the newest capacity" 4 (List.length (Flight.events fl));
+  checki "recorded counts evictions" 7 (Flight.recorded fl);
+  checki "dropped = recorded - retained" 3 (Flight.dropped fl);
+  (match Flight.events fl with
+  | first :: _ -> checkf "oldest retained is #4" 4.0 first.Flight.at
+  | [] -> Alcotest.fail "empty ring");
+  (* artifact round-trip, newline-flattened details included *)
+  let dump = Flight.to_string fl in
+  checkb "artifact carries the header" true
+    (String.length dump >= String.length Flight.header
+    && String.sub dump 0 (String.length Flight.header) = Flight.header);
+  (match Flight.of_string dump with
+  | Error e -> Alcotest.fail e
+  | Ok events ->
+    checki "parses every retained event" 4 (List.length events);
+    List.iter2
+      (fun (a : Flight.event) (b : Flight.event) ->
+        checkf "at survives" a.Flight.at b.Flight.at;
+        checki "host survives" a.Flight.host b.Flight.host;
+        checks "kind survives" a.Flight.kind b.Flight.kind;
+        checkb "detail is newline-free" true
+          (not (String.contains b.Flight.detail '\n')))
+      (Flight.events fl) events);
+  Flight.clear fl;
+  checki "clear empties the ring" 0 (List.length (Flight.events fl));
+  Flight.record fl ~at:9.0 ~host:0 ~kind:"k" ~detail:"";
+  checki "listeners survive clear" 8 !heard
+
+let test_flight_rejects_garbage () =
+  List.iter
+    (fun s -> checkb ("rejects " ^ String.escaped s) true (Result.is_error (Flight.of_string s)))
+    [ ""; "not-a-flight"; "splitbft-flight v2"; Flight.header ^ "\nevent nan" ]
+
+(* ----- health sampler ----- *)
+
+module Health = Splitbft_obs.Health
+
+let test_health_window_queries () =
+  let r = Registry.create () in
+  let c = Registry.counter r ~labels:[ ("replica", "0") ] "broker.ecalls" in
+  let h = Health.create ~window:3 r in
+  (* empty and single-sample windows answer None, never nan *)
+  checkb "no sample: latest None" true (Health.latest h "broker.ecalls" = None);
+  Registry.add c 10;
+  Health.sample h ~at:0.0;
+  checkb "one sample: delta None" true
+    (Health.delta h ~labels:[ ("replica", "0") ] "broker.ecalls" = None);
+  checkb "one sample: span None" true (Health.span_us h = None);
+  Registry.add c 5;
+  Health.sample h ~at:1_000_000.0;
+  checkf "delta over window" 5.0
+    (Option.get (Health.delta h ~labels:[ ("replica", "0") ] "broker.ecalls"));
+  checkf "rate per second" 5.0
+    (Option.get (Health.rate h ~labels:[ ("replica", "0") ] "broker.ecalls"));
+  (* the window slides: after 3 more samples the t=0 snapshot is gone *)
+  Registry.add c 1;
+  Health.sample h ~at:2_000_000.0;
+  Registry.add c 1;
+  Health.sample h ~at:3_000_000.0;
+  checki "window bound" 3 (Health.samples h);
+  checkf "delta excludes evicted samples" 2.0
+    (Option.get (Health.delta h ~labels:[ ("replica", "0") ] "broker.ecalls"));
+  checkb "absent metric is None" true (Health.delta h "no.such.metric" = None);
+  checkf "prefix sum" 2.0 (Option.get (Health.delta_sum h ~prefix:"broker."));
+  (* a metric registered after the oldest snapshot has no baseline *)
+  let late = Registry.counter r "late.counter" in
+  Registry.incr late;
+  checkb "late metric: delta None" true (Health.delta h "late.counter" = None)
+
+let test_health_zero_span () =
+  let r = Registry.create () in
+  ignore (Registry.counter r "c");
+  let h = Health.create r in
+  Health.sample h ~at:5.0;
+  Health.sample h ~at:5.0;
+  checkb "zero-span rate is None" true (Health.rate h "c" = None);
+  checkf "zero-span delta still answers" 0.0 (Option.get (Health.delta h "c"))
+
+(* ----- prometheus exposition ----- *)
+
+module Prom = Splitbft_obs.Prom
+
+let test_prom_exposition () =
+  checks "dots sanitized" "tee_ecalls" (Prom.sanitize_name "tee.ecalls");
+  checks "leading digit prefixed" "_9lives" (Prom.sanitize_name "9lives");
+  let r = Registry.create () in
+  Registry.add (Registry.counter r ~labels:[ ("replica", "0") ] "tee.ecalls") 17;
+  Registry.set (Registry.gauge r "queue.depth") 2.5;
+  Registry.observe (Registry.histogram r ~buckets:[ 10.0; 100.0 ] "lat.us") 42.0;
+  Splitbft_util.Stats.add (Registry.summary r "s") 5.0;
+  ignore (Registry.gauge r "never.written");  (* non-finite: must be dropped *)
+  let page = Prom.of_registry r in
+  let has needle =
+    let nl = String.length needle and pl = String.length page in
+    let rec go i = i + nl <= pl && (String.sub page i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "counter sample" true (has "tee_ecalls{replica=\"0\"} 17");
+  checkb "counter type" true (has "# TYPE tee_ecalls counter");
+  checkb "gauge sample" true (has "queue_depth 2.5");
+  checkb "histogram bucket" true (has "lat_us_bucket{le=\"100\"} 1");
+  checkb "histogram +Inf" true (has "le=\"+Inf\"");
+  checkb "histogram count" true (has "lat_us_count 1");
+  checkb "summary quantile" true (has "s{quantile=");
+  checkb "no NaN leaks" true (not (has "NaN") && not (has "nan"));
+  checkb "every line is sample or comment" true
+    (String.split_on_char '\n' page
+    |> List.for_all (fun l -> l = "" || l.[0] = '#' || String.contains l ' '))
+
+(* ----- empty-window stats guards ----- *)
+
+module Stats = Splitbft_util.Stats
+
+let test_stats_empty_guards () =
+  let s = Stats.create () in
+  checkb "empty" true (Stats.is_empty s);
+  checkb "mean_opt None" true (Stats.mean_opt s = None);
+  checkb "min_opt None" true (Stats.min_opt s = None);
+  checkb "max_opt None" true (Stats.max_opt s = None);
+  checkb "percentile_opt None" true (Stats.percentile_opt s 99.0 = None);
+  checkf "percentile_or0" 0.0 (Stats.percentile_or0 s 99.0);
+  checkf "mean_or0" 0.0 (Stats.mean_or0 s);
+  Stats.add s 7.0;
+  checkb "single sample" false (Stats.is_empty s);
+  checkf "single-sample percentile is the sample" 7.0 (Option.get (Stats.percentile_opt s 50.0));
+  checkf "single-sample p99 is the sample" 7.0 (Option.get (Stats.percentile_opt s 99.0));
+  checkf "single-sample mean" 7.0 (Option.get (Stats.mean_opt s))
+
 let suites =
   [ ( "obs",
       [ Alcotest.test_case "counter basics" `Quick test_counter_basics;
@@ -221,4 +362,10 @@ let suites =
         Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
         Alcotest.test_case "snapshot roundtrip" `Quick test_registry_snapshot_roundtrip;
         Alcotest.test_case "cluster run populates metrics" `Quick
-          test_cluster_run_populates_metrics ] ) ]
+          test_cluster_run_populates_metrics;
+        Alcotest.test_case "flight ring and roundtrip" `Quick test_flight_ring_and_roundtrip;
+        Alcotest.test_case "flight rejects garbage" `Quick test_flight_rejects_garbage;
+        Alcotest.test_case "health window queries" `Quick test_health_window_queries;
+        Alcotest.test_case "health zero span" `Quick test_health_zero_span;
+        Alcotest.test_case "prom exposition" `Quick test_prom_exposition;
+        Alcotest.test_case "stats empty guards" `Quick test_stats_empty_guards ] ) ]
