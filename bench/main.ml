@@ -94,6 +94,11 @@ let run_openloop () =
   Experiments.print_openloop r;
   Experiments.json_of_openloop r
 
+let run_storage () =
+  let r = Experiments.storage () in
+  Experiments.print_storage r;
+  Experiments.json_of_storage r
+
 (* ----- bechamel micro-benchmarks of the substrates ----- *)
 
 let micro_tests () =
@@ -201,6 +206,7 @@ let artifacts =
     ("lanes", fun ~full:_ () -> run_lanes ());
     ("ceilings", fun ~full:_ () -> run_ceilings ());
     ("openloop", fun ~full:_ () -> run_openloop ());
+    ("storage", fun ~full:_ () -> run_storage ());
     ("micro", fun ~full:_ () -> run_micro ()) ]
 
 let run_artifacts ~full names =

@@ -1,20 +1,23 @@
 (* CI perf-regression gate.
 
-   Compares a fresh `bench hotpath lanes openloop --json` run against the
-   checked-in BENCH_BASELINE.json: every gated point in the baseline must
-   still exist, and every metric the baseline records for it must stay
-   within the tolerance — throughput_ops is a floor, ecall_us_per_request
-   and p99_latency_us are ceilings.  A metric absent from a baseline point
-   is not gated (artifacts report different fields); an artifact may gate
-   only a subset of its labels (openloop pins the aggregate "knee-zipf",
-   "knee-uniform" and "p99-at-half-load" rows, not every sweep point).
-   Improvements always
-   pass (the baseline is a floor, not a pin); refreshing the floor after a
-   deliberate win means committing the new JSON as the baseline.
+   Thin CLI over [Splitbft_harness.Bench_gate]: parses the checked-in
+   BENCH_BASELINE.json and a fresh `bench hotpath lanes openloop storage
+   --json` run, prints the comparison report, and exits non-zero on any
+   regression — including a baselined point or metric the current run no
+   longer produces, which is a hard failure, never a silent pass.
+   Improvements always pass (the baseline is a floor, not a pin);
+   refreshing the floor after a deliberate win means committing the new
+   JSON as the baseline.
 
-     bench_check --baseline BENCH_BASELINE.json --current out.json [--tolerance 0.10] *)
+     bench_check --baseline BENCH_BASELINE.json --current out.json [--tolerance 0.10]
+                 [--only ARTIFACT]...
+
+   [--only] restricts the sweep to the named artifacts, for jobs that
+   deliberately measure a subset (CI's storage job gates only storage);
+   it is an explicit narrowing, not a silent skip. *)
 
 module Json = Splitbft_obs.Json
+module Gate = Splitbft_harness.Bench_gate
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline ("bench_check: " ^ s); exit 2) fmt
 
@@ -31,151 +34,64 @@ let parse_doc path =
   | Ok doc -> doc
   | Error e -> die "%s: %s" path e
 
-let number = function
-  | Some (Json.Int n) -> float_of_int n
-  | Some (Json.Float f) -> f
-  | Some _ | None -> nan
+let fnum v = if Float.is_finite v then Printf.sprintf "%14.2f" v else Printf.sprintf "%14s" "-"
 
-let str = function Some (Json.Str s) -> Some s | Some _ | None -> None
+let pct base v =
+  if Float.is_finite base && Float.is_finite v then
+    Printf.sprintf "%+7.1f%%" ((v -. base) /. base *. 100.0)
+  else Printf.sprintf "%8s" "-"
 
-(* Artifact arrays the gate covers, in report order, with an optional
-   label filter (None = gate every labeled point).  A name missing from
-   the baseline is skipped (old baselines predating an artifact stay
-   valid); once baselined, the current run must produce it. *)
-let gated_artifacts =
-  [ ("hotpath", None);
-    ("lanes", None);
-    ("openloop", Some [ "knee-zipf"; "knee-uniform"; "p99-at-half-load" ]) ]
-
-let artifact_points path name doc =
-  match Option.bind (Json.member "artifacts" doc) (Json.member name) with
-  | Some (Json.List points) -> Some points
-  | Some _ -> die "%s: artifacts.%s is not an array" path name
-  | None -> None
-
-type point = {
-  label : string;
-  tput : float;
-  ecall_us : float;
-  p99_us : float;
-  tol : float option;  (* baseline per-point override of --tolerance *)
-}
-
-let point_of_json path name j =
-  match str (Json.member "label" j) with
-  | None -> die "%s: %s point without a label" path name
-  | Some label ->
-    { label;
-      tput = number (Json.member "throughput_ops" j);
-      ecall_us = number (Json.member "ecall_us_per_request" j);
-      p99_us = number (Json.member "p99_latency_us" j);
-      tol =
-        (let t = number (Json.member "tolerance" j) in
-         if Float.is_finite t then Some t else None) }
-
-(* (metric name, accessor, direction): [`Floor] gates drops below the
-   baseline, [`Ceiling] gates rises above it. *)
-let metrics =
-  [ ("throughput", (fun p -> p.tput), `Floor);
-    ("ecall cost", (fun p -> p.ecall_us), `Ceiling);
-    ("p99 latency", (fun p -> p.p99_us), `Ceiling) ]
-
-let pct base v = (v -. base) /. base *. 100.0
+let print_row (r : Gate.row) =
+  let status =
+    match r.Gate.r_verdict with
+    | Gate.Pass -> "ok"
+    | Gate.Regression qual -> "REGRESSION" ^ qual
+    | Gate.Missing_point -> "MISSING POINT"
+    | Gate.Missing_metric what -> Printf.sprintf "MISSING METRIC (%s)" what
+  in
+  Printf.printf "%-26s %-12s %s %s %s  %s\n" r.Gate.r_point r.Gate.r_metric
+    (fnum r.Gate.r_baseline) (fnum r.Gate.r_current) (pct r.Gate.r_baseline r.Gate.r_current)
+    status
 
 let () =
   let baseline = ref "BENCH_BASELINE.json" in
   let current = ref "" in
   let tolerance = ref 0.10 in
+  let only = ref [] in
+  let add_only a =
+    if not (List.mem_assoc a Gate.gated_artifacts) then
+      die "--only %s: not a gated artifact (%s)" a
+        (String.concat ", " (List.map fst Gate.gated_artifacts));
+    only := !only @ [ a ]
+  in
   let spec =
     [ ("--baseline", Arg.Set_string baseline, "PATH checked-in baseline JSON");
       ("--current", Arg.Set_string current, "PATH freshly measured bench JSON");
-      ("--tolerance", Arg.Set_float tolerance, "FRAC allowed relative regression (default 0.10)") ]
+      ("--tolerance", Arg.Set_float tolerance, "FRAC allowed relative regression (default 0.10)");
+      ("--only", Arg.String add_only, "ARTIFACT gate only this artifact (repeatable)") ]
   in
   Arg.parse spec (fun a -> die "unexpected argument %s" a) "bench_check [options]";
   if !current = "" then die "--current is required";
   if !tolerance < 0.0 then die "--tolerance must be non-negative";
   let base_doc = parse_doc !baseline in
   let cur_doc = parse_doc !current in
-  let failures = ref 0 in
-  let checked = ref 0 in
-  Printf.printf "%-26s %-12s %14s %14s %8s  %s\n" "point" "metric" "baseline" "current"
-    "Δ%" "status";
-  List.iter
-    (fun (name, labels) ->
-      match artifact_points !baseline name base_doc with
-      | None -> ()
-      | Some base_raw ->
-        let keep p =
-          match labels with None -> true | Some ls -> List.mem p.label ls
-        in
-        let base_points =
-          List.filter keep (List.map (point_of_json !baseline name) base_raw)
-        in
-        let cur_points =
-          match artifact_points !current name cur_doc with
-          | Some raw -> List.map (point_of_json !current name) raw
-          | None -> die "%s: no artifacts.%s array (baseline gates on it)" !current name
-        in
-        List.iter
-          (fun b ->
-            match List.find_opt (fun c -> c.label = b.label) cur_points with
-            | None ->
-              incr checked;
-              incr failures;
-              Printf.printf "%-26s %-12s %14s %14s %8s  MISSING POINT\n"
-                (name ^ "/" ^ b.label) "-" "-" "-" "-"
-            | Some c ->
-              List.iter
-                (fun (metric, get, dir) ->
-                  let bv = get b in
-                  if Float.is_finite bv then begin
-                    incr checked;
-                    let cv = get c in
-                    if not (Float.is_finite cv) then begin
-                      incr failures;
-                      Printf.printf "%-26s %-12s %14.2f %14s %8s  MISSING METRIC\n"
-                        (name ^ "/" ^ b.label) metric bv "-" "-"
-                    end
-                    else begin
-                      let tol = Option.value b.tol ~default:!tolerance in
-                      let bad =
-                        match dir with
-                        | `Floor -> cv < bv *. (1.0 -. tol)
-                        | `Ceiling -> cv > bv *. (1.0 +. tol)
-                      in
-                      if bad then incr failures;
-                      Printf.printf "%-26s %-12s %14.2f %14.2f %+7.1f%%  %s\n"
-                        (name ^ "/" ^ b.label) metric bv cv (pct bv cv)
-                        (if bad then "REGRESSION" else "ok")
-                    end
-                  end)
-                metrics)
-          base_points)
-    gated_artifacts;
-  (* Detector overhead gate: the detectors-on twin of the saturated
-     batched point must hold within 3% of the plain point's throughput —
-     measured on the CURRENT run, so a slow observer can't hide behind a
-     refreshed baseline. *)
-  (match artifact_points !current "hotpath" cur_doc with
-  | None -> ()
-  | Some raw ->
-    let points = List.map (point_of_json !current "hotpath") raw in
-    let find l = List.find_opt (fun p -> p.label = l) points in
-    (match (find "batch200", find "batch200-detect") with
-    | Some plain, Some det when Float.is_finite plain.tput && Float.is_finite det.tput ->
-      incr checked;
-      let bad = det.tput < plain.tput *. 0.97 in
-      if bad then incr failures;
-      Printf.printf "%-26s %-12s %14.2f %14.2f %+7.1f%%  %s\n" "hotpath/detect-overhead"
-        "throughput" plain.tput det.tput (pct plain.tput det.tput)
-        (if bad then "REGRESSION (>3% detector cost)" else "ok")
-    | _ -> ()));
-  if !checked = 0 then die "%s: none of the gated artifact arrays present" !baseline;
-  if !failures > 0 then begin
-    Printf.printf "\n%d check(s) regressed beyond ±%.0f%% of %s\n" !failures
-      (100.0 *. !tolerance) !baseline;
-    exit 1
-  end
-  else
-    Printf.printf "\nall %d check(s) within ±%.0f%% of %s\n" !checked
-      (100.0 *. !tolerance) !baseline
+  match
+    Gate.check ~tolerance:!tolerance
+      ?only:(match !only with [] -> None | names -> Some names)
+      ~baseline_name:!baseline ~current_name:!current ~baseline:base_doc ~current:cur_doc ()
+  with
+  | Error msg -> die "%s" msg
+  | Ok report ->
+    Printf.printf "%-26s %-12s %14s %14s %8s  %s\n" "point" "metric" "baseline" "current"
+      "Δ%" "status";
+    List.iter print_row report.Gate.rows;
+    if report.Gate.checked = 0 then
+      die "%s: none of the gated artifact arrays present" !baseline;
+    if report.Gate.failures > 0 then begin
+      Printf.printf "\n%d check(s) regressed beyond ±%.0f%% of %s\n" report.Gate.failures
+        (100.0 *. !tolerance) !baseline;
+      exit 1
+    end
+    else
+      Printf.printf "\nall %d check(s) within ±%.0f%% of %s\n" report.Gate.checked
+        (100.0 *. !tolerance) !baseline

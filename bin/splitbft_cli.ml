@@ -161,6 +161,78 @@ let openloop_cmd =
     Term.(const run $ protocol $ app_arg $ rate $ bursty $ connections $ window $ identities
           $ cache $ zipf $ read_ratio $ batch $ duration $ seed)
 
+(* ----- storage ----- *)
+
+let storage_cmd =
+  let followers = Arg.(value & opt int 2 & info [ "followers"; "f" ] ~doc:"Read-only follower replicas (0 = route reads through consensus).") in
+  let segment = Arg.(value & opt int 64 & info [ "segment-entries" ] ~doc:"Ledger entries per sealed segment (enables the rollback-protected log).") in
+  let lag_bound = Arg.(value & opt int 64 & info [ "lag-bound" ] ~doc:"Maximum vouched-tip lag at which followers still serve reads.") in
+  let drivers = Arg.(value & opt int 8 & info [ "drivers"; "c" ] ~doc:"Closed-loop read/write drivers.") in
+  let read_ratio = Arg.(value & opt float 0.95 & info [ "read-ratio" ] ~doc:"Fraction of reads in the mix.") in
+  let zipf = Arg.(value & opt float 0.99 & info [ "zipf" ] ~doc:"Key-popularity skew exponent (0 = uniform).") in
+  let keyspace = Arg.(value & opt int 256 & info [ "keyspace" ] ~doc:"Distinct keys.") in
+  let duration = Arg.(value & opt float 1.0 & info [ "duration"; "d" ] ~doc:"Measured seconds (simulated).") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let run followers segment lag_bound drivers read_ratio zipf keyspace duration seed =
+    if segment <= 0 && followers > 0 then begin
+      prerr_endline
+        "storage: followers subscribe to the sealed ledger feed — pass --segment-entries > 0";
+      exit 2
+    end;
+    let proto = Proto.Proto_splitbft.make ~segment_entries:segment () in
+    let params =
+      { (H.Cluster.default_params proto) with
+        H.Cluster.followers;
+        follower_lag_bound = lag_bound;
+        seed = Int64.of_int seed }
+    in
+    let cluster = H.Cluster.create params in
+    let scanner = H.Safety.install_scanner cluster in
+    let spec =
+      { H.Workload.Reads.default_spec with
+        H.Workload.Reads.clients = drivers;
+        read_ratio;
+        zipf_s = zipf;
+        keyspace;
+        warmup_us = duration *. 1e6 /. 4.0;
+        duration_us = duration *. 1e6 }
+    in
+    let r = H.Workload.Reads.run cluster spec in
+    let honest = List.init params.H.Cluster.n (fun i -> i) in
+    let followers_v = H.Safety.check_followers cluster ~honest in
+    let leaks = H.Safety.network_leaks scanner in
+    let open H.Workload.Reads in
+    H.Table.print ~title:"storage / follower-read result"
+      ~header:[ "metric"; "value" ]
+      ~rows:
+        ([ [ "read throughput"; H.Table.ops r.read_ops ^ " ops/s" ];
+           [ "write throughput"; H.Table.ops r.write_ops ^ " ops/s" ];
+           [ "read mean latency"; H.Table.us r.rd_mean_latency_us ];
+           [ "read p99 latency"; H.Table.us r.rd_p99_latency_us ];
+           [ "stale reads"; string_of_int r.stale_reads ];
+           [ "refused reads"; string_of_int r.refused_reads ];
+           [ "wrong reads"; string_of_int r.wrong_reads ];
+           [ "followers consistent";
+             H.Table.yes_no (followers_v = H.Safety.Followers_ok) ];
+           [ "network canary leaks"; string_of_int leaks ] ]
+        @ List.map
+            (fun fo ->
+              let module F = Splitbft_storage.Follower in
+              [ Printf.sprintf "follower %d" (F.fid fo);
+                Printf.sprintf "applied %d, lag %d, served %d (stale/refused %d)"
+                  (F.entries_applied fo) (F.lag fo) (F.reads_served fo)
+                  (F.stale_refused fo) ])
+            (H.Cluster.followers cluster))
+  in
+  Cmd.v
+    (Cmd.info "storage"
+       ~doc:
+         "Drive the rollback-protected ledger and its read-only follower replicas: a \
+          Zipfian read/write mix where writes take the quorum path and reads are served \
+          off the critical path by followers vouched by f+1 matching sealed feeds.")
+    Term.(const run $ followers $ segment $ lag_bound $ drivers $ read_ratio $ zipf
+          $ keyspace $ duration $ seed)
+
 (* ----- scenarios ----- *)
 
 let scenario_cmd =
@@ -771,5 +843,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "splitbft_cli" ~doc)
-          [ run_cmd; openloop_cmd; scenario_cmd; scenarios_cmd; tcb_cmd; metrics_cmd; top_cmd;
-            trace_cmd; mc_cmd; replay_cmd ]))
+          [ run_cmd; openloop_cmd; storage_cmd; scenario_cmd; scenarios_cmd; tcb_cmd;
+            metrics_cmd; top_cmd; trace_cmd; mc_cmd; replay_cmd ]))

@@ -11,6 +11,9 @@ module Tracer = Splitbft_obs.Tracer
 module Trace_ctx = Splitbft_obs.Trace_ctx
 module W = Splitbft_codec.Writer
 module Lru = Splitbft_util.Lru
+module Feed = Splitbft_storage.Feed
+module Ledger = Splitbft_storage.Ledger
+module Ledger_entry = Splitbft_storage.Entry
 
 type fault =
   | Env_honest
@@ -53,6 +56,11 @@ type t = {
          resets the delay. *)
   recovery_timer : Timer.t;
   mutable storage : (string * string) list;  (* newest first *)
+  mutable feed : Feed.t option;
+      (* committed-log fan-out to follower replicas; [Some] iff the
+         rollback-protected ledger is enabled.  Lives on the untrusted
+         host: followers read already-committed, f+1-vouched entries, so
+         serving them needs no enclave transition. *)
   mutable fault : fault;
   mutable env_output_seq : int;
       (* count of enclave outputs this environment has handled, the
@@ -136,7 +144,10 @@ let route (msg : Message.t) : (Ids.compartment * Message.t) list =
   | Message.Batch_fetch _ | Message.Batch_data _ -> [ (Ids.Execution, msg) ]
   | Message.State_request _ | Message.State_reply _ -> [ (Ids.Execution, msg) ]
   | Message.Request _ | Message.Reply _ | Message.Session_quote _
-  | Message.Session_ack _ ->
+  | Message.Session_ack _ | Message.Ledger_subscribe _ | Message.Ledger_feed _
+  | Message.Read_request _ | Message.Read_reply _ ->
+    (* follower-feed traffic terminates at the untrusted host, never
+       inside a compartment *)
     []
 
 (* Flight-recorder shorthand: a no-op unless a recorder is attached. *)
@@ -180,6 +191,39 @@ let forced_root t ~name ~cat =
       Tracer.open_span tr ~trace ~name ~cat ~pid:t.cfg.id ~tid:"host" ~at ()
     in
     Some (id, { Trace_ctx.trace; span = id; forced = true })
+
+(* Host-side ledger garbage collection, driven by the enclave's signed
+   [cut] marker: entries and segment headers at or below the cut are
+   covered by the sealed compaction base and can be dropped.  Only the
+   newest base (and newest cut marker) survive — [storage] is newest
+   first, so "first encountered" is "newest". *)
+let gc_ledger t cut =
+  let seen_base = ref false in
+  let seen_cut = ref false in
+  t.storage <-
+    List.filter
+      (fun (tag, data) ->
+        if String.equal tag Ledger.entry_tag then
+          match Ledger_entry.seq_of_record data with
+          | Some seq -> seq > cut
+          | None -> false
+        else if String.equal tag Ledger.base_tag then
+          if !seen_base then false
+          else begin
+            seen_base := true;
+            true
+          end
+        else if String.equal tag Ledger.cut_tag then
+          if !seen_cut then false
+          else begin
+            seen_cut := true;
+            true
+          end
+        else
+          match Ledger.seal_tag_seq tag with
+          | Some last -> last > cut
+          | None -> true)
+      t.storage
 
 (* ----- ecalls ----- *)
 
@@ -359,7 +403,18 @@ and apply_output t origin ?ctx ?body (output : Wire.output) =
       (fun (compartment, m) ->
         if compartment <> origin then ecall t ?ctx compartment (Wire.In_net m))
       (route msg)
-  | Wire.Out_persist { tag; data } -> t.storage <- (tag, data) :: t.storage
+  | Wire.Out_persist { tag; data } ->
+    t.storage <- (tag, data) :: t.storage;
+    (match t.feed with
+    | None -> ()
+    | Some fd ->
+      if String.equal tag Ledger.entry_tag then Feed.publish fd data
+      else if String.equal tag Ledger.cut_tag then (
+        match int_of_string_opt data with
+        | None -> ()
+        | Some cut ->
+          Feed.set_base fd cut;
+          gc_ledger t cut))
   | Wire.Out_entered_view v ->
     if v > t.view then begin
       t.view <- v;
@@ -507,6 +562,16 @@ let on_payload t ~src:_ payload =
             let sp = loop_span t ctx ~name:"host:rx" ~begun ~cost in
             on_request t ?ctx r;
             finish_span t sp
+          | Ok (Message.Ledger_subscribe ls, ctx) ->
+            (* Served entirely host-side: the feed replays already-committed
+               sealed records, which the follower authenticates by f+1
+               cross-replica digest agreement — not by trusting this host. *)
+            let sp = loop_span t ctx ~name:"host:rx" ~begun ~cost in
+            (match t.feed with
+            | Some fd ->
+              Feed.subscribe fd ~follower:ls.Message.lsu_follower ~from:ls.Message.lsu_from
+            | None -> ());
+            finish_span t sp
           | Ok (msg, ctx) ->
             let sp = loop_span t ctx ~name:"host:rx" ~begun ~cost in
             (match msg with
@@ -642,6 +707,7 @@ let create engine net (cfg : Config.t) ~enclave_of =
                 Timer.restart t.recovery_timer
               end);
         storage = [];
+        feed = None;
         fault = Env_honest;
         env_output_seq = 0;
         crashed = false;
@@ -678,6 +744,8 @@ let create engine net (cfg : Config.t) ~enclave_of =
           Registry.counter obs ~labels:[ replica_label ] "broker.retx_replayed" }
   in
   let t = Lazy.force t in
+  if Config.storage cfg then
+    t.feed <- Some (Feed.create ~net ~src:(Addr.replica cfg.id) ~replica:cfg.id);
   Network.register net (Addr.replica cfg.id) (fun ~src payload -> on_payload t ~src payload);
   t
 
@@ -743,6 +811,19 @@ let restart t =
         ecall t ?ctx:t.recovery_ctx compartment
           (Wire.In_recover (List.assoc_opt tag t.storage)))
       Ids.all_compartments;
+    (* Second phase of the Execution handshake: replay the surviving
+       ledger records (oldest first) so Execution can verify the chain,
+       truncate a torn tail, and refuse a rolled-back history.  The feed
+       is rebuilt from the same records; followers re-subscribe on their
+       own timer, so subscription state need not survive the crash. *)
+    (match t.feed with
+    | Some fd ->
+      let records =
+        List.filter (fun (tag, _) -> Ledger.is_ledger_tag tag) (List.rev t.storage)
+      in
+      Feed.reset fd ~records;
+      ecall t ?ctx:t.recovery_ctx Ids.Execution (Wire.In_ledger records)
+    | None -> ());
     Timer.restart t.recovery_timer
   end
 

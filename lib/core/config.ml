@@ -21,6 +21,7 @@ type t = {
   lanes : int;
   exec_workers : int;
   inflight_ttl_us : float;
+  segment_entries : int;
 }
 
 let default ~n ~id =
@@ -38,9 +39,11 @@ let default ~n ~id =
     verify_cache_capacity = 1024;
     lanes = 1;
     exec_workers = 1;
-    inflight_ttl_us = 500_000.0 }
+    inflight_ttl_us = 500_000.0;
+    segment_entries = 0 }
 
 let hotpath t = t.verify_cache_capacity > 0
+let storage t = t.segment_entries > 0
 let f t = Ids.f_of_n t.n
 let quorum t = Ids.quorum ~n:t.n
 let primary_of_view t view = Ids.primary_of_view ~n:t.n view

@@ -53,12 +53,22 @@ type t = {
           dropped during a primary crash) stops suppressing client
           retransmits, so the retry can be re-driven; keyed to the client
           retry period (default 500 ms ≥ the client's 400 ms timer) *)
+  segment_entries : int;
+      (** rotation interval (entries per segment) of the Execution
+          compartment's append-only rollback-protected ledger
+          ({!Splitbft_storage.Ledger}); [0] disables the storage layer
+          entirely — no ledger appends, no follower feed, reproducing the
+          pre-storage behavior bit-for-bit *)
 }
 
 val default : n:int -> id:Ids.replica_id -> t
 
 val hotpath : t -> bool
 (** [verify_cache_capacity > 0] — the hot-path layer is enabled. *)
+
+val storage : t -> bool
+(** [segment_entries > 0] — the append-only ledger and follower feed are
+    enabled. *)
 
 val f : t -> int
 val quorum : t -> int

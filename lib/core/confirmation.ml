@@ -333,7 +333,7 @@ let handle env st ~byz (input : Wire.input) =
   else
     match input with
     | Wire.In_suspect v -> on_suspect env st ~byz v
-    | Wire.In_batch _ -> ()
+    | Wire.In_batch _ | Wire.In_ledger _ -> ()
     | Wire.In_recover blob -> on_recover env st blob
     | Wire.In_net msg -> (
       match msg with
@@ -355,7 +355,9 @@ let handle env st ~byz (input : Wire.input) =
       | Message.Request _ | Message.Commit _ | Message.Reply _
       | Message.Session_init _ | Message.Session_quote _ | Message.Session_key _
       | Message.Session_ack _ | Message.Batch_fetch _ | Message.Batch_data _
-      | Message.State_request _ | Message.State_reply _ ->
+      | Message.State_request _ | Message.State_reply _
+      | Message.Ledger_subscribe _ | Message.Ledger_feed _
+      | Message.Read_request _ | Message.Read_reply _ ->
         ())
 
 let make ?(byz = Conf_honest) (cfg : Config.t) =

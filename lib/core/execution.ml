@@ -21,6 +21,8 @@ module Client_table = Splitbft_consensus.Client_table
 module Sessions = Splitbft_consensus.Sessions
 module W = Splitbft_codec.Writer
 module R = Splitbft_codec.Reader
+module Ledger = Splitbft_storage.Ledger
+module Ledger_entry = Splitbft_storage.Entry
 
 type byz = Exec_honest | Exec_leak | Exec_corrupt | Exec_lie_checkpoint
 
@@ -65,6 +67,8 @@ type state = {
       (* latches when recovery completes so a stale retry prompt from the
          broker cannot re-enter the unseal path of a synced incarnation *)
   mutable halted : bool;
+  (* append-only rollback-protected ledger (None = storage disabled) *)
+  mutable ledger : Ledger.t option;
 }
 
 let create_state (cfg : Config.t) ~app =
@@ -93,7 +97,10 @@ let create_state (cfg : Config.t) ~app =
     instance_nonce = "";
     recovering = false;
     recovered_once = false;
-    halted = false }
+    halted = false;
+    ledger =
+      (if cfg.segment_entries > 0 then Some (Ledger.create ~segment_entries:cfg.segment_entries)
+       else None) }
 
 let in_window st seq = Log.in_window st.decided seq
 
@@ -243,7 +250,9 @@ let offer_session env st client =
 
 (* Executes one request and returns its conflict footprint (the keys the
    decrypted operation reads/writes, per the application's [classify]) —
-   empty for duplicates and operations that execute as no-ops. *)
+   empty for duplicates and operations that execute as no-ops — plus the
+   plaintext operation when one was actually applied (what the ledger
+   records: replaying exactly these reproduces the state transition). *)
 let execute_request env st ~byz (req : Message.request) =
   let c = Enclave.cost_model env in
   Enclave.charge_crypto env (c.decrypt_request_us +. c.reply_auth_us);
@@ -256,7 +265,7 @@ let execute_request env st ~byz (req : Message.request) =
       Enclave.emit env
         (Wire.encode_output (Wire.Out_send (Addr.client req.client, Message.Reply reply)))
     | None -> ());
-    State_machine.rw_none
+    (State_machine.rw_none, None)
   end
   else begin
     let session = Sessions.find st.sessions req.client in
@@ -279,11 +288,12 @@ let execute_request env st ~byz (req : Message.request) =
         (Wire.encode_output (Wire.Out_persist { tag = "exfil"; data = op }))
     | (Exec_honest | Exec_corrupt | Exec_leak | Exec_lie_checkpoint), _ -> ());
     (* Corrupted operations are ordered but executed as a no-op (§4). *)
-    let result, rw =
+    let result, rw, applied =
       match byz, plaintext_op with
-      | Exec_corrupt, Some _ -> ("CORRUPT", State_machine.rw_none)
-      | _, Some op -> (st.app.State_machine.apply op, st.app.State_machine.classify op)
-      | _, None -> (State_machine.noop_result, State_machine.rw_none)
+      | Exec_corrupt, Some _ -> ("CORRUPT", State_machine.rw_none, None)
+      | _, Some op ->
+        (st.app.State_machine.apply op, st.app.State_machine.classify op, Some op)
+      | _, None -> (State_machine.noop_result, State_machine.rw_none, None)
     in
     st.executed_total <- st.executed_total + 1;
     (match session with
@@ -307,8 +317,57 @@ let execute_request env st ~byz (req : Message.request) =
       Client_table.record st.clients req.client req.timestamp (Some reply);
       Enclave.emit env
         (Wire.encode_output (Wire.Out_send (Addr.client req.client, Message.Reply reply))));
-    rw
+    (rw, applied)
   end
+
+(* ----- append-only rollback-protected ledger (Proteus-style) -----
+
+   One entry per executed batch: (seq, committed digest, the plaintext
+   operations actually applied), with the op payload AEAD-sealed under
+   the ledger feed key so the untrusted host relaying it to followers
+   learns nothing.  Segment rotation binds a sealed header to the
+   "ledger" monotonic counter — the same rollback protection the "ckpt"
+   counter gives sealed checkpoints. *)
+
+let ledger_persist env recs =
+  List.iter
+    (fun (tag, data) ->
+      Enclave.ocall env (Wire.encode_output (Wire.Out_persist { tag; data })))
+    recs
+
+let ledger_append env st ~seq ~digest ops =
+  match st.ledger with
+  | None -> ()
+  | Some l ->
+    let c = Enclave.cost_model env in
+    Enclave.charge_io env c.ledger_block_us;
+    let blob = Ledger_entry.encode_ops (List.rev ops) in
+    Enclave.charge_crypto env (c.seal_per_byte_us *. float_of_int (String.length blob));
+    let sealed_ops = Ledger_entry.seal_ops ~seq blob in
+    ledger_persist env
+      (Ledger.append l
+         ~seal:(Enclave.seal env)
+         ~counter:(fun () -> Enclave.counter_increment env "ledger")
+         ~seq ~digest ~ops:sealed_ops)
+
+(* Compaction: once a 2f+1 quorum certified a checkpoint, every sealed
+   segment it fully covers is replaced by a sealed base record carrying
+   the certified state digest — replay(base, remaining entries) is the
+   exact pre-compaction state. *)
+let compact_ledger env st stable =
+  match st.ledger with
+  | None -> ()
+  | Some l ->
+    let state_digest =
+      match Ckpt.proof st.ckpt with
+      | ck :: _ when ck.Message.seq = stable -> ck.Message.state_digest
+      | _ -> ""
+    in
+    if String.length state_digest > 0 then
+      ledger_persist env
+        (Ledger.compact l ~stable ~state_digest
+           ~seal:(Enclave.seal env)
+           ~counter:(fun () -> Enclave.counter_increment env "ledger"))
 
 let persist_effects env st =
   let c = Enclave.cost_model env in
@@ -352,12 +411,20 @@ let rec try_execute env st ~byz =
          to a worker thread that waits for any conflicting earlier batch
          per the accumulated read/write footprint. *)
       Enclave.pool_run env (fun () ->
-          List.fold_left
-            (fun (rs, ws) req ->
-              let rw = execute_request env st ~byz req in
-              ( List.rev_append rw.State_machine.reads rs,
-                List.rev_append rw.State_machine.writes ws ))
-            ([], []) batch);
+          let rs, ws, ops =
+            List.fold_left
+              (fun (rs, ws, ops) req ->
+                let rw, applied = execute_request env st ~byz req in
+                ( List.rev_append rw.State_machine.reads rs,
+                  List.rev_append rw.State_machine.writes ws,
+                  match applied with Some op -> op :: ops | None -> ops ))
+              ([], [], []) batch
+          in
+          (* The ledger append rides the same pool task: chain state
+             advances inline in sequence order (deterministic), its cost
+             and records follow the batch onto the worker. *)
+          ledger_append env st ~seq ~digest ops;
+          (rs, ws));
       persist_effects env st;
       send_checkpoint_if_due env st ~byz seq;
       try_execute env st ~byz)
@@ -615,6 +682,27 @@ let on_recover env st blob_opt =
   end
   end
 
+(* Second phase of the restart handshake: the broker replays the
+   persisted ledger records.  Chain verification, torn-tail truncation
+   and the counter binding all live in [Ledger.recover]; a failure there
+   is tampering (not a crash) and takes the same halt+alert path as a
+   rolled-back checkpoint. *)
+let on_ledger_recover env st records =
+  match st.ledger with
+  | None -> ()
+  | Some _ ->
+    let c = Enclave.cost_model env in
+    Enclave.charge_io env (c.ledger_block_us *. float_of_int (List.length records));
+    let counter = Enclave.counter_read env "ledger" in
+    (match
+       Ledger.recover ~segment_entries:st.cfg.segment_entries ~counter
+         ~unseal:(Enclave.unseal env) records
+     with
+    | Error reason ->
+      st.halted <- true;
+      Enclave.emit env (Wire.encode_output (Wire.Out_alert ("execution: " ^ reason)))
+    | Ok r -> st.ledger <- Some r.Ledger.ledger)
+
 (* Full-request PrePrepares are duplicated into this compartment's log so
    Commits (which carry only digests) can be executed. *)
 let on_preprepare env st ~byz (pp : Message.preprepare) =
@@ -688,7 +776,9 @@ let on_newview env st (nv : Message.newview) =
     st.view <- nv.nv_view;
     Votes.reset st.commits;
     st.ahead <- [];
-    gc st (Ckpt.last_stable st.ckpt);
+    let stable = Ckpt.last_stable st.ckpt in
+    gc st stable;
+    compact_ledger env st stable;
     Enclave.emit env (Wire.encode_output (Wire.Out_entered_view st.view))
   end
 
@@ -743,6 +833,7 @@ let handle env st ~byz (input : Wire.input) =
     match input with
     | Wire.In_batch _ | Wire.In_suspect _ -> ()
     | Wire.In_recover blob -> on_recover env st blob
+    | Wire.In_ledger records -> on_ledger_recover env st records
     | Wire.In_net msg -> (
       match msg with
       | Message.Preprepare pp -> on_preprepare env st ~byz pp
@@ -755,6 +846,7 @@ let handle env st ~byz (input : Wire.input) =
           ~exec_lookup:st.exec_lookup st.ckpt ck
           ~on_stable:(fun stable ->
             gc st stable;
+            compact_ledger env st stable;
             (* The window just slid: re-drive commits that were ahead of
                it (any still ahead simply re-park). *)
             let pending = st.ahead in
@@ -782,7 +874,8 @@ let handle env st ~byz (input : Wire.input) =
       | Message.State_reply sr -> on_state_reply env st ~byz sr
       | Message.Request _ | Message.Preprepare_digest _ | Message.Prepare _
       | Message.Reply _ | Message.Viewchange _ | Message.Session_quote _
-      | Message.Session_ack _ ->
+      | Message.Session_ack _ | Message.Ledger_subscribe _
+      | Message.Ledger_feed _ | Message.Read_request _ | Message.Read_reply _ ->
         ())
 
 let make ?(byz = Exec_honest) (cfg : Config.t) ~app =

@@ -558,6 +558,7 @@ let handle env st ~byz (input : Wire.input) =
     match input with
     | Wire.In_batch reqs -> on_batch env st ~byz reqs
     | Wire.In_suspect _ -> ()  (* suspicion is the Confirmation compartment's trigger *)
+    | Wire.In_ledger _ -> ()  (* the ledger belongs to Execution *)
     | Wire.In_recover blob -> on_recover env st blob
     | Wire.In_net msg -> (
       match msg with
@@ -580,7 +581,8 @@ let handle env st ~byz (input : Wire.input) =
       | Message.Request _ | Message.Preprepare_digest _ | Message.Commit _
       | Message.Reply _ | Message.Session_quote _ | Message.Session_ack _
       | Message.Batch_fetch _ | Message.Batch_data _ | Message.State_request _
-      | Message.State_reply _ ->
+      | Message.State_reply _ | Message.Ledger_subscribe _
+      | Message.Ledger_feed _ | Message.Read_request _ | Message.Read_reply _ ->
         ())
 
 let make ?(byz = Prep_honest) (cfg : Config.t) =

@@ -9,6 +9,7 @@ type input =
   | In_batch of Message.request list
   | In_suspect of Ids.view
   | In_recover of string option
+  | In_ledger of (string * string) list
 
 type output =
   | Out_send of int * Message.t
@@ -36,6 +37,13 @@ let input_into w input =
     | Some b ->
       W.u8 w 1;
       W.bytes w b)
+  | In_ledger records ->
+    W.u8 w 5;
+    W.list w
+      (fun w (tag, data) ->
+        W.bytes w tag;
+        W.bytes w data)
+      records
 
 let encode_input_plain input = W.to_string input_into input
 
@@ -65,6 +73,12 @@ let decode_input_exact s =
         | 0 -> In_recover None
         | 1 -> In_recover (Some (R.bytes r))
         | p -> raise (R.Error (Printf.sprintf "bad recover presence byte %d" p)))
+      | 5 ->
+        In_ledger
+          (R.list r (fun r ->
+               let tag = R.bytes r in
+               let data = R.bytes r in
+               (tag, data)))
       | t -> raise (R.Error (Printf.sprintf "unknown input tag %d" t)))
     s
 

@@ -20,6 +20,11 @@ type input =
           checkpoint blob it holds for this compartment ([None] if storage
           has none).  The compartment unseals it, checks the bound
           monotonic counter, and either resumes or refuses (rollback). *)
+  | In_ledger of (string * string) list
+      (** second phase of the Execution restart handshake: the persisted
+          ledger records (oldest first).  The compartment replays them
+          through {!Splitbft_storage.Ledger.recover}, verifying the hash
+          chain and counter binding — refusing loudly on rollback. *)
 
 type output =
   | Out_send of int * Message.t  (** unicast to a network address *)

@@ -5,6 +5,7 @@ module Client = Splitbft_client.Client
 module Cost_model = Splitbft_tee.Cost_model
 module Proto = Splitbft_proto.Protocol_intf
 module State_machine = Splitbft_app.State_machine
+module Follower = Splitbft_storage.Follower
 
 type app_kind = App_kvs | App_ledger | App_counter
 
@@ -19,6 +20,8 @@ type params = {
   cost : Cost_model.t;
   net : Network.config;
   seed : int64;
+  followers : int;
+  follower_lag_bound : int;
 }
 
 let default_params ?n protocol =
@@ -32,7 +35,9 @@ let default_params ?n protocol =
     suspect_timeout_us = 500_000.0;
     cost = Cost_model.default;
     net = Network.default_config;
-    seed = 1L }
+    seed = 1L;
+    followers = 0;
+    follower_lag_bound = 64 }
 
 type node = Proto.packed
 
@@ -41,6 +46,7 @@ type t = {
   engine : Engine.t;
   net : Network.t;
   nodes : node list;
+  followers : Follower.t list;
 }
 
 let make_app kind () : State_machine.t =
@@ -66,7 +72,22 @@ let create ?tracer ?flight params =
     List.init params.n (fun i ->
         Proto.spawn params.protocol ctx shared ~id:i ~app:(make_app params.app))
   in
-  { params; engine; net; nodes }
+  let followers =
+    if params.followers = 0 then []
+    else
+      match Proto.followers params.protocol with
+      | Proto.No_followers ->
+        invalid_arg
+          "Cluster.create: this protocol instance publishes no committed-log \
+           feed (for SplitBFT, enable the ledger with ~segment_entries)"
+      | Proto.Follower_feed { sealed } ->
+        let f = Proto.f_of_n params.protocol params.n in
+        List.init params.followers (fun fid ->
+            Follower.create ~lag_bound:params.follower_lag_bound engine net ~fid
+              ~f ~n:params.n ~sealed
+              ~app:(make_app params.app ()))
+  in
+  { params; engine; net; nodes; followers }
 
 let params t = t.params
 let engine t = t.engine
@@ -105,6 +126,9 @@ let restart_host t i =
     ~kind:"host-restart" ~detail:"";
   Proto.restart_host (node t i)
 let tamper_checkpoint_counter t i = Proto.tamper_checkpoint_counter (node t i)
+let tamper_ledger_counter t i = Proto.tamper_ledger_counter (node t i)
+let followers t = t.followers
+let follower t fid = List.nth t.followers fid
 let recovered_of = Proto.recovered
 let recovery_alerts_of = Proto.recovery_alerts
 let persisted_of = Proto.persisted

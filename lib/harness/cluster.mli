@@ -25,11 +25,18 @@ type params = {
   cost : Splitbft_tee.Cost_model.t;
   net : Splitbft_sim.Network.config;
   seed : int64;
+  followers : int;
+      (** Read-only follower replicas subscribing to the committed-log
+          feed (0 = none).  Requires a protocol instance with
+          [Follower_feed] support — for SplitBFT, build it with
+          [Proto_splitbft.make ~segment_entries]. *)
+  follower_lag_bound : int;
+      (** Maximum vouched-tip lag at which followers still serve reads. *)
 }
 
 val default_params : ?n:int -> Proto.t -> params
 (** [n] defaults to the protocol's [default_n] (4 = 3f+1 for
-    PBFT/SplitBFT, 3 = 2f+1 for MinBFT). *)
+    PBFT/SplitBFT, 3 = 2f+1 for MinBFT); [followers] to 0. *)
 
 type node = Proto.packed
 
@@ -95,6 +102,18 @@ val tamper_checkpoint_counter : t -> Ids.replica_id -> unit
 (** Fault injection: reset the node's checkpoint monotonic counter (for
     SplitBFT, the Execution compartment's) — the rollback attack a
     subsequent {!restart_host} must detect and refuse. *)
+
+val tamper_ledger_counter : t -> Ids.replica_id -> unit
+(** Fault injection: reset the monotonic counter binding ledger segment
+    seals; a no-op for protocols without a rollback-protected ledger. *)
+
+(** {2 Followers} *)
+
+val followers : t -> Splitbft_storage.Follower.t list
+(** The read-only follower replicas, in follower-id order ([] when
+    [params.followers = 0]). *)
+
+val follower : t -> int -> Splitbft_storage.Follower.t
 
 val recovered_of : node -> bool
 (** The node completed at least one crash-recovery and none is pending. *)

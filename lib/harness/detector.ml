@@ -5,6 +5,7 @@ module Flight = Splitbft_obs.Flight
 module Message = Splitbft_types.Message
 module Addr = Splitbft_types.Addr
 module Proto = Splitbft_proto.Protocol_intf
+module Follower = Splitbft_storage.Follower
 
 type alert = { rule : string; replica : int; at : float; detail : string }
 
@@ -39,7 +40,8 @@ let rules =
     "prefix-lag";
     "disagreement";
     "retx-storm";
-    "quorum-stall" ]
+    "quorum-stall";
+    "follower-straggler" ]
 
 type t = {
   cluster : Cluster.t;
@@ -253,7 +255,9 @@ let on_payload t ~src ~dst payload =
       | Message.Request _ | Message.Reply _ | Message.Newview _
       | Message.Session_init _ | Message.Session_quote _ | Message.Session_key _
       | Message.Session_ack _ | Message.Batch_fetch _ | Message.Batch_data _
-      | Message.State_request _ | Message.State_reply _ -> ())
+      | Message.State_request _ | Message.State_reply _
+      | Message.Ledger_subscribe _ | Message.Ledger_feed _
+      | Message.Read_request _ | Message.Read_reply _ -> ())
 
 (* ---------- flight evidence ---------- *)
 
@@ -318,6 +322,24 @@ let sample t =
         raise_alert t ~rule:"prefix-lag" ~replica:i
           (Printf.sprintf "executed %d of %d (window %d)" c max_count lag_window))
     counts;
+  (* Follower straggler: a read-only follower stuck behind the vouched
+     cluster tip past the staleness bound.  Read through the same
+     Obs.Health plane the followers report their gauges into. *)
+  let follower_bound = (Cluster.params t.cluster).Cluster.follower_lag_bound in
+  List.iter
+    (fun fo ->
+      let fid = Follower.fid fo in
+      match
+        Health.latest t.health
+          ~labels:[ ("follower", string_of_int fid) ]
+          "follower.lag"
+      with
+      | Some lag when int_of_float lag > follower_bound ->
+        raise_alert t ~rule:"follower-straggler" ~replica:fid
+          (Printf.sprintf "lag %d behind the vouched tip (bound %d)"
+             (int_of_float lag) follower_bound)
+      | _ -> ())
+    (Cluster.followers t.cluster);
   (match
      Safety.agreement_of_logs
        (List.map (fun (i, n) -> (i, Cluster.executed_log_of n)) live)

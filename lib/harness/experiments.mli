@@ -230,3 +230,47 @@ val json_of_openloop : openloop_result -> Splitbft_obs.Json.t
 (** Flat labeled rows (one per sweep point, plus aggregate ["knee-zipf"],
     ["knee-uniform"] and ["p99-at-half-load"] rows) — the shape
     [bin/bench_check.ml] gates. *)
+
+(** {2 Storage — follower read scaling}
+
+    The ledger/follower sweep ([bench storage]): SplitBFT with the
+    rollback-protected ledger enabled (64-entry segments) feeding 0, 1, 2
+    and 4 read-only follower replicas, driven by the {!Workload.Reads}
+    95/5 Zipf-0.99 mix.  The 0-follower point routes reads through
+    consensus — the baseline the read-scaling ratio (and its CI gate,
+    [reads-f4] at ≥ 2x [reads-f0]) is measured against. *)
+
+type storage_point = {
+  st_label : string;  (** stable key the regression gate matches on *)
+  st_followers : int;
+  st_read_ops : float;  (** served reads per second inside the window *)
+  st_write_ops : float;
+  st_stale : int;  (** reads refused for exceeding the lag bound *)
+  st_refused : int;
+  st_wrong : int;
+  st_rd_mean_us : float;
+  st_rd_p99_us : float;
+}
+
+type storage_result = {
+  st_points : storage_point list;
+  st_scale_f4 : float;  (** [reads-f4] read throughput over [reads-f0] *)
+}
+
+val storage_spec : Workload.Reads.spec
+(** The default sweep spec: 8 drivers, 95/5 mix, Zipf 0.99 over 256 keys,
+    200 ms warm-up / 600 ms measurement. *)
+
+val storage :
+  ?follower_counts:int list ->
+  ?spec:Workload.Reads.spec ->
+  ?proto:Cluster.Proto.t ->
+  unit ->
+  storage_result
+(** [follower_counts] defaults to [[0; 1; 2; 4]]; [proto] to SplitBFT with
+    64-entry ledger segments. *)
+
+val print_storage : storage_result -> unit
+val json_of_storage : storage_result -> Splitbft_obs.Json.t
+(** Flat labeled rows (one per follower count, plus the aggregate
+    ["read-scale-f4-vs-f0"] ratio row the CI gate pins at >= 2.0). *)

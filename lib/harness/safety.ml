@@ -111,6 +111,50 @@ let check_agreement ?window cluster ~honest =
   agreement_of_logs ?window
     (List.map (fun i -> (i, Cluster.executed_log_of (Cluster.node cluster i))) honest)
 
+(* ----- follower consistency ----- *)
+
+type follower_verdict =
+  | Followers_ok
+  | Follower_conflict of { fid : int; seq : int }
+
+(* A follower's applied log must be a sub-log of what the honest replicas
+   committed: every (seq, digest) it installed appears with the same
+   digest in some honest executed log.  The f+1 vouching rule makes
+   anything else require f+1 faulty feeders — so a conflict here is a
+   harness/protocol bug, not an expected fault outcome. *)
+let follower_consistency_of_logs ~committed followers =
+  let table = Hashtbl.create 256 in
+  List.iter (List.iter (fun (seq, d) -> Hashtbl.replace table seq d)) committed;
+  let check_one acc (fid, log) =
+    match acc with
+    | Follower_conflict _ -> acc
+    | Followers_ok -> (
+      match
+        List.find_opt
+          (fun (seq, d) ->
+            match Hashtbl.find_opt table (Int64.of_int seq) with
+            | Some d' -> not (String.equal d d')
+            | None -> true  (* applied a batch no honest replica committed *))
+          log
+      with
+      | Some (seq, _) -> Follower_conflict { fid; seq }
+      | None -> Followers_ok)
+  in
+  List.fold_left check_one Followers_ok followers
+
+let check_followers cluster ~honest =
+  follower_consistency_of_logs
+    ~committed:
+      (List.map (fun i -> Cluster.executed_log_of (Cluster.node cluster i)) honest)
+    (List.map
+       (fun fo -> (Splitbft_storage.Follower.fid fo, Splitbft_storage.Follower.applied_log fo))
+       (Cluster.followers cluster))
+
+let describe_followers = function
+  | Followers_ok -> "followers consistent"
+  | Follower_conflict { fid; seq } ->
+    Printf.sprintf "follower %d applied a batch at seq %d no honest replica committed" fid seq
+
 type verdict = {
   live : bool;
   safe : bool;
@@ -120,15 +164,22 @@ type verdict = {
 
 let verdict ?prefix_window cluster ~honest ~scanner ~workload ~min_completed =
   let agreement = check_agreement ?window:prefix_window cluster ~honest in
+  let follower_ok = check_followers cluster ~honest in
   let storage = storage_leaks cluster ~honest_hosts:honest in
   let live = workload.Workload.completed_total >= min_completed in
-  let safe = agreement = Agreement && workload.Workload.wrong_results = 0 in
+  let safe =
+    agreement = Agreement && follower_ok = Followers_ok
+    && workload.Workload.wrong_results = 0
+  in
   let confidential = network_leaks scanner = 0 && storage = 0 in
   let detail =
     let parts = ref [] in
     (match agreement with
     | Agreement -> ()
     | bad -> parts := describe_agreement bad :: !parts);
+    (match follower_ok with
+    | Followers_ok -> ()
+    | bad -> parts := describe_followers bad :: !parts);
     if workload.Workload.wrong_results > 0 then
       parts := Printf.sprintf "%d wrong client results" workload.Workload.wrong_results :: !parts;
     if network_leaks scanner > 0 then

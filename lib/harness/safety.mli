@@ -55,6 +55,28 @@ val describe_agreement : agreement -> string
 
 val check_agreement : ?window:int -> Cluster.t -> honest:int list -> agreement
 
+(** {2 Follower consistency} *)
+
+type follower_verdict =
+  | Followers_ok
+  | Follower_conflict of { fid : int; seq : int }
+      (** follower [fid] applied a batch at [seq] that no honest replica
+          committed (or with a different digest) *)
+
+val follower_consistency_of_logs :
+  committed:(int64 * string) list list ->
+  (int * (int * string) list) list ->
+  follower_verdict
+(** Pure form: every (seq, digest) in each [(fid, applied log)] must
+    appear identically in some honest committed log. *)
+
+val check_followers : Cluster.t -> honest:int list -> follower_verdict
+(** {!follower_consistency_of_logs} over the cluster's followers and the
+    given honest replicas' executed logs.  Vacuously [Followers_ok] with
+    no followers.  Also folded into {!verdict}'s [safe]. *)
+
+val describe_followers : follower_verdict -> string
+
 type verdict = {
   live : bool;
   safe : bool;

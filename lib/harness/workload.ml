@@ -113,6 +113,214 @@ let run ?(at_warmup = fun () -> ()) cluster spec =
     wrong_results = !wrong;
     clients_ready = !ready }
 
+(* ===== read-heavy mix against follower replicas =====
+
+   The read-scaling experiment: closed-loop drivers issue a Zipfian
+   95/5 read/write mix.  Writes always take the quorum path through a
+   protocol-matched client.  Reads go to the follower replicas
+   (round-robin, one outstanding read per driver, retried on loss) when
+   the cluster has any — or through the same consensus client when it
+   does not, which is the 0-follower baseline the scaling ratio is
+   measured against.  Read throughput counts only reads actually served
+   from follower state; STALE/REFUSED replies are tallied separately. *)
+
+module Reads = struct
+  module Message = Splitbft_types.Message
+  module Addr = Splitbft_types.Addr
+  module Network = Splitbft_sim.Network
+  module Proto = Splitbft_proto.Protocol_intf
+  module Follower = Splitbft_storage.Follower
+  module Entry = Splitbft_storage.Entry
+
+  type spec = {
+    clients : int;
+    warmup_us : float;
+    duration_us : float;
+    read_ratio : float;
+    zipf_s : float;
+    keyspace : int;
+    payload_size : int;
+    read_retry_us : float;
+    ready_quorum : int option;
+  }
+
+  let default_spec =
+    { clients = 8;
+      warmup_us = 300_000.0;
+      duration_us = 1_000_000.0;
+      read_ratio = 0.95;
+      zipf_s = 0.99;
+      keyspace = 256;
+      payload_size = 10;
+      read_retry_us = 100_000.0;
+      ready_quorum = None }
+
+  type result = {
+    read_ops : float;  (** served reads per second inside the window *)
+    write_ops : float;
+    reads_ok : int;
+    writes_ok : int;
+    stale_reads : int;
+    refused_reads : int;
+    wrong_reads : int;
+    rd_mean_latency_us : float;
+    rd_p99_latency_us : float;
+  }
+
+  (* Read drivers answer at their own client addresses, disjoint from the
+     consensus clients' ids (0 .. clients-1). *)
+  let read_client_base = 500
+
+  let run ?(at_warmup = fun () -> ()) cluster spec =
+    let engine = Cluster.engine cluster in
+    let net = Cluster.network cluster in
+    let followers = Array.of_list (Cluster.followers cluster) in
+    let nf = Array.length followers in
+    let sealed =
+      match Proto.followers (Cluster.params cluster).Cluster.protocol with
+      | Proto.Follower_feed { sealed } -> sealed
+      | Proto.No_followers -> false
+    in
+    let writers =
+      Cluster.make_clients cluster ~count:spec.clients ~window:1
+        ?ready_quorum:spec.ready_quorum ()
+    in
+    let t_warm = Engine.now engine +. spec.warmup_us in
+    let t_end = t_warm +. spec.duration_us in
+    let rlat = Stats.create () in
+    let reads_ok = ref 0 and writes_ok = ref 0 in
+    let stale = ref 0 and refused = ref 0 and wrong = ref 0 in
+    let in_window () =
+      let now = Engine.now engine in
+      now >= t_warm && now < t_end
+    in
+    let note_read ~latency_us outcome =
+      (match outcome with
+      | `Ok -> if in_window () then begin incr reads_ok; Stats.add rlat latency_us end
+      | `Stale -> incr stale
+      | `Refused -> incr refused
+      | `Wrong -> incr wrong)
+    in
+    List.iteri
+      (fun ci writer ->
+        let rid = read_client_base + ci in
+        let rng =
+          Rng.of_key (Engine.seed engine) ~domain:"reads-driver"
+            ~stream:(Int64.of_int ci)
+        in
+        let zipf = Zipf.create ~s:spec.zipf_s ~n:spec.keyspace () in
+        let ts = ref 0L in
+        let i = ref 0 in
+        (* (outstanding ts, issue time, continuation) of the in-flight
+           follower read; replies for any other ts are stale duplicates. *)
+        let pending = ref None in
+        let issue_read ~key k =
+          ts := Int64.add !ts 1L;
+          let my_ts = !ts in
+          let plain = Kvs.encode_op (Kvs.Get key) in
+          let op =
+            if sealed then Entry.seal_read_op ~client:rid ~ts:my_ts plain else plain
+          in
+          let issued_at = Engine.now engine in
+          pending := Some (my_ts, issued_at, k);
+          let payload =
+            Message.encode
+              (Message.Read_request { rr_client = rid; rr_ts = my_ts; rr_op = op })
+          in
+          (* Round-robin over the followers; a retry moves to the next one,
+             so one dead follower only costs latency, not liveness. *)
+          let rec send attempt =
+            let fo = followers.((ci + Int64.to_int my_ts + attempt) mod nf) in
+            Network.send net ~src:(Addr.client rid)
+              ~dst:(Addr.follower (Follower.fid fo))
+              payload;
+            ignore
+              (Engine.schedule engine ~delay:spec.read_retry_us ~label:"reads:retry"
+                 (fun () ->
+                   match !pending with
+                   | Some (ts', _, _)
+                     when Int64.equal ts' my_ts && Engine.now engine < t_end ->
+                     send (attempt + 1)
+                   | _ -> ()))
+          in
+          send 0
+        in
+        Network.register net (Addr.client rid) (fun ~src:_ payload ->
+            match Message.decode payload with
+            | Ok (Message.Read_reply rd) -> (
+              match !pending with
+              | Some (ts', issued_at, k) when Int64.equal rd.rd_ts ts' ->
+                pending := None;
+                let latency_us = Engine.now engine -. issued_at in
+                let outcome =
+                  if String.equal rd.rd_result Follower.stale_result then `Stale
+                  else if String.equal rd.rd_result Follower.bad_op_result then
+                    `Refused
+                  else if sealed then
+                    match Entry.open_read_result ~client:rid ~ts:ts' rd.rd_result with
+                    | Ok _ -> `Ok
+                    | Error _ -> `Wrong
+                  else `Ok
+                in
+                note_read ~latency_us outcome;
+                if Engine.now engine < t_end then k ()
+              | _ -> ())
+            | Ok _ | Error _ -> ());
+        let rec step () =
+          if Engine.now engine < t_end then begin
+            incr i;
+            let is_read = Rng.float rng 1.0 < spec.read_ratio in
+            let key = Printf.sprintf "key-%d" (Zipf.sample zipf rng) in
+            if is_read && nf > 0 then issue_read ~key step
+            else if is_read then
+              (* 0-follower baseline: the read takes the full quorum path. *)
+              Client.submit writer ~op:(Kvs.encode_op (Kvs.Get key))
+                ~on_result:(fun ~latency_us ~result ->
+                  note_read ~latency_us
+                    (if String.equal result "CORRUPT" then `Wrong else `Ok);
+                  step ())
+            else
+              Client.submit writer
+                ~op:
+                  (Kvs.encode_op
+                     (Kvs.Put
+                        (key, value ~payload_size:spec.payload_size ~client:ci ~i:!i)))
+                ~on_result:(fun ~latency_us:_ ~result ->
+                  if String.equal result Kvs.ok && in_window () then incr writes_ok;
+                  step ())
+          end
+        in
+        Client.start writer ~on_ready:step)
+      writers;
+    ignore
+      (Engine.schedule engine ~delay:(t_warm -. Engine.now engine)
+         ~label:"reads:warmup-end" at_warmup);
+    Engine.run ~until:t_end engine;
+    List.iter Client.stop writers;
+    List.iteri
+      (fun ci _ -> Network.unregister net (Addr.client (read_client_base + ci)))
+      writers;
+    let per_sec c = float_of_int c /. (spec.duration_us /. 1e6) in
+    let reg = Engine.obs engine in
+    let module Registry = Splitbft_obs.Registry in
+    Registry.set_summary reg "reads.latency_us" rlat;
+    let set name v = Registry.set (Registry.gauge reg name) v in
+    set "reads.read_ops" (per_sec !reads_ok);
+    set "reads.write_ops" (per_sec !writes_ok);
+    set "reads.stale" (float_of_int !stale);
+    set "reads.refused" (float_of_int !refused);
+    set "reads.wrong" (float_of_int !wrong);
+    { read_ops = per_sec !reads_ok;
+      write_ops = per_sec !writes_ok;
+      reads_ok = !reads_ok;
+      writes_ok = !writes_ok;
+      stale_reads = !stale;
+      refused_reads = !refused;
+      wrong_reads = !wrong;
+      rd_mean_latency_us = Stats.mean rlat;
+      rd_p99_latency_us = Stats.percentile rlat 99.0 }
+end
+
 (* ===== open-loop traffic generation =====
 
    Closed-loop clients resubmit on completion, so offered load tracks

@@ -39,6 +39,47 @@ val run : ?at_warmup:(unit -> unit) -> Cluster.t -> spec -> result
     [at_warmup] fires at the start of the measurement window (used to
     reset enclave ecall statistics for Figure 4). *)
 
+(** Read-heavy mix against follower replicas: closed-loop drivers issue a
+    Zipfian read/write mix where writes take the quorum path and reads go
+    to the cluster's follower replicas — or through consensus when there
+    are none, the 0-follower baseline the read-scaling ratio is measured
+    against. *)
+module Reads : sig
+  type spec = {
+    clients : int;  (** concurrent drivers, each with one outstanding op *)
+    warmup_us : float;
+    duration_us : float;
+    read_ratio : float;  (** fraction of reads in the mix (0.95 here) *)
+    zipf_s : float;
+    keyspace : int;
+    payload_size : int;
+    read_retry_us : float;  (** re-send a lost follower read after this *)
+    ready_quorum : int option;
+  }
+
+  val default_spec : spec
+  (** 8 drivers, 95/5 mix, Zipf 0.99 over 256 keys, 0.3 s warm-up,
+      1 s measurement. *)
+
+  type result = {
+    read_ops : float;  (** served reads per second inside the window *)
+    write_ops : float;
+    reads_ok : int;
+    writes_ok : int;
+    stale_reads : int;  (** reads refused for exceeding the lag bound *)
+    refused_reads : int;  (** reads refused as malformed/non-read-only *)
+    wrong_reads : int;
+    rd_mean_latency_us : float;
+    rd_p99_latency_us : float;
+  }
+
+  val read_client_base : int
+  (** Client-id offset of the read drivers (their reply addresses),
+      disjoint from the consensus clients. *)
+
+  val run : ?at_warmup:(unit -> unit) -> Cluster.t -> spec -> result
+end
+
 (** Open-loop traffic generation: arrivals are scheduled by a time-varying
     arrival process independent of completions, latency is measured from
     arrival (client-side queueing included), and millions of simulated

@@ -26,6 +26,8 @@ module Proofs = Splitbft_consensus.Proofs
 module Newview = Splitbft_consensus.Newview
 module Tracer = Splitbft_obs.Tracer
 module Trace_ctx = Splitbft_obs.Trace_ctx
+module Ledger_entry = Splitbft_storage.Entry
+module Feed = Splitbft_storage.Feed
 
 let protocol_name = "pbft"
 
@@ -138,6 +140,9 @@ type t = {
   mutable recovered_count : int;
   mutable alerts : string list;  (* newest first *)
   recovery_timer : Timer.t;
+  (* read-only follower feed (plaintext: the baseline is not confidential) *)
+  mutable feed : Feed.t option;
+  mutable feed_chain : string;
   mutable cur_ctx : Trace_ctx.t option;
       (* trace context of the message being handled; [send_to]/[broadcast]
          default to it, so everything a handler emits joins its trace *)
@@ -173,8 +178,10 @@ let verify_cost t (msg : Message.t) =
   | Message.Newview nv -> c.verify_us *. float_of_int (Proofs.newview_sig_count nv)
   | Message.Batch_fetch _ | Message.Batch_data _ | Message.State_request _ -> 1.0
   | Message.State_reply sr -> c.verify_us *. float_of_int (List.length sr.st_proof)
+  | Message.Ledger_subscribe _ -> 1.0
   | Message.Reply _ | Message.Session_init _ | Message.Session_quote _
-  | Message.Session_key _ | Message.Session_ack _ ->
+  | Message.Session_key _ | Message.Session_ack _ | Message.Ledger_feed _
+  | Message.Read_request _ | Message.Read_reply _ ->
     0.0
 
 let core_cost t (msg : Message.t) =
@@ -217,8 +224,12 @@ let verify_ok t (msg : Message.t) =
     (* snapshot certified by its checkpoint proof, entries by f+1 matching
        repliers — both checked in the handler *)
     true
+  | Message.Ledger_subscribe _ ->
+    (* served from already-committed host state; the feed is content-addressed *)
+    true
   | Message.Reply _ | Message.Session_init _ | Message.Session_quote _
-  | Message.Session_key _ | Message.Session_ack _ ->
+  | Message.Session_key _ | Message.Session_ack _ | Message.Ledger_feed _
+  | Message.Read_request _ | Message.Read_reply _ ->
     false
 
 (* ----- tracing ----- *)
@@ -439,6 +450,7 @@ let rec try_execute t =
       Hashtbl.replace t.executed_digests seq pd.pd_digest;
       let c = t.cfg.cost in
       let replies = ref [] in
+      let applied_ops = ref [] in
       List.iter
         (fun (req : Message.request) ->
           Hashtbl.remove t.awaiting (req.client, req.timestamp);
@@ -446,7 +458,9 @@ let rec try_execute t =
             let result =
               match t.byz with
               | Corrupt_execution -> "CORRUPT"
-              | Honest | Equivocate _ | Collude | Mute_commits -> t.app.apply req.payload
+              | Honest | Equivocate _ | Collude | Mute_commits ->
+                applied_ops := req.payload :: !applied_ops;
+                t.app.apply req.payload
             in
             let reply = make_reply t ~req ~result in
             Client_table.record t.clients req.client req.timestamp (Some reply);
@@ -454,6 +468,16 @@ let rec try_execute t =
             t.executed_total <- t.executed_total + 1
           end)
         batch;
+      (match t.feed with
+      | None -> ()
+      | Some fd ->
+        let e =
+          { Ledger_entry.seq;
+            digest = pd.pd_digest;
+            ops = Ledger_entry.encode_ops (List.rev !applied_ops) }
+        in
+        t.feed_chain <- Ledger_entry.next_chain ~prev:t.feed_chain e;
+        Feed.publish fd (Ledger_entry.encode_record ~chain:t.feed_chain e));
       List.iter
         (fun (State_machine.Persist { tag; data }) ->
           t.persist_log <- (tag, data) :: t.persist_log)
@@ -966,6 +990,13 @@ let on_state_reply t (sr : Message.state_reply) =
     finish_recovery t
   end
 
+(* Host-level, off the consensus path: the feed serves already-committed
+   entries, so a subscription touches no protocol state. *)
+let on_ledger_subscribe t (ls : Message.ledger_subscribe) =
+  match t.feed with
+  | Some fd -> Feed.subscribe fd ~follower:ls.lsu_follower ~from:ls.lsu_from
+  | None -> ()
+
 let handle t ~src:_ (msg : Message.t) =
   match msg with
   | Message.Request r -> on_request t r
@@ -980,8 +1011,10 @@ let handle t ~src:_ (msg : Message.t) =
   | Message.Batch_data bd -> on_batch_data t bd
   | Message.State_request sr -> on_state_request t sr
   | Message.State_reply sr -> on_state_reply t sr
+  | Message.Ledger_subscribe ls -> on_ledger_subscribe t ls
   | Message.Reply _ | Message.Session_init _ | Message.Session_quote _
-  | Message.Session_key _ | Message.Session_ack _ ->
+  | Message.Session_key _ | Message.Session_ack _ | Message.Ledger_feed _
+  | Message.Read_request _ | Message.Read_reply _ ->
     ()
 
 let on_payload t ~src payload =
@@ -1107,6 +1140,8 @@ let create engine net cfg ~app =
         recovering = false;
         recovered_count = 0;
         alerts = [];
+        feed = None;
+        feed_chain = "";
         recovery_timer =
           Timer.create engine
             ~label:(Printf.sprintf "pbft%d-recovery" cfg.id)
@@ -1127,6 +1162,7 @@ let create engine net cfg ~app =
         cur_ctx = None }
   in
   let t = Lazy.force t in
+  t.feed <- Some (Feed.create ~net ~src:(Addr.replica cfg.id) ~replica:cfg.id);
   Network.register net (Addr.replica cfg.id) (fun ~src payload -> on_payload t ~src payload);
   t
 
@@ -1230,6 +1266,12 @@ let restart t =
     match !refused with
     | Some reason -> t.alerts <- reason :: t.alerts  (* stay down, loudly *)
     | None ->
+      (* Feed cache and subscriptions were host memory: gone with the
+         crash.  Followers re-subscribe on their timer; re-executed
+         entries re-populate the cache (content-identical, since
+         execution is deterministic). *)
+      (match t.feed with Some fd -> Feed.reset fd ~records:[] | None -> ());
+      t.feed_chain <- "";
       t.crashed <- false;
       t.epoch <- t.epoch + 1;
       t.recovering <- true;

@@ -44,6 +44,8 @@ let make ?(byzantine = fun (_ : Ids.replica_id) -> R.Honest) () : Protocol_intf.
     let crash_host = R.crash
     let restart_host = R.restart
     let tamper_checkpoint_counter r = R.tamper_counter r "ckpt"
+    let tamper_ledger_counter _ = ()
+    let followers = Protocol_intf.No_followers
     let recovered = R.recovered
     let recovery_alerts = R.recovery_alerts
     let reveal r = Minbft r

@@ -44,6 +44,11 @@ let make ?(byzantine = fun (_ : Ids.replica_id) -> R.Honest) () : Protocol_intf.
     let crash_host = R.crash
     let restart_host = R.restart
     let tamper_checkpoint_counter r = R.tamper_counter r "ckpt"
+
+    (* The PBFT feed is a host-level convenience over the committed log —
+       plaintext, no rollback-protected ledger, so no counter to tamper. *)
+    let tamper_ledger_counter _ = ()
+    let followers = Protocol_intf.Follower_feed { sealed = false }
     let recovered = R.recovered
     let recovery_alerts = R.recovery_alerts
     let reveal r = Pbft r

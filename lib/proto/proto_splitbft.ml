@@ -23,8 +23,8 @@ let honest_enclaves =
 type Protocol_intf.witness += Splitbft of R.t
 
 let make ?(threading = Config.Per_enclave) ?(verify_cache = true) ?(lanes = 1)
-    ?(exec_workers = 1) ?(byz = fun (_ : Ids.replica_id) -> honest_enclaves) () :
-    Protocol_intf.t =
+    ?(exec_workers = 1) ?(segment_entries = 0)
+    ?(byz = fun (_ : Ids.replica_id) -> honest_enclaves) () : Protocol_intf.t =
   (module struct
     let name = "splitbft"
     let confidential = true
@@ -44,7 +44,8 @@ let make ?(threading = Config.Per_enclave) ?(verify_cache = true) ?(lanes = 1)
         suspect_timeout_us = s.suspect_timeout_us;
         verify_cache_capacity = (if verify_cache then 1024 else 0);
         lanes;
-        exec_workers }
+        exec_workers;
+        segment_entries }
 
     let spawn ctx (cfg : config) ~app =
       let module C = (val ctx : Protocol_intf.CONTEXT) in
@@ -68,6 +69,15 @@ let make ?(threading = Config.Per_enclave) ?(verify_cache = true) ?(lanes = 1)
     (* The Execution compartment holds the replicated state; rolling its
        counter back is the canonical attack. *)
     let tamper_checkpoint_counter r = R.tamper_counter r Ids.Execution "ckpt"
+
+    (* The ledger counter also lives in Execution: segment seals bind to
+       it the same way checkpoint seals bind to "ckpt". *)
+    let tamper_ledger_counter r = R.tamper_counter r Ids.Execution "ledger"
+
+    let followers : Protocol_intf.follower_support =
+      if segment_entries > 0 then Protocol_intf.Follower_feed { sealed = true }
+      else Protocol_intf.No_followers
+
     let recovered = R.recovered
     let recovery_alerts = R.recovery_alerts
     let reveal r = Splitbft r

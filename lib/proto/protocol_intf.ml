@@ -61,6 +61,14 @@ let context engine network : context =
 
 type witness = ..
 
+(** Follower-replica support.  A protocol with [Follower_feed] publishes
+    its committed log through the untrusted host, so read-only follower
+    replicas can subscribe and serve stale-bounded reads off the critical
+    path; [sealed] says whether feed entries carry AEAD-sealed operations
+    (the confidential dialect — followers must hold the attested feed
+    key) or plaintext.  [No_followers] protocols simply have no feed. *)
+type follower_support = Follower_feed of { sealed : bool } | No_followers
+
 module type PROTOCOL = sig
   val name : string
 
@@ -114,6 +122,14 @@ module type PROTOCOL = sig
   (** Roll back the monotonic counter guarding checkpoint seals — the
       attack a subsequent {!restart_host} must refuse. *)
 
+  val tamper_ledger_counter : node -> unit
+  (** Roll back the monotonic counter guarding ledger segment seals; a
+      no-op for protocols without a rollback-protected ledger. *)
+
+  (** {2 Follower replicas} *)
+
+  val followers : follower_support
+
   val recovered : node -> bool
   val recovery_alerts : node -> string list
 
@@ -154,6 +170,10 @@ let client_protocol (p : t) ~n ~ready_quorum =
   let module P = (val p) in
   P.client_protocol ~n ~ready_quorum
 
+let followers (p : t) =
+  let module P = (val p) in
+  P.followers
+
 (** {2 Uniform accessors over packed nodes} *)
 
 let node_name (Node ((module P), _)) = P.name
@@ -166,6 +186,8 @@ let persisted (Node ((module P), n)) = P.persisted n
 let crash_host (Node ((module P), n)) = P.crash_host n
 let restart_host (Node ((module P), n)) = P.restart_host n
 let tamper_checkpoint_counter (Node ((module P), n)) = P.tamper_checkpoint_counter n
+let tamper_ledger_counter (Node ((module P), n)) = P.tamper_ledger_counter n
+let node_followers (Node ((module P), _)) = P.followers
 let recovered (Node ((module P), n)) = P.recovered n
 let recovery_alerts (Node ((module P), n)) = P.recovery_alerts n
 let reveal (Node ((module P), n)) = P.reveal n

@@ -1,0 +1,39 @@
+type t = {
+  mutable recs : (string * string) list;  (* newest first *)
+  mutable writes : int;
+  mutable crash_at : int;  (* -1 = disarmed *)
+  mutable torn : int option;
+  mutable dead : bool;
+}
+
+let create () = { recs = []; writes = 0; crash_at = -1; torn = None; dead = false }
+
+let arm_crash t ~at ~torn =
+  t.crash_at <- at;
+  t.torn <- torn
+
+let write t ~tag data =
+  if t.dead then false
+  else begin
+    let i = t.writes in
+    t.writes <- i + 1;
+    if i = t.crash_at then begin
+      t.dead <- true;
+      (match t.torn with
+      | Some k when k < String.length data ->
+        (* Torn write: a prefix of the record reached the medium before
+           the crash.  Recovery must detect and truncate it. *)
+        t.recs <- (tag, String.sub data 0 k) :: t.recs
+      | Some _ -> t.recs <- (tag, data) :: t.recs
+      | None -> ());
+      false
+    end
+    else begin
+      t.recs <- (tag, data) :: t.recs;
+      true
+    end
+  end
+
+let records t = List.rev t.recs
+let write_count t = t.writes
+let dead t = t.dead

@@ -1,0 +1,27 @@
+(** Simulated append-only persistent medium with crash injection.
+
+    The torture tests drive {!Ledger} output through this store, arm a
+    crash at every write index (clean and torn variants), then feed the
+    surviving records back into {!Ledger.recover} and assert that no
+    sealed-segment entry is lost and that rollbacks are refused.  The
+    production path does not go through this module — the broker's
+    storage assoc plays the disk there — but the record stream is the
+    same, so what the torture test certifies is the real recovery code. *)
+
+type t
+
+val create : unit -> t
+
+val arm_crash : t -> at:int -> torn:int option -> unit
+(** Crash on the [at]-th write (0-based).  With [torn = Some k] the first
+    [k] bytes of that record reach the medium; with [None] the record is
+    lost whole.  Writes after the crash are dropped. *)
+
+val write : t -> tag:string -> string -> bool
+(** [false] once the medium is dead (including the crashing write). *)
+
+val records : t -> (string * string) list
+(** Surviving records, oldest first — the recovery input. *)
+
+val write_count : t -> int
+val dead : t -> bool

@@ -1,0 +1,61 @@
+(** One committed ledger entry and its record format.
+
+    An entry is the unit the Execution compartment appends per executed
+    batch: the consensus sequence number, the committed batch digest, and
+    the operation payload actually applied (AEAD-sealed under the ledger
+    feed key in SplitBFT, plaintext in the PBFT baseline).  Records add a
+    running hash chain so recovery and followers can verify integrity;
+    the chain is {e excluded} from {!content_digest} because replicas that
+    state-transferred across a crash window have gaps and therefore
+    divergent chains, while the entry content itself is byte-identical on
+    every honest replica — which is what followers vouch on. *)
+
+type t = {
+  seq : int;  (** consensus sequence number *)
+  digest : string;  (** committed batch digest *)
+  ops : string;  (** applied-operation payload (possibly sealed) *)
+}
+
+(** {2 Operation payload} *)
+
+val encode_ops : string list -> string
+(** Encodes the plaintext operations applied at this entry, in order —
+    duplicates and no-ops are already filtered, so replaying exactly this
+    list reproduces the replica's state transition. *)
+
+val decode_ops : string -> (string list, string) result
+
+(** {2 Ledger feed channel}
+
+    Deterministic AEAD under a key derived from the Execution measurement
+    (same modelling license as state transfer): the nonce is a pure
+    function of [seq], so honest replicas seal byte-identical entries. *)
+
+val seal_ops : seq:int -> string -> string
+val open_ops : seq:int -> string -> (string, string) result
+
+(** {2 Content digest and hash chain} *)
+
+val content_digest : t -> string
+(** Digest of (seq, digest, ops) — the value [f + 1] replicas must agree
+    on before a follower installs the entry.  Excludes the chain. *)
+
+val next_chain : prev:string -> t -> string
+(** Running chain hash: [H(prev || content_digest t)]. *)
+
+(** {2 Record codec} *)
+
+val encode_record : chain:string -> t -> string
+val decode_record : string -> (t * string, string) result
+
+val seq_of_record : string -> int option
+(** Sequence number without a full decode (host-side routing/GC). *)
+
+(** {2 Follower read channel}
+
+    Client/follower read traffic for confidential protocols. *)
+
+val seal_read_op : client:int -> ts:int64 -> string -> string
+val open_read_op : client:int -> ts:int64 -> string -> (string, string) result
+val seal_read_result : client:int -> ts:int64 -> string -> string
+val open_read_result : client:int -> ts:int64 -> string -> (string, string) result

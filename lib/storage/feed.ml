@@ -1,0 +1,86 @@
+module Network = Splitbft_sim.Network
+module Message = Splitbft_types.Message
+module Addr = Splitbft_types.Addr
+
+let chunk = 64
+
+type t = {
+  net : Network.t;
+  src : int;  (* our host's network address *)
+  replica : int;
+  mutable base : int;
+  mutable tip : int;
+  mutable cache : (int * string) list;  (* newest first *)
+  subs : (int, unit) Hashtbl.t;  (* follower ids *)
+}
+
+let create ~net ~src ~replica =
+  { net; src; replica; base = 0; tip = 0; cache = []; subs = Hashtbl.create 4 }
+
+let tip t = t.tip
+let base t = t.base
+let subscribers t = Hashtbl.length t.subs
+
+let send t ~follower records =
+  Network.send t.net ~src:t.src ~dst:(Addr.follower follower)
+    (Message.encode
+       (Message.Ledger_feed
+          { lf_replica = t.replica; lf_tip = t.tip; lf_base = t.base; lf_records = records }))
+
+let publish t record =
+  match Entry.seq_of_record record with
+  | None -> ()
+  | Some seq ->
+    if seq > t.tip then begin
+      t.tip <- seq;
+      t.cache <- (seq, record) :: t.cache;
+      Hashtbl.iter (fun fid () -> send t ~follower:fid [ record ]) t.subs
+    end
+
+let rec send_chunks t ~follower records =
+  match records with
+  | [] -> ()
+  | _ ->
+    let rec take n acc rest =
+      match (n, rest) with
+      | 0, _ | _, [] -> (List.rev acc, rest)
+      | n, x :: tl -> take (n - 1) (x :: acc) tl
+    in
+    let head, rest = take chunk [] records in
+    send t ~follower head;
+    send_chunks t ~follower rest
+
+let subscribe t ~follower ~from =
+  Hashtbl.replace t.subs follower ();
+  let pending =
+    List.filter (fun (s, _) -> s >= from) t.cache
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    |> List.map snd
+  in
+  (* An empty feed still carries tip/base, which is what lag tracking
+     needs from an up-to-date replica. *)
+  if pending = [] then send t ~follower [] else send_chunks t ~follower pending
+
+let set_base t b = if b > t.base then t.base <- b
+
+let reset t ~records =
+  (* Host restart: the in-memory cache died with the process; rebuild it
+     from what survived on disk (post-GC, so followers needing older
+     entries must lean on the other replicas' feeds — f + 1 of n suffice). *)
+  Hashtbl.reset t.subs;
+  t.cache <- [];
+  t.tip <- 0;
+  t.base <- 0;
+  List.iter
+    (fun (tag, data) ->
+      if String.equal tag Ledger.entry_tag then (
+        match Entry.seq_of_record data with
+        | Some seq when seq > t.tip ->
+          t.tip <- seq;
+          t.cache <- (seq, data) :: t.cache
+        | Some _ | None -> ())
+      else if String.equal tag Ledger.cut_tag then
+        match int_of_string_opt data with
+        | Some b -> set_base t b
+        | None -> ())
+    records

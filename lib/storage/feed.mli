@@ -1,0 +1,36 @@
+(** Broker-side ledger feed: streams persisted entry records to
+    subscribed read-only followers.
+
+    Lives on the untrusted host (the broker in SplitBFT, the replica
+    process in the PBFT baseline) — it only ever handles records the
+    enclave already sealed and chained, so serving them needs no enclave
+    transition and stays entirely off the consensus critical path.
+    Subscription state is host memory: it dies with a crash, and
+    followers re-subscribe on their periodic timer. *)
+
+type t
+
+val create : net:Splitbft_sim.Network.t -> src:int -> replica:int -> t
+(** [src] is the address feed messages are sent from (the host's own
+    network address); [replica] is the id stamped into [lf_replica]. *)
+
+val publish : t -> string -> unit
+(** Called as each entry record is persisted: caches it and pushes it to
+    every current subscriber.  Out-of-order or duplicate records (by the
+    record's sequence prefix) are ignored. *)
+
+val subscribe : t -> follower:int -> from:int -> unit
+(** Registers the follower and replays cached records from [from] on, in
+    chunks; always sends at least one (possibly empty) feed so the
+    follower learns this replica's tip. *)
+
+val set_base : t -> int -> unit
+(** Records the compaction floor advertised in [lf_base]. *)
+
+val reset : t -> records:(string * string) list -> unit
+(** Host-restart path: clears subscriptions and rebuilds the cache from
+    the persisted (post-GC) records, oldest first. *)
+
+val tip : t -> int
+val base : t -> int
+val subscribers : t -> int

@@ -1,0 +1,67 @@
+(** Read-only follower replica: subscribes to the committed ledger feed
+    and serves stale-bounded reads off the consensus critical path.
+
+    A follower is an untrusted-host process holding the ledger channel
+    key (modelling an attested provisioned reader — see {!Entry}).  It
+    periodically re-subscribes to every replica's broker, installs an
+    entry only once [f + 1] distinct replicas have fed byte-identical
+    content (the PR-3 vouching rule: entry records are unsigned but
+    content-addressed), applies entries strictly in sequence order, and
+    answers {!Splitbft_types.Message.read_request}s from its applied
+    prefix — refusing when its lag behind the vouched cluster tip
+    exceeds the staleness bound, so a partitioned follower degrades to
+    refusal rather than serving arbitrarily old state.
+
+    Reports [follower.applied_seq] / [follower.lag] gauges and
+    [follower.reads] / [follower.reads_stale_refused] /
+    [follower.entries_applied] counters (labelled by follower id) into
+    the engine's registry, which is how the anomaly detector and the
+    health dashboard see stragglers. *)
+
+type t
+
+val create :
+  ?lag_bound:int ->
+  ?resubscribe_every:float ->
+  ?read_service_us:float ->
+  Splitbft_sim.Engine.t ->
+  Splitbft_sim.Network.t ->
+  fid:int ->
+  f:int ->
+  n:int ->
+  sealed:bool ->
+  app:Splitbft_app.State_machine.t ->
+  t
+(** Registers at [Addr.follower fid] and starts the subscription timer.
+    [lag_bound] (default 64) is the maximum vouched-tip lag at which
+    reads are still served; [resubscribe_every] (default 200 ms) paces
+    re-subscription and gauge refresh.  [read_service_us] (default
+    100 µs) is the per-read service time on the follower's single serial
+    service context — the finite capacity that makes read throughput
+    scale with follower count.  [sealed] selects the confidential
+    entry/read channels (SplitBFT) versus plaintext (PBFT baseline). *)
+
+val stop : t -> unit
+
+val stale_result : string
+(** [rd_result] of a read refused for exceeding the staleness bound
+    (sent in the clear — it carries no application data). *)
+
+val bad_op_result : string
+(** [rd_result] of a read refused as malformed or non-read-only. *)
+
+(** {2 Introspection} *)
+
+val fid : t -> int
+val applied : t -> int
+val lag : t -> int
+val reads_served : t -> int
+val stale_refused : t -> int
+val entries_applied : t -> int
+
+val applied_log : t -> (int * string) list
+(** (seq, committed batch digest) pairs applied so far, ascending — what
+    the safety checker compares against the replicas' executed logs. *)
+
+val app_digest : t -> string
+(** Digest of the follower's application state. *)

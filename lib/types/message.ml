@@ -119,6 +119,26 @@ type state_reply = {
   st_entries : state_entry list;
 }
 
+type ledger_subscribe = { lsu_follower : int; lsu_from : Ids.seqno }
+
+type ledger_feed = {
+  lf_replica : Ids.replica_id;
+  lf_tip : Ids.seqno;
+  lf_base : Ids.seqno;
+  lf_records : string list;
+}
+
+type read_request = { rr_client : Ids.client_id; rr_ts : int64; rr_op : string }
+
+type read_reply = {
+  rd_follower : int;
+  rd_client : Ids.client_id;
+  rd_ts : int64;
+  rd_seq : Ids.seqno;
+  rd_lag : int;
+  rd_result : string;
+}
+
 type t =
   | Request of request
   | Preprepare of preprepare
@@ -137,6 +157,10 @@ type t =
   | Batch_data of batch_data
   | State_request of state_request
   | State_reply of state_reply
+  | Ledger_subscribe of ledger_subscribe
+  | Ledger_feed of ledger_feed
+  | Read_request of read_request
+  | Read_reply of read_reply
 
 let tag = function
   | Request _ -> 1
@@ -156,6 +180,10 @@ let tag = function
   | Batch_data _ -> 15
   | State_request _ -> 16
   | State_reply _ -> 17
+  | Ledger_subscribe _ -> 18
+  | Ledger_feed _ -> 19
+  | Read_request _ -> 20
+  | Read_reply _ -> 21
 
 let type_name = function
   | Request _ -> "request"
@@ -175,6 +203,10 @@ let type_name = function
   | Batch_data _ -> "batch-data"
   | State_request _ -> "state-request"
   | State_reply _ -> "state-reply"
+  | Ledger_subscribe _ -> "ledger-subscribe"
+  | Ledger_feed _ -> "ledger-feed"
+  | Read_request _ -> "read-request"
+  | Read_reply _ -> "read-reply"
 
 (* ----- request ----- *)
 
@@ -538,6 +570,58 @@ let read_state_reply r : state_reply =
   let st_entries = R.list r read_state_entry in
   { st_replier; st_requester; st_stable; st_proof; st_snapshot; st_view; st_entries }
 
+(* ----- ledger followers (read replicas) ----- *)
+
+let write_ledger_subscribe w (s : ledger_subscribe) =
+  W.varint w s.lsu_follower;
+  W.varint w s.lsu_from
+
+let read_ledger_subscribe r : ledger_subscribe =
+  let lsu_follower = R.varint r in
+  let lsu_from = R.varint r in
+  { lsu_follower; lsu_from }
+
+let write_ledger_feed w (f : ledger_feed) =
+  W.varint w f.lf_replica;
+  W.varint w f.lf_tip;
+  W.varint w f.lf_base;
+  W.list w W.bytes f.lf_records
+
+let read_ledger_feed r : ledger_feed =
+  let lf_replica = R.varint r in
+  let lf_tip = R.varint r in
+  let lf_base = R.varint r in
+  let lf_records = R.list r R.bytes in
+  { lf_replica; lf_tip; lf_base; lf_records }
+
+let write_read_request w (rr : read_request) =
+  W.varint w rr.rr_client;
+  W.u64 w rr.rr_ts;
+  W.bytes w rr.rr_op
+
+let read_read_request r : read_request =
+  let rr_client = R.varint r in
+  let rr_ts = R.u64 r in
+  let rr_op = R.bytes r in
+  { rr_client; rr_ts; rr_op }
+
+let write_read_reply w (rd : read_reply) =
+  W.varint w rd.rd_follower;
+  W.varint w rd.rd_client;
+  W.u64 w rd.rd_ts;
+  W.varint w rd.rd_seq;
+  W.varint w rd.rd_lag;
+  W.bytes w rd.rd_result
+
+let read_read_reply r : read_reply =
+  let rd_follower = R.varint r in
+  let rd_client = R.varint r in
+  let rd_ts = R.u64 r in
+  let rd_seq = R.varint r in
+  let rd_lag = R.varint r in
+  let rd_result = R.bytes r in
+  { rd_follower; rd_client; rd_ts; rd_seq; rd_lag; rd_result }
+
 (* ----- top-level ----- *)
 
 let encode_into w msg =
@@ -560,6 +644,10 @@ let encode_into w msg =
   | Batch_data x -> write_batch_data w x
   | State_request x -> write_state_request w x
   | State_reply x -> write_state_reply w x
+  | Ledger_subscribe x -> write_ledger_subscribe w x
+  | Ledger_feed x -> write_ledger_feed w x
+  | Read_request x -> write_read_request w x
+  | Read_reply x -> write_read_reply w x
 
 let encode msg = W.to_string encode_into msg
 
@@ -584,6 +672,10 @@ let decode_exact s =
       | 15 -> Batch_data (read_batch_data r)
       | 16 -> State_request (read_state_request r)
       | 17 -> State_reply (read_state_reply r)
+      | 18 -> Ledger_subscribe (read_ledger_subscribe r)
+      | 19 -> Ledger_feed (read_ledger_feed r)
+      | 20 -> Read_request (read_read_request r)
+      | 21 -> Read_reply (read_read_reply r)
       | t -> raise (R.Error (Printf.sprintf "unknown message tag %d" t)))
     s
 
@@ -650,3 +742,12 @@ let pp ppf msg =
   | State_reply s ->
     Format.fprintf ppf "state-reply(stable=%d |e|=%d from %d)" s.st_stable
       (List.length s.st_entries) s.st_replier
+  | Ledger_subscribe s ->
+    Format.fprintf ppf "ledger-subscribe(f=%d from=%d)" s.lsu_follower s.lsu_from
+  | Ledger_feed f ->
+    Format.fprintf ppf "ledger-feed(tip=%d base=%d |e|=%d from %d)" f.lf_tip f.lf_base
+      (List.length f.lf_records) f.lf_replica
+  | Read_request rr -> Format.fprintf ppf "read-request(c=%d ts=%Ld)" rr.rr_client rr.rr_ts
+  | Read_reply rd ->
+    Format.fprintf ppf "read-reply(c=%d seq=%d lag=%d from f%d)" rd.rd_client rd.rd_seq
+      rd.rd_lag rd.rd_follower

@@ -152,6 +152,37 @@ type state_reply = {
   st_entries : state_entry list;  (** decided suffix above the stable point *)
 }
 
+(** Ledger follower protocol (read replicas off the consensus path). *)
+
+type ledger_subscribe = { lsu_follower : int; lsu_from : Ids.seqno }
+(** Sent by a follower to every replica host: "stream me committed ledger
+    records from [lsu_from] on".  Handled by the untrusted broker — the
+    ledger records it serves are already sealed and chain-verified, so
+    subscription needs no enclave transition. *)
+
+type ledger_feed = {
+  lf_replica : Ids.replica_id;
+  lf_tip : Ids.seqno;  (** highest entry this replica has appended *)
+  lf_base : Ids.seqno;  (** compaction floor (0 = nothing compacted) *)
+  lf_records : string list;  (** encoded ledger entry records, seq order *)
+}
+(** Entry records are unsigned but content-addressed: a follower installs a
+    slot only once [f + 1] distinct replicas feed byte-identical entry
+    content (the same vouching rule as {!state_entry}). *)
+
+type read_request = { rr_client : Ids.client_id; rr_ts : int64; rr_op : string }
+(** A stale-bounded read addressed to a follower.  [rr_op] is AEAD-protected
+    under the follower read channel when the protocol is confidential. *)
+
+type read_reply = {
+  rd_follower : int;
+  rd_client : Ids.client_id;
+  rd_ts : int64;
+  rd_seq : Ids.seqno;  (** applied prefix the read was served at *)
+  rd_lag : int;  (** vouched cluster tip minus [rd_seq] at serve time *)
+  rd_result : string;
+}
+
 type t =
   | Request of request
   | Preprepare of preprepare
@@ -170,6 +201,10 @@ type t =
   | Batch_data of batch_data
   | State_request of state_request
   | State_reply of state_reply
+  | Ledger_subscribe of ledger_subscribe
+  | Ledger_feed of ledger_feed
+  | Read_request of read_request
+  | Read_reply of read_reply
 
 val tag : t -> int
 val type_name : t -> string

@@ -189,7 +189,8 @@ let coverage_cases =
 let test_catalog_covered () =
   let covered =
     List.concat_map (fun r -> List.map fst r.required) matrix
-    @ [ "disagreement"; "quorum-stall" (* required by sweep rows below *) ]
+    @ [ "disagreement"; "quorum-stall" (* required by sweep rows below *);
+        "follower-straggler" (* fired by the storage suite's straggler test *) ]
   in
   List.iter
     (fun rule -> checkb (rule ^ " exercised") true (List.mem rule covered))
